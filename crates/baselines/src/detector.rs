@@ -1,0 +1,222 @@
+//! Host-overload detection policies of the MMT family.
+//!
+//! An MMT scheduler "starts migrating a VM when its utilization crosses a
+//! certain threshold. The threshold can be fixed (for THR-MMT) or
+//! determined adaptively (for IQR-MMT, MAD-MMT, LR-MMT and LRR-MMT) from
+//! the summary statistics of workloads' history" (§2.1). The concrete
+//! rules follow Beloglazov & Buyya (2012):
+//!
+//! * **THR**: overloaded when utilization > fixed threshold.
+//! * **IQR**: adaptive threshold `1 − s·IQR(history)`, `s = 1.5`.
+//! * **MAD**: adaptive threshold `1 − s·MAD(history)`, `s = 2.5`.
+//! * **LR / LRR**: Loess local regression predicts the next utilization;
+//!   overloaded when `s · prediction ≥ 1`, `s = 1.2`. LRR re-weights
+//!   with bisquare iterations (robust to spikes).
+//!
+//! All adaptive detectors fall back to the static threshold while the
+//! history is too short to estimate statistics.
+
+use megh_linalg::{iqr, loess_predict_next, mad};
+use serde::{Deserialize, Serialize};
+
+/// Minimum history length before adaptive statistics are trusted.
+const MIN_HISTORY: usize = 4;
+
+/// A host-overload detection policy.
+///
+/// # Examples
+///
+/// ```
+/// use megh_baselines::OverloadDetector;
+///
+/// let thr = OverloadDetector::thr(0.8);
+/// assert!(thr.is_overloaded(&[0.5, 0.9]));
+/// assert!(!thr.is_overloaded(&[0.9, 0.5]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OverloadDetector {
+    /// Static threshold on current utilization.
+    Thr {
+        /// Utilization fraction above which the host is overloaded.
+        threshold: f64,
+    },
+    /// Interquartile-range adaptive threshold.
+    Iqr {
+        /// Safety parameter `s` (Beloglazov: 1.5).
+        safety: f64,
+        /// Fallback static threshold for short histories.
+        fallback: f64,
+    },
+    /// Median-absolute-deviation adaptive threshold.
+    Mad {
+        /// Safety parameter `s` (Beloglazov: 2.5).
+        safety: f64,
+        /// Fallback static threshold for short histories.
+        fallback: f64,
+    },
+    /// Local-regression prediction (LR; LRR when `robust`).
+    Lr {
+        /// Safety multiplier on the prediction (Beloglazov: 1.2).
+        safety: f64,
+        /// Number of bisquare robustness iterations (0 = plain LR).
+        robust_iterations: usize,
+        /// Fallback static threshold for short histories.
+        fallback: f64,
+    },
+}
+
+impl OverloadDetector {
+    /// Static-threshold detector (THR-MMT). Beloglazov's default: 0.8.
+    pub fn thr(threshold: f64) -> Self {
+        Self::Thr { threshold }
+    }
+
+    /// IQR detector with the literature defaults.
+    pub fn iqr_default() -> Self {
+        Self::Iqr { safety: 1.5, fallback: 0.8 }
+    }
+
+    /// MAD detector with the literature defaults.
+    pub fn mad_default() -> Self {
+        Self::Mad { safety: 2.5, fallback: 0.8 }
+    }
+
+    /// Plain local-regression detector (LR-MMT).
+    pub fn lr_default() -> Self {
+        Self::Lr { safety: 1.2, robust_iterations: 0, fallback: 0.8 }
+    }
+
+    /// Robust local-regression detector (LRR-MMT).
+    pub fn lrr_default() -> Self {
+        Self::Lr { safety: 1.2, robust_iterations: 3, fallback: 0.8 }
+    }
+
+    /// Decides whether a host with this utilization `history` (oldest
+    /// first, ending at the current observation) is overloaded.
+    ///
+    /// An empty history is never overloaded.
+    pub fn is_overloaded(&self, history: &[f64]) -> bool {
+        let Some(&current) = history.last() else {
+            return false;
+        };
+        match *self {
+            Self::Thr { threshold } => current > threshold,
+            Self::Iqr { safety, fallback } => {
+                if history.len() < MIN_HISTORY {
+                    return current > fallback;
+                }
+                let threshold = (1.0 - safety * iqr(history)).clamp(0.0, 1.0);
+                current >= threshold
+            }
+            Self::Mad { safety, fallback } => {
+                if history.len() < MIN_HISTORY {
+                    return current > fallback;
+                }
+                let threshold = (1.0 - safety * mad(history)).clamp(0.0, 1.0);
+                current >= threshold
+            }
+            Self::Lr { safety, robust_iterations, fallback } => {
+                if history.len() < MIN_HISTORY {
+                    return current > fallback;
+                }
+                // The static threshold remains a hard backstop: a host
+                // already past it is overloaded regardless of what the
+                // regression extrapolates (a robust fit deliberately
+                // discounts the very burst that just saturated the host).
+                if current > fallback {
+                    return true;
+                }
+                match loess_predict_next(history, robust_iterations) {
+                    Ok(predicted) => safety * predicted >= 1.0,
+                    Err(_) => false,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thr_uses_only_current_value() {
+        let d = OverloadDetector::thr(0.7);
+        assert!(d.is_overloaded(&[0.1, 0.71]));
+        assert!(!d.is_overloaded(&[0.99, 0.7]));
+        assert!(!d.is_overloaded(&[]));
+    }
+
+    #[test]
+    fn iqr_adapts_to_volatility() {
+        let d = OverloadDetector::iqr_default();
+        // Stable history → IQR ≈ 0 → threshold ≈ 1.0: only saturated
+        // hosts are overloaded.
+        let stable = [0.6, 0.6, 0.6, 0.6, 0.6, 0.62];
+        assert!(!d.is_overloaded(&stable));
+        // Volatile history → large IQR → low threshold: the same current
+        // utilization now trips the detector.
+        let volatile = [0.1, 0.9, 0.15, 0.85, 0.2, 0.62];
+        assert!(d.is_overloaded(&volatile));
+    }
+
+    #[test]
+    fn mad_is_robust_to_single_spike() {
+        let mad_det = OverloadDetector::mad_default();
+        // One spike in an otherwise flat history: MAD stays ~0, so the
+        // threshold stays near 1 and a 0.7 utilization is fine.
+        let spiky = [0.3, 0.3, 0.3, 0.95, 0.3, 0.3, 0.7];
+        assert!(!mad_det.is_overloaded(&spiky));
+    }
+
+    #[test]
+    fn short_history_falls_back_to_static() {
+        for d in [
+            OverloadDetector::iqr_default(),
+            OverloadDetector::mad_default(),
+            OverloadDetector::lr_default(),
+        ] {
+            assert!(d.is_overloaded(&[0.9, 0.85]), "{d:?}");
+            assert!(!d.is_overloaded(&[0.9, 0.5]), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn lr_predicts_rising_trend() {
+        let d = OverloadDetector::lr_default();
+        // Steady climb: prediction exceeds 1/1.2 ≈ 0.83 soon.
+        let rising: Vec<f64> = (0..10).map(|i| 0.30 + 0.06 * i as f64).collect();
+        assert!(d.is_overloaded(&rising));
+        // Flat low utilization: never overloaded.
+        let flat = vec![0.3; 10];
+        assert!(!d.is_overloaded(&flat));
+    }
+
+    #[test]
+    fn lrr_ignores_spike_that_fools_lr() {
+        let lr = OverloadDetector::lr_default();
+        let lrr = OverloadDetector::lrr_default();
+        // Flat 0.45 with a late spike: plain LR extrapolates the spike
+        // upward; robust LR shrugs it off.
+        let mut hist = vec![0.45; 10];
+        hist[8] = 1.0;
+        let lr_fired = lr.is_overloaded(&hist);
+        let lrr_fired = lrr.is_overloaded(&hist);
+        assert!(
+            !lrr_fired,
+            "LRR must be robust to the spike (LR fired: {lr_fired})"
+        );
+    }
+
+    #[test]
+    fn defaults_match_literature() {
+        assert_eq!(
+            OverloadDetector::iqr_default(),
+            OverloadDetector::Iqr { safety: 1.5, fallback: 0.8 }
+        );
+        assert_eq!(
+            OverloadDetector::mad_default(),
+            OverloadDetector::Mad { safety: 2.5, fallback: 0.8 }
+        );
+    }
+}

@@ -1,0 +1,357 @@
+//! The MMT scheduler family: THR-, IQR-, MAD-, LR- and LRR-MMT.
+//!
+//! Each step runs Beloglazov's dynamic-consolidation loop:
+//!
+//! 1. **Overload mitigation** — for every host the detector flags as
+//!    overloaded, repeatedly select the Minimum-Migration-Time VM and
+//!    queue it for migration until the host's remaining demand drops to
+//!    the β threshold.
+//! 2. **Placement** — assign the queued VMs to destinations with
+//!    Power-Aware Best-Fit-Decreasing, excluding overloaded hosts.
+//! 3. **Underload consolidation** — walk the remaining active hosts from
+//!    least to most utilized; if *all* of a host's VMs can be placed on
+//!    other active, non-overloaded hosts, evacuate it so it sleeps.
+
+use std::collections::HashSet;
+
+use megh_sim::{DataCenterView, MigrationRequest, PmId, Scheduler, VmId};
+use serde::{Deserialize, Serialize};
+
+use crate::{OverloadDetector, PlacementRound};
+
+/// The five Table 2/3 variants, differing only in overload detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MmtFlavor {
+    /// Static threshold (THR-MMT).
+    Thr,
+    /// Interquartile range (IQR-MMT).
+    Iqr,
+    /// Median absolute deviation (MAD-MMT).
+    Mad,
+    /// Local regression (LR-MMT).
+    Lr,
+    /// Robust local regression (LRR-MMT).
+    Lrr,
+}
+
+impl MmtFlavor {
+    /// All five variants, in the column order of Tables 2–3.
+    pub const ALL: [MmtFlavor; 5] = [
+        MmtFlavor::Thr,
+        MmtFlavor::Iqr,
+        MmtFlavor::Mad,
+        MmtFlavor::Lr,
+        MmtFlavor::Lrr,
+    ];
+
+    /// The scheduler name used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Thr => "THR-MMT",
+            Self::Iqr => "IQR-MMT",
+            Self::Mad => "MAD-MMT",
+            Self::Lr => "LR-MMT",
+            Self::Lrr => "LRR-MMT",
+        }
+    }
+
+    /// The detector this flavor uses, with literature defaults.
+    pub fn detector(&self) -> OverloadDetector {
+        match self {
+            Self::Thr => OverloadDetector::thr(0.8),
+            Self::Iqr => OverloadDetector::iqr_default(),
+            Self::Mad => OverloadDetector::mad_default(),
+            Self::Lr => OverloadDetector::lr_default(),
+            Self::Lrr => OverloadDetector::lrr_default(),
+        }
+    }
+}
+
+/// A dynamic-consolidation scheduler from the MMT family.
+///
+/// # Examples
+///
+/// ```
+/// use megh_baselines::{MmtFlavor, MmtScheduler};
+/// use megh_sim::Scheduler;
+///
+/// let s = MmtScheduler::new(MmtFlavor::Lr);
+/// assert_eq!(s.name(), "LR-MMT");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MmtScheduler {
+    flavor: MmtFlavor,
+    detector: OverloadDetector,
+    /// Enable step 3 (underload consolidation). On by default; the
+    /// ablation benches switch it off to isolate its contribution.
+    pub consolidate_underloaded: bool,
+    /// Post-placement utilization bound and overload drain target.
+    /// Beloglazov's algorithm packs hosts right up to the overload
+    /// *detector* threshold (0.8 for THR) — the behaviour that produces
+    /// the family's characteristic migration churn. Lowering it trades
+    /// churn for headroom (ablation knob).
+    pub utilization_bound: f64,
+}
+
+impl MmtScheduler {
+    /// Creates a scheduler of the given flavor with default parameters.
+    pub fn new(flavor: MmtFlavor) -> Self {
+        Self {
+            flavor,
+            detector: flavor.detector(),
+            consolidate_underloaded: true,
+            utilization_bound: 0.8,
+        }
+    }
+
+    /// Creates a scheduler with a custom detector (parameter studies).
+    pub fn with_detector(flavor: MmtFlavor, detector: OverloadDetector) -> Self {
+        Self {
+            flavor,
+            detector,
+            consolidate_underloaded: true,
+            utilization_bound: 0.8,
+        }
+    }
+
+    /// The flavor this scheduler runs.
+    pub fn flavor(&self) -> MmtFlavor {
+        self.flavor
+    }
+
+    /// Step 1: VMs that must leave overloaded hosts.
+    fn overload_evacuations(
+        &self,
+        view: &DataCenterView,
+        overloaded: &HashSet<PmId>,
+    ) -> Vec<VmId> {
+        let mut to_move = Vec::new();
+        for &host in overloaded {
+            let cap = view.host_mips(host);
+            if cap <= 0.0 {
+                continue;
+            }
+            let mut remaining: Vec<VmId> = view.vms_on(host);
+            let mut used = view.host_used_mips(host);
+            // Evict MMT-selected VMs until the host drops below the
+            // detection bound — or entirely, when the host is down.
+            let drain_target = if view.is_down(host) {
+                -1.0 // nothing may remain
+            } else {
+                self.utilization_bound
+            };
+            while used / cap > drain_target && !remaining.is_empty() {
+                let victim = remaining
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        let ta = view.vm_ram_mb(a);
+                        let tb = view.vm_ram_mb(b);
+                        ta.partial_cmp(&tb)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.0.cmp(&b.0))
+                    })
+                    .expect("remaining is non-empty");
+                remaining.retain(|&v| v != victim);
+                used -= view.vm_demand_mips(victim);
+                to_move.push(victim);
+            }
+        }
+        to_move
+    }
+
+    /// Step 3: evacuate the least-utilized hosts entirely when possible.
+    fn underload_consolidation(
+        &self,
+        view: &DataCenterView,
+        round: &mut PlacementRound,
+        overloaded: &HashSet<PmId>,
+        already_moving: &HashSet<VmId>,
+        requests: &mut Vec<MigrationRequest>,
+    ) {
+        // Candidate sources: active, not overloaded, none of their VMs
+        // already scheduled to move.
+        let mut candidates: Vec<PmId> = view
+            .hosts()
+            .filter(|&h| {
+                !view.is_asleep(h)
+                    && !overloaded.contains(&h)
+                    && round.pending_mips(h) == 0.0 // didn't just receive evacuees
+                    && view.vms_on(h).iter().all(|vm| !already_moving.contains(vm))
+            })
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            view.host_utilization(a)
+                .partial_cmp(&view.host_utilization(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+
+        // Hosts that may receive evacuated VMs must stay distinct from
+        // hosts being evacuated in this round.
+        let mut evacuating: HashSet<PmId> = HashSet::new();
+        for host in candidates {
+            let vms = view.vms_on(host);
+            if vms.is_empty() {
+                continue;
+            }
+            let mut excluded: HashSet<PmId> = overloaded.clone();
+            excluded.insert(host);
+            excluded.extend(evacuating.iter().copied());
+            // Also exclude sleeping hosts: waking one to empty another
+            // defeats consolidation.
+            for h in view.hosts() {
+                if view.is_asleep(h) {
+                    excluded.insert(h);
+                }
+            }
+            // Trial placement on a copy: evacuate only when *all* VMs
+            // fit, otherwise the host cannot sleep and moving a subset
+            // would be pure churn.
+            let mut trial = round.clone();
+            let placements = trial.place_bounded(view, &vms, &excluded, self.utilization_bound);
+            if placements.len() == vms.len() {
+                *round = trial;
+                evacuating.insert(host);
+                for (vm, target) in placements {
+                    requests.push(MigrationRequest::new(vm, target));
+                }
+            }
+        }
+    }
+}
+
+impl Scheduler for MmtScheduler {
+    fn name(&self) -> &str {
+        self.flavor.label()
+    }
+
+    fn decide(&mut self, view: &DataCenterView) -> Vec<MigrationRequest> {
+        // Detect overloaded hosts from their utilization histories;
+        // down hosts must be evacuated regardless of their load.
+        let overloaded: HashSet<PmId> = view
+            .hosts()
+            .filter(|&h| {
+                !view.is_asleep(h)
+                    && (view.is_down(h) || self.detector.is_overloaded(view.host_history(h)))
+            })
+            .collect();
+
+        // 1. Who leaves the hot hosts.
+        let evacuees = self.overload_evacuations(view, &overloaded);
+
+        // 2. Where they go — one shared placement round for the whole
+        // step, so consolidation cannot re-fill hosts that just
+        // received evacuees.
+        let mut round = PlacementRound::new(view);
+        let placements =
+            round.place_bounded(view, &evacuees, &overloaded, self.utilization_bound);
+        let mut requests: Vec<MigrationRequest> = placements
+            .iter()
+            .map(|&(vm, target)| MigrationRequest::new(vm, target))
+            .collect();
+        let moving: HashSet<VmId> = requests.iter().map(|r| r.vm).collect();
+
+        // 3. Empty the coldest hosts.
+        if self.consolidate_underloaded {
+            self.underload_consolidation(view, &mut round, &overloaded, &moving, &mut requests);
+        }
+        requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megh_sim::{DataCenterConfig, InitialPlacement, Simulation, VmSpec};
+    use megh_trace::{PlanetLabConfig, WorkloadTrace};
+
+    #[test]
+    fn labels_match_paper_columns() {
+        let labels: Vec<&str> = MmtFlavor::ALL.iter().map(|f| f.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["THR-MMT", "IQR-MMT", "MAD-MMT", "LR-MMT", "LRR-MMT"]
+        );
+    }
+
+    #[test]
+    fn overloaded_host_is_relieved() {
+        // Two hot VMs on one G4 host, two empty hosts available.
+        let mut config = DataCenterConfig::paper_planetlab(3, 2);
+        config.vms = vec![
+            VmSpec::new(2500.0, 1024.0, 100.0),
+            VmSpec::new(2500.0, 512.0, 100.0),
+        ];
+        config.initial_placement = InitialPlacement::Explicit(vec![0, 0]);
+        // Both at 100 % → 5000/3720 = 1.34 utilization on host 0.
+        let trace = WorkloadTrace::from_rows(300, vec![vec![100.0; 5]; 2]).unwrap();
+        let sim = Simulation::new(config, trace).unwrap();
+        let outcome = sim.run(MmtScheduler::new(MmtFlavor::Thr));
+        // The scheduler must have migrated at least one VM off host 0.
+        assert!(outcome.report().total_migrations >= 1);
+        // And by the end no host should be overloaded.
+        assert_eq!(outcome.records().last().unwrap().overloaded_hosts, 0);
+    }
+
+    #[test]
+    fn underload_consolidation_sleeps_hosts() {
+        // Four tiny VMs spread over four hosts round-robin; consolidation
+        // should gather them and sleep hosts.
+        let mut config = DataCenterConfig::paper_planetlab(4, 4);
+        config.vms = vec![VmSpec::new(500.0, 512.0, 100.0); 4];
+        config.initial_placement = InitialPlacement::RoundRobin;
+        let trace = WorkloadTrace::from_rows(300, vec![vec![10.0; 6]; 4]).unwrap();
+        let sim = Simulation::new(config, trace).unwrap();
+        let outcome = sim.run(MmtScheduler::new(MmtFlavor::Thr));
+        let first = outcome.records().first().unwrap().active_hosts;
+        let last = outcome.records().last().unwrap().active_hosts;
+        assert!(
+            last < first,
+            "consolidation must reduce active hosts: {first} -> {last}"
+        );
+        assert_eq!(last, 1, "4 tiny VMs fit on one host");
+    }
+
+    #[test]
+    fn disabling_consolidation_keeps_spread() {
+        let mut config = DataCenterConfig::paper_planetlab(4, 4);
+        config.vms = vec![VmSpec::new(500.0, 512.0, 100.0); 4];
+        let trace = WorkloadTrace::from_rows(300, vec![vec![10.0; 6]; 4]).unwrap();
+        let sim = Simulation::new(config, trace).unwrap();
+        let mut scheduler = MmtScheduler::new(MmtFlavor::Thr);
+        scheduler.consolidate_underloaded = false;
+        let outcome = sim.run(scheduler);
+        assert_eq!(outcome.report().total_migrations, 0);
+        assert_eq!(outcome.records().last().unwrap().active_hosts, 4);
+    }
+
+    #[test]
+    fn all_flavors_run_end_to_end() {
+        let trace = PlanetLabConfig::new(10, 5).generate_steps(25);
+        let sim =
+            Simulation::new(DataCenterConfig::paper_planetlab(5, 10), trace).unwrap();
+        for flavor in MmtFlavor::ALL {
+            let outcome = sim.run(MmtScheduler::new(flavor));
+            assert_eq!(outcome.scheduler(), flavor.label());
+            assert_eq!(outcome.records().len(), 25);
+            assert!(outcome.report().total_cost_usd > 0.0);
+        }
+    }
+
+    #[test]
+    fn idle_data_center_stays_quiet_after_consolidation() {
+        // All-zero workload: after the initial consolidation settles,
+        // no further migrations should occur.
+        let mut config = DataCenterConfig::paper_planetlab(3, 3);
+        config.vms = vec![VmSpec::new(500.0, 512.0, 100.0); 3];
+        let trace = WorkloadTrace::from_rows(300, vec![vec![0.0; 10]; 3]).unwrap();
+        let sim = Simulation::new(config, trace).unwrap();
+        let outcome = sim.run(MmtScheduler::new(MmtFlavor::Thr));
+        let tail_migrations: usize = outcome.records()[3..]
+            .iter()
+            .map(|r| r.migrations)
+            .sum();
+        assert_eq!(tail_migrations, 0, "steady state must be migration-free");
+    }
+}

@@ -1,0 +1,287 @@
+//! Power-Aware Best-Fit-Decreasing (PABFD) destination selection.
+//!
+//! Beloglazov's modified BFD: VMs awaiting placement are sorted by CPU
+//! demand in decreasing order; each is assigned to the feasible host
+//! whose *power increase* from hosting it is smallest. Feasibility means
+//! the host is not excluded (e.g. it is itself overloaded) and stays at
+//! or below the utilization bound in *demand* after the VM lands —
+//! including the VMs already assigned to it earlier in the same round.
+//! Like CloudSim's `PowerVmAllocationPolicyMigration*`, the dynamic
+//! placement deliberately checks utilization only, not reserved
+//! (requested) capacity: consolidating by current demand while ignoring
+//! reservations is exactly what lets the MMT family over-pack hosts and
+//! churn when the workload bursts.
+//!
+//! [`PlacementRound`] carries those round-local commitments across
+//! multiple placement calls within one scheduling step, so a host that
+//! just received evacuees from an overloaded host cannot be
+//! over-committed again by the underload-consolidation pass.
+
+use std::collections::HashSet;
+
+use megh_sim::{DataCenterView, PmId, VmId};
+
+/// Round-local placement state: demand committed to
+/// each host by placements already made this scheduling step.
+#[derive(Debug, Clone)]
+pub struct PlacementRound {
+    pending_mips: Vec<f64>,
+    /// Hosts woken by a placement earlier in this round (so the wake
+    /// penalty is charged once).
+    woken: Vec<bool>,
+}
+
+impl PlacementRound {
+    /// Starts an empty round for the view's data center.
+    pub fn new(view: &DataCenterView) -> Self {
+        Self {
+            pending_mips: vec![0.0; view.n_hosts()],
+            woken: vec![false; view.n_hosts()],
+        }
+    }
+
+    /// Demand (MIPS) committed to `host` so far this round.
+    pub fn pending_mips(&self, host: PmId) -> f64 {
+        self.pending_mips[host.0]
+    }
+
+    /// Assigns each VM in `vms` to a destination host by PABFD with the
+    /// data center's β as the post-placement utilization bound.
+    pub fn place(
+        &mut self,
+        view: &DataCenterView,
+        vms: &[VmId],
+        excluded: &HashSet<PmId>,
+    ) -> Vec<(VmId, PmId)> {
+        self.place_bounded(view, vms, excluded, view.beta_overload())
+    }
+
+    /// Assigns each VM in `vms` to a destination host by PABFD,
+    /// consuming round-local capacity. `excluded` hosts are never
+    /// chosen; a host is feasible while its post-placement utilization
+    /// stays at or below `util_bound`. Beloglazov's algorithm uses the
+    /// *overload-detector threshold* here (it packs right up to the
+    /// detection boundary — the source of MMT's migration churn); other
+    /// policies pass a safer bound. VMs with no feasible host are
+    /// omitted (they stay put).
+    pub fn place_bounded(
+        &mut self,
+        view: &DataCenterView,
+        vms: &[VmId],
+        excluded: &HashSet<PmId>,
+        util_bound: f64,
+    ) -> Vec<(VmId, PmId)> {
+        let mut order: Vec<VmId> = vms.to_vec();
+        order.sort_by(|&a, &b| {
+            view.vm_demand_mips(b)
+                .partial_cmp(&view.vm_demand_mips(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+
+        let mut assignments = Vec::new();
+        for vm in order {
+            let demand = view.vm_demand_mips(vm);
+            let source = view.host_of(vm);
+            let mut best: Option<(PmId, f64)> = None;
+            for host in view.hosts() {
+                if host == source || excluded.contains(&host) || view.is_down(host) {
+                    continue;
+                }
+                let cap = view.host_mips(host);
+                if cap <= 0.0 {
+                    continue;
+                }
+                let before = (view.host_used_mips(host) + self.pending_mips[host.0]) / cap;
+                let after = before + demand / cap;
+                if after > util_bound {
+                    continue;
+                }
+                let increase =
+                    view.host_power_watts(host, after) - view.host_power_watts(host, before);
+                // Waking a sleeping host costs its idle power too.
+                let wake_penalty = if view.is_asleep(host) && !self.woken[host.0] {
+                    view.host_power_watts(host, 0.0)
+                } else {
+                    0.0
+                };
+                let total = increase + wake_penalty;
+                if best.is_none_or(|(_, b)| total < b) {
+                    best = Some((host, total));
+                }
+            }
+            if let Some((host, _)) = best {
+                self.pending_mips[host.0] += demand;
+                if view.is_asleep(host) {
+                    self.woken[host.0] = true;
+                }
+                assignments.push((vm, host));
+            }
+        }
+        assignments
+    }
+}
+
+/// One-shot PABFD: a fresh [`PlacementRound`] used for a single batch.
+///
+/// Schedulers that place VMs in several passes within one step should
+/// hold a single [`PlacementRound`] instead, so commitments accumulate.
+pub fn power_aware_best_fit(
+    view: &DataCenterView,
+    vms: &[VmId],
+    excluded: &HashSet<PmId>,
+) -> Vec<(VmId, PmId)> {
+    PlacementRound::new(view).place(view, vms, excluded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megh_sim::{
+        DataCenterConfig, InitialPlacement, MigrationRequest, Scheduler, Simulation, VmSpec,
+    };
+    use megh_trace::WorkloadTrace;
+
+    fn capture_view(config: DataCenterConfig, trace: WorkloadTrace) -> DataCenterView {
+        struct Capture(Option<DataCenterView>);
+        impl Scheduler for &mut Capture {
+            fn name(&self) -> &str {
+                "Capture"
+            }
+            fn decide(&mut self, view: &DataCenterView) -> Vec<MigrationRequest> {
+                self.0 = Some(view.clone());
+                Vec::new()
+            }
+        }
+        let mut c = Capture(None);
+        Simulation::new(config, trace).unwrap().run_steps(&mut c, 1);
+        c.0.unwrap()
+    }
+
+    /// 3 hosts (G4, G5, G4), all VMs initially on host 0.
+    fn setup(utils: Vec<f64>) -> DataCenterView {
+        let n = utils.len();
+        let mut config = DataCenterConfig::paper_planetlab(3, n);
+        config.vms = vec![VmSpec::new(1000.0, 1024.0, 100.0); n];
+        config.initial_placement = InitialPlacement::Explicit(vec![0; n]);
+        let trace =
+            WorkloadTrace::from_rows(300, utils.into_iter().map(|u| vec![u]).collect()).unwrap();
+        capture_view(config, trace)
+    }
+
+    #[test]
+    fn places_on_feasible_host_with_least_power_increase() {
+        let view = setup(vec![50.0, 50.0]);
+        let placements =
+            power_aware_best_fit(&view, &[VmId(0)], &HashSet::from([view.host_of(VmId(0))]));
+        assert_eq!(placements.len(), 1);
+        let (vm, host) = placements[0];
+        assert_eq!(vm, VmId(0));
+        // Both targets sleep; the G4 (host 2) has the lower wake + slope
+        // cost than the G5 (host 1).
+        assert_eq!(host, PmId(2));
+    }
+
+    #[test]
+    fn excluded_hosts_are_skipped() {
+        let view = setup(vec![50.0, 50.0]);
+        let source = view.host_of(VmId(0));
+        let placements = power_aware_best_fit(
+            &view,
+            &[VmId(0)],
+            &HashSet::from([source, PmId(2)]),
+        );
+        assert_eq!(placements.len(), 1);
+        assert_eq!(placements[0].1, PmId(1));
+    }
+
+    #[test]
+    fn no_feasible_host_leaves_vm_unplaced() {
+        let view = setup(vec![50.0]);
+        let source = view.host_of(VmId(0));
+        let mut excluded: HashSet<PmId> = view.hosts().collect();
+        excluded.remove(&source); // only the source remains, which is skipped anyway
+        let placements = power_aware_best_fit(&view, &[VmId(0)], &excluded);
+        assert!(placements.is_empty());
+    }
+
+    #[test]
+    fn round_local_commitments_prevent_overload() {
+        // Many VMs at once: PABFD must not stack them all on one host
+        // past β.
+        let view = setup(vec![80.0; 6]);
+        let source = view.host_of(VmId(0));
+        let to_move: Vec<VmId> = (0..6).map(VmId).collect();
+        let placements = power_aware_best_fit(&view, &to_move, &HashSet::from([source]));
+        let mut committed = vec![0.0; view.n_hosts()];
+        for &(vm, host) in &placements {
+            committed[host.0] += view.vm_demand_mips(vm);
+        }
+        for host in view.hosts() {
+            if host == source {
+                continue;
+            }
+            let total = view.host_used_mips(host) + committed[host.0];
+            assert!(
+                total / view.host_mips(host) <= view.beta_overload() + 1e-9,
+                "host {host} over-committed"
+            );
+        }
+    }
+
+    #[test]
+    fn commitments_persist_across_calls_in_one_round() {
+        // Two separate place() calls on ONE round must share capacity
+        // accounting; two independent rounds would double-book.
+        let view = setup(vec![80.0; 6]);
+        let source = view.host_of(VmId(0));
+        let excluded = HashSet::from([source]);
+        let mut round = PlacementRound::new(&view);
+        let first = round.place(&view, &[VmId(0), VmId(1), VmId(2)], &excluded);
+        let second = round.place(&view, &[VmId(3), VmId(4), VmId(5)], &excluded);
+        let mut committed = vec![0.0; view.n_hosts()];
+        for &(vm, host) in first.iter().chain(&second) {
+            committed[host.0] += view.vm_demand_mips(vm);
+        }
+        for host in view.hosts() {
+            if host == source {
+                continue;
+            }
+            let total = view.host_used_mips(host) + committed[host.0];
+            assert!(
+                total / view.host_mips(host) <= view.beta_overload() + 1e-9,
+                "host {host} over-committed across calls"
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_bound_limits_packing() {
+        // 20 near-idle VMs (1 % of 1000 MIPS = 10 MIPS demand each): the
+        // demand-only check packs them all despite the reservations —
+        // the CloudSim-faithful over-packing behaviour.
+        let view = setup(vec![1.0; 20]);
+        let source = view.host_of(VmId(0));
+        let to_move: Vec<VmId> = (0..20).map(VmId).collect();
+        let placements = power_aware_best_fit(&view, &to_move, &HashSet::from([source]));
+        assert_eq!(placements.len(), 20);
+        // But a tight utilization bound refuses them.
+        let mut round = PlacementRound::new(&view);
+        let tight = round.place_bounded(&view, &to_move, &HashSet::from([source]), 0.001);
+        assert!(tight.is_empty());
+    }
+
+    #[test]
+    fn sorts_by_demand_decreasing() {
+        // The largest VM gets first pick; with equal specs and varying
+        // utilization the ordering is by demand.
+        let view = setup(vec![10.0, 90.0, 40.0]);
+        let source = view.host_of(VmId(0));
+        let placements = power_aware_best_fit(
+            &view,
+            &[VmId(0), VmId(1), VmId(2)],
+            &HashSet::from([source]),
+        );
+        assert_eq!(placements.first().map(|&(vm, _)| vm), Some(VmId(1)));
+    }
+}

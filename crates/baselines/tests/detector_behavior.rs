@@ -1,0 +1,129 @@
+//! Characteristic-signal comparison of the five overload detectors.
+//!
+//! Beloglazov's detectors differ in *when* they fire on the same host
+//! history; these tests pin each family's signature behaviour on the
+//! canonical signals — step change, slow ramp, isolated spike, high
+//! steady state, and volatile noise — which is what separates the MMT
+//! columns of Tables 2–3.
+
+use megh_baselines::OverloadDetector;
+
+fn all_detectors() -> Vec<(&'static str, OverloadDetector)> {
+    vec![
+        ("THR", OverloadDetector::thr(0.8)),
+        ("IQR", OverloadDetector::iqr_default()),
+        ("MAD", OverloadDetector::mad_default()),
+        ("LR", OverloadDetector::lr_default()),
+        ("LRR", OverloadDetector::lrr_default()),
+    ]
+}
+
+/// Signal 1 — step change: jumps from 0.4 to 0.85 and stays there.
+/// Every detector must fire once the new level is established.
+#[test]
+fn step_change_is_eventually_detected_by_all() {
+    // Half the window at the new level: even the robust MAD statistic
+    // sees it (median deviation 0.225 → threshold 0.44 < 0.85).
+    let mut history = vec![0.4; 6];
+    history.extend(vec![0.85; 6]);
+    for (name, d) in all_detectors() {
+        assert!(d.is_overloaded(&history), "{name} missed an established step");
+    }
+}
+
+/// Signal 2 — slow ramp toward saturation: only the predictive (LR)
+/// detectors fire *before* the static threshold is crossed.
+#[test]
+fn lr_fires_on_a_ramp_before_thr() {
+    // Rising 0.40, 0.45, …, 0.80: at (not past) THR's threshold, but
+    // the extrapolated next value is 0.85 and 1.2 × 0.85 ≥ 1.
+    let ramp: Vec<f64> = (0..9).map(|i| 0.40 + 0.05 * i as f64).collect();
+    assert!(!OverloadDetector::thr(0.8).is_overloaded(&ramp));
+    assert!(
+        OverloadDetector::lr_default().is_overloaded(&ramp),
+        "LR must extrapolate the ramp past 1/1.2"
+    );
+    assert!(
+        OverloadDetector::lrr_default().is_overloaded(&ramp),
+        "LRR must extrapolate the (clean) ramp too"
+    );
+}
+
+/// Signal 3 — high steady state at 0.75: THR (0.8) tolerates it; the
+/// adaptive statistics see zero spread and clamp their thresholds to
+/// ~1, also tolerating it. Nobody churns on a flat host.
+#[test]
+fn flat_high_load_below_threshold_fires_nobody() {
+    let flat = vec![0.75; 10];
+    for (name, d) in all_detectors() {
+        assert!(!d.is_overloaded(&flat), "{name} fired on a flat 75 % host");
+    }
+}
+
+/// Signal 4 — volatile noise around a moderate mean: the IQR detector's
+/// adaptive threshold (1 − 1.5·IQR) collapses under high spread, firing
+/// where THR would not.
+#[test]
+fn iqr_fires_under_volatility_where_thr_does_not() {
+    let volatile = vec![0.15, 0.72, 0.10, 0.70, 0.12, 0.71, 0.11, 0.70];
+    assert!(!OverloadDetector::thr(0.8).is_overloaded(&volatile));
+    assert!(
+        OverloadDetector::iqr_default().is_overloaded(&volatile),
+        "IQR must tighten under high spread"
+    );
+}
+
+/// Signal 5 — a single spike in otherwise calm history, already past:
+/// the robust statistics (MAD, LRR) must NOT fire on the memory of it.
+#[test]
+fn robust_detectors_forgive_a_past_spike() {
+    let spiky = vec![0.3, 0.3, 0.95, 0.3, 0.3, 0.3, 0.3, 0.35];
+    assert!(
+        !OverloadDetector::mad_default().is_overloaded(&spiky),
+        "MAD must be robust to one past spike"
+    );
+    assert!(
+        !OverloadDetector::lrr_default().is_overloaded(&spiky),
+        "LRR must be robust to one past spike"
+    );
+    assert!(!OverloadDetector::thr(0.8).is_overloaded(&spiky));
+}
+
+/// Signal 6 — saturation right now: the hard backstop. Everyone fires,
+/// regardless of how the statistics feel about history.
+#[test]
+fn current_saturation_fires_everyone() {
+    let saturated = vec![0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 1.1];
+    for (name, d) in all_detectors() {
+        assert!(d.is_overloaded(&saturated), "{name} ignored current saturation");
+    }
+}
+
+/// Cross-check of relative eagerness: over a battery of random-ish
+/// mixed signals, LR (predictive) must fire at least as often as LRR
+/// (robust predictive) — robustness only ever removes false positives
+/// caused by outliers.
+#[test]
+fn lrr_is_never_more_eager_than_lr_on_clean_signals() {
+    // Deterministic pseudo-random histories without outliers: smooth
+    // sinusoid fragments at different levels and slopes.
+    let mut lr_fires = 0;
+    let mut lrr_fires = 0;
+    for k in 0..50 {
+        let base = 0.2 + 0.05 * (k % 10) as f64;
+        let slope = -0.02 + 0.005 * (k % 9) as f64;
+        let history: Vec<f64> = (0..10)
+            .map(|t| (base + slope * t as f64 + 0.01 * ((t * k) % 3) as f64).clamp(0.0, 1.0))
+            .collect();
+        if OverloadDetector::lr_default().is_overloaded(&history) {
+            lr_fires += 1;
+        }
+        if OverloadDetector::lrr_default().is_overloaded(&history) {
+            lrr_fires += 1;
+        }
+    }
+    assert!(
+        lrr_fires <= lr_fires,
+        "LRR fired {lrr_fires} > LR {lr_fires} on clean signals"
+    );
+}

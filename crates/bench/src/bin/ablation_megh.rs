@@ -1,0 +1,58 @@
+//! Ablation study: which of Megh's design choices carry its
+//! performance? (DESIGN.md §7 calls these out.)
+//!
+//! Varies, one at a time, against the paper-default configuration on
+//! the PlanetLab setup:
+//!
+//! * the discount factor γ (0 = myopic, 0.9 = far-sighted; paper: 0.5),
+//! * the actions-per-step allowance (1 vs the 2 %-of-VMs cap),
+//! * the sleeping-target action mask (off = paper's unrestricted space),
+//! * the exploration schedule in its degenerate corners.
+//!
+//! Usage: `cargo run -p megh-bench --release --bin ablation_megh [--full]`
+
+use megh_bench::{
+    ensure_results_dir, format_table, planetlab_experiment, run_scheduler, scale_from_args,
+    write_json,
+};
+use megh_core::{MeghAgent, MeghConfig};
+use megh_sim::SummaryReport;
+
+fn main() {
+    let scale = scale_from_args();
+    let (config, trace) = planetlab_experiment(scale, 42);
+    let (n, m) = (config.vms.len(), config.pms.len());
+    eprintln!("ablation_megh: {m} hosts, {n} VMs, {} steps", trace.n_steps());
+
+    let base = MeghConfig::paper_defaults(n, m);
+    let variants: Vec<(&str, MeghConfig)> = vec![
+        ("paper", base.clone()),
+        ("gamma=0", MeghConfig { gamma: 0.0, ..base.clone() }),
+        ("gamma=0.9", MeghConfig { gamma: 0.9, ..base.clone() }),
+        (
+            "2% actions",
+            MeghConfig {
+                actions_per_step: ((0.02 * n as f64).ceil() as usize).max(1),
+                ..base.clone()
+            },
+        ),
+        ("masked", MeghConfig { mask_sleeping_targets: true, ..base.clone() }),
+        ("no decay", MeghConfig { epsilon: 0.0, ..base.clone() }),
+        ("cold greedy", MeghConfig { temp0: 0.01, epsilon: 0.0, ..base.clone() }),
+    ];
+
+    let mut reports: Vec<SummaryReport> = Vec::new();
+    for (label, cfg) in variants {
+        let outcome =
+            run_scheduler(&config, &trace, MeghAgent::new(cfg)).expect("valid setup");
+        let mut report = outcome.report();
+        report.scheduler = format!("Megh[{label}]");
+        eprintln!("  {label} done: {:.1} USD", report.total_cost_usd);
+        reports.push(report);
+    }
+
+    println!("{}", format_table("Ablation — Megh design choices", &reports));
+    let dir = ensure_results_dir().expect("results dir");
+    write_json(dir.join("ablation_megh.json"), &reports).expect("write results");
+    println!("wrote results/ablation_megh.json");
+}

@@ -1,0 +1,57 @@
+//! Ablation study: what drives the MMT family's behaviour?
+//!
+//! Varies THR-MMT's two structural knobs on the PlanetLab setup:
+//!
+//! * the utilization bound (Beloglazov packs to the 0.8 detector
+//!   threshold; safer bounds trade churn for headroom),
+//! * underload consolidation on/off (off = pure overload mitigation),
+//! * the detector's static threshold.
+//!
+//! Usage: `cargo run -p megh-bench --release --bin ablation_mmt [--full]`
+
+use megh_baselines::{MmtFlavor, MmtScheduler, OverloadDetector};
+use megh_bench::{
+    ensure_results_dir, format_table, planetlab_experiment, run_scheduler, scale_from_args,
+    write_json,
+};
+use megh_sim::SummaryReport;
+
+fn main() {
+    let scale = scale_from_args();
+    let (config, trace) = planetlab_experiment(scale, 42);
+    eprintln!(
+        "ablation_mmt: {} hosts, {} VMs, {} steps",
+        config.pms.len(),
+        config.vms.len(),
+        trace.n_steps()
+    );
+
+    let mut variants: Vec<(String, MmtScheduler)> = Vec::new();
+    variants.push(("bound=0.8 (paper)".into(), MmtScheduler::new(MmtFlavor::Thr)));
+    for bound in [0.7, 0.6, 0.5] {
+        let mut s = MmtScheduler::new(MmtFlavor::Thr);
+        s.utilization_bound = bound;
+        variants.push((format!("bound={bound}"), s));
+    }
+    let mut no_consolidation = MmtScheduler::new(MmtFlavor::Thr);
+    no_consolidation.consolidate_underloaded = false;
+    variants.push(("no consolidation".into(), no_consolidation));
+    for threshold in [0.7, 0.9] {
+        let s = MmtScheduler::with_detector(MmtFlavor::Thr, OverloadDetector::thr(threshold));
+        variants.push((format!("detector thr={threshold}"), s));
+    }
+
+    let mut reports: Vec<SummaryReport> = Vec::new();
+    for (label, scheduler) in variants {
+        let outcome = run_scheduler(&config, &trace, scheduler).expect("valid setup");
+        let mut report = outcome.report();
+        report.scheduler = format!("THR[{label}]");
+        eprintln!("  {label} done: {:.1} USD", report.total_cost_usd);
+        reports.push(report);
+    }
+
+    println!("{}", format_table("Ablation — THR-MMT design choices", &reports));
+    let dir = ensure_results_dir().expect("results dir");
+    write_json(dir.join("ablation_mmt.json"), &reports).expect("write results");
+    println!("wrote results/ablation_mmt.json");
+}

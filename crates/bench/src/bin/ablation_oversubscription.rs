@@ -1,0 +1,66 @@
+//! Ablation: the CPU oversubscription ratio — the reproduction's main
+//! calibration knob (DESIGN.md §7) — swept across its plausible range.
+//!
+//! The ratio bounds how hard the *initial packing* may reserve hosts;
+//! MMT's dynamic consolidation then packs by demand regardless. The
+//! sweep shows how the Megh-vs-THR gap and the cost composition depend
+//! on this choice, i.e. how robust the headline result is to the one
+//! parameter the paper does not specify.
+//!
+//! Usage: `cargo run -p megh-bench --release --bin ablation_oversubscription [--full]`
+
+use megh_baselines::{MmtFlavor, MmtScheduler};
+use megh_bench::{
+    ensure_results_dir, run_megh, run_scheduler, scale_from_args, write_csv, Scale,
+};
+use megh_sim::{DataCenterConfig, InitialPlacement};
+use megh_trace::PlanetLabConfig;
+
+fn main() {
+    let scale = scale_from_args();
+    let (m, n, days) = match scale {
+        Scale::Reduced => (80usize, 105usize, 3usize),
+        Scale::Full => (800, 1052, 7),
+    };
+    let trace = PlanetLabConfig::new(n, 42).generate(days);
+    eprintln!("ablation_oversubscription: {m} hosts, {n} VMs, {} steps", trace.n_steps());
+
+    let dir = ensure_results_dir().expect("results dir");
+    let mut rows = Vec::new();
+    println!(
+        "{:<7} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "ratio", "THR USD", "THR SLA", "Megh USD", "Megh SLA", "Megh wins"
+    );
+    for ratio in [1.0f64, 1.5, 2.0, 3.0, 4.0] {
+        let mut config = DataCenterConfig::paper_planetlab(m, n);
+        config.initial_placement = InitialPlacement::DemandPacked;
+        config.oversubscription_ratio = ratio;
+        let thr = run_scheduler(&config, &trace, MmtScheduler::new(MmtFlavor::Thr))
+            .expect("valid setup")
+            .report();
+        let megh = run_megh(&config, &trace, 42).expect("valid setup").report();
+        println!(
+            "{:<7} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>10}",
+            ratio,
+            thr.total_cost_usd,
+            thr.sla_cost_usd,
+            megh.total_cost_usd,
+            megh.sla_cost_usd,
+            megh.total_cost_usd < thr.total_cost_usd
+        );
+        rows.push(vec![
+            ratio,
+            thr.total_cost_usd,
+            thr.sla_cost_usd,
+            megh.total_cost_usd,
+            megh.sla_cost_usd,
+        ]);
+    }
+    write_csv(
+        dir.join("ablation_oversubscription.csv"),
+        &["ratio", "thr_total", "thr_sla", "megh_total", "megh_sla"],
+        rows,
+    )
+    .expect("write results");
+    println!("wrote results/ablation_oversubscription.csv");
+}

@@ -1,0 +1,37 @@
+//! Diagnostic: where does THR-MMT's SLA cost come from?
+//! (development aid, not a paper experiment)
+
+use megh_baselines::{MmtFlavor, MmtScheduler};
+use megh_bench::{planetlab_experiment, run_scheduler, Scale};
+
+fn main() {
+    let (config, trace) = planetlab_experiment(Scale::Reduced, 42);
+    let outcome = run_scheduler(&config, &trace, MmtScheduler::new(MmtFlavor::Thr)).unwrap();
+
+    let records = outcome.records();
+    let deficit_steps = records.iter().filter(|r| r.sla_cost_usd > 0.0).count();
+    println!("steps with SLA cost: {} / {}", deficit_steps, records.len());
+    let over_steps = records.iter().filter(|r| r.overloaded_hosts > 0).count();
+    println!("steps with >beta hosts: {over_steps}");
+    let total_over: usize = records.iter().map(|r| r.overloaded_hosts).sum();
+    println!("host-steps above beta: {total_over}");
+
+    // Downtime distribution.
+    let dt = outcome.vm_downtime_seconds();
+    let rq = outcome.vm_requested_seconds();
+    let fracs: Vec<f64> = dt.iter().zip(rq).map(|(d, r)| d / r.max(1.0)).collect();
+    let major = fracs.iter().filter(|&&f| f > 0.001).count();
+    let minor = fracs.iter().filter(|&&f| f > 0.0005 && f <= 0.001).count();
+    println!("VMs ending in major band: {major}, minor: {minor}, of {}", fracs.len());
+    let mean_dt: f64 = dt.iter().sum::<f64>() / dt.len() as f64;
+    println!("mean downtime {mean_dt:.1}s; max {:.1}s", dt.iter().cloned().fold(0.0, f64::max));
+
+    // Migration-induced downtime estimate: migrations × 0.1 × TM(~20s max).
+    let report = outcome.report();
+    println!(
+        "migrations: {} (upper-bound migration downtime per VM: {:.0}s)",
+        report.total_migrations,
+        report.total_migrations as f64 * 0.1 * 20.0 / dt.len() as f64
+    );
+    println!("energy ${:.1}, sla ${:.1}", report.energy_cost_usd, report.sla_cost_usd);
+}

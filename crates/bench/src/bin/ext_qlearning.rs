@@ -1,0 +1,75 @@
+//! Extension experiment: the Q-learning comparison the paper ran but
+//! omitted "due to Q-learning's dependence on offline training".
+//!
+//! Protocol: train tabular Q-learning offline on one week of the
+//! PlanetLab-like workload, evaluate everything on a *different* week
+//! (same family, different seed). Megh and THR-MMT see the evaluation
+//! week cold.
+//!
+//! Usage: `cargo run -p megh-bench --release --bin ext_qlearning [--full]`
+
+use megh_baselines::{MmtFlavor, MmtScheduler, QLearningConfig, QLearningScheduler};
+use megh_bench::{
+    ensure_results_dir, format_table, planetlab_experiment, run_megh, run_scheduler,
+    scale_from_args, write_json, Scale,
+};
+use megh_sim::{Simulation, SummaryReport};
+use megh_trace::PlanetLabConfig;
+
+fn main() {
+    let scale = scale_from_args();
+    let (config, eval_trace) = planetlab_experiment(scale, 4242);
+    let episodes = match scale {
+        Scale::Reduced => 5,
+        Scale::Full => 25,
+    };
+    eprintln!(
+        "ext_qlearning: {} hosts, {} VMs, {} steps, {episodes} training episodes",
+        config.pms.len(),
+        config.vms.len(),
+        eval_trace.n_steps()
+    );
+
+    // A disjoint training week from the same workload family.
+    let train_trace = PlanetLabConfig::new(config.vms.len(), 77).generate(7);
+    let train_sim = Simulation::new(config.clone(), train_trace).expect("valid setup");
+
+    let mut reports: Vec<SummaryReport> = Vec::new();
+
+    let cold = run_scheduler(
+        &config,
+        &eval_trace,
+        QLearningScheduler::new(QLearningConfig::default()),
+    )
+    .expect("valid setup");
+    let mut r = cold.report();
+    r.scheduler = "Q-learn (cold)".into();
+    reports.push(r);
+    eprintln!("  cold Q-learning done");
+
+    let mut trained = QLearningScheduler::new(QLearningConfig::default());
+    trained.train(&train_sim, episodes);
+    let trained_outcome =
+        run_scheduler(&config, &eval_trace, trained).expect("valid setup");
+    let mut r = trained_outcome.report();
+    r.scheduler = "Q-learn (train)".into();
+    reports.push(r);
+    eprintln!("  trained Q-learning done");
+
+    reports.push(
+        run_scheduler(&config, &eval_trace, MmtScheduler::new(MmtFlavor::Thr))
+            .expect("valid setup")
+            .report(),
+    );
+    eprintln!("  THR-MMT done");
+    reports.push(run_megh(&config, &eval_trace, 4242).expect("valid setup").report());
+    eprintln!("  Megh done");
+
+    println!(
+        "{}",
+        format_table("Extension — offline Q-learning vs online Megh", &reports)
+    );
+    let dir = ensure_results_dir().expect("results dir");
+    write_json(dir.join("ext_qlearning.json"), &reports).expect("write results");
+    println!("wrote results/ext_qlearning.json");
+}

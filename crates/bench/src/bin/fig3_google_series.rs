@@ -1,0 +1,73 @@
+//! Figure 3: Megh vs THR-MMT per-step series on the Google Cluster
+//! workload — same four panels as Figure 2.
+//!
+//! Usage: `cargo run -p megh-bench --release --bin fig3_google_series [--full]`
+
+use megh_baselines::{MmtFlavor, MmtScheduler};
+use megh_bench::{
+    ensure_results_dir, format_table, google_experiment, run_megh, run_scheduler,
+    scale_from_args, write_csv, SeriesBundle,
+};
+
+fn main() {
+    let scale = scale_from_args();
+    let (config, trace) = google_experiment(scale, 43);
+    eprintln!(
+        "fig3: {} hosts, {} VMs, {} steps ({scale:?})",
+        config.pms.len(),
+        config.vms.len(),
+        trace.n_steps()
+    );
+
+    let thr = run_scheduler(&config, &trace, MmtScheduler::new(MmtFlavor::Thr))
+        .expect("valid setup");
+    eprintln!("  THR-MMT done");
+    let megh = run_megh(&config, &trace, 43).expect("valid setup");
+    eprintln!("  Megh done");
+
+    let bundle = SeriesBundle::new(&[&megh, &thr]);
+    let header_strings = bundle.headers();
+    let headers: Vec<&str> = header_strings.iter().map(String::as_str).collect();
+    let dir = ensure_results_dir().expect("results dir");
+    write_csv(
+        dir.join("fig3a_cost_per_step.csv"),
+        &headers,
+        bundle.rows(|r| r.total_cost_usd),
+    )
+    .expect("fig3a");
+    write_csv(
+        dir.join("fig3b_cumulative_migrations.csv"),
+        &headers,
+        bundle.rows(|r| r.cumulative_migrations as f64),
+    )
+    .expect("fig3b");
+    write_csv(
+        dir.join("fig3c_active_hosts.csv"),
+        &headers,
+        bundle.rows(|r| r.active_hosts as f64),
+    )
+    .expect("fig3c");
+    write_csv(
+        dir.join("fig3d_execution_ms.csv"),
+        &headers,
+        bundle.rows(|r| r.decision_micros as f64 / 1000.0),
+    )
+    .expect("fig3d");
+
+    println!(
+        "{}",
+        format_table("Figure 3 — Megh vs THR-MMT (Google Cluster)", &bundle.reports())
+    );
+    for (name, records) in bundle.names.iter().zip(&bundle.records) {
+        let costs: Vec<f64> = records.iter().map(|r| r.total_cost_usd).collect();
+        let c = megh_core::diagnostics::detect_convergence(&costs, 50, 0.10);
+        match c.converged_at {
+            Some(at) => println!(
+                "  {name}: per-step cost converges at step {at} (stable {:.3} ± {:.3} USD)",
+                c.stable_mean, c.stable_std
+            ),
+            None => println!("  {name}: per-step cost never settles within 10 %"),
+        }
+    }
+    println!("wrote results/fig3{{a,b,c,d}}_*.csv");
+}

@@ -1,0 +1,62 @@
+//! Figure 5: Megh vs MadVM on a 100-PM / 150-VM Google Cluster subset
+//! over 3 days, VMs allocated uniformly at random.
+//!
+//! Usage: `cargo run -p megh-bench --release --bin fig5_madvm_google`
+
+use megh_bench::{
+    ensure_results_dir, format_table, madvm_subset_experiment, run_madvm, run_megh, write_csv,
+    SeriesBundle,
+};
+
+fn main() {
+    let (config, trace) = madvm_subset_experiment(true, 45);
+    eprintln!(
+        "fig5: {} hosts, {} VMs, {} steps",
+        config.pms.len(),
+        config.vms.len(),
+        trace.n_steps()
+    );
+
+    let madvm = run_madvm(&config, &trace).expect("valid setup");
+    eprintln!("  MadVM done");
+    let megh = run_megh(&config, &trace, 45).expect("valid setup");
+    eprintln!("  Megh done");
+
+    let bundle = SeriesBundle::new(&[&megh, &madvm]);
+    let header_strings = bundle.headers();
+    let headers: Vec<&str> = header_strings.iter().map(String::as_str).collect();
+    let dir = ensure_results_dir().expect("results dir");
+    write_csv(
+        dir.join("fig5a_cost_per_step.csv"),
+        &headers,
+        bundle.rows(|r| r.total_cost_usd),
+    )
+    .expect("fig5a");
+    write_csv(
+        dir.join("fig5b_cumulative_migrations.csv"),
+        &headers,
+        bundle.rows(|r| r.cumulative_migrations as f64),
+    )
+    .expect("fig5b");
+    write_csv(
+        dir.join("fig5c_active_hosts.csv"),
+        &headers,
+        bundle.rows(|r| r.active_hosts as f64),
+    )
+    .expect("fig5c");
+    write_csv(
+        dir.join("fig5d_execution_ms.csv"),
+        &headers,
+        bundle.rows(|r| r.decision_micros as f64 / 1000.0),
+    )
+    .expect("fig5d");
+
+    println!(
+        "{}",
+        format_table(
+            "Figure 5 — Megh vs MadVM (Google subset, 100 PMs / 150 VMs)",
+            &bundle.reports()
+        )
+    );
+    println!("wrote results/fig5{{a,b,c,d}}_*.csv");
+}

@@ -1,0 +1,63 @@
+//! Figure 7: growth of the non-zero elements in Megh's Q-table with time
+//! and with the number of PMs (N = M, as in the paper).
+//!
+//! Usage: `cargo run -p megh-bench --release --bin fig7_qtable_growth [--full]`
+
+use megh_bench::{ensure_results_dir, scale_from_args, write_csv, MeghProbe, Scale};
+use megh_core::{MeghAgent, MeghConfig};
+use megh_sim::{DataCenterConfig, InitialPlacement, Simulation};
+use megh_trace::PlanetLabConfig;
+
+fn main() {
+    let scale = scale_from_args();
+    let (sizes, steps): (Vec<usize>, usize) = match scale {
+        Scale::Reduced => (vec![100, 200, 300], 600),
+        Scale::Full => (vec![100, 200, 400, 800], 2016),
+    };
+    eprintln!("fig7: sizes {sizes:?} (N = M), {steps} steps");
+
+    let mut columns: Vec<Vec<usize>> = Vec::new();
+    for &m in &sizes {
+        let mut config = DataCenterConfig::paper_planetlab(m, m);
+        config.initial_placement = InitialPlacement::DemandPacked;
+        let trace = PlanetLabConfig::new(m, m as u64).generate_steps(steps);
+        let sim = Simulation::new(config, trace).expect("valid setup");
+        // §6.1: Megh may migrate up to 2 % of VMs per step — the number
+        // of actions (and hence Q-table fill-in) per step scales with
+        // the fleet, which is Figure 7's vertical shift with M.
+        let mut megh_cfg = MeghConfig::paper_defaults(m, m);
+        megh_cfg.actions_per_step = ((0.02 * m as f64).ceil() as usize).max(1);
+        let mut probe = MeghProbe::new(MeghAgent::new(megh_cfg));
+        sim.run(&mut probe);
+        eprintln!(
+            "  M=N={m}: final nnz {}",
+            probe.qtable_nnz_series().last().copied().unwrap_or(0)
+        );
+        columns.push(probe.qtable_nnz_series().to_vec());
+    }
+
+    let dir = ensure_results_dir().expect("results dir");
+    let mut headers: Vec<String> = vec!["step".into()];
+    headers.extend(sizes.iter().map(|m| format!("nnz_m{m}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows = (0..steps).map(|t| {
+        let mut row = vec![t as f64];
+        for col in &columns {
+            row.push(col.get(t).copied().unwrap_or(0) as f64);
+        }
+        row
+    });
+    write_csv(dir.join("fig7_qtable_growth.csv"), &header_refs, rows).expect("fig7");
+
+    // Shape checks: linear growth in t, monotone shift with M.
+    println!("Figure 7 — Q-table non-zeros over time");
+    for (m, col) in sizes.iter().zip(&columns) {
+        let half = col[col.len() / 2] as f64;
+        let full = *col.last().unwrap() as f64;
+        println!(
+            "  M=N={m}: nnz(t/2) = {half}, nnz(t) = {full}, ratio {:.2} (≈2 ⇒ linear)",
+            full / half.max(1.0)
+        );
+    }
+    println!("wrote results/fig7_qtable_growth.csv");
+}

@@ -1,0 +1,41 @@
+//! Table 2: performance evaluation for PlanetLab.
+//!
+//! Runs the five MMT heuristics and Megh over the 7-day PlanetLab-like
+//! workload and prints total cost, #VM migrations, mean active hosts and
+//! mean per-step execution time — the paper's Table 2 rows.
+//!
+//! Usage: `cargo run -p megh-bench --release --bin table2_planetlab [--full]`
+
+use megh_bench::{
+    ensure_results_dir, format_table, planetlab_experiment, run_all_mmt, run_megh,
+    scale_from_args, write_json,
+};
+
+fn main() {
+    let scale = scale_from_args();
+    let (config, trace) = planetlab_experiment(scale, 42);
+    eprintln!(
+        "table2: {} hosts, {} VMs, {} steps ({scale:?})",
+        config.pms.len(),
+        config.vms.len(),
+        trace.n_steps()
+    );
+
+    let mut reports = Vec::new();
+    for outcome in run_all_mmt(&config, &trace).expect("valid setup") {
+        eprintln!("  {} done", outcome.scheduler());
+        reports.push(outcome.report());
+    }
+    let megh = run_megh(&config, &trace, 42).expect("valid setup");
+    eprintln!("  {} done", megh.scheduler());
+    reports.push(megh.report());
+
+    println!(
+        "{}",
+        format_table("Table 2 — Performance Evaluation for PlanetLab", &reports)
+    );
+
+    let dir = ensure_results_dir().expect("results dir");
+    write_json(dir.join("table2_planetlab.json"), &reports).expect("write results");
+    eprintln!("wrote results/table2_planetlab.json");
+}

@@ -1,0 +1,37 @@
+//! Table 3: performance evaluation for the Google Cluster workload.
+//!
+//! Usage: `cargo run -p megh-bench --release --bin table3_google [--full]`
+
+use megh_bench::{
+    ensure_results_dir, format_table, google_experiment, run_all_mmt, run_megh, scale_from_args,
+    write_json,
+};
+
+fn main() {
+    let scale = scale_from_args();
+    let (config, trace) = google_experiment(scale, 43);
+    eprintln!(
+        "table3: {} hosts, {} VMs, {} steps ({scale:?})",
+        config.pms.len(),
+        config.vms.len(),
+        trace.n_steps()
+    );
+
+    let mut reports = Vec::new();
+    for outcome in run_all_mmt(&config, &trace).expect("valid setup") {
+        eprintln!("  {} done", outcome.scheduler());
+        reports.push(outcome.report());
+    }
+    let megh = run_megh(&config, &trace, 43).expect("valid setup");
+    eprintln!("  {} done", megh.scheduler());
+    reports.push(megh.report());
+
+    println!(
+        "{}",
+        format_table("Table 3 — Performance Evaluation for Google Cluster", &reports)
+    );
+
+    let dir = ensure_results_dir().expect("results dir");
+    write_json(dir.join("table3_google.json"), &reports).expect("write results");
+    eprintln!("wrote results/table3_google.json");
+}

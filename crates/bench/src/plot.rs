@@ -1,0 +1,307 @@
+//! A dependency-free SVG line-chart renderer.
+//!
+//! The experiment binaries emit CSV series; this module turns them into
+//! standalone SVG figures so the harness regenerates the paper's plots,
+//! not just their data. Deliberately minimal: linear or log₁₀ y-axis,
+//! auto-scaled ticks, a legend, one polyline per series.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::ResultsError;
+
+/// Colour cycle (colour-blind-safe Okabe–Ito subset).
+const COLOURS: [&str; 6] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+];
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 440.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 50.0;
+
+/// A line chart under construction.
+///
+/// # Examples
+///
+/// ```
+/// use megh_bench::LineChart;
+///
+/// let mut chart = LineChart::new("demo", "step", "cost");
+/// chart.add_series("Megh", vec![(0.0, 1.0), (1.0, 0.5)]);
+/// let svg = chart.render_svg();
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("Megh"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+    log_y: bool,
+}
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            log_y: false,
+        }
+    }
+
+    /// Switches the y-axis to log₁₀ (non-positive samples are dropped).
+    pub fn log_y(&mut self) -> &mut Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a named series of `(x, y)` points.
+    pub fn add_series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push((name.into(), points));
+        self
+    }
+
+    /// Renders the chart to an SVG string.
+    pub fn render_svg(&self) -> String {
+        let transform = |y: f64| if self.log_y { y.log10() } else { y };
+        let points: Vec<(usize, Vec<(f64, f64)>)> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, (_, pts))| {
+                let pts = pts
+                    .iter()
+                    .filter(|&&(_, y)| !self.log_y || y > 0.0)
+                    .map(|&(x, y)| (x, transform(y)))
+                    .filter(|(x, y)| x.is_finite() && y.is_finite())
+                    .collect();
+                (i, pts)
+            })
+            .collect();
+
+        let all: Vec<(f64, f64)> = points.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+        let (x_min, x_max) = extent(all.iter().map(|p| p.0));
+        let (y_min, y_max) = extent(all.iter().map(|p| p.1));
+        let x_span = (x_max - x_min).max(1e-12);
+        let y_span = (y_max - y_min).max(1e-12);
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x - x_min) / x_span * plot_w;
+        let sy = |y: f64| MARGIN_T + plot_h - (y - y_min) / y_span * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="22" text-anchor="middle" font-size="15">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        );
+        // Axes.
+        let _ = write!(
+            svg,
+            r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            MARGIN_T + plot_h,
+            MARGIN_L + plot_w,
+            MARGIN_T + plot_h
+        );
+        let _ = write!(
+            svg,
+            r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+            MARGIN_T + plot_h
+        );
+        // Ticks: 5 per axis.
+        for i in 0..=4 {
+            let fx = x_min + x_span * i as f64 / 4.0;
+            let fy = y_min + y_span * i as f64 / 4.0;
+            let label_y = if self.log_y {
+                format!("{:.3}", 10f64.powf(fy))
+            } else {
+                format!("{fy:.3}")
+            };
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="middle">{:.1}</text>"#,
+                sx(fx),
+                MARGIN_T + plot_h + 18.0,
+                fx
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="end">{}</text>"#,
+                MARGIN_L - 6.0,
+                sy(fy) + 4.0,
+                label_y
+            );
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{0}" x2="{1}" y2="{0}" stroke="#dddddd"/>"##,
+                sy(fy),
+                MARGIN_L + plot_w
+            );
+        }
+        // Axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+        // Series.
+        for (i, pts) in &points {
+            if pts.is_empty() {
+                continue;
+            }
+            let colour = COLOURS[i % COLOURS.len()];
+            let path: Vec<String> = pts
+                .iter()
+                .map(|&(x, y)| format!("{:.2},{:.2}", sx(x), sy(y)))
+                .collect();
+            let _ = write!(
+                svg,
+                r#"<polyline fill="none" stroke="{colour}" stroke-width="1.5" points="{}"/>"#,
+                path.join(" ")
+            );
+        }
+        // Legend.
+        for (i, (name, _)) in self.series.iter().enumerate() {
+            let colour = COLOURS[i % COLOURS.len()];
+            let y = MARGIN_T + 8.0 + i as f64 * 16.0;
+            let _ = write!(
+                svg,
+                r#"<line x1="{0}" y1="{y}" x2="{1}" y2="{y}" stroke="{colour}" stroke-width="2"/>"#,
+                MARGIN_L + plot_w - 130.0,
+                MARGIN_L + plot_w - 110.0
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{}">{}</text>"#,
+                MARGIN_L + plot_w - 104.0,
+                y + 4.0,
+                escape(name)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Renders and writes the chart to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ResultsError> {
+        std::fs::write(path, self.render_svg())?;
+        Ok(())
+    }
+}
+
+fn extent(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut min = f64::MAX;
+    let mut max = f64::MIN;
+    let mut any = false;
+    for v in values {
+        any = true;
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if any {
+        (min, max)
+    } else {
+        (0.0, 1.0)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let mut chart = LineChart::new("t", "x", "y");
+        chart.add_series("a", vec![(0.0, 1.0), (1.0, 2.0)]);
+        chart.add_series("b", vec![(0.0, 2.0), (1.0, 1.0)]);
+        let svg = chart.render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn empty_chart_still_renders() {
+        let chart = LineChart::new("empty", "x", "y");
+        let svg = chart.render_svg();
+        assert!(svg.contains("empty"));
+        assert_eq!(svg.matches("<polyline").count(), 0);
+    }
+
+    #[test]
+    fn log_axis_drops_nonpositive_points() {
+        let mut chart = LineChart::new("log", "x", "y");
+        chart.log_y();
+        chart.add_series("a", vec![(0.0, 0.0), (1.0, 10.0), (2.0, 100.0)]);
+        let svg = chart.render_svg();
+        // The polyline must contain exactly 2 coordinate pairs.
+        let points_attr = svg
+            .split("points=\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .unwrap();
+        assert_eq!(points_attr.split(' ').count(), 2);
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let chart = LineChart::new("a < b & c", "x", "y");
+        let svg = chart.render_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn coordinates_are_inside_canvas() {
+        let mut chart = LineChart::new("bounds", "x", "y");
+        chart.add_series("a", vec![(-50.0, -3.0), (1000.0, 900.0)]);
+        let svg = chart.render_svg();
+        let points_attr = svg
+            .split("points=\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .unwrap();
+        for pair in points_attr.split(' ') {
+            let (x, y) = pair.split_once(',').unwrap();
+            let x: f64 = x.parse().unwrap();
+            let y: f64 = y.parse().unwrap();
+            assert!((0.0..=WIDTH).contains(&x));
+            assert!((0.0..=HEIGHT).contains(&y));
+        }
+    }
+}

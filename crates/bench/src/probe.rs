@@ -1,0 +1,81 @@
+//! A probe wrapper capturing Megh's internal growth for Figure 7.
+
+use megh_core::MeghAgent;
+use megh_sim::{DataCenterView, MigrationRequest, Scheduler, StepFeedback};
+
+/// Wraps a [`MeghAgent`] and records its Q-table size after every
+/// decision — the series Figure 7 plots against time.
+#[derive(Debug, Clone)]
+pub struct MeghProbe {
+    agent: MeghAgent,
+    qtable_nnz_series: Vec<usize>,
+    theta_nnz_series: Vec<usize>,
+}
+
+impl MeghProbe {
+    /// Wraps an agent.
+    pub fn new(agent: MeghAgent) -> Self {
+        Self {
+            agent,
+            qtable_nnz_series: Vec::new(),
+            theta_nnz_series: Vec::new(),
+        }
+    }
+
+    /// Per-step explicit non-zeros of the learned operator.
+    pub fn qtable_nnz_series(&self) -> &[usize] {
+        &self.qtable_nnz_series
+    }
+
+    /// Per-step non-zeros of θ.
+    pub fn theta_nnz_series(&self) -> &[usize] {
+        &self.theta_nnz_series
+    }
+
+    /// The wrapped agent.
+    pub fn agent(&self) -> &MeghAgent {
+        &self.agent
+    }
+
+    /// Unwraps the agent.
+    pub fn into_agent(self) -> MeghAgent {
+        self.agent
+    }
+}
+
+impl Scheduler for MeghProbe {
+    fn name(&self) -> &str {
+        "Megh"
+    }
+
+    fn decide(&mut self, view: &DataCenterView) -> Vec<MigrationRequest> {
+        let requests = self.agent.decide(view);
+        self.qtable_nnz_series.push(self.agent.qtable_nnz());
+        self.theta_nnz_series.push(self.agent.theta_nnz());
+        requests
+    }
+
+    fn observe(&mut self, feedback: &StepFeedback) {
+        self.agent.observe(feedback);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megh_core::MeghConfig;
+    use megh_sim::{DataCenterConfig, Simulation};
+    use megh_trace::PlanetLabConfig;
+
+    #[test]
+    fn probe_records_monotone_growth() {
+        let trace = PlanetLabConfig::new(8, 1).generate_steps(50);
+        let sim = Simulation::new(DataCenterConfig::paper_planetlab(4, 8), trace).unwrap();
+        let mut probe = MeghProbe::new(MeghAgent::new(MeghConfig::paper_defaults(8, 4)));
+        sim.run(&mut probe);
+        let series = probe.qtable_nnz_series();
+        assert_eq!(series.len(), 50);
+        assert!(series.windows(2).all(|w| w[0] <= w[1]), "nnz must grow");
+        assert!(*series.last().unwrap() > 0);
+    }
+}

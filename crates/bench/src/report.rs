@@ -1,0 +1,200 @@
+//! Result formatting and persistence.
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use megh_sim::SummaryReport;
+
+/// Error writing experiment results.
+#[derive(Debug)]
+pub enum ResultsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON serialisation failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for ResultsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResultsError {}
+
+impl From<std::io::Error> for ResultsError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ResultsError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Json(e)
+    }
+}
+
+/// Creates (if needed) and returns the `results/` directory.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn ensure_results_dir() -> Result<PathBuf, ResultsError> {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Formats summary reports as the paper's table layout: one metric per
+/// row, one scheduler per column.
+pub fn format_table(title: &str, reports: &[SummaryReport]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let headers: Vec<String> = reports.iter().map(|r| r.scheduler.clone()).collect();
+    let rows: Vec<(&str, Vec<String>)> = vec![
+        (
+            "Total cost (USD)",
+            reports.iter().map(|r| format!("{:.1}", r.total_cost_usd)).collect(),
+        ),
+        (
+            "  energy (USD)",
+            reports.iter().map(|r| format!("{:.1}", r.energy_cost_usd)).collect(),
+        ),
+        (
+            "  SLA (USD)",
+            reports.iter().map(|r| format!("{:.1}", r.sla_cost_usd)).collect(),
+        ),
+        (
+            "#VM migrations",
+            reports.iter().map(|r| r.total_migrations.to_string()).collect(),
+        ),
+        (
+            "#Active hosts (mean)",
+            reports.iter().map(|r| format!("{:.1}", r.mean_active_hosts)).collect(),
+        ),
+        (
+            "Execution time (ms)",
+            reports.iter().map(|r| format!("{:.3}", r.mean_decision_ms)).collect(),
+        ),
+    ];
+    let metric_width = rows.iter().map(|(m, _)| m.len()).max().unwrap_or(0).max(8);
+    let col_widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|(_, cells)| cells[i].len())
+                .max()
+                .unwrap_or(0)
+                .max(h.len())
+        })
+        .collect();
+    out.push_str(&format!("{:width$}", "", width = metric_width));
+    for (h, w) in headers.iter().zip(&col_widths) {
+        out.push_str(&format!("  {h:>w$}"));
+    }
+    out.push('\n');
+    for (metric, cells) in rows {
+        out.push_str(&format!("{metric:metric_width$}"));
+        for (cell, w) in cells.iter().zip(&col_widths) {
+            out.push_str(&format!("  {cell:>w$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a CSV file with a header row and numeric rows.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    headers: &[&str],
+    rows: impl IntoIterator<Item = Vec<f64>>,
+) -> Result<(), ResultsError> {
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(f, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes any serialisable value as pretty JSON.
+///
+/// # Errors
+///
+/// Returns I/O or serialisation errors.
+pub fn write_json<T: serde::Serialize>(
+    path: impl AsRef<Path>,
+    value: &T,
+) -> Result<(), ResultsError> {
+    let json = serde_json::to_string_pretty(value)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(name: &str, cost: f64) -> SummaryReport {
+        SummaryReport {
+            scheduler: name.to_string(),
+            steps: 10,
+            total_cost_usd: cost,
+            energy_cost_usd: cost * 0.8,
+            sla_cost_usd: cost * 0.2,
+            total_migrations: 42,
+            mean_active_hosts: 3.5,
+            mean_decision_ms: 0.12,
+            max_decision_ms: 0.3,
+        }
+    }
+
+    #[test]
+    fn table_contains_all_schedulers_and_metrics() {
+        let t = format_table("Table X", &[report("THR-MMT", 100.0), report("Megh", 88.0)]);
+        assert!(t.contains("Table X"));
+        assert!(t.contains("THR-MMT"));
+        assert!(t.contains("Megh"));
+        assert!(t.contains("Total cost"));
+        assert!(t.contains("#VM migrations"));
+        assert!(t.contains("Execution time"));
+        assert!(t.contains("100.0"));
+        assert!(t.contains("88.0"));
+    }
+
+    #[test]
+    fn csv_roundtrip_layout() {
+        let dir = std::env::temp_dir().join(format!("megh-bench-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.csv");
+        write_csv(&path, &["a", "b"], vec![vec![1.0, 2.0], vec![3.5, 4.5]]).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 3);
+        assert!(content.starts_with("a,b\n1,2\n"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_writer_produces_valid_json() {
+        let dir = std::env::temp_dir().join(format!("megh-bench-json-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.json");
+        write_json(&path, &report("X", 1.0)).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&content).unwrap();
+        assert_eq!(parsed["scheduler"], "X");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

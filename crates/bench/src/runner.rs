@@ -1,0 +1,166 @@
+//! Scheduler runners shared by the experiment binaries.
+
+use megh_baselines::{MadVmConfig, MadVmScheduler, MmtFlavor, MmtScheduler};
+use megh_core::{MeghAgent, MeghConfig};
+use megh_sim::{
+    DataCenterConfig, Scheduler, SimError, Simulation, SimulationOutcome, StepRecord,
+    SummaryReport,
+};
+use megh_trace::WorkloadTrace;
+
+/// Runs one scheduler over the setup and returns the outcome.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the configuration and trace are
+/// inconsistent.
+pub fn run_scheduler<S: Scheduler>(
+    config: &DataCenterConfig,
+    trace: &WorkloadTrace,
+    scheduler: S,
+) -> Result<SimulationOutcome, SimError> {
+    Ok(Simulation::new(config.clone(), trace.clone())?.run(scheduler))
+}
+
+/// Runs all five MMT flavors (Tables 2–3 columns, left to right).
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the configuration and trace are
+/// inconsistent.
+pub fn run_all_mmt(
+    config: &DataCenterConfig,
+    trace: &WorkloadTrace,
+) -> Result<Vec<SimulationOutcome>, SimError> {
+    MmtFlavor::ALL
+        .iter()
+        .map(|&flavor| run_scheduler(config, trace, MmtScheduler::new(flavor)))
+        .collect()
+}
+
+/// Runs Megh with the paper defaults for the setup's dimensions.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the configuration and trace are
+/// inconsistent.
+pub fn run_megh(
+    config: &DataCenterConfig,
+    trace: &WorkloadTrace,
+    seed: u64,
+) -> Result<SimulationOutcome, SimError> {
+    let mut megh_cfg = MeghConfig::paper_defaults(config.vms.len(), config.pms.len());
+    megh_cfg.seed = seed;
+    run_scheduler(config, trace, MeghAgent::new(megh_cfg))
+}
+
+/// Runs MadVM with its defaults.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the configuration and trace are
+/// inconsistent.
+pub fn run_madvm(
+    config: &DataCenterConfig,
+    trace: &WorkloadTrace,
+) -> Result<SimulationOutcome, SimError> {
+    run_scheduler(config, trace, MadVmScheduler::new(MadVmConfig::default()))
+}
+
+/// Aligned per-step series from several outcomes — the data behind the
+/// four panels of Figures 2–5 (per-step cost, cumulative migrations,
+/// active hosts, execution time).
+#[derive(Debug, Clone)]
+pub struct SeriesBundle {
+    /// Scheduler names, column order of the CSV.
+    pub names: Vec<String>,
+    /// `records[scheduler][step]`.
+    pub records: Vec<Vec<StepRecord>>,
+}
+
+impl SeriesBundle {
+    /// Builds a bundle from outcomes.
+    pub fn new(outcomes: &[&SimulationOutcome]) -> Self {
+        Self {
+            names: outcomes.iter().map(|o| o.scheduler().to_string()).collect(),
+            records: outcomes.iter().map(|o| o.records().to_vec()).collect(),
+        }
+    }
+
+    /// Number of steps in the shortest series.
+    pub fn steps(&self) -> usize {
+        self.records.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// CSV rows: `step, <metric for each scheduler>...` using the
+    /// provided accessor.
+    pub fn rows(&self, metric: impl Fn(&StepRecord) -> f64) -> Vec<Vec<f64>> {
+        (0..self.steps())
+            .map(|t| {
+                let mut row = vec![t as f64];
+                for series in &self.records {
+                    row.push(metric(&series[t]));
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Header row for [`SeriesBundle::rows`] CSVs.
+    pub fn headers(&self) -> Vec<String> {
+        let mut h = vec!["step".to_string()];
+        h.extend(self.names.iter().cloned());
+        h
+    }
+
+    /// Summaries for all schedulers in the bundle.
+    pub fn reports(&self) -> Vec<SummaryReport> {
+        self.names
+            .iter()
+            .zip(&self.records)
+            .map(|(name, records)| SummaryReport::from_records(name, records))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{planetlab_experiment, Scale};
+    use megh_trace::PlanetLabConfig;
+
+    fn tiny_setup() -> (DataCenterConfig, WorkloadTrace) {
+        let (mut config, _) = planetlab_experiment(Scale::Reduced, 1);
+        config.pms.truncate(4);
+        config.vms.truncate(8);
+        let trace = PlanetLabConfig::new(8, 1).generate_steps(20);
+        (config, trace)
+    }
+
+    #[test]
+    fn all_runners_produce_outcomes() {
+        let (config, trace) = tiny_setup();
+        let mmt = run_all_mmt(&config, &trace).unwrap();
+        assert_eq!(mmt.len(), 5);
+        let megh = run_megh(&config, &trace, 7).unwrap();
+        assert_eq!(megh.scheduler(), "Megh");
+        let madvm = run_madvm(&config, &trace).unwrap();
+        assert_eq!(madvm.scheduler(), "MadVM");
+    }
+
+    #[test]
+    fn series_bundle_aligns_columns() {
+        let (config, trace) = tiny_setup();
+        let a = run_megh(&config, &trace, 7).unwrap();
+        let b = run_madvm(&config, &trace).unwrap();
+        let bundle = SeriesBundle::new(&[&a, &b]);
+        assert_eq!(bundle.headers(), vec!["step", "Megh", "MadVM"]);
+        let rows = bundle.rows(|r| r.total_cost_usd);
+        assert_eq!(rows.len(), 20);
+        assert_eq!(rows[0].len(), 3);
+        assert_eq!(rows[5][0], 5.0);
+        let reports = bundle.reports();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].scheduler, "Megh");
+    }
+}

@@ -1,0 +1,127 @@
+//! Standard experimental setups (§6.1–6.2).
+
+use megh_sim::{DataCenterConfig, InitialPlacement};
+use megh_trace::{GoogleConfig, PlanetLabConfig, WorkloadTrace};
+
+/// Experiment scale.
+///
+/// `Full` is the paper's configuration (800 PMs / 1052 VMs / 7 days for
+/// PlanetLab; 500 PMs / 2000 VMs for Google Cluster). `Reduced` keeps
+/// the PM:VM ratio and the full 7-day horizon but shrinks the fleet ~5×
+/// so the whole suite runs in minutes; all qualitative comparisons are
+/// scale-free (costs per step, ratios between schedulers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~1/5 of the paper's fleet.
+    Reduced,
+    /// The paper's exact fleet sizes.
+    Full,
+}
+
+impl Scale {
+    /// PlanetLab fleet: (hosts, vms, days).
+    pub fn planetlab(self) -> (usize, usize, usize) {
+        match self {
+            Scale::Reduced => (160, 210, 7),
+            Scale::Full => (800, 1052, 7),
+        }
+    }
+
+    /// Google Cluster fleet: (hosts, vms, days).
+    pub fn google(self) -> (usize, usize, usize) {
+        match self {
+            Scale::Reduced => (100, 400, 7),
+            Scale::Full => (500, 2000, 7),
+        }
+    }
+}
+
+/// Parses the common `--full` flag from process arguments.
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Reduced
+    }
+}
+
+/// The Table 2 / Figure 2 setup: the PlanetLab-like trace on the §6.2
+/// fleet, demand-packed initial placement (CloudSim's power-aware
+/// initial allocation).
+pub fn planetlab_experiment(scale: Scale, seed: u64) -> (DataCenterConfig, WorkloadTrace) {
+    let (m, n, days) = scale.planetlab();
+    let mut config = DataCenterConfig::paper_planetlab(m, n);
+    config.initial_placement = InitialPlacement::DemandPacked;
+    let trace = PlanetLabConfig::new(n, seed).generate(days);
+    (config, trace)
+}
+
+/// The Table 3 / Figure 3 setup: the Google-Cluster-like trace.
+pub fn google_experiment(scale: Scale, seed: u64) -> (DataCenterConfig, WorkloadTrace) {
+    let (m, n, days) = scale.google();
+    let mut config = DataCenterConfig::paper_google(m, n);
+    config.initial_placement = InitialPlacement::DemandPacked;
+    let trace = GoogleConfig::new(n, seed).generate(days);
+    (config, trace)
+}
+
+/// The Figures 4–5 setup: "two random sets of 150 workloads running on
+/// 100 PMs for 3 days", allocated uniformly at random "such that there
+/// is no initial bias for the learning". `google` selects which trace
+/// family drives the subset.
+pub fn madvm_subset_experiment(google: bool, seed: u64) -> (DataCenterConfig, WorkloadTrace) {
+    let (m, n, days) = (100, 150, 3);
+    let mut config = if google {
+        DataCenterConfig::paper_google(m, n)
+    } else {
+        DataCenterConfig::paper_planetlab(m, n)
+    };
+    config.initial_placement = InitialPlacement::RandomUniform { seed };
+    let trace = if google {
+        GoogleConfig::new(n, seed).generate(days)
+    } else {
+        PlanetLabConfig::new(n, seed).generate(days)
+    };
+    (config, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_match_paper() {
+        assert_eq!(Scale::Full.planetlab(), (800, 1052, 7));
+        assert_eq!(Scale::Full.google(), (500, 2000, 7));
+        let (m, n, d) = Scale::Reduced.planetlab();
+        assert!(m >= 100 && n > m && d == 7);
+    }
+
+    #[test]
+    fn planetlab_setup_is_consistent() {
+        let (config, trace) = planetlab_experiment(Scale::Reduced, 3);
+        assert_eq!(config.vms.len(), trace.n_vms());
+        assert_eq!(trace.n_steps(), 7 * 288);
+        assert_eq!(config.initial_placement, InitialPlacement::DemandPacked);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn google_setup_is_consistent() {
+        let (config, trace) = google_experiment(Scale::Reduced, 3);
+        assert_eq!(config.vms.len(), trace.n_vms());
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn madvm_subset_matches_section_6_3() {
+        let (config, trace) = madvm_subset_experiment(false, 1);
+        assert_eq!(config.pms.len(), 100);
+        assert_eq!(config.vms.len(), 150);
+        assert_eq!(trace.n_steps(), 3 * 288);
+        assert!(matches!(
+            config.initial_placement,
+            InitialPlacement::RandomUniform { .. }
+        ));
+    }
+}

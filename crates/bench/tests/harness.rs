@@ -1,0 +1,105 @@
+//! Integration tests of the experiment harness itself: the plumbing
+//! every table and figure relies on (CSV/JSON writers, the chart
+//! renderer, the probe, the series bundle) must hold together on a
+//! real mini-experiment.
+
+use megh_bench::{
+    format_table, run_all_mmt, run_madvm, run_megh, write_csv, write_json, LineChart,
+    MeghProbe, SeriesBundle,
+};
+use megh_core::{MeghAgent, MeghConfig};
+use megh_sim::{DataCenterConfig, InitialPlacement, Simulation};
+use megh_trace::PlanetLabConfig;
+
+fn mini_setup() -> (DataCenterConfig, megh_trace::WorkloadTrace) {
+    let mut config = DataCenterConfig::paper_planetlab(5, 8);
+    config.initial_placement = InitialPlacement::DemandPacked;
+    let trace = PlanetLabConfig::new(8, 9).generate_steps(30);
+    (config, trace)
+}
+
+#[test]
+fn end_to_end_mini_experiment_produces_all_artifacts() {
+    let (config, trace) = mini_setup();
+    let dir = std::env::temp_dir().join(format!("megh-harness-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Run the table-2 shape: all MMT flavors plus Megh.
+    let mut outcomes = run_all_mmt(&config, &trace).unwrap();
+    outcomes.push(run_megh(&config, &trace, 9).unwrap());
+    let reports: Vec<_> = outcomes.iter().map(|o| o.report()).collect();
+
+    // The printed table carries every scheduler and metric row.
+    let table = format_table("mini", &reports);
+    for name in ["THR-MMT", "IQR-MMT", "MAD-MMT", "LR-MMT", "LRR-MMT", "Megh"] {
+        assert!(table.contains(name), "missing {name}");
+    }
+
+    // Series CSV for the fig-2 shape.
+    let refs: Vec<&megh_sim::SimulationOutcome> = outcomes.iter().collect();
+    let bundle = SeriesBundle::new(&refs);
+    let headers = bundle.headers();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let csv_path = dir.join("series.csv");
+    write_csv(&csv_path, &header_refs, bundle.rows(|r| r.total_cost_usd)).unwrap();
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    assert_eq!(csv.lines().count(), 31, "header + 30 steps");
+
+    // JSON manifest.
+    let json_path = dir.join("reports.json");
+    write_json(&json_path, &reports).unwrap();
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+    assert_eq!(parsed.as_array().unwrap().len(), 6);
+
+    // SVG figure from the same series.
+    let mut chart = LineChart::new("mini", "step", "USD");
+    for (name, records) in bundle.names.iter().zip(&bundle.records) {
+        chart.add_series(
+            name.clone(),
+            records
+                .iter()
+                .map(|r| (r.step as f64, r.total_cost_usd))
+                .collect(),
+        );
+    }
+    let svg_path = dir.join("series.svg");
+    chart.save(&svg_path).unwrap();
+    let svg = std::fs::read_to_string(&svg_path).unwrap();
+    assert!(svg.starts_with("<svg"));
+    assert_eq!(svg.matches("<polyline").count(), 6);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn probe_and_direct_agent_agree() {
+    // Wrapping the agent in the Fig-7 probe must not change behaviour.
+    let (config, trace) = mini_setup();
+    let sim = Simulation::new(config, trace).unwrap();
+    let direct = sim.run(MeghAgent::new(MeghConfig::paper_defaults(8, 5)));
+    let mut probe = MeghProbe::new(MeghAgent::new(MeghConfig::paper_defaults(8, 5)));
+    let probed = sim.run(&mut probe);
+    assert_eq!(direct.final_placement(), probed.final_placement());
+    assert_eq!(
+        direct.report().total_migrations,
+        probed.report().total_migrations
+    );
+    assert_eq!(probe.qtable_nnz_series().len(), 30);
+    assert_eq!(
+        *probe.qtable_nnz_series().last().unwrap(),
+        probe.agent().qtable_nnz()
+    );
+}
+
+#[test]
+fn madvm_runner_matches_direct_use() {
+    let (config, trace) = mini_setup();
+    let via_runner = run_madvm(&config, &trace).unwrap();
+    let direct = Simulation::new(config, trace)
+        .unwrap()
+        .run(megh_baselines::MadVmScheduler::new(
+            megh_baselines::MadVmConfig::default(),
+        ));
+    assert_eq!(via_runner.final_placement(), direct.final_placement());
+}

@@ -1,0 +1,455 @@
+//! CLI subcommand implementations.
+
+use megh_baselines::{MadVmConfig, MadVmScheduler, MmtFlavor, MmtScheduler};
+use megh_core::{MeghAgent, MeghConfig, PeriodicMeghAgent};
+use megh_sim::{
+    DataCenterConfig, HostOutage, InitialPlacement, NoOpScheduler, Simulation,
+    SimulationOutcome, SlavMetrics, SummaryReport,
+};
+use megh_trace::{DiurnalConfig, GoogleConfig, PlanetLabConfig, TraceStats, WorkloadTrace};
+
+use crate::args::{Args, ArgsError};
+
+/// Workload families the CLI accepts.
+pub const WORKLOAD_NAMES: [&str; 3] = ["planetlab", "google", "diurnal"];
+
+/// Common simulation parameters parsed from the command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSpec {
+    /// Workload family ("planetlab" or "google").
+    pub workload: String,
+    /// Number of hosts.
+    pub hosts: usize,
+    /// Number of VMs.
+    pub vms: usize,
+    /// Simulated days (288 steps each).
+    pub days: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Scheduled host outages.
+    pub outages: Vec<HostOutage>,
+}
+
+impl SimSpec {
+    /// Extracts the common parameters, with sane small defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] for unparsable or unknown values.
+    pub fn from_args(args: &Args) -> Result<Self, ArgsError> {
+        let workload = args.get_or("workload", "planetlab").to_string();
+        if !WORKLOAD_NAMES.contains(&workload.as_str()) {
+            return Err(ArgsError::Invalid {
+                key: "workload".into(),
+                value: workload,
+                expected: "one of planetlab|google|diurnal",
+            });
+        }
+        // --outage HOST:FROM:UNTIL (repeatable via comma separation).
+        let mut outages = Vec::new();
+        if let Some(spec) = args.get("outage") {
+            for part in spec.split(',') {
+                let fields: Vec<&str> = part.split(':').collect();
+                let parse = |s: &str| -> Result<usize, ArgsError> {
+                    s.parse().map_err(|_| ArgsError::Invalid {
+                        key: "outage".into(),
+                        value: part.to_string(),
+                        expected: "HOST:FROM:UNTIL with integers",
+                    })
+                };
+                if fields.len() != 3 {
+                    return Err(ArgsError::Invalid {
+                        key: "outage".into(),
+                        value: part.to_string(),
+                        expected: "HOST:FROM:UNTIL with integers",
+                    });
+                }
+                outages.push(HostOutage {
+                    host: parse(fields[0])?,
+                    from_step: parse(fields[1])?,
+                    until_step: parse(fields[2])?,
+                });
+            }
+        }
+        Ok(Self {
+            workload,
+            hosts: args.get_parsed_or("hosts", 20, "integer")?,
+            vms: args.get_parsed_or("vms", 40, "integer")?,
+            days: args.get_parsed_or("days", 1, "integer")?,
+            seed: args.get_parsed_or("seed", 42, "integer")?,
+            outages,
+        })
+    }
+
+    /// Builds the data-center configuration and trace.
+    pub fn build(&self) -> (DataCenterConfig, WorkloadTrace) {
+        let mut config = if self.workload == "google" {
+            DataCenterConfig::paper_google(self.hosts, self.vms)
+        } else {
+            DataCenterConfig::paper_planetlab(self.hosts, self.vms)
+        };
+        config.initial_placement = InitialPlacement::DemandPacked;
+        config.outages = self.outages.clone();
+        let trace = match self.workload.as_str() {
+            "google" => GoogleConfig::new(self.vms, self.seed).generate(self.days),
+            "diurnal" => DiurnalConfig::new(self.vms, self.seed).generate(self.days),
+            _ => PlanetLabConfig::new(self.vms, self.seed).generate(self.days),
+        };
+        (config, trace)
+    }
+}
+
+/// Instantiates a scheduler by CLI name and runs it.
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for unknown scheduler names.
+pub fn run_named_scheduler(
+    name: &str,
+    config: &DataCenterConfig,
+    trace: &WorkloadTrace,
+    seed: u64,
+) -> Result<SimulationOutcome, ArgsError> {
+    let sim = Simulation::new(config.clone(), trace.clone()).map_err(|e| ArgsError::Invalid {
+        key: "setup".into(),
+        value: e.to_string(),
+        expected: "consistent configuration",
+    })?;
+    let outcome = match name {
+        "megh" => {
+            let mut cfg = MeghConfig::paper_defaults(config.vms.len(), config.pms.len());
+            cfg.seed = seed;
+            sim.run(MeghAgent::new(cfg))
+        }
+        "thr-mmt" => sim.run(MmtScheduler::new(MmtFlavor::Thr)),
+        "iqr-mmt" => sim.run(MmtScheduler::new(MmtFlavor::Iqr)),
+        "mad-mmt" => sim.run(MmtScheduler::new(MmtFlavor::Mad)),
+        "lr-mmt" => sim.run(MmtScheduler::new(MmtFlavor::Lr)),
+        "lrr-mmt" => sim.run(MmtScheduler::new(MmtFlavor::Lrr)),
+        "madvm" => sim.run(MadVmScheduler::new(MadVmConfig::default())),
+        "noop" => sim.run(NoOpScheduler),
+        other => {
+            // megh-p<N>: the periodicity-aware variant.
+            if let Some(phases) = other
+                .strip_prefix("megh-p")
+                .and_then(|p| p.parse::<usize>().ok())
+                .filter(|&p| p > 0)
+            {
+                let mut cfg = MeghConfig::paper_defaults(config.vms.len(), config.pms.len());
+                cfg.seed = seed;
+                sim.run(PeriodicMeghAgent::new(cfg, phases))
+            } else {
+                return Err(ArgsError::Invalid {
+                    key: "scheduler".into(),
+                    value: other.to_string(),
+                    expected:
+                        "one of megh|megh-p<N>|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|noop|all",
+                });
+            }
+        }
+    };
+    Ok(outcome)
+}
+
+/// `megh simulate`: one scheduler, one workload, summary to stdout.
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for bad arguments.
+pub fn cmd_simulate(args: &Args) -> Result<String, ArgsError> {
+    let spec = SimSpec::from_args(args)?;
+    let scheduler = args.get_or("scheduler", "megh").to_string();
+    let (config, trace) = spec.build();
+    let mut out = String::new();
+    let names: Vec<&str> = if scheduler == "all" {
+        vec!["noop", "thr-mmt", "iqr-mmt", "mad-mmt", "lr-mmt", "lrr-mmt", "madvm", "megh"]
+    } else {
+        vec![scheduler.as_str()]
+    };
+    let mut reports = Vec::new();
+    for name in names {
+        let outcome = run_named_scheduler(name, &config, &trace, spec.seed)?;
+        out.push_str(&render_summary(&outcome.report()));
+        if args.has_flag("slav") {
+            let m = SlavMetrics::from_run(&outcome);
+            out.push_str(&format!(
+                "  SLATAH {:.4}  PDM {:.6}  SLAV {:.8}  ESV {:.6}\n",
+                m.slatah, m.pdm, m.slav, m.esv
+            ));
+        }
+        reports.push(outcome.report());
+    }
+    if let Some(path) = args.get("out") {
+        // One JSON document covering every scheduler that ran.
+        let json = serde_json::to_string_pretty(&reports).map_err(|_| ArgsError::Invalid {
+            key: "out".into(),
+            value: path.to_string(),
+            expected: "writable path",
+        })?;
+        std::fs::write(path, json).map_err(|_| ArgsError::Invalid {
+            key: "out".into(),
+            value: path.to_string(),
+            expected: "writable path",
+        })?;
+    }
+    Ok(out)
+}
+
+/// `megh compare`: all schedulers side by side.
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for bad arguments.
+pub fn cmd_compare(args: &Args) -> Result<String, ArgsError> {
+    let spec = SimSpec::from_args(args)?;
+    let (config, trace) = spec.build();
+    let mut rows = Vec::new();
+    for name in ["thr-mmt", "iqr-mmt", "mad-mmt", "lr-mmt", "lrr-mmt", "madvm", "megh"] {
+        rows.push(run_named_scheduler(name, &config, &trace, spec.seed)?.report());
+    }
+    let mut out = format!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10}\n",
+        "scheduler", "total USD", "energy USD", "SLA USD", "#migrations", "active", "exec ms"
+    );
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<10} {:>12.2} {:>12.2} {:>12.2} {:>12} {:>12.1} {:>10.3}\n",
+            r.scheduler,
+            r.total_cost_usd,
+            r.energy_cost_usd,
+            r.sla_cost_usd,
+            r.total_migrations,
+            r.mean_active_hosts,
+            r.mean_decision_ms
+        ));
+    }
+    Ok(out)
+}
+
+/// `megh trace-gen`: write a synthetic trace to CSV.
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for bad arguments or an unwritable output.
+pub fn cmd_trace_gen(args: &Args) -> Result<String, ArgsError> {
+    let spec = SimSpec::from_args(args)?;
+    let out = args.get("out").ok_or(ArgsError::Missing("out"))?;
+    let (_, trace) = spec.build();
+    megh_trace::save_csv(&trace, out).map_err(|e| ArgsError::Invalid {
+        key: "out".into(),
+        value: format!("{out}: {e}"),
+        expected: "writable path",
+    })?;
+    Ok(format!(
+        "wrote {} ({} VMs × {} steps, {} workload)\n",
+        out,
+        trace.n_vms(),
+        trace.n_steps(),
+        spec.workload
+    ))
+}
+
+/// `megh trace-stats`: summarize a trace CSV.
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for a missing or unreadable file.
+pub fn cmd_trace_stats(args: &Args) -> Result<String, ArgsError> {
+    let file = args.get("file").ok_or(ArgsError::Missing("file"))?;
+    let trace = megh_trace::load_csv(file).map_err(|e| ArgsError::Invalid {
+        key: "file".into(),
+        value: format!("{file}: {e}"),
+        expected: "readable trace csv",
+    })?;
+    let stats = TraceStats::compute(&trace);
+    Ok(format!(
+        "{}: {} VMs × {} steps @ {}s\n  mean {:.2} %  std {:.2} %  range [{:.2}, {:.2}] %\n",
+        file,
+        trace.n_vms(),
+        trace.n_steps(),
+        trace.step_seconds(),
+        stats.overall_mean,
+        stats.overall_std,
+        stats.overall_min,
+        stats.overall_max
+    ))
+}
+
+fn render_summary(r: &SummaryReport) -> String {
+    format!(
+        "{}: total {:.2} USD (energy {:.2}, SLA {:.2}), {} migrations, \
+         {:.1} active hosts, {:.3} ms/decision over {} steps\n",
+        r.scheduler,
+        r.total_cost_usd,
+        r.energy_cost_usd,
+        r.sla_cost_usd,
+        r.total_migrations,
+        r.mean_active_hosts,
+        r.mean_decision_ms,
+        r.steps
+    )
+}
+
+/// The help text.
+pub fn help() -> String {
+    "megh — live-migration scheduling simulator (Basu et al., ICDCS 2017 reproduction)
+
+USAGE:
+  megh <command> [options]
+
+COMMANDS:
+  simulate     run one scheduler over a synthetic workload
+  compare      run every scheduler over the same workload
+  trace-gen    write a synthetic workload trace to CSV
+  trace-stats  summarize a trace CSV
+  help         show this message
+
+COMMON OPTIONS:
+  --workload planetlab|google|diurnal  workload family [planetlab]
+  --hosts N                     number of hosts        [20]
+  --vms N                       number of VMs          [40]
+  --days N                      simulated days         [1]
+  --seed N                      RNG seed               [42]
+  --outage H:FROM:UNTIL[,..]    schedule host outages  [none]
+
+simulate:
+  --scheduler megh|megh-p<N>|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|noop|all [megh]
+  --slav                        also print SLATAH/PDM/SLAV/ESV
+  --out FILE                    write the summary as JSON
+
+trace-gen:
+  --out FILE                    destination CSV (required)
+
+trace-stats:
+  --file FILE                   trace CSV to summarize (required)
+"
+    .to_string()
+}
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for unknown commands or bad arguments.
+pub fn dispatch(args: &Args) -> Result<String, ArgsError> {
+    match args.command.as_deref() {
+        Some("simulate") => cmd_simulate(args),
+        Some("compare") => cmd_compare(args),
+        Some("trace-gen") => cmd_trace_gen(args),
+        Some("trace-stats") => cmd_trace_stats(args),
+        Some("help") | None => Ok(help()),
+        Some(other) => Err(ArgsError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn simulate_runs_megh_by_default() {
+        let out = dispatch(&parse("simulate --hosts 4 --vms 6 --days 1")).unwrap();
+        assert!(out.contains("Megh:"), "{out}");
+        assert!(out.contains("total"));
+    }
+
+    #[test]
+    fn simulate_with_slav_prints_metrics() {
+        let out =
+            dispatch(&parse("simulate --hosts 3 --vms 4 --days 1 --scheduler noop --slav"))
+                .unwrap();
+        assert!(out.contains("SLATAH"));
+    }
+
+    #[test]
+    fn compare_lists_all_schedulers() {
+        let out = dispatch(&parse("compare --hosts 4 --vms 6 --days 1")).unwrap();
+        for name in ["THR-MMT", "IQR-MMT", "MAD-MMT", "LR-MMT", "LRR-MMT", "MadVM", "Megh"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn trace_gen_and_stats_roundtrip() {
+        let path = std::env::temp_dir().join(format!("megh-cli-{}.csv", std::process::id()));
+        let line = format!("trace-gen --vms 3 --days 1 --out {}", path.display());
+        let out = dispatch(&parse(&line)).unwrap();
+        assert!(out.contains("wrote"));
+        let line = format!("trace-stats --file {}", path.display());
+        let out = dispatch(&parse(&line)).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("3 VMs"));
+        assert!(out.contains("mean"));
+    }
+
+    #[test]
+    fn unknown_command_and_scheduler_error() {
+        assert!(matches!(
+            dispatch(&parse("frobnicate")),
+            Err(ArgsError::UnknownCommand(_))
+        ));
+        assert!(dispatch(&parse("simulate --scheduler bogus --hosts 2 --vms 2")).is_err());
+        assert!(dispatch(&parse("simulate --workload mars")).is_err());
+    }
+
+    #[test]
+    fn missing_required_options_error() {
+        assert_eq!(dispatch(&parse("trace-gen")), Err(ArgsError::Missing("out")));
+        assert_eq!(dispatch(&parse("trace-stats")), Err(ArgsError::Missing("file")));
+    }
+
+    #[test]
+    fn help_is_returned_for_empty_invocation() {
+        let out = dispatch(&parse("")).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(dispatch(&parse("help")).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn simulate_all_writes_every_report_to_out() {
+        let path = std::env::temp_dir().join(format!("megh-cli-all-{}.json", std::process::id()));
+        let line = format!(
+            "simulate --hosts 3 --vms 4 --days 1 --scheduler all --out {}",
+            path.display()
+        );
+        dispatch(&parse(&line)).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let reports: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = reports.as_array().expect("an array of reports");
+        assert_eq!(arr.len(), 8, "all eight schedulers must be in the file");
+    }
+
+    #[test]
+    fn periodic_scheduler_and_diurnal_workload() {
+        let out = dispatch(&parse(
+            "simulate --workload diurnal --hosts 4 --vms 6 --days 1 --scheduler megh-p4",
+        ))
+        .unwrap();
+        assert!(out.contains("Megh-P:"), "{out}");
+    }
+
+    #[test]
+    fn outage_option_parses_and_rejects_garbage() {
+        let out = dispatch(&parse(
+            "simulate --hosts 4 --vms 6 --days 1 --scheduler noop --outage 0:2:5",
+        ))
+        .unwrap();
+        assert!(out.contains("NoOp"));
+        assert!(dispatch(&parse("simulate --outage nonsense")).is_err());
+        assert!(dispatch(&parse("simulate --outage 1:2")).is_err());
+    }
+
+    #[test]
+    fn google_workload_is_selectable() {
+        let out = dispatch(&parse(
+            "simulate --workload google --hosts 3 --vms 5 --days 1 --scheduler thr-mmt",
+        ))
+        .unwrap();
+        assert!(out.contains("THR-MMT"));
+    }
+}

@@ -1,0 +1,23 @@
+//! `megh` — the command-line front end of the Megh reproduction.
+//!
+//! See `megh help` for usage; the heavy lifting lives in the library
+//! crates (`megh-sim`, `megh-core`, `megh-baselines`, `megh-trace`).
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = args::Args::parse(std::env::args().skip(1));
+    match commands::dispatch(&parsed) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The projected action space: one basis vector per `(VM, host)` pair.
+
+use megh_linalg::SparseVec;
+use megh_sim::{PmId, VmId};
+use serde::{Deserialize, Serialize};
+
+/// A Megh action: "migrate VM `vm` to host `target`".
+///
+/// An action whose target equals the VM's current host is a *no-op* —
+/// the policy's way of saying "keep everything where it is". The MDP
+/// treats it as any other action; the simulator simply applies no
+/// migration for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Action {
+    /// The VM the action moves.
+    pub vm: VmId,
+    /// The destination host.
+    pub target: PmId,
+}
+
+/// The `d = N × M` dimensional projected space of §5.
+///
+/// Action `(j, k)` has flat index `j·M + k`; its basis vector `φ_{jk}` is
+/// the indicator of that index (Theorem 1's sparse basis).
+///
+/// # Examples
+///
+/// ```
+/// use megh_core::ActionSpace;
+/// use megh_sim::{PmId, VmId};
+///
+/// let space = ActionSpace::new(3, 4); // 3 VMs, 4 hosts
+/// assert_eq!(space.dim(), 12);
+/// let a = space.index(VmId(2), PmId(1));
+/// assert_eq!(a, 9);
+/// let action = space.decode(a);
+/// assert_eq!(action.vm, VmId(2));
+/// assert_eq!(action.target, PmId(1));
+/// assert_eq!(space.basis(a).nnz(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionSpace {
+    n_vms: usize,
+    n_hosts: usize,
+}
+
+impl ActionSpace {
+    /// Creates the action space for `n_vms` VMs on `n_hosts` hosts.
+    pub fn new(n_vms: usize, n_hosts: usize) -> Self {
+        Self { n_vms, n_hosts }
+    }
+
+    /// Number of VMs `N`.
+    pub fn n_vms(&self) -> usize {
+        self.n_vms
+    }
+
+    /// Number of hosts `M`.
+    pub fn n_hosts(&self) -> usize {
+        self.n_hosts
+    }
+
+    /// The projected dimension `d = N × M`.
+    pub fn dim(&self) -> usize {
+        self.n_vms * self.n_hosts
+    }
+
+    /// Flat index of action `(vm, target)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` or `target` is out of range.
+    pub fn index(&self, vm: VmId, target: PmId) -> usize {
+        assert!(vm.0 < self.n_vms, "vm {} out of range", vm.0);
+        assert!(target.0 < self.n_hosts, "host {} out of range", target.0);
+        vm.0 * self.n_hosts + target.0
+    }
+
+    /// Decodes a flat index back into an [`Action`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim()`.
+    pub fn decode(&self, index: usize) -> Action {
+        assert!(index < self.dim(), "action index {index} out of range");
+        Action {
+            vm: VmId(index / self.n_hosts),
+            target: PmId(index % self.n_hosts),
+        }
+    }
+
+    /// The basis vector `φ_a` for a flat action index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim()`.
+    pub fn basis(&self, index: usize) -> SparseVec {
+        SparseVec::basis(self.dim(), index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_decode_roundtrip() {
+        let space = ActionSpace::new(5, 7);
+        for j in 0..5 {
+            for k in 0..7 {
+                let idx = space.index(VmId(j), PmId(k));
+                let back = space.decode(idx);
+                assert_eq!(back.vm, VmId(j));
+                assert_eq!(back.target, PmId(k));
+            }
+        }
+    }
+
+    #[test]
+    fn indices_are_unique_and_dense() {
+        let space = ActionSpace::new(4, 3);
+        let mut seen = std::collections::BTreeSet::new();
+        for j in 0..4 {
+            for k in 0..3 {
+                seen.insert(space.index(VmId(j), PmId(k)));
+            }
+        }
+        assert_eq!(seen.len(), space.dim());
+        assert_eq!(*seen.iter().next_back().unwrap(), space.dim() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_rejects_out_of_range() {
+        ActionSpace::new(2, 2).decode(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_rejects_bad_vm() {
+        ActionSpace::new(2, 2).index(VmId(2), PmId(0));
+    }
+
+    #[test]
+    fn basis_matches_index() {
+        let space = ActionSpace::new(2, 3);
+        let idx = space.index(VmId(1), PmId(2));
+        let phi = space.basis(idx);
+        assert_eq!(phi.dim(), 6);
+        assert_eq!(phi.get(idx), 1.0);
+        assert_eq!(phi.nnz(), 1);
+    }
+
+    #[test]
+    fn empty_space_has_zero_dim() {
+        assert_eq!(ActionSpace::new(0, 5).dim(), 0);
+        assert_eq!(ActionSpace::new(5, 0).dim(), 0);
+    }
+}

@@ -1,0 +1,314 @@
+//! The sparse LSPI state: `B = T⁻¹`, the cost accumulator `z`, and the
+//! projection vector `θ = B·z`, all maintained incrementally.
+//!
+//! §5.2's complexity management is implemented literally here:
+//!
+//! * `B` is represented as `(1/δ)·I + Δ` where `Δ` is a sparse DOK
+//!   matrix, initially *empty*. Memory starts at `O(1)` explicit storage
+//!   (the paper's `O(d)` counts the implicit diagonal) and grows only as
+//!   actions are explored. [`SparseLspi::explicit_nnz`] — the number of
+//!   stored entries of `Δ` — is the Figure 7 "Q-table non-zeros" metric.
+//! * Each update applies the Sherman–Morrison formula (Eq. 11) with
+//!   `u = φ_{a_t}`, `v = φ_{a_t} − γ·φ_{a_{t+1}}`, touching only the
+//!   occupied rows/columns — `O(#migrations)` work per step.
+//! * `θ` is updated in closed form rather than recomputed: with
+//!   `bu = B·u`, `vb = Bᵀ·v`, `den = 1 + v·bu`,
+//!   `θ' = θ + [ −(vb·z)/den + C·(1 − (vb·u)/den) ]·bu`,
+//!   which follows from `θ' = B'(z + C·u)` and the rank-1 structure.
+
+use megh_linalg::{DokMatrix, SparseVec};
+use serde::{Deserialize, Serialize};
+
+/// Incremental least-squares policy-iteration state over `d` actions.
+///
+/// # Examples
+///
+/// ```
+/// use megh_core::SparseLspi;
+///
+/// let mut lspi = SparseLspi::new(6, 6.0, 0.5);
+/// assert_eq!(lspi.q(3), 0.0);
+/// lspi.update(3, 1, 2.0);
+/// assert!(lspi.q(3) > 0.0); // action 3 now carries observed cost
+/// assert_eq!(lspi.updates(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SparseLspi {
+    dim: usize,
+    inv_delta: f64,
+    gamma: f64,
+    /// Sparse correction: `B = inv_delta·I + delta_b`.
+    delta_b: DokMatrix,
+    z: SparseVec,
+    theta: SparseVec,
+    updates: usize,
+    skipped_singular: usize,
+}
+
+impl SparseLspi {
+    /// Creates the initial state `B₀ = (1/δ)·I`, `z₀ = 0`, `θ₀ = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta <= 0` or `gamma ∉ [0, 1)`.
+    pub fn new(dim: usize, delta: f64, gamma: f64) -> Self {
+        assert!(delta > 0.0, "delta must be positive");
+        assert!((0.0..1.0).contains(&gamma), "gamma must be in [0, 1)");
+        Self {
+            dim,
+            inv_delta: 1.0 / delta,
+            gamma,
+            delta_b: DokMatrix::zeros(dim),
+            z: SparseVec::zeros(dim),
+            theta: SparseVec::zeros(dim),
+            updates: 0,
+            skipped_singular: 0,
+        }
+    }
+
+    /// The projected dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The discount factor γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The approximate action value `Q(s, a) = θᵀ φ_a = θ[a]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action >= dim()`.
+    pub fn q(&self, action: usize) -> f64 {
+        self.theta.get(action)
+    }
+
+    /// Explicit non-zero entries stored in the `Δ` part of `B` — the
+    /// Figure 7 Q-table growth metric.
+    pub fn explicit_nnz(&self) -> usize {
+        self.delta_b.nnz()
+    }
+
+    /// Non-zero entries of `θ` (distinct actions carrying value).
+    pub fn theta_nnz(&self) -> usize {
+        self.theta.nnz()
+    }
+
+    /// Successful Sherman–Morrison updates applied so far.
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Updates skipped because the rank-1 denominator vanished.
+    pub fn skipped_singular(&self) -> usize {
+        self.skipped_singular
+    }
+
+    /// Iterates over the explicit entries of `θ` as `(action, q)` pairs.
+    pub fn theta_entries(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.theta.iter()
+    }
+
+    /// Minimum Q over the whole action space.
+    ///
+    /// Unexplored actions have `Q = 0` exactly, so the minimum is the
+    /// smaller of 0 (when any action is unexplored) and the smallest
+    /// explicit entry.
+    pub fn min_q(&self) -> f64 {
+        let explicit_min = self
+            .theta
+            .iter()
+            .map(|(_, v)| v)
+            .fold(f64::INFINITY, f64::min);
+        if self.theta.nnz() < self.dim {
+            explicit_min.min(0.0)
+        } else if explicit_min.is_finite() {
+            explicit_min
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the action has no explicit `θ` entry (its Q is exactly 0
+    /// because it was never reinforced).
+    pub fn is_unexplored(&self, action: usize) -> bool {
+        self.theta.get(action) == 0.0
+    }
+
+    /// Applies one learning step: the agent took `a_prev`, observed
+    /// per-stage cost `cost`, and its current policy would next take
+    /// `a_next` (the `φ_{π_t(s_{t+1})}` of Eq. 10).
+    ///
+    /// Returns `false` when the Sherman–Morrison denominator vanished
+    /// and the update was skipped (the corresponding `T` update would
+    /// have made it singular — vanishingly rare with γ < 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either action index is out of range.
+    pub fn update(&mut self, a_prev: usize, a_next: usize, cost: f64) -> bool {
+        assert!(a_prev < self.dim, "a_prev out of range");
+        assert!(a_next < self.dim, "a_next out of range");
+        let u = SparseVec::basis(self.dim, a_prev);
+        let v = u.add_scaled(&SparseVec::basis(self.dim, a_next), -self.gamma);
+
+        // bu = B·u = u/δ + Δ·u ; vb = Bᵀ·v = v/δ + Δᵀ·v.
+        let mut bu = self.delta_b.mul_sparse_vec(&u);
+        bu = bu.add_scaled(&u, self.inv_delta);
+        let mut vb = self.delta_b.mul_sparse_vec_left(&v);
+        vb = vb.add_scaled(&v, self.inv_delta);
+
+        let den = 1.0 + v.dot(&bu);
+        if den.abs() < 1e-12 {
+            self.skipped_singular += 1;
+            return false;
+        }
+
+        // θ' = θ + [ −(vb·z)/den + C·(1 − (vb·u)/den) ]·bu.
+        let vb_z = vb.dot(&self.z);
+        let vb_u = vb.dot(&u);
+        let coeff = -(vb_z / den) + cost * (1.0 - vb_u / den);
+        self.theta = self.theta.add_scaled(&bu, coeff);
+
+        // B' = B − bu·vbᵀ/den (the identity part is untouched; the whole
+        // correction accumulates in Δ).
+        self.delta_b.add_outer_product(&bu, &vb, -1.0 / den);
+
+        // z' = z + C·φ_{a_prev}.
+        self.z.add_at(a_prev, cost);
+
+        self.updates += 1;
+        true
+    }
+
+    /// Recomputes `θ = B·z` from scratch (test oracle; `O(nnz)` but not
+    /// incremental).
+    pub fn recompute_theta(&self) -> SparseVec {
+        let mut theta = self.delta_b.mul_sparse_vec(&self.z);
+        theta = theta.add_scaled(&self.z, self.inv_delta);
+        theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_theta_consistent(lspi: &SparseLspi) {
+        let want = lspi.recompute_theta();
+        for a in 0..lspi.dim() {
+            assert!(
+                (lspi.q(a) - want.get(a)).abs() < 1e-9,
+                "theta[{a}] = {} but recompute gives {}",
+                lspi.q(a),
+                want.get(a)
+            );
+        }
+    }
+
+    #[test]
+    fn initial_state_is_zero() {
+        let lspi = SparseLspi::new(10, 10.0, 0.5);
+        assert_eq!(lspi.explicit_nnz(), 0);
+        assert_eq!(lspi.theta_nnz(), 0);
+        assert_eq!(lspi.min_q(), 0.0);
+        for a in 0..10 {
+            assert_eq!(lspi.q(a), 0.0);
+            assert!(lspi.is_unexplored(a));
+        }
+    }
+
+    #[test]
+    fn single_update_raises_q_of_taken_action() {
+        let mut lspi = SparseLspi::new(4, 4.0, 0.5);
+        assert!(lspi.update(2, 0, 3.0));
+        assert!(lspi.q(2) > 0.0, "q(2) = {}", lspi.q(2));
+        assert_theta_consistent(&lspi);
+    }
+
+    #[test]
+    fn incremental_theta_matches_recompute_over_many_updates() {
+        let mut lspi = SparseLspi::new(8, 8.0, 0.5);
+        let steps = [
+            (0usize, 1usize, 2.0),
+            (1, 3, 1.5),
+            (3, 3, 0.7),
+            (2, 0, 4.0),
+            (0, 2, 0.9),
+            (5, 7, 2.2),
+            (7, 5, 1.1),
+            (3, 1, 0.3),
+        ];
+        for &(a, a2, c) in &steps {
+            lspi.update(a, a2, c);
+            assert_theta_consistent(&lspi);
+        }
+        assert_eq!(lspi.updates(), steps.len());
+    }
+
+    #[test]
+    fn qtable_growth_is_bounded_by_updates() {
+        // Each update adds O(1) rows/columns of fill-in: the Fig 7
+        // "linear growth in time" property.
+        let mut lspi = SparseLspi::new(100, 100.0, 0.5);
+        let mut prev_nnz = 0;
+        for t in 0..50 {
+            lspi.update(t % 100, (t * 7 + 3) % 100, 1.0);
+            let nnz = lspi.explicit_nnz();
+            assert!(nnz >= prev_nnz, "nnz must be monotone");
+            prev_nnz = nnz;
+        }
+        // Far below dense d² = 10_000.
+        assert!(prev_nnz < 1000, "nnz = {prev_nnz} — fill-in explosion");
+    }
+
+    #[test]
+    fn min_q_accounts_for_unexplored_zero() {
+        let mut lspi = SparseLspi::new(5, 5.0, 0.5);
+        lspi.update(0, 1, 10.0);
+        // Explored action has positive Q; the other 4 sit at 0.
+        assert_eq!(lspi.min_q(), 0.0);
+        assert!(!lspi.is_unexplored(0));
+        assert!(lspi.is_unexplored(4));
+    }
+
+    #[test]
+    fn repeated_action_accumulates_cost() {
+        let mut lspi = SparseLspi::new(3, 3.0, 0.5);
+        lspi.update(1, 1, 1.0);
+        let q1 = lspi.q(1);
+        lspi.update(1, 1, 1.0);
+        let q2 = lspi.q(1);
+        assert!(q2 > q1, "repeated cost must accumulate: {q1} -> {q2}");
+        assert_theta_consistent(&lspi);
+    }
+
+    #[test]
+    fn gamma_zero_is_pure_averaging() {
+        // With γ = 0 the operator update is T += u·uᵀ — still valid.
+        let mut lspi = SparseLspi::new(3, 3.0, 0.0);
+        assert!(lspi.update(0, 2, 2.0));
+        assert_theta_consistent(&lspi);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_rejects_bad_action() {
+        let mut lspi = SparseLspi::new(3, 3.0, 0.5);
+        lspi.update(3, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn new_rejects_bad_delta() {
+        let _ = SparseLspi::new(3, 0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in")]
+    fn new_rejects_bad_gamma() {
+        let _ = SparseLspi::new(3, 3.0, 1.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Periodicity-aware Megh — the paper's §7 future-work direction.
+//!
+//! "We are currently investigating the opportunity to take advantage of
+//! additional knowledge about the workload, such as periodicity …"
+//!
+//! Cloud workloads are strongly diurnal (our PlanetLab generator
+//! modulates burst onset with a 24-hour cycle, as the real CoMoN data
+//! does). The plain Megh agent learns a single `θ` shared by every time
+//! of day, so a migration that is good at the nightly trough and bad at
+//! the daily peak averages out. [`PeriodicMeghAgent`] conditions the
+//! projection on the *phase of the day*: the basis becomes
+//! `φ_{a,p} = e_{p·d + a}` over `d × P` dimensions (P phases), which
+//! keeps Theorem 1's uniqueness argument intact — it is the same sparse
+//! indicator construction over a larger index set — and every
+//! complexity property of §5.2 (per-step cost proportional to the
+//! number of migrations; the phases never interact in `B`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use megh_sim::{DataCenterView, MigrationRequest, Scheduler, StepFeedback};
+
+use crate::{ActionSpace, BoltzmannPolicy, MeghConfig, SparseLspi};
+
+/// Megh with a phase-of-day-conditioned basis.
+///
+/// # Examples
+///
+/// ```
+/// use megh_core::{MeghConfig, PeriodicMeghAgent};
+///
+/// let agent = PeriodicMeghAgent::new(MeghConfig::paper_defaults(10, 4), 4);
+/// assert_eq!(agent.n_phases(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeriodicMeghAgent {
+    config: MeghConfig,
+    space: ActionSpace,
+    n_phases: usize,
+    steps_per_period: usize,
+    lspi: SparseLspi,
+    policy: BoltzmannPolicy,
+    rng: StdRng,
+    /// Pending `(phase, action)` pairs from the previous step.
+    pending: Vec<(usize, usize)>,
+    last_cost: Option<f64>,
+    steps: usize,
+}
+
+impl PeriodicMeghAgent {
+    /// Creates an agent with `n_phases` equal phases per 24-hour period
+    /// (288 five-minute steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_phases == 0` or the configuration is invalid.
+    pub fn new(config: MeghConfig, n_phases: usize) -> Self {
+        Self::with_period(config, n_phases, 288)
+    }
+
+    /// Creates an agent with an explicit period length in steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_phases == 0`, `steps_per_period == 0`, or the
+    /// configuration is invalid.
+    pub fn with_period(config: MeghConfig, n_phases: usize, steps_per_period: usize) -> Self {
+        assert!(n_phases > 0, "n_phases must be positive");
+        assert!(steps_per_period > 0, "steps_per_period must be positive");
+        if let Err(msg) = config.validate() {
+            panic!("invalid Megh configuration: {msg}");
+        }
+        let space = ActionSpace::new(config.n_vms, config.n_hosts);
+        let dim = space.dim() * n_phases;
+        let lspi = SparseLspi::new(dim, config.delta * n_phases as f64, config.gamma);
+        let policy = BoltzmannPolicy::new(config.temp0, config.epsilon);
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            config,
+            space,
+            n_phases,
+            steps_per_period,
+            lspi,
+            policy,
+            rng,
+            pending: Vec::new(),
+            last_cost: None,
+            steps: 0,
+        }
+    }
+
+    /// Number of phases the day is split into.
+    pub fn n_phases(&self) -> usize {
+        self.n_phases
+    }
+
+    /// The phase index for a step.
+    pub fn phase_of(&self, step: usize) -> usize {
+        (step % self.steps_per_period) * self.n_phases / self.steps_per_period
+    }
+
+    /// Explicit non-zeros of the learned operator.
+    pub fn qtable_nnz(&self) -> usize {
+        self.lspi.explicit_nnz()
+    }
+
+    fn flat(&self, phase: usize, action: usize) -> usize {
+        phase * self.space.dim() + action
+    }
+
+    fn learn_pending(&mut self) {
+        if let Some(cost) = self.last_cost.take() {
+            let pending = std::mem::take(&mut self.pending);
+            for (phase, action) in pending {
+                let a_prev = self.flat(phase, action);
+                let a_next = self.policy.greedy(&self.lspi, &mut self.rng);
+                self.lspi.update(a_prev, a_next, cost);
+            }
+        } else {
+            self.pending.clear();
+        }
+    }
+}
+
+impl Scheduler for PeriodicMeghAgent {
+    fn name(&self) -> &str {
+        "Megh-P"
+    }
+
+    fn decide(&mut self, view: &DataCenterView) -> Vec<MigrationRequest> {
+        assert_eq!(
+            (view.n_vms(), view.n_hosts()),
+            (self.config.n_vms, self.config.n_hosts),
+            "view dimensions do not match the Megh configuration"
+        );
+        if self.space.dim() == 0 {
+            return Vec::new();
+        }
+        self.learn_pending();
+        self.policy.decay();
+        self.steps += 1;
+
+        let phase = self.phase_of(view.step());
+        let d = self.space.dim();
+        let lo = phase * d;
+        let hi = lo + d;
+        let mut requests = Vec::new();
+        let mut chosen = Vec::new();
+        let mut vm_taken = vec![false; self.config.n_vms];
+        for _ in 0..self.config.actions_per_step {
+            // Restrict sampling to the current phase's block.
+            let Some(flat) = self
+                .policy
+                .sample_masked(&self.lspi, &mut self.rng, |a| (lo..hi).contains(&a))
+            else {
+                break;
+            };
+            let action_idx = flat - lo;
+            let action = self.space.decode(action_idx);
+            if vm_taken[action.vm.0] {
+                continue;
+            }
+            vm_taken[action.vm.0] = true;
+            chosen.push((phase, action_idx));
+            if view.host_of(action.vm) != action.target {
+                requests.push(MigrationRequest::new(action.vm, action.target));
+            }
+        }
+        self.pending = chosen;
+        requests
+    }
+
+    fn observe(&mut self, feedback: &StepFeedback) {
+        self.last_cost = Some(feedback.total_cost_usd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megh_sim::{DataCenterConfig, Simulation};
+    use megh_trace::PlanetLabConfig;
+
+    #[test]
+    fn phase_indexing_covers_the_day() {
+        let agent = PeriodicMeghAgent::new(MeghConfig::paper_defaults(4, 2), 4);
+        assert_eq!(agent.phase_of(0), 0);
+        assert_eq!(agent.phase_of(71), 0);
+        assert_eq!(agent.phase_of(72), 1);
+        assert_eq!(agent.phase_of(287), 3);
+        assert_eq!(agent.phase_of(288), 0); // wraps daily
+    }
+
+    #[test]
+    fn custom_period_is_respected() {
+        let agent = PeriodicMeghAgent::with_period(MeghConfig::paper_defaults(4, 2), 2, 10);
+        assert_eq!(agent.phase_of(4), 0);
+        assert_eq!(agent.phase_of(5), 1);
+        assert_eq!(agent.phase_of(10), 0);
+    }
+
+    #[test]
+    fn runs_end_to_end_and_learns_per_phase() {
+        let (hosts, vms) = (4, 8);
+        let trace = PlanetLabConfig::new(vms, 31).generate_steps(120);
+        let config = DataCenterConfig::paper_planetlab(hosts, vms);
+        let sim = Simulation::new(config, trace).unwrap();
+        let mut agent =
+            PeriodicMeghAgent::with_period(MeghConfig::paper_defaults(vms, hosts), 4, 40);
+        let outcome = sim.run(&mut agent);
+        assert_eq!(outcome.records().len(), 120);
+        assert!(agent.qtable_nnz() > 0);
+    }
+
+    #[test]
+    fn is_deterministic_under_seed() {
+        let (hosts, vms) = (3, 6);
+        let trace = PlanetLabConfig::new(vms, 33).generate_steps(60);
+        let config = DataCenterConfig::paper_planetlab(hosts, vms);
+        let sim = Simulation::new(config, trace).unwrap();
+        let mk = || PeriodicMeghAgent::new(MeghConfig::paper_defaults(vms, hosts), 4);
+        let a = sim.run(mk());
+        let b = sim.run(mk());
+        assert_eq!(a.final_placement(), b.final_placement());
+    }
+
+    #[test]
+    #[should_panic(expected = "n_phases must be positive")]
+    fn zero_phases_is_rejected() {
+        let _ = PeriodicMeghAgent::new(MeghConfig::paper_defaults(2, 2), 0);
+    }
+
+    #[test]
+    fn single_phase_matches_plain_megh_structure() {
+        // With one phase the flat index equals the action index; the
+        // agent must behave like a plain Megh (same dimension).
+        let agent = PeriodicMeghAgent::new(MeghConfig::paper_defaults(3, 2), 1);
+        assert_eq!(agent.lspi.dim(), 6);
+    }
+}

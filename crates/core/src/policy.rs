@@ -1,0 +1,290 @@
+//! Boltzmann exploration with decaying temperature (Algorithm 2).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::SparseLspi;
+
+/// The `PolicyCalculator` of Algorithm 2.
+///
+/// Each action `a` receives weight `exp[(−Q(s,a) + min_a Q)/Temp]`; the
+/// temperature decays by `e^{−ε}` every step, so the policy anneals from
+/// near-uniform exploration to greedy selection of the minimum-cost
+/// action. Because all unexplored actions share `Q = 0` exactly, they
+/// form a single "zero class" that is sampled in `O(1)` — the full
+/// distribution over `d = N × M` actions is never materialised, which is
+/// what keeps Megh's decisions at millisecond scale (§5.2, Figures 4(d)
+/// and 5(d)).
+///
+/// # Examples
+///
+/// ```
+/// use megh_core::{BoltzmannPolicy, SparseLspi};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let lspi = SparseLspi::new(10, 10.0, 0.5);
+/// let mut policy = BoltzmannPolicy::new(3.0, 0.01);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let action = policy.sample(&lspi, &mut rng).unwrap();
+/// assert!(action < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoltzmannPolicy {
+    temp: f64,
+    epsilon: f64,
+}
+
+/// Temperature floor: below this the policy is effectively greedy and
+/// further decay would only cause float underflow.
+const MIN_TEMP: f64 = 1e-8;
+
+impl BoltzmannPolicy {
+    /// Creates a policy with initial temperature `temp0` and per-step
+    /// decay exponent `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temp0 <= 0` or `epsilon < 0`.
+    pub fn new(temp0: f64, epsilon: f64) -> Self {
+        assert!(temp0 > 0.0, "temp0 must be positive");
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        Self {
+            temp: temp0,
+            epsilon,
+        }
+    }
+
+    /// Recreates a policy mid-decay (checkpoint restoration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temp <= 0` or `epsilon < 0`.
+    pub fn with_temperature(temp: f64, epsilon: f64) -> Self {
+        Self::new(temp, epsilon)
+    }
+
+    /// Current temperature.
+    pub fn temperature(&self) -> f64 {
+        self.temp
+    }
+
+    /// Applies one decay step: `Temp ← Temp·e^{−ε}` (floored).
+    pub fn decay(&mut self) {
+        self.temp = (self.temp * (-self.epsilon).exp()).max(MIN_TEMP);
+    }
+
+    /// Samples an action from the Boltzmann distribution restricted to
+    /// actions the `allowed` predicate admits, by rejection from the
+    /// full distribution (up to a bounded number of tries). Returns
+    /// `None` when the space is empty or no allowed action was found —
+    /// the caller should treat that as "do nothing this step".
+    pub fn sample_masked<R: Rng>(
+        &self,
+        lspi: &SparseLspi,
+        rng: &mut R,
+        allowed: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        for _ in 0..64 {
+            match self.sample(lspi, rng) {
+                Some(a) if allowed(a) => return Some(a),
+                Some(_) => continue,
+                None => return None,
+            }
+        }
+        None
+    }
+
+    /// Samples an action from the Boltzmann distribution over all `d`
+    /// actions. Returns `None` when the action space is empty.
+    ///
+    /// Weights: explicit `θ` entries get `exp[(−Q + minQ)/Temp]`; the
+    /// `d − nnz(θ)` unexplored actions share the weight `exp[minQ/Temp]`
+    /// and one of them is drawn uniformly when the zero class wins.
+    pub fn sample<R: Rng>(&self, lspi: &SparseLspi, rng: &mut R) -> Option<usize> {
+        let d = lspi.dim();
+        if d == 0 {
+            return None;
+        }
+        let min_q = lspi.min_q();
+        let inv_t = 1.0 / self.temp;
+
+        let explicit: Vec<(usize, f64)> = lspi
+            .theta_entries()
+            .map(|(a, q)| (a, ((-q + min_q) * inv_t).exp()))
+            .collect();
+        let explicit_total: f64 = explicit.iter().map(|&(_, w)| w).sum();
+        let zero_count = d - explicit.len();
+        let zero_weight = (min_q * inv_t).exp();
+        let zero_total = zero_weight * zero_count as f64;
+        let total = explicit_total + zero_total;
+        if !(total.is_finite()) || total <= 0.0 {
+            // Degenerate weights (extreme Q spread at tiny temperature):
+            // fall back to the greedy minimum.
+            return Some(self.greedy(lspi, rng));
+        }
+
+        let mut r = rng.gen_range(0.0..total);
+        for &(a, w) in &explicit {
+            if r < w {
+                return Some(a);
+            }
+            r -= w;
+        }
+        // Zero class: uniform over unexplored actions, found by
+        // rejection sampling (nnz ≪ d in every real configuration).
+        if zero_count > 0 {
+            // When most actions are explored, rejection sampling could
+            // stall; bound the attempts and then scan.
+            for _ in 0..64 {
+                let a = rng.gen_range(0..d);
+                if lspi.is_unexplored(a) {
+                    return Some(a);
+                }
+            }
+            for a in 0..d {
+                if lspi.is_unexplored(a) {
+                    return Some(a);
+                }
+            }
+        }
+        // All actions explored and rounding pushed us past the end.
+        explicit.last().map(|&(a, _)| a)
+    }
+
+    /// The greedy minimum-Q action (ties broken toward unexplored
+    /// actions, drawn uniformly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action space is empty.
+    pub fn greedy<R: Rng>(&self, lspi: &SparseLspi, rng: &mut R) -> usize {
+        let d = lspi.dim();
+        assert!(d > 0, "empty action space");
+        let explicit_min = lspi
+            .theta_entries()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let has_unexplored = lspi.theta_nnz() < d;
+        match explicit_min {
+            Some((a, q)) if q < 0.0 || !has_unexplored => a,
+            _ => {
+                // Zero is the minimum: pick an unexplored action.
+                for _ in 0..64 {
+                    let a = rng.gen_range(0..d);
+                    if lspi.is_unexplored(a) {
+                        return a;
+                    }
+                }
+                (0..d)
+                    .find(|&a| lspi.is_unexplored(a))
+                    .or(explicit_min.map(|(a, _)| a))
+                    .expect("d > 0 guarantees some action exists")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn temperature_decays_exponentially() {
+        let mut p = BoltzmannPolicy::new(3.0, 0.01);
+        p.decay();
+        assert!((p.temperature() - 3.0 * (-0.01f64).exp()).abs() < 1e-12);
+        for _ in 0..100_000 {
+            p.decay();
+        }
+        assert!(p.temperature() >= MIN_TEMP);
+    }
+
+    #[test]
+    fn fresh_state_samples_uniformly() {
+        let lspi = SparseLspi::new(50, 50.0, 0.5);
+        let p = BoltzmannPolicy::new(3.0, 0.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            seen.insert(p.sample(&lspi, &mut rng).unwrap());
+        }
+        // With 300 draws over 50 actions, essentially all get hit.
+        assert!(seen.len() > 40, "only {} distinct actions", seen.len());
+    }
+
+    #[test]
+    fn costly_actions_are_sampled_less() {
+        let mut lspi = SparseLspi::new(4, 4.0, 0.5);
+        // Make action 0 very expensive several times over.
+        for _ in 0..20 {
+            lspi.update(0, 0, 100.0);
+        }
+        assert!(lspi.q(0) > 1.0);
+        let p = BoltzmannPolicy::new(0.5, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut count0 = 0;
+        let n = 2000;
+        for _ in 0..n {
+            if p.sample(&lspi, &mut rng).unwrap() == 0 {
+                count0 += 1;
+            }
+        }
+        // Uniform would give ~500; the expensive action must be rare.
+        assert!(count0 < 100, "expensive action drawn {count0}/{n} times");
+    }
+
+    #[test]
+    fn greedy_prefers_negative_q() {
+        let mut lspi = SparseLspi::new(3, 3.0, 0.5);
+        // Engineer a negative Q by feeding a negative cost.
+        lspi.update(1, 1, -5.0);
+        assert!(lspi.q(1) < 0.0);
+        let p = BoltzmannPolicy::new(1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(p.greedy(&lspi, &mut rng), 1);
+    }
+
+    #[test]
+    fn greedy_picks_unexplored_when_all_costs_positive() {
+        let mut lspi = SparseLspi::new(5, 5.0, 0.5);
+        lspi.update(0, 0, 3.0);
+        let p = BoltzmannPolicy::new(1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let a = p.greedy(&lspi, &mut rng);
+            assert_ne!(a, 0, "greedy must avoid the costly explored action");
+        }
+    }
+
+    #[test]
+    fn empty_space_returns_none() {
+        let lspi = SparseLspi::new(0, 1.0, 0.5);
+        let p = BoltzmannPolicy::new(1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(p.sample(&lspi, &mut rng).is_none());
+    }
+
+    #[test]
+    fn tiny_temperature_is_effectively_greedy() {
+        let mut lspi = SparseLspi::new(3, 3.0, 0.5);
+        lspi.update(0, 0, 10.0);
+        lspi.update(1, 1, 10.0);
+        lspi.update(2, 2, -1.0); // negative cost → negative Q, the minimum
+        let mut p = BoltzmannPolicy::new(3.0, 5.0); // brutal decay
+        for _ in 0..20 {
+            p.decay();
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert_eq!(p.sample(&lspi, &mut rng).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "temp0 must be positive")]
+    fn rejects_nonpositive_temperature() {
+        let _ = BoltzmannPolicy::new(0.0, 0.1);
+    }
+}

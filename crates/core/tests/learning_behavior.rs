@@ -1,0 +1,185 @@
+//! Behavioural tests of Megh's learning in controlled environments:
+//! does reinforcement actually steer the policy away from costly
+//! actions, and do the knobs move behaviour the way §5 says they
+//! should?
+
+use megh_core::{BoltzmannPolicy, MeghAgent, MeghConfig, SparseLspi};
+use megh_sim::{
+    DataCenterConfig, DataCenterView, InitialPlacement, MigrationRequest, Scheduler,
+    Simulation, VmSpec,
+};
+use megh_trace::WorkloadTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A bandit-style check on the LSPI + Boltzmann stack in isolation:
+/// repeatedly punish one action and reward (cheap cost) the others,
+/// then verify the sampling distribution has shifted away from the
+/// punished action at moderate temperature.
+#[test]
+fn reinforcement_shifts_sampling_away_from_costly_actions() {
+    let d = 5;
+    let mut lspi = SparseLspi::new(d, d as f64, 0.5);
+    // Action 0 costs 10, actions 1..5 cost 0.1, visited round-robin.
+    for round in 0..40 {
+        let a = round % d;
+        let cost = if a == 0 { 10.0 } else { 0.1 };
+        lspi.update(a, (a + 1) % d, cost);
+    }
+    let policy = BoltzmannPolicy::new(2.0, 0.0);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut counts = [0usize; 5];
+    let n = 5000;
+    for _ in 0..n {
+        counts[policy.sample(&lspi, &mut rng).unwrap()] += 1;
+    }
+    let cheap_avg = counts[1..].iter().sum::<usize>() as f64 / 4.0;
+    assert!(
+        (counts[0] as f64) < cheap_avg / 2.0,
+        "punished action drawn {} times vs cheap average {cheap_avg}",
+        counts[0]
+    );
+}
+
+/// In a two-host world where host 1 is absurdly overloaded whenever a
+/// VM lands there, Megh's realised per-step costs must teach it to
+/// keep VMs off that host more often than a uniform policy would.
+#[test]
+fn megh_avoids_a_poisoned_host_over_time() {
+    // Host 0 huge (never overloads); host 1 tiny (any VM on it causes
+    // a deficit and SLA pain).
+    let (hosts, vms) = (2, 4);
+    let mut config = DataCenterConfig::paper_planetlab(hosts, vms);
+    config.pms[0].mips = 50_000.0;
+    config.pms[1].mips = 200.0; // poisoned: one VM at 30 % ≈ 1.5× capacity
+    config.vms = vec![VmSpec::new(1000.0, 512.0, 100.0); vms];
+    config.initial_placement = InitialPlacement::Explicit(vec![0; vms]);
+    let steps = 600;
+    let trace = WorkloadTrace::from_rows(300, vec![vec![30.0; steps]; vms]).unwrap();
+    let sim = Simulation::new(config, trace).unwrap();
+
+    /// Counts how many step-intervals any VM spends on host 1.
+    struct Monitor<S> {
+        inner: S,
+        vm_steps_on_poison: usize,
+    }
+    impl<S: Scheduler> Scheduler for Monitor<S> {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn decide(&mut self, view: &DataCenterView) -> Vec<MigrationRequest> {
+            self.vm_steps_on_poison += view.vms_on(megh_sim::PmId(1)).len();
+            self.inner.decide(view)
+        }
+        fn observe(&mut self, feedback: &megh_sim::StepFeedback) {
+            self.inner.observe(feedback)
+        }
+    }
+
+    let mut cfg = MeghConfig::paper_defaults(vms, hosts);
+    cfg.epsilon = 0.005; // keep some exploration while still annealing
+    let mut learner = Monitor { inner: MeghAgent::new(cfg), vm_steps_on_poison: 0 };
+    let learned = sim.run(&mut learner);
+
+    // Control: identical sampling machinery but costs never learned
+    // (observe() dropped) → pure uniform exploration forever.
+    struct Amnesiac(MeghAgent);
+    impl Scheduler for Amnesiac {
+        fn name(&self) -> &str {
+            "Amnesiac"
+        }
+        fn decide(&mut self, view: &DataCenterView) -> Vec<MigrationRequest> {
+            self.0.decide(view)
+        }
+        fn observe(&mut self, _: &megh_sim::StepFeedback) {}
+    }
+    let mut cfg2 = MeghConfig::paper_defaults(vms, hosts);
+    cfg2.epsilon = 0.005;
+    let mut control = Monitor {
+        inner: Amnesiac(MeghAgent::new(cfg2)),
+        vm_steps_on_poison: 0,
+    };
+    let unlearned = sim.run(&mut control);
+
+    assert!(
+        learner.vm_steps_on_poison < control.vm_steps_on_poison,
+        "learning must reduce poisoned-host exposure: {} vs {}",
+        learner.vm_steps_on_poison,
+        control.vm_steps_on_poison
+    );
+    assert!(
+        learned.report().total_cost_usd <= unlearned.report().total_cost_usd,
+        "learned {} vs unlearned {}",
+        learned.report().total_cost_usd,
+        unlearned.report().total_cost_usd
+    );
+}
+
+/// The churn ratchet — a structural property of Algorithm 1 that our
+/// reproduction documents (EXPERIMENTS.md): because per-stage costs are
+/// strictly positive, taking an action *raises* its Q, so even a fully
+/// annealed (greedy) agent cannot settle on one action — the minimum
+/// keeps moving and Megh issues ≈ one decision per step forever. This
+/// is exactly why the paper's Megh reports ~2 309 migrations over
+/// ~2 016 steps (Table 2): migrations ≈ steps, at any temperature.
+#[test]
+fn positive_costs_sustain_one_decision_per_step() {
+    let (hosts, vms) = (5, 8);
+    let config = DataCenterConfig::paper_planetlab(hosts, vms);
+    let steps = 300;
+    let trace = WorkloadTrace::from_rows(300, vec![vec![25.0; steps]; vms]).unwrap();
+    let sim = Simulation::new(config, trace).unwrap();
+
+    let late_migrations = |epsilon: f64| {
+        let mut cfg = MeghConfig::paper_defaults(vms, hosts);
+        cfg.epsilon = epsilon;
+        cfg.temp0 = 3.0;
+        let outcome = sim.run(MeghAgent::new(cfg));
+        outcome.records()[2 * steps / 3..]
+            .iter()
+            .map(|r| r.migrations)
+            .sum::<usize>()
+    };
+    let window = steps - 2 * steps / 3;
+    for epsilon in [0.0, 0.01, 1.0] {
+        let m = late_migrations(epsilon);
+        // Most late steps still carry a migration (an occasional pick
+        // is a self-move); none of the schedules collapses to zero.
+        assert!(
+            m > window / 2,
+            "ε = {epsilon}: only {m} migrations in the last {window} steps"
+        );
+        assert!(m <= window, "ε = {epsilon}: more migrations than steps");
+    }
+}
+
+/// The LSTD closed form for a single self-looping action: after `t`
+/// updates of action 0 with `a_next = 0` and unit cost,
+/// `T₀₀ = δ + t(1−γ)` and `z₀ = t`, so `Q = t / (δ + t(1−γ))`,
+/// approaching the discounted bound `1/(1−γ)` as `t → ∞`.
+#[test]
+fn discount_factor_follows_the_lstd_closed_form() {
+    let q_after = |gamma: f64, t: usize| {
+        let delta = 3.0;
+        let mut lspi = SparseLspi::new(3, delta, gamma);
+        for _ in 0..t {
+            lspi.update(0, 0, 1.0);
+        }
+        let closed_form = t as f64 / (delta + t as f64 * (1.0 - gamma));
+        assert!(
+            (lspi.q(0) - closed_form).abs() < 1e-9,
+            "γ = {gamma}, t = {t}: q = {} vs closed form {closed_form}",
+            lspi.q(0)
+        );
+        lspi.q(0)
+    };
+    // Myopic converges to 1, far-sighted to 10; the far-sighted value
+    // must dominate at every horizon.
+    for &t in &[10usize, 200, 5000] {
+        let myopic = q_after(0.0, t);
+        let farsighted = q_after(0.9, t);
+        assert!(farsighted > myopic);
+    }
+    assert!((q_after(0.0, 5000) - 1.0).abs() < 0.01);
+    assert!((q_after(0.9, 5000) - 10.0).abs() < 0.1);
+}

@@ -1,0 +1,142 @@
+//! Numerical verification of the paper's two theorems on small spaces
+//! where the dense linear algebra is exact.
+//!
+//! * **Theorem 1** (unique projection): for the sparse indicator basis
+//!   `φ_a`, there is exactly one `θ` with `V(s) = θᵀ φ_{π(s)}` — i.e.
+//!   the induced design matrix is invertible. We verify invertibility of
+//!   the learned operator `T` along arbitrary trajectories.
+//! * **Theorem 2** (convergence): the Bellman-style update behind
+//!   Algorithm 1 is a γ-contraction, so value iteration over the
+//!   reduced space converges to a unique fixed point from any start.
+
+use megh_linalg::DenseMatrix;
+use megh_core::SparseLspi;
+
+/// Theorem 1, operational form: the operator `T` that Megh maintains
+/// (identity-initialised, updated along any trajectory of basis pairs)
+/// stays invertible, so `θ = T⁻¹ z` exists and is unique.
+#[test]
+fn theorem1_operator_stays_invertible_along_trajectories() {
+    let d = 8;
+    let gamma = 0.5;
+    // Mirror the updates densely and check invertibility at every step.
+    let mut t = DenseMatrix::zeros(d, d);
+    for i in 0..d {
+        t.set(i, i, d as f64);
+    }
+    let trajectories = [
+        vec![(0usize, 1usize), (1, 2), (2, 3), (3, 4), (4, 0)],
+        vec![(5, 5), (5, 5), (5, 5)],          // repeated self-loop
+        vec![(0, 7), (7, 0), (0, 7), (7, 0)],  // oscillation
+        vec![(6, 6), (6, 1), (1, 6), (6, 2)],
+    ];
+    for trajectory in trajectories {
+        for (a, a_next) in trajectory {
+            // T += φ_a (φ_a − γ φ_{a'})ᵀ  (Eq. 10).
+            t.set(a, a, t.get(a, a) + 1.0);
+            t.set(a, a_next, t.get(a, a_next) - gamma);
+            assert!(
+                t.inverse().is_some(),
+                "operator lost invertibility after ({a}, {a_next})"
+            );
+        }
+    }
+}
+
+/// Theorem 1, sparse form: the incremental inverse that `SparseLspi`
+/// maintains equals the dense inverse applied to the same `z` — the
+/// unique projection θ.
+#[test]
+fn theorem1_sparse_theta_is_the_unique_projection() {
+    let d = 6;
+    let gamma = 0.5;
+    let mut lspi = SparseLspi::new(d, d as f64, gamma);
+    let mut t = DenseMatrix::zeros(d, d);
+    for i in 0..d {
+        t.set(i, i, d as f64);
+    }
+    let mut z = vec![0.0f64; d];
+    let steps = [(0usize, 1usize, 2.0), (1, 4, 0.5), (4, 0, 3.0), (0, 1, 1.0)];
+    for &(a, a_next, cost) in &steps {
+        assert!(lspi.update(a, a_next, cost));
+        t.set(a, a, t.get(a, a) + 1.0);
+        t.set(a, a_next, t.get(a, a_next) - gamma);
+        z[a] += cost;
+        let theta_dense = t.inverse().expect("Theorem 1: invertible").mul_vec(&z);
+        for idx in 0..d {
+            assert!(
+                (lspi.q(idx) - theta_dense[idx]).abs() < 1e-8,
+                "θ[{idx}] = {} differs from the unique projection {}",
+                lspi.q(idx),
+                theta_dense[idx]
+            );
+        }
+    }
+}
+
+/// Theorem 2: the update map `M v(s) = min_{s'} [C(s,s') + γ v(s')]` is
+/// a γ-contraction in the sup norm, hence value iteration converges to
+/// the same fixed point from arbitrary starting value functions.
+#[test]
+fn theorem2_bellman_map_is_a_contraction() {
+    let n_states = 5;
+    let gamma = 0.5;
+    // A fixed, arbitrary cost matrix C(s, s') ≥ 0.
+    let cost = |s: usize, s2: usize| ((s * 7 + s2 * 3) % 11) as f64 / 2.0 + 0.1;
+    let apply = |v: &[f64]| -> Vec<f64> {
+        (0..n_states)
+            .map(|s| {
+                (0..n_states)
+                    .map(|s2| cost(s, s2) + gamma * v[s2])
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    };
+    let sup = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    };
+
+    // Contraction property on random pairs.
+    let v1: Vec<f64> = (0..n_states).map(|i| (i * 13 % 7) as f64).collect();
+    let v2: Vec<f64> = (0..n_states).map(|i| (i * 5 % 9) as f64 - 3.0).collect();
+    let d_before = sup(&v1, &v2);
+    let d_after = sup(&apply(&v1), &apply(&v2));
+    assert!(
+        d_after <= gamma * d_before + 1e-12,
+        "contraction violated: {d_after} > γ·{d_before}"
+    );
+
+    // Unique fixed point from two very different starts.
+    let mut a = vec![100.0; n_states];
+    let mut b = vec![-100.0; n_states];
+    for _ in 0..200 {
+        a = apply(&a);
+        b = apply(&b);
+    }
+    assert!(sup(&a, &b) < 1e-9, "iterates did not meet: {:?} vs {:?}", a, b);
+    // And it is indeed fixed.
+    assert!(sup(&apply(&a), &a) < 1e-9);
+}
+
+/// Theorem 2, corollary exercised by the implementation: Megh's
+/// Q-values stay bounded by the geometric series bound
+/// `max_cost / (1 − γ)` under repeated updates with bounded costs.
+#[test]
+fn q_values_respect_the_discounted_bound() {
+    let d = 4;
+    let gamma = 0.5;
+    let max_cost = 2.0;
+    let mut lspi = SparseLspi::new(d, d as f64, gamma);
+    // Hammer a single action with the maximum cost: its Q must approach
+    // (not exceed) max_cost / (1 − γ) = 4.
+    for _ in 0..500 {
+        lspi.update(1, 1, max_cost);
+    }
+    let bound = max_cost / (1.0 - gamma);
+    assert!(
+        lspi.q(1) <= bound + 1e-6,
+        "Q = {} exceeds the discounted bound {bound}",
+        lspi.q(1)
+    );
+    assert!(lspi.q(1) > 0.9 * bound, "Q = {} far below the bound", lspi.q(1));
+}

@@ -1,0 +1,257 @@
+//! Dense matrices with Gauss–Jordan inversion.
+//!
+//! These are the reference implementations: the paper (§5.2) contrasts the
+//! `O(d³)` Gauss–Jordan inversion a naive LSPI implementation would need
+//! against Megh's incremental Sherman–Morrison update. We keep the dense
+//! path both for that comparison benchmark and to property-test the sparse
+//! path against it.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix.
+///
+/// # Examples
+///
+/// ```
+/// use megh_linalg::DenseMatrix;
+///
+/// let i = DenseMatrix::identity(3);
+/// let inv = i.inverse().unwrap();
+/// assert_eq!(inv.get(1, 1), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self.get(i, j) * v[j]).sum())
+            .collect()
+    }
+
+    /// Inverts the matrix with Gauss–Jordan elimination and partial
+    /// pivoting.
+    ///
+    /// This is the `O(n³)` routine the paper's Eq. (11) avoids at runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when the matrix is not square or is singular to
+    /// working precision.
+    pub fn inverse(&self) -> Option<DenseMatrix> {
+        if self.rows != self.cols {
+            return None;
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = DenseMatrix::identity(n);
+        for col in 0..n {
+            // Partial pivot: pick the largest magnitude entry in the column.
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| {
+                    a.get(r1, col)
+                        .abs()
+                        .partial_cmp(&a.get(r2, col).abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap();
+            let pivot = a.get(pivot_row, col);
+            if pivot.abs() < 1e-12 {
+                return None;
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let (x, y) = (a.get(col, j), a.get(pivot_row, j));
+                    a.set(col, j, y);
+                    a.set(pivot_row, j, x);
+                    let (x, y) = (inv.get(col, j), inv.get(pivot_row, j));
+                    inv.set(col, j, y);
+                    inv.set(pivot_row, j, x);
+                }
+            }
+            let pivot = a.get(col, col);
+            for j in 0..n {
+                a.set(col, j, a.get(col, j) / pivot);
+                inv.set(col, j, inv.get(col, j) / pivot);
+            }
+            for row in 0..n {
+                if row == col {
+                    continue;
+                }
+                let factor = a.get(row, col);
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    a.set(row, j, a.get(row, j) - factor * a.get(col, j));
+                    inv.set(row, j, inv.get(row, j) - factor * inv.get(col, j));
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Maximum absolute entry-wise difference to another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.cols, other.cols, "col mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_inverse_is_identity() {
+        let i = DenseMatrix::identity(4);
+        let inv = i.inverse().unwrap();
+        assert!(i.max_abs_diff(&inv) < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let m = DenseMatrix::from_rows(3, 3, vec![2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]);
+        let inv = m.inverse().unwrap();
+        let prod = m.matmul(&inv);
+        assert!(prod.max_abs_diff(&DenseMatrix::identity(3)) < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let m = DenseMatrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn non_square_has_no_inverse() {
+        let m = DenseMatrix::zeros(2, 3);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let m = DenseMatrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let inv = m.inverse().unwrap();
+        // The permutation matrix is its own inverse.
+        assert!(inv.max_abs_diff(&m) < 1e-12);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = DenseMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::from_rows(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.get(0, 0), 19.0);
+        assert_eq!(c.get(0, 1), 22.0);
+        assert_eq!(c.get(1, 0), 43.0);
+        assert_eq!(c.get(1, 1), 50.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_matmul() {
+        let a = DenseMatrix::from_rows(2, 3, vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0]);
+        let v = vec![2.0, 1.0, 0.5];
+        let got = a.mul_vec(&v);
+        assert_eq!(got, vec![3.0, 1.5]);
+    }
+}

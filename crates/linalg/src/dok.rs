@@ -1,0 +1,319 @@
+//! Dictionary-of-keys sparse matrices with row/column adjacency.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::SparseVec;
+
+/// A square sparse matrix stored as a dictionary of keys.
+///
+/// This is the data structure §5.2 of the paper describes: only non-zero
+/// entries are stored (as `(row, column) → value` triplets), and per-row /
+/// per-column occupancy indexes make the sparse-times-sparse products used
+/// by the Sherman–Morrison update proportional to the number of non-zeros
+/// actually touched rather than to the matrix order.
+///
+/// # Examples
+///
+/// ```
+/// use megh_linalg::{DokMatrix, SparseVec};
+///
+/// let m = DokMatrix::scaled_identity(3, 0.5);
+/// let v = SparseVec::basis(3, 1);
+/// assert_eq!(m.mul_sparse_vec(&v).get(1), 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DokMatrix {
+    order: usize,
+    entries: HashMap<(usize, usize), f64>,
+    /// Column indices with a stored entry, per row.
+    rows: Vec<BTreeSet<usize>>,
+    /// Row indices with a stored entry, per column.
+    cols: Vec<BTreeSet<usize>>,
+}
+
+impl DokMatrix {
+    /// Creates an all-zero square matrix of the given order.
+    pub fn zeros(order: usize) -> Self {
+        Self {
+            order,
+            entries: HashMap::new(),
+            rows: vec![BTreeSet::new(); order],
+            cols: vec![BTreeSet::new(); order],
+        }
+    }
+
+    /// Creates `scale · I`, the paper's initialisation `B₀ = (1/δ) I`.
+    pub fn scaled_identity(order: usize, scale: f64) -> Self {
+        let mut m = Self::zeros(order);
+        if scale != 0.0 {
+            for i in 0..order {
+                m.set(i, i, scale);
+            }
+        }
+        m
+    }
+
+    /// The matrix order (number of rows = number of columns).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// The number of stored non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns the entry at `(row, col)`, 0.0 when not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.order && col < self.order, "index out of range");
+        self.entries.get(&(row, col)).copied().unwrap_or(0.0)
+    }
+
+    /// Sets the entry at `(row, col)`, removing it when `value == 0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.order && col < self.order, "index out of range");
+        if value == 0.0 {
+            if self.entries.remove(&(row, col)).is_some() {
+                self.rows[row].remove(&col);
+                self.cols[col].remove(&row);
+            }
+        } else {
+            self.entries.insert((row, col), value);
+            self.rows[row].insert(col);
+            self.cols[col].insert(row);
+        }
+    }
+
+    /// Adds `delta` to the entry at `(row, col)`.
+    pub fn add_at(&mut self, row: usize, col: usize, delta: f64) {
+        let v = self.get(row, col) + delta;
+        self.set(row, col, v);
+    }
+
+    /// Iterates over all stored `((row, col), value)` triplets.
+    ///
+    /// Iteration order is unspecified.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        self.entries.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Computes `M · v` for a sparse vector `v`.
+    ///
+    /// Cost is proportional to the number of stored entries in the columns
+    /// selected by `v`'s non-zeros, not to the matrix order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.dim() != self.order()`.
+    pub fn mul_sparse_vec(&self, v: &SparseVec) -> SparseVec {
+        assert_eq!(v.dim(), self.order, "dimension mismatch");
+        let mut out = SparseVec::zeros(self.order);
+        for (col, value) in v.iter() {
+            for &row in &self.cols[col] {
+                out.add_at(row, value * self.get(row, col));
+            }
+        }
+        out
+    }
+
+    /// Computes `vᵀ · M` for a sparse vector `v` (returned as a vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.dim() != self.order()`.
+    pub fn mul_sparse_vec_left(&self, v: &SparseVec) -> SparseVec {
+        assert_eq!(v.dim(), self.order, "dimension mismatch");
+        let mut out = SparseVec::zeros(self.order);
+        for (row, value) in v.iter() {
+            for &col in &self.rows[row] {
+                out.add_at(col, value * self.get(row, col));
+            }
+        }
+        out
+    }
+
+    /// Computes `M · v` for a dense vector `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.order()`.
+    pub fn mul_dense_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.order, "dimension mismatch");
+        let mut out = vec![0.0; self.order];
+        for (&(row, col), &value) in &self.entries {
+            out[row] += value * v[col];
+        }
+        out
+    }
+
+    /// Adds the rank-1 outer product `scale · u vᵀ` in place.
+    ///
+    /// Cost is `O(nnz(u) · nnz(v))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions of `u` or `v` differ from the order.
+    pub fn add_outer_product(&mut self, u: &SparseVec, v: &SparseVec, scale: f64) {
+        assert_eq!(u.dim(), self.order, "dimension mismatch for u");
+        assert_eq!(v.dim(), self.order, "dimension mismatch for v");
+        for (i, uv) in u.iter() {
+            for (j, vv) in v.iter() {
+                self.add_at(i, j, scale * uv * vv);
+            }
+        }
+    }
+
+    /// Materialises the matrix into a dense row-major buffer.
+    pub fn to_dense(&self) -> crate::DenseMatrix {
+        let mut d = crate::DenseMatrix::zeros(self.order, self.order);
+        for (&(r, c), &v) in &self.entries {
+            d.set(r, c, v);
+        }
+        d
+    }
+}
+
+/// Serialized form: order plus `(row, col, value)` triplets — JSON (and
+/// most formats) cannot key maps by tuples.
+#[derive(Serialize, Deserialize)]
+struct DokMatrixRepr {
+    order: usize,
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+impl Serialize for DokMatrix {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut triplets: Vec<(usize, usize, f64)> =
+            self.entries.iter().map(|(&(r, c), &v)| (r, c, v)).collect();
+        triplets.sort_by_key(|&(r, c, _)| (r, c));
+        DokMatrixRepr { order: self.order, triplets }.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for DokMatrix {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = DokMatrixRepr::deserialize(deserializer)?;
+        let mut m = DokMatrix::zeros(repr.order);
+        for (r, c, v) in repr.triplets {
+            if r >= repr.order || c >= repr.order {
+                return Err(serde::de::Error::custom(format!(
+                    "triplet ({r}, {c}) outside order {}",
+                    repr.order
+                )));
+            }
+            m.set(r, c, v);
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_roundtrip_preserves_entries() {
+        let mut m = DokMatrix::zeros(4);
+        m.set(0, 3, 1.5);
+        m.set(2, 1, -0.5);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: DokMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.order(), 4);
+        assert_eq!(back.nnz(), 2);
+        assert_eq!(back.get(0, 3), 1.5);
+        assert_eq!(back.get(2, 1), -0.5);
+        // Rebuilt indexes must work for products.
+        let v = SparseVec::basis(4, 3);
+        assert_eq!(back.mul_sparse_vec(&v).get(0), 1.5);
+    }
+
+    #[test]
+    fn serde_rejects_out_of_range_triplets() {
+        let json = r#"{"order":2,"triplets":[[5,0,1.0]]}"#;
+        assert!(serde_json::from_str::<DokMatrix>(json).is_err());
+    }
+
+    #[test]
+    fn scaled_identity_layout() {
+        let m = DokMatrix::scaled_identity(3, 0.25);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 0.25);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn zero_scale_identity_is_empty() {
+        let m = DokMatrix::scaled_identity(3, 0.0);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn set_and_remove_updates_indexes() {
+        let mut m = DokMatrix::zeros(4);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(1, 2), 5.0);
+        m.set(1, 2, 0.0);
+        assert_eq!(m.nnz(), 0);
+        // A sparse product must no longer see the removed entry.
+        let v = SparseVec::basis(4, 2);
+        assert!(m.mul_sparse_vec(&v).is_zero());
+    }
+
+    #[test]
+    fn mul_sparse_vec_matches_dense() {
+        let mut m = DokMatrix::zeros(3);
+        m.set(0, 0, 1.0);
+        m.set(0, 2, 2.0);
+        m.set(2, 1, -1.0);
+        let v = SparseVec::from_pairs(3, [(0, 1.0), (1, 2.0), (2, 3.0)]);
+        let got = m.mul_sparse_vec(&v).to_dense();
+        let want = m.mul_dense_vec(&v.to_dense());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn left_multiply_is_transpose_multiply() {
+        let mut m = DokMatrix::zeros(3);
+        m.set(0, 1, 2.0);
+        m.set(2, 1, 3.0);
+        let v = SparseVec::from_pairs(3, [(0, 1.0), (2, 1.0)]);
+        let left = m.mul_sparse_vec_left(&v);
+        // vᵀM has entry at column 1: 1·2 + 1·3 = 5.
+        assert_eq!(left.get(1), 5.0);
+        assert_eq!(left.nnz(), 1);
+    }
+
+    #[test]
+    fn outer_product_accumulates() {
+        let mut m = DokMatrix::zeros(3);
+        let u = SparseVec::basis(3, 0);
+        let v = SparseVec::from_pairs(3, [(1, 2.0), (2, -1.0)]);
+        m.add_outer_product(&u, &v, 0.5);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(0, 2), -0.5);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn outer_product_cancellation_removes_entries() {
+        let mut m = DokMatrix::zeros(2);
+        let u = SparseVec::basis(2, 0);
+        let v = SparseVec::basis(2, 1);
+        m.add_outer_product(&u, &v, 1.0);
+        m.add_outer_product(&u, &v, -1.0);
+        assert_eq!(m.nnz(), 0);
+    }
+}

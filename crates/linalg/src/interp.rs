@@ -1,0 +1,121 @@
+//! Piecewise-linear interpolation over sorted knot tables.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear function defined by `(x, y)` knots.
+///
+/// The simulator uses this to interpolate the SPECpower tables (Table 1 of
+/// the paper): power is tabulated at 0 %, 10 %, …, 100 % utilization and
+/// interpolated linearly in between, exactly as CloudSim's
+/// `PowerModelSpecPower` does.
+///
+/// # Examples
+///
+/// ```
+/// use megh_linalg::PiecewiseLinear;
+///
+/// let f = PiecewiseLinear::new(vec![(0.0, 86.0), (1.0, 117.0)]).unwrap();
+/// assert_eq!(f.eval(0.5), 101.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinear {
+    knots: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Builds an interpolator from knots.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when fewer than two knots are provided, knots are
+    /// not strictly increasing in `x`, or any coordinate is non-finite.
+    pub fn new(mut knots: Vec<(f64, f64)>) -> Option<Self> {
+        if knots.len() < 2 {
+            return None;
+        }
+        if knots.iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
+            return None;
+        }
+        knots.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        if knots.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return None;
+        }
+        Some(Self { knots })
+    }
+
+    /// Evaluates the function at `x`, clamping outside the knot range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let first = self.knots[0];
+        let last = *self.knots.last().unwrap();
+        if x <= first.0 {
+            return first.1;
+        }
+        if x >= last.0 {
+            return last.1;
+        }
+        // Find the segment containing x.
+        let idx = self
+            .knots
+            .partition_point(|&(kx, _)| kx <= x)
+            .saturating_sub(1);
+        let (x0, y0) = self.knots[idx];
+        let (x1, y1) = self.knots[idx + 1];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// The domain covered by the knots, as `(min_x, max_x)`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.knots[0].0, self.knots.last().unwrap().0)
+    }
+
+    /// The knots defining the function.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_at_knots() {
+        let f = PiecewiseLinear::new(vec![(0.0, 1.0), (0.5, 3.0), (1.0, 2.0)]).unwrap();
+        assert_eq!(f.eval(0.0), 1.0);
+        assert_eq!(f.eval(0.5), 3.0);
+        assert_eq!(f.eval(1.0), 2.0);
+    }
+
+    #[test]
+    fn linear_between_knots() {
+        let f = PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 10.0)]).unwrap();
+        assert!((f.eval(0.3) - 3.0).abs() < 1e-12);
+        assert!((f.eval(0.75) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_outside_domain() {
+        let f = PiecewiseLinear::new(vec![(0.0, 5.0), (1.0, 9.0)]).unwrap();
+        assert_eq!(f.eval(-1.0), 5.0);
+        assert_eq!(f.eval(2.0), 9.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let f = PiecewiseLinear::new(vec![(1.0, 10.0), (0.0, 0.0)]).unwrap();
+        assert!((f.eval(0.5) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(PiecewiseLinear::new(vec![(0.0, 1.0)]).is_none());
+        assert!(PiecewiseLinear::new(vec![(0.0, 1.0), (0.0, 2.0)]).is_none());
+        assert!(PiecewiseLinear::new(vec![(0.0, f64::NAN), (1.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn domain_reports_extent() {
+        let f = PiecewiseLinear::new(vec![(0.0, 1.0), (2.0, 3.0)]).unwrap();
+        assert_eq!(f.domain(), (0.0, 2.0));
+    }
+}

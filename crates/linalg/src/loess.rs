@@ -1,0 +1,218 @@
+//! Loess (locally weighted linear regression) used by the LR-MMT and
+//! LRR-MMT overload detectors.
+//!
+//! Beloglazov & Buyya (2012) predict the next CPU utilization of a host by
+//! fitting a local linear regression over the recent utilization history
+//! (tricube weights); the *robust* variant (LRR) re-weights residuals with
+//! the bisquare function for a few iterations so isolated spikes do not
+//! dominate the fit. A host is flagged overloaded when the prediction,
+//! inflated by a safety parameter, exceeds 100 %.
+
+use std::fmt;
+
+/// Error returned when a Loess fit is impossible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoessError {
+    /// Fewer than two data points were supplied.
+    TooFewPoints,
+    /// `xs` and `ys` have different lengths.
+    LengthMismatch,
+    /// The weighted design matrix is singular (e.g. all x identical).
+    Singular,
+}
+
+impl fmt::Display for LoessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooFewPoints => write!(f, "loess needs at least two points"),
+            Self::LengthMismatch => write!(f, "xs and ys must have equal length"),
+            Self::Singular => write!(f, "singular design matrix in loess fit"),
+        }
+    }
+}
+
+impl std::error::Error for LoessError {}
+
+/// Tricube kernel `(1 − |u|³)³` on `[−1, 1]`, zero outside.
+fn tricube(u: f64) -> f64 {
+    let a = u.abs();
+    if a >= 1.0 {
+        0.0
+    } else {
+        (1.0 - a.powi(3)).powi(3)
+    }
+}
+
+/// Bisquare kernel `(1 − u²)²` on `[−1, 1]`, zero outside.
+fn bisquare(u: f64) -> f64 {
+    let a = u.abs();
+    if a >= 1.0 {
+        0.0
+    } else {
+        (1.0 - a * a).powi(2)
+    }
+}
+
+/// Weighted least-squares line through `(xs, ys)` with weights `w`.
+///
+/// Returns `(intercept, slope)`.
+fn weighted_line(xs: &[f64], ys: &[f64], w: &[f64]) -> Result<(f64, f64), LoessError> {
+    let sw: f64 = w.iter().sum();
+    if sw <= 0.0 {
+        return Err(LoessError::Singular);
+    }
+    let swx: f64 = xs.iter().zip(w).map(|(x, w)| x * w).sum();
+    let swy: f64 = ys.iter().zip(w).map(|(y, w)| y * w).sum();
+    let swxx: f64 = xs.iter().zip(w).map(|(x, w)| x * x * w).sum();
+    let swxy: f64 = xs.iter().zip(ys).zip(w).map(|((x, y), w)| x * y * w).sum();
+    let denom = sw * swxx - swx * swx;
+    if denom.abs() < 1e-12 {
+        return Err(LoessError::Singular);
+    }
+    let slope = (sw * swxy - swx * swy) / denom;
+    let intercept = (swy - slope * swx) / sw;
+    Ok((intercept, slope))
+}
+
+/// Fits a locally weighted line around `x0` and evaluates it there.
+///
+/// Weights are tricube in the distance to `x0`, normalised by the maximum
+/// distance in the window. When `robust_iterations > 0`, residuals are
+/// re-weighted with the bisquare kernel (LRR's robustness step).
+///
+/// # Errors
+///
+/// Returns an error for mismatched/too-short inputs or a singular fit.
+///
+/// # Examples
+///
+/// ```
+/// use megh_linalg::loess_fit;
+///
+/// let xs: Vec<f64> = (0..10).map(f64::from).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+/// let y10 = loess_fit(&xs, &ys, 10.0, 0)?;
+/// assert!((y10 - 21.0).abs() < 1e-6);
+/// # Ok::<(), megh_linalg::LoessError>(())
+/// ```
+pub fn loess_fit(
+    xs: &[f64],
+    ys: &[f64],
+    x0: f64,
+    robust_iterations: usize,
+) -> Result<f64, LoessError> {
+    if xs.len() != ys.len() {
+        return Err(LoessError::LengthMismatch);
+    }
+    if xs.len() < 2 {
+        return Err(LoessError::TooFewPoints);
+    }
+    let max_dist = xs
+        .iter()
+        .map(|x| (x - x0).abs())
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+    let mut weights: Vec<f64> = xs
+        .iter()
+        // Strictly positive floor keeps far points from being zeroed out
+        // entirely, which would make tiny windows singular.
+        .map(|x| tricube((x - x0).abs() / (max_dist * (1.0 + 1e-9))).max(1e-9))
+        .collect();
+    let (mut intercept, mut slope) = weighted_line(xs, ys, &weights)?;
+    for _ in 0..robust_iterations {
+        let residuals: Vec<f64> = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| y - (intercept + slope * x))
+            .collect();
+        let mut abs_res: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
+        abs_res.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let s = abs_res[abs_res.len() / 2].max(1e-12); // median |residual|
+        for (w, r) in weights.iter_mut().zip(&residuals) {
+            *w *= bisquare(r / (6.0 * s)).max(1e-9);
+        }
+        let (i2, s2) = weighted_line(xs, ys, &weights)?;
+        intercept = i2;
+        slope = s2;
+    }
+    Ok(intercept + slope * x0)
+}
+
+/// Predicts the next value of an evenly spaced series via Loess.
+///
+/// The series values are treated as `y` at `x = 0, 1, …, n−1` and the fit
+/// is evaluated at `x = n`. This is exactly how the LR/LRR detectors
+/// extrapolate host utilization one observation interval ahead.
+///
+/// # Errors
+///
+/// Returns an error when the series has fewer than two points or the fit
+/// is singular.
+pub fn loess_predict_next(series: &[f64], robust_iterations: usize) -> Result<f64, LoessError> {
+    let xs: Vec<f64> = (0..series.len()).map(|i| i as f64).collect();
+    loess_fit(&xs, series, series.len() as f64, robust_iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        let xs: Vec<f64> = (0..20).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -0.5 * x + 3.0).collect();
+        let y = loess_fit(&xs, &ys, 20.0, 0).unwrap();
+        assert!((y - (-7.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn predict_next_on_linear_series() {
+        let series: Vec<f64> = (0..10).map(|i| 0.1 * i as f64).collect();
+        let next = loess_predict_next(&series, 0).unwrap();
+        assert!((next - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn robust_fit_shrugs_off_outlier() {
+        let xs: Vec<f64> = (0..15).map(f64::from).collect();
+        let mut ys: Vec<f64> = xs.clone();
+        ys[7] = 100.0; // single spike
+        let plain = loess_fit(&xs, &ys, 15.0, 0).unwrap();
+        let robust = loess_fit(&xs, &ys, 15.0, 4).unwrap();
+        // The robust prediction must be closer to the true value 15.
+        assert!((robust - 15.0).abs() < (plain - 15.0).abs());
+        assert!((robust - 15.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert_eq!(
+            loess_fit(&[1.0, 2.0], &[1.0], 0.0, 0).unwrap_err(),
+            LoessError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn rejects_short_series() {
+        assert_eq!(
+            loess_predict_next(&[1.0], 0).unwrap_err(),
+            LoessError::TooFewPoints
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_x() {
+        // All x identical → singular design matrix.
+        assert_eq!(
+            loess_fit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], 1.0, 0).unwrap_err(),
+            LoessError::Singular
+        );
+    }
+
+    #[test]
+    fn constant_series_predicts_constant() {
+        let series = vec![0.4; 12];
+        let next = loess_predict_next(&series, 2).unwrap();
+        assert!((next - 0.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,138 @@
+//! Summary statistics shared by the trace generators and the adaptive
+//! MMT overload detectors (IQR-MMT and MAD-MMT).
+
+/// Arithmetic mean of a slice; 0.0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(megh_linalg::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population variance of a slice; 0.0 for fewer than two values.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]` of a slice.
+///
+/// Uses the common `(n − 1) · q` positioning (R type-7). Returns 0.0 for
+/// an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = (sorted.len() - 1) as f64 * q;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median of a slice (0.0 when empty).
+pub fn median(values: &[f64]) -> f64 {
+    quantile(values, 0.5)
+}
+
+/// Interquartile range `Q3 − Q1` of a slice.
+///
+/// IQR-MMT sets its adaptive overload threshold to `1 − s · IQR(history)`
+/// (Beloglazov & Buyya 2012).
+pub fn iqr(values: &[f64]) -> f64 {
+    quantile(values, 0.75) - quantile(values, 0.25)
+}
+
+/// Median absolute deviation of a slice.
+///
+/// MAD-MMT sets its adaptive overload threshold to `1 − s · MAD(history)`.
+pub fn mad(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let med = median(values);
+    let deviations: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+    median(&deviations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(mad(&[]), 0.0);
+        assert_eq!(iqr(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.25), 2.5);
+        assert_eq!(quantile(&xs, 1.0), 10.0);
+        assert_eq!(quantile(&xs, 0.0), 0.0);
+    }
+
+    #[test]
+    fn iqr_of_uniform_sequence() {
+        let xs: Vec<f64> = (0..=100).map(f64::from).collect();
+        assert!((iqr(&xs) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mad_is_robust_to_outlier() {
+        let xs = [1.0, 1.0, 2.0, 2.0, 4.0, 6.0, 9.0];
+        assert_eq!(mad(&xs), 1.0);
+        // Adding a huge outlier barely moves the MAD.
+        let with_outlier = [1.0, 1.0, 2.0, 2.0, 4.0, 6.0, 9.0, 1e6];
+        assert!(mad(&with_outlier) < 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_rejects_bad_q() {
+        quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,467 @@
+//! Data-center configuration and validation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CostParams, MigrationModel, NetworkModel, PmSpec, VmSpec};
+
+/// How VMs are assigned to hosts before the first step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitialPlacement {
+    /// An explicit VM→host assignment (index `j` gives VM `j`'s host).
+    /// Must have one entry per VM, each a valid host index.
+    Explicit(Vec<usize>),
+    /// VM `j` starts on host `j mod M`. The deterministic default.
+    RoundRobin,
+    /// Uniformly random placement with the given seed — the protocol of
+    /// the MadVM comparison (§6.3: "all these workloads are allocated
+    /// uniformly at random to each of the PMs, such that there is no
+    /// initial bias for the learning").
+    RandomUniform {
+        /// Seed for the placement RNG.
+        seed: u64,
+    },
+    /// First-fit by requested MIPS: each VM goes to the first host whose
+    /// total *requested* capacity stays within the β threshold.
+    FirstFit,
+    /// First-fit *decreasing by step-0 demand*: VMs are sorted by their
+    /// first observed CPU demand and packed onto hosts while demand stays
+    /// within the β threshold. This mirrors CloudSim's power-aware
+    /// initial allocation, where the incoming VMs are placed by their
+    /// current utilization — the starting condition of the paper's main
+    /// experiments (Tables 2–3).
+    DemandPacked,
+}
+
+/// A scheduled host outage: the host is down (zero capacity, zero
+/// power, all resident VMs unavailable) for `from_step..until_step`.
+///
+/// Models maintenance windows and failures — the failure-injection
+/// counterpart to the trace-driven workload uncertainty. Schedulers see
+/// the outage through [`crate::DataCenterView::is_down`] and are
+/// expected to evacuate; VMs left on a down host accrue full downtime.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostOutage {
+    /// The affected host index.
+    pub host: usize,
+    /// First step of the outage (inclusive).
+    pub from_step: usize,
+    /// End of the outage (exclusive).
+    pub until_step: usize,
+}
+
+impl HostOutage {
+    /// Whether the outage covers `step`.
+    pub fn covers(&self, step: usize) -> bool {
+        (self.from_step..self.until_step).contains(&step)
+    }
+}
+
+/// Full static description of a simulated data center.
+///
+/// # Examples
+///
+/// ```
+/// use megh_sim::DataCenterConfig;
+///
+/// let mut c = DataCenterConfig::paper_planetlab(10, 20);
+/// assert_eq!(c.pms.len(), 10);
+/// assert_eq!(c.vms.len(), 20);
+/// c.migration_cap_fraction = 0.02;
+/// assert_eq!(c.migration_cap(), 1); // ceil(2 % of 20)
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataCenterConfig {
+    /// Host catalogue.
+    pub pms: Vec<PmSpec>,
+    /// VM catalogue; index `j` is driven by trace row `j`.
+    pub vms: Vec<VmSpec>,
+    /// Pricing and threshold constants.
+    pub cost: CostParams,
+    /// Initial VM→host assignment policy.
+    pub initial_placement: InitialPlacement,
+    /// Fraction of VMs that may migrate per step. The default is 1.0
+    /// (uncapped): §6.1's 2 % cap is a restraint placed on *Megh*, not on
+    /// the heuristics — THR-MMT migrates ~15 % of VMs per step in
+    /// Table 2. Megh limits itself through its `actions_per_step`
+    /// parameter; set this field to 0.02 to enforce the cap globally.
+    pub migration_cap_fraction: f64,
+    /// Length of the per-host utilization history window exposed to
+    /// schedulers (the adaptive MMT detectors use ~10–12 observations).
+    pub history_window: usize,
+    /// How migration duration and downtime are derived (§3.3's single
+    /// copy by default; iterative pre-copy available).
+    pub migration_model: MigrationModel,
+    /// Network fabric model: which migrations contend for bandwidth
+    /// (full bisection by default, the paper's implicit assumption).
+    pub network: NetworkModel,
+    /// Scheduled host outages (maintenance windows / injected failures).
+    pub outages: Vec<HostOutage>,
+    /// CPU oversubscription ratio: a host may carry VMs whose *requested*
+    /// MIPS total up to `ratio × capacity`. CloudSim reserves requested
+    /// capacity outright (ratio 1, no overcommit); real IaaS clouds
+    /// oversubscribe CPU. Placement policies (initial packing, PABFD,
+    /// MadVM) honor this bound; it caps how hard consolidation can pack
+    /// and therefore how much SLA-relevant overload is even possible.
+    pub oversubscription_ratio: f64,
+}
+
+impl DataCenterConfig {
+    /// The PlanetLab experimental fleet (§6.2): `m` hosts, half G4 / half
+    /// G5, and `n` VMs drawn from the paper's instance-type mix.
+    pub fn paper_planetlab(m: usize, n: usize) -> Self {
+        Self {
+            pms: PmSpec::paper_fleet(m),
+            vms: VmSpec::paper_mix(n, 0x_7a57_e001),
+            cost: CostParams::paper_defaults(),
+            initial_placement: InitialPlacement::RoundRobin,
+            migration_cap_fraction: 1.0,
+            history_window: 12,
+            migration_model: MigrationModel::Simple,
+            network: NetworkModel::FullBisection,
+            outages: Vec::new(),
+            oversubscription_ratio: 2.0,
+        }
+    }
+
+    /// The Google Cluster experimental fleet (§6.2): `m` hosts, `n` VMs.
+    ///
+    /// Identical hardware mix; the datasets differ in their workloads,
+    /// not their machines.
+    pub fn paper_google(m: usize, n: usize) -> Self {
+        Self {
+            vms: VmSpec::paper_mix(n, 0x_6006_1e00),
+            ..Self::paper_planetlab(m, n)
+        }
+    }
+
+    /// Maximum migrations per step: `ceil(fraction × N)`, at least 1 when
+    /// any VMs exist and the fraction is positive.
+    pub fn migration_cap(&self) -> usize {
+        if self.vms.is_empty() || self.migration_cap_fraction <= 0.0 {
+            return 0;
+        }
+        ((self.migration_cap_fraction * self.vms.len() as f64).ceil() as usize).max(1)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when VMs exist without hosts, or any spec has
+    /// a non-positive capacity.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !self.vms.is_empty() && self.pms.is_empty() {
+            return Err(SimError::NoHosts);
+        }
+        if let Some(i) = self.pms.iter().position(|p| p.mips <= 0.0 || p.bw_mbps <= 0.0) {
+            return Err(SimError::InvalidHost(i));
+        }
+        if let Some(j) = self.vms.iter().position(|v| v.mips <= 0.0 || v.ram_mb < 0.0) {
+            return Err(SimError::InvalidVm(j));
+        }
+        if self.history_window == 0 {
+            return Err(SimError::InvalidParameter("history_window must be ≥ 1"));
+        }
+        if !(0.0..=1.0).contains(&self.migration_cap_fraction) {
+            return Err(SimError::InvalidParameter(
+                "migration_cap_fraction must be in [0, 1]",
+            ));
+        }
+        if self.oversubscription_ratio <= 0.0 || !self.oversubscription_ratio.is_finite() {
+            return Err(SimError::InvalidParameter(
+                "oversubscription_ratio must be positive and finite",
+            ));
+        }
+        if let Some(outage) = self
+            .outages
+            .iter()
+            .find(|o| o.host >= self.pms.len() || o.from_step >= o.until_step)
+        {
+            let _ = outage;
+            return Err(SimError::InvalidParameter(
+                "outage references a non-existent host or has an empty window",
+            ));
+        }
+        if let InitialPlacement::Explicit(hosts) = &self.initial_placement {
+            if hosts.len() != self.vms.len() {
+                return Err(SimError::InvalidParameter(
+                    "explicit placement must list one host per VM",
+                ));
+            }
+            if hosts.iter().any(|&h| h >= self.pms.len()) {
+                return Err(SimError::InvalidParameter(
+                    "explicit placement references a non-existent host",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A builder for [`DataCenterConfig`], validating on
+/// [`DataCenterBuilder::build`].
+///
+/// # Examples
+///
+/// ```
+/// use megh_sim::{DataCenterConfig, InitialPlacement, PmSpec, VmSpec};
+///
+/// let config = DataCenterConfig::builder()
+///     .hosts(PmSpec::paper_fleet(4))
+///     .vms(VmSpec::paper_mix(8, 1))
+///     .placement(InitialPlacement::DemandPacked)
+///     .migration_cap_fraction(0.02)
+///     .build()?;
+/// assert_eq!(config.pms.len(), 4);
+/// # Ok::<(), megh_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataCenterBuilder {
+    config: DataCenterConfig,
+}
+
+impl DataCenterConfig {
+    /// Starts a builder from the paper's cost model and defaults, with
+    /// an empty fleet.
+    pub fn builder() -> DataCenterBuilder {
+        DataCenterBuilder {
+            config: DataCenterConfig::paper_planetlab(0, 0),
+        }
+    }
+}
+
+impl DataCenterBuilder {
+    /// Sets the host catalogue.
+    pub fn hosts(mut self, pms: Vec<PmSpec>) -> Self {
+        self.config.pms = pms;
+        self
+    }
+
+    /// Sets the VM catalogue.
+    pub fn vms(mut self, vms: Vec<VmSpec>) -> Self {
+        self.config.vms = vms;
+        self
+    }
+
+    /// Overrides the cost model.
+    pub fn cost(mut self, cost: CostParams) -> Self {
+        self.config.cost = cost;
+        self
+    }
+
+    /// Sets the initial placement policy.
+    pub fn placement(mut self, placement: InitialPlacement) -> Self {
+        self.config.initial_placement = placement;
+        self
+    }
+
+    /// Caps migrations per step to this fraction of the VM count.
+    pub fn migration_cap_fraction(mut self, fraction: f64) -> Self {
+        self.config.migration_cap_fraction = fraction;
+        self
+    }
+
+    /// Sets the per-host utilization history window length.
+    pub fn history_window(mut self, window: usize) -> Self {
+        self.config.history_window = window;
+        self
+    }
+
+    /// Sets the migration timing model.
+    pub fn migration_model(mut self, model: MigrationModel) -> Self {
+        self.config.migration_model = model;
+        self
+    }
+
+    /// Sets the network fabric model.
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.config.network = network;
+        self
+    }
+
+    /// Sets the CPU oversubscription ratio.
+    pub fn oversubscription_ratio(mut self, ratio: f64) -> Self {
+        self.config.oversubscription_ratio = ratio;
+        self
+    }
+
+    /// Adds a scheduled host outage.
+    pub fn outage(mut self, outage: HostOutage) -> Self {
+        self.config.outages.push(outage);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] exactly as [`DataCenterConfig::validate`].
+    pub fn build(self) -> Result<DataCenterConfig, SimError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// Errors raised when constructing or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// VMs were configured but no hosts exist to run them.
+    NoHosts,
+    /// Host at the given index has a non-positive capacity or bandwidth.
+    InvalidHost(usize),
+    /// VM at the given index has a non-positive capacity or negative RAM.
+    InvalidVm(usize),
+    /// The trace's VM count differs from the configured VM count.
+    TraceMismatch {
+        /// VMs in the configuration.
+        config_vms: usize,
+        /// VM rows in the trace.
+        trace_vms: usize,
+    },
+    /// A scalar parameter is out of range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoHosts => write!(f, "configuration has VMs but no hosts"),
+            Self::InvalidHost(i) => write!(f, "host {i} has non-positive capacity"),
+            Self::InvalidVm(j) => write!(f, "vm {j} has invalid capacity or RAM"),
+            Self::TraceMismatch { config_vms, trace_vms } => write!(
+                f,
+                "trace provides {trace_vms} VM rows but the config declares {config_vms} VMs"
+            ),
+            Self::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_planetlab_layout() {
+        let c = DataCenterConfig::paper_planetlab(8, 16);
+        assert_eq!(c.pms.len(), 8);
+        assert_eq!(c.vms.len(), 16);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.cost, CostParams::paper_defaults());
+    }
+
+    #[test]
+    fn migration_cap_default_is_uncapped() {
+        assert_eq!(DataCenterConfig::paper_planetlab(2, 100).migration_cap(), 100);
+        assert_eq!(DataCenterConfig::paper_planetlab(2, 0).migration_cap(), 0);
+    }
+
+    #[test]
+    fn migration_cap_is_fraction_rounded_up() {
+        let mut c = DataCenterConfig::paper_planetlab(2, 100);
+        c.migration_cap_fraction = 0.02;
+        assert_eq!(c.migration_cap(), 2);
+        let mut c = DataCenterConfig::paper_planetlab(2, 101);
+        c.migration_cap_fraction = 0.02;
+        assert_eq!(c.migration_cap(), 3);
+        let mut c = DataCenterConfig::paper_planetlab(2, 10);
+        c.migration_cap_fraction = 0.02;
+        assert_eq!(c.migration_cap(), 1);
+    }
+
+    #[test]
+    fn zero_cap_fraction_disables_migrations() {
+        let mut c = DataCenterConfig::paper_planetlab(2, 10);
+        c.migration_cap_fraction = 0.0;
+        assert_eq!(c.migration_cap(), 0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_missing_hosts() {
+        let mut c = DataCenterConfig::paper_planetlab(0, 4);
+        c.pms.clear();
+        assert_eq!(c.validate().unwrap_err(), SimError::NoHosts);
+    }
+
+    #[test]
+    fn validation_catches_bad_host_and_vm() {
+        let mut c = DataCenterConfig::paper_planetlab(2, 2);
+        c.pms[1].mips = 0.0;
+        assert_eq!(c.validate().unwrap_err(), SimError::InvalidHost(1));
+
+        let mut c = DataCenterConfig::paper_planetlab(2, 2);
+        c.vms[0].mips = -5.0;
+        assert_eq!(c.validate().unwrap_err(), SimError::InvalidVm(0));
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        let mut c = DataCenterConfig::paper_planetlab(2, 2);
+        c.history_window = 0;
+        assert!(matches!(c.validate(), Err(SimError::InvalidParameter(_))));
+
+        let mut c = DataCenterConfig::paper_planetlab(2, 2);
+        c.migration_cap_fraction = 1.5;
+        assert!(matches!(c.validate(), Err(SimError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        for e in [
+            SimError::NoHosts,
+            SimError::InvalidHost(1),
+            SimError::InvalidVm(2),
+            SimError::TraceMismatch { config_vms: 1, trace_vms: 2 },
+            SimError::InvalidParameter("x"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn builder_produces_validated_configs() {
+        let config = DataCenterConfig::builder()
+            .hosts(PmSpec::paper_fleet(3))
+            .vms(VmSpec::paper_mix(5, 2))
+            .placement(InitialPlacement::RoundRobin)
+            .oversubscription_ratio(1.5)
+            .history_window(8)
+            .outage(HostOutage { host: 1, from_step: 3, until_step: 5 })
+            .build()
+            .unwrap();
+        assert_eq!(config.pms.len(), 3);
+        assert_eq!(config.oversubscription_ratio, 1.5);
+        assert_eq!(config.history_window, 8);
+        assert_eq!(config.outages.len(), 1);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        let err = DataCenterConfig::builder()
+            .vms(VmSpec::paper_mix(2, 1))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SimError::NoHosts);
+
+        let err = DataCenterConfig::builder()
+            .hosts(PmSpec::paper_fleet(2))
+            .vms(VmSpec::paper_mix(2, 1))
+            .outage(HostOutage { host: 7, from_step: 0, until_step: 1 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn google_config_differs_only_in_vm_mix() {
+        let p = DataCenterConfig::paper_planetlab(4, 8);
+        let g = DataCenterConfig::paper_google(4, 8);
+        assert_eq!(p.pms, g.pms);
+        assert_eq!(p.cost, g.cost);
+    }
+}

@@ -1,0 +1,162 @@
+//! Energy and SLA cost models (§3.2–3.3 and §6.1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Which SLA-violation band a VM is in, based on its cumulative downtime
+/// percentage (§3.3, the piecewise definition of `c_v^j(t)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlaBand {
+    /// Downtime ≤ 0.05 % — no payback owed.
+    None,
+    /// Downtime in (0.05 %, 0.10 %] — minor payback (16.7 % of the fee).
+    Minor,
+    /// Downtime > 0.10 % — major payback (33.3 % of the fee).
+    Major,
+}
+
+/// All pricing and threshold constants of the paper's cost model.
+///
+/// Defaults are §6.1's experimental values. The struct is plain data so
+/// experiments can probe other pricing regimes (the paper mentions
+/// unreported sensitivity experiments on energy and SLA costs).
+///
+/// # Examples
+///
+/// ```
+/// use megh_sim::{CostParams, SlaBand};
+///
+/// let c = CostParams::paper_defaults();
+/// assert_eq!(c.sla_band(0.0004), SlaBand::None);
+/// assert_eq!(c.sla_band(0.0008), SlaBand::Minor);
+/// assert_eq!(c.sla_band(0.002), SlaBand::Major);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Electricity price (§6.1: 0.18675 USD/kWh — "the standard price of
+    /// the local power providers").
+    pub usd_per_kwh: f64,
+    /// What the user pays per VM-hour (§6.1: 1.2 USD/h).
+    pub vm_hourly_fee_usd: f64,
+    /// Payback fraction in the minor band (§6.1: 16.7 %).
+    pub payback_minor: f64,
+    /// Payback fraction in the major band (§6.1: 33.3 %).
+    pub payback_major: f64,
+    /// Lower edge of the minor band as a downtime fraction (0.05 %).
+    pub minor_band_floor: f64,
+    /// Edge between minor and major bands as a fraction (0.10 %).
+    pub major_band_floor: f64,
+    /// Host overload threshold β as a utilization fraction (§6.1: 70 %).
+    pub beta_overload: f64,
+    /// Migration-downtime threshold α as a fraction (§6.1: 30 %): a VM is
+    /// "down" while its delivered capacity is below α of its demand.
+    pub alpha_migration: f64,
+    /// Expected fraction of a migration's duration spent below the α
+    /// threshold. CloudSim models live migration as a 10 % performance
+    /// degradation; we count that fraction of `TM = M/B` as downtime,
+    /// which realises the paper's `T_d = ∫ 1(û < α·u)` in expectation.
+    pub migration_downtime_fraction: f64,
+}
+
+impl CostParams {
+    /// The §6.1 experimental constants.
+    pub fn paper_defaults() -> Self {
+        Self {
+            usd_per_kwh: 0.18675,
+            vm_hourly_fee_usd: 1.2,
+            payback_minor: 0.167,
+            payback_major: 0.333,
+            minor_band_floor: 0.0005,
+            major_band_floor: 0.0010,
+            beta_overload: 0.70,
+            alpha_migration: 0.30,
+            migration_downtime_fraction: 0.10,
+        }
+    }
+
+    /// Energy cost in USD for `joules` of consumption (Eq. 1–2: cost
+    /// `c_p` per Watt-second, aggregated over hosts and steps).
+    pub fn energy_cost_usd(&self, joules: f64) -> f64 {
+        // 1 kWh = 3.6e6 J.
+        self.usd_per_kwh * joules.max(0.0) / 3.6e6
+    }
+
+    /// SLA band for a cumulative downtime fraction (downtime ÷ requested
+    /// active time).
+    pub fn sla_band(&self, downtime_fraction: f64) -> SlaBand {
+        if downtime_fraction > self.major_band_floor {
+            SlaBand::Major
+        } else if downtime_fraction > self.minor_band_floor {
+            SlaBand::Minor
+        } else {
+            SlaBand::None
+        }
+    }
+
+    /// SLA payback accrued by one VM over an interval of `seconds`, given
+    /// its current band.
+    ///
+    /// The paper's `c_v^j(t)` is a payback on the user's cumulative fee.
+    /// Accruing `rate × fee × Δt` per interval makes the cumulative SLA
+    /// cost equal `rate × fee × t` whenever the band is stable, matching
+    /// Eq. (3) while giving the per-step costs Figures 2(a)–5(a) plot.
+    pub fn sla_cost_usd(&self, band: SlaBand, seconds: f64) -> f64 {
+        let rate = match band {
+            SlaBand::None => 0.0,
+            SlaBand::Minor => self.payback_minor,
+            SlaBand::Major => self.payback_major,
+        };
+        rate * self.vm_hourly_fee_usd * seconds.max(0.0) / 3600.0
+    }
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_are_wired() {
+        let c = CostParams::paper_defaults();
+        assert_eq!(c.usd_per_kwh, 0.18675);
+        assert_eq!(c.vm_hourly_fee_usd, 1.2);
+        assert_eq!(c.beta_overload, 0.70);
+        assert_eq!(c.alpha_migration, 0.30);
+    }
+
+    #[test]
+    fn energy_cost_of_one_kwh() {
+        let c = CostParams::paper_defaults();
+        assert!((c.energy_cost_usd(3.6e6) - 0.18675).abs() < 1e-12);
+        assert_eq!(c.energy_cost_usd(-10.0), 0.0);
+    }
+
+    #[test]
+    fn sla_band_edges_are_exclusive_inclusive() {
+        let c = CostParams::paper_defaults();
+        // §3.3: (0.05 %, 0.10 %] is minor; > 0.10 % is major.
+        assert_eq!(c.sla_band(0.0005), SlaBand::None);
+        assert_eq!(c.sla_band(0.0005 + 1e-9), SlaBand::Minor);
+        assert_eq!(c.sla_band(0.0010), SlaBand::Minor);
+        assert_eq!(c.sla_band(0.0010 + 1e-9), SlaBand::Major);
+    }
+
+    #[test]
+    fn sla_cost_rates() {
+        let c = CostParams::paper_defaults();
+        // One full hour in the major band: 33.3 % of 1.2 USD.
+        assert!((c.sla_cost_usd(SlaBand::Major, 3600.0) - 0.3996).abs() < 1e-9);
+        assert!((c.sla_cost_usd(SlaBand::Minor, 3600.0) - 0.2004).abs() < 1e-9);
+        assert_eq!(c.sla_cost_usd(SlaBand::None, 3600.0), 0.0);
+        assert_eq!(c.sla_cost_usd(SlaBand::Major, -1.0), 0.0);
+    }
+
+    #[test]
+    fn default_is_paper_defaults() {
+        assert_eq!(CostParams::default(), CostParams::paper_defaults());
+    }
+}

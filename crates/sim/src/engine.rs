@@ -1,0 +1,867 @@
+//! The discrete-time simulation loop.
+//!
+//! Each observation interval (τ = 300 s by default) the engine:
+//!
+//! 1. reads every VM's utilization from the trace and derives host loads,
+//! 2. hands the scheduler a read-only [`DataCenterView`] and times its
+//!    decision (that wall-clock time is the "execution time" metric of
+//!    Tables 2–3 and Figures 2(d)–6),
+//! 3. validates the requested migrations (in-range, not self-migrations,
+//!    one per VM) and truncates to the configured per-step cap,
+//! 4. applies them: the VM moves, and `migration_downtime_fraction × TM`
+//!    seconds of downtime accrue to it, where `TM = RAM/bandwidth` (§3.3),
+//! 5. accounts energy (SPECpower draw × τ; hosts with no VMs sleep at
+//!    0 W) and SLA costs (hosts whose demand exceeds capacity add the
+//!    unserved fraction of τ as downtime to each of their VMs;
+//!    cumulative downtime fractions map to payback bands),
+//! 6. reports the per-stage cost `ΔC_p + ΔC_v` back to the scheduler.
+//!
+//! Placement changes take effect within the step; migration duration
+//! affects only downtime accounting, not when capacity moves. This is the
+//! same granularity CloudSim's power-aware examples use.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use megh_trace::WorkloadTrace;
+
+use crate::{
+    config::InitialPlacement, DataCenterConfig, DataCenterView, Scheduler, SimError,
+    StepFeedback, StepRecord, SummaryReport,
+};
+
+/// A configured simulation, ready to run a scheduler over a trace.
+///
+/// # Examples
+///
+/// ```
+/// use megh_sim::{DataCenterConfig, NoOpScheduler, Simulation};
+/// use megh_trace::PlanetLabConfig;
+///
+/// let trace = PlanetLabConfig::new(8, 3).generate_steps(10);
+/// let sim = Simulation::new(DataCenterConfig::paper_planetlab(4, 8), trace)?;
+/// let outcome = sim.run(NoOpScheduler::default());
+/// assert_eq!(outcome.records().len(), 10);
+/// # Ok::<(), megh_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: DataCenterConfig,
+    trace: WorkloadTrace,
+    initial_placement: Vec<usize>,
+}
+
+impl Simulation {
+    /// Builds a simulation, validating the configuration against the
+    /// trace and computing the initial placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for invalid configurations or when the trace
+    /// row count differs from the configured VM count.
+    pub fn new(config: DataCenterConfig, trace: WorkloadTrace) -> Result<Self, SimError> {
+        config.validate()?;
+        if trace.n_vms() != config.vms.len() {
+            return Err(SimError::TraceMismatch {
+                config_vms: config.vms.len(),
+                trace_vms: trace.n_vms(),
+            });
+        }
+        let initial_placement = Self::place_initial(&config, &trace);
+        Ok(Self {
+            config,
+            trace,
+            initial_placement,
+        })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &DataCenterConfig {
+        &self.config
+    }
+
+    /// The driving workload trace.
+    pub fn trace(&self) -> &WorkloadTrace {
+        &self.trace
+    }
+
+    /// The VM→host assignment used at step 0.
+    pub fn initial_placement(&self) -> &[usize] {
+        &self.initial_placement
+    }
+
+    fn place_initial(config: &DataCenterConfig, trace: &WorkloadTrace) -> Vec<usize> {
+        let m = config.pms.len();
+        let n = config.vms.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        match config.initial_placement {
+            InitialPlacement::Explicit(ref hosts) => hosts.clone(),
+            InitialPlacement::RoundRobin => (0..n).map(|j| j % m).collect(),
+            InitialPlacement::RandomUniform { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..n).map(|_| rng.gen_range(0..m)).collect()
+            }
+            InitialPlacement::FirstFit => {
+                let loads: Vec<f64> = config.vms.iter().map(|vm| vm.mips).collect();
+                Self::first_fit(config, (0..n).collect(), &loads)
+            }
+            InitialPlacement::DemandPacked => {
+                let loads: Vec<f64> = (0..n)
+                    .map(|j| {
+                        let util = if trace.n_steps() > 0 {
+                            trace.utilization(j, 0) / 100.0
+                        } else {
+                            0.0
+                        };
+                        util * config.vms[j].mips
+                    })
+                    .collect();
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| {
+                    loads[b]
+                        .partial_cmp(&loads[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                Self::first_fit(config, order, &loads)
+            }
+        }
+    }
+
+    /// First-fit of `order`ed VMs by the given per-VM `loads`, keeping
+    /// each host at or below β × capacity in load and within the
+    /// oversubscription ratio in *requested* MIPS; falls back to the
+    /// least-loaded host when nothing fits (overcommit the scheduler
+    /// must repair).
+    fn first_fit(config: &DataCenterConfig, order: Vec<usize>, loads: &[f64]) -> Vec<usize> {
+        let m = config.pms.len();
+        let beta = config.cost.beta_overload;
+        let ratio = config.oversubscription_ratio;
+        let mut used = vec![0.0f64; m];
+        let mut reserved = vec![0.0f64; m];
+        let mut placement = vec![0usize; order.len()];
+        for &j in &order {
+            let requested = config.vms[j].mips;
+            let host = (0..m)
+                .find(|&h| {
+                    let cap = config.pms[h].mips;
+                    (used[h] + loads[j]) / cap <= beta
+                        && reserved[h] + requested <= ratio * cap
+                })
+                .unwrap_or_else(|| {
+                    (0..m)
+                        .min_by(|&a, &b| {
+                            let la = used[a] / config.pms[a].mips;
+                            let lb = used[b] / config.pms[b].mips;
+                            la.partial_cmp(&lb).unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .expect("m > 0")
+                });
+            used[host] += loads[j];
+            reserved[host] += requested;
+            placement[j] = host;
+        }
+        placement
+    }
+
+    /// Runs the scheduler over the whole trace and returns the outcome.
+    pub fn run<S: Scheduler>(&self, scheduler: S) -> SimulationOutcome {
+        self.run_steps(scheduler, self.trace.n_steps())
+    }
+
+    /// Runs at most `max_steps` steps (truncated to the trace length).
+    pub fn run_steps<S: Scheduler>(&self, mut scheduler: S, max_steps: usize) -> SimulationOutcome {
+        let n = self.config.vms.len();
+        let m = self.config.pms.len();
+        let tau = self.trace.step_seconds() as f64;
+        let steps = max_steps.min(self.trace.n_steps());
+        let cap = self.config.migration_cap();
+        let cost = &self.config.cost;
+
+        let mut placement = self.initial_placement.clone();
+        let mut vm_downtime_s = vec![0.0f64; n];
+        let mut vm_requested_s = vec![0.0f64; n];
+        let mut host_history: Vec<Vec<f64>> = vec![Vec::new(); m];
+        let mut host_energy_joules = vec![0.0f64; m];
+        let mut cumulative_migrations = 0usize;
+        let mut records = Vec::with_capacity(steps);
+        let mut events: Vec<crate::StepEvents> = Vec::with_capacity(steps);
+        // Occupancy before the first step, for sleep/wake event edges.
+        let mut prev_active: Vec<bool> = {
+            let mut counts = vec![0usize; m];
+            for &h in &placement {
+                counts[h] += 1;
+            }
+            counts.iter().map(|&c| c > 0).collect()
+        };
+
+        let vm_mips: Vec<f64> = self.config.vms.iter().map(|v| v.mips).collect();
+        let vm_ram: Vec<f64> = self.config.vms.iter().map(|v| v.ram_mb).collect();
+        let host_mips: Vec<f64> = self.config.pms.iter().map(|p| p.mips).collect();
+        let host_bw: Vec<f64> = self.config.pms.iter().map(|p| p.bw_mbps).collect();
+        // Shared once: the power curves never change during a run.
+        let host_power = std::sync::Arc::new(
+            self.config.pms.iter().map(|p| p.power.clone()).collect::<Vec<_>>(),
+        );
+
+        for step in 0..steps {
+            // 0. Scheduled outages active this interval.
+            let down: Vec<bool> = (0..m)
+                .map(|h| self.config.outages.iter().any(|o| o.host == h && o.covers(step)))
+                .collect();
+
+            // 1. Demands from the trace.
+            let util: Vec<f64> = (0..n).map(|j| self.trace.utilization(j, step)).collect();
+            let demand: Vec<f64> = (0..n).map(|j| util[j] / 100.0 * vm_mips[j]).collect();
+
+            let mut host_used = vec![0.0f64; m];
+            let mut host_reserved = vec![0.0f64; m];
+            let mut host_vms: Vec<Vec<usize>> = vec![Vec::new(); m];
+            for j in 0..n {
+                host_used[placement[j]] += demand[j];
+                host_reserved[placement[j]] += vm_mips[j];
+                host_vms[placement[j]].push(j);
+            }
+
+            // 2. Histories (ending with the current observation).
+            for h in 0..m {
+                let u = if host_mips[h] > 0.0 {
+                    host_used[h] / host_mips[h]
+                } else {
+                    0.0
+                };
+                host_history[h].push(u);
+                let window = self.config.history_window;
+                if host_history[h].len() > window {
+                    let excess = host_history[h].len() - window;
+                    host_history[h].drain(..excess);
+                }
+            }
+
+            let view = DataCenterView {
+                step,
+                step_seconds: self.trace.step_seconds(),
+                vm_mips: vm_mips.clone(),
+                vm_ram_mb: vm_ram.clone(),
+                vm_util_percent: util,
+                vm_demand_mips: demand.clone(),
+                placement: placement.clone(),
+                host_mips: host_mips.clone(),
+                host_bw_mbps: host_bw.clone(),
+                host_used_mips: host_used.clone(),
+                host_vms,
+                host_history: host_history.clone(),
+                host_power: host_power.clone(),
+                host_reserved_mips: host_reserved,
+                host_down: down.clone(),
+                beta_overload: cost.beta_overload,
+                oversubscription_ratio: self.config.oversubscription_ratio,
+                migration_cap: cap,
+            };
+
+            // 3. Timed decision.
+            let started = Instant::now();
+            let requested = scheduler.decide(&view);
+            let decision_micros = started.elapsed().as_micros() as u64;
+
+            // 4. Validate, dedupe per VM, cap; then price the whole
+            // batch's bandwidth at once (concurrent migrations may
+            // share rack uplinks) and apply.
+            let mut seen = vec![false; n];
+            let mut staged: Vec<(usize, usize, usize)> = Vec::new(); // (vm, src, dst)
+            for req in requested {
+                if staged.len() >= cap {
+                    break;
+                }
+                let (j, k) = (req.vm.0, req.target.0);
+                if j >= n || k >= m || placement[j] == k || seen[j] || down[k] {
+                    continue; // a down host cannot receive a VM
+                }
+                seen[j] = true;
+                staged.push((j, placement[j], k));
+            }
+            let endpoints: Vec<(usize, usize, f64)> = staged
+                .iter()
+                .map(|&(_, src, dst)| {
+                    // Evacuating a down host copies from storage at the
+                    // destination's speed; otherwise the slower NIC binds.
+                    let bw = if down[src] {
+                        host_bw[dst]
+                    } else {
+                        host_bw[src].min(host_bw[dst])
+                    };
+                    (src, dst, bw)
+                })
+                .collect();
+            let effective_bw = self.config.network.effective_bandwidths(&endpoints);
+            let mut applied = Vec::new();
+            let mut migration_events = Vec::new();
+            for (&(j, src, dst), &bw) in staged.iter().zip(&effective_bw) {
+                let Some(estimate) = self.config.migration_model.estimate(
+                    self.config.vms[j].ram_mb,
+                    bw,
+                    cost.migration_downtime_fraction,
+                ) else {
+                    continue;
+                };
+                vm_downtime_s[j] += estimate.downtime_seconds;
+                host_used[src] -= demand[j];
+                host_used[dst] += demand[j];
+                placement[j] = dst;
+                applied.push(crate::MigrationRequest::new(
+                    crate::VmId(j),
+                    crate::PmId(dst),
+                ));
+                migration_events.push(crate::MigrationEvent {
+                    vm: crate::VmId(j),
+                    from: crate::PmId(src),
+                    to: crate::PmId(dst),
+                });
+            }
+            let migrations = applied.len();
+            cumulative_migrations += migrations;
+
+            // 5. Energy + SLA accounting on the post-migration placement.
+            let mut host_vm_count = vec![0usize; m];
+            for j in 0..n {
+                host_vm_count[placement[j]] += 1;
+            }
+            let mut joules = 0.0;
+            let mut active_hosts = 0;
+            let mut overloaded_hosts = 0;
+            // Fraction of each host's demanded work it cannot serve this
+            // interval. §3.3's overloading downtime: "overloading happens
+            // when VMs try to use more resources than the capacity of the
+            // host" — VMs on a host demanding 130 % of capacity lose the
+            // unserved 23 % of the interval as downtime. The β threshold
+            // remains the *management* signal (detectors, placement,
+            // the overloaded-hosts metric).
+            let mut deficit = vec![0.0f64; m];
+            for h in 0..m {
+                if down[h] {
+                    // A down host draws no power and serves nothing:
+                    // every resident VM is fully unavailable.
+                    if host_vm_count[h] > 0 {
+                        deficit[h] = 1.0;
+                    }
+                    continue;
+                }
+                if host_vm_count[h] == 0 {
+                    continue; // asleep, 0 W
+                }
+                active_hosts += 1;
+                let u = if host_mips[h] > 0.0 {
+                    host_used[h] / host_mips[h]
+                } else {
+                    0.0
+                };
+                let host_joules = self.config.pms[h].power.energy_joules(u, tau);
+                joules += host_joules;
+                host_energy_joules[h] += host_joules;
+                if u > cost.beta_overload {
+                    overloaded_hosts += 1;
+                }
+                if u > 1.0 {
+                    deficit[h] = 1.0 - 1.0 / u;
+                }
+            }
+            let energy_cost_usd = cost.energy_cost_usd(joules);
+
+            let mut sla_cost_usd = 0.0;
+            for j in 0..n {
+                if deficit[placement[j]] > 0.0 {
+                    vm_downtime_s[j] += deficit[placement[j]] * tau;
+                }
+                vm_requested_s[j] += tau;
+                let fraction = vm_downtime_s[j] / vm_requested_s[j];
+                sla_cost_usd += cost.sla_cost_usd(cost.sla_band(fraction), tau);
+            }
+
+            let total_cost_usd = energy_cost_usd + sla_cost_usd;
+
+            // 6. Events, feedback, record.
+            let current_active: Vec<bool> = (0..m)
+                .map(|h| host_vm_count[h] > 0 && !down[h])
+                .collect();
+            events.push(crate::StepEvents {
+                migrations: migration_events,
+                hosts_slept: (0..m)
+                    .filter(|&h| prev_active[h] && !current_active[h])
+                    .collect(),
+                hosts_woken: (0..m)
+                    .filter(|&h| !prev_active[h] && current_active[h])
+                    .collect(),
+                hosts_down: (0..m).filter(|&h| down[h]).collect(),
+            });
+            prev_active = current_active;
+
+            scheduler.observe(&StepFeedback {
+                step,
+                energy_cost_usd,
+                sla_cost_usd,
+                total_cost_usd,
+                applied: applied.clone(),
+            });
+            records.push(StepRecord {
+                step,
+                energy_cost_usd,
+                sla_cost_usd,
+                total_cost_usd,
+                migrations,
+                cumulative_migrations,
+                active_hosts,
+                decision_micros,
+                overloaded_hosts,
+            });
+        }
+
+        SimulationOutcome {
+            scheduler: scheduler.name().to_string(),
+            records,
+            events,
+            final_placement: placement,
+            vm_downtime_s,
+            vm_requested_s,
+            host_energy_joules,
+        }
+    }
+}
+
+/// The result of running one scheduler over one trace.
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    scheduler: String,
+    records: Vec<StepRecord>,
+    events: Vec<crate::StepEvents>,
+    final_placement: Vec<usize>,
+    vm_downtime_s: Vec<f64>,
+    vm_requested_s: Vec<f64>,
+    host_energy_joules: Vec<f64>,
+}
+
+impl SimulationOutcome {
+    /// The scheduler's reported name.
+    pub fn scheduler(&self) -> &str {
+        &self.scheduler
+    }
+
+    /// Per-step records, one per simulated interval.
+    pub fn records(&self) -> &[StepRecord] {
+        &self.records
+    }
+
+    /// The VM→host assignment after the final step.
+    pub fn final_placement(&self) -> &[usize] {
+        &self.final_placement
+    }
+
+    /// Per-VM cumulative downtime in seconds.
+    pub fn vm_downtime_seconds(&self) -> &[f64] {
+        &self.vm_downtime_s
+    }
+
+    /// Per-VM cumulative requested (active) time in seconds.
+    pub fn vm_requested_seconds(&self) -> &[f64] {
+        &self.vm_requested_s
+    }
+
+    /// The structured event log, one entry per step.
+    pub fn events(&self) -> &[crate::StepEvents] {
+        &self.events
+    }
+
+    /// Per-host energy consumed over the run, in Joules.
+    pub fn host_energy_joules(&self) -> &[f64] {
+        &self.host_energy_joules
+    }
+
+    /// Aggregates the run into a Table 2/3-style summary row.
+    pub fn report(&self) -> SummaryReport {
+        SummaryReport::from_records(&self.scheduler, &self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MigrationRequest, NoOpScheduler, PmId, VmId};
+    use megh_trace::{PlanetLabConfig, WorkloadTrace};
+
+    fn flat_trace(n_vms: usize, steps: usize, util: f64) -> WorkloadTrace {
+        WorkloadTrace::from_rows(300, vec![vec![util; steps]; n_vms]).unwrap()
+    }
+
+    /// A scheduler that always asks for one fixed migration.
+    struct OneMove {
+        vm: usize,
+        target: usize,
+    }
+
+    impl Scheduler for OneMove {
+        fn name(&self) -> &str {
+            "OneMove"
+        }
+        fn decide(&mut self, _view: &DataCenterView) -> Vec<MigrationRequest> {
+            vec![MigrationRequest::new(VmId(self.vm), PmId(self.target))]
+        }
+    }
+
+    #[test]
+    fn trace_mismatch_is_rejected() {
+        let trace = flat_trace(3, 5, 10.0);
+        let config = DataCenterConfig::paper_planetlab(2, 4);
+        assert_eq!(
+            Simulation::new(config, trace).unwrap_err(),
+            SimError::TraceMismatch { config_vms: 4, trace_vms: 3 }
+        );
+    }
+
+    #[test]
+    fn round_robin_initial_placement() {
+        let trace = flat_trace(5, 2, 10.0);
+        let sim = Simulation::new(DataCenterConfig::paper_planetlab(2, 5), trace).unwrap();
+        assert_eq!(sim.initial_placement(), &[0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn random_placement_is_seeded() {
+        let mut config = DataCenterConfig::paper_planetlab(4, 10);
+        config.initial_placement = InitialPlacement::RandomUniform { seed: 9 };
+        let trace = flat_trace(10, 2, 10.0);
+        let a = Simulation::new(config.clone(), trace.clone()).unwrap();
+        let b = Simulation::new(config, trace).unwrap();
+        assert_eq!(a.initial_placement(), b.initial_placement());
+    }
+
+    #[test]
+    fn first_fit_respects_beta() {
+        let mut config = DataCenterConfig::paper_planetlab(4, 6);
+        config.initial_placement = InitialPlacement::FirstFit;
+        let trace = flat_trace(6, 2, 10.0);
+        let sim = Simulation::new(config.clone(), trace).unwrap();
+        // Requested MIPS per host never exceeds β × capacity at placement
+        // time unless overcommit was forced (not the case for 6 VMs on 4
+        // hosts here).
+        let mut requested = [0.0; 4];
+        for (j, &h) in sim.initial_placement().iter().enumerate() {
+            requested[h] += config.vms[j].mips;
+        }
+        for (h, req) in requested.iter().enumerate() {
+            assert!(
+                req / config.pms[h].mips <= config.cost.beta_overload + 1e-9,
+                "host {h} over-committed at placement time"
+            );
+        }
+    }
+
+    #[test]
+    fn noop_run_has_no_migrations_and_positive_cost() {
+        let trace = flat_trace(4, 6, 20.0);
+        let sim = Simulation::new(DataCenterConfig::paper_planetlab(2, 4), trace).unwrap();
+        let outcome = sim.run(NoOpScheduler);
+        let report = outcome.report();
+        assert_eq!(report.total_migrations, 0);
+        assert!(report.total_cost_usd > 0.0);
+        assert_eq!(report.steps, 6);
+        assert_eq!(report.sla_cost_usd, 0.0, "20 % util must not violate SLAs");
+    }
+
+    #[test]
+    fn energy_cost_matches_hand_computation() {
+        // 1 host awake, 1 asleep. Two small VMs first-fit onto host 0 at
+        // 0 % utilization.
+        let mut config = DataCenterConfig::paper_planetlab(2, 2);
+        config.vms = vec![
+            crate::VmSpec::new(500.0, 613.0, 100.0),
+            crate::VmSpec::new(500.0, 613.0, 100.0),
+        ];
+        let trace = flat_trace(2, 1, 0.0);
+        config.initial_placement = InitialPlacement::FirstFit;
+        let sim = Simulation::new(config.clone(), trace).unwrap();
+        let outcome = sim.run(NoOpScheduler);
+        let r = &outcome.records()[0];
+        // Host 0 is a G4 idling at 86 W for 300 s; host 1 sleeps.
+        let want = config.cost.energy_cost_usd(86.0 * 300.0);
+        assert!((r.energy_cost_usd - want).abs() < 1e-9);
+        assert_eq!(r.active_hosts, 1);
+    }
+
+    #[test]
+    fn migration_moves_vm_and_counts() {
+        let trace = flat_trace(2, 3, 10.0);
+        let sim = Simulation::new(DataCenterConfig::paper_planetlab(3, 2), trace).unwrap();
+        let outcome = sim.run(OneMove { vm: 0, target: 2 });
+        // First step migrates vm0 to host 2; later steps are self-moves
+        // (vm0 already there) and are ignored.
+        assert_eq!(outcome.report().total_migrations, 1);
+        assert_eq!(outcome.final_placement()[0], 2);
+        assert!(outcome.vm_downtime_seconds()[0] > 0.0);
+        assert_eq!(outcome.vm_downtime_seconds()[1], 0.0);
+    }
+
+    #[test]
+    fn out_of_range_requests_are_ignored() {
+        let trace = flat_trace(2, 2, 10.0);
+        let sim = Simulation::new(DataCenterConfig::paper_planetlab(2, 2), trace).unwrap();
+        let outcome = sim.run(OneMove { vm: 7, target: 1 });
+        assert_eq!(outcome.report().total_migrations, 0);
+        let outcome = sim.run(OneMove { vm: 0, target: 9 });
+        assert_eq!(outcome.report().total_migrations, 0);
+    }
+
+    #[test]
+    fn migration_cap_is_enforced() {
+        struct MoveAll;
+        impl Scheduler for MoveAll {
+            fn name(&self) -> &str {
+                "MoveAll"
+            }
+            fn decide(&mut self, view: &DataCenterView) -> Vec<MigrationRequest> {
+                view.vms()
+                    .map(|vm| {
+                        let h = view.host_of(vm).0;
+                        MigrationRequest::new(vm, PmId((h + 1) % view.n_hosts()))
+                    })
+                    .collect()
+            }
+        }
+        let trace = flat_trace(10, 1, 10.0);
+        let mut config = DataCenterConfig::paper_planetlab(4, 10);
+        config.migration_cap_fraction = 0.02;
+        let sim = Simulation::new(config, trace).unwrap();
+        let outcome = sim.run(MoveAll);
+        // cap = ceil(0.02 × 10) = 1.
+        assert_eq!(outcome.report().total_migrations, 1);
+    }
+
+    #[test]
+    fn overload_accrues_downtime_and_sla_cost() {
+        // 2 VMs of up to 2500 MIPS at 100 % on one G4 host (3720 MIPS)
+        // → guaranteed overload.
+        let mut config = DataCenterConfig::paper_planetlab(1, 2);
+        config.vms = vec![
+            crate::VmSpec::new(2500.0, 1024.0, 100.0),
+            crate::VmSpec::new(2500.0, 1024.0, 100.0),
+        ];
+        let trace = flat_trace(2, 4, 100.0);
+        let sim = Simulation::new(config, trace).unwrap();
+        let outcome = sim.run(NoOpScheduler);
+        assert!(outcome.vm_downtime_seconds().iter().all(|&d| d > 0.0));
+        let report = outcome.report();
+        assert!(report.sla_cost_usd > 0.0, "sustained overload must cost");
+        assert!(outcome.records().iter().all(|r| r.overloaded_hosts == 1));
+    }
+
+    #[test]
+    fn per_step_costs_sum_to_total() {
+        let trace = PlanetLabConfig::new(6, 5).generate_steps(30);
+        let sim = Simulation::new(DataCenterConfig::paper_planetlab(3, 6), trace).unwrap();
+        let outcome = sim.run(NoOpScheduler);
+        let report = outcome.report();
+        let sum: f64 = outcome.records().iter().map(|r| r.total_cost_usd).sum();
+        assert!((report.total_cost_usd - sum).abs() < 1e-9);
+        assert!(
+            (report.total_cost_usd - report.energy_cost_usd - report.sla_cost_usd).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn run_steps_truncates() {
+        let trace = flat_trace(2, 10, 10.0);
+        let sim = Simulation::new(DataCenterConfig::paper_planetlab(2, 2), trace).unwrap();
+        assert_eq!(sim.run_steps(NoOpScheduler, 4).records().len(), 4);
+        assert_eq!(sim.run_steps(NoOpScheduler, 99).records().len(), 10);
+    }
+
+    #[test]
+    fn duplicate_requests_for_same_vm_keep_first() {
+        struct TwoForOne;
+        impl Scheduler for TwoForOne {
+            fn name(&self) -> &str {
+                "TwoForOne"
+            }
+            fn decide(&mut self, _v: &DataCenterView) -> Vec<MigrationRequest> {
+                vec![
+                    MigrationRequest::new(VmId(0), PmId(1)),
+                    MigrationRequest::new(VmId(0), PmId(2)),
+                ]
+            }
+        }
+        let mut config = DataCenterConfig::paper_planetlab(3, 2);
+        config.migration_cap_fraction = 1.0; // cap is not the limiter here
+        let trace = flat_trace(2, 1, 10.0);
+        let sim = Simulation::new(config, trace).unwrap();
+        let outcome = sim.run(TwoForOne);
+        assert_eq!(outcome.report().total_migrations, 1);
+        assert_eq!(outcome.final_placement()[0], 1);
+    }
+
+    #[test]
+    fn demand_packed_initial_placement_packs_by_first_step_demand() {
+        let mut config = DataCenterConfig::paper_planetlab(4, 4);
+        config.vms = vec![crate::VmSpec::new(1000.0, 512.0, 100.0); 4];
+        config.initial_placement = InitialPlacement::DemandPacked;
+        // All four demand 10 % of 1000 = 100 MIPS: they pack onto one
+        // host (400 ≪ β × 3720, reservation 4000 ≤ 2 × 3720).
+        let trace = flat_trace(4, 2, 10.0);
+        let sim = Simulation::new(config, trace).unwrap();
+        let first = sim.initial_placement()[0];
+        assert!(sim.initial_placement().iter().all(|&h| h == first));
+    }
+
+    #[test]
+    fn demand_packed_respects_oversubscription() {
+        let mut config = DataCenterConfig::paper_planetlab(4, 8);
+        config.vms = vec![crate::VmSpec::new(2500.0, 512.0, 100.0); 8];
+        config.initial_placement = InitialPlacement::DemandPacked;
+        let trace = flat_trace(8, 2, 1.0); // near-idle demand
+        let sim = Simulation::new(config.clone(), trace).unwrap();
+        let mut reserved = [0.0; 4];
+        for (j, &h) in sim.initial_placement().iter().enumerate() {
+            reserved[h] += config.vms[j].mips;
+        }
+        for (h, r) in reserved.iter().enumerate() {
+            assert!(
+                *r <= config.oversubscription_ratio * config.pms[h].mips + 1e-9,
+                "host {h} over-reserved at {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversubscribed_network_slows_concurrent_inter_rack_migrations() {
+        // Two hosts per rack, heavy oversubscription; two simultaneous
+        // inter-rack migrations must each see less downtime-relevant
+        // bandwidth than a lone one would.
+        struct MoveTwo;
+        impl Scheduler for MoveTwo {
+            fn name(&self) -> &str {
+                "MoveTwo"
+            }
+            fn decide(&mut self, view: &DataCenterView) -> Vec<MigrationRequest> {
+                if view.step() == 0 {
+                    vec![
+                        MigrationRequest::new(VmId(0), PmId(2)),
+                        MigrationRequest::new(VmId(1), PmId(3)),
+                    ]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+        let run_with = |network: crate::NetworkModel| {
+            let mut config = DataCenterConfig::paper_planetlab(4, 2);
+            config.vms = vec![crate::VmSpec::new(1000.0, 1024.0, 100.0); 2];
+            config.initial_placement = InitialPlacement::Explicit(vec![0, 1]);
+            config.network = network;
+            let trace = flat_trace(2, 2, 10.0);
+            let sim = Simulation::new(config, trace).unwrap();
+            let outcome = sim.run(MoveTwo);
+            assert_eq!(outcome.report().total_migrations, 2);
+            outcome.vm_downtime_seconds().to_vec()
+        };
+        let full = run_with(crate::NetworkModel::FullBisection);
+        let shared = run_with(crate::NetworkModel::RackOversubscribed {
+            hosts_per_rack: 2,
+            ratio: 8.0,
+        });
+        for (f, s) in full.iter().zip(&shared) {
+            assert!(s > f, "contended migration must incur more downtime ({s} vs {f})");
+        }
+    }
+
+    #[test]
+    fn precopy_migration_model_changes_downtime() {
+        let run_with = |model: crate::MigrationModel| {
+            let mut config = DataCenterConfig::paper_planetlab(3, 2);
+            config.vms = vec![crate::VmSpec::new(1000.0, 2048.0, 100.0); 2];
+            config.migration_model = model;
+            let trace = flat_trace(2, 2, 10.0);
+            let sim = Simulation::new(config, trace).unwrap();
+            let outcome = sim.run(OneMove { vm: 0, target: 2 });
+            outcome.vm_downtime_seconds()[0]
+        };
+        let simple = run_with(crate::MigrationModel::Simple);
+        let precopy = run_with(crate::MigrationModel::PreCopy(
+            crate::PreCopyModel::default(),
+        ));
+        assert!(simple > 0.0);
+        assert!(precopy > 0.0);
+        // The idle-ish VM dirties slowly: pre-copy's stop-and-copy pause
+        // is far below the simple model's 10 % blanket charge.
+        assert!(
+            precopy < simple,
+            "precopy {precopy} should undercut simple {simple} for a quiet VM"
+        );
+    }
+
+    #[test]
+    fn event_log_tracks_sleep_and_wake_edges() {
+        // vm0 moves from host 0 (shared with vm1) to empty host 2 at
+        // step 0: host 2 wakes; nothing sleeps. No further changes.
+        let trace = flat_trace(2, 3, 10.0);
+        let mut config = DataCenterConfig::paper_planetlab(3, 2);
+        config.initial_placement = InitialPlacement::Explicit(vec![0, 0]);
+        let sim = Simulation::new(config, trace).unwrap();
+        let outcome = sim.run(OneMove { vm: 0, target: 2 });
+        let step0 = &outcome.events()[0];
+        assert_eq!(step0.migrations.len(), 1);
+        assert_eq!(step0.migrations[0].from, PmId(0));
+        assert_eq!(step0.migrations[0].to, PmId(2));
+        assert_eq!(step0.hosts_woken, vec![2]);
+        assert!(step0.hosts_slept.is_empty());
+        let step1 = &outcome.events()[1];
+        assert!(step1.migrations.is_empty());
+        assert!(step1.hosts_woken.is_empty() && step1.hosts_slept.is_empty());
+    }
+
+    #[test]
+    fn host_energy_breakdown_sums_to_total() {
+        let trace = flat_trace(4, 6, 30.0);
+        let sim = Simulation::new(DataCenterConfig::paper_planetlab(3, 4), trace).unwrap();
+        let outcome = sim.run(NoOpScheduler);
+        let per_host: f64 = outcome.host_energy_joules().iter().sum();
+        let cost = crate::CostParams::paper_defaults();
+        let total_cost = outcome.report().energy_cost_usd;
+        assert!((cost.energy_cost_usd(per_host) - total_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_data_center_runs() {
+        let trace = WorkloadTrace::from_rows(300, vec![]).unwrap();
+        let sim = Simulation::new(DataCenterConfig::paper_planetlab(2, 0), trace).unwrap();
+        let outcome = sim.run(NoOpScheduler);
+        // Hosts with no VMs sleep: zero cost.
+        assert_eq!(outcome.report().total_cost_usd, 0.0);
+    }
+
+    #[test]
+    fn history_window_is_bounded() {
+        struct HistoryProbe {
+            max_seen: usize,
+        }
+        impl Scheduler for HistoryProbe {
+            fn name(&self) -> &str {
+                "HistoryProbe"
+            }
+            fn decide(&mut self, view: &DataCenterView) -> Vec<MigrationRequest> {
+                for h in view.hosts() {
+                    self.max_seen = self.max_seen.max(view.host_history(h).len());
+                }
+                Vec::new()
+            }
+        }
+        let trace = flat_trace(2, 40, 10.0);
+        let mut config = DataCenterConfig::paper_planetlab(2, 2);
+        config.history_window = 7;
+        let sim = Simulation::new(config, trace).unwrap();
+        // Run and inspect via a probe-owned max (scheduler is consumed).
+        let mut probe = HistoryProbe { max_seen: 0 };
+        sim.run(&mut probe);
+        assert_eq!(probe.max_seen, 7);
+    }
+}

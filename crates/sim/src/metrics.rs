@@ -1,0 +1,230 @@
+//! Per-step records and summary reports — the raw material of every
+//! table and figure in §6.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PmId, VmId};
+
+/// One applied live migration, with its source host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationEvent {
+    /// The migrated VM.
+    pub vm: VmId,
+    /// Where it ran before this step.
+    pub from: PmId,
+    /// Where it runs now.
+    pub to: PmId,
+}
+
+/// Structured events of one observation interval — the audit log a
+/// production controller would emit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct StepEvents {
+    /// Migrations applied this step, in application order.
+    pub migrations: Vec<MigrationEvent>,
+    /// Hosts that went to sleep this step (lost their last VM).
+    pub hosts_slept: Vec<usize>,
+    /// Hosts that woke this step (received their first VM).
+    pub hosts_woken: Vec<usize>,
+    /// Hosts down this step due to a scheduled outage.
+    pub hosts_down: Vec<usize>,
+}
+
+/// Everything measured during one observation interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Step index (0-based).
+    pub step: usize,
+    /// Energy cost `ΔC_p` over the interval, USD.
+    pub energy_cost_usd: f64,
+    /// SLA-violation cost `ΔC_v` over the interval, USD.
+    pub sla_cost_usd: f64,
+    /// Total per-stage cost (Figures 2(a)–5(a) plot this series).
+    pub total_cost_usd: f64,
+    /// Migrations applied this step.
+    pub migrations: usize,
+    /// Cumulative migrations so far (Figures 2(b)–5(b)).
+    pub cumulative_migrations: usize,
+    /// Hosts with at least one VM (Figures 2(c)–5(c)).
+    pub active_hosts: usize,
+    /// Scheduler decision time in microseconds (Figures 2(d)–5(d),
+    /// Tables 2–3's "Execution time" column, Figure 6).
+    pub decision_micros: u64,
+    /// Hosts above the β overload threshold after migrations.
+    pub overloaded_hosts: usize,
+}
+
+/// Totals and averages over a whole run — one row of Table 2 or 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryReport {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Steps simulated.
+    pub steps: usize,
+    /// Total operation cost, USD ("Total cost" row).
+    pub total_cost_usd: f64,
+    /// Energy component of the total, USD.
+    pub energy_cost_usd: f64,
+    /// SLA component of the total, USD.
+    pub sla_cost_usd: f64,
+    /// Total VM migrations ("#VM migrations" row).
+    pub total_migrations: usize,
+    /// Mean number of active hosts ("#Active hosts" row).
+    pub mean_active_hosts: f64,
+    /// Mean per-step scheduler decision time, milliseconds
+    /// ("Execution time (ms)" row).
+    pub mean_decision_ms: f64,
+    /// Maximum per-step decision time, milliseconds.
+    pub max_decision_ms: f64,
+}
+
+impl SummaryReport {
+    /// Aggregates per-step records into a summary.
+    pub fn from_records(scheduler: &str, records: &[StepRecord]) -> Self {
+        let steps = records.len();
+        let total_cost_usd = records.iter().map(|r| r.total_cost_usd).sum();
+        let energy_cost_usd = records.iter().map(|r| r.energy_cost_usd).sum();
+        let sla_cost_usd = records.iter().map(|r| r.sla_cost_usd).sum();
+        let total_migrations = records.last().map_or(0, |r| r.cumulative_migrations);
+        let mean_active_hosts = if steps == 0 {
+            0.0
+        } else {
+            records.iter().map(|r| r.active_hosts as f64).sum::<f64>() / steps as f64
+        };
+        let mean_decision_ms = if steps == 0 {
+            0.0
+        } else {
+            records.iter().map(|r| r.decision_micros as f64).sum::<f64>() / steps as f64 / 1000.0
+        };
+        let max_decision_ms = records
+            .iter()
+            .map(|r| r.decision_micros as f64 / 1000.0)
+            .fold(0.0, f64::max);
+        Self {
+            scheduler: scheduler.to_string(),
+            steps,
+            total_cost_usd,
+            energy_cost_usd,
+            sla_cost_usd,
+            total_migrations,
+            mean_active_hosts,
+            mean_decision_ms,
+            max_decision_ms,
+        }
+    }
+}
+
+/// A pairwise comparison between two summary reports, as the paper
+/// phrases its headline results ("Megh reduces 14 % operational cost
+/// with respect to THR-MMT, while Megh's execution time is 86 % of
+/// THR-MMT's").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Percentage by which `self` reduces cost versus the baseline
+    /// (positive = cheaper).
+    pub cost_reduction_percent: f64,
+    /// Baseline migrations divided by this scheduler's migrations.
+    pub migration_ratio: f64,
+    /// This scheduler's mean decision time as a fraction of the
+    /// baseline's.
+    pub execution_time_fraction: f64,
+    /// Active-host difference (this − baseline).
+    pub active_hosts_delta: f64,
+}
+
+impl SummaryReport {
+    /// Compares this report against a `baseline`.
+    pub fn relative_to(&self, baseline: &SummaryReport) -> Comparison {
+        let safe = |v: f64| if v.abs() < 1e-12 { 1e-12 } else { v };
+        Comparison {
+            cost_reduction_percent: 100.0 * (baseline.total_cost_usd - self.total_cost_usd)
+                / safe(baseline.total_cost_usd),
+            migration_ratio: baseline.total_migrations as f64
+                / (self.total_migrations.max(1) as f64),
+            execution_time_fraction: self.mean_decision_ms / safe(baseline.mean_decision_ms),
+            active_hosts_delta: self.mean_active_hosts - baseline.mean_active_hosts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(step: usize, cost: f64, migrations: usize, cum: usize) -> StepRecord {
+        StepRecord {
+            step,
+            energy_cost_usd: cost * 0.8,
+            sla_cost_usd: cost * 0.2,
+            total_cost_usd: cost,
+            migrations,
+            cumulative_migrations: cum,
+            active_hosts: 4,
+            decision_micros: 1500,
+            overloaded_hosts: 0,
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_totals() {
+        let records = vec![record(0, 1.0, 2, 2), record(1, 3.0, 1, 3)];
+        let s = SummaryReport::from_records("X", &records);
+        assert_eq!(s.scheduler, "X");
+        assert_eq!(s.steps, 2);
+        assert!((s.total_cost_usd - 4.0).abs() < 1e-12);
+        assert!((s.energy_cost_usd - 3.2).abs() < 1e-12);
+        assert!((s.sla_cost_usd - 0.8).abs() < 1e-12);
+        assert_eq!(s.total_migrations, 3);
+        assert_eq!(s.mean_active_hosts, 4.0);
+        assert!((s.mean_decision_ms - 1.5).abs() < 1e-12);
+        assert!((s.max_decision_ms - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_matches_hand_math() {
+        let megh = SummaryReport {
+            scheduler: "Megh".into(),
+            steps: 10,
+            total_cost_usd: 86.0,
+            energy_cost_usd: 80.0,
+            sla_cost_usd: 6.0,
+            total_migrations: 100,
+            mean_active_hosts: 20.0,
+            mean_decision_ms: 0.86,
+            max_decision_ms: 1.0,
+        };
+        let thr = SummaryReport {
+            scheduler: "THR-MMT".into(),
+            steps: 10,
+            total_cost_usd: 100.0,
+            energy_cost_usd: 60.0,
+            sla_cost_usd: 40.0,
+            total_migrations: 10_000,
+            mean_active_hosts: 50.0,
+            mean_decision_ms: 1.0,
+            max_decision_ms: 2.0,
+        };
+        let c = megh.relative_to(&thr);
+        assert!((c.cost_reduction_percent - 14.0).abs() < 1e-9);
+        assert!((c.migration_ratio - 100.0).abs() < 1e-9);
+        assert!((c.execution_time_fraction - 0.86).abs() < 1e-9);
+        assert!((c.active_hosts_delta - -30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparison_survives_zero_baselines() {
+        let zero = SummaryReport::from_records("z", &[]);
+        let c = zero.relative_to(&zero);
+        assert!(c.cost_reduction_percent.is_finite());
+        assert!(c.migration_ratio.is_finite());
+    }
+
+    #[test]
+    fn empty_run_summary_is_zeroed() {
+        let s = SummaryReport::from_records("empty", &[]);
+        assert_eq!(s.steps, 0);
+        assert_eq!(s.total_cost_usd, 0.0);
+        assert_eq!(s.total_migrations, 0);
+        assert_eq!(s.mean_active_hosts, 0.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Live-migration timing models.
+//!
+//! The paper (§3.3) takes `TM = M/B` — all memory copied once over the
+//! network — and estimates downtime via the α-threshold. That is the
+//! [`MigrationModel::Simple`] default. Production live migration
+//! (Clark et al., NSDI 2005 — the paper's reference [4]) is *iterative
+//! pre-copy*: memory is copied while the VM keeps dirtying pages, each
+//! round re-sending what the previous round left dirty, until the
+//! remainder is small enough for a stop-and-copy pause. That is
+//! [`MigrationModel::PreCopy`], which yields both a longer total
+//! migration time and a principled downtime (the final stop-and-copy),
+//! replacing the fixed downtime fraction.
+
+use serde::{Deserialize, Serialize};
+
+/// Estimated timing of one live migration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationEstimate {
+    /// Total duration of the migration in seconds.
+    pub total_seconds: f64,
+    /// VM downtime (unavailability) in seconds.
+    pub downtime_seconds: f64,
+    /// Pre-copy rounds performed (1 for the simple model).
+    pub rounds: usize,
+}
+
+/// Parameters of the iterative pre-copy model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreCopyModel {
+    /// Rate at which the running VM dirties memory, in Mbit/s of pages.
+    pub dirty_rate_mbps: f64,
+    /// Maximum pre-copy rounds before forcing stop-and-copy.
+    pub max_rounds: usize,
+    /// Remaining dirty volume (MB) below which stop-and-copy starts.
+    pub stop_copy_threshold_mb: f64,
+}
+
+impl Default for PreCopyModel {
+    fn default() -> Self {
+        Self {
+            dirty_rate_mbps: 100.0,
+            max_rounds: 10,
+            stop_copy_threshold_mb: 32.0,
+        }
+    }
+}
+
+/// How migration time and downtime are derived from VM RAM and host
+/// bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum MigrationModel {
+    /// §3.3's single full copy: `TM = 8·RAM/B`; downtime is
+    /// `downtime_fraction × TM` (the CostParams field).
+    #[default]
+    Simple,
+    /// Iterative pre-copy (Clark et al. 2005).
+    PreCopy(PreCopyModel),
+}
+
+
+impl MigrationModel {
+    /// Estimates one migration of a VM with `ram_mb` of memory over a
+    /// link of `bw_mbps`, with `simple_downtime_fraction` applying only
+    /// to the simple model.
+    ///
+    /// Returns `None` when the bandwidth is non-positive (the migration
+    /// is impossible).
+    pub fn estimate(
+        &self,
+        ram_mb: f64,
+        bw_mbps: f64,
+        simple_downtime_fraction: f64,
+    ) -> Option<MigrationEstimate> {
+        if bw_mbps <= 0.0 || ram_mb < 0.0 {
+            return None;
+        }
+        match *self {
+            Self::Simple => {
+                let total = ram_mb * 8.0 / bw_mbps;
+                Some(MigrationEstimate {
+                    total_seconds: total,
+                    downtime_seconds: simple_downtime_fraction.clamp(0.0, 1.0) * total,
+                    rounds: 1,
+                })
+            }
+            Self::PreCopy(model) => {
+                // Round 1 copies all RAM; each subsequent round copies
+                // what was dirtied during the previous one. With
+                // ρ = dirty_rate/bandwidth < 1 the dirty volume decays
+                // geometrically; ρ ≥ 1 never converges and the round
+                // cap forces stop-and-copy.
+                let bw_mb_s = bw_mbps / 8.0; // MB per second
+                let dirty_mb_s = model.dirty_rate_mbps / 8.0;
+                let mut to_copy_mb = ram_mb;
+                let mut total_seconds = 0.0;
+                let mut rounds = 0;
+                while rounds < model.max_rounds.max(1) {
+                    rounds += 1;
+                    let round_seconds = to_copy_mb / bw_mb_s;
+                    total_seconds += round_seconds;
+                    let dirtied = dirty_mb_s * round_seconds;
+                    if dirtied <= model.stop_copy_threshold_mb || dirtied >= to_copy_mb {
+                        to_copy_mb = dirtied;
+                        break;
+                    }
+                    to_copy_mb = dirtied;
+                }
+                // Stop-and-copy: the VM pauses while the residue moves.
+                let downtime = to_copy_mb / bw_mb_s;
+                Some(MigrationEstimate {
+                    total_seconds: total_seconds + downtime,
+                    downtime_seconds: downtime,
+                    rounds,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_model_matches_section_3_3() {
+        let est = MigrationModel::Simple.estimate(512.0, 1000.0, 0.1).unwrap();
+        assert!((est.total_seconds - 4.096).abs() < 1e-9);
+        assert!((est.downtime_seconds - 0.4096).abs() < 1e-9);
+        assert_eq!(est.rounds, 1);
+    }
+
+    #[test]
+    fn zero_bandwidth_is_impossible() {
+        assert!(MigrationModel::Simple.estimate(512.0, 0.0, 0.1).is_none());
+        assert!(MigrationModel::PreCopy(PreCopyModel::default())
+            .estimate(512.0, -1.0, 0.1)
+            .is_none());
+    }
+
+    #[test]
+    fn precopy_with_idle_vm_has_one_round_and_tiny_downtime() {
+        let model = MigrationModel::PreCopy(PreCopyModel {
+            dirty_rate_mbps: 0.0,
+            ..PreCopyModel::default()
+        });
+        let est = model.estimate(1024.0, 1000.0, 0.1).unwrap();
+        assert_eq!(est.rounds, 1);
+        assert_eq!(est.downtime_seconds, 0.0);
+        assert!((est.total_seconds - 1024.0 * 8.0 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precopy_downtime_shrinks_with_bandwidth() {
+        let model = MigrationModel::PreCopy(PreCopyModel::default());
+        let slow = model.estimate(2048.0, 500.0, 0.1).unwrap();
+        let fast = model.estimate(2048.0, 2000.0, 0.1).unwrap();
+        assert!(fast.downtime_seconds < slow.downtime_seconds);
+        assert!(fast.total_seconds < slow.total_seconds);
+    }
+
+    #[test]
+    fn precopy_converges_when_dirtying_is_slower_than_link() {
+        let model = MigrationModel::PreCopy(PreCopyModel {
+            dirty_rate_mbps: 100.0,
+            max_rounds: 30,
+            stop_copy_threshold_mb: 8.0,
+        });
+        let est = model.estimate(4096.0, 1000.0, 0.1).unwrap();
+        assert!(est.rounds < 30, "should converge, used {} rounds", est.rounds);
+        assert!(est.downtime_seconds < 1.0, "downtime {}", est.downtime_seconds);
+        // Total bounded by geometric series M/B / (1 − ρ) plus slack.
+        let geo = 4096.0 * 8.0 / 1000.0 / (1.0 - 0.1);
+        assert!(est.total_seconds <= geo * 1.1);
+    }
+
+    #[test]
+    fn precopy_diverges_gracefully_when_dirtying_outruns_link() {
+        // Dirty rate ≥ bandwidth: rounds cap, downtime ≈ full copy.
+        let model = MigrationModel::PreCopy(PreCopyModel {
+            dirty_rate_mbps: 2000.0,
+            max_rounds: 5,
+            stop_copy_threshold_mb: 8.0,
+        });
+        let est = model.estimate(1024.0, 1000.0, 0.1).unwrap();
+        // Divergence detected on round 1 (dirtied ≥ to_copy): a single
+        // pre-copy round, then stop-and-copy of the grown residue.
+        assert_eq!(est.rounds, 1);
+        assert!(est.downtime_seconds >= 1024.0 * 8.0 / 1000.0);
+        assert!(est.total_seconds.is_finite());
+    }
+
+    #[test]
+    fn precopy_downtime_never_exceeds_total() {
+        for ram in [256.0, 1024.0, 4096.0] {
+            for dirty in [0.0, 50.0, 500.0, 5000.0] {
+                let model = MigrationModel::PreCopy(PreCopyModel {
+                    dirty_rate_mbps: dirty,
+                    ..PreCopyModel::default()
+                });
+                let est = model.estimate(ram, 1000.0, 0.1).unwrap();
+                assert!(est.downtime_seconds <= est.total_seconds + 1e-9);
+                assert!(est.downtime_seconds >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Data-center network models for migration bandwidth.
+//!
+//! §3.3 computes migration time from "the available bandwidth of the
+//! network", and §7 names network topology (fat-trees) as future work:
+//! "we are confident that network … sharing can be seamlessly
+//! accommodated without modifying our solution algorithmically". This
+//! module provides that accommodation: a [`NetworkModel`] maps each
+//! migration to its effective bandwidth, including contention between
+//! migrations that share a rack uplink in the same interval.
+//!
+//! * [`NetworkModel::FullBisection`] — every host pair enjoys the full
+//!   host NIC bandwidth (a non-blocking fabric, e.g. a proper fat-tree;
+//!   also the paper's implicit assumption).
+//! * [`NetworkModel::RackOversubscribed`] — hosts are grouped into
+//!   racks of `hosts_per_rack`; migrations inside a rack get NIC speed,
+//!   migrations between racks share each rack's uplink, whose capacity
+//!   is the rack's aggregate NIC bandwidth divided by `ratio`.
+
+use serde::{Deserialize, Serialize};
+
+/// Which host pairs contend for network capacity during migration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum NetworkModel {
+    /// Non-blocking fabric: effective bandwidth = NIC bandwidth.
+    #[default]
+    FullBisection,
+    /// Top-of-rack oversubscription.
+    RackOversubscribed {
+        /// Hosts per rack (must be ≥ 1).
+        hosts_per_rack: usize,
+        /// Oversubscription ratio of the rack uplink (≥ 1.0 means the
+        /// uplink is `aggregate NIC bandwidth / ratio`).
+        ratio: f64,
+    },
+}
+
+
+impl NetworkModel {
+    /// The rack index of a host (hosts are numbered consecutively).
+    pub fn rack_of(&self, host: usize) -> usize {
+        match *self {
+            Self::FullBisection => 0,
+            Self::RackOversubscribed { hosts_per_rack, .. } => host / hosts_per_rack.max(1),
+        }
+    }
+
+    /// Whether a migration between these hosts crosses rack boundaries.
+    pub fn crosses_racks(&self, src: usize, dst: usize) -> bool {
+        match self {
+            Self::FullBisection => false,
+            Self::RackOversubscribed { .. } => self.rack_of(src) != self.rack_of(dst),
+        }
+    }
+
+    /// Effective bandwidths for a batch of concurrent migrations.
+    ///
+    /// `migrations[i] = (src_host, dst_host, nic_mbps)` where `nic_mbps`
+    /// is the slower of the two endpoint NICs. Returns one effective
+    /// bandwidth per migration. Inter-rack migrations split each rack's
+    /// uplink evenly among the inter-rack migrations touching that rack
+    /// in this interval; the binding constraint (source uplink,
+    /// destination uplink, NIC) wins.
+    pub fn effective_bandwidths(&self, migrations: &[(usize, usize, f64)]) -> Vec<f64> {
+        match *self {
+            Self::FullBisection => migrations.iter().map(|&(_, _, nic)| nic).collect(),
+            Self::RackOversubscribed { hosts_per_rack, ratio } => {
+                let hosts_per_rack = hosts_per_rack.max(1);
+                let ratio = ratio.max(1.0);
+                // Count inter-rack migrations touching each rack.
+                let mut rack_load: std::collections::HashMap<usize, usize> =
+                    std::collections::HashMap::new();
+                for &(src, dst, _) in migrations {
+                    if self.crosses_racks(src, dst) {
+                        *rack_load.entry(self.rack_of(src)).or_insert(0) += 1;
+                        *rack_load.entry(self.rack_of(dst)).or_insert(0) += 1;
+                    }
+                }
+                migrations
+                    .iter()
+                    .map(|&(src, dst, nic)| {
+                        if !self.crosses_racks(src, dst) {
+                            return nic;
+                        }
+                        let uplink = nic * hosts_per_rack as f64 / ratio;
+                        let share = |rack: usize| {
+                            let load = rack_load.get(&rack).copied().unwrap_or(1).max(1);
+                            uplink / load as f64
+                        };
+                        nic.min(share(self.rack_of(src)))
+                            .min(share(self.rack_of(dst)))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_bisection_passes_nic_speed_through() {
+        let net = NetworkModel::FullBisection;
+        let bws = net.effective_bandwidths(&[(0, 5, 1000.0), (1, 2, 500.0)]);
+        assert_eq!(bws, vec![1000.0, 500.0]);
+        assert!(!net.crosses_racks(0, 99));
+    }
+
+    #[test]
+    fn rack_assignment_is_contiguous() {
+        let net = NetworkModel::RackOversubscribed { hosts_per_rack: 4, ratio: 2.0 };
+        assert_eq!(net.rack_of(0), 0);
+        assert_eq!(net.rack_of(3), 0);
+        assert_eq!(net.rack_of(4), 1);
+        assert!(net.crosses_racks(3, 4));
+        assert!(!net.crosses_racks(0, 3));
+    }
+
+    #[test]
+    fn intra_rack_migrations_are_uncontended() {
+        let net = NetworkModel::RackOversubscribed { hosts_per_rack: 4, ratio: 4.0 };
+        let bws = net.effective_bandwidths(&[(0, 1, 1000.0), (2, 3, 1000.0)]);
+        assert_eq!(bws, vec![1000.0, 1000.0]);
+    }
+
+    #[test]
+    fn single_inter_rack_migration_gets_uplink_or_nic() {
+        // Uplink = 4 × 1000 / 2 = 2000 ≥ NIC → NIC binds.
+        let net = NetworkModel::RackOversubscribed { hosts_per_rack: 4, ratio: 2.0 };
+        let bws = net.effective_bandwidths(&[(0, 4, 1000.0)]);
+        assert_eq!(bws, vec![1000.0]);
+        // Heavier oversubscription: uplink = 4000/8 = 500 < NIC.
+        let net = NetworkModel::RackOversubscribed { hosts_per_rack: 4, ratio: 8.0 };
+        let bws = net.effective_bandwidths(&[(0, 4, 1000.0)]);
+        assert_eq!(bws, vec![500.0]);
+    }
+
+    #[test]
+    fn concurrent_inter_rack_migrations_share_the_uplink() {
+        // Rack 0 = hosts 0–3; two migrations leave rack 0 concurrently.
+        let net = NetworkModel::RackOversubscribed { hosts_per_rack: 4, ratio: 4.0 };
+        // Uplink = 4 × 1000 / 4 = 1000; two flows share → 500 each.
+        let bws = net.effective_bandwidths(&[(0, 4, 1000.0), (1, 8, 1000.0)]);
+        assert_eq!(bws, vec![500.0, 500.0]);
+    }
+
+    #[test]
+    fn destination_rack_can_be_the_bottleneck() {
+        // Two flows converge on rack 1 (hosts 4–7).
+        let net = NetworkModel::RackOversubscribed { hosts_per_rack: 4, ratio: 4.0 };
+        let bws = net.effective_bandwidths(&[(0, 4, 1000.0), (8, 5, 1000.0)]);
+        // Rack 1 carries two inter-rack flows: 1000/2 = 500 each.
+        assert_eq!(bws, vec![500.0, 500.0]);
+    }
+
+    #[test]
+    fn ratio_below_one_is_clamped() {
+        let net = NetworkModel::RackOversubscribed { hosts_per_rack: 2, ratio: 0.1 };
+        let bws = net.effective_bandwidths(&[(0, 2, 1000.0)]);
+        // Clamped ratio 1.0 → uplink 2000 ≥ NIC.
+        assert_eq!(bws, vec![1000.0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Literature-standard SLA metrics (Beloglazov & Buyya 2012).
+//!
+//! Beyond the paper's monetary cost model (§3), the dynamic-
+//! consolidation literature evaluates schedulers with four standard
+//! composite metrics, which this module derives from a finished run:
+//!
+//! * **SLATAH** — SLA violation Time per Active Host: the fraction of
+//!   its active time each host spent at 100 % utilization, averaged
+//!   over hosts that were ever active.
+//! * **PDM** — Performance Degradation due to Migration: total
+//!   migration-caused performance loss over total requested capacity.
+//! * **SLAV** = SLATAH × PDM — the combined violation metric.
+//! * **ESV** = Energy × SLAV — the single-figure energy/SLA trade-off.
+//!
+//! The engine records what these need (per-host saturation time, per-VM
+//! migration downtime); [`SlavMetrics::from_run`] assembles them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{SimulationOutcome, StepRecord};
+
+/// The Beloglazov metric bundle for one finished run.
+///
+/// # Examples
+///
+/// ```
+/// use megh_sim::{DataCenterConfig, NoOpScheduler, Simulation, SlavMetrics};
+/// use megh_trace::PlanetLabConfig;
+///
+/// let trace = PlanetLabConfig::new(6, 1).generate_steps(10);
+/// let outcome = Simulation::new(DataCenterConfig::paper_planetlab(3, 6), trace)?
+///     .run(NoOpScheduler::default());
+/// let metrics = SlavMetrics::from_run(&outcome);
+/// assert!(metrics.slav >= 0.0);
+/// # Ok::<(), megh_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlavMetrics {
+    /// SLA violation time per active host, as a fraction in `[0, 1]`.
+    pub slatah: f64,
+    /// Performance degradation due to migration, as a fraction.
+    pub pdm: f64,
+    /// `SLATAH × PDM`.
+    pub slav: f64,
+    /// Total energy consumed in kWh.
+    pub energy_kwh: f64,
+    /// `energy_kwh × SLAV` — lower is better on both axes at once.
+    pub esv: f64,
+}
+
+impl SlavMetrics {
+    /// Derives the metric bundle from a finished simulation.
+    ///
+    /// SLATAH is approximated from the per-step record stream: a step
+    /// counts as saturation time when at least one host exceeded the β
+    /// threshold (the engine's `overloaded_hosts` counter), weighted by
+    /// the overloaded fraction of active hosts. PDM uses each VM's
+    /// accumulated migration + deficit downtime against its requested
+    /// time.
+    pub fn from_run(outcome: &SimulationOutcome) -> Self {
+        let records = outcome.records();
+        let slatah = slatah_from_records(records);
+        let pdm = {
+            let total_requested: f64 = outcome.vm_requested_seconds().iter().sum();
+            let total_downtime: f64 = outcome.vm_downtime_seconds().iter().sum();
+            if total_requested > 0.0 {
+                total_downtime / total_requested
+            } else {
+                0.0
+            }
+        };
+        let slav = slatah * pdm;
+        // Exact energy from the per-host Joule breakdown (tariff-free).
+        let joules: f64 = outcome.host_energy_joules().iter().sum();
+        let energy_kwh = joules / 3.6e6;
+        Self {
+            slatah,
+            pdm,
+            slav,
+            energy_kwh,
+            esv: energy_kwh * slav,
+        }
+    }
+}
+
+fn slatah_from_records(records: &[StepRecord]) -> f64 {
+    let mut overloaded_weighted = 0.0;
+    let mut active_steps = 0.0;
+    for r in records {
+        if r.active_hosts > 0 {
+            active_steps += 1.0;
+            overloaded_weighted += r.overloaded_hosts as f64 / r.active_hosts as f64;
+        }
+    }
+    if active_steps > 0.0 {
+        overloaded_weighted / active_steps
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataCenterConfig, NoOpScheduler, Simulation, VmSpec};
+    use megh_trace::WorkloadTrace;
+
+    fn run(util: f64, steps: usize) -> SimulationOutcome {
+        let mut config = DataCenterConfig::paper_planetlab(1, 2);
+        config.vms = vec![VmSpec::new(1500.0, 1024.0, 100.0); 2];
+        let trace = WorkloadTrace::from_rows(300, vec![vec![util; steps]; 2]).unwrap();
+        Simulation::new(config, trace).unwrap().run(NoOpScheduler)
+    }
+
+    #[test]
+    fn idle_run_has_zero_slav() {
+        let m = SlavMetrics::from_run(&run(10.0, 8));
+        assert_eq!(m.slatah, 0.0);
+        assert_eq!(m.pdm, 0.0);
+        assert_eq!(m.slav, 0.0);
+        assert_eq!(m.esv, 0.0);
+        assert!(m.energy_kwh > 0.0);
+    }
+
+    #[test]
+    fn saturated_run_has_full_slatah() {
+        // 2 × 1500 MIPS at 100 % on a 3720-MIPS host: util 0.81 > β
+        // every step → SLATAH = 1.
+        let m = SlavMetrics::from_run(&run(100.0, 8));
+        assert_eq!(m.slatah, 1.0);
+        // util < 1.0 → no deficit downtime, no migrations → PDM = 0.
+        assert_eq!(m.pdm, 0.0);
+    }
+
+    #[test]
+    fn deficit_run_has_positive_slav() {
+        // Overcommit: 2 × 2500 at 100 % on 3720 → util 1.34.
+        let mut config = DataCenterConfig::paper_planetlab(1, 2);
+        config.vms = vec![VmSpec::new(2500.0, 1024.0, 100.0); 2];
+        let trace = WorkloadTrace::from_rows(300, vec![vec![100.0; 8]; 2]).unwrap();
+        let outcome = Simulation::new(config, trace).unwrap().run(NoOpScheduler);
+        let m = SlavMetrics::from_run(&outcome);
+        assert_eq!(m.slatah, 1.0);
+        assert!(m.pdm > 0.0);
+        assert!(m.slav > 0.0);
+        assert!(m.esv > 0.0);
+    }
+
+    #[test]
+    fn energy_kwh_matches_cost_tariff() {
+        let outcome = run(10.0, 8);
+        let m = SlavMetrics::from_run(&outcome);
+        let report = outcome.report();
+        let expected = report.energy_cost_usd / 0.18675;
+        assert!((m.energy_kwh - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_all_zero() {
+        let config = DataCenterConfig::paper_planetlab(2, 0);
+        let trace = WorkloadTrace::from_rows(300, vec![]).unwrap();
+        let outcome = Simulation::new(config, trace).unwrap().run(NoOpScheduler);
+        let m = SlavMetrics::from_run(&outcome);
+        assert_eq!(m, SlavMetrics {
+            slatah: 0.0,
+            pdm: 0.0,
+            slav: 0.0,
+            energy_kwh: 0.0,
+            esv: 0.0
+        });
+    }
+}

@@ -1,0 +1,217 @@
+//! CSV persistence for workload traces.
+//!
+//! Format: one row per observation step, one column per VM, values are
+//! utilization percentages. A single header line records the sampling
+//! interval, so traces can be exchanged with external tooling (plotting,
+//! or real PlanetLab/Google dumps converted offline).
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::WorkloadTrace;
+
+/// Error raised while reading or writing a trace CSV.
+#[derive(Debug)]
+pub enum TraceCsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell could not be parsed as a float.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Offending cell content.
+        cell: String,
+    },
+    /// Structural problem (missing header, ragged rows, bad range).
+    Format(String),
+}
+
+impl fmt::Display for TraceCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Parse { line, cell } => {
+                write!(f, "cannot parse {cell:?} as a number on line {line}")
+            }
+            Self::Format(msg) => write!(f, "malformed trace csv: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceCsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceCsvError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Writes a trace to a CSV file.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Examples
+///
+/// ```no_run
+/// use megh_trace::{save_csv, WorkloadTrace};
+///
+/// let t = WorkloadTrace::from_rows(300, vec![vec![10.0, 20.0]]).unwrap();
+/// save_csv(&t, "trace.csv")?;
+/// # Ok::<(), megh_trace::TraceCsvError>(())
+/// ```
+pub fn save_csv(trace: &WorkloadTrace, path: impl AsRef<Path>) -> Result<(), TraceCsvError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "# step_seconds={}", trace.step_seconds())?;
+    for step in 0..trace.n_steps() {
+        let row: Vec<String> = (0..trace.n_vms())
+            .map(|vm| format!("{:.4}", trace.utilization(vm, step)))
+            .collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a trace from a CSV file previously written by [`save_csv`].
+///
+/// # Errors
+///
+/// Returns [`TraceCsvError`] for I/O failures, unparsable cells, ragged
+/// rows, out-of-range utilizations, or a missing header.
+pub fn load_csv(path: impl AsRef<Path>) -> Result<WorkloadTrace, TraceCsvError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut step_seconds: Option<u64> = None;
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(value) = rest.trim().strip_prefix("step_seconds=") {
+                step_seconds = Some(value.trim().parse().map_err(|_| TraceCsvError::Format(
+                    format!("invalid step_seconds value {value:?}"),
+                ))?);
+            }
+            continue;
+        }
+        let cells: Vec<f64> = line
+            .split(',')
+            .map(|c| {
+                c.trim().parse::<f64>().map_err(|_| TraceCsvError::Parse {
+                    line: idx + 1,
+                    cell: c.to_string(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if columns.is_empty() {
+            columns = vec![Vec::new(); cells.len()];
+        }
+        if cells.len() != columns.len() {
+            return Err(TraceCsvError::Format(format!(
+                "row on line {} has {} cells, expected {}",
+                idx + 1,
+                cells.len(),
+                columns.len()
+            )));
+        }
+        for (col, v) in columns.iter_mut().zip(cells) {
+            col.push(v);
+        }
+    }
+    let step_seconds = step_seconds
+        .ok_or_else(|| TraceCsvError::Format("missing '# step_seconds=' header".into()))?;
+    WorkloadTrace::from_rows(step_seconds, columns)
+        .ok_or_else(|| TraceCsvError::Format("utilization outside [0, 100] or ragged".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlanetLabConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("megh-trace-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let t = PlanetLabConfig::new(5, 3).generate_steps(20);
+        let path = tmp("roundtrip.csv");
+        save_csv(&t, &path).unwrap();
+        let loaded = load_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.n_vms(), t.n_vms());
+        assert_eq!(loaded.n_steps(), t.n_steps());
+        assert_eq!(loaded.step_seconds(), t.step_seconds());
+        for vm in 0..t.n_vms() {
+            for step in 0..t.n_steps() {
+                assert!((loaded.utilization(vm, step) - t.utilization(vm, step)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        let path = tmp("noheader.csv");
+        std::fs::write(&path, "1.0,2.0\n").unwrap();
+        let err = load_csv(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, TraceCsvError::Format(_)));
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let path = tmp("ragged.csv");
+        std::fs::write(&path, "# step_seconds=300\n1.0,2.0\n3.0\n").unwrap();
+        let err = load_csv(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, TraceCsvError::Format(_)));
+    }
+
+    #[test]
+    fn unparsable_cell_reports_location() {
+        let path = tmp("badcell.csv");
+        std::fs::write(&path, "# step_seconds=300\n1.0,abc\n").unwrap();
+        let err = load_csv(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        match err {
+            TraceCsvError::Parse { line, cell } => {
+                assert_eq!(line, 2);
+                assert_eq!(cell, "abc");
+            }
+            other => panic!("expected Parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_value_is_rejected() {
+        let path = tmp("range.csv");
+        std::fs::write(&path, "# step_seconds=300\n150.0\n").unwrap();
+        let err = load_csv(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, TraceCsvError::Format(_)));
+    }
+
+    #[test]
+    fn error_messages_are_nonempty() {
+        let e = TraceCsvError::Format("x".into());
+        assert!(!e.to_string().is_empty());
+        let e = TraceCsvError::Parse { line: 1, cell: "q".into() };
+        assert!(e.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Synthetic PlanetLab-like workload generator.
+//!
+//! The real PlanetLab/CoMoN trace shipped with CloudSim contains per-VM
+//! CPU utilization sampled every 5 minutes over 7 days. The paper's
+//! Figure 1(a) and §6.2 report its salient features: workloads run
+//! continuously for the whole week, the average utilization is ≈ 12 %,
+//! the standard deviation is large (reported ≈ 34 %), and instantaneous
+//! levels range from ≈ 5 % up to ≈ 90 %. No standard parametric
+//! distribution fits it (Cullen–Frey analysis in §6.2).
+//!
+//! We reproduce those properties with a *Markov-modulated* process: each
+//! VM alternates between a quiet regime (low base load with AR(1) noise)
+//! and a bursty regime (load near 85–90 %), with regime-switching
+//! probabilities calibrated so the long-run mean is ≈ 12 % and bursts are
+//! sustained for tens of minutes — matching "long duration but high
+//! variance" workloads. A mild diurnal modulation makes burst onset more
+//! likely during the simulated day than at night.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::{WorkloadTrace, STEPS_PER_DAY, STEP_SECONDS};
+
+/// Configuration for the PlanetLab-like generator.
+///
+/// # Examples
+///
+/// ```
+/// use megh_trace::PlanetLabConfig;
+///
+/// let trace = PlanetLabConfig::new(100, 42).generate(1);
+/// assert_eq!(trace.n_vms(), 100);
+/// assert_eq!(trace.n_steps(), 288);
+/// let mean = trace.overall_mean();
+/// assert!(mean > 6.0 && mean < 20.0, "mean {mean} out of PlanetLab band");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanetLabConfig {
+    /// Number of VM workload rows to generate.
+    pub n_vms: usize,
+    /// RNG seed; equal seeds give byte-identical traces.
+    pub seed: u64,
+    /// Long-run probability mass in the bursty regime.
+    pub burst_fraction: f64,
+    /// Expected burst length in steps (5-minute units).
+    pub mean_burst_steps: f64,
+    /// Mean of the quiet-regime base load (percent).
+    pub quiet_mean: f64,
+    /// Mean of the bursty-regime load (percent).
+    pub burst_mean: f64,
+}
+
+impl PlanetLabConfig {
+    /// Creates a configuration with the paper-calibrated defaults.
+    pub fn new(n_vms: usize, seed: u64) -> Self {
+        Self {
+            n_vms,
+            seed,
+            // Calibration: mean ≈ (1-f)·quiet + f·burst ≈ 12 %.
+            burst_fraction: 0.075,
+            mean_burst_steps: 8.0, // ≈ 40 minutes of sustained load
+            quiet_mean: 6.5,
+            burst_mean: 82.0,
+        }
+    }
+
+    /// Generates a trace spanning `days` simulated days.
+    pub fn generate(&self, days: usize) -> WorkloadTrace {
+        self.generate_steps(days * STEPS_PER_DAY)
+    }
+
+    /// Generates a trace with an explicit number of 5-minute steps.
+    pub fn generate_steps(&self, n_steps: usize) -> WorkloadTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Per-VM heterogeneity: each VM's quiet base is log-normal around
+        // the configured quiet mean (PlanetLab nodes differ widely).
+        let base_dist = LogNormal::new(self.quiet_mean.max(0.1).ln(), 0.45)
+            .expect("valid lognormal parameters");
+        let burst_level_dist =
+            Normal::new(self.burst_mean, 6.0).expect("valid normal parameters");
+        let noise = Normal::new(0.0, 1.5).expect("valid normal parameters");
+
+        let p_exit_burst = 1.0 / self.mean_burst_steps.max(1.0);
+        // Stationarity: f = p_enter / (p_enter + p_exit).
+        let p_enter_burst =
+            (self.burst_fraction * p_exit_burst) / (1.0 - self.burst_fraction).max(1e-9);
+
+        let mut rows = Vec::with_capacity(self.n_vms);
+        for _ in 0..self.n_vms {
+            let base = base_dist.sample(&mut rng).clamp(3.0, 25.0);
+            let mut bursting = rng.gen_bool(self.burst_fraction.clamp(0.0, 1.0));
+            let mut level = if bursting {
+                burst_level_dist.sample(&mut rng).clamp(50.0, 95.0)
+            } else {
+                base
+            };
+            let mut row = Vec::with_capacity(n_steps);
+            for step in 0..n_steps {
+                // Diurnal modulation: burst onset twice as likely at the
+                // daily peak as at the trough.
+                let phase =
+                    (step % STEPS_PER_DAY) as f64 / STEPS_PER_DAY as f64 * std::f64::consts::TAU;
+                let diurnal = 1.0 + 0.5 * phase.sin();
+                if bursting {
+                    if rng.gen_bool(p_exit_burst.clamp(0.0, 1.0)) {
+                        bursting = false;
+                        level = base;
+                    }
+                } else if rng.gen_bool((p_enter_burst * diurnal).clamp(0.0, 1.0)) {
+                    bursting = true;
+                    level = burst_level_dist.sample(&mut rng).clamp(50.0, 95.0);
+                }
+                // AR(1) pull towards the regime level plus white noise.
+                let target = if bursting {
+                    level
+                } else {
+                    base
+                };
+                let current = row.last().copied().unwrap_or(target);
+                let next = current + 0.6 * (target - current) + noise.sample(&mut rng);
+                row.push(next.clamp(0.0, 100.0));
+            }
+            rows.push(row);
+        }
+        WorkloadTrace::from_rows(STEP_SECONDS, rows)
+            .expect("generator only emits utilization in [0, 100]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megh_linalg_test_shim::std_dev_of;
+
+    /// Tiny local shim so these tests do not depend on megh-linalg.
+    mod megh_linalg_test_shim {
+        pub fn std_dev_of(values: &[f64]) -> f64 {
+            let n = values.len() as f64;
+            let mean = values.iter().sum::<f64>() / n;
+            (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt()
+        }
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let a = PlanetLabConfig::new(10, 1).generate_steps(100);
+        let b = PlanetLabConfig::new(10, 1).generate_steps(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = PlanetLabConfig::new(10, 1).generate_steps(100);
+        let b = PlanetLabConfig::new(10, 2).generate_steps(100);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shape_matches_request() {
+        let t = PlanetLabConfig::new(7, 3).generate(2);
+        assert_eq!(t.n_vms(), 7);
+        assert_eq!(t.n_steps(), 2 * STEPS_PER_DAY);
+        assert_eq!(t.step_seconds(), STEP_SECONDS);
+    }
+
+    #[test]
+    fn mean_is_in_planetlab_band() {
+        // Paper: average workload ≈ 12 %. Accept a generous band.
+        let t = PlanetLabConfig::new(200, 11).generate(2);
+        let mean = t.overall_mean();
+        assert!(mean > 8.0 && mean < 18.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn workload_is_bursty_and_heavy_tailed() {
+        let t = PlanetLabConfig::new(200, 13).generate(2);
+        let all: Vec<f64> = (0..t.n_vms()).flat_map(|v| t.vm_row(v).to_vec()).collect();
+        let sd = std_dev_of(&all);
+        // Paper reports a very large std dev; with mean ~12 the feasible
+        // max is ~33, we require clearly heavy-tailed behaviour.
+        assert!(sd > 12.0, "std dev = {sd}");
+        let max = all.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > 70.0, "max = {max} — bursts should approach 90 %");
+    }
+
+    #[test]
+    fn utilization_always_in_range() {
+        let t = PlanetLabConfig::new(50, 17).generate_steps(500);
+        for vm in 0..t.n_vms() {
+            for &u in t.vm_row(vm) {
+                assert!((0.0..=100.0).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_run_continuously() {
+        // PlanetLab VMs are always active: no long all-zero stretches.
+        let t = PlanetLabConfig::new(20, 19).generate(1);
+        for vm in 0..t.n_vms() {
+            let mean: f64 = t.vm_row(vm).iter().sum::<f64>() / t.n_steps() as f64;
+            assert!(mean > 1.0, "vm {vm} looks idle (mean {mean})");
+        }
+    }
+
+    #[test]
+    fn zero_vms_is_fine() {
+        let t = PlanetLabConfig::new(0, 5).generate(1);
+        assert_eq!(t.n_vms(), 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Trace statistics backing Figure 1 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::WorkloadTrace;
+
+/// Aggregate statistics of a workload trace.
+///
+/// `per_step_mean`/`per_step_std` are the across-VM mean and standard
+/// deviation at each observation step — the series plotted in
+/// Figure 1(a) for PlanetLab.
+///
+/// # Examples
+///
+/// ```
+/// use megh_trace::{TraceStats, WorkloadTrace};
+///
+/// let t = WorkloadTrace::from_rows(300, vec![vec![10.0, 30.0], vec![20.0, 50.0]]).unwrap();
+/// let s = TraceStats::compute(&t);
+/// assert_eq!(s.per_step_mean, vec![15.0, 40.0]);
+/// assert_eq!(s.overall_max, 50.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Across-VM mean utilization at each step.
+    pub per_step_mean: Vec<f64>,
+    /// Across-VM standard deviation at each step.
+    pub per_step_std: Vec<f64>,
+    /// Mean over all VMs and steps.
+    pub overall_mean: f64,
+    /// Standard deviation over all VMs and steps.
+    pub overall_std: f64,
+    /// Minimum utilization observed.
+    pub overall_min: f64,
+    /// Maximum utilization observed.
+    pub overall_max: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics for a trace.
+    pub fn compute(trace: &WorkloadTrace) -> Self {
+        let steps = trace.n_steps();
+        let mut per_step_mean = Vec::with_capacity(steps);
+        let mut per_step_std = Vec::with_capacity(steps);
+        for step in 0..steps {
+            let col = trace.step_column(step);
+            let m = mean(&col);
+            per_step_mean.push(m);
+            per_step_std.push(std_with_mean(&col, m));
+        }
+        let all: Vec<f64> = (0..trace.n_vms())
+            .flat_map(|v| trace.vm_row(v).to_vec())
+            .collect();
+        let overall_mean = mean(&all);
+        let overall_std = std_with_mean(&all, overall_mean);
+        let overall_min = all.iter().cloned().fold(f64::INFINITY, f64::min);
+        let overall_max = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            per_step_mean,
+            per_step_std,
+            overall_mean,
+            overall_std,
+            overall_min: if all.is_empty() { 0.0 } else { overall_min },
+            overall_max: if all.is_empty() { 0.0 } else { overall_max },
+        }
+    }
+}
+
+/// Task-duration statistics backing Figure 1(b).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurationStats {
+    /// Histogram bucket edges in log10 seconds.
+    pub bucket_edges_log10: Vec<f64>,
+    /// Count of durations per bucket.
+    pub counts: Vec<usize>,
+    /// Minimum duration in seconds.
+    pub min_seconds: f64,
+    /// Maximum duration in seconds.
+    pub max_seconds: f64,
+}
+
+impl DurationStats {
+    /// Builds log10-bucketed duration statistics from raw durations.
+    ///
+    /// `buckets_per_decade` controls resolution (Figure 1(b) uses a
+    /// log-scale horizontal axis over 10¹–10⁶ s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets_per_decade == 0`.
+    pub fn from_durations(durations: &[f64], buckets_per_decade: usize) -> Self {
+        assert!(buckets_per_decade > 0, "need at least one bucket per decade");
+        if durations.is_empty() {
+            return Self {
+                bucket_edges_log10: Vec::new(),
+                counts: Vec::new(),
+                min_seconds: 0.0,
+                max_seconds: 0.0,
+            };
+        }
+        let (edges, counts) = log10_histogram(durations, buckets_per_decade);
+        let min_seconds = durations.iter().cloned().fold(f64::MAX, f64::min);
+        let max_seconds = durations.iter().cloned().fold(f64::MIN, f64::max);
+        Self {
+            bucket_edges_log10: edges,
+            counts,
+            min_seconds,
+            max_seconds,
+        }
+    }
+
+    /// Number of decades spanned by the observed durations.
+    pub fn decades_spanned(&self) -> f64 {
+        if self.min_seconds <= 0.0 || self.max_seconds <= 0.0 {
+            return 0.0;
+        }
+        (self.max_seconds / self.min_seconds).log10()
+    }
+}
+
+/// A point on the Cullen–Frey plane: squared skewness vs. kurtosis.
+///
+/// §6.2: "we plotted Cullen and Frey graph for the workloads of both
+/// the datasets. They did not match with any of the standard parametric
+/// distributions." The Cullen–Frey graph locates a sample by its
+/// `(skewness², kurtosis)` moments; classical distributions occupy
+/// known points/lines of that plane:
+///
+/// * normal: (0, 3) — uniform: (0, 1.8) — exponential: (4, 9);
+/// * gamma family: the line `kurtosis = 1.5·skewness² + 3`;
+/// * lognormal: a curve slightly above the gamma line.
+///
+/// [`CullenFrey::distance_to_normal`] etc. quantify the mismatch the
+/// paper eyeballs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CullenFrey {
+    /// Sample skewness squared.
+    pub skewness_squared: f64,
+    /// Sample kurtosis (non-excess; normal = 3).
+    pub kurtosis: f64,
+}
+
+impl CullenFrey {
+    /// Computes the Cullen–Frey coordinates of a sample.
+    ///
+    /// Returns `None` for fewer than 4 samples or zero variance.
+    pub fn of_sample(values: &[f64]) -> Option<Self> {
+        if values.len() < 4 {
+            return None;
+        }
+        let n = values.len() as f64;
+        let m = values.iter().sum::<f64>() / n;
+        let m2 = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / n;
+        if m2 <= 1e-12 {
+            return None;
+        }
+        let m3 = values.iter().map(|v| (v - m).powi(3)).sum::<f64>() / n;
+        let m4 = values.iter().map(|v| (v - m).powi(4)).sum::<f64>() / n;
+        let skewness = m3 / m2.powf(1.5);
+        Some(Self {
+            skewness_squared: skewness * skewness,
+            kurtosis: m4 / (m2 * m2),
+        })
+    }
+
+    /// Computes the coordinates over every sample of a trace.
+    pub fn of_trace(trace: &WorkloadTrace) -> Option<Self> {
+        let all: Vec<f64> = (0..trace.n_vms())
+            .flat_map(|v| trace.vm_row(v).to_vec())
+            .collect();
+        Self::of_sample(&all)
+    }
+
+    /// Euclidean distance to the normal point (0, 3).
+    pub fn distance_to_normal(&self) -> f64 {
+        (self.skewness_squared.powi(2) + (self.kurtosis - 3.0).powi(2)).sqrt()
+    }
+
+    /// Euclidean distance to the uniform point (0, 1.8).
+    pub fn distance_to_uniform(&self) -> f64 {
+        (self.skewness_squared.powi(2) + (self.kurtosis - 1.8).powi(2)).sqrt()
+    }
+
+    /// Euclidean distance to the exponential point (4, 9).
+    pub fn distance_to_exponential(&self) -> f64 {
+        ((self.skewness_squared - 4.0).powi(2) + (self.kurtosis - 9.0).powi(2)).sqrt()
+    }
+
+    /// Vertical distance to the gamma line `kurtosis = 1.5·s² + 3`.
+    pub fn distance_to_gamma_line(&self) -> f64 {
+        (self.kurtosis - (1.5 * self.skewness_squared + 3.0)).abs()
+    }
+
+    /// Whether the sample sits within `tolerance` of any of the
+    /// classical references above — the paper's test, inverted.
+    pub fn matches_a_standard_distribution(&self, tolerance: f64) -> bool {
+        self.distance_to_normal() <= tolerance
+            || self.distance_to_uniform() <= tolerance
+            || self.distance_to_exponential() <= tolerance
+            || self.distance_to_gamma_line() <= tolerance
+    }
+}
+
+/// Histogram over log10(value) with `buckets_per_decade` resolution.
+///
+/// Returns `(bucket_left_edges_log10, counts)`. Values must be positive;
+/// non-positive values are skipped.
+pub fn log10_histogram(values: &[f64], buckets_per_decade: usize) -> (Vec<f64>, Vec<usize>) {
+    let positives: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
+    if positives.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let min_log = positives
+        .iter()
+        .map(|v| v.log10())
+        .fold(f64::MAX, f64::min)
+        .floor();
+    let max_log = positives
+        .iter()
+        .map(|v| v.log10())
+        .fold(f64::MIN, f64::max);
+    let width = 1.0 / buckets_per_decade as f64;
+    let n_buckets = (((max_log - min_log) / width).floor() as usize) + 1;
+    let mut counts = vec![0usize; n_buckets];
+    for v in &positives {
+        let idx = (((v.log10() - min_log) / width).floor() as usize).min(n_buckets - 1);
+        counts[idx] += 1;
+    }
+    let edges = (0..n_buckets).map(|i| min_log + i as f64 * width).collect();
+    (edges, counts)
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+fn std_with_mean(values: &[f64], m: f64) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadTrace;
+
+    #[test]
+    fn per_step_stats() {
+        let t = WorkloadTrace::from_rows(300, vec![vec![0.0, 10.0], vec![20.0, 30.0]]).unwrap();
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.per_step_mean, vec![10.0, 20.0]);
+        assert_eq!(s.per_step_std, vec![10.0, 10.0]);
+        assert_eq!(s.overall_min, 0.0);
+        assert_eq!(s.overall_max, 30.0);
+        assert_eq!(s.overall_mean, 15.0);
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let t = WorkloadTrace::from_rows(300, vec![]).unwrap();
+        let s = TraceStats::compute(&t);
+        assert!(s.per_step_mean.is_empty());
+        assert_eq!(s.overall_mean, 0.0);
+        assert_eq!(s.overall_min, 0.0);
+    }
+
+    #[test]
+    fn log_histogram_buckets_by_decade() {
+        let values = [10.0, 15.0, 100.0, 1000.0, 1000.0];
+        let (edges, counts) = log10_histogram(&values, 1);
+        assert_eq!(edges, vec![1.0, 2.0, 3.0]);
+        assert_eq!(counts, vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn log_histogram_skips_nonpositive() {
+        let values = [0.0, -5.0, 10.0];
+        let (_, counts) = log10_histogram(&values, 1);
+        assert_eq!(counts.iter().sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn duration_stats_span() {
+        let durations = [10.0, 100.0, 1e6];
+        let d = DurationStats::from_durations(&durations, 2);
+        assert_eq!(d.min_seconds, 10.0);
+        assert_eq!(d.max_seconds, 1e6);
+        assert!((d.decades_spanned() - 5.0).abs() < 1e-9);
+        assert_eq!(d.counts.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn duration_stats_empty() {
+        let d = DurationStats::from_durations(&[], 2);
+        assert!(d.counts.is_empty());
+        assert_eq!(d.decades_spanned(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn duration_stats_rejects_zero_buckets() {
+        let _ = DurationStats::from_durations(&[1.0], 0);
+    }
+
+    #[test]
+    fn cullen_frey_locates_known_distributions() {
+        // A near-uniform discrete sample: kurtosis ≈ 1.8, skew ≈ 0.
+        let uniform: Vec<f64> = (0..10_000).map(|i| (i % 100) as f64).collect();
+        let cf = CullenFrey::of_sample(&uniform).unwrap();
+        assert!(cf.skewness_squared < 0.01, "skew² = {}", cf.skewness_squared);
+        assert!((cf.kurtosis - 1.8).abs() < 0.05, "kurtosis = {}", cf.kurtosis);
+        assert!(cf.distance_to_uniform() < 0.1);
+        assert!(cf.distance_to_normal() > 1.0);
+    }
+
+    #[test]
+    fn cullen_frey_rejects_degenerate_samples() {
+        assert!(CullenFrey::of_sample(&[1.0, 2.0]).is_none());
+        assert!(CullenFrey::of_sample(&[5.0; 100]).is_none());
+    }
+
+    #[test]
+    fn synthetic_planetlab_matches_no_standard_distribution() {
+        // §6.2's claim, applied to our calibrated generator.
+        let trace = crate::PlanetLabConfig::new(100, 3).generate_steps(500);
+        let cf = CullenFrey::of_trace(&trace).unwrap();
+        assert!(
+            !cf.matches_a_standard_distribution(0.5),
+            "trace unexpectedly parametric: {cf:?}"
+        );
+        // The burstiness puts it far from normal in particular.
+        assert!(cf.distance_to_normal() > 1.0, "{cf:?}");
+    }
+
+    #[test]
+    fn synthetic_google_matches_no_standard_distribution() {
+        let trace = crate::GoogleConfig::new(100, 3).generate_steps(500);
+        let cf = CullenFrey::of_trace(&trace).unwrap();
+        assert!(
+            !cf.matches_a_standard_distribution(0.5),
+            "trace unexpectedly parametric: {cf:?}"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Trace transformations for sensitivity studies: scaling, noising,
+//! merging, and resampling workloads without re-generating them.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+use crate::WorkloadTrace;
+
+/// Scales every utilization sample by `factor`, clamping to `[0, 100]`.
+///
+/// Used by load-intensity sweeps: the same trace at 0.5× or 2× load.
+///
+/// # Examples
+///
+/// ```
+/// use megh_trace::{scale_utilization, WorkloadTrace};
+///
+/// let t = WorkloadTrace::from_rows(300, vec![vec![40.0, 80.0]]).unwrap();
+/// let doubled = scale_utilization(&t, 2.0);
+/// assert_eq!(doubled.utilization(0, 0), 80.0);
+/// assert_eq!(doubled.utilization(0, 1), 100.0); // clamped
+/// ```
+pub fn scale_utilization(trace: &WorkloadTrace, factor: f64) -> WorkloadTrace {
+    let rows = (0..trace.n_vms())
+        .map(|vm| {
+            trace
+                .vm_row(vm)
+                .iter()
+                .map(|&u| (u * factor).clamp(0.0, 100.0))
+                .collect()
+        })
+        .collect();
+    WorkloadTrace::from_rows(trace.step_seconds(), rows).expect("clamped rows are valid")
+}
+
+/// Adds zero-mean Gaussian noise (σ in utilization points) to every
+/// sample, clamped to `[0, 100]`. Deterministic under `seed`.
+pub fn add_noise(trace: &WorkloadTrace, sigma: f64, seed: u64) -> WorkloadTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Normal::new(0.0, sigma.max(0.0)).expect("sigma >= 0");
+    let rows = (0..trace.n_vms())
+        .map(|vm| {
+            trace
+                .vm_row(vm)
+                .iter()
+                .map(|&u| (u + dist.sample(&mut rng)).clamp(0.0, 100.0))
+                .collect()
+        })
+        .collect();
+    WorkloadTrace::from_rows(trace.step_seconds(), rows).expect("clamped rows are valid")
+}
+
+/// Concatenates the VM populations of two traces (same interval; the
+/// shorter trace is zero-padded to the longer horizon).
+///
+/// Models a mixed tenancy: e.g. PlanetLab-style services plus
+/// Google-style batch tasks in one data center.
+///
+/// # Panics
+///
+/// Panics if the traces have different sampling intervals.
+pub fn merge_populations(a: &WorkloadTrace, b: &WorkloadTrace) -> WorkloadTrace {
+    assert_eq!(
+        a.step_seconds(),
+        b.step_seconds(),
+        "cannot merge traces with different intervals"
+    );
+    let steps = a.n_steps().max(b.n_steps());
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(a.n_vms() + b.n_vms());
+    for source in [a, b] {
+        for vm in 0..source.n_vms() {
+            let mut row = source.vm_row(vm).to_vec();
+            row.resize(steps, 0.0);
+            rows.push(row);
+        }
+    }
+    WorkloadTrace::from_rows(a.step_seconds(), rows).expect("padded rows are valid")
+}
+
+/// Resamples a trace to a coarser interval by averaging whole buckets
+/// of `factor` consecutive samples (trailing partial buckets dropped).
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+pub fn coarsen(trace: &WorkloadTrace, factor: usize) -> WorkloadTrace {
+    assert!(factor > 0, "factor must be positive");
+    let new_steps = trace.n_steps() / factor;
+    let rows = (0..trace.n_vms())
+        .map(|vm| {
+            (0..new_steps)
+                .map(|s| {
+                    let bucket = &trace.vm_row(vm)[s * factor..(s + 1) * factor];
+                    bucket.iter().sum::<f64>() / factor as f64
+                })
+                .collect()
+        })
+        .collect();
+    WorkloadTrace::from_rows(trace.step_seconds() * factor as u64, rows)
+        .expect("averaged rows are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlanetLabConfig;
+
+    fn toy() -> WorkloadTrace {
+        WorkloadTrace::from_rows(300, vec![vec![10.0, 20.0, 30.0, 40.0], vec![0.0; 4]]).unwrap()
+    }
+
+    #[test]
+    fn scaling_clamps_and_scales() {
+        let t = scale_utilization(&toy(), 3.0);
+        assert_eq!(t.utilization(0, 0), 30.0);
+        assert_eq!(t.utilization(0, 3), 100.0);
+        assert_eq!(t.utilization(1, 0), 0.0);
+    }
+
+    #[test]
+    fn zero_scale_idles_everything() {
+        let t = scale_utilization(&toy(), 0.0);
+        assert_eq!(t.overall_mean(), 0.0);
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let base = PlanetLabConfig::new(4, 1).generate_steps(50);
+        let a = add_noise(&base, 5.0, 9);
+        let b = add_noise(&base, 5.0, 9);
+        assert_eq!(a, b);
+        assert_ne!(a, base);
+        for vm in 0..a.n_vms() {
+            for &u in a.vm_row(vm) {
+                assert!((0.0..=100.0).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_concatenates_and_pads() {
+        let a = toy();
+        let b = WorkloadTrace::from_rows(300, vec![vec![50.0, 60.0]]).unwrap();
+        let merged = merge_populations(&a, &b);
+        assert_eq!(merged.n_vms(), 3);
+        assert_eq!(merged.n_steps(), 4);
+        assert_eq!(merged.utilization(2, 1), 60.0);
+        assert_eq!(merged.utilization(2, 3), 0.0, "short trace padded");
+    }
+
+    #[test]
+    #[should_panic(expected = "different intervals")]
+    fn merge_rejects_interval_mismatch() {
+        let a = toy();
+        let b = WorkloadTrace::from_rows(600, vec![vec![1.0]]).unwrap();
+        let _ = merge_populations(&a, &b);
+    }
+
+    #[test]
+    fn coarsen_averages_buckets() {
+        let t = coarsen(&toy(), 2);
+        assert_eq!(t.n_steps(), 2);
+        assert_eq!(t.step_seconds(), 600);
+        assert_eq!(t.utilization(0, 0), 15.0);
+        assert_eq!(t.utilization(0, 1), 35.0);
+    }
+
+    #[test]
+    fn coarsen_drops_partial_tail() {
+        let t = coarsen(&toy(), 3);
+        assert_eq!(t.n_steps(), 1);
+        assert_eq!(t.utilization(0, 0), 20.0);
+    }
+}

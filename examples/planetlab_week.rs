@@ -1,0 +1,46 @@
+//! The paper's PlanetLab scenario in miniature: a week of bursty,
+//! continuously-running workloads, comparing Megh against the strongest
+//! heuristic of Tables 2–3 (THR-MMT) and the no-migration floor.
+//!
+//! Run with: `cargo run --release --example planetlab_week`
+
+use megh::baselines::{MmtFlavor, MmtScheduler};
+use megh::core::{MeghAgent, MeghConfig};
+use megh::sim::{DataCenterConfig, InitialPlacement, NoOpScheduler, Simulation, SummaryReport};
+use megh::trace::PlanetLabConfig;
+
+fn main() {
+    let (hosts, vms) = (60, 80);
+    let trace = PlanetLabConfig::new(vms, 2024).generate(7);
+    let mut config = DataCenterConfig::paper_planetlab(hosts, vms);
+    config.initial_placement = InitialPlacement::DemandPacked;
+    let sim = Simulation::new(config, trace).expect("consistent setup");
+
+    let mut reports: Vec<SummaryReport> = Vec::new();
+    reports.push(sim.run(NoOpScheduler).report());
+    reports.push(sim.run(MmtScheduler::new(MmtFlavor::Thr)).report());
+    reports.push(sim.run(MeghAgent::new(MeghConfig::paper_defaults(vms, hosts))).report());
+
+    println!("{:<10} {:>12} {:>12} {:>12} {:>14} {:>10}",
+        "scheduler", "total USD", "energy USD", "SLA USD", "#migrations", "exec ms");
+    for r in &reports {
+        println!(
+            "{:<10} {:>12.2} {:>12.2} {:>12.2} {:>14} {:>10.3}",
+            r.scheduler,
+            r.total_cost_usd,
+            r.energy_cost_usd,
+            r.sla_cost_usd,
+            r.total_migrations,
+            r.mean_decision_ms
+        );
+    }
+
+    let comparison = reports[2].relative_to(&reports[1]);
+    println!(
+        "\nMegh vs THR-MMT: {:.1} % cheaper, {:.0}x fewer migrations, \
+         decisions in {:.0} % of the time",
+        comparison.cost_reduction_percent,
+        comparison.migration_ratio,
+        100.0 * comparison.execution_time_fraction,
+    );
+}

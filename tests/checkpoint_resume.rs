@@ -1,0 +1,57 @@
+//! Operational continuity: a long-running Megh controller must survive
+//! a restart mid-week via checkpoint/restore and keep scheduling
+//! sensibly on the remainder of the workload.
+
+use megh::prelude::*;
+use megh::core::MeghAgent;
+
+#[test]
+fn checkpointed_agent_resumes_mid_week() {
+    let (hosts, vms) = (6, 10);
+    let full_trace = PlanetLabConfig::new(vms, 123).generate_steps(200);
+    let mut config = DataCenterConfig::paper_planetlab(hosts, vms);
+    config.initial_placement = InitialPlacement::DemandPacked;
+
+    // Phase 1: run the first half, checkpoint through JSON (the full
+    // persistence path, not just a clone).
+    let first_half = Simulation::new(config.clone(), full_trace.truncated(100)).unwrap();
+    let mut agent = MeghAgent::new(MeghConfig::paper_defaults(vms, hosts));
+    let outcome_a = first_half.run(&mut agent);
+    let learned_nnz = agent.qtable_nnz();
+    assert!(learned_nnz > 0);
+    let json = serde_json::to_string(&agent.checkpoint()).unwrap();
+
+    // Phase 2: "restart" — restore from the serialized checkpoint and
+    // continue on the rest of the week (modelled as a fresh simulation
+    // seeded with the first half's final placement).
+    let second_half_trace = megh::trace::WorkloadTrace::from_rows(
+        300,
+        (0..vms)
+            .map(|vm| full_trace.vm_row(vm)[100..].to_vec())
+            .collect(),
+    )
+    .unwrap();
+    let mut resumed = MeghAgent::restore(serde_json::from_str(&json).unwrap(), 7);
+    assert_eq!(resumed.qtable_nnz(), learned_nnz, "knowledge must survive restart");
+    let mut config_b = config.clone();
+    config_b.initial_placement =
+        InitialPlacement::Explicit(outcome_a.final_placement().to_vec());
+    let second_half = Simulation::new(config_b, second_half_trace).unwrap();
+    let outcome_b = second_half.run(&mut resumed);
+
+    // The resumed agent keeps learning (Q-table grows further) and
+    // keeps costs in the same regime as the first half.
+    assert!(resumed.qtable_nnz() > learned_nnz, "learning must continue");
+    assert_eq!(outcome_b.records().len(), 100);
+    let mean = |o: &megh::sim::SimulationOutcome| {
+        o.records().iter().map(|r| r.total_cost_usd).sum::<f64>() / o.records().len() as f64
+    };
+    let (a, b) = (mean(&outcome_a), mean(&outcome_b));
+    assert!(
+        b < a * 3.0 + 1.0,
+        "resumed phase cost exploded: {b} vs first-half {a}"
+    );
+    // And the temperature kept decaying from where it left off rather
+    // than resetting to Temp0 = 3.
+    assert!(resumed.temperature() < 3.0 * (-0.01f64 * 150.0).exp());
+}
