@@ -73,22 +73,36 @@ impl OverloadDetector {
 
     /// IQR detector with the literature defaults.
     pub fn iqr_default() -> Self {
-        Self::Iqr { safety: 1.5, fallback: 0.8 }
+        Self::Iqr {
+            safety: 1.5,
+            fallback: 0.8,
+        }
     }
 
     /// MAD detector with the literature defaults.
     pub fn mad_default() -> Self {
-        Self::Mad { safety: 2.5, fallback: 0.8 }
+        Self::Mad {
+            safety: 2.5,
+            fallback: 0.8,
+        }
     }
 
     /// Plain local-regression detector (LR-MMT).
     pub fn lr_default() -> Self {
-        Self::Lr { safety: 1.2, robust_iterations: 0, fallback: 0.8 }
+        Self::Lr {
+            safety: 1.2,
+            robust_iterations: 0,
+            fallback: 0.8,
+        }
     }
 
     /// Robust local-regression detector (LRR-MMT).
     pub fn lrr_default() -> Self {
-        Self::Lr { safety: 1.2, robust_iterations: 3, fallback: 0.8 }
+        Self::Lr {
+            safety: 1.2,
+            robust_iterations: 3,
+            fallback: 0.8,
+        }
     }
 
     /// Decides whether a host with this utilization `history` (oldest
@@ -115,7 +129,11 @@ impl OverloadDetector {
                 let threshold = (1.0 - safety * mad(history)).clamp(0.0, 1.0);
                 current >= threshold
             }
-            Self::Lr { safety, robust_iterations, fallback } => {
+            Self::Lr {
+                safety,
+                robust_iterations,
+                fallback,
+            } => {
                 if history.len() < MIN_HISTORY {
                     return current > fallback;
                 }
@@ -212,11 +230,17 @@ mod tests {
     fn defaults_match_literature() {
         assert_eq!(
             OverloadDetector::iqr_default(),
-            OverloadDetector::Iqr { safety: 1.5, fallback: 0.8 }
+            OverloadDetector::Iqr {
+                safety: 1.5,
+                fallback: 0.8
+            }
         );
         assert_eq!(
             OverloadDetector::mad_default(),
-            OverloadDetector::Mad { safety: 2.5, fallback: 0.8 }
+            OverloadDetector::Mad {
+                safety: 2.5,
+                fallback: 0.8
+            }
         );
     }
 }

@@ -142,8 +142,7 @@ impl MadVmScheduler {
                 let mut max_delta = 0.0f64;
                 let mut next = vec![0.0f64; levels];
                 for l in 0..levels {
-                    let future: f64 =
-                        (0..levels).map(|l2| p[l][l2] * v[l2]).sum();
+                    let future: f64 = (0..levels).map(|l2| p[l][l2] * v[l2]).sum();
                     next[l] = self.level_mid(l) + self.cfg.gamma * future;
                     max_delta = max_delta.max((next[l] - v[l]).abs());
                 }
@@ -153,9 +152,7 @@ impl MadVmScheduler {
                 }
             }
             self.vm_value[j] = v[cur];
-            self.expected_util[j] = (0..levels)
-                .map(|l2| p[cur][l2] * self.level_mid(l2))
-                .sum();
+            self.expected_util[j] = (0..levels).map(|l2| p[cur][l2] * self.level_mid(l2)).sum();
         }
     }
 
@@ -197,8 +194,7 @@ impl MadVmScheduler {
             }
             let before = scored_used[host.0] / cap;
             let after = before + demand / cap;
-            let increase =
-                view.host_power_watts(host, after) - view.host_power_watts(host, before);
+            let increase = view.host_power_watts(host, after) - view.host_power_watts(host, before);
             let wake = if view.is_asleep(host) {
                 view.host_power_watts(host, 0.0)
             } else {
@@ -252,7 +248,12 @@ impl Scheduler for MadVmScheduler {
         // a real source of MadVM's extra migrations and slower
         // convergence relative to Megh (Figures 4(b), 5(b)).
         let snapshot = expected_used.clone();
-        for &host in &overloaded {
+        // HashSet iteration order varies per instance (random hasher
+        // seeds), which made identically seeded runs diverge; evict in
+        // host-id order so decisions are a pure function of the view.
+        let mut overloaded_order: Vec<PmId> = overloaded.iter().copied().collect();
+        overloaded_order.sort_unstable_by_key(|h| h.0);
+        for host in overloaded_order {
             let cap = view.host_mips(host);
             if cap <= 0.0 {
                 continue;

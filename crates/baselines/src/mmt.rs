@@ -120,11 +120,7 @@ impl MmtScheduler {
     }
 
     /// Step 1: VMs that must leave overloaded hosts.
-    fn overload_evacuations(
-        &self,
-        view: &DataCenterView,
-        overloaded: &HashSet<PmId>,
-    ) -> Vec<VmId> {
+    fn overload_evacuations(&self, view: &DataCenterView, overloaded: &HashSet<PmId>) -> Vec<VmId> {
         let mut to_move = Vec::new();
         for &host in overloaded {
             let cap = view.host_mips(host);
@@ -244,8 +240,7 @@ impl Scheduler for MmtScheduler {
         // step, so consolidation cannot re-fill hosts that just
         // received evacuees.
         let mut round = PlacementRound::new(view);
-        let placements =
-            round.place_bounded(view, &evacuees, &overloaded, self.utilization_bound);
+        let placements = round.place_bounded(view, &evacuees, &overloaded, self.utilization_bound);
         let mut requests: Vec<MigrationRequest> = placements
             .iter()
             .map(|&(vm, target)| MigrationRequest::new(vm, target))
@@ -329,8 +324,7 @@ mod tests {
     #[test]
     fn all_flavors_run_end_to_end() {
         let trace = PlanetLabConfig::new(10, 5).generate_steps(25);
-        let sim =
-            Simulation::new(DataCenterConfig::paper_planetlab(5, 10), trace).unwrap();
+        let sim = Simulation::new(DataCenterConfig::paper_planetlab(5, 10), trace).unwrap();
         for flavor in MmtFlavor::ALL {
             let outcome = sim.run(MmtScheduler::new(flavor));
             assert_eq!(outcome.scheduler(), flavor.label());
@@ -348,10 +342,7 @@ mod tests {
         let trace = WorkloadTrace::from_rows(300, vec![vec![0.0; 10]; 3]).unwrap();
         let sim = Simulation::new(config, trace).unwrap();
         let outcome = sim.run(MmtScheduler::new(MmtFlavor::Thr));
-        let tail_migrations: usize = outcome.records()[3..]
-            .iter()
-            .map(|r| r.migrations)
-            .sum();
+        let tail_migrations: usize = outcome.records()[3..].iter().map(|r| r.migrations).sum();
         assert_eq!(tail_migrations, 0, "steady state must be migration-free");
     }
 }

@@ -186,11 +186,7 @@ mod tests {
     fn excluded_hosts_are_skipped() {
         let view = setup(vec![50.0, 50.0]);
         let source = view.host_of(VmId(0));
-        let placements = power_aware_best_fit(
-            &view,
-            &[VmId(0)],
-            &HashSet::from([source, PmId(2)]),
-        );
+        let placements = power_aware_best_fit(&view, &[VmId(0)], &HashSet::from([source, PmId(2)]));
         assert_eq!(placements.len(), 1);
         assert_eq!(placements[0].1, PmId(1));
     }

@@ -12,9 +12,7 @@
 
 use std::collections::HashSet;
 
-use megh_sim::{
-    DataCenterView, MigrationRequest, PmId, Scheduler, Simulation, StepFeedback, VmId,
-};
+use megh_sim::{DataCenterView, MigrationRequest, PmId, Scheduler, Simulation, StepFeedback, VmId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -112,14 +110,10 @@ impl QLearningScheduler {
 
     fn state_of(view: &DataCenterView) -> usize {
         let hosts = view.n_hosts().max(1) as f64;
-        let overloaded = view
-            .hosts()
-            .filter(|&h| view.is_overloaded(h))
-            .count() as f64;
+        let overloaded = view.hosts().filter(|&h| view.is_overloaded(h)).count() as f64;
         let active = view.active_hosts() as f64;
-        let b = |fraction: f64| {
-            ((fraction.clamp(0.0, 1.0) * BUCKETS as f64) as usize).min(BUCKETS - 1)
-        };
+        let b =
+            |fraction: f64| ((fraction.clamp(0.0, 1.0) * BUCKETS as f64) as usize).min(BUCKETS - 1);
         b(overloaded / hosts) * BUCKETS + b(active / hosts)
     }
 

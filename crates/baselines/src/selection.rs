@@ -30,15 +30,13 @@ pub enum SelectionPolicy {
 /// ```
 pub fn select_minimum_migration_time(view: &DataCenterView, host: PmId) -> Option<VmId> {
     let bw = view.host_bw_mbps(host);
-    view.vms_on(host)
-        .into_iter()
-        .min_by(|&a, &b| {
-            let ta = migration_time(view, a, bw);
-            let tb = migration_time(view, b, bw);
-            ta.partial_cmp(&tb)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        })
+    view.vms_on(host).into_iter().min_by(|&a, &b| {
+        let ta = migration_time(view, a, bw);
+        let tb = migration_time(view, b, bw);
+        ta.partial_cmp(&tb)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    })
 }
 
 /// Picks a uniformly random VM from `host` (ablation control).

@@ -27,7 +27,10 @@ fn step_change_is_eventually_detected_by_all() {
     let mut history = vec![0.4; 6];
     history.extend(vec![0.85; 6]);
     for (name, d) in all_detectors() {
-        assert!(d.is_overloaded(&history), "{name} missed an established step");
+        assert!(
+            d.is_overloaded(&history),
+            "{name} missed an established step"
+        );
     }
 }
 
@@ -95,7 +98,10 @@ fn robust_detectors_forgive_a_past_spike() {
 fn current_saturation_fires_everyone() {
     let saturated = vec![0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 1.1];
     for (name, d) in all_detectors() {
-        assert!(d.is_overloaded(&saturated), "{name} ignored current saturation");
+        assert!(
+            d.is_overloaded(&saturated),
+            "{name} ignored current saturation"
+        );
     }
 }
 

@@ -15,7 +15,12 @@ use megh_trace::PlanetLabConfig;
 
 /// Captures a mid-run view after `warmup` steps of the given scheduler,
 /// returning the warmed scheduler and the captured view.
-fn warmed<S: Scheduler>(m: usize, n: usize, warmup: usize, mut scheduler: S) -> (S, DataCenterView) {
+fn warmed<S: Scheduler>(
+    m: usize,
+    n: usize,
+    warmup: usize,
+    mut scheduler: S,
+) -> (S, DataCenterView) {
     struct Tail<'a, S> {
         inner: &'a mut S,
         last_view: Option<DataCenterView>,
@@ -37,7 +42,10 @@ fn warmed<S: Scheduler>(m: usize, n: usize, warmup: usize, mut scheduler: S) -> 
     config.initial_placement = InitialPlacement::DemandPacked;
     let trace = PlanetLabConfig::new(n, 7).generate_steps(warmup);
     let sim = Simulation::new(config, trace).expect("valid setup");
-    let mut tail = Tail { inner: &mut scheduler, last_view: None };
+    let mut tail = Tail {
+        inner: &mut scheduler,
+        last_view: None,
+    };
     sim.run(&mut tail);
     let view = tail.last_view.expect("warmup ran at least one step");
     (scheduler, view)
@@ -48,10 +56,15 @@ fn bench_decision_latency(c: &mut Criterion) {
     group.sample_size(20);
 
     for &(m, n) in &[(50usize, 66usize), (100, 132), (200, 264)] {
-        group.bench_with_input(BenchmarkId::new("Megh", format!("{m}x{n}")), &(m, n), |b, _| {
-            let (mut megh, view) = warmed(m, n, 30, MeghAgent::new(MeghConfig::paper_defaults(n, m)));
-            b.iter(|| std::hint::black_box(megh.decide(&view)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("Megh", format!("{m}x{n}")),
+            &(m, n),
+            |b, _| {
+                let (mut megh, view) =
+                    warmed(m, n, 30, MeghAgent::new(MeghConfig::paper_defaults(n, m)));
+                b.iter(|| std::hint::black_box(megh.decide(&view)));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("THR-MMT", format!("{m}x{n}")),
             &(m, n),

@@ -22,9 +22,9 @@ fn dense_sherman_step(b: &mut DenseMatrix, a: usize, a2: usize, gamma: f64) {
     let bu: Vec<f64> = (0..n).map(|i| b.get(i, a)).collect();
     let vb: Vec<f64> = (0..n).map(|j| b.get(a, j) - gamma * b.get(a2, j)).collect();
     let denom = 1.0 + (bu[a] - gamma * bu[a2]);
-    for i in 0..n {
-        for j in 0..n {
-            let val = b.get(i, j) - bu[i] * vb[j] / denom;
+    for (i, &bui) in bu.iter().enumerate() {
+        for (j, &vbj) in vb.iter().enumerate() {
+            let val = b.get(i, j) - bui * vbj / denom;
             b.set(i, j, val);
         }
     }

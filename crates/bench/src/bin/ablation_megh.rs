@@ -22,13 +22,28 @@ fn main() {
     let scale = scale_from_args();
     let (config, trace) = planetlab_experiment(scale, 42);
     let (n, m) = (config.vms.len(), config.pms.len());
-    eprintln!("ablation_megh: {m} hosts, {n} VMs, {} steps", trace.n_steps());
+    eprintln!(
+        "ablation_megh: {m} hosts, {n} VMs, {} steps",
+        trace.n_steps()
+    );
 
     let base = MeghConfig::paper_defaults(n, m);
     let variants: Vec<(&str, MeghConfig)> = vec![
         ("paper", base.clone()),
-        ("gamma=0", MeghConfig { gamma: 0.0, ..base.clone() }),
-        ("gamma=0.9", MeghConfig { gamma: 0.9, ..base.clone() }),
+        (
+            "gamma=0",
+            MeghConfig {
+                gamma: 0.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "gamma=0.9",
+            MeghConfig {
+                gamma: 0.9,
+                ..base.clone()
+            },
+        ),
         (
             "2% actions",
             MeghConfig {
@@ -36,22 +51,43 @@ fn main() {
                 ..base.clone()
             },
         ),
-        ("masked", MeghConfig { mask_sleeping_targets: true, ..base.clone() }),
-        ("no decay", MeghConfig { epsilon: 0.0, ..base.clone() }),
-        ("cold greedy", MeghConfig { temp0: 0.01, epsilon: 0.0, ..base.clone() }),
+        (
+            "masked",
+            MeghConfig {
+                mask_sleeping_targets: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "no decay",
+            MeghConfig {
+                epsilon: 0.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "cold greedy",
+            MeghConfig {
+                temp0: 0.01,
+                epsilon: 0.0,
+                ..base.clone()
+            },
+        ),
     ];
 
     let mut reports: Vec<SummaryReport> = Vec::new();
     for (label, cfg) in variants {
-        let outcome =
-            run_scheduler(&config, &trace, MeghAgent::new(cfg)).expect("valid setup");
+        let outcome = run_scheduler(&config, &trace, MeghAgent::new(cfg)).expect("valid setup");
         let mut report = outcome.report();
         report.scheduler = format!("Megh[{label}]");
         eprintln!("  {label} done: {:.1} USD", report.total_cost_usd);
         reports.push(report);
     }
 
-    println!("{}", format_table("Ablation — Megh design choices", &reports));
+    println!(
+        "{}",
+        format_table("Ablation — Megh design choices", &reports)
+    );
     let dir = ensure_results_dir().expect("results dir");
     write_json(dir.join("ablation_megh.json"), &reports).expect("write results");
     println!("wrote results/ablation_megh.json");

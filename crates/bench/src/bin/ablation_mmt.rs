@@ -27,7 +27,10 @@ fn main() {
     );
 
     let mut variants: Vec<(String, MmtScheduler)> = Vec::new();
-    variants.push(("bound=0.8 (paper)".into(), MmtScheduler::new(MmtFlavor::Thr)));
+    variants.push((
+        "bound=0.8 (paper)".into(),
+        MmtScheduler::new(MmtFlavor::Thr),
+    ));
     for bound in [0.7, 0.6, 0.5] {
         let mut s = MmtScheduler::new(MmtFlavor::Thr);
         s.utilization_bound = bound;
@@ -50,7 +53,10 @@ fn main() {
         reports.push(report);
     }
 
-    println!("{}", format_table("Ablation — THR-MMT design choices", &reports));
+    println!(
+        "{}",
+        format_table("Ablation — THR-MMT design choices", &reports)
+    );
     let dir = ensure_results_dir().expect("results dir");
     write_json(dir.join("ablation_mmt.json"), &reports).expect("write results");
     println!("wrote results/ablation_mmt.json");

@@ -10,9 +10,7 @@
 //! Usage: `cargo run -p megh-bench --release --bin ablation_oversubscription [--full]`
 
 use megh_baselines::{MmtFlavor, MmtScheduler};
-use megh_bench::{
-    ensure_results_dir, run_megh, run_scheduler, scale_from_args, write_csv, Scale,
-};
+use megh_bench::{ensure_results_dir, run_megh, run_scheduler, scale_from_args, write_csv, Scale};
 use megh_sim::{DataCenterConfig, InitialPlacement};
 use megh_trace::PlanetLabConfig;
 
@@ -23,7 +21,10 @@ fn main() {
         Scale::Full => (800, 1052, 7),
     };
     let trace = PlanetLabConfig::new(n, 42).generate(days);
-    eprintln!("ablation_oversubscription: {m} hosts, {n} VMs, {} steps", trace.n_steps());
+    eprintln!(
+        "ablation_oversubscription: {m} hosts, {n} VMs, {} steps",
+        trace.n_steps()
+    );
 
     let dir = ensure_results_dir().expect("results dir");
     let mut rows = Vec::new();

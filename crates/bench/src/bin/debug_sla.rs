@@ -22,9 +22,15 @@ fn main() {
     let fracs: Vec<f64> = dt.iter().zip(rq).map(|(d, r)| d / r.max(1.0)).collect();
     let major = fracs.iter().filter(|&&f| f > 0.001).count();
     let minor = fracs.iter().filter(|&&f| f > 0.0005 && f <= 0.001).count();
-    println!("VMs ending in major band: {major}, minor: {minor}, of {}", fracs.len());
+    println!(
+        "VMs ending in major band: {major}, minor: {minor}, of {}",
+        fracs.len()
+    );
     let mean_dt: f64 = dt.iter().sum::<f64>() / dt.len() as f64;
-    println!("mean downtime {mean_dt:.1}s; max {:.1}s", dt.iter().cloned().fold(0.0, f64::max));
+    println!(
+        "mean downtime {mean_dt:.1}s; max {:.1}s",
+        dt.iter().cloned().fold(0.0, f64::max)
+    );
 
     // Migration-induced downtime estimate: migrations × 0.1 × TM(~20s max).
     let report = outcome.report();
@@ -33,5 +39,8 @@ fn main() {
         report.total_migrations,
         report.total_migrations as f64 * 0.1 * 20.0 / dt.len() as f64
     );
-    println!("energy ${:.1}, sla ${:.1}", report.energy_cost_usd, report.sla_cost_usd);
+    println!(
+        "energy ${:.1}, sla ${:.1}",
+        report.energy_cost_usd, report.sla_cost_usd
+    );
 }

@@ -77,8 +77,7 @@ fn main() {
     );
 
     let dir = ensure_results_dir().expect("results dir");
-    write_json(dir.join("ext_periodic_planetlab.json"), &planetlab_reports)
-        .expect("write results");
+    write_json(dir.join("ext_periodic_planetlab.json"), &planetlab_reports).expect("write results");
     write_json(dir.join("ext_periodic_diurnal.json"), &diurnal_reports).expect("write results");
     println!("wrote results/ext_periodic_{{planetlab,diurnal}}.json");
 }

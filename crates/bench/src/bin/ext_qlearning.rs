@@ -49,8 +49,7 @@ fn main() {
 
     let mut trained = QLearningScheduler::new(QLearningConfig::default());
     trained.train(&train_sim, episodes);
-    let trained_outcome =
-        run_scheduler(&config, &eval_trace, trained).expect("valid setup");
+    let trained_outcome = run_scheduler(&config, &eval_trace, trained).expect("valid setup");
     let mut r = trained_outcome.report();
     r.scheduler = "Q-learn (train)".into();
     reports.push(r);
@@ -62,7 +61,11 @@ fn main() {
             .report(),
     );
     eprintln!("  THR-MMT done");
-    reports.push(run_megh(&config, &eval_trace, 4242).expect("valid setup").report());
+    reports.push(
+        run_megh(&config, &eval_trace, 4242)
+            .expect("valid setup")
+            .report(),
+    );
     eprintln!("  Megh done");
 
     println!(

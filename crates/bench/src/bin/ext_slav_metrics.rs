@@ -8,8 +8,8 @@
 //! Usage: `cargo run -p megh-bench --release --bin ext_slav_metrics [--full]`
 
 use megh_bench::{
-    ensure_results_dir, planetlab_experiment, run_all_mmt, run_madvm, run_megh,
-    scale_from_args, write_json,
+    ensure_results_dir, planetlab_experiment, run_all_mmt, run_madvm, run_megh, scale_from_args,
+    write_json,
 };
 use megh_sim::SlavMetrics;
 use serde::Serialize;

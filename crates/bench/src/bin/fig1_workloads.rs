@@ -18,7 +18,11 @@ fn main() {
     let planetlab = PlanetLabConfig::new(n_pl, 42).generate(days);
     let stats = TraceStats::compute(&planetlab);
     println!("Figure 1(a) — PlanetLab-like workload dynamics");
-    println!("  VMs: {}, steps: {}", planetlab.n_vms(), planetlab.n_steps());
+    println!(
+        "  VMs: {}, steps: {}",
+        planetlab.n_vms(),
+        planetlab.n_steps()
+    );
     println!(
         "  overall mean {:.1} %, std {:.1} %, range [{:.1}, {:.1}] %",
         stats.overall_mean, stats.overall_std, stats.overall_min, stats.overall_max
@@ -38,8 +42,12 @@ fn main() {
         .zip(&stats.per_step_std)
         .enumerate()
         .map(|(t, (&m, &s))| vec![t as f64, m, s]);
-    write_csv(dir.join("fig1a_planetlab_dynamics.csv"), &["step", "mean", "std"], rows)
-        .expect("write fig1a");
+    write_csv(
+        dir.join("fig1a_planetlab_dynamics.csv"),
+        &["step", "mean", "std"],
+        rows,
+    )
+    .expect("write fig1a");
 
     // (b) Google task durations.
     let google_cfg = GoogleConfig::new(n_g, 43);

@@ -21,8 +21,8 @@ fn main() {
         trace.n_steps()
     );
 
-    let thr = run_scheduler(&config, &trace, MmtScheduler::new(MmtFlavor::Thr))
-        .expect("valid setup");
+    let thr =
+        run_scheduler(&config, &trace, MmtScheduler::new(MmtFlavor::Thr)).expect("valid setup");
     eprintln!("  THR-MMT done");
     let megh = run_megh(&config, &trace, 42).expect("valid setup");
     eprintln!("  Megh done");

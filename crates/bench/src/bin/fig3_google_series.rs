@@ -5,8 +5,8 @@
 
 use megh_baselines::{MmtFlavor, MmtScheduler};
 use megh_bench::{
-    ensure_results_dir, format_table, google_experiment, run_megh, run_scheduler,
-    scale_from_args, write_csv, SeriesBundle,
+    ensure_results_dir, format_table, google_experiment, run_megh, run_scheduler, scale_from_args,
+    write_csv, SeriesBundle,
 };
 
 fn main() {
@@ -19,8 +19,8 @@ fn main() {
         trace.n_steps()
     );
 
-    let thr = run_scheduler(&config, &trace, MmtScheduler::new(MmtFlavor::Thr))
-        .expect("valid setup");
+    let thr =
+        run_scheduler(&config, &trace, MmtScheduler::new(MmtFlavor::Thr)).expect("valid setup");
     eprintln!("  THR-MMT done");
     let megh = run_megh(&config, &trace, 43).expect("valid setup");
     eprintln!("  Megh done");
@@ -56,7 +56,10 @@ fn main() {
 
     println!(
         "{}",
-        format_table("Figure 3 — Megh vs THR-MMT (Google Cluster)", &bundle.reports())
+        format_table(
+            "Figure 3 — Megh vs THR-MMT (Google Cluster)",
+            &bundle.reports()
+        )
     );
     for (name, records) in bundle.names.iter().zip(&bundle.records) {
         let costs: Vec<f64> = records.iter().map(|r| r.total_cost_usd).collect();

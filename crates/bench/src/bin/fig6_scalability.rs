@@ -50,10 +50,18 @@ fn main() {
         }
     }
 
-    write_csv(dir.join("fig6a_thr_mmt_ms.csv"), &["pms", "vms", "mean_ms"], rows_thr.clone())
-        .expect("fig6a");
-    write_csv(dir.join("fig6b_megh_ms.csv"), &["pms", "vms", "mean_ms"], rows_megh.clone())
-        .expect("fig6b");
+    write_csv(
+        dir.join("fig6a_thr_mmt_ms.csv"),
+        &["pms", "vms", "mean_ms"],
+        rows_thr.clone(),
+    )
+    .expect("fig6a");
+    write_csv(
+        dir.join("fig6b_megh_ms.csv"),
+        &["pms", "vms", "mean_ms"],
+        rows_megh.clone(),
+    )
+    .expect("fig6b");
 
     // Shape check: growth from the smallest to the largest cell.
     let growth = |rows: &[Vec<f64>]| -> f64 {

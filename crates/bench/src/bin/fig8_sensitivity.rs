@@ -77,8 +77,12 @@ fn main() {
         println!("  Temp0 = {temp0:4.1}: median {q50:.4} USD/step  [{q10:.4}, {q90:.4}]");
         rows_a.push(vec![temp0, q10, q50, q90]);
     }
-    write_csv(dir.join("fig8a_temp0.csv"), &["temp0", "q10", "median", "q90"], rows_a)
-        .expect("fig8a");
+    write_csv(
+        dir.join("fig8a_temp0.csv"),
+        &["temp0", "q10", "median", "q90"],
+        rows_a,
+    )
+    .expect("fig8a");
 
     // (b) Vary ε at Temp₀ = 1.
     println!("Figure 8(b) — per-step cost vs epsilon (Temp0 = 1)");
@@ -91,8 +95,12 @@ fn main() {
         println!("  ε = {eps:8.4}: median {q50:.4} USD/step  [{q10:.4}, {q90:.4}]");
         rows_b.push(vec![eps, q10, q50, q90]);
     }
-    write_csv(dir.join("fig8b_epsilon.csv"), &["epsilon", "q10", "median", "q90"], rows_b)
-        .expect("fig8b");
+    write_csv(
+        dir.join("fig8b_epsilon.csv"),
+        &["epsilon", "q10", "median", "q90"],
+        rows_b,
+    )
+    .expect("fig8b");
 
     // (c) Extension: a small action space (d = N × M small enough for
     // exploration to cover it) where the exploration–exploitation

@@ -57,22 +57,120 @@ fn main() {
     let dir = ensure_results_dir().expect("results dir");
     println!("rendering figures from {}", dir.display());
 
-    render_series(&dir, "fig1a_planetlab_dynamics", "Figure 1(a) — PlanetLab workload dynamics", "step", "utilization %", false);
-    render_series(&dir, "fig1b_google_durations", "Figure 1(b) — Google task durations", "log10 seconds", "count", false);
+    render_series(
+        &dir,
+        "fig1a_planetlab_dynamics",
+        "Figure 1(a) — PlanetLab workload dynamics",
+        "step",
+        "utilization %",
+        false,
+    );
+    render_series(
+        &dir,
+        "fig1b_google_durations",
+        "Figure 1(b) — Google task durations",
+        "log10 seconds",
+        "count",
+        false,
+    );
     for (prefix, family) in [("fig2", "PlanetLab"), ("fig3", "Google Cluster")] {
-        render_series(&dir, &format!("{prefix}a_cost_per_step"), &format!("{family}: per-step cost"), "step", "USD / step", false);
-        render_series(&dir, &format!("{prefix}b_cumulative_migrations"), &format!("{family}: cumulative migrations"), "step", "migrations", true);
-        render_series(&dir, &format!("{prefix}c_active_hosts"), &format!("{family}: active hosts"), "step", "hosts", false);
-        render_series(&dir, &format!("{prefix}d_execution_ms"), &format!("{family}: decision time"), "step", "ms", true);
+        render_series(
+            &dir,
+            &format!("{prefix}a_cost_per_step"),
+            &format!("{family}: per-step cost"),
+            "step",
+            "USD / step",
+            false,
+        );
+        render_series(
+            &dir,
+            &format!("{prefix}b_cumulative_migrations"),
+            &format!("{family}: cumulative migrations"),
+            "step",
+            "migrations",
+            true,
+        );
+        render_series(
+            &dir,
+            &format!("{prefix}c_active_hosts"),
+            &format!("{family}: active hosts"),
+            "step",
+            "hosts",
+            false,
+        );
+        render_series(
+            &dir,
+            &format!("{prefix}d_execution_ms"),
+            &format!("{family}: decision time"),
+            "step",
+            "ms",
+            true,
+        );
     }
     for (prefix, family) in [("fig4", "PlanetLab subset"), ("fig5", "Google subset")] {
-        render_series(&dir, &format!("{prefix}a_cost_per_step"), &format!("Megh vs MadVM ({family}): per-step cost"), "step", "USD / step", false);
-        render_series(&dir, &format!("{prefix}b_cumulative_migrations"), &format!("Megh vs MadVM ({family}): migrations"), "step", "migrations", false);
-        render_series(&dir, &format!("{prefix}c_active_hosts"), &format!("Megh vs MadVM ({family}): active hosts"), "step", "hosts", false);
-        render_series(&dir, &format!("{prefix}d_execution_ms"), &format!("Megh vs MadVM ({family}): decision time"), "step", "ms", true);
+        render_series(
+            &dir,
+            &format!("{prefix}a_cost_per_step"),
+            &format!("Megh vs MadVM ({family}): per-step cost"),
+            "step",
+            "USD / step",
+            false,
+        );
+        render_series(
+            &dir,
+            &format!("{prefix}b_cumulative_migrations"),
+            &format!("Megh vs MadVM ({family}): migrations"),
+            "step",
+            "migrations",
+            false,
+        );
+        render_series(
+            &dir,
+            &format!("{prefix}c_active_hosts"),
+            &format!("Megh vs MadVM ({family}): active hosts"),
+            "step",
+            "hosts",
+            false,
+        );
+        render_series(
+            &dir,
+            &format!("{prefix}d_execution_ms"),
+            &format!("Megh vs MadVM ({family}): decision time"),
+            "step",
+            "ms",
+            true,
+        );
     }
-    render_series(&dir, "fig7_qtable_growth", "Figure 7 — Q-table non-zeros", "step", "non-zeros", false);
-    render_series(&dir, "fig8a_temp0", "Figure 8(a) — sensitivity to Temp0", "Temp0", "USD / step", false);
-    render_series(&dir, "fig8b_epsilon", "Figure 8(b) — sensitivity to epsilon", "epsilon", "USD / step", false);
-    render_series(&dir, "fig8c_temp0_small_space", "Figure 8(c) — small-space sensitivity", "Temp0", "USD / step", false);
+    render_series(
+        &dir,
+        "fig7_qtable_growth",
+        "Figure 7 — Q-table non-zeros",
+        "step",
+        "non-zeros",
+        false,
+    );
+    render_series(
+        &dir,
+        "fig8a_temp0",
+        "Figure 8(a) — sensitivity to Temp0",
+        "Temp0",
+        "USD / step",
+        false,
+    );
+    render_series(
+        &dir,
+        "fig8b_epsilon",
+        "Figure 8(b) — sensitivity to epsilon",
+        "epsilon",
+        "USD / step",
+        false,
+    );
+    render_series(
+        &dir,
+        "fig8c_temp0_small_space",
+        "Figure 8(c) — small-space sensitivity",
+        "Temp0",
+        "USD / step",
+        false,
+    );
 }

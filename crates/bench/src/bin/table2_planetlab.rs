@@ -7,8 +7,8 @@
 //! Usage: `cargo run -p megh-bench --release --bin table2_planetlab [--full]`
 
 use megh_bench::{
-    ensure_results_dir, format_table, planetlab_experiment, run_all_mmt, run_megh,
-    scale_from_args, write_json,
+    ensure_results_dir, format_table, planetlab_experiment, run_all_mmt, run_megh, scale_from_args,
+    write_json,
 };
 
 fn main() {

@@ -28,7 +28,10 @@ fn main() {
 
     println!(
         "{}",
-        format_table("Table 3 — Performance Evaluation for Google Cluster", &reports)
+        format_table(
+            "Table 3 — Performance Evaluation for Google Cluster",
+            &reports
+        )
     );
 
     let dir = ensure_results_dir().expect("results dir");

@@ -60,27 +60,45 @@ pub fn format_table(title: &str, reports: &[SummaryReport]) -> String {
     let rows: Vec<(&str, Vec<String>)> = vec![
         (
             "Total cost (USD)",
-            reports.iter().map(|r| format!("{:.1}", r.total_cost_usd)).collect(),
+            reports
+                .iter()
+                .map(|r| format!("{:.1}", r.total_cost_usd))
+                .collect(),
         ),
         (
             "  energy (USD)",
-            reports.iter().map(|r| format!("{:.1}", r.energy_cost_usd)).collect(),
+            reports
+                .iter()
+                .map(|r| format!("{:.1}", r.energy_cost_usd))
+                .collect(),
         ),
         (
             "  SLA (USD)",
-            reports.iter().map(|r| format!("{:.1}", r.sla_cost_usd)).collect(),
+            reports
+                .iter()
+                .map(|r| format!("{:.1}", r.sla_cost_usd))
+                .collect(),
         ),
         (
             "#VM migrations",
-            reports.iter().map(|r| r.total_migrations.to_string()).collect(),
+            reports
+                .iter()
+                .map(|r| r.total_migrations.to_string())
+                .collect(),
         ),
         (
             "#Active hosts (mean)",
-            reports.iter().map(|r| format!("{:.1}", r.mean_active_hosts)).collect(),
+            reports
+                .iter()
+                .map(|r| format!("{:.1}", r.mean_active_hosts))
+                .collect(),
         ),
         (
             "Execution time (ms)",
-            reports.iter().map(|r| format!("{:.3}", r.mean_decision_ms)).collect(),
+            reports
+                .iter()
+                .map(|r| format!("{:.3}", r.mean_decision_ms))
+                .collect(),
         ),
     ];
     let metric_width = rows.iter().map(|(m, _)| m.len()).max().unwrap_or(0).max(8);

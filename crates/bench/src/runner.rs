@@ -3,8 +3,7 @@
 use megh_baselines::{MadVmConfig, MadVmScheduler, MmtFlavor, MmtScheduler};
 use megh_core::{MeghAgent, MeghConfig};
 use megh_sim::{
-    DataCenterConfig, Scheduler, SimError, Simulation, SimulationOutcome, StepRecord,
-    SummaryReport,
+    DataCenterConfig, Scheduler, SimError, Simulation, SimulationOutcome, StepRecord, SummaryReport,
 };
 use megh_trace::WorkloadTrace;
 

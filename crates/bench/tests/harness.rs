@@ -4,8 +4,8 @@
 //! real mini-experiment.
 
 use megh_bench::{
-    format_table, run_all_mmt, run_madvm, run_megh, write_csv, write_json, LineChart,
-    MeghProbe, SeriesBundle,
+    format_table, run_all_mmt, run_madvm, run_megh, write_csv, write_json, LineChart, MeghProbe,
+    SeriesBundle,
 };
 use megh_core::{MeghAgent, MeghConfig};
 use megh_sim::{DataCenterConfig, InitialPlacement, Simulation};

@@ -39,7 +39,11 @@ impl fmt::Display for ArgsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Missing(key) => write!(f, "missing required option --{key}"),
-            Self::Invalid { key, value, expected } => {
+            Self::Invalid {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "option --{key}={value:?} is not a valid {expected}")
             }
             Self::UnknownCommand(cmd) => write!(f, "unknown command {cmd:?} (try `megh help`)"),
@@ -180,7 +184,11 @@ mod tests {
     fn errors_display_nonempty() {
         for e in [
             ArgsError::Missing("x"),
-            ArgsError::Invalid { key: "k".into(), value: "v".into(), expected: "int" },
+            ArgsError::Invalid {
+                key: "k".into(),
+                value: "v".into(),
+                expected: "int",
+            },
             ArgsError::UnknownCommand("zz".into()),
         ] {
             assert!(!e.to_string().is_empty());

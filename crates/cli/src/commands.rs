@@ -3,8 +3,8 @@
 use megh_baselines::{MadVmConfig, MadVmScheduler, MmtFlavor, MmtScheduler};
 use megh_core::{MeghAgent, MeghConfig, PeriodicMeghAgent};
 use megh_sim::{
-    DataCenterConfig, HostOutage, InitialPlacement, NoOpScheduler, Simulation,
-    SimulationOutcome, SlavMetrics, SummaryReport,
+    DataCenterConfig, HostOutage, InitialPlacement, NoOpScheduler, Simulation, SimulationOutcome,
+    SlavMetrics, SummaryReport,
 };
 use megh_trace::{DiurnalConfig, GoogleConfig, PlanetLabConfig, TraceStats, WorkloadTrace};
 
@@ -162,7 +162,9 @@ pub fn cmd_simulate(args: &Args) -> Result<String, ArgsError> {
     let (config, trace) = spec.build();
     let mut out = String::new();
     let names: Vec<&str> = if scheduler == "all" {
-        vec!["noop", "thr-mmt", "iqr-mmt", "mad-mmt", "lr-mmt", "lrr-mmt", "madvm", "megh"]
+        vec![
+            "noop", "thr-mmt", "iqr-mmt", "mad-mmt", "lr-mmt", "lrr-mmt", "madvm", "megh",
+        ]
     } else {
         vec![scheduler.as_str()]
     };
@@ -204,7 +206,9 @@ pub fn cmd_compare(args: &Args) -> Result<String, ArgsError> {
     let spec = SimSpec::from_args(args)?;
     let (config, trace) = spec.build();
     let mut rows = Vec::new();
-    for name in ["thr-mmt", "iqr-mmt", "mad-mmt", "lr-mmt", "lrr-mmt", "madvm", "megh"] {
+    for name in [
+        "thr-mmt", "iqr-mmt", "mad-mmt", "lr-mmt", "lrr-mmt", "madvm", "megh",
+    ] {
         rows.push(run_named_scheduler(name, &config, &trace, spec.seed)?.report());
     }
     let mut out = format!(
@@ -359,16 +363,19 @@ mod tests {
 
     #[test]
     fn simulate_with_slav_prints_metrics() {
-        let out =
-            dispatch(&parse("simulate --hosts 3 --vms 4 --days 1 --scheduler noop --slav"))
-                .unwrap();
+        let out = dispatch(&parse(
+            "simulate --hosts 3 --vms 4 --days 1 --scheduler noop --slav",
+        ))
+        .unwrap();
         assert!(out.contains("SLATAH"));
     }
 
     #[test]
     fn compare_lists_all_schedulers() {
         let out = dispatch(&parse("compare --hosts 4 --vms 6 --days 1")).unwrap();
-        for name in ["THR-MMT", "IQR-MMT", "MAD-MMT", "LR-MMT", "LRR-MMT", "MadVM", "Megh"] {
+        for name in [
+            "THR-MMT", "IQR-MMT", "MAD-MMT", "LR-MMT", "LRR-MMT", "MadVM", "Megh",
+        ] {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }
     }
@@ -398,8 +405,14 @@ mod tests {
 
     #[test]
     fn missing_required_options_error() {
-        assert_eq!(dispatch(&parse("trace-gen")), Err(ArgsError::Missing("out")));
-        assert_eq!(dispatch(&parse("trace-stats")), Err(ArgsError::Missing("file")));
+        assert_eq!(
+            dispatch(&parse("trace-gen")),
+            Err(ArgsError::Missing("out"))
+        );
+        assert_eq!(
+            dispatch(&parse("trace-stats")),
+            Err(ArgsError::Missing("file"))
+        );
     }
 
     #[test]

@@ -73,6 +73,9 @@ pub struct MeghAgent {
     policy: BoltzmannPolicy,
     rng: StdRng,
     pending: Vec<usize>,
+    /// Per-VM "already decided this step" scratch, reused across steps
+    /// so the decision loop allocates nothing in the steady state.
+    vm_taken: Vec<bool>,
     last_cost: Option<f64>,
     steps: usize,
 }
@@ -98,6 +101,7 @@ impl MeghAgent {
             policy,
             rng,
             pending: Vec::new(),
+            vm_taken: Vec::new(),
             last_cost: None,
             steps: 0,
         }
@@ -154,33 +158,32 @@ impl MeghAgent {
             panic!("invalid Megh configuration in checkpoint: {msg}");
         }
         let space = ActionSpace::new(checkpoint.config.n_vms, checkpoint.config.n_hosts);
-        let policy = BoltzmannPolicy::with_temperature(
-            checkpoint.temperature,
-            checkpoint.config.epsilon,
-        );
+        let policy =
+            BoltzmannPolicy::with_temperature(checkpoint.temperature, checkpoint.config.epsilon);
         Self {
             space,
             lspi: checkpoint.lspi,
             policy,
             rng: StdRng::seed_from_u64(seed),
             pending: Vec::new(),
+            vm_taken: Vec::new(),
             last_cost: None,
             steps: checkpoint.steps,
             config: checkpoint.config,
         }
     }
 
-    /// Learns from the stored `(a_t, C_{t+1})` pair, if any.
+    /// Learns from the stored `(a_t, C_{t+1})` pair, if any. Drains
+    /// `pending` in place so its buffer is reused step after step.
     fn learn_pending(&mut self) {
         if let Some(cost) = self.last_cost.take() {
-            let pending = std::mem::take(&mut self.pending);
-            for a_prev in pending {
+            for idx in 0..self.pending.len() {
+                let a_prev = self.pending[idx];
                 let a_next = self.policy.greedy(&self.lspi, &mut self.rng);
                 self.lspi.update(a_prev, a_next, cost);
             }
-        } else {
-            self.pending.clear();
         }
+        self.pending.clear();
     }
 }
 
@@ -207,8 +210,8 @@ impl Scheduler for MeghAgent {
         self.steps += 1;
 
         let mut requests = Vec::new();
-        let mut chosen: Vec<usize> = Vec::new();
-        let mut vm_taken = vec![false; self.config.n_vms];
+        self.vm_taken.clear();
+        self.vm_taken.resize(self.config.n_vms, false);
         for _ in 0..self.config.actions_per_step {
             let sampled = if self.config.mask_sleeping_targets {
                 // §3.1: migrate only to PMs "with potential capacity" —
@@ -229,16 +232,17 @@ impl Scheduler for MeghAgent {
                 break;
             };
             let action = self.space.decode(a);
-            if vm_taken[action.vm.0] {
+            if self.vm_taken[action.vm.0] {
                 continue; // one decision per VM per step
             }
-            vm_taken[action.vm.0] = true;
-            chosen.push(a);
+            self.vm_taken[action.vm.0] = true;
+            // `pending` was drained by `learn_pending`; it now collects
+            // this step's actions for the next critic pass.
+            self.pending.push(a);
             if view.host_of(action.vm) != action.target {
                 requests.push(MigrationRequest::new(action.vm, action.target));
             }
         }
-        self.pending = chosen;
         requests
     }
 
@@ -277,10 +281,7 @@ mod tests {
         let costs_a: Vec<f64> = a.records().iter().map(|r| r.total_cost_usd).collect();
         let costs_b: Vec<f64> = b.records().iter().map(|r| r.total_cost_usd).collect();
         assert_eq!(costs_a, costs_b);
-        assert_eq!(
-            a.report().total_migrations,
-            b.report().total_migrations
-        );
+        assert_eq!(a.report().total_migrations, b.report().total_migrations);
     }
 
     #[test]
@@ -323,8 +324,7 @@ mod tests {
     #[test]
     fn empty_data_center_is_handled() {
         let trace = WorkloadTrace::from_rows(300, vec![]).unwrap();
-        let sim =
-            Simulation::new(DataCenterConfig::paper_planetlab(2, 0), trace).unwrap();
+        let sim = Simulation::new(DataCenterConfig::paper_planetlab(2, 0), trace).unwrap();
         let outcome = sim.run(MeghAgent::new(MeghConfig::paper_defaults(0, 2)));
         assert_eq!(outcome.report().total_migrations, 0);
     }

@@ -15,6 +15,11 @@
 //!   `bu = B·u`, `vb = Bᵀ·v`, `den = 1 + v·bu`,
 //!   `θ' = θ + [ −(vb·z)/den + C·(1 − (vb·u)/den) ]·bu`,
 //!   which follows from `θ' = B'(z + C·u)` and the rank-1 structure.
+//!
+//! The decision hot path is allocation-free in the steady state: the
+//! basis vectors `u`, `v` and the products `bu`, `vb` live in reusable
+//! scratch buffers, and the minimum explicit `θ` entry is cached and
+//! maintained incrementally so [`SparseLspi::min_q`] never scans.
 
 use megh_linalg::{DokMatrix, SparseVec};
 use serde::{Deserialize, Serialize};
@@ -32,7 +37,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(lspi.q(3) > 0.0); // action 3 now carries observed cost
 /// assert_eq!(lspi.updates(), 1);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SparseLspi {
     dim: usize,
     inv_delta: f64,
@@ -43,6 +48,19 @@ pub struct SparseLspi {
     theta: SparseVec,
     updates: usize,
     skipped_singular: usize,
+    /// Per-action "has received a successful update" flags. An action's
+    /// `θ` entry can cancel back to exactly 0.0, so exploration must be
+    /// tracked explicitly rather than read off `θ`'s support.
+    explored: Vec<bool>,
+    explored_count: usize,
+    /// Cached `(action, value)` of the smallest explicit `θ` entry,
+    /// maintained incrementally across updates.
+    min_entry: Option<(usize, f64)>,
+    // Reusable scratch for the Sherman–Morrison step; never serialized.
+    scratch_u: SparseVec,
+    scratch_v: SparseVec,
+    scratch_bu: SparseVec,
+    scratch_vb: SparseVec,
 }
 
 impl SparseLspi {
@@ -63,6 +81,13 @@ impl SparseLspi {
             theta: SparseVec::zeros(dim),
             updates: 0,
             skipped_singular: 0,
+            explored: vec![false; dim],
+            explored_count: 0,
+            min_entry: None,
+            scratch_u: SparseVec::zeros(dim),
+            scratch_v: SparseVec::zeros(dim),
+            scratch_bu: SparseVec::zeros(dim),
+            scratch_vb: SparseVec::zeros(dim),
         }
     }
 
@@ -111,17 +136,26 @@ impl SparseLspi {
         self.theta.iter()
     }
 
+    /// The smallest explicit `θ` entry as `(action, value)`, if any.
+    ///
+    /// Served from the incrementally maintained cache — `O(1)`.
+    pub fn min_theta_entry(&self) -> Option<(usize, f64)> {
+        self.min_entry
+    }
+
+    /// Distinct actions that have received at least one successful
+    /// update.
+    pub fn explored_count(&self) -> usize {
+        self.explored_count
+    }
+
     /// Minimum Q over the whole action space.
     ///
-    /// Unexplored actions have `Q = 0` exactly, so the minimum is the
-    /// smaller of 0 (when any action is unexplored) and the smallest
-    /// explicit entry.
+    /// Actions without an explicit `θ` entry have `Q = 0` exactly, so
+    /// the minimum is the smaller of 0 (when any such action exists)
+    /// and the cached smallest explicit entry — `O(1)`, no scan.
     pub fn min_q(&self) -> f64 {
-        let explicit_min = self
-            .theta
-            .iter()
-            .map(|(_, v)| v)
-            .fold(f64::INFINITY, f64::min);
+        let explicit_min = self.min_entry.map_or(f64::INFINITY, |(_, v)| v);
         if self.theta.nnz() < self.dim {
             explicit_min.min(0.0)
         } else if explicit_min.is_finite() {
@@ -131,10 +165,18 @@ impl SparseLspi {
         }
     }
 
-    /// Whether the action has no explicit `θ` entry (its Q is exactly 0
-    /// because it was never reinforced).
+    /// Whether the action has never received a successful update.
+    ///
+    /// Tracked explicitly: an explored action whose `θ` entry cancels
+    /// back to exactly 0.0 (or whose first observed cost was 0) still
+    /// counts as explored, even though its Q reads 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action >= dim()`.
     pub fn is_unexplored(&self, action: usize) -> bool {
-        self.theta.get(action) == 0.0
+        assert!(action < self.dim, "action index {action} out of range");
+        !self.explored[action]
     }
 
     /// Applies one learning step: the agent took `a_prev`, observed
@@ -143,7 +185,8 @@ impl SparseLspi {
     ///
     /// Returns `false` when the Sherman–Morrison denominator vanished
     /// and the update was skipped (the corresponding `T` update would
-    /// have made it singular — vanishingly rare with γ < 1).
+    /// have made it singular — vanishingly rare with γ < 1). Skipped
+    /// updates do not mark `a_prev` explored.
     ///
     /// # Panics
     ///
@@ -151,36 +194,94 @@ impl SparseLspi {
     pub fn update(&mut self, a_prev: usize, a_next: usize, cost: f64) -> bool {
         assert!(a_prev < self.dim, "a_prev out of range");
         assert!(a_next < self.dim, "a_next out of range");
-        let u = SparseVec::basis(self.dim, a_prev);
-        let v = u.add_scaled(&SparseVec::basis(self.dim, a_next), -self.gamma);
+
+        // u = φ_{a_prev}; v = u − γ·φ_{a_next}, built in scratch so the
+        // steady-state step never touches the allocator.
+        self.scratch_u.clear();
+        self.scratch_u.set(a_prev, 1.0);
+        self.scratch_v.clear();
+        self.scratch_v.set(a_prev, 1.0);
+        self.scratch_v.add_at(a_next, -self.gamma);
 
         // bu = B·u = u/δ + Δ·u ; vb = Bᵀ·v = v/δ + Δᵀ·v.
-        let mut bu = self.delta_b.mul_sparse_vec(&u);
-        bu = bu.add_scaled(&u, self.inv_delta);
-        let mut vb = self.delta_b.mul_sparse_vec_left(&v);
-        vb = vb.add_scaled(&v, self.inv_delta);
+        self.delta_b
+            .mul_sparse_vec_into(&self.scratch_u, &mut self.scratch_bu);
+        self.scratch_bu
+            .add_scaled_assign(&self.scratch_u, self.inv_delta);
+        self.delta_b
+            .mul_sparse_vec_left_into(&self.scratch_v, &mut self.scratch_vb);
+        self.scratch_vb
+            .add_scaled_assign(&self.scratch_v, self.inv_delta);
 
-        let den = 1.0 + v.dot(&bu);
+        let den = 1.0 + self.scratch_v.dot(&self.scratch_bu);
         if den.abs() < 1e-12 {
             self.skipped_singular += 1;
             return false;
         }
 
         // θ' = θ + [ −(vb·z)/den + C·(1 − (vb·u)/den) ]·bu.
-        let vb_z = vb.dot(&self.z);
-        let vb_u = vb.dot(&u);
+        let vb_z = self.scratch_vb.dot(&self.z);
+        let vb_u = self.scratch_vb.dot(&self.scratch_u);
         let coeff = -(vb_z / den) + cost * (1.0 - vb_u / den);
-        self.theta = self.theta.add_scaled(&bu, coeff);
+        if coeff != 0.0 {
+            self.theta.add_scaled_assign(&self.scratch_bu, coeff);
+            self.refresh_theta_min();
+        }
 
         // B' = B − bu·vbᵀ/den (the identity part is untouched; the whole
         // correction accumulates in Δ).
-        self.delta_b.add_outer_product(&bu, &vb, -1.0 / den);
+        self.delta_b
+            .add_outer_product(&self.scratch_bu, &self.scratch_vb, -1.0 / den);
 
         // z' = z + C·φ_{a_prev}.
         self.z.add_at(a_prev, cost);
 
+        if !self.explored[a_prev] {
+            self.explored[a_prev] = true;
+            self.explored_count += 1;
+        }
+
         self.updates += 1;
         true
+    }
+
+    /// Maintains the cached minimum after `θ` changed on the support of
+    /// `scratch_bu`. A full `O(nnz(θ))` rescan happens only when the
+    /// cached argmin's own entry rose or vanished; otherwise the cost is
+    /// `O(nnz(bu))` lookups.
+    fn refresh_theta_min(&mut self) {
+        let invalidated = match self.min_entry {
+            Some((idx, val)) if self.scratch_bu.get(idx) != 0.0 => {
+                let now = self.theta.get(idx);
+                if now == 0.0 || now > val {
+                    true
+                } else {
+                    self.min_entry = Some((idx, now));
+                    false
+                }
+            }
+            _ => false,
+        };
+        if invalidated {
+            self.rescan_theta_min();
+            return;
+        }
+        // A touched entry may have dropped below the cached minimum.
+        for (i, _) in self.scratch_bu.iter() {
+            let v = self.theta.get(i);
+            if v != 0.0 && self.min_entry.is_none_or(|(_, bv)| v < bv) {
+                self.min_entry = Some((i, v));
+            }
+        }
+    }
+
+    fn rescan_theta_min(&mut self) {
+        self.min_entry = None;
+        for (i, v) in self.theta.iter() {
+            if self.min_entry.is_none_or(|(_, bv)| v < bv) {
+                self.min_entry = Some((i, v));
+            }
+        }
     }
 
     /// Recomputes `θ = B·z` from scratch (test oracle; `O(nnz)` but not
@@ -189,6 +290,82 @@ impl SparseLspi {
         let mut theta = self.delta_b.mul_sparse_vec(&self.z);
         theta = theta.add_scaled(&self.z, self.inv_delta);
         theta
+    }
+}
+
+/// Serialized form: semantic state only. Scratch buffers and the cached
+/// minimum are derived, so they are rebuilt on restore; exploration
+/// flags are stored as the sorted list of explored action indices.
+#[derive(Serialize, Deserialize)]
+struct SparseLspiRepr {
+    dim: usize,
+    inv_delta: f64,
+    gamma: f64,
+    delta_b: DokMatrix,
+    z: SparseVec,
+    theta: SparseVec,
+    updates: usize,
+    skipped_singular: usize,
+    explored: Vec<usize>,
+}
+
+impl Serialize for SparseLspi {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let explored = self
+            .explored
+            .iter()
+            .enumerate()
+            .filter(|&(_, &e)| e)
+            .map(|(a, _)| a)
+            .collect();
+        SparseLspiRepr {
+            dim: self.dim,
+            inv_delta: self.inv_delta,
+            gamma: self.gamma,
+            delta_b: self.delta_b.clone(),
+            z: self.z.clone(),
+            theta: self.theta.clone(),
+            updates: self.updates,
+            skipped_singular: self.skipped_singular,
+            explored,
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for SparseLspi {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = SparseLspiRepr::deserialize(deserializer)?;
+        let mut explored = vec![false; repr.dim];
+        for &a in &repr.explored {
+            if a >= repr.dim {
+                return Err(serde::de::Error::custom(format!(
+                    "explored action {a} outside dim {}",
+                    repr.dim
+                )));
+            }
+            explored[a] = true;
+        }
+        let explored_count = explored.iter().filter(|&&e| e).count();
+        let mut lspi = SparseLspi {
+            dim: repr.dim,
+            inv_delta: repr.inv_delta,
+            gamma: repr.gamma,
+            delta_b: repr.delta_b,
+            z: repr.z,
+            theta: repr.theta,
+            updates: repr.updates,
+            skipped_singular: repr.skipped_singular,
+            explored,
+            explored_count,
+            min_entry: None,
+            scratch_u: SparseVec::zeros(repr.dim),
+            scratch_v: SparseVec::zeros(repr.dim),
+            scratch_bu: SparseVec::zeros(repr.dim),
+            scratch_vb: SparseVec::zeros(repr.dim),
+        };
+        lspi.rescan_theta_min();
+        Ok(lspi)
     }
 }
 
@@ -208,12 +385,24 @@ mod tests {
         }
     }
 
+    fn naive_min_entry(lspi: &SparseLspi) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (a, v) in lspi.theta_entries() {
+            if best.is_none_or(|(_, bv)| v < bv) {
+                best = Some((a, v));
+            }
+        }
+        best
+    }
+
     #[test]
     fn initial_state_is_zero() {
         let lspi = SparseLspi::new(10, 10.0, 0.5);
         assert_eq!(lspi.explicit_nnz(), 0);
         assert_eq!(lspi.theta_nnz(), 0);
         assert_eq!(lspi.min_q(), 0.0);
+        assert_eq!(lspi.explored_count(), 0);
+        assert_eq!(lspi.min_theta_entry(), None);
         for a in 0..10 {
             assert_eq!(lspi.q(a), 0.0);
             assert!(lspi.is_unexplored(a));
@@ -249,6 +438,23 @@ mod tests {
     }
 
     #[test]
+    fn cached_min_matches_naive_scan_over_many_updates() {
+        // Mixed positive and negative costs exercise both the cheap
+        // touched-entry path and the full-rescan path (the cached
+        // argmin's own entry rising) of the cache maintenance.
+        let mut lspi = SparseLspi::new(12, 12.0, 0.5);
+        let costs = [3.0, -2.0, 5.0, -4.5, 1.0, -1.0, 7.0, -6.0, 0.5, 2.5];
+        for (t, &c) in costs.iter().cycle().take(60).enumerate() {
+            lspi.update(t % 12, (t * 5 + 2) % 12, c);
+            assert_eq!(
+                lspi.min_theta_entry().map(|(_, v)| v),
+                naive_min_entry(&lspi).map(|(_, v)| v),
+                "cached min diverged after update {t}"
+            );
+        }
+    }
+
+    #[test]
     fn qtable_growth_is_bounded_by_updates() {
         // Each update adds O(1) rows/columns of fill-in: the Fig 7
         // "linear growth in time" property.
@@ -272,6 +478,87 @@ mod tests {
         assert_eq!(lspi.min_q(), 0.0);
         assert!(!lspi.is_unexplored(0));
         assert!(lspi.is_unexplored(4));
+    }
+
+    #[test]
+    fn zero_cost_update_still_marks_action_explored() {
+        // Regression: a zero observed cost with `z` still empty leaves
+        // θ[a] at exactly 0.0; the old support-based check misread the
+        // taken action as unexplored forever.
+        let mut lspi = SparseLspi::new(8, 8.0, 0.5);
+        assert!(lspi.update(3, 3, 0.0));
+        assert_eq!(lspi.q(3), 0.0);
+        assert!(
+            !lspi.is_unexplored(3),
+            "action 3 was taken and must count as explored"
+        );
+        assert_eq!(lspi.explored_count(), 1);
+        assert!(lspi.is_unexplored(4));
+    }
+
+    #[test]
+    fn theta_entry_cancelled_to_exact_zero_stays_explored() {
+        // Regression: drive an explored action's θ entry back to exactly
+        // 0.0 through the public update path. q(0) after one more update
+        // is affine in that update's cost, so solve for the cancelling
+        // cost and walk the neighbouring float values until the entry
+        // vanishes from θ's support.
+        let mut base = SparseLspi::new(3, 1.0, 0.0);
+        base.update(0, 0, 2.0);
+        assert!(base.q(0) > 0.0);
+        let q_after = |cost: f64| {
+            let mut probe = base.clone();
+            probe.update(0, 0, cost);
+            probe.q(0)
+        };
+        let at_zero = q_after(0.0);
+        let slope = q_after(1.0) - at_zero;
+        let guess = -at_zero / slope;
+        let mut cancelling = None;
+        for offset in -64i64..=64 {
+            let cost = f64::from_bits((guess.to_bits() as i64 + offset) as u64);
+            if q_after(cost) == 0.0 {
+                cancelling = Some(cost);
+                break;
+            }
+        }
+        let cost = cancelling.expect("an exactly-cancelling cost exists near the affine root");
+        let mut lspi = base.clone();
+        lspi.update(0, 0, cost);
+        assert_eq!(lspi.q(0), 0.0);
+        assert_eq!(lspi.theta_nnz(), 0, "entry must be gone from θ's support");
+        assert!(
+            !lspi.is_unexplored(0),
+            "cancelled-to-zero action must stay explored"
+        );
+        assert_eq!(lspi.min_q(), 0.0);
+    }
+
+    #[test]
+    fn exploration_flags_survive_serde_roundtrip() {
+        let mut lspi = SparseLspi::new(6, 6.0, 0.5);
+        lspi.update(2, 2, 0.0); // explored, θ[2] stays exactly 0
+        lspi.update(4, 1, 3.0);
+        let json = serde_json::to_string(&lspi).unwrap();
+        let back: SparseLspi = serde_json::from_str(&json).unwrap();
+        assert!(!back.is_unexplored(2));
+        assert!(!back.is_unexplored(4));
+        assert!(back.is_unexplored(0));
+        assert_eq!(back.explored_count(), 2);
+        assert_eq!(back.min_theta_entry(), lspi.min_theta_entry());
+        for a in 0..6 {
+            assert_eq!(back.q(a), lspi.q(a));
+        }
+    }
+
+    #[test]
+    fn serde_rejects_out_of_range_explored_action() {
+        let mut lspi = SparseLspi::new(2, 2.0, 0.5);
+        lspi.update(1, 0, 1.0);
+        let json = serde_json::to_string(&lspi).unwrap();
+        let corrupted = json.replace("\"explored\":[1]", "\"explored\":[9]");
+        assert_ne!(json, corrupted, "fixture must contain the explored list");
+        assert!(serde_json::from_str::<SparseLspi>(&corrupted).is_err());
     }
 
     #[test]

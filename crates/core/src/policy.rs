@@ -76,9 +76,12 @@ impl BoltzmannPolicy {
 
     /// Samples an action from the Boltzmann distribution restricted to
     /// actions the `allowed` predicate admits, by rejection from the
-    /// full distribution (up to a bounded number of tries). Returns
-    /// `None` when the space is empty or no allowed action was found —
-    /// the caller should treat that as "do nothing this step".
+    /// full distribution (up to a bounded number of tries). When
+    /// rejection fails — the distribution concentrates nearly all mass
+    /// on disallowed actions, e.g. an effectively greedy policy whose
+    /// minimum is masked out — it falls back to the minimum-Q *allowed*
+    /// action rather than dropping the request. Returns `None` only when
+    /// the space is empty or no action is allowed at all.
     pub fn sample_masked<R: Rng>(
         &self,
         lspi: &SparseLspi,
@@ -92,15 +95,36 @@ impl BoltzmannPolicy {
                 None => return None,
             }
         }
-        None
+        self.greedy_masked(lspi, &allowed)
+    }
+
+    /// The minimum-Q action among those the predicate admits, by full
+    /// scan — the deterministic fallback when rejection sampling cannot
+    /// surface an allowed action.
+    fn greedy_masked(&self, lspi: &SparseLspi, allowed: &impl Fn(usize) -> bool) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for a in 0..lspi.dim() {
+            if !allowed(a) {
+                continue;
+            }
+            let q = lspi.q(a);
+            if best.is_none_or(|(_, bq)| q < bq) {
+                best = Some((a, q));
+            }
+        }
+        best.map(|(a, _)| a)
     }
 
     /// Samples an action from the Boltzmann distribution over all `d`
     /// actions. Returns `None` when the action space is empty.
     ///
     /// Weights: explicit `θ` entries get `exp[(−Q + minQ)/Temp]`; the
-    /// `d − nnz(θ)` unexplored actions share the weight `exp[minQ/Temp]`
+    /// `d − nnz(θ)` zero-Q actions share the weight `exp[minQ/Temp]`
     /// and one of them is drawn uniformly when the zero class wins.
+    ///
+    /// Streams over `θ`'s entries in two passes (mass, then lookup)
+    /// instead of materialising the weight table — the steady-state call
+    /// performs zero heap allocations.
     pub fn sample<R: Rng>(&self, lspi: &SparseLspi, rng: &mut R) -> Option<usize> {
         let d = lspi.dim();
         if d == 0 {
@@ -109,51 +133,60 @@ impl BoltzmannPolicy {
         let min_q = lspi.min_q();
         let inv_t = 1.0 / self.temp;
 
-        let explicit: Vec<(usize, f64)> = lspi
-            .theta_entries()
-            .map(|(a, q)| (a, ((-q + min_q) * inv_t).exp()))
-            .collect();
-        let explicit_total: f64 = explicit.iter().map(|&(_, w)| w).sum();
-        let zero_count = d - explicit.len();
+        // Pass 1: total mass.
+        let mut explicit_total = 0.0;
+        let mut explicit_count = 0usize;
+        let mut last_explicit = None;
+        for (a, q) in lspi.theta_entries() {
+            explicit_total += ((-q + min_q) * inv_t).exp();
+            explicit_count += 1;
+            last_explicit = Some(a);
+        }
+        let zero_count = d - explicit_count;
         let zero_weight = (min_q * inv_t).exp();
-        let zero_total = zero_weight * zero_count as f64;
-        let total = explicit_total + zero_total;
-        if !(total.is_finite()) || total <= 0.0 {
+        let total = explicit_total + zero_weight * zero_count as f64;
+        if !total.is_finite() || total <= 0.0 {
             // Degenerate weights (extreme Q spread at tiny temperature):
             // fall back to the greedy minimum.
             return Some(self.greedy(lspi, rng));
         }
 
+        // Pass 2: locate the drawn action. The weights are recomputed
+        // with the same expression, so the passes agree bit-for-bit.
         let mut r = rng.gen_range(0.0..total);
-        for &(a, w) in &explicit {
+        for (a, q) in lspi.theta_entries() {
+            let w = ((-q + min_q) * inv_t).exp();
             if r < w {
                 return Some(a);
             }
             r -= w;
         }
-        // Zero class: uniform over unexplored actions, found by
-        // rejection sampling (nnz ≪ d in every real configuration).
+        // Zero class: uniform over zero-Q actions, found by rejection
+        // sampling (nnz ≪ d in every real configuration).
         if zero_count > 0 {
-            // When most actions are explored, rejection sampling could
+            // When most actions carry explicit entries, rejection could
             // stall; bound the attempts and then scan.
             for _ in 0..64 {
                 let a = rng.gen_range(0..d);
-                if lspi.is_unexplored(a) {
+                if lspi.q(a) == 0.0 {
                     return Some(a);
                 }
             }
             for a in 0..d {
-                if lspi.is_unexplored(a) {
+                if lspi.q(a) == 0.0 {
                     return Some(a);
                 }
             }
         }
-        // All actions explored and rounding pushed us past the end.
-        explicit.last().map(|&(a, _)| a)
+        // All actions explicit and rounding pushed us past the end.
+        last_explicit
     }
 
-    /// The greedy minimum-Q action (ties broken toward unexplored
-    /// actions, drawn uniformly).
+    /// The greedy minimum-Q action (ties broken toward the zero class,
+    /// drawn uniformly).
+    ///
+    /// Uses [`SparseLspi::min_theta_entry`]'s cached minimum — no scan
+    /// and no allocation on the happy path.
     ///
     /// # Panics
     ///
@@ -161,22 +194,20 @@ impl BoltzmannPolicy {
     pub fn greedy<R: Rng>(&self, lspi: &SparseLspi, rng: &mut R) -> usize {
         let d = lspi.dim();
         assert!(d > 0, "empty action space");
-        let explicit_min = lspi
-            .theta_entries()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        let has_unexplored = lspi.theta_nnz() < d;
+        let explicit_min = lspi.min_theta_entry();
+        let zero_count = d - lspi.theta_nnz();
         match explicit_min {
-            Some((a, q)) if q < 0.0 || !has_unexplored => a,
+            Some((a, q)) if q < 0.0 || zero_count == 0 => a,
             _ => {
-                // Zero is the minimum: pick an unexplored action.
+                // Zero is the minimum: pick a zero-Q action.
                 for _ in 0..64 {
                     let a = rng.gen_range(0..d);
-                    if lspi.is_unexplored(a) {
+                    if lspi.q(a) == 0.0 {
                         return a;
                     }
                 }
                 (0..d)
-                    .find(|&a| lspi.is_unexplored(a))
+                    .find(|&a| lspi.q(a) == 0.0)
                     .or(explicit_min.map(|(a, _)| a))
                     .expect("d > 0 guarantees some action exists")
             }
@@ -280,6 +311,69 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(p.sample(&lspi, &mut rng).unwrap(), 2);
         }
+    }
+
+    #[test]
+    fn masked_sampling_finds_a_rare_allowed_action() {
+        // Regression: a near-greedy policy over a large action space
+        // with a 1-action mask. Action 7 is expensive, so the Boltzmann
+        // distribution puts essentially zero mass on it; 64 rejection
+        // draws from the unmasked distribution will practically never
+        // surface it. The fallback must still return it instead of None.
+        let mut lspi = SparseLspi::new(1000, 1000.0, 0.5);
+        for _ in 0..30 {
+            lspi.update(7, 7, 50.0);
+        }
+        assert!(lspi.q(7) > 0.0);
+        let mut p = BoltzmannPolicy::new(3.0, 5.0); // brutal decay
+        for _ in 0..20 {
+            p.decay();
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            assert_eq!(
+                p.sample_masked(&lspi, &mut rng, |a| a == 7),
+                Some(7),
+                "the only allowed action must be chosen, not dropped"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_sampling_returns_none_when_nothing_allowed() {
+        let lspi = SparseLspi::new(16, 16.0, 0.5);
+        let p = BoltzmannPolicy::new(1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        assert_eq!(p.sample_masked(&lspi, &mut rng, |_| false), None);
+    }
+
+    #[test]
+    fn masked_sampling_returns_none_on_empty_space() {
+        let lspi = SparseLspi::new(0, 1.0, 0.5);
+        let p = BoltzmannPolicy::new(1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        assert_eq!(p.sample_masked(&lspi, &mut rng, |_| true), None);
+    }
+
+    #[test]
+    fn cancelled_theta_entry_rejoins_the_zero_class() {
+        // Zero-class membership is "Q reads exactly 0", not "never
+        // explored": an explored action whose first observed cost was 0
+        // has no explicit θ entry and must be sampleable as part of the
+        // zero class without skewing the distribution.
+        let mut lspi = SparseLspi::new(4, 4.0, 0.5);
+        lspi.update(2, 2, 0.0); // explored, θ[2] == 0 exactly
+        assert!(!lspi.is_unexplored(2));
+        let p = BoltzmannPolicy::new(1.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut hit2 = 0;
+        for _ in 0..400 {
+            if p.sample(&lspi, &mut rng).unwrap() == 2 {
+                hit2 += 1;
+            }
+        }
+        // Uniform over 4 zero-Q actions → ~100 expected hits.
+        assert!((50..200).contains(&hit2), "action 2 drawn {hit2}/400 times");
     }
 
     #[test]

@@ -5,8 +5,8 @@
 
 use megh_core::{BoltzmannPolicy, MeghAgent, MeghConfig, SparseLspi};
 use megh_sim::{
-    DataCenterConfig, DataCenterView, InitialPlacement, MigrationRequest, Scheduler,
-    Simulation, VmSpec,
+    DataCenterConfig, DataCenterView, InitialPlacement, MigrationRequest, Scheduler, Simulation,
+    VmSpec,
 };
 use megh_trace::WorkloadTrace;
 use rand::rngs::StdRng;
@@ -78,7 +78,10 @@ fn megh_avoids_a_poisoned_host_over_time() {
 
     let mut cfg = MeghConfig::paper_defaults(vms, hosts);
     cfg.epsilon = 0.005; // keep some exploration while still annealing
-    let mut learner = Monitor { inner: MeghAgent::new(cfg), vm_steps_on_poison: 0 };
+    let mut learner = Monitor {
+        inner: MeghAgent::new(cfg),
+        vm_steps_on_poison: 0,
+    };
     let learned = sim.run(&mut learner);
 
     // Control: identical sampling machinery but costs never learned

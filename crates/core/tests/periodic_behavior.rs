@@ -13,8 +13,7 @@ fn phases_are_independent_blocks() {
     let (hosts, vms) = (3, 4);
     let d = hosts * vms;
     // Period longer than the trace: every step is phase 0.
-    let mut agent =
-        PeriodicMeghAgent::with_period(MeghConfig::paper_defaults(vms, hosts), 4, 4000);
+    let mut agent = PeriodicMeghAgent::with_period(MeghConfig::paper_defaults(vms, hosts), 4, 4000);
     let trace = WorkloadTrace::from_rows(300, vec![vec![20.0; 50]; vms]).unwrap();
     let config = DataCenterConfig::paper_planetlab(hosts, vms);
     let sim = Simulation::new(config, trace).unwrap();
@@ -23,7 +22,8 @@ fn phases_are_independent_blocks() {
     // Inspect phase blocks indirectly through phase_of and the nnz of a
     // fresh single-phase agent: the 4-phase agent's learning is capped
     // by what a 1-phase agent could touch (only block 0 is reachable).
-    let mut single = PeriodicMeghAgent::with_period(MeghConfig::paper_defaults(vms, hosts), 1, 4000);
+    let mut single =
+        PeriodicMeghAgent::with_period(MeghConfig::paper_defaults(vms, hosts), 1, 4000);
     let trace2 = WorkloadTrace::from_rows(300, vec![vec![20.0; 50]; vms]).unwrap();
     let config2 = DataCenterConfig::paper_planetlab(hosts, vms);
     let sim2 = Simulation::new(config2, trace2).unwrap();
@@ -58,17 +58,25 @@ fn diurnal_workload_distinguishes_phases() {
     };
     let night = mean_range(0, 48);
     let day = mean_range(120, 192);
-    assert!(day > 2.0 * night, "diurnal premise failed: day {day} night {night}");
+    assert!(
+        day > 2.0 * night,
+        "diurnal premise failed: day {day} night {night}"
+    );
 
     let mut config = DataCenterConfig::paper_planetlab(hosts, vms);
     config.vms = vec![VmSpec::new(1500.0, 1024.0, 100.0); vms];
     config.initial_placement = InitialPlacement::DemandPacked;
     let sim = Simulation::new(config, trace).unwrap();
     let plain = sim
-        .run(megh_core::MeghAgent::new(MeghConfig::paper_defaults(vms, hosts)))
+        .run(megh_core::MeghAgent::new(MeghConfig::paper_defaults(
+            vms, hosts,
+        )))
         .report();
     let periodic = sim
-        .run(PeriodicMeghAgent::new(MeghConfig::paper_defaults(vms, hosts), 4))
+        .run(PeriodicMeghAgent::new(
+            MeghConfig::paper_defaults(vms, hosts),
+            4,
+        ))
         .report();
     assert!(
         periodic.total_cost_usd <= plain.total_cost_usd * 1.5,

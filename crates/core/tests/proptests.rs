@@ -168,5 +168,7 @@ fn agent_requests_are_well_formed() {
             self.0.observe(feedback);
         }
     }
-    sim.run(Check(MeghAgent::new(MeghConfig::paper_defaults(vms, hosts))));
+    sim.run(Check(MeghAgent::new(MeghConfig::paper_defaults(
+        vms, hosts,
+    ))));
 }

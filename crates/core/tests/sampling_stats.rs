@@ -1,0 +1,95 @@
+//! Statistical check that the streaming (allocation-free) Boltzmann
+//! sampler draws from the same distribution as the materialised-weight
+//! formulation it replaced.
+//!
+//! The expected probabilities are computed here the "old" way: build the
+//! full weight table `w_a = exp[(−Q(a) + minQ)/Temp]` over all `d`
+//! actions and normalise. The streaming sampler must match it under a
+//! chi-squared goodness-of-fit test with a deterministic seed.
+
+use megh_core::{BoltzmannPolicy, SparseLspi};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Materialises the full Boltzmann distribution over every action —
+/// the reference the streaming sampler is tested against.
+fn reference_distribution(lspi: &SparseLspi, temp: f64) -> Vec<f64> {
+    let d = lspi.dim();
+    let min_q = lspi.min_q();
+    let weights: Vec<f64> = (0..d)
+        .map(|a| ((-lspi.q(a) + min_q) / temp).exp())
+        .collect();
+    let total: f64 = weights.iter().sum();
+    weights.into_iter().map(|w| w / total).collect()
+}
+
+#[test]
+fn streaming_sampler_matches_materialised_distribution() {
+    // Mixed landscape over 20 actions: a few explored at distinct
+    // costs (one negative, so minQ < 0), one explored-at-zero, and a
+    // large zero class.
+    let mut lspi = SparseLspi::new(20, 20.0, 0.5);
+    lspi.update(0, 1, 8.0);
+    lspi.update(1, 2, 3.0);
+    lspi.update(2, 3, -2.0);
+    lspi.update(3, 4, 1.0);
+    lspi.update(4, 5, 5.0);
+    lspi.update(5, 5, 0.0); // explored but Q stays exactly 0
+    assert!(lspi.min_q() < 0.0);
+
+    let temp = 2.0;
+    let policy = BoltzmannPolicy::new(temp, 0.0);
+    let expected = reference_distribution(&lspi, temp);
+
+    let n = 100_000usize;
+    let mut rng = StdRng::seed_from_u64(20260805);
+    let mut observed = vec![0u64; lspi.dim()];
+    for _ in 0..n {
+        let a = policy
+            .sample(&lspi, &mut rng)
+            .expect("non-empty action space");
+        observed[a] += 1;
+    }
+
+    // Chi-squared goodness of fit, df = 19. The 0.001 critical value is
+    // 43.8; the seed is fixed, so this either fits or it doesn't.
+    let mut chi2 = 0.0;
+    for (a, &count) in observed.iter().enumerate() {
+        let exp = expected[a] * n as f64;
+        assert!(
+            exp > 5.0,
+            "expected count for action {a} too small for the chi2 approximation: {exp}"
+        );
+        let diff = count as f64 - exp;
+        chi2 += diff * diff / exp;
+    }
+    assert!(
+        chi2 < 43.8,
+        "chi2 = {chi2:.2} over 19 dof — the streaming sampler's \
+         distribution diverges from the materialised reference"
+    );
+
+    // The zero class must be uniform internally: the explored-at-zero
+    // action 5 gets the same share as a never-explored action.
+    let share5 = observed[5] as f64 / n as f64;
+    let share19 = observed[19] as f64 / n as f64;
+    assert!(
+        (share5 - share19).abs() / share19 < 0.1,
+        "zero-class members drawn unevenly: {share5:.4} vs {share19:.4}"
+    );
+}
+
+#[test]
+fn masked_streaming_sampler_restricts_support() {
+    let mut lspi = SparseLspi::new(12, 12.0, 0.5);
+    lspi.update(0, 0, 4.0);
+    lspi.update(6, 6, -1.0);
+    let policy = BoltzmannPolicy::new(1.0, 0.0);
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..2_000 {
+        let a = policy
+            .sample_masked(&lspi, &mut rng, |a| a % 2 == 0)
+            .expect("even actions are allowed");
+        assert_eq!(a % 2, 0, "masked sample returned a disallowed action");
+    }
+}

@@ -9,8 +9,8 @@
 //!   Algorithm 1 is a γ-contraction, so value iteration over the
 //!   reduced space converges to a unique fixed point from any start.
 
-use megh_linalg::DenseMatrix;
 use megh_core::SparseLspi;
+use megh_linalg::DenseMatrix;
 
 /// Theorem 1, operational form: the operator `T` that Megh maintains
 /// (identity-initialised, updated along any trajectory of basis pairs)
@@ -26,8 +26,8 @@ fn theorem1_operator_stays_invertible_along_trajectories() {
     }
     let trajectories = [
         vec![(0usize, 1usize), (1, 2), (2, 3), (3, 4), (4, 0)],
-        vec![(5, 5), (5, 5), (5, 5)],          // repeated self-loop
-        vec![(0, 7), (7, 0), (0, 7), (7, 0)],  // oscillation
+        vec![(5, 5), (5, 5), (5, 5)],         // repeated self-loop
+        vec![(0, 7), (7, 0), (0, 7), (7, 0)], // oscillation
         vec![(6, 6), (6, 1), (1, 6), (6, 2)],
     ];
     for trajectory in trajectories {
@@ -63,12 +63,11 @@ fn theorem1_sparse_theta_is_the_unique_projection() {
         t.set(a, a_next, t.get(a, a_next) - gamma);
         z[a] += cost;
         let theta_dense = t.inverse().expect("Theorem 1: invertible").mul_vec(&z);
-        for idx in 0..d {
+        for (idx, &expected) in theta_dense.iter().enumerate() {
             assert!(
-                (lspi.q(idx) - theta_dense[idx]).abs() < 1e-8,
-                "θ[{idx}] = {} differs from the unique projection {}",
+                (lspi.q(idx) - expected).abs() < 1e-8,
+                "θ[{idx}] = {} differs from the unique projection {expected}",
                 lspi.q(idx),
-                theta_dense[idx]
             );
         }
     }
@@ -93,7 +92,10 @@ fn theorem2_bellman_map_is_a_contraction() {
             .collect()
     };
     let sup = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     };
 
     // Contraction property on random pairs.
@@ -113,7 +115,12 @@ fn theorem2_bellman_map_is_a_contraction() {
         a = apply(&a);
         b = apply(&b);
     }
-    assert!(sup(&a, &b) < 1e-9, "iterates did not meet: {:?} vs {:?}", a, b);
+    assert!(
+        sup(&a, &b) < 1e-9,
+        "iterates did not meet: {:?} vs {:?}",
+        a,
+        b
+    );
     // And it is indeed fixed.
     assert!(sup(&apply(&a), &a) < 1e-9);
 }
@@ -138,5 +145,9 @@ fn q_values_respect_the_discounted_bound() {
         "Q = {} exceeds the discounted bound {bound}",
         lspi.q(1)
     );
-    assert!(lspi.q(1) > 0.9 * bound, "Q = {} far below the bound", lspi.q(1));
+    assert!(
+        lspi.q(1) > 0.9 * bound,
+        "Q = {} far below the bound",
+        lspi.q(1)
+    );
 }

@@ -1,18 +1,20 @@
-//! Dictionary-of-keys sparse matrices with row/column adjacency.
-
-use std::collections::{BTreeSet, HashMap};
+//! Dictionary-of-keys sparse matrices with sorted row/column adjacency.
 
 use serde::{Deserialize, Serialize};
 
 use crate::SparseVec;
 
-/// A square sparse matrix stored as a dictionary of keys.
+/// A square sparse matrix stored as sorted per-row and per-column
+/// adjacency lists.
 ///
 /// This is the data structure §5.2 of the paper describes: only non-zero
-/// entries are stored (as `(row, column) → value` triplets), and per-row /
-/// per-column occupancy indexes make the sparse-times-sparse products used
-/// by the Sherman–Morrison update proportional to the number of non-zeros
-/// actually touched rather than to the matrix order.
+/// entries are stored, and the per-row / per-column indexes make the
+/// sparse-times-sparse products used by the Sherman–Morrison update
+/// proportional to the number of non-zeros actually touched rather than
+/// to the matrix order. Each list holds `(index, value)` pairs sorted by
+/// index, with the value mirrored in both orientations, so a product
+/// walks contiguous pairs directly — there is no per-entry hash or tree
+/// probe on the decision hot path.
 ///
 /// # Examples
 ///
@@ -26,11 +28,11 @@ use crate::SparseVec;
 #[derive(Debug, Clone)]
 pub struct DokMatrix {
     order: usize,
-    entries: HashMap<(usize, usize), f64>,
-    /// Column indices with a stored entry, per row.
-    rows: Vec<BTreeSet<usize>>,
-    /// Row indices with a stored entry, per column.
-    cols: Vec<BTreeSet<usize>>,
+    nnz: usize,
+    /// Sorted `(col, value)` pairs, per row.
+    rows: Vec<Vec<(usize, f64)>>,
+    /// Sorted `(row, value)` pairs, per column; values mirror `rows`.
+    cols: Vec<Vec<(usize, f64)>>,
 }
 
 impl DokMatrix {
@@ -38,9 +40,9 @@ impl DokMatrix {
     pub fn zeros(order: usize) -> Self {
         Self {
             order,
-            entries: HashMap::new(),
-            rows: vec![BTreeSet::new(); order],
-            cols: vec![BTreeSet::new(); order],
+            nnz: 0,
+            rows: vec![Vec::new(); order],
+            cols: vec![Vec::new(); order],
         }
     }
 
@@ -62,7 +64,7 @@ impl DokMatrix {
 
     /// The number of stored non-zero entries.
     pub fn nnz(&self) -> usize {
-        self.entries.len()
+        self.nnz
     }
 
     /// Returns the entry at `(row, col)`, 0.0 when not stored.
@@ -72,7 +74,10 @@ impl DokMatrix {
     /// Panics if `row` or `col` is out of range.
     pub fn get(&self, row: usize, col: usize) -> f64 {
         assert!(row < self.order && col < self.order, "index out of range");
-        self.entries.get(&(row, col)).copied().unwrap_or(0.0)
+        match self.rows[row].binary_search_by_key(&col, |&(c, _)| c) {
+            Ok(pos) => self.rows[row][pos].1,
+            Err(_) => 0.0,
+        }
     }
 
     /// Sets the entry at `(row, col)`, removing it when `value == 0.0`.
@@ -82,15 +87,38 @@ impl DokMatrix {
     /// Panics if `row` or `col` is out of range.
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
         assert!(row < self.order && col < self.order, "index out of range");
-        if value == 0.0 {
-            if self.entries.remove(&(row, col)).is_some() {
-                self.rows[row].remove(&col);
-                self.cols[col].remove(&row);
+        let row_list = &mut self.rows[row];
+        match row_list.binary_search_by_key(&col, |&(c, _)| c) {
+            Ok(pos) => {
+                if value == 0.0 {
+                    row_list.remove(pos);
+                    let col_list = &mut self.cols[col];
+                    // The mirror entry exists by invariant.
+                    let mirror = col_list
+                        .binary_search_by_key(&row, |&(r, _)| r)
+                        .expect("adjacency lists out of sync");
+                    col_list.remove(mirror);
+                    self.nnz -= 1;
+                } else {
+                    row_list[pos].1 = value;
+                    let col_list = &mut self.cols[col];
+                    let mirror = col_list
+                        .binary_search_by_key(&row, |&(r, _)| r)
+                        .expect("adjacency lists out of sync");
+                    col_list[mirror].1 = value;
+                }
             }
-        } else {
-            self.entries.insert((row, col), value);
-            self.rows[row].insert(col);
-            self.cols[col].insert(row);
+            Err(pos) => {
+                if value != 0.0 {
+                    row_list.insert(pos, (col, value));
+                    let col_list = &mut self.cols[col];
+                    let mirror = col_list
+                        .binary_search_by_key(&row, |&(r, _)| r)
+                        .expect_err("adjacency lists out of sync");
+                    col_list.insert(mirror, (row, value));
+                    self.nnz += 1;
+                }
+            }
         }
     }
 
@@ -100,11 +128,13 @@ impl DokMatrix {
         self.set(row, col, v);
     }
 
-    /// Iterates over all stored `((row, col), value)` triplets.
-    ///
-    /// Iteration order is unspecified.
+    /// Iterates over all stored `((row, col), value)` triplets in
+    /// row-major order.
     pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
-        self.entries.iter().map(|(&k, &v)| (k, v))
+        self.rows
+            .iter()
+            .enumerate()
+            .flat_map(|(r, row)| row.iter().map(move |&(c, v)| ((r, c), v)))
     }
 
     /// Computes `M · v` for a sparse vector `v`.
@@ -116,14 +146,26 @@ impl DokMatrix {
     ///
     /// Panics if `v.dim() != self.order()`.
     pub fn mul_sparse_vec(&self, v: &SparseVec) -> SparseVec {
-        assert_eq!(v.dim(), self.order, "dimension mismatch");
         let mut out = SparseVec::zeros(self.order);
+        self.mul_sparse_vec_into(v, &mut out);
+        out
+    }
+
+    /// Computes `M · v` into a caller-provided output vector, reusing
+    /// its storage (no allocation once `out`'s buffer has warmed up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.dim()` or `out.dim()` differs from `self.order()`.
+    pub fn mul_sparse_vec_into(&self, v: &SparseVec, out: &mut SparseVec) {
+        assert_eq!(v.dim(), self.order, "dimension mismatch");
+        assert_eq!(out.dim(), self.order, "output dimension mismatch");
+        out.clear();
         for (col, value) in v.iter() {
-            for &row in &self.cols[col] {
-                out.add_at(row, value * self.get(row, col));
+            for &(row, w) in &self.cols[col] {
+                out.add_at(row, value * w);
             }
         }
-        out
     }
 
     /// Computes `vᵀ · M` for a sparse vector `v` (returned as a vector).
@@ -132,14 +174,26 @@ impl DokMatrix {
     ///
     /// Panics if `v.dim() != self.order()`.
     pub fn mul_sparse_vec_left(&self, v: &SparseVec) -> SparseVec {
-        assert_eq!(v.dim(), self.order, "dimension mismatch");
         let mut out = SparseVec::zeros(self.order);
+        self.mul_sparse_vec_left_into(v, &mut out);
+        out
+    }
+
+    /// Computes `vᵀ · M` into a caller-provided output vector, reusing
+    /// its storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.dim()` or `out.dim()` differs from `self.order()`.
+    pub fn mul_sparse_vec_left_into(&self, v: &SparseVec, out: &mut SparseVec) {
+        assert_eq!(v.dim(), self.order, "dimension mismatch");
+        assert_eq!(out.dim(), self.order, "output dimension mismatch");
+        out.clear();
         for (row, value) in v.iter() {
-            for &col in &self.rows[row] {
-                out.add_at(col, value * self.get(row, col));
+            for &(col, w) in &self.rows[row] {
+                out.add_at(col, value * w);
             }
         }
-        out
     }
 
     /// Computes `M · v` for a dense vector `v`.
@@ -150,15 +204,17 @@ impl DokMatrix {
     pub fn mul_dense_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.order, "dimension mismatch");
         let mut out = vec![0.0; self.order];
-        for (&(row, col), &value) in &self.entries {
-            out[row] += value * v[col];
+        for (row, list) in self.rows.iter().enumerate() {
+            for &(col, value) in list {
+                out[row] += value * v[col];
+            }
         }
         out
     }
 
     /// Adds the rank-1 outer product `scale · u vᵀ` in place.
     ///
-    /// Cost is `O(nnz(u) · nnz(v))`.
+    /// Cost is `O(nnz(u) · nnz(v))` list updates.
     ///
     /// # Panics
     ///
@@ -176,7 +232,7 @@ impl DokMatrix {
     /// Materialises the matrix into a dense row-major buffer.
     pub fn to_dense(&self) -> crate::DenseMatrix {
         let mut d = crate::DenseMatrix::zeros(self.order, self.order);
-        for (&(r, c), &v) in &self.entries {
+        for ((r, c), v) in self.iter() {
             d.set(r, c, v);
         }
         d
@@ -193,10 +249,13 @@ struct DokMatrixRepr {
 
 impl Serialize for DokMatrix {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut triplets: Vec<(usize, usize, f64)> =
-            self.entries.iter().map(|(&(r, c), &v)| (r, c, v)).collect();
-        triplets.sort_by_key(|&(r, c, _)| (r, c));
-        DokMatrixRepr { order: self.order, triplets }.serialize(serializer)
+        // Row-major iteration is already sorted by (row, col).
+        let triplets: Vec<(usize, usize, f64)> = self.iter().map(|((r, c), v)| (r, c, v)).collect();
+        DokMatrixRepr {
+            order: self.order,
+            triplets,
+        }
+        .serialize(serializer)
     }
 }
 
@@ -271,6 +330,17 @@ mod tests {
     }
 
     #[test]
+    fn iter_is_row_major_sorted() {
+        let mut m = DokMatrix::zeros(3);
+        m.set(2, 0, 1.0);
+        m.set(0, 2, 2.0);
+        m.set(0, 1, 3.0);
+        m.set(1, 1, 4.0);
+        let keys: Vec<(usize, usize)> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![(0, 1), (0, 2), (1, 1), (2, 0)]);
+    }
+
+    #[test]
     fn mul_sparse_vec_matches_dense() {
         let mut m = DokMatrix::zeros(3);
         m.set(0, 0, 1.0);
@@ -282,6 +352,20 @@ mod tests {
         for (g, w) in got.iter().zip(&want) {
             assert!((g - w).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn mul_into_reuses_scratch_and_matches_alloc_path() {
+        let mut m = DokMatrix::zeros(4);
+        m.set(0, 1, 2.0);
+        m.set(1, 1, -1.0);
+        m.set(3, 2, 4.0);
+        let v = SparseVec::from_pairs(4, [(1, 1.5), (2, 0.5)]);
+        let mut scratch = SparseVec::from_pairs(4, [(0, 9.0), (3, 9.0)]);
+        m.mul_sparse_vec_into(&v, &mut scratch);
+        assert_eq!(scratch, m.mul_sparse_vec(&v));
+        m.mul_sparse_vec_left_into(&v, &mut scratch);
+        assert_eq!(scratch, m.mul_sparse_vec_left(&v));
     }
 
     #[test]

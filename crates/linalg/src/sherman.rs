@@ -24,7 +24,10 @@ impl fmt::Display for ShermanMorrisonError {
         match self {
             Self::SingularUpdate => write!(f, "rank-1 update makes the matrix singular"),
             Self::DimensionMismatch { order, dim } => {
-                write!(f, "vector dimension {dim} does not match matrix order {order}")
+                write!(
+                    f,
+                    "vector dimension {dim} does not match matrix order {order}"
+                )
             }
         }
     }
@@ -68,10 +71,16 @@ pub fn sherman_morrison_update(
 ) -> Result<(), ShermanMorrisonError> {
     let order = b.order();
     if u.dim() != order {
-        return Err(ShermanMorrisonError::DimensionMismatch { order, dim: u.dim() });
+        return Err(ShermanMorrisonError::DimensionMismatch {
+            order,
+            dim: u.dim(),
+        });
     }
     if v.dim() != order {
-        return Err(ShermanMorrisonError::DimensionMismatch { order, dim: v.dim() });
+        return Err(ShermanMorrisonError::DimensionMismatch {
+            order,
+            dim: v.dim(),
+        });
     }
     let bu = b.mul_sparse_vec(u); // B u  — column vector
     let vb = b.mul_sparse_vec_left(v); // vᵀ B — row vector

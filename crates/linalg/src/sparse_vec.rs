@@ -41,7 +41,10 @@ impl SparseVec {
     ///
     /// Panics if `index >= dim`.
     pub fn basis(dim: usize, index: usize) -> Self {
-        assert!(index < dim, "basis index {index} out of range for dim {dim}");
+        assert!(
+            index < dim,
+            "basis index {index} out of range for dim {dim}"
+        );
         Self {
             dim,
             entries: vec![(index, 1.0)],
@@ -148,6 +151,20 @@ impl SparseVec {
         self.set(index, current + value);
     }
 
+    /// Removes all entries, keeping the allocated capacity so the vector
+    /// can be refilled without touching the heap.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Overwrites `self` with `other`'s contents, reusing `self`'s
+    /// entry buffer when it is already large enough.
+    pub fn copy_from(&mut self, other: &SparseVec) {
+        self.dim = other.dim;
+        self.entries.clear();
+        self.entries.extend_from_slice(&other.entries);
+    }
+
     /// Iterates over the stored `(index, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
         self.entries.iter().copied()
@@ -196,10 +213,30 @@ impl SparseVec {
     pub fn add_scaled(&self, other: &SparseVec, scale: f64) -> SparseVec {
         assert_eq!(self.dim, other.dim, "dimension mismatch in add_scaled");
         let mut out = self.clone();
-        for (i, v) in other.iter() {
-            out.add_at(i, scale * v);
-        }
+        out.add_scaled_assign(other, scale);
         out
+    }
+
+    /// Adds `scale * other` into `self` in place.
+    ///
+    /// Unlike [`SparseVec::add_scaled`] this reuses `self`'s entry
+    /// buffer: once it has grown to the working-set size, further calls
+    /// perform no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add_scaled_assign(&mut self, other: &SparseVec, scale: f64) {
+        assert_eq!(
+            self.dim, other.dim,
+            "dimension mismatch in add_scaled_assign"
+        );
+        if scale == 0.0 {
+            return;
+        }
+        for (i, v) in other.iter() {
+            self.add_at(i, scale * v);
+        }
     }
 
     /// Scales all entries in place.
@@ -303,6 +340,36 @@ mod tests {
         let a = SparseVec::basis(3, 1);
         let c = a.add_scaled(&a, -1.0);
         assert!(c.is_zero());
+    }
+
+    #[test]
+    fn add_scaled_assign_matches_add_scaled() {
+        let a = SparseVec::from_pairs(6, [(0, 1.0), (2, -2.0), (5, 0.5)]);
+        let b = SparseVec::from_pairs(6, [(2, 2.0), (3, 4.0)]);
+        let want = a.add_scaled(&b, -0.25);
+        let mut got = a.clone();
+        got.add_scaled_assign(&b, -0.25);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn add_scaled_assign_with_zero_scale_is_identity() {
+        let mut a = SparseVec::from_pairs(3, [(1, 2.0)]);
+        let b = SparseVec::from_pairs(3, [(0, 1.0), (2, 3.0)]);
+        let before = a.clone();
+        a.add_scaled_assign(&b, 0.0);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn clear_and_copy_from_reuse_storage() {
+        let mut scratch = SparseVec::from_pairs(4, [(0, 1.0), (3, 2.0)]);
+        scratch.clear();
+        assert!(scratch.is_zero());
+        assert_eq!(scratch.dim(), 4);
+        let src = SparseVec::from_pairs(4, [(1, -1.5)]);
+        scratch.copy_from(&src);
+        assert_eq!(scratch, src);
     }
 
     #[test]

@@ -155,10 +155,18 @@ impl DataCenterConfig {
         if !self.vms.is_empty() && self.pms.is_empty() {
             return Err(SimError::NoHosts);
         }
-        if let Some(i) = self.pms.iter().position(|p| p.mips <= 0.0 || p.bw_mbps <= 0.0) {
+        if let Some(i) = self
+            .pms
+            .iter()
+            .position(|p| p.mips <= 0.0 || p.bw_mbps <= 0.0)
+        {
             return Err(SimError::InvalidHost(i));
         }
-        if let Some(j) = self.vms.iter().position(|v| v.mips <= 0.0 || v.ram_mb < 0.0) {
+        if let Some(j) = self
+            .vms
+            .iter()
+            .position(|v| v.mips <= 0.0 || v.ram_mb < 0.0)
+        {
             return Err(SimError::InvalidVm(j));
         }
         if self.history_window == 0 {
@@ -186,14 +194,17 @@ impl DataCenterConfig {
         }
         if let InitialPlacement::Explicit(hosts) = &self.initial_placement {
             if hosts.len() != self.vms.len() {
-                return Err(SimError::InvalidParameter(
-                    "explicit placement must list one host per VM",
-                ));
+                return Err(SimError::PlacementLengthMismatch {
+                    n_vms: self.vms.len(),
+                    listed: hosts.len(),
+                });
             }
-            if hosts.iter().any(|&h| h >= self.pms.len()) {
-                return Err(SimError::InvalidParameter(
-                    "explicit placement references a non-existent host",
-                ));
+            if let Some(vm) = hosts.iter().position(|&h| h >= self.pms.len()) {
+                return Err(SimError::PlacementHostOutOfRange {
+                    vm,
+                    host: hosts[vm],
+                    n_hosts: self.pms.len(),
+                });
             }
         }
         Ok(())
@@ -320,6 +331,24 @@ pub enum SimError {
         /// VM rows in the trace.
         trace_vms: usize,
     },
+    /// An explicit initial placement lists a different number of hosts
+    /// than there are VMs.
+    PlacementLengthMismatch {
+        /// VMs in the configuration.
+        n_vms: usize,
+        /// Entries in the placement list.
+        listed: usize,
+    },
+    /// An explicit initial placement assigns a VM to a non-existent
+    /// host.
+    PlacementHostOutOfRange {
+        /// Index of the offending VM.
+        vm: usize,
+        /// The host index it was assigned.
+        host: usize,
+        /// Number of hosts that actually exist.
+        n_hosts: usize,
+    },
     /// A scalar parameter is out of range.
     InvalidParameter(&'static str),
 }
@@ -330,9 +359,19 @@ impl fmt::Display for SimError {
             Self::NoHosts => write!(f, "configuration has VMs but no hosts"),
             Self::InvalidHost(i) => write!(f, "host {i} has non-positive capacity"),
             Self::InvalidVm(j) => write!(f, "vm {j} has invalid capacity or RAM"),
-            Self::TraceMismatch { config_vms, trace_vms } => write!(
+            Self::TraceMismatch {
+                config_vms,
+                trace_vms,
+            } => write!(
                 f,
                 "trace provides {trace_vms} VM rows but the config declares {config_vms} VMs"
+            ),
+            Self::PlacementLengthMismatch { n_vms, listed } => {
+                write!(f, "explicit placement lists {listed} hosts for {n_vms} VMs")
+            }
+            Self::PlacementHostOutOfRange { vm, host, n_hosts } => write!(
+                f,
+                "explicit placement puts vm {vm} on host {host}, but only {n_hosts} hosts exist"
             ),
             Self::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
         }
@@ -356,7 +395,10 @@ mod tests {
 
     #[test]
     fn migration_cap_default_is_uncapped() {
-        assert_eq!(DataCenterConfig::paper_planetlab(2, 100).migration_cap(), 100);
+        assert_eq!(
+            DataCenterConfig::paper_planetlab(2, 100).migration_cap(),
+            100
+        );
         assert_eq!(DataCenterConfig::paper_planetlab(2, 0).migration_cap(), 0);
     }
 
@@ -411,12 +453,48 @@ mod tests {
     }
 
     #[test]
+    fn validation_catches_bad_explicit_placement() {
+        let mut c = DataCenterConfig::paper_planetlab(2, 3);
+        c.initial_placement = InitialPlacement::Explicit(vec![0, 1]);
+        assert_eq!(
+            c.validate(),
+            Err(SimError::PlacementLengthMismatch {
+                n_vms: 3,
+                listed: 2
+            })
+        );
+
+        let mut c = DataCenterConfig::paper_planetlab(2, 3);
+        c.initial_placement = InitialPlacement::Explicit(vec![0, 5, 1]);
+        assert_eq!(
+            c.validate(),
+            Err(SimError::PlacementHostOutOfRange {
+                vm: 1,
+                host: 5,
+                n_hosts: 2
+            })
+        );
+    }
+
+    #[test]
     fn errors_display_nonempty() {
         for e in [
             SimError::NoHosts,
             SimError::InvalidHost(1),
             SimError::InvalidVm(2),
-            SimError::TraceMismatch { config_vms: 1, trace_vms: 2 },
+            SimError::TraceMismatch {
+                config_vms: 1,
+                trace_vms: 2,
+            },
+            SimError::PlacementLengthMismatch {
+                n_vms: 3,
+                listed: 2,
+            },
+            SimError::PlacementHostOutOfRange {
+                vm: 0,
+                host: 9,
+                n_hosts: 2,
+            },
             SimError::InvalidParameter("x"),
         ] {
             assert!(!e.to_string().is_empty());
@@ -431,7 +509,11 @@ mod tests {
             .placement(InitialPlacement::RoundRobin)
             .oversubscription_ratio(1.5)
             .history_window(8)
-            .outage(HostOutage { host: 1, from_step: 3, until_step: 5 })
+            .outage(HostOutage {
+                host: 1,
+                from_step: 3,
+                until_step: 5,
+            })
             .build()
             .unwrap();
         assert_eq!(config.pms.len(), 3);
@@ -451,7 +533,11 @@ mod tests {
         let err = DataCenterConfig::builder()
             .hosts(PmSpec::paper_fleet(2))
             .vms(VmSpec::paper_mix(2, 1))
-            .outage(HostOutage { host: 7, from_step: 0, until_step: 1 })
+            .outage(HostOutage {
+                host: 7,
+                from_step: 0,
+                until_step: 1,
+            })
             .build()
             .unwrap_err();
         assert!(matches!(err, SimError::InvalidParameter(_)));

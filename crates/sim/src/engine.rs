@@ -28,8 +28,8 @@ use rand::{Rng, SeedableRng};
 use megh_trace::WorkloadTrace;
 
 use crate::{
-    config::InitialPlacement, DataCenterConfig, DataCenterView, Scheduler, SimError,
-    StepFeedback, StepRecord, SummaryReport,
+    config::InitialPlacement, DataCenterConfig, DataCenterView, Scheduler, SimError, StepFeedback,
+    StepRecord, SummaryReport,
 };
 
 /// A configured simulation, ready to run a scheduler over a trace.
@@ -69,7 +69,7 @@ impl Simulation {
                 trace_vms: trace.n_vms(),
             });
         }
-        let initial_placement = Self::place_initial(&config, &trace);
+        let initial_placement = Self::place_initial(&config, &trace)?;
         Ok(Self {
             config,
             trace,
@@ -92,14 +92,36 @@ impl Simulation {
         &self.initial_placement
     }
 
-    fn place_initial(config: &DataCenterConfig, trace: &WorkloadTrace) -> Vec<usize> {
+    fn place_initial(
+        config: &DataCenterConfig,
+        trace: &WorkloadTrace,
+    ) -> Result<Vec<usize>, SimError> {
         let m = config.pms.len();
         let n = config.vms.len();
         if m == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        match config.initial_placement {
-            InitialPlacement::Explicit(ref hosts) => hosts.clone(),
+        Ok(match config.initial_placement {
+            InitialPlacement::Explicit(ref hosts) => {
+                // `validate()` has already vetted the list, but the
+                // placement is this function's postcondition — recheck
+                // locally so every VM index produced below is in range
+                // regardless of how we were reached.
+                if hosts.len() != n {
+                    return Err(SimError::PlacementLengthMismatch {
+                        n_vms: n,
+                        listed: hosts.len(),
+                    });
+                }
+                if let Some(vm) = hosts.iter().position(|&h| h >= m) {
+                    return Err(SimError::PlacementHostOutOfRange {
+                        vm,
+                        host: hosts[vm],
+                        n_hosts: m,
+                    });
+                }
+                hosts.clone()
+            }
             InitialPlacement::RoundRobin => (0..n).map(|j| j % m).collect(),
             InitialPlacement::RandomUniform { seed } => {
                 let mut rng = StdRng::seed_from_u64(seed);
@@ -129,7 +151,7 @@ impl Simulation {
                 });
                 Self::first_fit(config, order, &loads)
             }
-        }
+        })
     }
 
     /// First-fit of `order`ed VMs by the given per-VM `loads`, keeping
@@ -149,8 +171,7 @@ impl Simulation {
             let host = (0..m)
                 .find(|&h| {
                     let cap = config.pms[h].mips;
-                    (used[h] + loads[j]) / cap <= beta
-                        && reserved[h] + requested <= ratio * cap
+                    (used[h] + loads[j]) / cap <= beta && reserved[h] + requested <= ratio * cap
                 })
                 .unwrap_or_else(|| {
                     (0..m)
@@ -205,13 +226,22 @@ impl Simulation {
         let host_bw: Vec<f64> = self.config.pms.iter().map(|p| p.bw_mbps).collect();
         // Shared once: the power curves never change during a run.
         let host_power = std::sync::Arc::new(
-            self.config.pms.iter().map(|p| p.power.clone()).collect::<Vec<_>>(),
+            self.config
+                .pms
+                .iter()
+                .map(|p| p.power.clone())
+                .collect::<Vec<_>>(),
         );
 
         for step in 0..steps {
             // 0. Scheduled outages active this interval.
             let down: Vec<bool> = (0..m)
-                .map(|h| self.config.outages.iter().any(|o| o.host == h && o.covers(step)))
+                .map(|h| {
+                    self.config
+                        .outages
+                        .iter()
+                        .any(|o| o.host == h && o.covers(step))
+                })
                 .collect();
 
             // 1. Demands from the trace.
@@ -384,9 +414,8 @@ impl Simulation {
             let total_cost_usd = energy_cost_usd + sla_cost_usd;
 
             // 6. Events, feedback, record.
-            let current_active: Vec<bool> = (0..m)
-                .map(|h| host_vm_count[h] > 0 && !down[h])
-                .collect();
+            let current_active: Vec<bool> =
+                (0..m).map(|h| host_vm_count[h] > 0 && !down[h]).collect();
             events.push(crate::StepEvents {
                 migrations: migration_events,
                 hosts_slept: (0..m)
@@ -516,7 +545,10 @@ mod tests {
         let config = DataCenterConfig::paper_planetlab(2, 4);
         assert_eq!(
             Simulation::new(config, trace).unwrap_err(),
-            SimError::TraceMismatch { config_vms: 4, trace_vms: 3 }
+            SimError::TraceMismatch {
+                config_vms: 4,
+                trace_vms: 3
+            }
         );
     }
 
@@ -770,7 +802,10 @@ mod tests {
             ratio: 8.0,
         });
         for (f, s) in full.iter().zip(&shared) {
-            assert!(s > f, "contended migration must incur more downtime ({s} vs {f})");
+            assert!(
+                s > f,
+                "contended migration must incur more downtime ({s} vs {f})"
+            );
         }
     }
 
@@ -828,6 +863,38 @@ mod tests {
         let cost = crate::CostParams::paper_defaults();
         let total_cost = outcome.report().energy_cost_usd;
         assert!((cost.energy_cost_usd(per_host) - total_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_placement_with_wrong_length_is_rejected() {
+        // Regression: `place_initial` used to clone the list blindly,
+        // so a 2-entry placement over 3 VMs produced out-of-bounds VM
+        // indexing later in the run instead of a clean error here.
+        let trace = flat_trace(3, 3, 10.0);
+        let mut config = DataCenterConfig::paper_planetlab(3, 3);
+        config.initial_placement = InitialPlacement::Explicit(vec![0, 1]);
+        assert_eq!(
+            Simulation::new(config, trace).unwrap_err(),
+            SimError::PlacementLengthMismatch {
+                n_vms: 3,
+                listed: 2
+            }
+        );
+    }
+
+    #[test]
+    fn explicit_placement_with_unknown_host_is_rejected() {
+        let trace = flat_trace(2, 2, 10.0);
+        let mut config = DataCenterConfig::paper_planetlab(2, 2);
+        config.initial_placement = InitialPlacement::Explicit(vec![0, 5]);
+        assert_eq!(
+            Simulation::new(config, trace).unwrap_err(),
+            SimError::PlacementHostOutOfRange {
+                vm: 1,
+                host: 5,
+                n_hosts: 2
+            }
+        );
     }
 
     #[test]

@@ -94,7 +94,12 @@ impl SummaryReport {
         let mean_decision_ms = if steps == 0 {
             0.0
         } else {
-            records.iter().map(|r| r.decision_micros as f64).sum::<f64>() / steps as f64 / 1000.0
+            records
+                .iter()
+                .map(|r| r.decision_micros as f64)
+                .sum::<f64>()
+                / steps as f64
+                / 1000.0
         };
         let max_decision_ms = records
             .iter()

@@ -47,8 +47,7 @@ impl Default for PreCopyModel {
 
 /// How migration time and downtime are derived from VM RAM and host
 /// bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum MigrationModel {
     /// §3.3's single full copy: `TM = 8·RAM/B`; downtime is
     /// `downtime_fraction × TM` (the CostParams field).
@@ -57,7 +56,6 @@ pub enum MigrationModel {
     /// Iterative pre-copy (Clark et al. 2005).
     PreCopy(PreCopyModel),
 }
-
 
 impl MigrationModel {
     /// Estimates one migration of a VM with `ram_mb` of memory over a
@@ -167,8 +165,16 @@ mod tests {
             stop_copy_threshold_mb: 8.0,
         });
         let est = model.estimate(4096.0, 1000.0, 0.1).unwrap();
-        assert!(est.rounds < 30, "should converge, used {} rounds", est.rounds);
-        assert!(est.downtime_seconds < 1.0, "downtime {}", est.downtime_seconds);
+        assert!(
+            est.rounds < 30,
+            "should converge, used {} rounds",
+            est.rounds
+        );
+        assert!(
+            est.downtime_seconds < 1.0,
+            "downtime {}",
+            est.downtime_seconds
+        );
         // Total bounded by geometric series M/B / (1 − ρ) plus slack.
         let geo = 4096.0 * 8.0 / 1000.0 / (1.0 - 0.1);
         assert!(est.total_seconds <= geo * 1.1);

@@ -19,8 +19,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Which host pairs contend for network capacity during migration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum NetworkModel {
     /// Non-blocking fabric: effective bandwidth = NIC bandwidth.
     #[default]
@@ -34,7 +33,6 @@ pub enum NetworkModel {
         ratio: f64,
     },
 }
-
 
 impl NetworkModel {
     /// The rack index of a host (hosts are numbered consecutively).
@@ -64,7 +62,10 @@ impl NetworkModel {
     pub fn effective_bandwidths(&self, migrations: &[(usize, usize, f64)]) -> Vec<f64> {
         match *self {
             Self::FullBisection => migrations.iter().map(|&(_, _, nic)| nic).collect(),
-            Self::RackOversubscribed { hosts_per_rack, ratio } => {
+            Self::RackOversubscribed {
+                hosts_per_rack,
+                ratio,
+            } => {
                 let hosts_per_rack = hosts_per_rack.max(1);
                 let ratio = ratio.max(1.0);
                 // Count inter-rack migrations touching each rack.
@@ -110,7 +111,10 @@ mod tests {
 
     #[test]
     fn rack_assignment_is_contiguous() {
-        let net = NetworkModel::RackOversubscribed { hosts_per_rack: 4, ratio: 2.0 };
+        let net = NetworkModel::RackOversubscribed {
+            hosts_per_rack: 4,
+            ratio: 2.0,
+        };
         assert_eq!(net.rack_of(0), 0);
         assert_eq!(net.rack_of(3), 0);
         assert_eq!(net.rack_of(4), 1);
@@ -120,7 +124,10 @@ mod tests {
 
     #[test]
     fn intra_rack_migrations_are_uncontended() {
-        let net = NetworkModel::RackOversubscribed { hosts_per_rack: 4, ratio: 4.0 };
+        let net = NetworkModel::RackOversubscribed {
+            hosts_per_rack: 4,
+            ratio: 4.0,
+        };
         let bws = net.effective_bandwidths(&[(0, 1, 1000.0), (2, 3, 1000.0)]);
         assert_eq!(bws, vec![1000.0, 1000.0]);
     }
@@ -128,11 +135,17 @@ mod tests {
     #[test]
     fn single_inter_rack_migration_gets_uplink_or_nic() {
         // Uplink = 4 × 1000 / 2 = 2000 ≥ NIC → NIC binds.
-        let net = NetworkModel::RackOversubscribed { hosts_per_rack: 4, ratio: 2.0 };
+        let net = NetworkModel::RackOversubscribed {
+            hosts_per_rack: 4,
+            ratio: 2.0,
+        };
         let bws = net.effective_bandwidths(&[(0, 4, 1000.0)]);
         assert_eq!(bws, vec![1000.0]);
         // Heavier oversubscription: uplink = 4000/8 = 500 < NIC.
-        let net = NetworkModel::RackOversubscribed { hosts_per_rack: 4, ratio: 8.0 };
+        let net = NetworkModel::RackOversubscribed {
+            hosts_per_rack: 4,
+            ratio: 8.0,
+        };
         let bws = net.effective_bandwidths(&[(0, 4, 1000.0)]);
         assert_eq!(bws, vec![500.0]);
     }
@@ -140,7 +153,10 @@ mod tests {
     #[test]
     fn concurrent_inter_rack_migrations_share_the_uplink() {
         // Rack 0 = hosts 0–3; two migrations leave rack 0 concurrently.
-        let net = NetworkModel::RackOversubscribed { hosts_per_rack: 4, ratio: 4.0 };
+        let net = NetworkModel::RackOversubscribed {
+            hosts_per_rack: 4,
+            ratio: 4.0,
+        };
         // Uplink = 4 × 1000 / 4 = 1000; two flows share → 500 each.
         let bws = net.effective_bandwidths(&[(0, 4, 1000.0), (1, 8, 1000.0)]);
         assert_eq!(bws, vec![500.0, 500.0]);
@@ -149,7 +165,10 @@ mod tests {
     #[test]
     fn destination_rack_can_be_the_bottleneck() {
         // Two flows converge on rack 1 (hosts 4–7).
-        let net = NetworkModel::RackOversubscribed { hosts_per_rack: 4, ratio: 4.0 };
+        let net = NetworkModel::RackOversubscribed {
+            hosts_per_rack: 4,
+            ratio: 4.0,
+        };
         let bws = net.effective_bandwidths(&[(0, 4, 1000.0), (8, 5, 1000.0)]);
         // Rack 1 carries two inter-rack flows: 1000/2 = 500 each.
         assert_eq!(bws, vec![500.0, 500.0]);
@@ -157,7 +176,10 @@ mod tests {
 
     #[test]
     fn ratio_below_one_is_clamped() {
-        let net = NetworkModel::RackOversubscribed { hosts_per_rack: 2, ratio: 0.1 };
+        let net = NetworkModel::RackOversubscribed {
+            hosts_per_rack: 2,
+            ratio: 0.1,
+        };
         let bws = net.effective_bandwidths(&[(0, 2, 1000.0)]);
         // Clamped ratio 1.0 → uplink 2000 ≥ NIC.
         assert_eq!(bws, vec![1000.0]);

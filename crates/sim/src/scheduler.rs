@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn migration_request_identity() {
         let a = MigrationRequest::new(VmId(1), PmId(2));
-        let b = MigrationRequest { vm: VmId(1), target: PmId(2) };
+        let b = MigrationRequest {
+            vm: VmId(1),
+            target: PmId(2),
+        };
         assert_eq!(a, b);
     }
 

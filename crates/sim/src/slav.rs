@@ -161,12 +161,15 @@ mod tests {
         let trace = WorkloadTrace::from_rows(300, vec![]).unwrap();
         let outcome = Simulation::new(config, trace).unwrap().run(NoOpScheduler);
         let m = SlavMetrics::from_run(&outcome);
-        assert_eq!(m, SlavMetrics {
-            slatah: 0.0,
-            pdm: 0.0,
-            slav: 0.0,
-            energy_kwh: 0.0,
-            esv: 0.0
-        });
+        assert_eq!(
+            m,
+            SlavMetrics {
+                slatah: 0.0,
+                pdm: 0.0,
+                slav: 0.0,
+                energy_kwh: 0.0,
+                esv: 0.0
+            }
+        );
     }
 }

@@ -98,7 +98,11 @@ pub struct VmSpec {
 impl VmSpec {
     /// Creates a VM spec.
     pub fn new(mips: f64, ram_mb: f64, bw_mbps: f64) -> Self {
-        Self { mips, ram_mb, bw_mbps }
+        Self {
+            mips,
+            ram_mb,
+            bw_mbps,
+        }
     }
 
     /// The four instance types spanning the paper's 0.5–2.5 GB /
@@ -140,8 +144,14 @@ mod tests {
     #[test]
     fn paper_fleet_is_half_and_half() {
         let fleet = PmSpec::paper_fleet(10);
-        let g4 = fleet.iter().filter(|p| p.power.name().contains("G4")).count();
-        let g5 = fleet.iter().filter(|p| p.power.name().contains("G5")).count();
+        let g4 = fleet
+            .iter()
+            .filter(|p| p.power.name().contains("G4"))
+            .count();
+        let g5 = fleet
+            .iter()
+            .filter(|p| p.power.name().contains("G5"))
+            .count();
         assert_eq!(g4, 5);
         assert_eq!(g5, 5);
     }
@@ -149,7 +159,10 @@ mod tests {
     #[test]
     fn odd_fleet_has_extra_g4() {
         let fleet = PmSpec::paper_fleet(5);
-        let g4 = fleet.iter().filter(|p| p.power.name().contains("G4")).count();
+        let g4 = fleet
+            .iter()
+            .filter(|p| p.power.name().contains("G4"))
+            .count();
         assert_eq!(g4, 3);
     }
 
@@ -179,8 +192,7 @@ mod tests {
             assert!(vm.ram_mb >= 512.0 && vm.ram_mb <= 2560.0);
         }
         // All four types should appear in a sample of 50.
-        let distinct: std::collections::BTreeSet<u64> =
-            a.iter().map(|v| v.mips as u64).collect();
+        let distinct: std::collections::BTreeSet<u64> = a.iter().map(|v| v.mips as u64).collect();
         assert_eq!(distinct.len(), 4);
     }
 

@@ -212,8 +212,7 @@ impl DataCenterView {
         if cap <= 0.0 {
             return false;
         }
-        self.host_reserved_mips[host.0] + self.vm_mips[vm.0]
-            <= self.oversubscription_ratio * cap
+        self.host_reserved_mips[host.0] + self.vm_mips[vm.0] <= self.oversubscription_ratio * cap
     }
 
     /// Power draw of `host` in Watts at a hypothetical `utilization`

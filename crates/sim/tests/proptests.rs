@@ -26,11 +26,8 @@ impl Scheduler for Scripted {
 }
 
 fn trace_strategy(n_vms: usize, steps: usize) -> impl Strategy<Value = WorkloadTrace> {
-    prop::collection::vec(
-        prop::collection::vec(0.0..=100.0f64, steps),
-        n_vms,
-    )
-    .prop_map(|rows| WorkloadTrace::from_rows(300, rows).expect("valid rows"))
+    prop::collection::vec(prop::collection::vec(0.0..=100.0f64, steps), n_vms)
+        .prop_map(|rows| WorkloadTrace::from_rows(300, rows).expect("valid rows"))
 }
 
 fn requests_strategy(

@@ -175,7 +175,10 @@ fn scenario_same_step_reaction_prevents_deficit() {
     // the migration itself.
     let max_tm_downtime = 0.1 * 512.0 * 8.0 / 1000.0 + 1e-9;
     for &d in outcome.vm_downtime_seconds() {
-        assert!(d <= max_tm_downtime, "downtime {d} exceeds migration-only bound");
+        assert!(
+            d <= max_tm_downtime,
+            "downtime {d} exceeds migration-only bound"
+        );
     }
     assert_eq!(outcome.report().total_migrations, 1);
 }

@@ -101,9 +101,9 @@ pub fn load_csv(path: impl AsRef<Path>) -> Result<WorkloadTrace, TraceCsvError> 
         }
         if let Some(rest) = line.strip_prefix('#') {
             if let Some(value) = rest.trim().strip_prefix("step_seconds=") {
-                step_seconds = Some(value.trim().parse().map_err(|_| TraceCsvError::Format(
-                    format!("invalid step_seconds value {value:?}"),
-                ))?);
+                step_seconds = Some(value.trim().parse().map_err(|_| {
+                    TraceCsvError::Format(format!("invalid step_seconds value {value:?}"))
+                })?);
             }
             continue;
         }
@@ -211,7 +211,10 @@ mod tests {
     fn error_messages_are_nonempty() {
         let e = TraceCsvError::Format("x".into());
         assert!(!e.to_string().is_empty());
-        let e = TraceCsvError::Parse { line: 1, cell: "q".into() };
+        let e = TraceCsvError::Parse {
+            line: 1,
+            cell: "q".into(),
+        };
         assert!(e.to_string().contains("line 1"));
     }
 }

@@ -66,7 +66,11 @@ impl DiurnalConfig {
         let up = sigmoid((phase - 8.0 / 24.0) * 40.0);
         let down = sigmoid((phase - 20.0 / 24.0) * 40.0);
         let plateau = up - down;
-        let weekend = if day % 7 >= 5 { self.weekend_factor } else { 1.0 };
+        let weekend = if day % 7 >= 5 {
+            self.weekend_factor
+        } else {
+            1.0
+        };
         self.night_level + (self.day_level * weekend - self.night_level) * plateau.max(0.0)
     }
 
@@ -144,7 +148,9 @@ mod tests {
         // on two weekdays must be far closer than day vs night.
         let trace = DiurnalConfig::new(40, 7).generate(3);
         let mean_at = |step: usize| {
-            (0..trace.n_vms()).map(|v| trace.utilization(v, step)).sum::<f64>()
+            (0..trace.n_vms())
+                .map(|v| trace.utilization(v, step))
+                .sum::<f64>()
                 / trace.n_vms() as f64
         };
         let noon_d1 = mean_at(STEPS_PER_DAY / 2);

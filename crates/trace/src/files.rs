@@ -132,7 +132,11 @@ pub fn load_google_usage_csv(path: impl AsRef<Path>) -> Result<WorkloadTrace, Tr
         }
         let step = (timestamp / STEP_SECONDS as f64) as usize;
         max_step = max_step.max(step);
-        let entry = buckets.entry(vm_id).or_default().entry(step).or_insert((0.0, 0));
+        let entry = buckets
+            .entry(vm_id)
+            .or_default()
+            .entry(step)
+            .or_insert((0.0, 0));
         entry.0 += rate;
         entry.1 += 1;
     }
@@ -160,10 +164,7 @@ mod tests {
     use super::*;
 
     fn tmp_dir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "megh-files-{}-{name}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("megh-files-{}-{name}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         dir
     }

@@ -81,9 +81,7 @@ impl GoogleConfig {
             let mut row = Vec::with_capacity(n_steps);
             // Staggered starts: idle for a random prefix.
             let offset = rng.gen_range(0..=(STEPS_PER_DAY / 4).max(1));
-            for _ in 0..offset.min(n_steps) {
-                row.push(0.0);
-            }
+            row.resize(offset.min(n_steps), 0.0);
             while row.len() < n_steps {
                 // Idle gap (geometric) then a task.
                 let gap = sample_geometric(&mut rng, 1.0 / (self.mean_idle_steps + 1.0));
@@ -97,8 +95,7 @@ impl GoogleConfig {
                     break;
                 }
                 let duration_s = self.sample_duration(&mut rng);
-                let duration_steps =
-                    ((duration_s / STEP_SECONDS as f64).ceil() as usize).max(1);
+                let duration_steps = ((duration_s / STEP_SECONDS as f64).ceil() as usize).max(1);
                 let level = util_dist.sample(&mut rng).clamp(0.5, 60.0);
                 for _ in 0..duration_steps {
                     if row.len() >= n_steps {

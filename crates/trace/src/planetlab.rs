@@ -78,8 +78,7 @@ impl PlanetLabConfig {
         // the configured quiet mean (PlanetLab nodes differ widely).
         let base_dist = LogNormal::new(self.quiet_mean.max(0.1).ln(), 0.45)
             .expect("valid lognormal parameters");
-        let burst_level_dist =
-            Normal::new(self.burst_mean, 6.0).expect("valid normal parameters");
+        let burst_level_dist = Normal::new(self.burst_mean, 6.0).expect("valid normal parameters");
         let noise = Normal::new(0.0, 1.5).expect("valid normal parameters");
 
         let p_exit_burst = 1.0 / self.mean_burst_steps.max(1.0);
@@ -113,11 +112,7 @@ impl PlanetLabConfig {
                     level = burst_level_dist.sample(&mut rng).clamp(50.0, 95.0);
                 }
                 // AR(1) pull towards the regime level plus white noise.
-                let target = if bursting {
-                    level
-                } else {
-                    base
-                };
+                let target = if bursting { level } else { base };
                 let current = row.last().copied().unwrap_or(target);
                 let next = current + 0.6 * (target - current) + noise.sample(&mut rng);
                 row.push(next.clamp(0.0, 100.0));

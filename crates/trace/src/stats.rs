@@ -89,7 +89,10 @@ impl DurationStats {
     ///
     /// Panics if `buckets_per_decade == 0`.
     pub fn from_durations(durations: &[f64], buckets_per_decade: usize) -> Self {
-        assert!(buckets_per_decade > 0, "need at least one bucket per decade");
+        assert!(
+            buckets_per_decade > 0,
+            "need at least one bucket per decade"
+        );
         if durations.is_empty() {
             return Self {
                 bucket_edges_log10: Vec::new(),
@@ -215,10 +218,7 @@ pub fn log10_histogram(values: &[f64], buckets_per_decade: usize) -> (Vec<f64>, 
         .map(|v| v.log10())
         .fold(f64::MAX, f64::min)
         .floor();
-    let max_log = positives
-        .iter()
-        .map(|v| v.log10())
-        .fold(f64::MIN, f64::max);
+    let max_log = positives.iter().map(|v| v.log10()).fold(f64::MIN, f64::max);
     let width = 1.0 / buckets_per_decade as f64;
     let n_buckets = (((max_log - min_log) / width).floor() as usize) + 1;
     let mut counts = vec![0usize; n_buckets];
@@ -312,8 +312,16 @@ mod tests {
         // A near-uniform discrete sample: kurtosis ≈ 1.8, skew ≈ 0.
         let uniform: Vec<f64> = (0..10_000).map(|i| (i % 100) as f64).collect();
         let cf = CullenFrey::of_sample(&uniform).unwrap();
-        assert!(cf.skewness_squared < 0.01, "skew² = {}", cf.skewness_squared);
-        assert!((cf.kurtosis - 1.8).abs() < 0.05, "kurtosis = {}", cf.kurtosis);
+        assert!(
+            cf.skewness_squared < 0.01,
+            "skew² = {}",
+            cf.skewness_squared
+        );
+        assert!(
+            (cf.kurtosis - 1.8).abs() < 0.05,
+            "kurtosis = {}",
+            cf.kurtosis
+        );
         assert!(cf.distance_to_uniform() < 0.1);
         assert!(cf.distance_to_normal() > 1.0);
     }

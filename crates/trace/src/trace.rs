@@ -44,7 +44,10 @@ impl WorkloadTrace {
                 if row.len() != len {
                     return None;
                 }
-                if row.iter().any(|&u| !u.is_finite() || !(0.0..=100.0).contains(&u)) {
+                if row
+                    .iter()
+                    .any(|&u| !u.is_finite() || !(0.0..=100.0).contains(&u))
+                {
                     return None;
                 }
             }

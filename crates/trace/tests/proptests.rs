@@ -1,8 +1,8 @@
 //! Property-based tests of the workload generators and trace utilities.
 
 use megh_trace::{
-    load_csv, log10_histogram, save_csv, GoogleConfig, PlanetLabConfig, TraceStats,
-    WorkloadTrace, STEP_SECONDS,
+    load_csv, log10_histogram, save_csv, GoogleConfig, PlanetLabConfig, TraceStats, WorkloadTrace,
+    STEP_SECONDS,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -37,15 +37,11 @@ impl Scheduler for Spreader {
         let Some(source) = hottest else {
             return Vec::new();
         };
-        let Some(vm) = view
-            .vms_on(source)
-            .into_iter()
-            .min_by(|&a, &b| {
-                view.vm_ram_mb(a)
-                    .partial_cmp(&view.vm_ram_mb(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-        else {
+        let Some(vm) = view.vms_on(source).into_iter().min_by(|&a, &b| {
+            view.vm_ram_mb(a)
+                .partial_cmp(&view.vm_ram_mb(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }) else {
             return Vec::new();
         };
         let target = view

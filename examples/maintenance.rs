@@ -19,7 +19,11 @@ fn main() {
     let mut config = DataCenterConfig::paper_planetlab(hosts, vms);
     config.initial_placement = InitialPlacement::DemandPacked;
     // Host 0 (the first-fit anchor, busiest) goes down for two hours.
-    config.outages = vec![HostOutage { host: 0, from_step: 48, until_step: 72 }];
+    config.outages = vec![HostOutage {
+        host: 0,
+        from_step: 48,
+        until_step: 72,
+    }];
     let sim = Simulation::new(config, trace).expect("consistent setup");
 
     for outcome in [
@@ -39,8 +43,11 @@ fn main() {
         println!(
             "{:<8} total {:>7.2} USD  SLA {:>7.2} USD  migrations in outage window: {:<3} \
              worst VM downtime {:>7.0} s",
-            report.scheduler, report.total_cost_usd, report.sla_cost_usd,
-            outage_migrations, worst_downtime
+            report.scheduler,
+            report.total_cost_usd,
+            report.sla_cost_usd,
+            outage_migrations,
+            worst_downtime
         );
     }
     println!("\nTHR-MMT evacuates the down host immediately; Megh has no failure");

@@ -16,13 +16,17 @@ fn main() {
     config.initial_placement = InitialPlacement::DemandPacked;
     let sim = Simulation::new(config, trace).expect("consistent setup");
 
-    let mut reports: Vec<SummaryReport> = Vec::new();
-    reports.push(sim.run(NoOpScheduler).report());
-    reports.push(sim.run(MmtScheduler::new(MmtFlavor::Thr)).report());
-    reports.push(sim.run(MeghAgent::new(MeghConfig::paper_defaults(vms, hosts))).report());
+    let reports: Vec<SummaryReport> = vec![
+        sim.run(NoOpScheduler).report(),
+        sim.run(MmtScheduler::new(MmtFlavor::Thr)).report(),
+        sim.run(MeghAgent::new(MeghConfig::paper_defaults(vms, hosts)))
+            .report(),
+    ];
 
-    println!("{:<10} {:>12} {:>12} {:>12} {:>14} {:>10}",
-        "scheduler", "total USD", "energy USD", "SLA USD", "#migrations", "exec ms");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>14} {:>10}",
+        "scheduler", "total USD", "energy USD", "SLA USD", "#migrations", "exec ms"
+    );
     for r in &reports {
         println!(
             "{:<10} {:>12.2} {:>12.2} {:>12.2} {:>14} {:>10.3}",

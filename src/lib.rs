@@ -56,7 +56,5 @@ pub mod prelude {
         DataCenterConfig, DataCenterView, HostOutage, InitialPlacement, MigrationRequest,
         NoOpScheduler, PmId, Scheduler, SimError, Simulation, SlavMetrics, SummaryReport, VmId,
     };
-    pub use megh_trace::{
-        DiurnalConfig, GoogleConfig, PlanetLabConfig, TraceStats, WorkloadTrace,
-    };
+    pub use megh_trace::{DiurnalConfig, GoogleConfig, PlanetLabConfig, TraceStats, WorkloadTrace};
 }

@@ -2,8 +2,8 @@
 //! a restart mid-week via checkpoint/restore and keep scheduling
 //! sensibly on the remainder of the workload.
 
-use megh::prelude::*;
 use megh::core::MeghAgent;
+use megh::prelude::*;
 
 #[test]
 fn checkpointed_agent_resumes_mid_week() {
@@ -32,10 +32,13 @@ fn checkpointed_agent_resumes_mid_week() {
     )
     .unwrap();
     let mut resumed = MeghAgent::restore(serde_json::from_str(&json).unwrap(), 7);
-    assert_eq!(resumed.qtable_nnz(), learned_nnz, "knowledge must survive restart");
+    assert_eq!(
+        resumed.qtable_nnz(),
+        learned_nnz,
+        "knowledge must survive restart"
+    );
     let mut config_b = config.clone();
-    config_b.initial_placement =
-        InitialPlacement::Explicit(outcome_a.final_placement().to_vec());
+    config_b.initial_placement = InitialPlacement::Explicit(outcome_a.final_placement().to_vec());
     let second_half = Simulation::new(config_b, second_half_trace).unwrap();
     let outcome_b = second_half.run(&mut resumed);
 

@@ -28,9 +28,7 @@ fn check_outcome_invariants(outcome: &SimulationOutcome, steps: usize, hosts: us
     assert_eq!(outcome.records().len(), steps);
     let report = outcome.report();
     // Cost decomposition is exact.
-    assert!(
-        (report.total_cost_usd - report.energy_cost_usd - report.sla_cost_usd).abs() < 1e-9
-    );
+    assert!((report.total_cost_usd - report.energy_cost_usd - report.sla_cost_usd).abs() < 1e-9);
     // Energy is strictly positive whenever any VM exists.
     assert!(report.energy_cost_usd > 0.0);
     // Cumulative migrations is non-decreasing and consistent.
@@ -96,7 +94,12 @@ fn runs_are_deterministic_across_all_schedulers() {
     let run_pair = |mk: &dyn Fn() -> Box<dyn Scheduler>| {
         let a = sim.run(&mut *mk());
         let b = sim.run(&mut *mk());
-        assert_eq!(a.final_placement(), b.final_placement(), "{}", a.scheduler());
+        assert_eq!(
+            a.final_placement(),
+            b.final_placement(),
+            "{}",
+            a.scheduler()
+        );
         assert_eq!(
             a.report().total_migrations,
             b.report().total_migrations,
@@ -138,8 +141,12 @@ fn trace_roundtrip_feeds_simulation() {
     std::fs::remove_file(&path).ok();
 
     let config = DataCenterConfig::paper_planetlab(4, 6);
-    let a = Simulation::new(config.clone(), trace).unwrap().run(NoOpScheduler);
-    let b = Simulation::new(config, reloaded).unwrap().run(NoOpScheduler);
+    let a = Simulation::new(config.clone(), trace)
+        .unwrap()
+        .run(NoOpScheduler);
+    let b = Simulation::new(config, reloaded)
+        .unwrap()
+        .run(NoOpScheduler);
     assert!((a.report().total_cost_usd - b.report().total_cost_usd).abs() < 1e-3);
 }
 

@@ -47,10 +47,27 @@ fn vms_without_hosts_are_rejected() {
 fn explicit_placement_out_of_range_is_rejected() {
     let mut config = DataCenterConfig::paper_planetlab(2, 2);
     config.initial_placement = InitialPlacement::Explicit(vec![0, 5]);
-    assert!(matches!(
+    assert_eq!(
         Simulation::new(config, flat(2, 3, 10.0)).unwrap_err(),
-        SimError::InvalidParameter(_)
-    ));
+        SimError::PlacementHostOutOfRange {
+            vm: 1,
+            host: 5,
+            n_hosts: 2
+        }
+    );
+}
+
+#[test]
+fn explicit_placement_with_wrong_length_is_rejected() {
+    let mut config = DataCenterConfig::paper_planetlab(2, 3);
+    config.initial_placement = InitialPlacement::Explicit(vec![0, 1]);
+    assert_eq!(
+        Simulation::new(config, flat(3, 3, 10.0)).unwrap_err(),
+        SimError::PlacementLengthMismatch {
+            n_vms: 3,
+            listed: 2
+        }
+    );
 }
 
 #[test]
@@ -79,7 +96,11 @@ fn all_zero_workload_is_stable_for_all_schedulers() {
             "{}: downtime {total_downtime} exceeds migration-only bound {downtime_bound}",
             report.scheduler
         );
-        assert!(report.energy_cost_usd > 0.0, "{}: awake hosts draw idle power", report.scheduler);
+        assert!(
+            report.energy_cost_usd > 0.0,
+            "{}: awake hosts draw idle power",
+            report.scheduler
+        );
     }
 }
 
@@ -144,10 +165,7 @@ fn malicious_scheduler_cannot_corrupt_state() {
         fn name(&self) -> &str {
             "Chaos"
         }
-        fn decide(
-            &mut self,
-            view: &megh::sim::DataCenterView,
-        ) -> Vec<megh::sim::MigrationRequest> {
+        fn decide(&mut self, view: &megh::sim::DataCenterView) -> Vec<megh::sim::MigrationRequest> {
             use megh::sim::{MigrationRequest, PmId, VmId};
             vec![
                 MigrationRequest::new(VmId(usize::MAX), PmId(0)),
@@ -175,7 +193,11 @@ fn host_outage_is_evacuated_by_mmt() {
     let mut config = DataCenterConfig::paper_planetlab(hosts, vms);
     config.vms = vec![VmSpec::new(500.0, 512.0, 100.0); vms];
     config.initial_placement = InitialPlacement::Explicit(vec![0; vms]);
-    config.outages = vec![HostOutage { host: 0, from_step: 2, until_step: 30 }];
+    config.outages = vec![HostOutage {
+        host: 0,
+        from_step: 2,
+        until_step: 30,
+    }];
     let sim = Simulation::new(config, flat(vms, 30, 20.0)).unwrap();
     let outcome = sim.run(MmtScheduler::new(MmtFlavor::Thr));
     // Every VM must have left host 0 once the outage began.
@@ -187,14 +209,20 @@ fn host_outage_is_evacuated_by_mmt() {
     // The event log records the outage and the evacuation migrations.
     let step2 = &outcome.events()[2];
     assert_eq!(step2.hosts_down, vec![0]);
-    assert!(!step2.migrations.is_empty(), "evacuation must start at the outage");
+    assert!(
+        !step2.migrations.is_empty(),
+        "evacuation must start at the outage"
+    );
     // Downtime accrued only briefly (one detection interval at most).
     let max_downtime = outcome
         .vm_downtime_seconds()
         .iter()
         .cloned()
         .fold(0.0, f64::max);
-    assert!(max_downtime <= 2.0 * 300.0 + 60.0, "max downtime {max_downtime}");
+    assert!(
+        max_downtime <= 2.0 * 300.0 + 60.0,
+        "max downtime {max_downtime}"
+    );
     // The down host draws no energy during the outage.
     let host0_joules = outcome.host_energy_joules()[0];
     // Host 0 was up for steps 0–1 only (≈ 2 intervals of ≤ 117 W).
@@ -207,7 +235,11 @@ fn outage_without_scheduler_reaction_costs_downtime() {
     let mut config = DataCenterConfig::paper_planetlab(2, 2);
     config.vms = vec![VmSpec::new(500.0, 512.0, 100.0); 2];
     config.initial_placement = InitialPlacement::Explicit(vec![0, 0]);
-    config.outages = vec![HostOutage { host: 0, from_step: 0, until_step: 10 }];
+    config.outages = vec![HostOutage {
+        host: 0,
+        from_step: 0,
+        until_step: 10,
+    }];
     let sim = Simulation::new(config, flat(2, 10, 20.0)).unwrap();
     let outcome = sim.run(NoOpScheduler);
     // Full downtime for the whole outage.
@@ -222,13 +254,21 @@ fn outage_without_scheduler_reaction_costs_downtime() {
 fn invalid_outage_is_rejected() {
     use megh::sim::HostOutage;
     let mut config = DataCenterConfig::paper_planetlab(2, 2);
-    config.outages = vec![HostOutage { host: 9, from_step: 0, until_step: 5 }];
+    config.outages = vec![HostOutage {
+        host: 9,
+        from_step: 0,
+        until_step: 5,
+    }];
     assert!(matches!(
         Simulation::new(config, flat(2, 5, 10.0)).unwrap_err(),
         SimError::InvalidParameter(_)
     ));
     let mut config = DataCenterConfig::paper_planetlab(2, 2);
-    config.outages = vec![HostOutage { host: 0, from_step: 5, until_step: 5 }];
+    config.outages = vec![HostOutage {
+        host: 0,
+        from_step: 5,
+        until_step: 5,
+    }];
     assert!(Simulation::new(config, flat(2, 5, 10.0)).is_err());
 }
 

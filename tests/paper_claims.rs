@@ -19,7 +19,7 @@ fn planetlab_sim(hosts: usize, vms: usize, steps: usize, seed: u64) -> Simulatio
 /// the MMT heuristics.
 #[test]
 fn megh_migrates_far_less_than_mmt() {
-    let (hosts, vms, steps) = (40, 52, 300, );
+    let (hosts, vms, steps) = (40, 52, 300);
     let sim = planetlab_sim(hosts, vms, steps, 42);
     let thr = sim.run(MmtScheduler::new(MmtFlavor::Thr)).report();
     let megh = sim
@@ -57,7 +57,9 @@ fn megh_decides_faster_than_thr_mmt() {
 fn madvm_is_orders_of_magnitude_slower_than_megh() {
     let (hosts, vms, steps) = (50, 75, 40);
     let sim = planetlab_sim(hosts, vms, steps, 44);
-    let madvm = sim.run(MadVmScheduler::new(MadVmConfig::default())).report();
+    let madvm = sim
+        .run(MadVmScheduler::new(MadVmConfig::default()))
+        .report();
     let megh = sim
         .run(MeghAgent::new(MeghConfig::paper_defaults(vms, hosts)))
         .report();

@@ -1,0 +1,255 @@
+//! Offline shim for `criterion`.
+//!
+//! The build environment cannot reach crates.io, so this crate supplies
+//! the subset of criterion's API the Megh benches use: benchmark
+//! groups, `bench_with_input`/`bench_function`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Each sample times a calibrated batch of iterations; a group's
+//! statistics (mean/median/min/max ns per iteration) are printed to
+//! stdout and written as JSON to `$BENCH_JSON_DIR/<group>.json`
+//! (default `target/criterion-shim/`), which is how the repo's
+//! committed `BENCH_*.json` files are produced.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget for calibrating one benchmark's batch size.
+const CALIBRATION: Duration = Duration::from_millis(30);
+/// Wall-clock target for one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(2);
+
+/// Identifies a benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter label.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: calibrates a batch size, then records
+    /// `sample_count` timed batches as ns-per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibration doubles the batch until it fills the budget; this
+        // also serves as warmup.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= CALIBRATION {
+                break;
+            }
+            if elapsed >= SAMPLE_TARGET {
+                let ns_per_iter = elapsed.as_nanos() as f64 / batch as f64;
+                batch = ((SAMPLE_TARGET.as_nanos() as f64 / ns_per_iter).ceil() as u64).max(1);
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// One benchmark's aggregated timing, in nanoseconds per iteration.
+struct BenchStats {
+    id: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+fn stats_of(id: String, samples: &[f64]) -> BenchStats {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len().max(1);
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let median = if sorted.is_empty() {
+        0.0
+    } else if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+    BenchStats {
+        id,
+        mean_ns: mean,
+        median_ns: median,
+        min_ns: sorted.first().copied().unwrap_or(0.0),
+        max_ns: sorted.last().copied().unwrap_or(0.0),
+        samples: samples.len(),
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    results: Vec<BenchStats>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_count,
+        };
+        routine(&mut bencher, input);
+        self.record(id, &bencher.samples);
+        self
+    }
+
+    /// Benchmarks a routine that needs no input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_count,
+        };
+        routine(&mut bencher);
+        self.record(id, &bencher.samples);
+        self
+    }
+
+    fn record(&mut self, id: BenchmarkId, samples: &[f64]) {
+        let stats = stats_of(id.id.clone(), samples);
+        println!(
+            "{}/{:<28} time: [median {} mean {} range {} .. {}]",
+            self.name,
+            stats.id,
+            format_ns(stats.median_ns),
+            format_ns(stats.mean_ns),
+            format_ns(stats.min_ns),
+            format_ns(stats.max_ns),
+        );
+        self.results.push(stats);
+    }
+
+    /// Finalizes the group, writing its JSON results file.
+    pub fn finish(self) {
+        let dir =
+            std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| "target/criterion-shim".to_string());
+        let dir = std::path::Path::new(&dir);
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let mut out = String::from("[\n");
+        for (i, s) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"id\":{:?},\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}",
+                s.id, s.mean_ns, s.median_ns, s.min_ns, s.max_ns, s.samples
+            ));
+        }
+        out.push_str("\n]\n");
+        let path = dir.join(format!("{}.json", self.name.replace('/', "_")));
+        let _ = std::fs::write(path, out);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Entry point handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: 20,
+            results: Vec::new(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,250 @@
+//! Deserialization half of the shim data model.
+
+use crate::value::{Number, Value};
+use std::fmt::Display;
+
+/// Errors a [`Deserializer`] may produce.
+pub trait Error: Sized + Display {
+    /// Builds an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A source of one [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// The error type.
+    type Error: Error;
+
+    /// Produces the full value tree this deserializer holds.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types that can rebuild themselves from the shim data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+fn type_error<E: Error>(expected: &str, got: &Value) -> E {
+    let kind = match got {
+        Value::Null => "null",
+        Value::Bool(_) => "a boolean",
+        Value::Num(_) => "a number",
+        Value::String(_) => "a string",
+        Value::Array(_) => "an array",
+        Value::Object(_) => "an object",
+    };
+    E::custom(format!("expected {expected}, found {kind}"))
+}
+
+macro_rules! deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.into_value()?;
+                let out = match &value {
+                    Value::Num(Number::U(u)) => <$t>::try_from(*u).ok(),
+                    Value::Num(Number::I(i)) => u64::try_from(*i).ok().and_then(|u| <$t>::try_from(u).ok()),
+                    // Integral floats appear when a tree was built via f64
+                    // arithmetic; accept them when exact.
+                    Value::Num(Number::F(f)) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                        <$t>::try_from(*f as u64).ok()
+                    }
+                    _ => return Err(type_error(stringify!($t), &value)),
+                };
+                out.ok_or_else(|| D::Error::custom(format!(
+                    "number out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.into_value()?;
+                let out = match &value {
+                    Value::Num(Number::I(i)) => <$t>::try_from(*i).ok(),
+                    Value::Num(Number::U(u)) => i64::try_from(*u).ok().and_then(|i| <$t>::try_from(i).ok()),
+                    Value::Num(Number::F(f)) if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 => {
+                        <$t>::try_from(*f as i64).ok()
+                    }
+                    _ => return Err(type_error(stringify!($t), &value)),
+                };
+                out.ok_or_else(|| D::Error::custom(format!(
+                    "number out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+deserialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! deserialize_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.into_value()?;
+                match value {
+                    Value::Num(n) => Ok(n.as_f64() as $t),
+                    _ => Err(type_error(stringify!($t), &value)),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        match value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(type_error("bool", &value)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        match value {
+            Value::String(s) => Ok(s),
+            _ => Err(type_error("a string", &value)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        match &value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(type_error("a single-character string", &value)),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        match value {
+            Value::Null => Ok(None),
+            other => crate::value::from_value(other)
+                .map(Some)
+                .map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        match value {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|item| crate::value::from_value(item).map_err(D::Error::custom))
+                .collect(),
+            _ => Err(type_error("an array", &value)),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal: $($name:ident),+))*) => {$(
+        impl<'de, $($name: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.into_value()?;
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        let mut iter = items.into_iter();
+                        Ok(($(
+                            {
+                                let item = iter.next().unwrap();
+                                let field: $name =
+                                    crate::value::from_value(item).map_err(D::Error::custom)?;
+                                field
+                            },
+                        )+))
+                    }
+                    Value::Array(items) => Err(D::Error::custom(format!(
+                        "expected an array of length {}, found length {}",
+                        $len,
+                        items.len()
+                    ))),
+                    _ => Err(type_error("an array", &value)),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (2: T0, T1)
+    (3: T0, T1, T2)
+    (4: T0, T1, T2, T3)
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for std::sync::Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        crate::value::from_value(value)
+            .map(std::sync::Arc::new)
+            .map_err(D::Error::custom)
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for std::rc::Rc<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        crate::value::from_value(value)
+            .map(std::rc::Rc::new)
+            .map_err(D::Error::custom)
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        crate::value::from_value(value)
+            .map(Box::new)
+            .map_err(D::Error::custom)
+    }
+}
+
+fn deserialize_pairs<E: Error, V: for<'a> Deserialize<'a>>(
+    value: Value,
+) -> Result<Vec<(String, V)>, E> {
+    match value {
+        Value::Object(pairs) => pairs
+            .into_iter()
+            .map(|(k, v)| {
+                crate::value::from_value(v)
+                    .map(|v| (k, v))
+                    .map_err(E::custom)
+            })
+            .collect(),
+        _ => Err(type_error("an object", &value)),
+    }
+}
+
+impl<'de, V: for<'a> Deserialize<'a>, H: std::hash::BuildHasher + Default> Deserialize<'de>
+    for std::collections::HashMap<String, V, H>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let pairs: Vec<(String, V)> = deserialize_pairs(deserializer.into_value()?)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<'de, V: for<'a> Deserialize<'a>> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let pairs: Vec<(String, V)> = deserialize_pairs(deserializer.into_value()?)?;
+        Ok(pairs.into_iter().collect())
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate supplies
+//! the subset of serde's API the Megh workspace uses, built on a single
+//! concrete data model: every serializer consumes a [`value::Value`]
+//! tree and every deserializer produces one. The trait *signatures*
+//! match real serde (`fn serialize<S: Serializer>`, `de::Error::custom`,
+//! …) so hand-written impls like `DokMatrix`'s compile unchanged; the
+//! trait *contents* are reduced to one method each.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+// Derive macros live in the macro namespace, so these re-exports do not
+// collide with the traits of the same name.
+pub use serde_derive::{Deserialize, Serialize};

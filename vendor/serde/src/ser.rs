@@ -1,0 +1,177 @@
+//! Serialization half of the shim data model.
+
+use crate::value::Value;
+use std::fmt::Display;
+
+/// Errors a [`Serializer`] may produce.
+pub trait Error: Sized + Display {
+    /// Builds an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A sink for one [`Value`] tree.
+///
+/// Real serde drives serializers through ~30 `serialize_*` methods; this
+/// shim's single data model needs only one.
+pub trait Serializer: Sized {
+    /// The success type.
+    type Ok;
+    /// The error type.
+    type Error: Error;
+
+    /// Consumes a fully built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Types that can render themselves into the shim data model.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! serialize_via_value {
+    ($($t:ty => $conv:expr),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                #[allow(clippy::redundant_closure_call)]
+                serializer.serialize_value(($conv)(self))
+            }
+        }
+    )*};
+}
+
+use crate::value::Number;
+
+serialize_via_value! {
+    bool => |v: &bool| Value::Bool(*v),
+    u8 => |v: &u8| Value::Num(Number::U(*v as u64)),
+    u16 => |v: &u16| Value::Num(Number::U(*v as u64)),
+    u32 => |v: &u32| Value::Num(Number::U(*v as u64)),
+    u64 => |v: &u64| Value::Num(Number::U(*v)),
+    usize => |v: &usize| Value::Num(Number::U(*v as u64)),
+    i8 => |v: &i8| Value::Num(Number::I(*v as i64)),
+    i16 => |v: &i16| Value::Num(Number::I(*v as i64)),
+    i32 => |v: &i32| Value::Num(Number::I(*v as i64)),
+    i64 => |v: &i64| Value::Num(Number::I(*v)),
+    isize => |v: &isize| Value::Num(Number::I(*v as i64)),
+    f32 => |v: &f32| Value::Num(Number::F(*v as f64)),
+    f64 => |v: &f64| Value::Num(Number::F(*v)),
+    char => |v: &char| Value::String(v.to_string()),
+    str => |v: &str| Value::String(v.to_string()),
+    String => |v: &String| Value::String(v.clone()),
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(inner) => inner.serialize(serializer),
+            None => serializer.serialize_value(Value::Null),
+        }
+    }
+}
+
+fn collect_seq<'a, S, I, T>(serializer: S, iter: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    I: Iterator<Item = &'a T>,
+    T: Serialize + 'a,
+{
+    let items = iter
+        .map(|item| crate::value::to_value(item).map_err(S::Error::custom))
+        .collect::<Result<Vec<Value>, S::Error>>()?;
+    serializer.serialize_value(Value::Array(items))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(serializer, self.iter())
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(crate::value::to_value(&self.$idx).map_err(S::Error::custom)?,)+
+                ];
+                serializer.serialize_value(Value::Array(items))
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for std::rc::Rc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+fn collect_map<'a, S, I, V>(serializer: S, iter: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    I: Iterator<Item = (&'a String, &'a V)>,
+    V: Serialize + 'a,
+{
+    let pairs = iter
+        .map(|(k, v)| {
+            crate::value::to_value(v)
+                .map(|v| (k.clone(), v))
+                .map_err(S::Error::custom)
+        })
+        .collect::<Result<Vec<(String, Value)>, S::Error>>()?;
+    serializer.serialize_value(Value::Object(pairs))
+}
+
+impl<V: Serialize, H: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, H>
+{
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Deterministic output: sort keys like serde_json's BTreeMap form.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        collect_map(serializer, entries.into_iter())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_map(serializer, self.iter())
+    }
+}

@@ -1,0 +1,250 @@
+//! The concrete data model all shim (de)serializers share, plus the
+//! bridge functions the derive macros generate calls to.
+
+use crate::de::{Deserialize, Deserializer, Error as DeError};
+use crate::ser::{Error as SerError, Serialize, Serializer};
+use std::fmt;
+
+/// A JSON-like number, kept tagged so integer round-trips are exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed integer (used for negatives).
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// Widens to `f64` (lossy for very large integers, like serde_json).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// The value as `u64` when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(u) => Some(u),
+            Number::I(i) => u64::try_from(i).ok(),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as `i64` when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(u) => i64::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(_) => None,
+        }
+    }
+}
+
+/// A fully materialised value tree.
+///
+/// Objects preserve insertion order in a `Vec` — the workspace never
+/// merges keys, and ordered output keeps JSON diffs stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Num(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The array items, when this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value widened to `f64`, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64`, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `i64`, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The boolean, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Looks up an object key, returning `None` when absent or when
+    /// this is not an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Returns `&Value::Null` for missing keys, like serde_json.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Returns `&Value::Null` out of bounds, like serde_json.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+/// Error produced when bridging between Rust types and [`Value`].
+#[derive(Debug, Clone)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl SerError for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl DeError for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// Serializer that simply hands back the value tree.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Deserializer over an owned value tree.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn into_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Renders any serializable type into a value tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Rebuilds a type from a value tree.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+/// Removes and returns the named field from an object's pairs, or
+/// `Value::Null` when absent (which lets `Option` fields default to
+/// `None`, matching serde's behaviour for missing optional fields).
+pub fn take_field(pairs: &mut Vec<(String, Value)>, name: &str) -> Value {
+    match pairs.iter().position(|(k, _)| k == name) {
+        Some(idx) => pairs.swap_remove(idx).1,
+        None => Value::Null,
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.into_value()
+    }
+}

@@ -1,0 +1,455 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment cannot reach crates.io, so this crate derives
+//! `Serialize`/`Deserialize` impls without `syn` or `quote`: a small
+//! hand-rolled token-tree walker extracts the type's shape (struct or
+//! enum, field names or tuple arity), and the impls are emitted as
+//! strings targeting the shim `serde` value-tree data model. Field
+//! *types* are never parsed — struct-literal construction with
+//! `serde::value::from_value` lets inference supply them.
+//!
+//! Supported shapes (everything the Megh workspace derives): non-generic
+//! structs with named fields, tuple structs, unit structs, and enums
+//! whose variants are unit, tuple, or struct-like. External tagging
+//! matches real serde: unit variants serialize as `"Name"`, data
+//! variants as `{"Name": ...}`. Generic types and `#[serde(...)]`
+//! attributes are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a struct body or an enum variant.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// The parsed derive input.
+enum Input {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let tok = self.toks.get(self.pos).cloned();
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == word)
+    }
+
+    /// Skips any `#[...]` attributes (doc comments included — the
+    /// compiler hands them to us in attribute form) and a visibility
+    /// qualifier (`pub`, `pub(crate)`, `pub(in ...)`).
+    fn skip_attrs_and_vis(&mut self) -> Result<(), String> {
+        loop {
+            if self.is_punct('#') {
+                self.bump();
+                match self.bump() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        if g.to_string()
+                            .trim_start_matches('[')
+                            .trim_start()
+                            .starts_with("serde")
+                        {
+                            return Err(
+                                "the serde derive shim does not support #[serde(...)] attributes"
+                                    .into(),
+                            );
+                        }
+                    }
+                    _ => return Err("malformed attribute in derive input".into()),
+                }
+                continue;
+            }
+            if self.is_ident("pub") {
+                self.bump();
+                if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    self.bump();
+                }
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+}
+
+/// Splits a delimited group's tokens into segments at top-level commas
+/// (angle-bracket depth 0; parenthesised types are opaque `Group`s, so
+/// their commas never leak). Empty segments (trailing comma) drop out.
+fn split_top_level(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut segments = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        segments.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
+/// Extracts field names from the tokens of a braced field list.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level(group.into_iter().collect())
+        .into_iter()
+        .map(|segment| {
+            let mut cur = Cursor {
+                toks: segment,
+                pos: 0,
+            };
+            cur.skip_attrs_and_vis()?;
+            let name = cur.expect_ident()?;
+            if !cur.is_punct(':') {
+                return Err(format!("expected `:` after field `{name}`"));
+            }
+            Ok(name)
+        })
+        .collect()
+}
+
+/// Counts the fields of a parenthesised (tuple) field list.
+fn parse_tuple_arity(group: TokenStream) -> usize {
+    split_top_level(group.into_iter().collect()).len()
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    split_top_level(group.into_iter().collect())
+        .into_iter()
+        .map(|segment| {
+            let mut cur = Cursor {
+                toks: segment,
+                pos: 0,
+            };
+            cur.skip_attrs_and_vis()?;
+            let name = cur.expect_ident()?;
+            let fields = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_arity(g.stream()))
+                }
+                None => Fields::Unit,
+                Some(other) => {
+                    return Err(format!("unsupported token after variant `{name}`: {other}"))
+                }
+            };
+            Ok((name, fields))
+        })
+        .collect()
+}
+
+fn parse_input(stream: TokenStream) -> Result<Input, String> {
+    let mut cur = Cursor::new(stream);
+    cur.skip_attrs_and_vis()?;
+    let keyword = cur.expect_ident()?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    let name = cur.expect_ident()?;
+    if cur.is_punct('<') {
+        return Err(format!(
+            "the serde derive shim does not support generic type `{name}`"
+        ));
+    }
+    if is_enum {
+        match cur.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            _ => Err(format!("expected `{{ ... }}` after `enum {name}`")),
+        }
+    } else {
+        let fields = match cur.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(parse_tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            _ => return Err(format!("unsupported struct body for `{name}`")),
+        };
+        Ok(Input::Struct { name, fields })
+    }
+}
+
+const SER_ERR: &str = "<S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<D::Error as ::serde::de::Error>::custom";
+
+/// `to_value(expr)` mapped into the serializer's error type.
+fn ser_field(expr: &str) -> String {
+    format!("::serde::value::to_value({expr}).map_err({SER_ERR})?")
+}
+
+/// `from_value(expr)` mapped into the deserializer's error type.
+fn de_field(expr: &str) -> String {
+    format!("::serde::value::from_value({expr}).map_err({DE_ERR})?")
+}
+
+/// Expression serializing a struct/variant body into a `Value`, given
+/// per-field accessor expressions.
+fn ser_body(fields: &Fields, accessor: &dyn Fn(usize, &str) -> String) -> String {
+    match fields {
+        Fields::Unit => "::serde::value::Value::Null".to_string(),
+        Fields::Tuple(1) => ser_field(&accessor(0, "")),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n).map(|i| ser_field(&accessor(i, ""))).collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let pairs: Vec<String> = names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    format!(
+                        "(\"{name}\".to_string(), {})",
+                        ser_field(&accessor(i, name))
+                    )
+                })
+                .collect();
+            format!("::serde::value::Value::Object(vec![{}])", pairs.join(", "))
+        }
+    }
+}
+
+/// Statements + expression deserializing a struct/variant body from the
+/// `Value` named by `source`, producing `constructor ( .. )`.
+fn de_body(constructor: &str, fields: &Fields, source: &str, context: &str) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "match {source} {{ \
+               ::serde::value::Value::Null => Ok({constructor}), \
+               _ => Err({DE_ERR}(\"expected null for {context}\")), \
+             }}"
+        ),
+        Fields::Tuple(1) => format!("Ok({constructor}({}))", de_field(source)),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|_| de_field("__iter.next().unwrap()"))
+                .collect();
+            format!(
+                "{{ let __items = match {source} {{ \
+                     ::serde::value::Value::Array(items) if items.len() == {n} => items, \
+                     _ => return Err({DE_ERR}(\"expected array of length {n} for {context}\")), \
+                   }}; \
+                   let mut __iter = __items.into_iter(); \
+                   Ok({constructor}({})) }}",
+                elems.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|name| {
+                    format!(
+                        "{name}: {}",
+                        de_field(&format!(
+                            "::serde::value::take_field(&mut __obj, \"{name}\")"
+                        ))
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let mut __obj = match {source} {{ \
+                     ::serde::value::Value::Object(pairs) => pairs, \
+                     _ => return Err({DE_ERR}(\"expected object for {context}\")), \
+                   }}; \
+                   Ok({constructor} {{ {} }}) }}",
+                inits.join(", ")
+            )
+        }
+    }
+}
+
+fn generate_serialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::Struct { name, fields } => {
+            let body = format!(
+                "serializer.serialize_value({})",
+                ser_body(fields, &|i, field| {
+                    if field.is_empty() {
+                        format!("&self.{i}")
+                    } else {
+                        format!("&self.{field}")
+                    }
+                })
+            );
+            (name, body)
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => ::serde::value::Value::String(\"{vname}\".to_string()),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = ser_body(fields, &|i, _| format!("__f{i}"));
+                        format!(
+                            "{name}::{vname}({}) => ::serde::value::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Fields::Named(field_names) => {
+                        let binds = field_names.join(", ");
+                        let inner = ser_body(fields, &|_, field| field.to_string());
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::value::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),"
+                        )
+                    }
+                })
+                .collect();
+            let body = format!(
+                "let __value = match self {{ {} }}; serializer.serialize_value(__value)",
+                arms.join(" ")
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived] \
+         impl ::serde::Serialize for {name} {{ \
+           #[allow(unused_variables, clippy::redundant_clone)] \
+           fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+             -> ::core::result::Result<S::Ok, S::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::Struct { name, fields } => {
+            let body = de_body(name, fields, "__value", &format!("struct {name}"));
+            (name, body)
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(vname, _)| format!("\"{vname}\" => Ok({name}::{vname}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(vname, fields)| {
+                    let inner = de_body(
+                        &format!("{name}::{vname}"),
+                        fields,
+                        "__inner",
+                        &format!("variant {name}::{vname}"),
+                    );
+                    format!("\"{vname}\" => {inner},")
+                })
+                .collect();
+            let body = format!(
+                "match __value {{ \
+                   ::serde::value::Value::String(__s) => match __s.as_str() {{ \
+                     {} \
+                     __other => Err({DE_ERR}(format!(\"unknown unit variant `{{}}` for enum {name}\", __other))), \
+                   }}, \
+                   ::serde::value::Value::Object(mut __pairs) if __pairs.len() == 1 => {{ \
+                     let (__tag, __inner) = __pairs.pop().unwrap(); \
+                     match __tag.as_str() {{ \
+                       {} \
+                       __other => Err({DE_ERR}(format!(\"unknown variant `{{}}` for enum {name}\", __other))), \
+                     }} \
+                   }}, \
+                   _ => Err({DE_ERR}(\"expected externally tagged enum {name}\")), \
+                 }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived] \
+         impl<'de> ::serde::Deserialize<'de> for {name} {{ \
+           #[allow(unused_variables, unused_mut)] \
+           fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+             -> ::core::result::Result<Self, D::Error> {{ \
+             let __value = ::serde::Deserializer::into_value(deserializer)?; \
+             {body} \
+           }} \
+         }}"
+    )
+}
+
+fn run(input: TokenStream, generate: fn(&Input) -> String) -> TokenStream {
+    let code = match parse_input(input) {
+        Ok(parsed) => generate(&parsed),
+        Err(msg) => format!("::core::compile_error!({msg:?});"),
+    };
+    code.parse().expect("derive shim generated invalid Rust")
+}
+
+/// Derives `serde::Serialize` via the shim's value-tree data model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    run(input, generate_serialize)
+}
+
+/// Derives `serde::Deserialize` via the shim's value-tree data model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    run(input, generate_deserialize)
+}

@@ -1,0 +1,234 @@
+//! Offline shim for `serde_json`.
+//!
+//! JSON text encoding over the shim `serde` crate's [`Value`] data
+//! model: [`to_string`] / [`to_string_pretty`] render a value tree,
+//! [`from_str`] parses JSON with a recursive-descent parser. Floats are
+//! printed with Rust's shortest round-trip formatting, so checkpoints
+//! restore learned Q-values bit-exactly.
+
+use std::fmt;
+
+pub use serde::value::{Number, Value};
+
+mod parse;
+
+/// Error for serialization, deserialization, or parsing.
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({:?})", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl From<serde::value::ValueError> for Error {
+    fn from(err: serde::value::ValueError) -> Self {
+        Error::new(err.0)
+    }
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let tree = serde::value::to_value(value)?;
+    let mut out = String::new();
+    write_value(&mut out, &tree, None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let tree = serde::value::to_value(value)?;
+    let mut out = String::new();
+    write_value(&mut out, &tree, Some("  "), 0);
+    Ok(out)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(input: &str) -> Result<T, Error> {
+    let tree = parse::parse(input)?;
+    Ok(serde::value::from_value(tree)?)
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::U(u) => out.push_str(&u.to_string()),
+        Number::I(i) => out.push_str(&i.to_string()),
+        Number::F(f) if f.is_finite() => {
+            // `{:?}` is Rust's shortest representation that round-trips
+            // the exact bits — the float_roundtrip behaviour.
+            out.push_str(&format!("{f:?}"));
+        }
+        // JSON has no NaN/Infinity; null matches serde_json's
+        // arbitrary-precision fallback closest without erroring.
+        Number::F(_) => out.push_str("null"),
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, level: usize) {
+    let newline = |out: &mut String, level: usize| {
+        if let Some(pad) = indent {
+            out.push('\n');
+            for _ in 0..level {
+                out.push_str(pad);
+            }
+        }
+    };
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_number(out, n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline(out, level);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, level + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline(out, level);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::Num(Number::U(3))),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".to_string(), Value::String("x\"y\n".to_string())),
+        ]);
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, r#"{"a":3,"b":[true,null],"c":"x\"y\n"}"#);
+        let back: Value = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for &f in &[0.1f64, 1.0 / 3.0, 1e-300, 6.02e23, -0.0, 123456.789012345] {
+            let json = to_string(&f).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "float {f} did not roundtrip");
+        }
+    }
+
+    #[test]
+    fn integers_stay_integers() {
+        let json = to_string(&42u64).unwrap();
+        assert_eq!(json, "42");
+        let back: Value = from_str("42").unwrap();
+        assert_eq!(back, Value::Num(Number::U(42)));
+        let back: Value = from_str("-7").unwrap();
+        assert_eq!(back, Value::Num(Number::I(-7)));
+        let back: Value = from_str("2.5").unwrap();
+        assert_eq!(back, Value::Num(Number::F(2.5)));
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses() {
+        let v = Value::Object(vec![(
+            "outer".to_string(),
+            Value::Array(vec![Value::Num(Number::U(1)), Value::Num(Number::U(2))]),
+        )]);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"outer\": [\n    1,\n    2\n  ]"));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_errors_are_errors() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: Value = from_str(r#""aéA\\""#).unwrap();
+        assert_eq!(v, Value::String("aéA\\".to_string()));
+    }
+}
