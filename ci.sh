@@ -10,10 +10,16 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo run -p lint (workspace invariant checker)"
+cargo run -q -p lint
+
 echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test --workspace"
 cargo test --workspace -q
+
+echo "==> cargo test --workspace --features check-invariants"
+cargo test --workspace --features check-invariants -q
 
 echo "CI OK"

@@ -31,9 +31,13 @@
 //! # Ok::<(), megh_sim::SimError>(())
 //! ```
 
+// No unsafe code anywhere in this crate (also enforced by `cargo run -p lint`).
+#![forbid(unsafe_code)]
+
 mod detector;
 mod madvm;
 mod mmt;
+mod order;
 mod placement;
 mod qlearning;
 mod selection;
@@ -41,6 +45,7 @@ mod selection;
 pub use detector::OverloadDetector;
 pub use madvm::{MadVmConfig, MadVmScheduler};
 pub use mmt::{MmtFlavor, MmtScheduler};
+pub use order::total_f64;
 pub use placement::{power_aware_best_fit, PlacementRound};
 pub use qlearning::{QLearningConfig, QLearningScheduler};
 pub use selection::{select_minimum_migration_time, select_random, SelectionPolicy};

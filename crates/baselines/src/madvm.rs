@@ -17,10 +17,12 @@
 //! Megh's (Figures 4(d), 5(d)) and why it "fails to scale-up for the
 //! complete PlanetLab or Google Cluster".
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use megh_sim::{DataCenterView, MigrationRequest, PmId, Scheduler, VmId};
 use serde::{Deserialize, Serialize};
+
+use crate::total_f64;
 
 /// MadVM hyper-parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -177,7 +179,7 @@ impl MadVmScheduler {
         vm: VmId,
         scored_used: &[f64],
         live_used: &[f64],
-        excluded: &HashSet<PmId>,
+        excluded: &BTreeSet<PmId>,
     ) -> Option<PmId> {
         let demand = self.expected_demand(view, vm);
         let mut best: Option<(PmId, f64)> = None;
@@ -224,7 +226,7 @@ impl Scheduler for MadVmScheduler {
             expected_used[view.host_of(vm).0] += self.expected_demand(view, vm);
         }
 
-        let overloaded: HashSet<PmId> = view
+        let overloaded: BTreeSet<PmId> = view
             .hosts()
             .filter(|&h| {
                 let cap = view.host_mips(h);
@@ -248,22 +250,16 @@ impl Scheduler for MadVmScheduler {
         // a real source of MadVM's extra migrations and slower
         // convergence relative to Megh (Figures 4(b), 5(b)).
         let snapshot = expected_used.clone();
-        // HashSet iteration order varies per instance (random hasher
-        // seeds), which made identically seeded runs diverge; evict in
-        // host-id order so decisions are a pure function of the view.
-        let mut overloaded_order: Vec<PmId> = overloaded.iter().copied().collect();
-        overloaded_order.sort_unstable_by_key(|h| h.0);
-        for host in overloaded_order {
+        // BTreeSet iterates in host-id order, so eviction order — and with
+        // it the whole decision — is a pure function of the view.
+        for &host in &overloaded {
             let cap = view.host_mips(host);
             if cap <= 0.0 {
                 continue;
             }
             let mut vms = view.vms_on(host);
             vms.sort_by(|&a, &b| {
-                self.vm_value[b.0]
-                    .partial_cmp(&self.vm_value[a.0])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.0.cmp(&b.0))
+                total_f64(self.vm_value[b.0], self.vm_value[a.0]).then(a.0.cmp(&b.0))
             });
             let mut drained = 0.0;
             let drain_target = if view.is_down(host) {
@@ -288,7 +284,7 @@ impl Scheduler for MadVmScheduler {
         }
 
         // Consolidate expected-underloaded hosts.
-        let moving: HashSet<VmId> = requests.iter().map(|r| r.vm).collect();
+        let moving: BTreeSet<VmId> = requests.iter().map(|r| r.vm).collect();
         let mut sources: Vec<PmId> = view
             .hosts()
             .filter(|&h| {
@@ -303,14 +299,12 @@ impl Scheduler for MadVmScheduler {
         sources.sort_by(|&a, &b| {
             let ua = expected_used[a.0] / view.host_mips(a).max(1e-9);
             let ub = expected_used[b.0] / view.host_mips(b).max(1e-9);
-            ua.partial_cmp(&ub)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
+            total_f64(ua, ub).then(a.0.cmp(&b.0))
         });
-        let mut evacuating: HashSet<PmId> = HashSet::new();
+        let mut evacuating: BTreeSet<PmId> = BTreeSet::new();
         for host in sources {
             let vms = view.vms_on(host);
-            let mut excluded: HashSet<PmId> = overloaded.clone();
+            let mut excluded: BTreeSet<PmId> = overloaded.clone();
             excluded.insert(host);
             excluded.extend(evacuating.iter().copied());
             for h in view.hosts() {

@@ -12,12 +12,12 @@
 //!    least to most utilized; if *all* of a host's VMs can be placed on
 //!    other active, non-overloaded hosts, evacuate it so it sleeps.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use megh_sim::{DataCenterView, MigrationRequest, PmId, Scheduler, VmId};
 use serde::{Deserialize, Serialize};
 
-use crate::{OverloadDetector, PlacementRound};
+use crate::{total_f64, OverloadDetector, PlacementRound};
 
 /// The five Table 2/3 variants, differing only in overload detection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -120,7 +120,11 @@ impl MmtScheduler {
     }
 
     /// Step 1: VMs that must leave overloaded hosts.
-    fn overload_evacuations(&self, view: &DataCenterView, overloaded: &HashSet<PmId>) -> Vec<VmId> {
+    fn overload_evacuations(
+        &self,
+        view: &DataCenterView,
+        overloaded: &BTreeSet<PmId>,
+    ) -> Vec<VmId> {
         let mut to_move = Vec::new();
         for &host in overloaded {
             let cap = view.host_mips(host);
@@ -136,18 +140,12 @@ impl MmtScheduler {
             } else {
                 self.utilization_bound
             };
-            while used / cap > drain_target && !remaining.is_empty() {
-                let victim = remaining
-                    .iter()
-                    .copied()
-                    .min_by(|&a, &b| {
-                        let ta = view.vm_ram_mb(a);
-                        let tb = view.vm_ram_mb(b);
-                        ta.partial_cmp(&tb)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(a.0.cmp(&b.0))
-                    })
-                    .expect("remaining is non-empty");
+            while used / cap > drain_target {
+                let Some(victim) = remaining.iter().copied().min_by(|&a, &b| {
+                    total_f64(view.vm_ram_mb(a), view.vm_ram_mb(b)).then(a.0.cmp(&b.0))
+                }) else {
+                    break;
+                };
                 remaining.retain(|&v| v != victim);
                 used -= view.vm_demand_mips(victim);
                 to_move.push(victim);
@@ -161,8 +159,8 @@ impl MmtScheduler {
         &self,
         view: &DataCenterView,
         round: &mut PlacementRound,
-        overloaded: &HashSet<PmId>,
-        already_moving: &HashSet<VmId>,
+        overloaded: &BTreeSet<PmId>,
+        already_moving: &BTreeSet<VmId>,
         requests: &mut Vec<MigrationRequest>,
     ) {
         // Candidate sources: active, not overloaded, none of their VMs
@@ -177,21 +175,18 @@ impl MmtScheduler {
             })
             .collect();
         candidates.sort_by(|&a, &b| {
-            view.host_utilization(a)
-                .partial_cmp(&view.host_utilization(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
+            total_f64(view.host_utilization(a), view.host_utilization(b)).then(a.0.cmp(&b.0))
         });
 
         // Hosts that may receive evacuated VMs must stay distinct from
         // hosts being evacuated in this round.
-        let mut evacuating: HashSet<PmId> = HashSet::new();
+        let mut evacuating: BTreeSet<PmId> = BTreeSet::new();
         for host in candidates {
             let vms = view.vms_on(host);
             if vms.is_empty() {
                 continue;
             }
-            let mut excluded: HashSet<PmId> = overloaded.clone();
+            let mut excluded: BTreeSet<PmId> = overloaded.clone();
             excluded.insert(host);
             excluded.extend(evacuating.iter().copied());
             // Also exclude sleeping hosts: waking one to empty another
@@ -225,7 +220,10 @@ impl Scheduler for MmtScheduler {
     fn decide(&mut self, view: &DataCenterView) -> Vec<MigrationRequest> {
         // Detect overloaded hosts from their utilization histories;
         // down hosts must be evacuated regardless of their load.
-        let overloaded: HashSet<PmId> = view
+        // Sorted set: evacuation processes hosts in id order, so decisions
+        // are a pure function of the view (PR 1's MadVM nondeterminism bug
+        // came from iterating a randomly-seeded HashSet here).
+        let overloaded: BTreeSet<PmId> = view
             .hosts()
             .filter(|&h| {
                 !view.is_asleep(h)
@@ -245,7 +243,7 @@ impl Scheduler for MmtScheduler {
             .iter()
             .map(|&(vm, target)| MigrationRequest::new(vm, target))
             .collect();
-        let moving: HashSet<VmId> = requests.iter().map(|r| r.vm).collect();
+        let moving: BTreeSet<VmId> = requests.iter().map(|r| r.vm).collect();
 
         // 3. Empty the coldest hosts.
         if self.consolidate_underloaded {

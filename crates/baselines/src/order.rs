@@ -1,0 +1,64 @@
+//! Total-order comparison for `f64` scheduler keys.
+//!
+//! Every baseline ranks hosts or VMs by a floating-point key (utilization,
+//! migration time, power increase, Q-value). `partial_cmp` + `unwrap` (or
+//! `unwrap_or(Equal)`) is a trap on such keys: a single NaN — e.g. `0/0`
+//! from a zero-capacity host — either panics outright or silently breaks
+//! the comparator's transitivity, which `sort_unstable_by` is allowed to
+//! punish with a panic and `min_by`/`max_by` punish with an
+//! order-dependent (nondeterministic) pick. `f64::total_cmp` implements
+//! the IEEE 754 `totalOrder` predicate, so every value — NaN included —
+//! has one fixed place in the order and comparisons are total, stable,
+//! and panic-free.
+
+use std::cmp::Ordering;
+
+/// Compares two `f64` keys under the IEEE 754 total order.
+///
+/// NaN sorts after `+∞` (and `-NaN` before `-∞`), so degenerate keys
+/// cluster at the extremes instead of poisoning the sort.
+///
+/// # Examples
+///
+/// ```
+/// use megh_baselines::total_f64;
+/// use std::cmp::Ordering;
+///
+/// assert_eq!(total_f64(1.0, 2.0), Ordering::Less);
+/// assert_eq!(total_f64(f64::NAN, f64::INFINITY), Ordering::Greater);
+/// ```
+pub fn total_f64(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_ordinary_keys() {
+        assert_eq!(total_f64(1.0, 2.0), Ordering::Less);
+        assert_eq!(total_f64(2.0, 1.0), Ordering::Greater);
+        assert_eq!(total_f64(1.5, 1.5), Ordering::Equal);
+    }
+
+    #[test]
+    fn nan_keys_sort_without_panicking() {
+        // Regression: a NaN key (0/0 utilization on a zero-capacity host)
+        // must neither panic nor destabilise the order.
+        let mut keys = [2.0, f64::NAN, -1.0, f64::INFINITY, 0.5];
+        keys.sort_unstable_by(|a, b| total_f64(*a, *b));
+        assert_eq!(&keys[..3], &[-1.0, 0.5, 2.0]);
+        assert_eq!(keys[3], f64::INFINITY);
+        assert!(keys[4].is_nan(), "NaN belongs after +inf");
+    }
+
+    #[test]
+    fn min_by_is_deterministic_under_nan() {
+        let keys = [f64::NAN, 3.0, 1.0, f64::NAN, 2.0];
+        let min = (0..keys.len())
+            .min_by(|&a, &b| total_f64(keys[a], keys[b]))
+            .unwrap();
+        assert_eq!(min, 2, "the smallest real key wins regardless of NaNs");
+    }
+}

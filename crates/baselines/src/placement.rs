@@ -17,9 +17,11 @@
 //! just received evacuees from an overloaded host cannot be
 //! over-committed again by the underload-consolidation pass.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use megh_sim::{DataCenterView, PmId, VmId};
+
+use crate::total_f64;
 
 /// Round-local placement state: demand committed to
 /// each host by placements already made this scheduling step.
@@ -51,7 +53,7 @@ impl PlacementRound {
         &mut self,
         view: &DataCenterView,
         vms: &[VmId],
-        excluded: &HashSet<PmId>,
+        excluded: &BTreeSet<PmId>,
     ) -> Vec<(VmId, PmId)> {
         self.place_bounded(view, vms, excluded, view.beta_overload())
     }
@@ -68,15 +70,12 @@ impl PlacementRound {
         &mut self,
         view: &DataCenterView,
         vms: &[VmId],
-        excluded: &HashSet<PmId>,
+        excluded: &BTreeSet<PmId>,
         util_bound: f64,
     ) -> Vec<(VmId, PmId)> {
         let mut order: Vec<VmId> = vms.to_vec();
         order.sort_by(|&a, &b| {
-            view.vm_demand_mips(b)
-                .partial_cmp(&view.vm_demand_mips(a))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
+            total_f64(view.vm_demand_mips(b), view.vm_demand_mips(a)).then(a.0.cmp(&b.0))
         });
 
         let mut assignments = Vec::new();
@@ -129,7 +128,7 @@ impl PlacementRound {
 pub fn power_aware_best_fit(
     view: &DataCenterView,
     vms: &[VmId],
-    excluded: &HashSet<PmId>,
+    excluded: &BTreeSet<PmId>,
 ) -> Vec<(VmId, PmId)> {
     PlacementRound::new(view).place(view, vms, excluded)
 }
@@ -173,7 +172,7 @@ mod tests {
     fn places_on_feasible_host_with_least_power_increase() {
         let view = setup(vec![50.0, 50.0]);
         let placements =
-            power_aware_best_fit(&view, &[VmId(0)], &HashSet::from([view.host_of(VmId(0))]));
+            power_aware_best_fit(&view, &[VmId(0)], &BTreeSet::from([view.host_of(VmId(0))]));
         assert_eq!(placements.len(), 1);
         let (vm, host) = placements[0];
         assert_eq!(vm, VmId(0));
@@ -186,7 +185,8 @@ mod tests {
     fn excluded_hosts_are_skipped() {
         let view = setup(vec![50.0, 50.0]);
         let source = view.host_of(VmId(0));
-        let placements = power_aware_best_fit(&view, &[VmId(0)], &HashSet::from([source, PmId(2)]));
+        let placements =
+            power_aware_best_fit(&view, &[VmId(0)], &BTreeSet::from([source, PmId(2)]));
         assert_eq!(placements.len(), 1);
         assert_eq!(placements[0].1, PmId(1));
     }
@@ -195,7 +195,7 @@ mod tests {
     fn no_feasible_host_leaves_vm_unplaced() {
         let view = setup(vec![50.0]);
         let source = view.host_of(VmId(0));
-        let mut excluded: HashSet<PmId> = view.hosts().collect();
+        let mut excluded: BTreeSet<PmId> = view.hosts().collect();
         excluded.remove(&source); // only the source remains, which is skipped anyway
         let placements = power_aware_best_fit(&view, &[VmId(0)], &excluded);
         assert!(placements.is_empty());
@@ -208,7 +208,7 @@ mod tests {
         let view = setup(vec![80.0; 6]);
         let source = view.host_of(VmId(0));
         let to_move: Vec<VmId> = (0..6).map(VmId).collect();
-        let placements = power_aware_best_fit(&view, &to_move, &HashSet::from([source]));
+        let placements = power_aware_best_fit(&view, &to_move, &BTreeSet::from([source]));
         let mut committed = vec![0.0; view.n_hosts()];
         for &(vm, host) in &placements {
             committed[host.0] += view.vm_demand_mips(vm);
@@ -231,7 +231,7 @@ mod tests {
         // accounting; two independent rounds would double-book.
         let view = setup(vec![80.0; 6]);
         let source = view.host_of(VmId(0));
-        let excluded = HashSet::from([source]);
+        let excluded = BTreeSet::from([source]);
         let mut round = PlacementRound::new(&view);
         let first = round.place(&view, &[VmId(0), VmId(1), VmId(2)], &excluded);
         let second = round.place(&view, &[VmId(3), VmId(4), VmId(5)], &excluded);
@@ -259,11 +259,11 @@ mod tests {
         let view = setup(vec![1.0; 20]);
         let source = view.host_of(VmId(0));
         let to_move: Vec<VmId> = (0..20).map(VmId).collect();
-        let placements = power_aware_best_fit(&view, &to_move, &HashSet::from([source]));
+        let placements = power_aware_best_fit(&view, &to_move, &BTreeSet::from([source]));
         assert_eq!(placements.len(), 20);
         // But a tight utilization bound refuses them.
         let mut round = PlacementRound::new(&view);
-        let tight = round.place_bounded(&view, &to_move, &HashSet::from([source]), 0.001);
+        let tight = round.place_bounded(&view, &to_move, &BTreeSet::from([source]), 0.001);
         assert!(tight.is_empty());
     }
 
@@ -276,7 +276,7 @@ mod tests {
         let placements = power_aware_best_fit(
             &view,
             &[VmId(0), VmId(1), VmId(2)],
-            &HashSet::from([source]),
+            &BTreeSet::from([source]),
         );
         assert_eq!(placements.first().map(|&(vm, _)| vm), Some(VmId(1)));
     }

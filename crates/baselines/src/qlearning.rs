@@ -10,14 +10,14 @@
 //! (ε = 0) for evaluation. Deployed without training, it acts on an
 //! uninformed table — exactly the failure mode the paper criticises.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use megh_sim::{DataCenterView, MigrationRequest, PmId, Scheduler, Simulation, StepFeedback, VmId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::{power_aware_best_fit, select_minimum_migration_time};
+use crate::{power_aware_best_fit, select_minimum_migration_time, total_f64};
 
 /// Buckets per state dimension.
 const BUCKETS: usize = 5;
@@ -124,11 +124,7 @@ impl QLearningScheduler {
         let row = &self.q[state];
         // Maximise reward = minimise cost (reward is −cost).
         (0..ACTIONS)
-            .max_by(|&a, &b| {
-                row[a]
-                    .partial_cmp(&row[b])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by(|&a, &b| total_f64(row[a], row[b]))
             .unwrap_or(0)
     }
 
@@ -149,9 +145,7 @@ impl QLearningScheduler {
             .hosts()
             .filter(|&h| view.is_overloaded(h))
             .max_by(|&a, &b| {
-                view.host_utilization(a)
-                    .partial_cmp(&view.host_utilization(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                total_f64(view.host_utilization(a), view.host_utilization(b)).then(a.0.cmp(&b.0))
             });
         let Some(host) = hottest else {
             return Vec::new();
@@ -159,7 +153,7 @@ impl QLearningScheduler {
         let Some(vm) = select_minimum_migration_time(view, host) else {
             return Vec::new();
         };
-        let placements = power_aware_best_fit(view, &[vm], &HashSet::from([host]));
+        let placements = power_aware_best_fit(view, &[vm], &BTreeSet::from([host]));
         placements
             .into_iter()
             .map(|(vm, target)| MigrationRequest::new(vm, target))
@@ -172,15 +166,13 @@ impl QLearningScheduler {
             .hosts()
             .filter(|&h| !view.is_asleep(h) && !view.is_overloaded(h))
             .min_by(|&a, &b| {
-                view.host_utilization(a)
-                    .partial_cmp(&view.host_utilization(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                total_f64(view.host_utilization(a), view.host_utilization(b)).then(a.0.cmp(&b.0))
             });
         let Some(host) = coldest else {
             return Vec::new();
         };
         let vms: Vec<VmId> = view.vms_on(host);
-        let mut excluded: HashSet<PmId> = HashSet::from([host]);
+        let mut excluded: BTreeSet<PmId> = BTreeSet::from([host]);
         for h in view.hosts() {
             if view.is_asleep(h) || view.is_overloaded(h) {
                 excluded.insert(h);

@@ -2,6 +2,8 @@
 
 use megh_sim::{DataCenterView, PmId, VmId};
 use rand::Rng;
+
+use crate::total_f64;
 use serde::{Deserialize, Serialize};
 
 /// Named VM-selection policy.
@@ -31,11 +33,7 @@ pub enum SelectionPolicy {
 pub fn select_minimum_migration_time(view: &DataCenterView, host: PmId) -> Option<VmId> {
     let bw = view.host_bw_mbps(host);
     view.vms_on(host).into_iter().min_by(|&a, &b| {
-        let ta = migration_time(view, a, bw);
-        let tb = migration_time(view, b, bw);
-        ta.partial_cmp(&tb)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
+        total_f64(migration_time(view, a, bw), migration_time(view, b, bw)).then(a.0.cmp(&b.0))
     })
 }
 

@@ -17,6 +17,9 @@
 //! assert_eq!(trace.n_vms(), config.vms.len());
 //! ```
 
+// No unsafe code anywhere in this crate (also enforced by `cargo run -p lint`).
+#![forbid(unsafe_code)]
+
 mod plot;
 mod probe;
 mod report;

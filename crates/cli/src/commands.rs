@@ -1,12 +1,14 @@
 //! CLI subcommand implementations.
 
 use megh_baselines::{MadVmConfig, MadVmScheduler, MmtFlavor, MmtScheduler};
+use megh_core::diagnostics::{decision_latency, LatencyStats};
 use megh_core::{MeghAgent, MeghConfig, PeriodicMeghAgent};
 use megh_sim::{
     DataCenterConfig, HostOutage, InitialPlacement, NoOpScheduler, Simulation, SimulationOutcome,
     SlavMetrics, SummaryReport,
 };
 use megh_trace::{DiurnalConfig, GoogleConfig, PlanetLabConfig, TraceStats, WorkloadTrace};
+use serde::Serialize;
 
 use crate::args::{Args, ArgsError};
 
@@ -151,7 +153,27 @@ pub fn run_named_scheduler(
     Ok(outcome)
 }
 
+/// One scheduler's hot-path observability record written to
+/// `latency_alloc_report.json`: the decision-latency summary the
+/// simulator recorded plus the process-wide heap-allocation delta
+/// across the whole run (simulation bookkeeping included — the point
+/// of the number is its *growth rate* across schedulers and sizes).
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyAllocReport {
+    /// Scheduler display name (matches the summary report).
+    pub scheduler: String,
+    /// Per-step decision-latency summary, microseconds.
+    pub latency: LatencyStats,
+    /// Heap acquisitions observed during the run.
+    pub allocations: u64,
+    /// Total bytes requested during the run.
+    pub bytes_allocated: u64,
+}
+
 /// `megh simulate`: one scheduler, one workload, summary to stdout.
+///
+/// With `--out FILE`, also writes `latency_alloc_report.json` next to
+/// `FILE` with per-scheduler decision-latency and allocation deltas.
 ///
 /// # Errors
 ///
@@ -169,9 +191,19 @@ pub fn cmd_simulate(args: &Args) -> Result<String, ArgsError> {
         vec![scheduler.as_str()]
     };
     let mut reports = Vec::new();
+    let mut diagnostics = Vec::new();
     for name in names {
+        let allocs_before = crate::ALLOC.allocations();
+        let bytes_before = crate::ALLOC.bytes_allocated();
         let outcome = run_named_scheduler(name, &config, &trace, spec.seed)?;
-        out.push_str(&render_summary(&outcome.report()));
+        let report = outcome.report();
+        diagnostics.push(LatencyAllocReport {
+            scheduler: report.scheduler.clone(),
+            latency: decision_latency(outcome.records()),
+            allocations: crate::ALLOC.allocations() - allocs_before,
+            bytes_allocated: crate::ALLOC.bytes_allocated() - bytes_before,
+        });
+        out.push_str(&render_summary(&report));
         if args.has_flag("slav") {
             let m = SlavMetrics::from_run(&outcome);
             out.push_str(&format!(
@@ -179,20 +211,31 @@ pub fn cmd_simulate(args: &Args) -> Result<String, ArgsError> {
                 m.slatah, m.pdm, m.slav, m.esv
             ));
         }
-        reports.push(outcome.report());
+        reports.push(report);
     }
     if let Some(path) = args.get("out") {
+        let write_json = |target: &std::path::Path, json: String| {
+            std::fs::write(target, json).map_err(|_| ArgsError::Invalid {
+                key: "out".into(),
+                value: target.display().to_string(),
+                expected: "writable path",
+            })
+        };
         // One JSON document covering every scheduler that ran.
         let json = serde_json::to_string_pretty(&reports).map_err(|_| ArgsError::Invalid {
             key: "out".into(),
             value: path.to_string(),
             expected: "writable path",
         })?;
-        std::fs::write(path, json).map_err(|_| ArgsError::Invalid {
+        write_json(std::path::Path::new(path), json)?;
+        // The hot-path observability companion, next to the cost report.
+        let diag_path = std::path::Path::new(path).with_file_name("latency_alloc_report.json");
+        let json = serde_json::to_string_pretty(&diagnostics).map_err(|_| ArgsError::Invalid {
             key: "out".into(),
-            value: path.to_string(),
+            value: diag_path.display().to_string(),
             expected: "writable path",
         })?;
+        write_json(&diag_path, json)?;
     }
     Ok(out)
 }
@@ -319,7 +362,8 @@ COMMON OPTIONS:
 simulate:
   --scheduler megh|megh-p<N>|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|noop|all [megh]
   --slav                        also print SLATAH/PDM/SLAV/ESV
-  --out FILE                    write the summary as JSON
+  --out FILE                    write the summary as JSON; also writes
+                                latency_alloc_report.json next to FILE
 
 trace-gen:
   --out FILE                    destination CSV (required)
@@ -435,6 +479,33 @@ mod tests {
         let reports: serde_json::Value = serde_json::from_str(&json).unwrap();
         let arr = reports.as_array().expect("an array of reports");
         assert_eq!(arr.len(), 8, "all eight schedulers must be in the file");
+    }
+
+    #[test]
+    fn simulate_out_writes_latency_alloc_companion() {
+        let dir = std::env::temp_dir().join(format!("megh-cli-diag-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let line = format!(
+            "simulate --hosts 3 --vms 4 --days 1 --scheduler noop --out {}",
+            path.display()
+        );
+        dispatch(&parse(&line)).unwrap();
+        let companion = dir.join("latency_alloc_report.json");
+        let json = std::fs::read_to_string(&companion).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let entries: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let entry = &entries.as_array().expect("array of diagnostics")[0];
+        assert_eq!(entry["scheduler"], "NoOp");
+        assert_eq!(
+            entry["latency"]["samples"].as_u64(),
+            Some(288),
+            "one day = 288 steps"
+        );
+        assert!(
+            entry["allocations"].as_u64().is_some(),
+            "allocation delta must be recorded: {entry:?}"
+        );
     }
 
     #[test]

@@ -135,8 +135,12 @@ impl Default for CountingAllocator {
 }
 
 // SAFETY: delegates every operation unchanged to `System`; the counters
-// are mere observers and do not affect the returned memory.
+// are mere observers and do not affect the returned memory. This is the
+// workspace's sole unsafe allowlist entry (see DESIGN §10).
+#[allow(unsafe_code)]
+// lint: allow(unsafe_code)
 unsafe impl GlobalAlloc for CountingAllocator {
+    // lint: allow(unsafe_code)
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         self.allocations.fetch_add(1, Ordering::Relaxed);
         self.bytes_allocated
@@ -144,11 +148,13 @@ unsafe impl GlobalAlloc for CountingAllocator {
         System.alloc(layout)
     }
 
+    // lint: allow(unsafe_code)
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         self.deallocations.fetch_add(1, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 
+    // lint: allow(unsafe_code)
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         self.allocations.fetch_add(1, Ordering::Relaxed);
         self.bytes_allocated
@@ -156,6 +162,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
         System.alloc_zeroed(layout)
     }
 
+    // lint: allow(unsafe_code)
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         self.allocations.fetch_add(1, Ordering::Relaxed);
         self.bytes_allocated
@@ -378,6 +385,9 @@ mod tests {
     }
 
     #[test]
+    // Driving a GlobalAlloc by hand is unavoidably unsafe; this test is
+    // part of the CountingAllocator allowlist entry (DESIGN §10).
+    #[allow(unsafe_code)]
     fn counting_allocator_observes_a_heap_box() {
         // Not installed as the global allocator here — drive it
         // directly to check the bookkeeping.

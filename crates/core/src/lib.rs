@@ -35,6 +35,11 @@
 //! # Ok::<(), megh_sim::SimError>(())
 //! ```
 
+// `deny`, not `forbid`: diagnostics::CountingAllocator is the one
+// allowlisted `unsafe` in the workspace (a GlobalAlloc wrapper must be
+// unsafe) and overrides this with `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
+
 mod action;
 mod agent;
 mod config;

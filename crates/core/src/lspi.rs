@@ -21,8 +21,27 @@
 //! scratch buffers, and the minimum explicit `θ` entry is cached and
 //! maintained incrementally so [`SparseLspi::min_q`] never scans.
 
+// This module is on the Megh decision hot path: steady-state calls must
+// not allocate. Enforced by `cargo run -p lint`.
+// lint: deny_alloc
+
 use megh_linalg::{DokMatrix, SparseVec};
 use serde::{Deserialize, Serialize};
+
+#[cfg(feature = "check-invariants")]
+use megh_linalg::DenseMatrix;
+
+/// Shadow-`T` maintenance costs `O(dim²)` memory, so verification is
+/// disabled above this dimension (the checks silently no-op).
+#[cfg(feature = "check-invariants")]
+const VERIFY_MAX_DIM: usize = 512;
+/// The `O(dim²)` residual check runs on every `VERIFY_EVERY`-th
+/// successful update; the shadow itself is maintained on every one.
+#[cfg(feature = "check-invariants")]
+const VERIFY_EVERY: usize = 16;
+/// Tolerance on the inverse-drift residual `‖B·T − I‖∞`.
+#[cfg(feature = "check-invariants")]
+const VERIFY_TOL: f64 = 1e-6;
 
 /// Incremental least-squares policy-iteration state over `d` actions.
 ///
@@ -61,6 +80,13 @@ pub struct SparseLspi {
     scratch_v: SparseVec,
     scratch_bu: SparseVec,
     scratch_vb: SparseVec,
+    /// Dense shadow of `T = δ·I + Σ u·vᵀ`, the operator whose inverse
+    /// `B` purports to be. Maintained only under `check-invariants` and
+    /// only when `dim ≤ VERIFY_MAX_DIM`; `None` otherwise — and after
+    /// deserialization, which cannot reconstruct `T` without replaying
+    /// the whole update stream.
+    #[cfg(feature = "check-invariants")]
+    shadow_t: Option<DenseMatrix>,
 }
 
 impl SparseLspi {
@@ -81,14 +107,30 @@ impl SparseLspi {
             theta: SparseVec::zeros(dim),
             updates: 0,
             skipped_singular: 0,
-            explored: vec![false; dim],
+            explored: vec![false; dim], // lint: allow(alloc) — construction
             explored_count: 0,
             min_entry: None,
             scratch_u: SparseVec::zeros(dim),
             scratch_v: SparseVec::zeros(dim),
             scratch_bu: SparseVec::zeros(dim),
             scratch_vb: SparseVec::zeros(dim),
+            #[cfg(feature = "check-invariants")]
+            shadow_t: Self::shadow_for(dim, delta),
         }
+    }
+
+    /// Builds the dense shadow operator `T₀ = δ·I` when the dimension
+    /// is small enough to afford `O(dim²)` verification state.
+    #[cfg(feature = "check-invariants")]
+    fn shadow_for(dim: usize, delta: f64) -> Option<DenseMatrix> {
+        if dim > VERIFY_MAX_DIM {
+            return None;
+        }
+        let mut t = DenseMatrix::zeros(dim, dim);
+        for i in 0..dim {
+            t.set(i, i, delta);
+        }
+        Some(t)
     }
 
     /// The projected dimension `d`.
@@ -242,7 +284,58 @@ impl SparseLspi {
         }
 
         self.updates += 1;
+        #[cfg(feature = "check-invariants")]
+        self.verify_update(a_prev, a_next);
         true
+    }
+
+    /// Mirrors the rank-1 operator update on the dense shadow `T` and,
+    /// every [`VERIFY_EVERY`]-th successful update, asserts the three
+    /// runtime invariants: the DOK dual-adjacency structure of `Δ`, the
+    /// inverse contract `‖B·T − I‖∞ < ε`, and agreement between the
+    /// cached minimum-`θ` entry and a full scan of `θ`'s support.
+    #[cfg(feature = "check-invariants")]
+    fn verify_update(&mut self, a_prev: usize, a_next: usize) {
+        if let Some(t) = self.shadow_t.as_mut() {
+            // T ← T + u·vᵀ with u = e_{a_prev}, v = e_{a_prev} − γ·e_{a_next}.
+            // When a_prev == a_next the two writes chain, giving 1 − γ.
+            t.set(a_prev, a_prev, t.get(a_prev, a_prev) + 1.0);
+            t.set(a_prev, a_next, t.get(a_prev, a_next) - self.gamma);
+        }
+        if self.updates % VERIFY_EVERY != 0 {
+            return;
+        }
+        let structure = self.delta_b.check_consistency();
+        assert!(
+            structure.is_ok(),
+            "DokMatrix invariant violated after update {}: {structure:?}",
+            self.updates
+        );
+        if let Some(t) = self.shadow_t.as_ref() {
+            // Densify B = (1/δ)·I + Δ and check it still inverts T.
+            let mut b = self.delta_b.to_dense();
+            for i in 0..self.dim {
+                b.set(i, i, b.get(i, i) + self.inv_delta);
+            }
+            let residual = megh_linalg::identity_residual(&b, t);
+            assert!(
+                residual < VERIFY_TOL,
+                "inverse drifted: ‖B·T − I‖∞ = {residual:e} after update {}",
+                self.updates
+            );
+        }
+        let mut scanned: Option<f64> = None;
+        for (_, v) in self.theta.iter() {
+            if scanned.is_none_or(|best| v < best) {
+                scanned = Some(v);
+            }
+        }
+        assert_eq!(
+            self.min_entry.map(|(_, v)| v),
+            scanned,
+            "cached min-θ disagrees with a full scan after update {}",
+            self.updates
+        );
     }
 
     /// Maintains the cached minimum after `θ` changed on the support of
@@ -311,20 +404,21 @@ struct SparseLspiRepr {
 
 impl Serialize for SparseLspi {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Serialization is an explicit cold path (persistence, not decide).
         let explored = self
             .explored
             .iter()
             .enumerate()
             .filter(|&(_, &e)| e)
             .map(|(a, _)| a)
-            .collect();
+            .collect(); // lint: allow(alloc)
         SparseLspiRepr {
             dim: self.dim,
             inv_delta: self.inv_delta,
             gamma: self.gamma,
-            delta_b: self.delta_b.clone(),
-            z: self.z.clone(),
-            theta: self.theta.clone(),
+            delta_b: self.delta_b.clone(), // lint: allow(alloc)
+            z: self.z.clone(),             // lint: allow(alloc)
+            theta: self.theta.clone(),     // lint: allow(alloc)
             updates: self.updates,
             skipped_singular: self.skipped_singular,
             explored,
@@ -336,9 +430,10 @@ impl Serialize for SparseLspi {
 impl<'de> Deserialize<'de> for SparseLspi {
     fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         let repr = SparseLspiRepr::deserialize(deserializer)?;
-        let mut explored = vec![false; repr.dim];
+        let mut explored = vec![false; repr.dim]; // lint: allow(alloc) — deserialization
         for &a in &repr.explored {
             if a >= repr.dim {
+                // lint: allow(alloc)
                 return Err(serde::de::Error::custom(format!(
                     "explored action {a} outside dim {}",
                     repr.dim
@@ -363,6 +458,8 @@ impl<'de> Deserialize<'de> for SparseLspi {
             scratch_v: SparseVec::zeros(repr.dim),
             scratch_bu: SparseVec::zeros(repr.dim),
             scratch_vb: SparseVec::zeros(repr.dim),
+            #[cfg(feature = "check-invariants")]
+            shadow_t: None,
         };
         lspi.rescan_theta_min();
         Ok(lspi)

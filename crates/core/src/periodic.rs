@@ -68,6 +68,7 @@ impl PeriodicMeghAgent {
         assert!(n_phases > 0, "n_phases must be positive");
         assert!(steps_per_period > 0, "steps_per_period must be positive");
         if let Err(msg) = config.validate() {
+            // Documented contract, asserted by tests. lint: allow(panic)
             panic!("invalid Megh configuration: {msg}");
         }
         let space = ActionSpace::new(config.n_vms, config.n_hosts);

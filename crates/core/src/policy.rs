@@ -1,5 +1,9 @@
 //! Boltzmann exploration with decaying temperature (Algorithm 2).
 
+// This module is on the Megh decision hot path: steady-state calls must
+// not allocate. Enforced by `cargo run -p lint`.
+// lint: deny_alloc
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -206,10 +210,12 @@ impl BoltzmannPolicy {
                         return a;
                     }
                 }
+                // Totality: `zero_count > 0` in this arm guarantees the
+                // scan finds a zero-Q action; 0 is in range since d > 0.
                 (0..d)
                     .find(|&a| lspi.q(a) == 0.0)
                     .or(explicit_min.map(|(a, _)| a))
-                    .expect("d > 0 guarantees some action exists")
+                    .unwrap_or(0)
             }
         }
     }

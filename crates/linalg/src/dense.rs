@@ -138,13 +138,11 @@ impl DenseMatrix {
         for col in 0..n {
             // Partial pivot: pick the largest magnitude entry in the column.
             let pivot_row = (col..n)
-                .max_by(|&r1, &r2| {
-                    a.get(r1, col)
-                        .abs()
-                        .partial_cmp(&a.get(r2, col).abs())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .unwrap();
+                .max_by(|&r1, &r2| a.get(r1, col).abs().total_cmp(&a.get(r2, col).abs()))
+                // `col..n` is non-empty for every col < n; `col` itself
+                // keeps the fallback total (the singularity check below
+                // rejects a zero pivot anyway).
+                .unwrap_or(col);
             let pivot = a.get(pivot_row, col);
             if pivot.abs() < 1e-12 {
                 return None;

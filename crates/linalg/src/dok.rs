@@ -1,5 +1,9 @@
 //! Dictionary-of-keys sparse matrices with sorted row/column adjacency.
 
+// This module is on the Megh decision hot path: steady-state calls must
+// not allocate. Enforced by `cargo run -p lint`.
+// lint: deny_alloc
+
 use serde::{Deserialize, Serialize};
 
 use crate::SparseVec;
@@ -41,8 +45,9 @@ impl DokMatrix {
         Self {
             order,
             nnz: 0,
-            rows: vec![Vec::new(); order],
-            cols: vec![Vec::new(); order],
+            // One-time construction of the empty adjacency skeleton.
+            rows: vec![Vec::new(); order], // lint: allow(alloc)
+            cols: vec![Vec::new(); order], // lint: allow(alloc)
         }
     }
 
@@ -90,36 +95,86 @@ impl DokMatrix {
         let row_list = &mut self.rows[row];
         match row_list.binary_search_by_key(&col, |&(c, _)| c) {
             Ok(pos) => {
+                // The mirror entry exists whenever the dual-adjacency
+                // invariant holds; a missing mirror is repaired in place
+                // (the `check-invariants` feature verifies the invariant
+                // after every Sherman–Morrison update).
+                let col_list = &mut self.cols[col];
+                let mirror = col_list.binary_search_by_key(&row, |&(r, _)| r);
                 if value == 0.0 {
                     row_list.remove(pos);
-                    let col_list = &mut self.cols[col];
-                    // The mirror entry exists by invariant.
-                    let mirror = col_list
-                        .binary_search_by_key(&row, |&(r, _)| r)
-                        .expect("adjacency lists out of sync");
-                    col_list.remove(mirror);
+                    if let Ok(m) = mirror {
+                        col_list.remove(m);
+                    }
                     self.nnz -= 1;
                 } else {
                     row_list[pos].1 = value;
-                    let col_list = &mut self.cols[col];
-                    let mirror = col_list
-                        .binary_search_by_key(&row, |&(r, _)| r)
-                        .expect("adjacency lists out of sync");
-                    col_list[mirror].1 = value;
+                    match mirror {
+                        Ok(m) => col_list[m].1 = value,
+                        Err(m) => col_list.insert(m, (row, value)),
+                    }
                 }
             }
             Err(pos) => {
                 if value != 0.0 {
                     row_list.insert(pos, (col, value));
                     let col_list = &mut self.cols[col];
-                    let mirror = col_list
-                        .binary_search_by_key(&row, |&(r, _)| r)
-                        .expect_err("adjacency lists out of sync");
-                    col_list.insert(mirror, (row, value));
+                    match col_list.binary_search_by_key(&row, |&(r, _)| r) {
+                        Ok(m) => col_list[m].1 = value,
+                        Err(m) => col_list.insert(m, (row, value)),
+                    }
                     self.nnz += 1;
                 }
             }
         }
+    }
+
+    /// Verifies the dual-adjacency invariant: `rows` and `cols` are each
+    /// sorted and strictly increasing, mirror each other entry for entry,
+    /// and together store exactly [`DokMatrix::nnz`] values.
+    ///
+    /// Intended for the `check-invariants` feature and tests; cost is
+    /// `O(nnz · log nnz)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the first violation found.
+    pub fn check_consistency(&self) -> Result<(), &'static str> {
+        if self.rows.len() != self.order || self.cols.len() != self.order {
+            return Err("adjacency list count does not match matrix order");
+        }
+        let mut row_entries = 0usize;
+        for (r, row) in self.rows.iter().enumerate() {
+            let mut prev: Option<usize> = None;
+            for &(c, v) in row {
+                if c >= self.order {
+                    return Err("row entry column index out of range");
+                }
+                if prev.is_some_and(|p| p >= c) {
+                    return Err("row adjacency list not strictly increasing");
+                }
+                prev = Some(c);
+                if v == 0.0 {
+                    return Err("explicit zero stored in row adjacency list");
+                }
+                match self.cols[c].binary_search_by_key(&r, |&(rr, _)| rr) {
+                    Ok(m) if self.cols[c][m].1 == v => {}
+                    Ok(_) => return Err("mirror entry disagrees on value"),
+                    Err(_) => return Err("row entry missing from column mirror"),
+                }
+                row_entries += 1;
+            }
+        }
+        let col_entries: usize = self.cols.iter().map(Vec::len).sum();
+        for col in &self.cols {
+            if col.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err("column adjacency list not strictly increasing");
+            }
+        }
+        if row_entries != self.nnz || col_entries != self.nnz {
+            return Err("stored entry count disagrees with nnz");
+        }
+        Ok(())
     }
 
     /// Adds `delta` to the entry at `(row, col)`.
@@ -203,7 +258,8 @@ impl DokMatrix {
     /// Panics if `v.len() != self.order()`.
     pub fn mul_dense_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.order, "dimension mismatch");
-        let mut out = vec![0.0; self.order];
+        // Dense materialisation is a diagnostic path, not the hot loop.
+        let mut out = vec![0.0; self.order]; // lint: allow(alloc)
         for (row, list) in self.rows.iter().enumerate() {
             for &(col, value) in list {
                 out[row] += value * v[col];
@@ -250,6 +306,7 @@ struct DokMatrixRepr {
 impl Serialize for DokMatrix {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         // Row-major iteration is already sorted by (row, col).
+        // Serialization is an explicit cold path. lint: allow(alloc)
         let triplets: Vec<(usize, usize, f64)> = self.iter().map(|((r, c), v)| (r, c, v)).collect();
         DokMatrixRepr {
             order: self.order,
@@ -265,6 +322,7 @@ impl<'de> Deserialize<'de> for DokMatrix {
         let mut m = DokMatrix::zeros(repr.order);
         for (r, c, v) in repr.triplets {
             if r >= repr.order || c >= repr.order {
+                // lint: allow(alloc)
                 return Err(serde::de::Error::custom(format!(
                     "triplet ({r}, {c}) outside order {}",
                     repr.order

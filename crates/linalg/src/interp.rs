@@ -36,7 +36,9 @@ impl PiecewiseLinear {
         if knots.iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
             return None;
         }
-        knots.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // All coordinates are finite (checked above); total_cmp keeps
+        // the comparator total regardless.
+        knots.sort_by(|a, b| a.0.total_cmp(&b.0));
         if knots.windows(2).any(|w| w[0].0 >= w[1].0) {
             return None;
         }
@@ -46,7 +48,7 @@ impl PiecewiseLinear {
     /// Evaluates the function at `x`, clamping outside the knot range.
     pub fn eval(&self, x: f64) -> f64 {
         let first = self.knots[0];
-        let last = *self.knots.last().unwrap();
+        let last = self.knots[self.knots.len() - 1];
         if x <= first.0 {
             return first.1;
         }
@@ -65,7 +67,7 @@ impl PiecewiseLinear {
 
     /// The domain covered by the knots, as `(min_x, max_x)`.
     pub fn domain(&self) -> (f64, f64) {
-        (self.knots[0].0, self.knots.last().unwrap().0)
+        (self.knots[0].0, self.knots[self.knots.len() - 1].0)
     }
 
     /// The knots defining the function.

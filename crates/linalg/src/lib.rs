@@ -24,6 +24,9 @@
 //! assert!(b.get(1, 1) < 0.25);
 //! ```
 
+// No unsafe code anywhere in this crate (also enforced by `cargo run -p lint`).
+#![forbid(unsafe_code)]
+
 mod dense;
 mod dok;
 mod interp;
@@ -31,6 +34,7 @@ mod loess;
 mod sherman;
 mod sparse_vec;
 mod stats;
+mod verify;
 
 pub use dense::DenseMatrix;
 pub use dok::DokMatrix;
@@ -39,6 +43,7 @@ pub use loess::{loess_fit, loess_predict_next, LoessError};
 pub use sherman::{sherman_morrison_update, ShermanMorrisonError};
 pub use sparse_vec::SparseVec;
 pub use stats::{iqr, mad, mean, median, quantile, std_dev, variance};
+pub use verify::identity_residual;
 
 /// Absolute tolerance used by the crate's approximate float comparisons.
 pub const EPSILON: f64 = 1e-9;

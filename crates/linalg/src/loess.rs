@@ -126,7 +126,7 @@ pub fn loess_fit(
             .map(|(x, y)| y - (intercept + slope * x))
             .collect();
         let mut abs_res: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
-        abs_res.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        abs_res.sort_by(|a, b| a.total_cmp(b));
         let s = abs_res[abs_res.len() / 2].max(1e-12); // median |residual|
         for (w, r) in weights.iter_mut().zip(&residuals) {
             *w *= bisquare(r / (6.0 * s)).max(1e-9);

@@ -1,5 +1,9 @@
 //! Sherman–Morrison rank-1 inverse updates on sparse matrices.
 
+// This module is on the Megh decision hot path: steady-state calls must
+// not allocate. Enforced by `cargo run -p lint`.
+// lint: deny_alloc
+
 use std::fmt;
 
 use crate::{DokMatrix, SparseVec};
@@ -89,6 +93,18 @@ pub fn sherman_morrison_update(
         return Err(ShermanMorrisonError::SingularUpdate);
     }
     b.add_outer_product(&bu, &vb, -1.0 / denom);
+    // With `check-invariants`, re-validate the DOK dual-adjacency
+    // structure after every rank-1 write: the outer-product path
+    // exercises insertion, in-place mutation, and zero-cancelling
+    // removal, all of which must keep the row/column lists mirrored.
+    #[cfg(feature = "check-invariants")]
+    {
+        let structure = b.check_consistency();
+        assert!(
+            structure.is_ok(),
+            "DokMatrix invariant violated after Sherman–Morrison update: {structure:?}"
+        );
+    }
     Ok(())
 }
 

@@ -1,5 +1,9 @@
 //! Sparse vectors stored as sorted `(index, value)` pairs.
 
+// This module is on the Megh decision hot path: steady-state calls must
+// not allocate. Enforced by `cargo run -p lint`.
+// lint: deny_alloc
+
 use serde::{Deserialize, Serialize};
 
 /// A sparse vector of fixed dimension storing only non-zero entries.
@@ -31,7 +35,8 @@ impl SparseVec {
     pub fn zeros(dim: usize) -> Self {
         Self {
             dim,
-            entries: Vec::new(),
+            // An empty Vec never touches the heap.
+            entries: Vec::new(), // lint: allow(alloc)
         }
     }
 
@@ -47,7 +52,7 @@ impl SparseVec {
         );
         Self {
             dim,
-            entries: vec![(index, 1.0)],
+            entries: vec![(index, 1.0)], // lint: allow(alloc) — construction
         }
     }
 
@@ -59,12 +64,13 @@ impl SparseVec {
     ///
     /// Panics if any index is `>= dim`.
     pub fn from_pairs(dim: usize, pairs: impl IntoIterator<Item = (usize, f64)>) -> Self {
-        let mut entries: Vec<(usize, f64)> = pairs.into_iter().collect();
+        // Construction from arbitrary pairs is not the decide loop.
+        let mut entries: Vec<(usize, f64)> = pairs.into_iter().collect(); // lint: allow(alloc)
         for &(i, _) in &entries {
             assert!(i < dim, "index {i} out of range for dim {dim}");
         }
         entries.sort_by_key(|&(i, _)| i);
-        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(entries.len());
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(entries.len()); // lint: allow(alloc)
         for (i, v) in entries {
             match merged.last_mut() {
                 Some((j, w)) if *j == i => *w += v,
@@ -212,7 +218,8 @@ impl SparseVec {
     /// Panics if the dimensions differ.
     pub fn add_scaled(&self, other: &SparseVec, scale: f64) -> SparseVec {
         assert_eq!(self.dim, other.dim, "dimension mismatch in add_scaled");
-        let mut out = self.clone();
+        // The allocating variant; hot paths use add_scaled_assign.
+        let mut out = self.clone(); // lint: allow(alloc)
         out.add_scaled_assign(other, scale);
         out
     }
@@ -252,7 +259,8 @@ impl SparseVec {
 
     /// Materialises the vector into a dense `Vec<f64>`.
     pub fn to_dense(&self) -> Vec<f64> {
-        let mut out = vec![0.0; self.dim];
+        // Dense materialisation is a diagnostic path, not the hot loop.
+        let mut out = vec![0.0; self.dim]; // lint: allow(alloc)
         for (i, v) in self.iter() {
             out[i] = v;
         }

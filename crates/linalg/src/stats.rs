@@ -32,18 +32,19 @@ pub fn std_dev(values: &[f64]) -> f64 {
 /// Linear-interpolated quantile `q ∈ [0, 1]` of a slice.
 ///
 /// Uses the common `(n − 1) · q` positioning (R type-7). Returns 0.0 for
-/// an empty slice.
+/// an empty slice. Values are ranked under the IEEE 754 total order, so
+/// NaN inputs sort to the top quantiles instead of aborting the run.
 ///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+/// Panics if `q` is outside `[0, 1]`.
 pub fn quantile(values: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
     if values.is_empty() {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = (sorted.len() - 1) as f64 * q;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -2,8 +2,8 @@
 //! reference implementations on arbitrary inputs.
 
 use megh_linalg::{
-    iqr, loess_predict_next, mad, mean, median, quantile, sherman_morrison_update, std_dev,
-    DenseMatrix, DokMatrix, PiecewiseLinear, SparseVec,
+    identity_residual, iqr, loess_predict_next, mad, mean, median, quantile,
+    sherman_morrison_update, std_dev, DenseMatrix, DokMatrix, PiecewiseLinear, SparseVec,
 };
 use proptest::prelude::*;
 
@@ -138,5 +138,39 @@ proptest! {
         let next = loess_predict_next(&series, 0).unwrap();
         let want = intercept + slope * n as f64;
         prop_assert!((next - want).abs() < 1e-4, "got {next}, want {want}");
+    }
+}
+
+proptest! {
+    /// Randomized Megh-style rank-1 update sequences: the sparse
+    /// Sherman–Morrison inverse must keep inverting an independently
+    /// maintained dense operator `T` (checked with the same
+    /// `identity_residual` predicate the `check-invariants` runtime
+    /// checks use) and must match the Gauss–Jordan inverse entrywise.
+    #[test]
+    fn chained_rank1_updates_track_dense_inverse(
+        steps in prop::collection::vec((0..6usize, 0..6usize), 1..40),
+        gamma in 0.0..0.9f64,
+    ) {
+        let d = 6;
+        let delta = d as f64;
+        let mut b = DokMatrix::scaled_identity(d, 1.0 / delta);
+        let mut t = DenseMatrix::zeros(d, d);
+        for i in 0..d {
+            t.set(i, i, delta);
+        }
+        for &(a, a_next) in &steps {
+            let u = SparseVec::basis(d, a);
+            let v = SparseVec::basis(d, a).add_scaled(&SparseVec::basis(d, a_next), -gamma);
+            // A vanishing denominator means T + u·vᵀ would be singular;
+            // the update is skipped on both representations alike.
+            if sherman_morrison_update(&mut b, &u, &v).is_ok() {
+                t.set(a, a, t.get(a, a) + 1.0);
+                t.set(a, a_next, t.get(a, a_next) - gamma);
+            }
+        }
+        prop_assert!(identity_residual(&b.to_dense(), &t) < 1e-6);
+        let gj = t.inverse().expect("operator stays invertible for gamma < 1");
+        prop_assert!(b.to_dense().max_abs_diff(&gj) < 1e-6);
     }
 }

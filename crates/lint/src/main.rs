@@ -1,0 +1,56 @@
+//! Binary driver: `cargo run -p lint [--root <dir>]`.
+//!
+//! Walks the workspace, prints every invariant violation as
+//! `path:line: [rule] message`, and exits non-zero when any are found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: lint [--root <workspace-dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("lint: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // `cargo run -p lint` runs from the workspace root; fall back to the
+    // manifest's grandparent so the binary also works when invoked directly.
+    let root = root.unwrap_or_else(|| {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        if cwd.join("Cargo.toml").exists() && cwd.join("crates").is_dir() {
+            cwd
+        } else {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .canonicalize()
+                .unwrap_or(cwd)
+        }
+    });
+
+    match lint::scan_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("lint: workspace clean ({} rules enforced)", 5);
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("lint: io error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

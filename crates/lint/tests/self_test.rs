@@ -1,0 +1,186 @@
+//! Self-tests: every rule class must fire on a seeded violation and stay
+//! quiet on annotated/exempt code, and the workspace at HEAD must be clean.
+
+use lint::{scan_source, scan_workspace, Violation};
+
+fn rules(violations: &[Violation]) -> Vec<&'static str> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn alloc_rule_fires_in_deny_alloc_modules() {
+    let src = "\
+// lint: deny_alloc
+fn hot() {
+    let v = Vec::new();
+    let w = vec![0.0; 4];
+    let s = format!(\"x\");
+}
+";
+    let found = scan_source("crates/core/src/seeded.rs", src);
+    let alloc: Vec<_> = found.iter().filter(|v| v.rule == "alloc").collect();
+    assert_eq!(alloc.len(), 3, "expected 3 alloc hits, got {found:?}");
+    assert_eq!(alloc[0].line, 3);
+}
+
+#[test]
+fn alloc_rule_silent_without_marker_and_with_escape() {
+    let unmarked = "fn cold() { let v = Vec::new(); }\n";
+    assert!(scan_source("crates/core/src/seeded.rs", unmarked)
+        .iter()
+        .all(|v| v.rule != "alloc"));
+
+    let escaped = "\
+// lint: deny_alloc
+fn ctor() {
+    // one-time construction, not on the decide path
+    // lint: allow(alloc)
+    let v = Vec::new();
+    let w = vec![0.0; 4]; // lint: allow(alloc)
+}
+";
+    assert!(
+        scan_source("crates/core/src/seeded.rs", escaped)
+            .iter()
+            .all(|v| v.rule != "alloc"),
+        "escape hatches must silence the rule"
+    );
+}
+
+#[test]
+fn nondet_rule_fires_in_decision_path_crates_only() {
+    let src = "\
+use std::collections::HashSet;
+fn decide() {
+    let t = std::time::Instant::now();
+}
+";
+    let in_scope = scan_source("crates/baselines/src/seeded.rs", src);
+    assert!(rules(&in_scope).contains(&"nondet"), "{in_scope:?}");
+    assert_eq!(
+        in_scope.iter().filter(|v| v.rule == "nondet").count(),
+        2,
+        "HashSet import + Instant::now"
+    );
+
+    // trace ingestion is outside the decision path.
+    let out_of_scope = scan_source("crates/trace/src/seeded.rs", src);
+    assert!(rules(&out_of_scope).iter().all(|r| *r != "nondet"));
+}
+
+#[test]
+fn panic_rule_fires_on_each_token_class() {
+    let src = "\
+fn lib_code(x: Option<f64>, ys: &mut [f64]) -> f64 {
+    ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let v = x.expect(\"present\");
+    if v < 0.0 {
+        panic!(\"negative\");
+    }
+    v
+}
+";
+    let found = scan_source("crates/sim/src/seeded.rs", src);
+    let panics = found.iter().filter(|v| v.rule == "panic").count();
+    // line 2 carries both partial_cmp and unwrap.
+    assert_eq!(panics, 4, "{found:?}");
+}
+
+#[test]
+fn panic_rule_skips_test_modules_and_annotated_lines() {
+    let src = "\
+fn lib_code() {
+    // measured fallback is unreachable: the caller checks emptiness
+    // lint: allow(panic)
+    let v = Some(1).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_helper() {
+        let v: Option<u32> = None;
+        assert!(v.is_none());
+        Some(5).unwrap();
+        [0.1f64, 0.2].sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+}
+";
+    let found = scan_source("crates/sim/src/seeded.rs", src);
+    assert!(
+        found.iter().all(|v| v.rule != "panic"),
+        "test modules and annotated lines are exempt: {found:?}"
+    );
+}
+
+#[test]
+fn doc_rule_requires_doc_comments_on_pub_fns() {
+    let src = "\
+pub fn bare() {}
+
+/// Documented.
+pub fn documented() {}
+
+/// Attributes between the doc and the fn are fine.
+#[inline]
+pub fn attributed() {}
+
+fn private_needs_no_doc() {}
+";
+    let found = scan_source("crates/linalg/src/seeded.rs", src);
+    let docs: Vec<_> = found.iter().filter(|v| v.rule == "missing_docs").collect();
+    assert_eq!(docs.len(), 1, "{found:?}");
+    assert_eq!(docs[0].line, 1);
+
+    // Out of scope: baselines pub fns are not held to the doc rule.
+    let other = scan_source("crates/baselines/src/seeded.rs", src);
+    assert!(rules(&other).iter().all(|r| *r != "missing_docs"));
+}
+
+#[test]
+fn unsafe_rule_fires_everywhere_unless_allowlisted() {
+    let src = "\
+pub fn raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+";
+    let found = scan_source("crates/trace/src/seeded.rs", src);
+    assert!(rules(&found).contains(&"unsafe_code"), "{found:?}");
+
+    let allow = "\
+// SAFETY: delegates to the system allocator.
+// lint: allow(unsafe_code)
+unsafe impl Sync for Wrapper {}
+";
+    let found = scan_source("crates/trace/src/seeded.rs", allow);
+    assert!(rules(&found).iter().all(|r| *r != "unsafe_code"));
+}
+
+#[test]
+fn tokens_inside_strings_and_comments_do_not_fire() {
+    let src = "\
+fn lib_code() {
+    let msg = \"call .unwrap() on HashSet via Instant::now\";
+    // .unwrap() and HashSet discussed in a comment only
+    let raw = r#\"panic! vec! format!\"#;
+    let _ = (msg, raw);
+}
+";
+    let found = scan_source("crates/sim/src/seeded.rs", src);
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn workspace_at_head_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let violations = scan_workspace(&root).expect("workspace must be readable");
+    assert!(
+        violations.is_empty(),
+        "lint must pass on the committed tree:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

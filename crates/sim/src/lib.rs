@@ -36,6 +36,9 @@
 //! assert!(outcome.report().total_cost_usd > 0.0);
 //! ```
 
+// No unsafe code anywhere in this crate (also enforced by `cargo run -p lint`).
+#![forbid(unsafe_code)]
+
 mod config;
 mod cost;
 mod engine;

@@ -69,8 +69,8 @@ impl NetworkModel {
                 let hosts_per_rack = hosts_per_rack.max(1);
                 let ratio = ratio.max(1.0);
                 // Count inter-rack migrations touching each rack.
-                let mut rack_load: std::collections::HashMap<usize, usize> =
-                    std::collections::HashMap::new();
+                let mut rack_load: std::collections::BTreeMap<usize, usize> =
+                    std::collections::BTreeMap::new();
                 for &(src, dst, _) in migrations {
                     if self.crosses_racks(src, dst) {
                         *rack_load.entry(self.rack_of(src)).or_insert(0) += 1;

@@ -26,6 +26,9 @@
 //! assert!(stats.overall_mean > 0.0);
 //! ```
 
+// No unsafe code anywhere in this crate (also enforced by `cargo run -p lint`).
+#![forbid(unsafe_code)]
+
 mod csv;
 mod diurnal;
 mod files;

@@ -30,6 +30,9 @@
 //! assert!(outcome.report().total_cost_usd > 0.0);
 //! ```
 
+// No unsafe code anywhere in this crate (also enforced by `cargo run -p lint`).
+#![forbid(unsafe_code)]
+
 pub use megh_baselines as baselines;
 pub use megh_core as core;
 pub use megh_linalg as linalg;
