@@ -22,4 +22,10 @@ cargo test --workspace -q
 echo "==> cargo test --workspace --features check-invariants"
 cargo test --workspace --features check-invariants -q
 
+echo "==> sweep determinism under check-invariants"
+cargo test -q -p megh-cli --features megh-core/check-invariants sweep_determinism
+
+echo "==> bench-diff (non-fatal latency regression warnings)"
+cargo run -q -p megh-bench --bin bench-diff || true
+
 echo "CI OK"

@@ -1,0 +1,59 @@
+//! `bench-diff` — compare the latest two snapshots of the tracked bench
+//! series and warn (never fail) about latency regressions.
+//!
+//! Usage: `cargo run -p megh-bench --bin bench-diff [FILE] [--noise F]`
+//!
+//! `FILE` defaults to `BENCH_decision_latency.json` in the current
+//! directory (ci.sh runs from the repo root). `--noise F` sets the
+//! relative movement tolerated before a probe is flagged (default 0.3,
+//! i.e. ±30 % — microbenchmark medians on shared machines move that
+//! much without a code cause). The exit code is always 0: this is a
+//! visibility stage, not a gate. Grep the output for `warning:` to see
+//! flagged probes.
+
+use megh_bench::{diff_snapshots, render_diff, BenchSnapshot};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = "BENCH_decision_latency.json".to_string();
+    let mut noise = 0.3f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--noise" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    noise = v;
+                }
+                i += 2;
+            }
+            other => {
+                file = other.to_string();
+                i += 1;
+            }
+        }
+    }
+
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            // Non-fatal by contract: a missing series is a note, not a gate.
+            println!("bench-diff: cannot read {file}: {e} (skipping)");
+            return;
+        }
+    };
+    let series: Vec<BenchSnapshot> = match serde_json::from_str(&source) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("bench-diff: cannot parse {file}: {e} (skipping)");
+            return;
+        }
+    };
+    let n = series.len();
+    if n < 2 {
+        println!("bench-diff: {file} has {n} snapshot(s); need 2 to diff (skipping)");
+        return;
+    }
+    let (prev, cur) = (&series[n - 2], &series[n - 1]);
+    let lines = diff_snapshots(prev, cur, noise);
+    print!("{}", render_diff(prev, cur, &lines));
+}

@@ -1,0 +1,254 @@
+//! Bench-regression diffing over the tracked snapshot series.
+//!
+//! `BENCH_decision_latency.json` (repo root) accumulates one
+//! `{snapshot, results}` object per PR. This module compares the latest
+//! two snapshots probe by probe and classifies each probe's movement
+//! against a noise threshold, so CI can warn about latency regressions
+//! without making a microbenchmark the arbiter of a merge (the stage is
+//! non-fatal by design — see `ci.sh`).
+//!
+//! Medians are compared rather than means: the snapshots are taken on
+//! shared, noisy machines where a single descheduling blows up the mean
+//! but leaves the median representative.
+
+use serde::{Deserialize, Serialize};
+
+/// One probe's summary inside a snapshot (the criterion shim's schema).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchResult {
+    /// Probe id, e.g. `"Megh/50x66"`.
+    pub id: String,
+    /// Mean iteration time, nanoseconds.
+    pub mean_ns: f64,
+    /// Median iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// One PR's worth of probe results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSnapshot {
+    /// Snapshot label, e.g. `"PR2"`.
+    pub snapshot: String,
+    /// Probe results recorded for that PR.
+    pub results: Vec<BenchResult>,
+}
+
+/// How one probe moved between two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Median grew by more than the noise threshold.
+    Regressed,
+    /// Median shrank by more than the noise threshold.
+    Improved,
+    /// Movement within the noise threshold.
+    Unchanged,
+    /// Probe exists only in the newer snapshot.
+    Added,
+    /// Probe exists only in the older snapshot.
+    Removed,
+}
+
+/// One probe's diff line between two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffLine {
+    /// Probe id.
+    pub id: String,
+    /// Median in the older snapshot (None when [`Verdict::Added`]).
+    pub prev_median_ns: Option<f64>,
+    /// Median in the newer snapshot (None when [`Verdict::Removed`]).
+    pub cur_median_ns: Option<f64>,
+    /// `cur/prev` ratio when both sides exist.
+    pub ratio: Option<f64>,
+    /// Classification against the noise threshold.
+    pub verdict: Verdict,
+}
+
+/// Compares two snapshots probe by probe.
+///
+/// `noise_frac` is the relative movement tolerated before a probe is
+/// flagged (0.3 = ±30 %). Output order: every probe of `cur` in file
+/// order, then probes only `prev` has.
+pub fn diff_snapshots(prev: &BenchSnapshot, cur: &BenchSnapshot, noise_frac: f64) -> Vec<DiffLine> {
+    let mut lines = Vec::new();
+    for result in &cur.results {
+        let before = prev.results.iter().find(|r| r.id == result.id);
+        let line = match before {
+            None => DiffLine {
+                id: result.id.clone(),
+                prev_median_ns: None,
+                cur_median_ns: Some(result.median_ns),
+                ratio: None,
+                verdict: Verdict::Added,
+            },
+            Some(before) => {
+                let ratio = if before.median_ns > 0.0 {
+                    result.median_ns / before.median_ns
+                } else {
+                    f64::INFINITY
+                };
+                let verdict = if ratio > 1.0 + noise_frac {
+                    Verdict::Regressed
+                } else if ratio < 1.0 - noise_frac {
+                    Verdict::Improved
+                } else {
+                    Verdict::Unchanged
+                };
+                DiffLine {
+                    id: result.id.clone(),
+                    prev_median_ns: Some(before.median_ns),
+                    cur_median_ns: Some(result.median_ns),
+                    ratio: Some(ratio),
+                    verdict,
+                }
+            }
+        };
+        lines.push(line);
+    }
+    for before in &prev.results {
+        if !cur.results.iter().any(|r| r.id == before.id) {
+            lines.push(DiffLine {
+                id: before.id.clone(),
+                prev_median_ns: Some(before.median_ns),
+                cur_median_ns: None,
+                ratio: None,
+                verdict: Verdict::Removed,
+            });
+        }
+    }
+    lines
+}
+
+/// Renders a diff as the table `bench-diff` prints, one probe per line,
+/// with a trailing `warning:` line per regression (the greppable part).
+pub fn render_diff(prev: &BenchSnapshot, cur: &BenchSnapshot, lines: &[DiffLine]) -> String {
+    let mut out = format!(
+        "bench-diff: {} -> {} (median ns per probe)\n{:<20} {:>12} {:>12} {:>8}  {}\n",
+        prev.snapshot, cur.snapshot, "probe", prev.snapshot, cur.snapshot, "ratio", "verdict"
+    );
+    let fmt_ns = |v: Option<f64>| match v {
+        Some(ns) => format!("{ns:.1}"),
+        None => "-".to_string(),
+    };
+    for line in lines {
+        let verdict = match line.verdict {
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Improved => "improved",
+            Verdict::Unchanged => "ok",
+            Verdict::Added => "added",
+            Verdict::Removed => "removed",
+        };
+        out.push_str(&format!(
+            "{:<20} {:>12} {:>12} {:>8}  {}\n",
+            line.id,
+            fmt_ns(line.prev_median_ns),
+            fmt_ns(line.cur_median_ns),
+            match line.ratio {
+                Some(r) => format!("{r:.2}x"),
+                None => "-".to_string(),
+            },
+            verdict
+        ));
+    }
+    for line in lines {
+        if line.verdict == Verdict::Regressed {
+            out.push_str(&format!(
+                "warning: {} regressed {:.2}x ({} -> {} median ns)\n",
+                line.id,
+                line.ratio.unwrap_or(f64::NAN),
+                fmt_ns(line.prev_median_ns),
+                fmt_ns(line.cur_median_ns),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(id: &str, median_ns: f64) -> BenchResult {
+        BenchResult {
+            id: id.to_string(),
+            mean_ns: median_ns,
+            median_ns,
+            min_ns: median_ns * 0.9,
+            max_ns: median_ns * 1.2,
+            samples: 20,
+        }
+    }
+
+    fn snapshot(name: &str, results: Vec<BenchResult>) -> BenchSnapshot {
+        BenchSnapshot {
+            snapshot: name.to_string(),
+            results,
+        }
+    }
+
+    #[test]
+    fn classifies_regression_improvement_and_noise() {
+        let prev = snapshot(
+            "PR1",
+            vec![result("a", 100.0), result("b", 100.0), result("c", 100.0)],
+        );
+        let cur = snapshot(
+            "PR2",
+            vec![
+                result("a", 150.0), // +50 % > 30 % noise
+                result("b", 60.0),  // -40 %
+                result("c", 120.0), // +20 % inside noise
+            ],
+        );
+        let lines = diff_snapshots(&prev, &cur, 0.3);
+        assert_eq!(lines[0].verdict, Verdict::Regressed);
+        assert_eq!(lines[1].verdict, Verdict::Improved);
+        assert_eq!(lines[2].verdict, Verdict::Unchanged);
+        assert!((lines[0].ratio.unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn added_and_removed_probes_are_reported() {
+        let prev = snapshot("PR1", vec![result("old", 10.0), result("both", 10.0)]);
+        let cur = snapshot("PR2", vec![result("both", 10.0), result("new", 10.0)]);
+        let lines = diff_snapshots(&prev, &cur, 0.3);
+        let find = |id: &str| lines.iter().find(|l| l.id == id).unwrap();
+        assert_eq!(find("new").verdict, Verdict::Added);
+        assert_eq!(find("old").verdict, Verdict::Removed);
+        assert_eq!(find("both").verdict, Verdict::Unchanged);
+    }
+
+    #[test]
+    fn render_emits_greppable_warning_lines() {
+        let prev = snapshot("PR1", vec![result("hot", 100.0)]);
+        let cur = snapshot("PR2", vec![result("hot", 200.0)]);
+        let lines = diff_snapshots(&prev, &cur, 0.3);
+        let text = render_diff(&prev, &cur, &lines);
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("warning: hot regressed 2.00x"), "{text}");
+    }
+
+    #[test]
+    fn zero_baseline_counts_as_regression_not_a_crash() {
+        let prev = snapshot("PR1", vec![result("z", 0.0)]);
+        let cur = snapshot("PR2", vec![result("z", 5.0)]);
+        let lines = diff_snapshots(&prev, &cur, 0.3);
+        assert_eq!(lines[0].verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn snapshot_series_round_trips_through_json() {
+        let series = vec![
+            snapshot("PR1", vec![result("a", 1.0)]),
+            snapshot("PR2", vec![result("a", 2.0)]),
+        ];
+        let json = serde_json::to_string(&series).unwrap();
+        let back: Vec<BenchSnapshot> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, series);
+    }
+}

@@ -20,12 +20,14 @@
 // No unsafe code anywhere in this crate (also enforced by `cargo run -p lint`).
 #![forbid(unsafe_code)]
 
+mod diff;
 mod plot;
 mod probe;
 mod report;
 mod runner;
 mod setup;
 
+pub use diff::{diff_snapshots, render_diff, BenchResult, BenchSnapshot, DiffLine, Verdict};
 pub use plot::LineChart;
 pub use probe::MeghProbe;
 pub use report::{ensure_results_dir, format_table, write_csv, write_json, ResultsError};

@@ -4,8 +4,8 @@ use megh_baselines::{MadVmConfig, MadVmScheduler, MmtFlavor, MmtScheduler};
 use megh_core::diagnostics::{decision_latency, LatencyStats};
 use megh_core::{MeghAgent, MeghConfig, PeriodicMeghAgent};
 use megh_sim::{
-    DataCenterConfig, HostOutage, InitialPlacement, NoOpScheduler, Simulation, SimulationOutcome,
-    SlavMetrics, SummaryReport,
+    run_sweep, DataCenterConfig, HostOutage, InitialPlacement, NoOpScheduler, Scheduler,
+    Simulation, SimulationOutcome, SlavMetrics, SummaryReport, SweepReport,
 };
 use megh_trace::{DiurnalConfig, GoogleConfig, PlanetLabConfig, TraceStats, WorkloadTrace};
 use serde::Serialize;
@@ -101,6 +101,55 @@ impl SimSpec {
     }
 }
 
+/// Instantiates a scheduler by CLI name.
+///
+/// The boxed return type is what lets the seed sweep fan one `name`
+/// across worker threads: each worker calls this factory with its own
+/// seed and gets an owned, `Send` scheduler.
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for unknown scheduler names.
+pub fn build_named_scheduler(
+    name: &str,
+    config: &DataCenterConfig,
+    seed: u64,
+) -> Result<Box<dyn Scheduler + Send>, ArgsError> {
+    let megh_cfg = || {
+        let mut cfg = MeghConfig::paper_defaults(config.vms.len(), config.pms.len());
+        cfg.seed = seed;
+        cfg
+    };
+    let scheduler: Box<dyn Scheduler + Send> = match name {
+        "megh" => Box::new(MeghAgent::new(megh_cfg())),
+        "thr-mmt" => Box::new(MmtScheduler::new(MmtFlavor::Thr)),
+        "iqr-mmt" => Box::new(MmtScheduler::new(MmtFlavor::Iqr)),
+        "mad-mmt" => Box::new(MmtScheduler::new(MmtFlavor::Mad)),
+        "lr-mmt" => Box::new(MmtScheduler::new(MmtFlavor::Lr)),
+        "lrr-mmt" => Box::new(MmtScheduler::new(MmtFlavor::Lrr)),
+        "madvm" => Box::new(MadVmScheduler::new(MadVmConfig::default())),
+        "noop" => Box::new(NoOpScheduler),
+        other => {
+            // megh-p<N>: the periodicity-aware variant.
+            if let Some(phases) = other
+                .strip_prefix("megh-p")
+                .and_then(|p| p.parse::<usize>().ok())
+                .filter(|&p| p > 0)
+            {
+                Box::new(PeriodicMeghAgent::new(megh_cfg(), phases))
+            } else {
+                return Err(ArgsError::Invalid {
+                    key: "scheduler".into(),
+                    value: other.to_string(),
+                    expected:
+                        "one of megh|megh-p<N>|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|noop|all",
+                });
+            }
+        }
+    };
+    Ok(scheduler)
+}
+
 /// Instantiates a scheduler by CLI name and runs it.
 ///
 /// # Errors
@@ -117,40 +166,8 @@ pub fn run_named_scheduler(
         value: e.to_string(),
         expected: "consistent configuration",
     })?;
-    let outcome = match name {
-        "megh" => {
-            let mut cfg = MeghConfig::paper_defaults(config.vms.len(), config.pms.len());
-            cfg.seed = seed;
-            sim.run(MeghAgent::new(cfg))
-        }
-        "thr-mmt" => sim.run(MmtScheduler::new(MmtFlavor::Thr)),
-        "iqr-mmt" => sim.run(MmtScheduler::new(MmtFlavor::Iqr)),
-        "mad-mmt" => sim.run(MmtScheduler::new(MmtFlavor::Mad)),
-        "lr-mmt" => sim.run(MmtScheduler::new(MmtFlavor::Lr)),
-        "lrr-mmt" => sim.run(MmtScheduler::new(MmtFlavor::Lrr)),
-        "madvm" => sim.run(MadVmScheduler::new(MadVmConfig::default())),
-        "noop" => sim.run(NoOpScheduler),
-        other => {
-            // megh-p<N>: the periodicity-aware variant.
-            if let Some(phases) = other
-                .strip_prefix("megh-p")
-                .and_then(|p| p.parse::<usize>().ok())
-                .filter(|&p| p > 0)
-            {
-                let mut cfg = MeghConfig::paper_defaults(config.vms.len(), config.pms.len());
-                cfg.seed = seed;
-                sim.run(PeriodicMeghAgent::new(cfg, phases))
-            } else {
-                return Err(ArgsError::Invalid {
-                    key: "scheduler".into(),
-                    value: other.to_string(),
-                    expected:
-                        "one of megh|megh-p<N>|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|noop|all",
-                });
-            }
-        }
-    };
-    Ok(outcome)
+    let scheduler = build_named_scheduler(name, config, seed)?;
+    Ok(sim.run(scheduler))
 }
 
 /// One scheduler's hot-path observability record written to
@@ -273,6 +290,91 @@ pub fn cmd_compare(args: &Args) -> Result<String, ArgsError> {
     Ok(out)
 }
 
+/// `megh sweep`: one scheduler over many seeds, fanned across threads.
+///
+/// Seeds are `--seed, --seed+1, …, --seed+N-1`. The stdout summary
+/// includes the wall-clock time; the `--out` file contains only the
+/// deterministic [`SweepReport`], so its bytes are identical for any
+/// `--threads` value (the determinism contract `megh-sim::sweep`
+/// documents and CI enforces).
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for bad arguments or an unwritable output.
+pub fn cmd_sweep(args: &Args) -> Result<String, ArgsError> {
+    let spec = SimSpec::from_args(args)?;
+    let scheduler = args.get_or("scheduler", "megh").to_string();
+    let n_seeds: usize = args.get_parsed_or("seeds", 8, "positive integer (>= 1)")?;
+    let threads: usize = args.get_parsed_or("threads", 1, "positive integer (>= 1)")?;
+    for (key, value) in [("seeds", n_seeds), ("threads", threads)] {
+        if value == 0 {
+            return Err(ArgsError::Invalid {
+                key: key.into(),
+                value: "0".into(),
+                expected: "positive integer (>= 1)",
+            });
+        }
+    }
+    let (config, trace) = spec.build();
+    // Validate the scheduler name once, up front: the factory closure
+    // handed to the workers has no error channel.
+    build_named_scheduler(&scheduler, &config, spec.seed)?;
+    let sim = Simulation::new(config.clone(), trace).map_err(|e| ArgsError::Invalid {
+        key: "setup".into(),
+        value: e.to_string(),
+        expected: "consistent configuration",
+    })?;
+    let seeds: Vec<u64> = (0..n_seeds as u64)
+        .map(|i| spec.seed.wrapping_add(i))
+        .collect();
+    let started = std::time::Instant::now();
+    let outcomes = run_sweep(&sim, &seeds, threads, |seed| {
+        build_named_scheduler(&scheduler, &config, seed).expect("scheduler name validated above")
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let report = SweepReport::from_outcomes(&seeds, &outcomes);
+    let mut out = format!(
+        "{}: {} seeds on {} thread(s) in {:.2} s\n",
+        report.scheduler, report.seeds, threads, wall
+    );
+    out.push_str(&format!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>10}\n",
+        "seed", "total USD", "energy USD", "SLA USD", "#migrations", "active"
+    ));
+    for run in &report.runs {
+        out.push_str(&format!(
+            "{:<8} {:>12.2} {:>12.2} {:>12.2} {:>12} {:>10.1}\n",
+            run.seed,
+            run.total_cost_usd,
+            run.energy_cost_usd,
+            run.sla_cost_usd,
+            run.total_migrations,
+            run.mean_active_hosts
+        ));
+    }
+    out.push_str(&format!(
+        "total cost {:.2} ± {:.2} USD (min {:.2}, max {:.2}), mean migrations {:.1}\n",
+        report.mean_total_cost_usd,
+        report.std_total_cost_usd,
+        report.min_total_cost_usd,
+        report.max_total_cost_usd,
+        report.mean_total_migrations
+    ));
+    if let Some(path) = args.get("out") {
+        let json = serde_json::to_string_pretty(&report).map_err(|_| ArgsError::Invalid {
+            key: "out".into(),
+            value: path.to_string(),
+            expected: "writable path",
+        })?;
+        std::fs::write(path, json).map_err(|_| ArgsError::Invalid {
+            key: "out".into(),
+            value: path.to_string(),
+            expected: "writable path",
+        })?;
+    }
+    Ok(out)
+}
+
 /// `megh trace-gen`: write a synthetic trace to CSV.
 ///
 /// # Errors
@@ -347,6 +449,7 @@ USAGE:
 COMMANDS:
   simulate     run one scheduler over a synthetic workload
   compare      run every scheduler over the same workload
+  sweep        run one scheduler over many seeds in parallel
   trace-gen    write a synthetic workload trace to CSV
   trace-stats  summarize a trace CSV
   help         show this message
@@ -364,6 +467,13 @@ simulate:
   --slav                        also print SLATAH/PDM/SLAV/ESV
   --out FILE                    write the summary as JSON; also writes
                                 latency_alloc_report.json next to FILE
+
+sweep:
+  --scheduler megh|megh-p<N>|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|noop [megh]
+  --seeds N                     seeds --seed..--seed+N-1   [8]
+  --threads T                   worker threads             [1]
+  --out FILE                    write the aggregated sweep report as JSON
+                                (deterministic: identical for any --threads)
 
 trace-gen:
   --out FILE                    destination CSV (required)
@@ -383,6 +493,7 @@ pub fn dispatch(args: &Args) -> Result<String, ArgsError> {
     match args.command.as_deref() {
         Some("simulate") => cmd_simulate(args),
         Some("compare") => cmd_compare(args),
+        Some("sweep") => cmd_sweep(args),
         Some("trace-gen") => cmd_trace_gen(args),
         Some("trace-stats") => cmd_trace_stats(args),
         Some("help") | None => Ok(help()),
@@ -506,6 +617,59 @@ mod tests {
             entry["allocations"].as_u64().is_some(),
             "allocation delta must be recorded: {entry:?}"
         );
+    }
+
+    #[test]
+    fn sweep_reports_every_seed_and_aggregates() {
+        let out = dispatch(&parse(
+            "sweep --hosts 3 --vms 4 --days 1 --seeds 3 --threads 2 --scheduler noop",
+        ))
+        .unwrap();
+        assert!(out.contains("NoOp: 3 seeds"), "{out}");
+        for seed in [42, 43, 44] {
+            assert!(
+                out.contains(&format!("\n{seed}")),
+                "missing seed {seed}:\n{out}"
+            );
+        }
+        assert!(out.contains("total cost"), "{out}");
+    }
+
+    #[test]
+    fn sweep_determinism_thread_count_never_changes_out_file() {
+        // CI runs this by name (ci.sh filters on `sweep_determinism`):
+        // the --out report must be byte-identical for any --threads.
+        let dir = std::env::temp_dir().join(format!("megh-cli-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bytes = Vec::new();
+        for threads in [1usize, 8] {
+            let path = dir.join(format!("sweep-t{threads}.json"));
+            let line = format!(
+                "sweep --hosts 3 --vms 4 --days 1 --seeds 4 --scheduler megh \
+                 --threads {threads} --out {}",
+                path.display()
+            );
+            dispatch(&parse(&line)).unwrap();
+            bytes.push(std::fs::read(&path).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(
+            bytes[0], bytes[1],
+            "sweep report bytes must not depend on the thread count"
+        );
+        let report: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&bytes[0]).unwrap()).unwrap();
+        assert_eq!(report["scheduler"], "Megh");
+        assert_eq!(report["runs"].as_array().map(Vec::len), Some(4));
+    }
+
+    #[test]
+    fn sweep_rejects_bad_scheduler_and_zero_counts() {
+        assert!(dispatch(&parse("sweep --hosts 2 --vms 2 --scheduler bogus")).is_err());
+        assert!(dispatch(&parse("sweep --hosts 2 --vms 2 --seeds 0")).is_err());
+        assert!(dispatch(&parse("sweep --hosts 2 --vms 2 --threads 0")).is_err());
+        // `all` is a simulate-only pseudo-name: a sweep is one scheduler.
+        assert!(dispatch(&parse("sweep --hosts 2 --vms 2 --scheduler all")).is_err());
     }
 
     #[test]

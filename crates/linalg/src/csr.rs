@@ -1,0 +1,475 @@
+//! Compressed-sparse-row snapshots of [`DokMatrix`] for read-heavy phases.
+//!
+//! The DOK representation is built for *updates*: every Sherman–Morrison
+//! step inserts or removes entries, and per-row/per-column `Vec`s keep
+//! those edits `O(log nnz)`. A long evaluation phase inverts the access
+//! pattern — thousands of products against a matrix that never changes —
+//! and there the DOK layout pays for its flexibility: each row and each
+//! column is its own heap allocation, scattered across the heap, and the
+//! generic accumulate path re-searches the output vector per entry.
+//!
+//! [`CsrMatrix`] freezes a [`DokMatrix`] into three contiguous arrays
+//! (`row_ptr` / `col_idx` / `vals`) plus a transposed copy of the same
+//! shape, so both product orientations walk a single flat slice:
+//!
+//! * `vᵀ·M` (the `Bᵀ·v` of Eq. 11) walks the row-major arrays,
+//! * `M·v` (the `B·u`) walks the transposed, column-major arrays —
+//!   exactly the role `DokMatrix`'s `cols` adjacency plays.
+//!
+//! Because Megh's `u`, `v` are basis-like (one or two non-zeros), the
+//! kernels special-case small supports: a single selected row/column is
+//! *copied* into the output in one pass — no per-entry binary search —
+//! which is what lets a frozen evaluation phase run at memory bandwidth.
+
+// This module is on the Megh decision hot path: steady-state calls must
+// not allocate. Enforced by `cargo run -p lint`.
+// lint: deny_alloc
+
+use crate::{DokMatrix, SparseVec};
+
+/// The backend-agnostic sparse matrix–vector product interface.
+///
+/// Both [`DokMatrix`] (mutable, update-optimised) and [`CsrMatrix`]
+/// (frozen, read-optimised) implement it, so consumers like
+/// `SparseLspi` can switch representation per phase without touching
+/// the call sites.
+pub trait SparseMatVec {
+    /// The matrix order (number of rows = number of columns).
+    fn order(&self) -> usize;
+
+    /// The number of stored non-zero entries.
+    fn nnz(&self) -> usize;
+
+    /// Computes `M · v` into a caller-provided output vector, reusing
+    /// its storage.
+    fn mul_sparse_vec_into(&self, v: &SparseVec, out: &mut SparseVec);
+
+    /// Computes `vᵀ · M` into a caller-provided output vector, reusing
+    /// its storage.
+    fn mul_sparse_vec_left_into(&self, v: &SparseVec, out: &mut SparseVec);
+}
+
+impl SparseMatVec for DokMatrix {
+    fn order(&self) -> usize {
+        DokMatrix::order(self)
+    }
+
+    fn nnz(&self) -> usize {
+        DokMatrix::nnz(self)
+    }
+
+    fn mul_sparse_vec_into(&self, v: &SparseVec, out: &mut SparseVec) {
+        DokMatrix::mul_sparse_vec_into(self, v, out);
+    }
+
+    fn mul_sparse_vec_left_into(&self, v: &SparseVec, out: &mut SparseVec) {
+        DokMatrix::mul_sparse_vec_left_into(self, v, out);
+    }
+}
+
+/// A frozen compressed-sparse-row snapshot of a square sparse matrix.
+///
+/// Immutable by construction: there is no `set`. Build one with
+/// [`DokMatrix::to_csr`] when entering a read-heavy phase and drop it
+/// when updates resume.
+///
+/// # Examples
+///
+/// ```
+/// use megh_linalg::{DokMatrix, SparseMatVec, SparseVec};
+///
+/// let mut dok = DokMatrix::zeros(3);
+/// dok.set(0, 1, 2.0);
+/// dok.set(2, 1, 3.0);
+/// let csr = dok.to_csr();
+/// assert_eq!(csr.nnz(), 2);
+/// let v = SparseVec::basis(3, 1);
+/// // Products agree with the DOK backend exactly.
+/// assert_eq!(csr.mul_sparse_vec(&v), dok.mul_sparse_vec(&v));
+/// assert_eq!(csr.mul_sparse_vec_left(&v), dok.mul_sparse_vec_left(&v));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    order: usize,
+    /// Row-major layout: entries of row `r` live at
+    /// `row_ptr[r]..row_ptr[r+1]` in `col_idx` / `vals`, sorted by column.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<f64>,
+    /// Transposed (column-major) copy: entries of column `c` live at
+    /// `col_ptr[c]..col_ptr[c+1]` in `row_idx` / `vals_t`, sorted by row.
+    /// This is what the right product `M·v` walks, mirroring the DOK
+    /// `cols` adjacency.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    vals_t: Vec<f64>,
+}
+
+impl SparseMatVec for CsrMatrix {
+    fn order(&self) -> usize {
+        CsrMatrix::order(self)
+    }
+
+    fn nnz(&self) -> usize {
+        CsrMatrix::nnz(self)
+    }
+
+    fn mul_sparse_vec_into(&self, v: &SparseVec, out: &mut SparseVec) {
+        CsrMatrix::mul_sparse_vec_into(self, v, out);
+    }
+
+    fn mul_sparse_vec_left_into(&self, v: &SparseVec, out: &mut SparseVec) {
+        CsrMatrix::mul_sparse_vec_left_into(self, v, out);
+    }
+}
+
+impl DokMatrix {
+    /// Freezes this matrix into a contiguous CSR snapshot.
+    ///
+    /// One-time `O(order + nnz)` cost; the snapshot does not track later
+    /// DOK edits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use megh_linalg::DokMatrix;
+    ///
+    /// let m = DokMatrix::scaled_identity(4, 0.5);
+    /// let csr = m.to_csr();
+    /// assert_eq!(csr.order(), 4);
+    /// assert_eq!(csr.get(2, 2), 0.5);
+    /// assert_eq!(csr.get(2, 3), 0.0);
+    /// ```
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_dok(self)
+    }
+}
+
+impl CsrMatrix {
+    /// Builds a CSR snapshot from a [`DokMatrix`].
+    ///
+    /// Equivalent to [`DokMatrix::to_csr`].
+    pub fn from_dok(dok: &DokMatrix) -> Self {
+        let order = DokMatrix::order(dok);
+        let nnz = DokMatrix::nnz(dok);
+        // Snapshot construction is the one-time cold path; the product
+        // kernels below never allocate.
+        let mut row_ptr = Vec::with_capacity(order + 1); // lint: allow(alloc)
+        let mut col_idx = Vec::with_capacity(nnz); // lint: allow(alloc)
+        let mut vals = Vec::with_capacity(nnz); // lint: allow(alloc)
+        let mut col_counts = vec![0usize; order + 1]; // lint: allow(alloc)
+        row_ptr.push(0);
+        let mut current_row = 0usize;
+        // `DokMatrix::iter` is row-major with columns sorted within each
+        // row — exactly CSR entry order.
+        for ((r, c), v) in dok.iter() {
+            while current_row < r {
+                row_ptr.push(col_idx.len());
+                current_row += 1;
+            }
+            col_idx.push(c);
+            vals.push(v);
+            col_counts[c + 1] += 1;
+        }
+        while row_ptr.len() < order + 1 {
+            row_ptr.push(col_idx.len());
+        }
+
+        // Counting-sort the same triplets into the transposed layout.
+        // Row-major input order means rows arrive sorted within each
+        // column, matching the DOK `cols` adjacency exactly.
+        let mut col_ptr = col_counts; // prefix-summed in place
+        for c in 1..col_ptr.len() {
+            col_ptr[c] += col_ptr[c - 1];
+        }
+        let mut cursor = col_ptr.clone(); // lint: allow(alloc)
+        let mut row_idx = vec![0usize; nnz]; // lint: allow(alloc)
+        let mut vals_t = vec![0.0f64; nnz]; // lint: allow(alloc)
+        for r in 0..order {
+            for k in row_ptr[r]..row_ptr[r + 1] {
+                let c = col_idx[k];
+                let slot = cursor[c];
+                row_idx[slot] = r;
+                vals_t[slot] = vals[k];
+                cursor[c] += 1;
+            }
+        }
+        Self {
+            order,
+            row_ptr,
+            col_idx,
+            vals,
+            col_ptr,
+            row_idx,
+            vals_t,
+        }
+    }
+
+    /// The matrix order (number of rows = number of columns).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// The number of stored non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Returns the entry at `(row, col)`, 0.0 when not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.order && col < self.order, "index out of range");
+        let cols = &self.col_idx[self.row_ptr[row]..self.row_ptr[row + 1]];
+        match cols.binary_search(&col) {
+            Ok(pos) => self.vals[self.row_ptr[row] + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over all stored `((row, col), value)` triplets in
+    /// row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        (0..self.order).flat_map(move |r| {
+            (self.row_ptr[r]..self.row_ptr[r + 1])
+                .map(move |k| ((r, self.col_idx[k]), self.vals[k]))
+        })
+    }
+
+    /// Computes `M · v` for a sparse vector `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.dim() != self.order()`.
+    pub fn mul_sparse_vec(&self, v: &SparseVec) -> SparseVec {
+        let mut out = SparseVec::zeros(self.order);
+        self.mul_sparse_vec_into(v, &mut out);
+        out
+    }
+
+    /// Computes `M · v` into a caller-provided output vector, reusing
+    /// its storage (no allocation once `out`'s buffer has warmed up).
+    ///
+    /// Walks the transposed (column-major) arrays; a single-non-zero
+    /// `v` — Megh's `φ_a` basis vectors — is served by one contiguous
+    /// scaled copy of the selected column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.dim()` or `out.dim()` differs from `self.order()`.
+    pub fn mul_sparse_vec_into(&self, v: &SparseVec, out: &mut SparseVec) {
+        assert_eq!(v.dim(), self.order, "dimension mismatch");
+        assert_eq!(out.dim(), self.order, "output dimension mismatch");
+        out.clear();
+        if v.nnz() == 1 {
+            // Fast path: out = value · column(col), already sorted by row.
+            let (col, value) = v.iter().next().unwrap_or((0, 0.0));
+            let (lo, hi) = (self.col_ptr[col], self.col_ptr[col + 1]);
+            for (&row, &w) in self.row_idx[lo..hi].iter().zip(&self.vals_t[lo..hi]) {
+                out.push_sorted(row, value * w);
+            }
+            return;
+        }
+        for (col, value) in v.iter() {
+            let (lo, hi) = (self.col_ptr[col], self.col_ptr[col + 1]);
+            for (&row, &w) in self.row_idx[lo..hi].iter().zip(&self.vals_t[lo..hi]) {
+                out.add_at(row, value * w);
+            }
+        }
+    }
+
+    /// Computes `vᵀ · M` for a sparse vector `v` (returned as a vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.dim() != self.order()`.
+    pub fn mul_sparse_vec_left(&self, v: &SparseVec) -> SparseVec {
+        let mut out = SparseVec::zeros(self.order);
+        self.mul_sparse_vec_left_into(v, &mut out);
+        out
+    }
+
+    /// Computes `vᵀ · M` into a caller-provided output vector, reusing
+    /// its storage.
+    ///
+    /// Walks the row-major arrays; a single-non-zero `v` is served by
+    /// one contiguous scaled copy of the selected row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.dim()` or `out.dim()` differs from `self.order()`.
+    pub fn mul_sparse_vec_left_into(&self, v: &SparseVec, out: &mut SparseVec) {
+        assert_eq!(v.dim(), self.order, "dimension mismatch");
+        assert_eq!(out.dim(), self.order, "output dimension mismatch");
+        out.clear();
+        if v.nnz() == 1 {
+            // Fast path: out = value · row(row), already sorted by column.
+            let (row, value) = v.iter().next().unwrap_or((0, 0.0));
+            let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+            for (&col, &w) in self.col_idx[lo..hi].iter().zip(&self.vals[lo..hi]) {
+                out.push_sorted(col, value * w);
+            }
+            return;
+        }
+        for (row, value) in v.iter() {
+            let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+            for (&col, &w) in self.col_idx[lo..hi].iter().zip(&self.vals[lo..hi]) {
+                out.add_at(col, value * w);
+            }
+        }
+    }
+
+    /// Verifies the snapshot's structural invariants and that it stores
+    /// exactly the same entries as `dok`.
+    ///
+    /// Intended for the `check-invariants` feature (asserted after every
+    /// `SparseLspi::freeze`) and tests; cost is `O(nnz · log nnz)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the first discrepancy found.
+    pub fn check_matches_dok(&self, dok: &DokMatrix) -> Result<(), &'static str> {
+        if self.order != DokMatrix::order(dok) {
+            return Err("CSR order disagrees with DOK order");
+        }
+        if self.nnz() != DokMatrix::nnz(dok) {
+            return Err("CSR nnz disagrees with DOK nnz");
+        }
+        if self.row_ptr.len() != self.order + 1 || self.col_ptr.len() != self.order + 1 {
+            return Err("CSR pointer array has wrong length");
+        }
+        if self.row_ptr.windows(2).any(|w| w[0] > w[1])
+            || self.col_ptr.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err("CSR pointer array not monotone");
+        }
+        // Row-major arrays mirror the DOK triplets bit for bit.
+        let mut csr_iter = self.iter();
+        for ((r, c), v) in dok.iter() {
+            match csr_iter.next() {
+                Some(((cr, cc), cv)) if (cr, cc) == (r, c) && cv == v => {}
+                _ => return Err("CSR row-major entries diverge from DOK"),
+            }
+        }
+        // Transposed arrays mirror the row-major ones.
+        for c in 0..self.order {
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                if k + 1 < self.col_ptr[c + 1] && self.row_idx[k] >= self.row_idx[k + 1] {
+                    return Err("CSR transposed rows not strictly increasing");
+                }
+                if self.get(self.row_idx[k], c) != self.vals_t[k] {
+                    return Err("CSR transposed entry diverges from row-major");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dok() -> DokMatrix {
+        let mut m = DokMatrix::zeros(5);
+        m.set(0, 0, 1.0);
+        m.set(0, 3, -2.0);
+        m.set(1, 1, 0.5);
+        m.set(3, 0, 4.0);
+        m.set(3, 4, 0.25);
+        m.set(4, 3, -1.5);
+        m
+    }
+
+    #[test]
+    fn snapshot_preserves_entries_and_structure() {
+        let dok = sample_dok();
+        let csr = dok.to_csr();
+        assert_eq!(csr.order(), 5);
+        assert_eq!(csr.nnz(), dok.nnz());
+        for r in 0..5 {
+            for c in 0..5 {
+                assert_eq!(csr.get(r, c), dok.get(r, c), "entry ({r}, {c})");
+            }
+        }
+        csr.check_matches_dok(&dok).unwrap();
+    }
+
+    #[test]
+    fn empty_and_identity_snapshots() {
+        let empty = DokMatrix::zeros(3).to_csr();
+        assert_eq!(empty.nnz(), 0);
+        assert!(empty.mul_sparse_vec(&SparseVec::basis(3, 1)).is_zero());
+        let id = DokMatrix::scaled_identity(4, 2.0).to_csr();
+        let v = SparseVec::from_pairs(4, [(0, 1.0), (3, -1.0)]);
+        assert_eq!(id.mul_sparse_vec(&v).get(0), 2.0);
+        assert_eq!(id.mul_sparse_vec(&v).get(3), -2.0);
+        id.check_matches_dok(&DokMatrix::scaled_identity(4, 2.0))
+            .unwrap();
+    }
+
+    #[test]
+    fn products_match_dok_bitwise_on_basis_vectors() {
+        let dok = sample_dok();
+        let csr = dok.to_csr();
+        for i in 0..5 {
+            let e = SparseVec::basis(5, i);
+            assert_eq!(csr.mul_sparse_vec(&e), dok.mul_sparse_vec(&e));
+            assert_eq!(csr.mul_sparse_vec_left(&e), dok.mul_sparse_vec_left(&e));
+        }
+    }
+
+    #[test]
+    fn products_match_dok_on_multi_entry_vectors() {
+        let dok = sample_dok();
+        let csr = dok.to_csr();
+        let v = SparseVec::from_pairs(5, [(0, 1.0), (3, -0.5), (4, 2.0)]);
+        assert_eq!(csr.mul_sparse_vec(&v), dok.mul_sparse_vec(&v));
+        assert_eq!(csr.mul_sparse_vec_left(&v), dok.mul_sparse_vec_left(&v));
+    }
+
+    #[test]
+    fn into_variants_reuse_scratch() {
+        let csr = sample_dok().to_csr();
+        let v = SparseVec::from_pairs(5, [(0, 2.0), (1, 1.0)]);
+        let mut scratch = SparseVec::from_pairs(5, [(2, 9.0)]);
+        csr.mul_sparse_vec_into(&v, &mut scratch);
+        assert_eq!(scratch, csr.mul_sparse_vec(&v));
+        csr.mul_sparse_vec_left_into(&v, &mut scratch);
+        assert_eq!(scratch, csr.mul_sparse_vec_left(&v));
+    }
+
+    #[test]
+    fn trait_object_dispatch_is_backend_agnostic() {
+        let dok = sample_dok();
+        let csr = dok.to_csr();
+        let v = SparseVec::basis(5, 3);
+        let mut a = SparseVec::zeros(5);
+        let mut b = SparseVec::zeros(5);
+        let backends: [&dyn SparseMatVec; 2] = [&dok, &csr];
+        backends[0].mul_sparse_vec_into(&v, &mut a);
+        backends[1].mul_sparse_vec_into(&v, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(backends[0].nnz(), backends[1].nnz());
+        assert_eq!(backends[0].order(), backends[1].order());
+    }
+
+    #[test]
+    fn check_matches_dok_detects_divergence() {
+        let mut dok = sample_dok();
+        let csr = dok.to_csr();
+        dok.set(2, 2, 7.0); // edit after the snapshot
+        assert!(csr.check_matches_dok(&dok).is_err());
+    }
+
+    #[test]
+    fn iter_is_row_major_sorted() {
+        let csr = sample_dok().to_csr();
+        let keys: Vec<(usize, usize)> = csr.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+}

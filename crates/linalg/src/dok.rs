@@ -197,6 +197,19 @@ impl DokMatrix {
     /// Cost is proportional to the number of stored entries in the columns
     /// selected by `v`'s non-zeros, not to the matrix order.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use megh_linalg::{DokMatrix, SparseVec};
+    ///
+    /// let mut m = DokMatrix::zeros(3);
+    /// m.set(0, 1, 2.0);
+    /// m.set(2, 1, -1.0);
+    /// // Column 1 is selected: the product is 2·e₀ − 1·e₂, scaled by v₁.
+    /// let out = m.mul_sparse_vec(&SparseVec::from_pairs(3, [(1, 3.0)]));
+    /// assert_eq!(out.to_dense(), vec![6.0, 0.0, -3.0]);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `v.dim() != self.order()`.
@@ -208,6 +221,20 @@ impl DokMatrix {
 
     /// Computes `M · v` into a caller-provided output vector, reusing
     /// its storage (no allocation once `out`'s buffer has warmed up).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use megh_linalg::{DokMatrix, SparseVec};
+    ///
+    /// let m = DokMatrix::scaled_identity(2, 4.0);
+    /// let mut out = SparseVec::zeros(2);
+    /// m.mul_sparse_vec_into(&SparseVec::basis(2, 0), &mut out);
+    /// assert_eq!(out.get(0), 4.0);
+    /// // `out` is cleared on entry, so the scratch can be reused freely.
+    /// m.mul_sparse_vec_into(&SparseVec::basis(2, 1), &mut out);
+    /// assert_eq!(out.to_dense(), vec![0.0, 4.0]);
+    /// ```
     ///
     /// # Panics
     ///
@@ -224,6 +251,20 @@ impl DokMatrix {
     }
 
     /// Computes `vᵀ · M` for a sparse vector `v` (returned as a vector).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use megh_linalg::{DokMatrix, SparseVec};
+    ///
+    /// let mut m = DokMatrix::zeros(3);
+    /// m.set(1, 0, 2.0);
+    /// m.set(1, 2, 5.0);
+    /// // Row 1 is selected: the left product reads a row, not a column.
+    /// let out = m.mul_sparse_vec_left(&SparseVec::basis(3, 1));
+    /// assert_eq!(out.to_dense(), vec![2.0, 0.0, 5.0]);
+    /// assert!(m.mul_sparse_vec(&SparseVec::basis(3, 1)).is_zero());
+    /// ```
     ///
     /// # Panics
     ///
@@ -271,6 +312,17 @@ impl DokMatrix {
     /// Adds the rank-1 outer product `scale · u vᵀ` in place.
     ///
     /// Cost is `O(nnz(u) · nnz(v))` list updates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use megh_linalg::{DokMatrix, SparseVec};
+    ///
+    /// let mut m = DokMatrix::zeros(2);
+    /// m.add_outer_product(&SparseVec::basis(2, 0), &SparseVec::basis(2, 1), 3.0);
+    /// assert_eq!(m.get(0, 1), 3.0);
+    /// assert_eq!(m.nnz(), 1);
+    /// ```
     ///
     /// # Panics
     ///

@@ -20,13 +20,14 @@
 //!
 //! # Rule classes
 //!
-//! | rule           | scope                                             | forbids |
-//! |----------------|---------------------------------------------------|---------|
-//! | `alloc`        | files marked `deny_alloc`                         | heap-constructor tokens (`Vec::new`, `vec!`, `Box::new`, `format!`, `collect`, `clone`, ...) |
-//! | `nondet`       | `crates/{core,sim,baselines}/src`                 | `HashMap`/`HashSet` (iteration order is seeded per-process), `Instant::now`, `SystemTime::now`, thread-local RNG |
-//! | `panic`        | `crates/{core,sim,linalg,baselines}/src`          | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` and non-total `partial_cmp` comparisons |
-//! | `missing_docs` | `crates/{core,linalg}/src`                        | `pub fn` without a preceding doc comment |
-//! | `unsafe_code`  | every scanned file                                | the `unsafe` keyword outside the annotated allowlist |
+//! | rule              | scope                                             | forbids |
+//! |-------------------|---------------------------------------------------|---------|
+//! | `alloc`           | files marked `deny_alloc`                         | heap-constructor tokens (`Vec::new`, `vec!`, `Box::new`, `format!`, `collect`, `clone`, ...) |
+//! | `nondet`          | `crates/{core,sim,baselines}/src`                 | `HashMap`/`HashSet` (iteration order is seeded per-process), `Instant::now`, `SystemTime::now`, thread-local RNG, free `thread::spawn` (scoped spawns with seed-ordered merges, as in `sim::sweep`, are the sanctioned pattern) |
+//! | `panic`           | `crates/{core,sim,linalg,baselines}/src`          | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` and non-total `partial_cmp` comparisons |
+//! | `missing_docs`    | `crates/{core,linalg}/src`                        | `pub fn` without a preceding doc comment |
+//! | `unsafe_code`     | every scanned file                                | the `unsafe` keyword outside the annotated allowlist |
+//! | `hot_path_marker` | the [`HOT_PATH_FILES`] list                       | *absence* of the `// lint: deny_alloc` marker — a decision-hot-path module cannot silently opt out of the alloc rule by dropping its marker |
 //!
 //! Test code is exempt from `alloc`, `nondet`, and `panic`: `#[cfg(test)]`
 //! modules are skipped by brace tracking, and `tests/` / `benches/` /
@@ -383,6 +384,28 @@ const NONDET_TOKENS: &[&str] = &[
     "SystemTime::now",
     "thread_rng",
     "from_entropy",
+    // Free-threaded spawn completes in scheduler order. Parallelism in
+    // the decision-path crates must use scoped spawns whose results are
+    // merged in a deterministic order (see `megh-sim::sweep`).
+    "thread::spawn",
+];
+
+/// Decision-hot-path modules that must carry the file-level
+/// `// lint: deny_alloc` marker (the `hot_path_marker` rule).
+///
+/// The `alloc` rule is opt-in per file; without this list a hot-path
+/// module could silently leave the no-alloc regime by dropping its
+/// marker. These are the Sherman–Morrison product kernels (DOK and the
+/// frozen CSR snapshot), the ε-greedy policy, and the agent's decide
+/// path.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/agent.rs",
+    "crates/core/src/lspi.rs",
+    "crates/core/src/policy.rs",
+    "crates/linalg/src/csr.rs",
+    "crates/linalg/src/dok.rs",
+    "crates/linalg/src/sherman.rs",
+    "crates/linalg/src/sparse_vec.rs",
 ];
 
 const PANIC_TOKENS: &[&str] = &[
@@ -416,6 +439,18 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
         })
         .collect();
     let deny_alloc = directives.iter().any(|d| d.deny_alloc);
+
+    let mut out = Vec::new();
+    let rel_normalized = rel_path.replace('\\', "/");
+    if HOT_PATH_FILES.contains(&rel_normalized.as_str()) && !deny_alloc {
+        out.push(Violation {
+            file: rel_path.to_string(),
+            line: 1,
+            rule: "hot_path_marker",
+            message: "decision-hot-path module must carry the `// lint: deny_alloc` marker"
+                .to_string(),
+        });
+    }
 
     // Mark lines inside `#[cfg(test)] mod ... { }` blocks via brace depth.
     let mut in_test = vec![false; lines.len()];
@@ -467,7 +502,6 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
         false
     };
 
-    let mut out = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
         if !line.has_code() || in_test[idx] {
             continue;

@@ -38,7 +38,7 @@ fn main() -> ExitCode {
 
     match lint::scan_workspace(&root) {
         Ok(violations) if violations.is_empty() => {
-            println!("lint: workspace clean ({} rules enforced)", 5);
+            println!("lint: workspace clean ({} rules enforced)", 6);
             ExitCode::SUCCESS
         }
         Ok(violations) => {

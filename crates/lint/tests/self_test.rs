@@ -171,6 +171,52 @@ fn lib_code() {
 }
 
 #[test]
+fn hot_path_marker_rule_requires_deny_alloc_on_listed_files() {
+    let unmarked = "fn kernel() {}\n";
+    for file in lint::HOT_PATH_FILES {
+        let found = scan_source(file, unmarked);
+        assert!(
+            rules(&found).contains(&"hot_path_marker"),
+            "{file} without a marker must be flagged: {found:?}"
+        );
+    }
+
+    // The marker satisfies the rule (and arms the alloc rule).
+    let marked = "// lint: deny_alloc\nfn kernel() {}\n";
+    let found = scan_source("crates/linalg/src/csr.rs", marked);
+    assert!(rules(&found).iter().all(|r| *r != "hot_path_marker"));
+
+    // Unlisted files may skip the marker freely.
+    let found = scan_source("crates/linalg/src/stats.rs", unmarked);
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn nondet_rule_flags_free_thread_spawn_but_not_scoped_spawn() {
+    let free = "\
+fn fan_out() {
+    let h = std::thread::spawn(|| 1);
+}
+";
+    let found = scan_source("crates/sim/src/seeded.rs", free);
+    assert!(rules(&found).contains(&"nondet"), "{found:?}");
+
+    // Scoped spawns merged in seed order are the sanctioned pattern.
+    let scoped = "\
+fn fan_out() {
+    std::thread::scope(|scope| {
+        scope.spawn(|| 1);
+    });
+}
+";
+    let found = scan_source("crates/sim/src/seeded.rs", scoped);
+    assert!(
+        rules(&found).iter().all(|r| *r != "nondet"),
+        "scope.spawn must stay legal: {found:?}"
+    );
+}
+
+#[test]
 fn workspace_at_head_is_clean() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let violations = scan_workspace(&root).expect("workspace must be readable");

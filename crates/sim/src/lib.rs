@@ -49,6 +49,7 @@ mod power;
 mod scheduler;
 mod slav;
 mod spec;
+pub mod sweep;
 mod view;
 
 pub use config::{DataCenterBuilder, DataCenterConfig, HostOutage, InitialPlacement, SimError};
@@ -61,4 +62,5 @@ pub use power::PowerModel;
 pub use scheduler::{MigrationRequest, NoOpScheduler, Scheduler, StepFeedback};
 pub use slav::SlavMetrics;
 pub use spec::{PmSpec, VmSpec};
+pub use sweep::{run_sweep, SeedRun, SweepReport};
 pub use view::{DataCenterView, PmId, VmId};

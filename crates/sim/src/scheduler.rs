@@ -78,6 +78,20 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
     }
 }
 
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn decide(&mut self, view: &DataCenterView) -> Vec<MigrationRequest> {
+        (**self).decide(view)
+    }
+
+    fn observe(&mut self, feedback: &StepFeedback) {
+        (**self).observe(feedback)
+    }
+}
+
 /// A scheduler that never migrates anything.
 ///
 /// Useful as an experimental floor (pure static placement) and in tests.
