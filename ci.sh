@@ -13,8 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo run -p lint (workspace invariant checker)"
 cargo run -q -p lint
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> lint-diff (fatal on new violations or property regressions)"
+cargo run -q -p lint -- --diff
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
 
 echo "==> cargo test --workspace"
 cargo test --workspace -q

@@ -2,40 +2,65 @@
 //!
 //! Runs the five MMT heuristics and Megh over the 7-day PlanetLab-like
 //! workload and prints total cost, #VM migrations, mean active hosts and
-//! mean per-step execution time — the paper's Table 2 rows.
+//! mean per-step execution time — the paper's Table 2 rows — followed by
+//! a "mean ± std over seeds" sweep table. The MMT baselines take no RNG
+//! seed, so they run once and replicate across the sweep (std 0); Megh
+//! is re-run per seed.
 //!
-//! Usage: `cargo run -p megh-bench --release --bin table2_planetlab [--full]`
+//! Usage: `cargo run -p megh-bench --release --bin table2_planetlab
+//! [--full] [--seeds N] [--threads T]`
 
 use megh_bench::{
-    ensure_results_dir, format_table, planetlab_experiment, run_all_mmt, run_megh, scale_from_args,
-    write_json,
+    ensure_results_dir, format_sweep_table, format_table, planetlab_experiment, replicate_sweep,
+    run_all_mmt, run_megh, scale_from_args, sweep_megh, usize_flag_from_args, write_json,
 };
 
 fn main() {
     let scale = scale_from_args();
-    let (config, trace) = planetlab_experiment(scale, 42);
+    let n_seeds = usize_flag_from_args("--seeds", 3);
+    let threads = usize_flag_from_args("--threads", 1);
+    let base_seed = 42u64;
+    let (config, trace) = planetlab_experiment(scale, base_seed);
     eprintln!(
-        "table2: {} hosts, {} VMs, {} steps ({scale:?})",
+        "table2: {} hosts, {} VMs, {} steps ({scale:?}), {n_seeds} seed(s)",
         config.pms.len(),
         config.vms.len(),
         trace.n_steps()
     );
+    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| base_seed + i).collect();
 
     let mut reports = Vec::new();
+    let mut sweeps = Vec::new();
     for outcome in run_all_mmt(&config, &trace).expect("valid setup") {
         eprintln!("  {} done", outcome.scheduler());
         reports.push(outcome.report());
+        sweeps.push(replicate_sweep(&outcome, &seeds));
     }
-    let megh = run_megh(&config, &trace, 42).expect("valid setup");
-    eprintln!("  {} done", megh.scheduler());
+    let megh_sweep = sweep_megh(&config, &trace, &seeds, threads).expect("valid setup");
+    eprintln!("  {} done ({} seeds)", megh_sweep.scheduler, n_seeds);
+    // The classic single-run column is the base seed — the sweep's
+    // seed-ordered first slot, so the table matches earlier revisions.
+    let megh = run_megh(&config, &trace, base_seed).expect("valid setup");
     reports.push(megh.report());
+    sweeps.push(megh_sweep);
 
     println!(
         "{}",
         format_table("Table 2 — Performance Evaluation for PlanetLab", &reports)
     );
+    println!(
+        "{}",
+        format_sweep_table(
+            &format!(
+                "Table 2 (sweep) — seeds {base_seed}..{}",
+                base_seed + n_seeds as u64 - 1
+            ),
+            &sweeps
+        )
+    );
 
     let dir = ensure_results_dir().expect("results dir");
     write_json(dir.join("table2_planetlab.json"), &reports).expect("write results");
-    eprintln!("wrote results/table2_planetlab.json");
+    write_json(dir.join("table2_planetlab_sweep.json"), &sweeps).expect("write sweep results");
+    eprintln!("wrote results/table2_planetlab.json and results/table2_planetlab_sweep.json");
 }

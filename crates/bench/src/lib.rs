@@ -30,8 +30,13 @@ mod setup;
 pub use diff::{diff_snapshots, render_diff, BenchResult, BenchSnapshot, DiffLine, Verdict};
 pub use plot::LineChart;
 pub use probe::MeghProbe;
-pub use report::{ensure_results_dir, format_table, write_csv, write_json, ResultsError};
-pub use runner::{run_all_mmt, run_madvm, run_megh, run_scheduler, SeriesBundle};
+pub use report::{
+    ensure_results_dir, format_sweep_table, format_table, write_csv, write_json, ResultsError,
+};
+pub use runner::{
+    replicate_sweep, run_all_mmt, run_madvm, run_megh, run_scheduler, sweep_megh, SeriesBundle,
+};
 pub use setup::{
-    google_experiment, madvm_subset_experiment, planetlab_experiment, scale_from_args, Scale,
+    google_experiment, madvm_subset_experiment, planetlab_experiment, scale_from_args,
+    usize_flag_from_args, Scale,
 };

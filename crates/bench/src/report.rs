@@ -5,7 +5,7 @@ use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use megh_sim::SummaryReport;
+use megh_sim::{SummaryReport, SweepReport};
 
 /// Error writing experiment results.
 #[derive(Debug)]
@@ -128,6 +128,75 @@ pub fn format_table(title: &str, reports: &[SummaryReport]) -> String {
     out
 }
 
+/// Formats sweep reports as a "mean ± std over seeds" table: one metric
+/// per row, one scheduler per column. Seed-invariant baselines show a
+/// std of 0.0 by construction.
+pub fn format_sweep_table(title: &str, reports: &[SweepReport]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let headers: Vec<String> = reports.iter().map(|r| r.scheduler.clone()).collect();
+    let rows: Vec<(&str, Vec<String>)> = vec![
+        (
+            "Total cost (USD)",
+            reports
+                .iter()
+                .map(|r| format!("{:.1} ± {:.1}", r.mean_total_cost_usd, r.std_total_cost_usd))
+                .collect(),
+        ),
+        (
+            "  min … max (USD)",
+            reports
+                .iter()
+                .map(|r| format!("{:.1} … {:.1}", r.min_total_cost_usd, r.max_total_cost_usd))
+                .collect(),
+        ),
+        (
+            "#VM migrations (mean)",
+            reports
+                .iter()
+                .map(|r| format!("{:.1}", r.mean_total_migrations))
+                .collect(),
+        ),
+        (
+            "#Active hosts (mean)",
+            reports
+                .iter()
+                .map(|r| format!("{:.1}", r.mean_active_hosts))
+                .collect(),
+        ),
+        (
+            "Seeds",
+            reports.iter().map(|r| r.seeds.to_string()).collect(),
+        ),
+    ];
+    let metric_width = rows.iter().map(|(m, _)| m.len()).max().unwrap_or(0).max(8);
+    let col_widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|(_, cells)| cells[i].len())
+                .max()
+                .unwrap_or(0)
+                .max(h.len())
+        })
+        .collect();
+    out.push_str(&format!("{:width$}", "", width = metric_width));
+    for (h, w) in headers.iter().zip(&col_widths) {
+        out.push_str(&format!("  {h:>w$}"));
+    }
+    out.push('\n');
+    for (metric, cells) in rows {
+        out.push_str(&format!("{metric:metric_width$}"));
+        for (cell, w) in cells.iter().zip(&col_widths) {
+            out.push_str(&format!("  {cell:>w$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Writes a CSV file with a header row and numeric rows.
 ///
 /// # Errors
@@ -190,6 +259,35 @@ mod tests {
         assert!(t.contains("Execution time"));
         assert!(t.contains("100.0"));
         assert!(t.contains("88.0"));
+    }
+
+    #[test]
+    fn sweep_table_shows_mean_and_spread() {
+        let run = |seed: u64, cost: f64| megh_sim::SeedRun {
+            seed,
+            steps: 10,
+            total_cost_usd: cost,
+            energy_cost_usd: cost * 0.8,
+            sla_cost_usd: cost * 0.2,
+            total_migrations: 5,
+            mean_active_hosts: 3.0,
+        };
+        let sweep = SweepReport {
+            scheduler: "Megh".to_string(),
+            seeds: 2,
+            runs: vec![run(1, 90.0), run(2, 110.0)],
+            mean_total_cost_usd: 100.0,
+            std_total_cost_usd: 10.0,
+            min_total_cost_usd: 90.0,
+            max_total_cost_usd: 110.0,
+            mean_total_migrations: 5.0,
+            mean_active_hosts: 3.0,
+        };
+        let t = format_sweep_table("Table X (sweep)", &[sweep]);
+        assert!(t.contains("Table X (sweep)"));
+        assert!(t.contains("100.0 ± 10.0"), "{t}");
+        assert!(t.contains("90.0 … 110.0"), "{t}");
+        assert!(t.contains("Seeds"), "{t}");
     }
 
     #[test]

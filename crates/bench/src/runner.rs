@@ -3,7 +3,8 @@
 use megh_baselines::{MadVmConfig, MadVmScheduler, MmtFlavor, MmtScheduler};
 use megh_core::{MeghAgent, MeghConfig};
 use megh_sim::{
-    DataCenterConfig, Scheduler, SimError, Simulation, SimulationOutcome, StepRecord, SummaryReport,
+    run_sweep, DataCenterConfig, Scheduler, SimError, Simulation, SimulationOutcome, StepRecord,
+    SummaryReport, SweepReport,
 };
 use megh_trace::WorkloadTrace;
 
@@ -51,6 +52,38 @@ pub fn run_megh(
     let mut megh_cfg = MeghConfig::paper_defaults(config.vms.len(), config.pms.len());
     megh_cfg.seed = seed;
     run_scheduler(config, trace, MeghAgent::new(megh_cfg))
+}
+
+/// Sweeps Megh (paper defaults) over `seeds`, fanned across `threads`
+/// worker threads — the "mean ± std over seeds" rows of Tables 2–3.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the configuration and trace are
+/// inconsistent.
+pub fn sweep_megh(
+    config: &DataCenterConfig,
+    trace: &WorkloadTrace,
+    seeds: &[u64],
+    threads: usize,
+) -> Result<SweepReport, SimError> {
+    let sim = Simulation::new(config.clone(), trace.clone())?;
+    let outcomes = run_sweep(&sim, seeds, threads, |seed| {
+        let mut megh_cfg = MeghConfig::paper_defaults(config.vms.len(), config.pms.len());
+        megh_cfg.seed = seed;
+        MeghAgent::new(megh_cfg)
+    });
+    Ok(SweepReport::from_outcomes(seeds, &outcomes))
+}
+
+/// Expands a seed-invariant scheduler's single outcome into a sweep
+/// row. The MMT and MadVM baselines take no RNG seed, so every per-seed
+/// run is identical by construction — running them once and replicating
+/// keeps the table's columns comparable (their std of 0 documents the
+/// invariance) without re-simulating the same trajectory N times.
+pub fn replicate_sweep(outcome: &SimulationOutcome, seeds: &[u64]) -> SweepReport {
+    let outcomes = vec![outcome.clone(); seeds.len()];
+    SweepReport::from_outcomes(seeds, &outcomes)
 }
 
 /// Runs MadVM with its defaults.
@@ -145,6 +178,32 @@ mod tests {
         assert_eq!(megh.scheduler(), "Megh");
         let madvm = run_madvm(&config, &trace).unwrap();
         assert_eq!(madvm.scheduler(), "MadVM");
+    }
+
+    #[test]
+    fn sweep_helpers_aggregate_and_replicate() {
+        let (config, trace) = tiny_setup();
+        let seeds = [7u64, 8, 9];
+        let sweep = sweep_megh(&config, &trace, &seeds, 2).unwrap();
+        assert_eq!(sweep.scheduler, "Megh");
+        assert_eq!(sweep.runs.len(), 3);
+        assert_eq!(
+            sweep.runs.iter().map(|r| r.seed).collect::<Vec<_>>(),
+            seeds,
+            "runs stay in seed order regardless of thread interleaving"
+        );
+
+        let madvm = run_madvm(&config, &trace).unwrap();
+        let replicated = replicate_sweep(&madvm, &seeds);
+        assert_eq!(replicated.runs.len(), 3);
+        assert_eq!(
+            replicated.std_total_cost_usd, 0.0,
+            "a seed-invariant scheduler replicates with zero spread"
+        );
+        assert_eq!(
+            replicated.mean_total_cost_usd,
+            madvm.report().total_cost_usd
+        );
     }
 
     #[test]

@@ -45,6 +45,19 @@ pub fn scale_from_args() -> Scale {
     }
 }
 
+/// Parses a `--flag N` pair from process arguments, falling back to
+/// `default` when absent or malformed. Shared by the table binaries
+/// for `--seeds` / `--threads`.
+pub fn usize_flag_from_args(flag: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
 /// The Table 2 / Figure 2 setup: the PlanetLab-like trace on the §6.2
 /// fleet, demand-packed initial placement (CloudSim's power-aware
 /// initial allocation).

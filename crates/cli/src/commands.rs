@@ -303,7 +303,23 @@ pub fn cmd_compare(args: &Args) -> Result<String, ArgsError> {
 /// Returns [`ArgsError`] for bad arguments or an unwritable output.
 pub fn cmd_sweep(args: &Args) -> Result<String, ArgsError> {
     let spec = SimSpec::from_args(args)?;
-    let scheduler = args.get_or("scheduler", "megh").to_string();
+    // `--schedulers a,b,c` sweeps several schedulers over the same seed
+    // set; `--scheduler x` remains the single-scheduler spelling.
+    let schedulers: Vec<String> = match args.get("schedulers") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+        None => vec![args.get_or("scheduler", "megh").to_string()],
+    };
+    if schedulers.is_empty() {
+        return Err(ArgsError::Invalid {
+            key: "schedulers".into(),
+            value: args.get_or("schedulers", "").to_string(),
+            expected: "comma-separated scheduler names",
+        });
+    }
     let n_seeds: usize = args.get_parsed_or("seeds", 8, "positive integer (>= 1)")?;
     let threads: usize = args.get_parsed_or("threads", 1, "positive integer (>= 1)")?;
     for (key, value) in [("seeds", n_seeds), ("threads", threads)] {
@@ -316,9 +332,11 @@ pub fn cmd_sweep(args: &Args) -> Result<String, ArgsError> {
         }
     }
     let (config, trace) = spec.build();
-    // Validate the scheduler name once, up front: the factory closure
+    // Validate every scheduler name once, up front: the factory closure
     // handed to the workers has no error channel.
-    build_named_scheduler(&scheduler, &config, spec.seed)?;
+    for name in &schedulers {
+        build_named_scheduler(name, &config, spec.seed)?;
+    }
     let sim = Simulation::new(config.clone(), trace).map_err(|e| ArgsError::Invalid {
         key: "setup".into(),
         value: e.to_string(),
@@ -327,41 +345,79 @@ pub fn cmd_sweep(args: &Args) -> Result<String, ArgsError> {
     let seeds: Vec<u64> = (0..n_seeds as u64)
         .map(|i| spec.seed.wrapping_add(i))
         .collect();
-    let started = std::time::Instant::now();
-    let outcomes = run_sweep(&sim, &seeds, threads, |seed| {
-        build_named_scheduler(&scheduler, &config, seed).expect("scheduler name validated above")
-    });
-    let wall = started.elapsed().as_secs_f64();
-    let report = SweepReport::from_outcomes(&seeds, &outcomes);
-    let mut out = format!(
-        "{}: {} seeds on {} thread(s) in {:.2} s\n",
-        report.scheduler, report.seeds, threads, wall
-    );
-    out.push_str(&format!(
-        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>10}\n",
-        "seed", "total USD", "energy USD", "SLA USD", "#migrations", "active"
-    ));
-    for run in &report.runs {
+
+    let mut out = String::new();
+    let mut reports = Vec::new();
+    for name in &schedulers {
+        let started = std::time::Instant::now();
+        let outcomes = run_sweep(&sim, &seeds, threads, |seed| {
+            build_named_scheduler(name, &config, seed).expect("scheduler name validated above")
+        });
+        let wall = started.elapsed().as_secs_f64();
+        let report = SweepReport::from_outcomes(&seeds, &outcomes);
         out.push_str(&format!(
-            "{:<8} {:>12.2} {:>12.2} {:>12.2} {:>12} {:>10.1}\n",
-            run.seed,
-            run.total_cost_usd,
-            run.energy_cost_usd,
-            run.sla_cost_usd,
-            run.total_migrations,
-            run.mean_active_hosts
+            "{}: {} seeds on {} thread(s) in {:.2} s\n",
+            report.scheduler, report.seeds, threads, wall
         ));
+        out.push_str(&format!(
+            "{:<8} {:>12} {:>12} {:>12} {:>12} {:>10}\n",
+            "seed", "total USD", "energy USD", "SLA USD", "#migrations", "active"
+        ));
+        for run in &report.runs {
+            out.push_str(&format!(
+                "{:<8} {:>12.2} {:>12.2} {:>12.2} {:>12} {:>10.1}\n",
+                run.seed,
+                run.total_cost_usd,
+                run.energy_cost_usd,
+                run.sla_cost_usd,
+                run.total_migrations,
+                run.mean_active_hosts
+            ));
+        }
+        out.push_str(&format!(
+            "total cost {:.2} ± {:.2} USD (min {:.2}, max {:.2}), mean migrations {:.1}\n",
+            report.mean_total_cost_usd,
+            report.std_total_cost_usd,
+            report.min_total_cost_usd,
+            report.max_total_cost_usd,
+            report.mean_total_migrations
+        ));
+        if schedulers.len() > 1 {
+            out.push('\n');
+        }
+        reports.push(report);
     }
-    out.push_str(&format!(
-        "total cost {:.2} ± {:.2} USD (min {:.2}, max {:.2}), mean migrations {:.1}\n",
-        report.mean_total_cost_usd,
-        report.std_total_cost_usd,
-        report.min_total_cost_usd,
-        report.max_total_cost_usd,
-        report.mean_total_migrations
-    ));
+
+    if reports.len() > 1 {
+        // Comparative footer, cheapest mean first. total_cmp: means are
+        // finite sums of finite per-stage costs.
+        let mut ranked: Vec<&SweepReport> = reports.iter().collect();
+        ranked.sort_by(|a, b| {
+            a.mean_total_cost_usd
+                .total_cmp(&b.mean_total_cost_usd)
+                .then(a.scheduler.cmp(&b.scheduler))
+        });
+        out.push_str("ranking by mean total cost:\n");
+        for (place, report) in ranked.iter().enumerate() {
+            out.push_str(&format!(
+                "  {}. {:<10} {:>12.2} ± {:.2} USD\n",
+                place + 1,
+                report.scheduler,
+                report.mean_total_cost_usd,
+                report.std_total_cost_usd
+            ));
+        }
+    }
+
     if let Some(path) = args.get("out") {
-        let json = serde_json::to_string_pretty(&report).map_err(|_| ArgsError::Invalid {
+        // Single scheduler keeps the historical top-level-object shape;
+        // multi-scheduler sweeps write an array in --schedulers order.
+        let json = if reports.len() == 1 {
+            serde_json::to_string_pretty(&reports[0])
+        } else {
+            serde_json::to_string_pretty(&reports)
+        };
+        let json = json.map_err(|_| ArgsError::Invalid {
             key: "out".into(),
             value: path.to_string(),
             expected: "writable path",
@@ -449,7 +505,7 @@ USAGE:
 COMMANDS:
   simulate     run one scheduler over a synthetic workload
   compare      run every scheduler over the same workload
-  sweep        run one scheduler over many seeds in parallel
+  sweep        run scheduler(s) over many seeds in parallel
   trace-gen    write a synthetic workload trace to CSV
   trace-stats  summarize a trace CSV
   help         show this message
@@ -470,10 +526,13 @@ simulate:
 
 sweep:
   --scheduler megh|megh-p<N>|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|noop [megh]
+  --schedulers a,b,c            sweep several schedulers over the same seeds
+                                and rank them by mean total cost
   --seeds N                     seeds --seed..--seed+N-1   [8]
   --threads T                   worker threads             [1]
   --out FILE                    write the aggregated sweep report as JSON
-                                (deterministic: identical for any --threads)
+                                (object for one scheduler, array for several;
+                                deterministic: identical for any --threads)
 
 trace-gen:
   --out FILE                    destination CSV (required)
@@ -664,12 +723,57 @@ mod tests {
     }
 
     #[test]
+    fn sweep_determinism_multi_scheduler_out_is_stable_and_ranked() {
+        // CI runs this by name (ci.sh filters on `sweep_determinism`):
+        // the multi-scheduler --out array must be byte-identical for any
+        // --threads, ordered by --schedulers, with a ranking footer.
+        let dir = std::env::temp_dir().join(format!("megh-cli-msweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bytes = Vec::new();
+        let mut text = Vec::new();
+        for threads in [1usize, 4] {
+            let path = dir.join(format!("msweep-t{threads}.json"));
+            let line = format!(
+                "sweep --hosts 3 --vms 4 --days 1 --seeds 3 --schedulers noop,megh,thr-mmt \
+                 --threads {threads} --out {}",
+                path.display()
+            );
+            text.push(dispatch(&parse(&line)).unwrap());
+            bytes.push(std::fs::read(&path).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(
+            bytes[0], bytes[1],
+            "multi-scheduler sweep report bytes must not depend on the thread count"
+        );
+        let reports: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&bytes[0]).unwrap()).unwrap();
+        let reports = reports.as_array().expect("array of per-scheduler reports");
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0]["scheduler"], "NoOp");
+        assert_eq!(reports[1]["scheduler"], "Megh");
+        assert_eq!(reports[2]["scheduler"], "THR-MMT");
+        for report in reports {
+            assert_eq!(report["runs"].as_array().map(Vec::len), Some(3));
+        }
+        assert!(
+            text[0].contains("ranking by mean total cost:"),
+            "{}",
+            text[0]
+        );
+        assert!(text[0].contains("1. "), "{}", text[0]);
+    }
+
+    #[test]
     fn sweep_rejects_bad_scheduler_and_zero_counts() {
         assert!(dispatch(&parse("sweep --hosts 2 --vms 2 --scheduler bogus")).is_err());
         assert!(dispatch(&parse("sweep --hosts 2 --vms 2 --seeds 0")).is_err());
         assert!(dispatch(&parse("sweep --hosts 2 --vms 2 --threads 0")).is_err());
         // `all` is a simulate-only pseudo-name: a sweep is one scheduler.
         assert!(dispatch(&parse("sweep --hosts 2 --vms 2 --scheduler all")).is_err());
+        // A list with no names, or any bad name in the list, is rejected.
+        assert!(dispatch(&parse("sweep --hosts 2 --vms 2 --schedulers ,,")).is_err());
+        assert!(dispatch(&parse("sweep --hosts 2 --vms 2 --schedulers megh,bogus")).is_err());
     }
 
     #[test]

@@ -128,6 +128,8 @@ impl SparseLspi {
     /// Builds the dense shadow operator `T₀ = δ·I` when the dimension
     /// is small enough to afford `O(dim²)` verification state.
     #[cfg(feature = "check-invariants")]
+    // Builds O(dim²) verification state, never compiled into release
+    // decision paths. lint: allow(transitive_alloc)
     fn shadow_for(dim: usize, delta: f64) -> Option<DenseMatrix> {
         if dim > VERIFY_MAX_DIM {
             return None;
@@ -355,9 +357,8 @@ impl SparseLspi {
             entries.is_ok(),
             "CSR snapshot diverges from DOK after freeze: {entries:?}"
         );
-        // Verification is an explicit cold path. lint: allow(alloc)
-        let mut dok_out = SparseVec::zeros(self.dim); // lint: allow(alloc)
-        let mut csr_out = SparseVec::zeros(self.dim); // lint: allow(alloc)
+        let mut dok_out = SparseVec::zeros(self.dim);
+        let mut csr_out = SparseVec::zeros(self.dim);
         for a in 0..self.dim {
             let e = SparseVec::basis(self.dim, a);
             self.delta_b.mul_sparse_vec_into(&e, &mut dok_out);
@@ -403,6 +404,8 @@ impl SparseLspi {
     /// inverse contract `‖B·T − I‖∞ < ε`, and agreement between the
     /// cached minimum-`θ` entry and a full scan of `θ`'s support.
     #[cfg(feature = "check-invariants")]
+    // Dense-shadow verification is debug-build-only cold code.
+    // lint: allow(transitive_alloc)
     fn verify_update(&mut self, a_prev: usize, a_next: usize) {
         if let Some(t) = self.shadow_t.as_mut() {
             // T ← T + u·vᵀ with u = e_{a_prev}, v = e_{a_prev} − γ·e_{a_next}.

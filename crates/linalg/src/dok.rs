@@ -338,6 +338,8 @@ impl DokMatrix {
     }
 
     /// Materialises the matrix into a dense row-major buffer.
+    // Materialisation is a diagnostic/verification API, not a decision
+    // path. lint: allow(transitive_alloc)
     pub fn to_dense(&self) -> crate::DenseMatrix {
         let mut d = crate::DenseMatrix::zeros(self.order, self.order);
         for ((r, c), v) in self.iter() {

@@ -1,0 +1,451 @@
+//! Call-graph construction and fixed-point property propagation.
+//!
+//! Three per-function properties form the lattice (each a 2-point
+//! chain, product lattice overall): **may-allocate**, **may-panic**,
+//! **nondeterminism taint**. A function's *direct* facts come from the
+//! token scan (unallowed forbidden tokens inside its body); its
+//! *transitive* value is the least fixed point of
+//!
+//! ```text
+//! eff(f) = facts(f) ∪ ⋃ { eff(g) | f calls g, g not exempted }
+//! ```
+//!
+//! over the intra-workspace call graph. Name resolution is *typed-lite*:
+//! receivers are resolved through parameter types, struct field tables,
+//! and local-binding inference, falling back to a global name match
+//! when the receiver type is unknown — so ambiguity adds edges
+//! (over-approximation) rather than hiding them. Calls whose receiver
+//! type is known to be external (`Vec`, `Instant`, ...) add no edges;
+//! the forbidden std surface is what the token rules watch directly.
+//!
+//! A function carrying `// lint: allow(transitive_alloc)` (or
+//! `transitive_panic` / `transitive_nondet`) on its signature line — or
+//! alone on the line directly above — vouches for its entire call
+//! subtree: the property neither fires on it nor propagates through it
+//! to callers. The dead-allow pass verifies such a vouching directive
+//! against an exemption-free fixpoint, so an escape that no longer
+//! covers anything real is itself reported.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{FileScan, Violation, CLASS_WORDS, TRANSITIVE_RULES};
+
+/// How a receiver/qualifier resolved.
+enum TypeRes {
+    /// A workspace-defined type.
+    Ws(String),
+    /// A known-external type (std or vendored): no workspace edges.
+    External,
+    /// Could not resolve: over-approximate by callee name.
+    Unknown,
+}
+
+/// One function node in the global graph.
+pub(crate) struct GraphFn {
+    /// Index of the owning file in the `FileScan` slice.
+    pub file: usize,
+    /// Index into that file's `parsed.fns`.
+    pub item: usize,
+    /// Display name: `Type::name` or `name`.
+    pub qname: String,
+    /// Direct facts per class (from the token scan).
+    pub facts: [bool; 3],
+    /// First offending site per class: (1-based line, token).
+    pub fact_site: [Option<(usize, &'static str)>; 3],
+    /// Signature-line `allow(transitive_*)` exemptions.
+    pub exempt: [bool; 3],
+    /// Resolved callee node indices (sorted, deduplicated).
+    pub edges: Vec<usize>,
+    /// Transitive properties (exemption-aware fixpoint).
+    pub eff: [bool; 3],
+}
+
+/// Everything the propagation pass hands back to the driver.
+pub(crate) struct GraphOutcome {
+    /// Transitive-rule violations (one per function × class).
+    pub violations: Vec<Violation>,
+    /// All graph nodes, in deterministic (file, item) order.
+    pub fns: Vec<GraphFn>,
+    /// Total resolved call edges.
+    pub edge_count: usize,
+}
+
+/// Builds the graph over all scanned files, runs both fixpoints, emits
+/// transitive violations, and credits `allow(transitive_*)` directives
+/// (via [`FileScan::credit`]) that still cover a real propagation.
+pub(crate) fn analyze(files: &mut [FileScan]) -> GraphOutcome {
+    let mut fns: Vec<GraphFn> = Vec::new();
+    // (file idx, class) exemption sites awaiting liveness credit.
+    let mut exempt_sites: Vec<(usize, usize, usize)> = Vec::new(); // (gfn, class, line_idx)
+
+    for (fi, file) in files.iter().enumerate() {
+        for (ii, item) in file.parsed.fns.iter().enumerate() {
+            if item.is_test {
+                continue;
+            }
+            let qname = match &item.self_type {
+                Some(t) => format!("{t}::{}", item.name),
+                None => item.name.clone(),
+            };
+            let mut node = GraphFn {
+                file: fi,
+                item: ii,
+                qname,
+                facts: [false; 3],
+                fact_site: [None; 3],
+                exempt: [false; 3],
+                edges: Vec::new(),
+                eff: [false; 3],
+            };
+            for (class, rule) in TRANSITIVE_RULES.iter().enumerate() {
+                if let Some(site) = file.allow_site(item.sig_line, rule) {
+                    node.exempt[class] = true;
+                    exempt_sites.push((fns.len(), class, site));
+                }
+            }
+            fns.push(node);
+        }
+    }
+
+    // Attribute line facts to the innermost enclosing non-test function.
+    let mut by_file: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (gi, g) in fns.iter().enumerate() {
+        by_file.entry(g.file).or_default().push(gi);
+    }
+    for (fi, file) in files.iter().enumerate() {
+        let Some(candidates) = by_file.get(&fi) else {
+            continue;
+        };
+        for (line, classes) in file.line_facts.iter().enumerate() {
+            if classes.iter().all(Option::is_none) {
+                continue;
+            }
+            let owner = candidates
+                .iter()
+                .copied()
+                .filter(|&gi| {
+                    let it = &file.parsed.fns[fns[gi].item];
+                    it.sig_line <= line && line <= it.end_line
+                })
+                .max_by_key(|&gi| {
+                    let it = &file.parsed.fns[fns[gi].item];
+                    (it.depth, it.sig_line)
+                });
+            if let Some(gi) = owner {
+                for (class, token) in classes.iter().enumerate() {
+                    if let Some(token) = token {
+                        let g = &mut fns[gi];
+                        g.facts[class] = true;
+                        if g.fact_site[class].is_none() {
+                            g.fact_site[class] = Some((line + 1, token));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Global resolution indexes.
+    let mut types: BTreeSet<&str> = BTreeSet::new();
+    let mut struct_fields: BTreeMap<&str, &BTreeMap<String, String>> = BTreeMap::new();
+    for file in files.iter() {
+        for t in &file.parsed.types {
+            types.insert(t);
+        }
+        for (s, fields) in &file.parsed.struct_fields {
+            types.insert(s);
+            struct_fields.insert(s, fields);
+        }
+    }
+    let mut methods: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (gi, g) in fns.iter().enumerate() {
+        let item = &files[g.file].parsed.fns[g.item];
+        by_name.entry(&item.name).or_default().push(gi);
+        match &item.self_type {
+            Some(t) => methods
+                .entry((t.as_str(), item.name.as_str()))
+                .or_default()
+                .push(gi),
+            None => free_by_name.entry(&item.name).or_default().push(gi),
+        }
+    }
+
+    // Resolve the receiver chain of `x.y.method(..)` to a type.
+    let resolve_chain = |file: &FileScan, item_idx: usize, chain: &[String]| -> TypeRes {
+        let item = &file.parsed.fns[item_idx];
+        let classify = |ty: &str| -> TypeRes {
+            if types.contains(ty) {
+                TypeRes::Ws(ty.to_string())
+            } else {
+                TypeRes::External
+            }
+        };
+        let walk_fields = |mut ty: String, fields: &[String]| -> TypeRes {
+            for field in fields {
+                if !types.contains(ty.as_str()) {
+                    return TypeRes::External;
+                }
+                match struct_fields.get(ty.as_str()).and_then(|m| m.get(field)) {
+                    Some(next) => ty = next.clone(),
+                    None => return TypeRes::Unknown,
+                }
+            }
+            classify(&ty)
+        };
+        let (head, rest) = match chain.split_first() {
+            Some(split) => split,
+            None => return TypeRes::Unknown,
+        };
+        if head == "self" {
+            return match &item.self_type {
+                Some(t) => walk_fields(t.clone(), rest),
+                None => TypeRes::Unknown,
+            };
+        }
+        if let Some(local) = item.locals.get(head) {
+            return match local {
+                crate::items::LocalTy::Known(t) => walk_fields(t.clone(), rest),
+                crate::items::LocalTy::SelfChain(fields) => match &item.self_type {
+                    Some(t) => {
+                        let mut full = fields.clone();
+                        full.extend_from_slice(rest);
+                        walk_fields(t.clone(), &full)
+                    }
+                    None => TypeRes::Unknown,
+                },
+                crate::items::LocalTy::Unknown => TypeRes::Unknown,
+            };
+        }
+        if let Some(param) = item.params.get(head) {
+            return match param {
+                Some(t) => walk_fields(t.clone(), rest),
+                None => TypeRes::Unknown,
+            };
+        }
+        TypeRes::Unknown
+    };
+
+    // Edge resolution.
+    let mut edge_count = 0usize;
+    for (gi, g) in fns.iter_mut().enumerate() {
+        let (fi, ii) = (g.file, g.item);
+        let file = &files[fi];
+        let item = &file.parsed.fns[ii];
+        let mut targets: BTreeSet<usize> = BTreeSet::new();
+        for call in &item.calls {
+            let name = call.callee.as_str();
+            let with_type = |t: &str, targets: &mut BTreeSet<usize>| {
+                match methods.get(&(t, name)) {
+                    Some(ids) => targets.extend(ids.iter().copied()),
+                    // Derived/blanket methods have no item; fall back to
+                    // the global name match (usually empty for std
+                    // trait names like `clone`).
+                    None => {
+                        if let Some(ids) = by_name.get(name) {
+                            targets.extend(ids.iter().copied());
+                        }
+                    }
+                }
+            };
+            match &call.recv {
+                crate::items::Recv::Free => {
+                    if let Some(ids) = free_by_name.get(name) {
+                        targets.extend(ids.iter().copied());
+                    }
+                }
+                crate::items::Recv::Chain(chain) => match resolve_chain(file, ii, chain) {
+                    TypeRes::Ws(t) => with_type(&t, &mut targets),
+                    TypeRes::External => {}
+                    TypeRes::Unknown => {
+                        if let Some(ids) = by_name.get(name) {
+                            targets.extend(ids.iter().copied());
+                        }
+                    }
+                },
+                crate::items::Recv::Unknown => {
+                    if let Some(ids) = by_name.get(name) {
+                        targets.extend(ids.iter().copied());
+                    }
+                }
+                crate::items::Recv::Path(segs) => match segs.last().map(String::as_str) {
+                    None => {
+                        if let Some(ids) = free_by_name.get(name) {
+                            targets.extend(ids.iter().copied());
+                        }
+                    }
+                    Some("Self") => {
+                        if let Some(t) = &item.self_type {
+                            with_type(&t.clone(), &mut targets);
+                        }
+                    }
+                    Some(q) if types.contains(q) => with_type(q, &mut targets),
+                    Some(q) if q.chars().next().is_some_and(char::is_uppercase) => {
+                        // External type (Vec::new, Instant::now, ...).
+                    }
+                    Some(_module) => {
+                        // Module/crate path: a free function somewhere.
+                        if let Some(ids) = free_by_name.get(name) {
+                            targets.extend(ids.iter().copied());
+                        }
+                    }
+                },
+            }
+        }
+        targets.remove(&gi); // self-recursion adds nothing to the closure
+        edge_count += targets.len();
+        g.edges = targets.into_iter().collect();
+    }
+
+    // Exemption-aware fixpoint (what violations see) and the raw
+    // exemption-free fixpoint (what judges exemption liveness).
+    let eff = fixpoint(&fns, true);
+    let raw = fixpoint(&fns, false);
+    for (gi, g) in fns.iter_mut().enumerate() {
+        g.eff = eff[gi];
+    }
+
+    // Credit transitive allows that still cover a real propagation:
+    // without the exemption, the function would reach the property
+    // through at least one call edge.
+    for &(gi, class, line_idx) in &exempt_sites {
+        let covers = fns[gi]
+            .edges
+            .iter()
+            .any(|&target| raw[target][class] || fns[target].facts[class]);
+        if covers || fns[gi].facts[class] {
+            let fi = fns[gi].file;
+            files[fi].credit(line_idx, TRANSITIVE_RULES[class]);
+        }
+    }
+
+    // Transitive violations: only where the *direct* scan was clean —
+    // direct facts already fired the token rule in these scopes.
+    let mut violations = Vec::new();
+    for g in fns.iter() {
+        let file = &files[g.file];
+        if !file.deny_alloc {
+            continue;
+        }
+        let item = &file.parsed.fns[g.item];
+        let applicable = [
+            true,                     // alloc: the file is deny_alloc
+            file.scope.no_panic,      // panic
+            file.scope.deterministic, // nondet
+        ];
+        for class in 0..3 {
+            if !applicable[class] || g.exempt[class] || g.facts[class] {
+                continue;
+            }
+            let culprit = g
+                .edges
+                .iter()
+                .copied()
+                .find(|&target| eff[target][class] && !fns[target].exempt[class]);
+            if let Some(culprit) = culprit {
+                let (path, site) = witness(&fns, &eff, culprit, class);
+                let via: Vec<String> = path
+                    .iter()
+                    .map(|&p| format!("`{}`", fns[p].qname))
+                    .collect();
+                let site_txt = match site {
+                    Some((target, line, token)) => format!(
+                        " (`{}` at {}:{})",
+                        token.trim_matches(&['.', '(', ':', '<'][..]),
+                        files[fns[target].file].rel_path,
+                        line
+                    ),
+                    None => String::new(),
+                };
+                violations.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: item.sig_line + 1,
+                    rule: TRANSITIVE_RULES[class],
+                    message: format!(
+                        "`{}` {} via {}{}",
+                        g.qname,
+                        CLASS_WORDS[class],
+                        via.join(" -> "),
+                        site_txt
+                    ),
+                });
+            }
+        }
+    }
+
+    GraphOutcome {
+        violations,
+        fns,
+        edge_count,
+    }
+}
+
+/// Least fixed point of the propagation equations. `use_exemptions`
+/// selects whether `allow(transitive_*)` stops flow through a node.
+fn fixpoint(fns: &[GraphFn], use_exemptions: bool) -> Vec<[bool; 3]> {
+    let mut eff: Vec<[bool; 3]> = fns.iter().map(|g| g.facts).collect();
+    loop {
+        let mut changed = false;
+        for gi in 0..fns.len() {
+            let mut row = eff[gi];
+            for (class, slot) in row.iter_mut().enumerate() {
+                if *slot {
+                    continue;
+                }
+                let gained = fns[gi].edges.iter().any(|&target| {
+                    eff[target][class] && !(use_exemptions && fns[target].exempt[class])
+                });
+                if gained {
+                    *slot = true;
+                    changed = true;
+                }
+            }
+            eff[gi] = row;
+        }
+        if !changed {
+            return eff;
+        }
+    }
+}
+
+/// Shortest call path (BFS, deterministic order) from `start` to a
+/// function with a direct fact of `class`; returns the node path and
+/// the fact site.
+fn witness(
+    fns: &[GraphFn],
+    eff: &[[bool; 3]],
+    start: usize,
+    class: usize,
+) -> (Vec<usize>, Option<(usize, usize, &'static str)>) {
+    let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([start]);
+    let mut seen: BTreeSet<usize> = BTreeSet::from([start]);
+    let mut found = None;
+    while let Some(node) = queue.pop_front() {
+        if fns[node].facts[class] {
+            found = Some(node);
+            break;
+        }
+        for &next in &fns[node].edges {
+            if eff[next][class] && !fns[next].exempt[class] && seen.insert(next) {
+                prev.insert(next, node);
+                queue.push_back(next);
+            }
+        }
+    }
+    match found {
+        None => (vec![start], None),
+        Some(end) => {
+            let mut path = vec![end];
+            let mut cur = end;
+            while let Some(&p) = prev.get(&cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            let site = fns[end].fact_site[class].map(|(line, token)| (end, line, token));
+            (path, site)
+        }
+    }
+}

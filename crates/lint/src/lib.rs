@@ -2,48 +2,116 @@
 //!
 //! The Megh decision loop earns its headline properties (allocation-free,
 //! deterministic, panic-free, sub-microsecond) by convention; this crate makes
-//! the conventions machine-enforced. It is deliberately dependency-free: a
-//! hand-rolled line lexer strips string literals and comments, then a small
-//! rule table matches forbidden tokens per scope. It is *lexical*, not
-//! semantic — the rules are tuned so that false positives are rare and every
-//! deliberate exception is visible in the diff as an annotation.
+//! the conventions machine-enforced. The checker has two layers:
+//!
+//! 1. **Token rules** (v1): a hand-rolled line lexer strips string literals
+//!    and comments, then a rule table matches forbidden tokens per scope.
+//! 2. **Call-graph rules** (v2): a recursive-descent item parser over the
+//!    same lexer extracts `fn` items, `impl` blocks, struct fields, and
+//!    intra-workspace call edges; a fixed-point pass then propagates three
+//!    transitive properties — *may-allocate*, *may-panic*, *nondeterminism
+//!    taint* — so a `deny_alloc` function calling an allocating helper in an
+//!    *unmarked* file is caught across the crate boundary. Receiver
+//!    resolution is typed-lite (parameter types, struct field tables, local
+//!    inference) and over-approximates by name when the type is unknown.
+//!
+//! The analyzer also emits the committed `LINT_REPORT.json` artifact
+//! (per-rule counts, per-function property table, allow inventory) and a
+//! `lint-diff` mode against it — see [`report`] and the `lint` binary.
 //!
 //! # Annotation grammar
 //!
 //! Rules are steered by `// lint:` comment directives:
 //!
 //! * `// lint: deny_alloc` — file-level marker: this module participates in
-//!   the no-alloc rule (heap-constructor tokens become violations).
+//!   the no-alloc rule (heap-constructor tokens become violations) and its
+//!   functions join the transitive property table.
 //! * `// lint: allow(<name>, ...)` — escape hatch. Placed on the offending
-//!   line, or alone on the line directly above it. Names: `alloc`, `nondet`,
-//!   `panic`, `missing_docs`, `unsafe_code`.
+//!   line, or alone on the line directly above it. Token-rule names:
+//!   `alloc`, `nondet`, `panic`, `missing_docs`, `unsafe_code`. Graph-rule
+//!   names (placed on the `fn` signature line, or alone directly above it):
+//!   `transitive_alloc`, `transitive_panic`, `transitive_nondet` — these
+//!   vouch for the function's whole call subtree and stop propagation
+//!   through it.
+//!
+//! Every allow directive is tracked: one that no longer suppresses a
+//! violation or a propagated fact is itself reported (`dead_allow`), so
+//! escape hatches cannot quietly outlive the code they excused.
 //!
 //! # Rule classes
 //!
-//! | rule              | scope                                             | forbids |
-//! |-------------------|---------------------------------------------------|---------|
-//! | `alloc`           | files marked `deny_alloc`                         | heap-constructor tokens (`Vec::new`, `vec!`, `Box::new`, `format!`, `collect`, `clone`, ...) |
-//! | `nondet`          | `crates/{core,sim,baselines}/src`                 | `HashMap`/`HashSet` (iteration order is seeded per-process), `Instant::now`, `SystemTime::now`, thread-local RNG, free `thread::spawn` (scoped spawns with seed-ordered merges, as in `sim::sweep`, are the sanctioned pattern) |
-//! | `panic`           | `crates/{core,sim,linalg,baselines}/src`          | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` and non-total `partial_cmp` comparisons |
-//! | `missing_docs`    | `crates/{core,linalg}/src`                        | `pub fn` without a preceding doc comment |
-//! | `unsafe_code`     | every scanned file                                | the `unsafe` keyword outside the annotated allowlist |
-//! | `hot_path_marker` | the [`HOT_PATH_FILES`] list                       | *absence* of the `// lint: deny_alloc` marker — a decision-hot-path module cannot silently opt out of the alloc rule by dropping its marker |
+//! | rule                 | scope                                    | forbids |
+//! |----------------------|------------------------------------------|---------|
+//! | `alloc`              | files marked `deny_alloc`                | heap-constructor tokens (`Vec::new`, `vec!`, `Box::new`, `format!`, `collect`, `clone`, ...) |
+//! | `nondet`             | `crates/{core,sim,baselines}/src`        | `HashMap`/`HashSet` (iteration order is seeded per-process), `Instant::now`, `SystemTime::now`, thread-local RNG, free `thread::spawn` (scoped spawns with seed-ordered merges, as in `sim::sweep`, are the sanctioned pattern) |
+//! | `panic`              | `crates/{core,sim,linalg,baselines}/src` | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` and non-total `partial_cmp` comparisons |
+//! | `missing_docs`       | `crates/{core,linalg}/src`               | `pub fn` without a preceding doc comment |
+//! | `unsafe_code`        | every scanned file                       | the `unsafe` keyword outside the annotated allowlist |
+//! | `hot_path_marker`    | the [`HOT_PATH_FILES`] list              | *absence* of the `// lint: deny_alloc` marker — a decision-hot-path module cannot silently opt out of the alloc rule by dropping its marker |
+//! | `transitive_alloc`   | functions in `deny_alloc` files          | reaching an (unallowed) allocating function through any call chain |
+//! | `transitive_panic`   | `deny_alloc` files in the `panic` scope  | reaching a potentially panicking function |
+//! | `transitive_nondet`  | `deny_alloc` files in the `nondet` scope | reaching a nondeterministic function |
+//! | `dead_allow`         | every scanned file                       | an `allow(...)` directive that suppresses nothing |
 //!
-//! Test code is exempt from `alloc`, `nondet`, and `panic`: `#[cfg(test)]`
-//! modules are skipped by brace tracking, and `tests/` / `benches/` /
-//! `src/bin` directories are outside the library scopes.
+//! Test code is exempt from all of it: `#[cfg(test)]` modules are skipped by
+//! brace tracking (their functions also stay out of the call graph), and
+//! `tests/` / `benches/` / `src/bin` directories are outside the library
+//! scopes.
+//!
+//! An *allowed* token suppresses the propagated fact too: the annotation
+//! means a human vetted that line, so the vetted construct does not taint
+//! callers. The transitive rules therefore catch exactly the silent case —
+//! forbidden constructs in files where no rule (and no reviewer) was
+//! watching.
 //!
 //! Known limitation: indexing (`a[i]`) is not lexically distinguishable from
 //! type syntax and is left to `debug_assert!` discipline and the
-//! `check-invariants` feature rather than this pass (see DESIGN §10).
+//! `check-invariants` feature rather than this pass (see DESIGN §10, §12).
 
 // No unsafe code anywhere in this crate (also enforced by `cargo run -p lint`).
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
+
+mod graph;
+mod items;
+pub mod report;
+
+pub use report::{
+    diff_reports, render_diff, AllowEntry, FnEntry, LintReport, ReportDiff, ReportStats, RuleCount,
+    REPORT_FILE, SCHEMA_VERSION,
+};
+
+/// Every rule class, in the fixed order the report counts them.
+pub const RULES: &[&str] = &[
+    "alloc",
+    "nondet",
+    "panic",
+    "missing_docs",
+    "unsafe_code",
+    "hot_path_marker",
+    "transitive_alloc",
+    "transitive_panic",
+    "transitive_nondet",
+    "dead_allow",
+];
+
+/// Rule (and allow) names of the transitive variants, class-aligned
+/// with the analyzer's property arrays (0 = alloc, 1 = panic,
+/// 2 = nondet).
+pub(crate) const TRANSITIVE_RULES: [&str; 3] =
+    ["transitive_alloc", "transitive_panic", "transitive_nondet"];
+
+/// Verb phrases for transitive-violation messages, class-aligned.
+pub(crate) const CLASS_WORDS: [&str; 3] = [
+    "may transitively allocate",
+    "may transitively panic",
+    "is transitively nondeterministic",
+];
 
 /// One rule breach at a specific file and line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,14 +139,14 @@ impl fmt::Display for Violation {
 /// A source line after lexing: executable code with literals blanked, plus
 /// the comment text (where `lint:` directives live).
 #[derive(Debug, Default, Clone)]
-struct LexedLine {
+pub(crate) struct LexedLine {
     /// Code with string/char-literal contents replaced by spaces and all
     /// comments removed.
-    code: String,
+    pub(crate) code: String,
     /// Concatenated comment text for this line (no `//` / `/*` markers).
-    comment: String,
+    pub(crate) comment: String,
     /// True when the line's comment is a doc comment (`///`, `//!`, `/**`).
-    is_doc: bool,
+    pub(crate) is_doc: bool,
 }
 
 impl LexedLine {
@@ -99,7 +167,7 @@ enum Mode {
 
 /// Split `source` into [`LexedLine`]s, blanking string/char literals and
 /// routing comments into the `comment` field.
-fn lex(source: &str) -> Vec<LexedLine> {
+pub(crate) fn lex(source: &str) -> Vec<LexedLine> {
     let mut lines: Vec<LexedLine> = Vec::new();
     let mut cur = LexedLine::default();
     let mut mode = Mode::Normal;
@@ -271,9 +339,15 @@ fn lex(source: &str) -> Vec<LexedLine> {
     lines
 }
 
+/// Number of physical lines the lexer produces for `source` — exposed
+/// for property tests (the lexer itself is crate-private).
+pub fn lexed_line_count(source: &str) -> usize {
+    lex(source).len()
+}
+
 /// Directives parsed from one line's comments.
 #[derive(Debug, Default, Clone)]
-struct Directives {
+pub(crate) struct Directives {
     deny_alloc: bool,
     allows: Vec<String>,
 }
@@ -318,9 +392,9 @@ fn has_token(code: &str, token: &str) -> bool {
         let end = at + token.len();
         let after_ok = end >= bytes.len() || {
             let a = bytes[end] as char;
-            // Tokens ending in `(` or `!` are already delimited.
+            // Tokens ending in `(`, `!` or `<` are already delimited.
             let last = token.as_bytes()[token.len() - 1] as char;
-            if last == '(' || last == '!' {
+            if last == '(' || last == '!' || last == '<' {
                 true
             } else {
                 !(a.is_alphanumeric() || a == '_')
@@ -373,6 +447,7 @@ const ALLOC_TOKENS: &[&str] = &[
     ".to_string(",
     ".to_owned(",
     ".collect(",
+    ".collect::<",
     ".clone(",
 ];
 
@@ -419,11 +494,135 @@ const PANIC_TOKENS: &[&str] = &[
     ".partial_cmp(",
 ];
 
-/// Scan one file's source, returning every violation.
-///
-/// `rel_path` is the workspace-relative path used both for scope decisions
-/// and for reporting.
-pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
+/// One scanned file: token-level results plus everything the call-graph
+/// pass needs (parsed items, per-line facts, allow bookkeeping).
+pub(crate) struct FileScan {
+    pub(crate) rel_path: String,
+    pub(crate) scope: Scope,
+    pub(crate) deny_alloc: bool,
+    lines: Vec<LexedLine>,
+    directives: Vec<Directives>,
+    pub(crate) parsed: items::ParsedFile,
+    /// Per line, per class (alloc/panic/nondet): the first *unallowed*
+    /// forbidden token, i.e. a fact that propagates through the graph.
+    pub(crate) line_facts: Vec<[Option<&'static str>; 3]>,
+    /// Direct (token-level) violations, in line order.
+    violations: Vec<Violation>,
+    /// Every allow directive outside tests/doc comments: (line idx, name).
+    allow_sites: Vec<(usize, String)>,
+    /// Directive occurrences that suppressed something real.
+    used: BTreeSet<(usize, String)>,
+}
+
+impl FileScan {
+    /// Directive lookup for line `idx`: inline on the line itself wins,
+    /// else a directive alone on the directly preceding (code-free)
+    /// line. Returns the directive's line index.
+    pub(crate) fn allow_site(&self, idx: usize, name: &str) -> Option<usize> {
+        allow_site(&self.lines, &self.directives, idx, name)
+    }
+
+    /// Marks the directive at `idx` as live for `name`.
+    pub(crate) fn credit(&mut self, idx: usize, name: &str) {
+        self.used.insert((idx, name.to_string()));
+    }
+}
+
+fn allow_site(
+    lines: &[LexedLine],
+    directives: &[Directives],
+    idx: usize,
+    name: &str,
+) -> Option<usize> {
+    if directives
+        .get(idx)
+        .is_some_and(|d| d.allows.iter().any(|a| a == name))
+    {
+        return Some(idx);
+    }
+    if idx > 0 && !lines[idx - 1].has_code() && directives[idx - 1].allows.iter().any(|a| a == name)
+    {
+        return Some(idx - 1);
+    }
+    None
+}
+
+/// Marks lines inside `#[cfg(test)] mod ... { }` blocks via brace depth.
+fn compute_in_test(lines: &[LexedLine]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    let mut pending_cfg_test = false;
+    let mut test_close_depth: Option<i64> = None;
+    for (idx, line) in lines.iter().enumerate() {
+        if test_close_depth.is_some() {
+            in_test[idx] = true;
+        }
+        if line.code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        let mut line_opens_test = false;
+        if pending_cfg_test && has_token(&line.code, "mod") {
+            line_opens_test = true;
+            pending_cfg_test = false;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if line_opens_test && test_close_depth.is_none() {
+                        test_close_depth = Some(depth);
+                        in_test[idx] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_close_depth == Some(depth) {
+                        test_close_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    in_test
+}
+
+/// What the upward walk above a `pub fn` found.
+enum DocStatus {
+    /// A doc comment: the rule is satisfied.
+    Doc,
+    /// An `allow(missing_docs)` directive at this line index.
+    Allowed(usize),
+    /// Neither.
+    Missing,
+}
+
+/// Walk upward from a `pub fn` line over attributes and blank lines looking
+/// for a doc comment or an explicit `allow(missing_docs)` directive.
+fn doc_status(lines: &[LexedLine], directives: &[Directives], idx: usize) -> DocStatus {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let line = &lines[i];
+        if directives[i].allows.iter().any(|a| a == "missing_docs") {
+            return DocStatus::Allowed(i);
+        }
+        if line.is_doc {
+            return DocStatus::Doc;
+        }
+        let code = line.code.trim();
+        // Skip attribute lines (possibly spanning multiple lines) and blanks.
+        let is_attr = code.starts_with("#[") || code.ends_with(']') && !code.contains('{');
+        if code.is_empty() || is_attr {
+            continue;
+        }
+        return DocStatus::Missing;
+    }
+    DocStatus::Missing
+}
+
+/// Token-level scan of one file (everything except the graph rules).
+fn scan_file(rel_path: &str, source: &str) -> FileScan {
     let scope = scope_for(rel_path);
     let lines = lex(source);
     // Doc comments describe directives without enacting them; only plain
@@ -440,10 +639,10 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
         .collect();
     let deny_alloc = directives.iter().any(|d| d.deny_alloc);
 
-    let mut out = Vec::new();
+    let mut violations = Vec::new();
     let rel_normalized = rel_path.replace('\\', "/");
     if HOT_PATH_FILES.contains(&rel_normalized.as_str()) && !deny_alloc {
-        out.push(Violation {
+        violations.push(Violation {
             file: rel_path.to_string(),
             line: 1,
             rule: "hot_path_marker",
@@ -452,55 +651,11 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
         });
     }
 
-    // Mark lines inside `#[cfg(test)] mod ... { }` blocks via brace depth.
-    let mut in_test = vec![false; lines.len()];
-    {
-        let mut depth: i64 = 0;
-        let mut pending_cfg_test = false;
-        let mut test_close_depth: Option<i64> = None;
-        for (idx, line) in lines.iter().enumerate() {
-            if test_close_depth.is_some() {
-                in_test[idx] = true;
-            }
-            if line.code.contains("#[cfg(test)]") {
-                pending_cfg_test = true;
-            }
-            let mut line_opens_test = false;
-            if pending_cfg_test && has_token(&line.code, "mod") {
-                line_opens_test = true;
-                pending_cfg_test = false;
-            }
-            for c in line.code.chars() {
-                match c {
-                    '{' => {
-                        if line_opens_test && test_close_depth.is_none() {
-                            test_close_depth = Some(depth);
-                            in_test[idx] = true;
-                        }
-                        depth += 1;
-                    }
-                    '}' => {
-                        depth -= 1;
-                        if test_close_depth == Some(depth) {
-                            test_close_depth = None;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
-    }
+    let in_test = compute_in_test(&lines);
+    let parsed = items::parse_file(&lines, &in_test);
 
-    let allowed = |idx: usize, name: &str| -> bool {
-        if directives[idx].allows.iter().any(|a| a == name) {
-            return true;
-        }
-        // A directive alone on the previous line covers this one.
-        if idx > 0 && !lines[idx - 1].has_code() {
-            return directives[idx - 1].allows.iter().any(|a| a == name);
-        }
-        false
-    };
+    let mut line_facts: Vec<[Option<&'static str>; 3]> = vec![[None; 3]; lines.len()];
+    let mut used: BTreeSet<(usize, String)> = BTreeSet::new();
 
     for (idx, line) in lines.iter().enumerate() {
         if !line.has_code() || in_test[idx] {
@@ -509,112 +664,278 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
         let lineno = idx + 1;
         let code = &line.code;
 
-        if deny_alloc && !allowed(idx, "alloc") {
-            for token in ALLOC_TOKENS {
-                if has_token(code, token) {
-                    out.push(Violation {
-                        file: rel_path.to_string(),
-                        line: lineno,
-                        rule: "alloc",
-                        message: format!(
-                            "heap-constructor token `{}` in a deny_alloc module",
-                            token.trim_matches(&['.', '('][..])
-                        ),
-                    });
+        // The three propagated classes share one shape: an allowed token
+        // is *vetted* (credits its directive, leaves no fact); an
+        // unallowed token is a fact everywhere and a violation in scope.
+        let alloc_allow = allow_site(&lines, &directives, idx, "alloc");
+        for token in ALLOC_TOKENS {
+            if has_token(code, token) {
+                if let Some(site) = alloc_allow {
+                    used.insert((site, "alloc".to_string()));
+                } else {
+                    if line_facts[idx][0].is_none() {
+                        line_facts[idx][0] = Some(token);
+                    }
+                    if deny_alloc {
+                        violations.push(Violation {
+                            file: rel_path.to_string(),
+                            line: lineno,
+                            rule: "alloc",
+                            message: format!(
+                                "heap-constructor token `{}` in a deny_alloc module",
+                                token.trim_matches(&['.', '(', ':', '<'][..])
+                            ),
+                        });
+                    }
                 }
             }
         }
 
-        if scope.deterministic && !allowed(idx, "nondet") {
-            for token in NONDET_TOKENS {
-                if has_token(code, token) {
-                    out.push(Violation {
-                        file: rel_path.to_string(),
-                        line: lineno,
-                        rule: "nondet",
-                        message: format!(
-                            "nondeterministic construct `{token}` in a decision-path crate (use BTreeMap/BTreeSet or a seeded RNG)"
-                        ),
-                    });
+        let nondet_allow = allow_site(&lines, &directives, idx, "nondet");
+        for token in NONDET_TOKENS {
+            if has_token(code, token) {
+                if let Some(site) = nondet_allow {
+                    used.insert((site, "nondet".to_string()));
+                } else {
+                    if line_facts[idx][2].is_none() {
+                        line_facts[idx][2] = Some(token);
+                    }
+                    if scope.deterministic {
+                        violations.push(Violation {
+                            file: rel_path.to_string(),
+                            line: lineno,
+                            rule: "nondet",
+                            message: format!(
+                                "nondeterministic construct `{token}` in a decision-path crate (use BTreeMap/BTreeSet or a seeded RNG)"
+                            ),
+                        });
+                    }
                 }
             }
         }
 
-        if scope.no_panic && !allowed(idx, "panic") {
-            for token in PANIC_TOKENS {
-                if has_token(code, token) {
-                    out.push(Violation {
-                        file: rel_path.to_string(),
-                        line: lineno,
-                        rule: "panic",
-                        message: format!(
-                            "potential panic path `{}` in library code (return a typed error or use total_cmp)",
-                            token.trim_matches(&['.', '('][..])
-                        ),
-                    });
+        let panic_allow = allow_site(&lines, &directives, idx, "panic");
+        for token in PANIC_TOKENS {
+            if has_token(code, token) {
+                if let Some(site) = panic_allow {
+                    used.insert((site, "panic".to_string()));
+                } else {
+                    if line_facts[idx][1].is_none() {
+                        line_facts[idx][1] = Some(token);
+                    }
+                    if scope.no_panic {
+                        violations.push(Violation {
+                            file: rel_path.to_string(),
+                            line: lineno,
+                            rule: "panic",
+                            message: format!(
+                                "potential panic path `{}` in library code (return a typed error or use total_cmp)",
+                                token.trim_matches(&['.', '('][..])
+                            ),
+                        });
+                    }
                 }
             }
         }
 
-        if scope.docs && !allowed(idx, "missing_docs") {
+        if scope.docs {
             let trimmed = code.trim_start();
             let is_pub_fn = trimmed.starts_with("pub fn ")
                 || trimmed.starts_with("pub const fn ")
                 || trimmed.starts_with("pub unsafe fn ")
                 || trimmed.starts_with("pub async fn ");
-            if is_pub_fn && !has_preceding_doc(&lines, &directives, idx) {
-                out.push(Violation {
-                    file: rel_path.to_string(),
-                    line: lineno,
-                    rule: "missing_docs",
-                    message: "pub fn without a doc comment".to_string(),
-                });
+            if is_pub_fn {
+                match doc_status(&lines, &directives, idx) {
+                    DocStatus::Doc => {}
+                    DocStatus::Allowed(site) => {
+                        used.insert((site, "missing_docs".to_string()));
+                    }
+                    DocStatus::Missing => {
+                        if let Some(site) = allow_site(&lines, &directives, idx, "missing_docs") {
+                            used.insert((site, "missing_docs".to_string()));
+                        } else {
+                            violations.push(Violation {
+                                file: rel_path.to_string(),
+                                line: lineno,
+                                rule: "missing_docs",
+                                message: "pub fn without a doc comment".to_string(),
+                            });
+                        }
+                    }
+                }
             }
         }
 
-        if scope.no_unsafe && !allowed(idx, "unsafe_code") && has_token(code, "unsafe") {
-            out.push(Violation {
-                file: rel_path.to_string(),
-                line: lineno,
-                rule: "unsafe_code",
-                message: "`unsafe` outside the annotated allowlist".to_string(),
-            });
+        if scope.no_unsafe && has_token(code, "unsafe") {
+            if let Some(site) = allow_site(&lines, &directives, idx, "unsafe_code") {
+                used.insert((site, "unsafe_code".to_string()));
+            } else {
+                violations.push(Violation {
+                    file: rel_path.to_string(),
+                    line: lineno,
+                    rule: "unsafe_code",
+                    message: "`unsafe` outside the annotated allowlist".to_string(),
+                });
+            }
         }
     }
-    out
-}
 
-/// Walk upward from a `pub fn` line over attributes and blank lines looking
-/// for a doc comment (or an explicit `allow(missing_docs)` directive).
-fn has_preceding_doc(lines: &[LexedLine], directives: &[Directives], idx: usize) -> bool {
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let line = &lines[i];
-        if directives[i].allows.iter().any(|a| a == "missing_docs") {
-            return true;
-        }
-        if line.is_doc {
-            return true;
-        }
-        let code = line.code.trim();
-        // Skip attribute lines (possibly spanning multiple lines) and blanks.
-        let is_attr = code.starts_with("#[") || code.ends_with(']') && !code.contains('{');
-        if code.is_empty() || is_attr {
+    // Inventory every allow directive (outside tests; doc-comment
+    // directives are inert by construction).
+    let mut allow_sites = Vec::new();
+    for (idx, d) in directives.iter().enumerate() {
+        if in_test[idx] {
             continue;
         }
-        return false;
+        for name in &d.allows {
+            allow_sites.push((idx, name.clone()));
+        }
     }
-    false
+
+    FileScan {
+        rel_path: rel_normalized,
+        scope,
+        deny_alloc,
+        lines,
+        directives,
+        parsed,
+        line_facts,
+        violations,
+        allow_sites,
+        used,
+    }
 }
 
-/// Recursively scan every eligible `.rs` file under `root`.
+/// Scan one file's source, returning every *token-level* violation.
 ///
-/// Scans `crates/*/src` and the facade `src/`; skips `vendor/` (shims stand
-/// in for external crates and are not held to workspace rules), `target/`,
-/// and this crate's own test fixtures.
-pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
-    let mut violations = Vec::new();
+/// `rel_path` is the workspace-relative path used both for scope decisions
+/// and for reporting. The call-graph rules (`transitive_*`, `dead_allow`)
+/// need the whole corpus — use [`analyze_sources`] / [`analyze_root`] for
+/// those.
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    scan_file(rel_path, source).violations
+}
+
+/// A full analysis: every violation plus the machine-readable report.
+pub struct Analysis {
+    /// All violations (token, transitive, and dead-allow), sorted by
+    /// (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// The `LINT_REPORT.json` content for this corpus.
+    pub report: LintReport,
+}
+
+/// Analyze a set of in-memory sources as one corpus: token rules per
+/// file, then the cross-file call-graph rules and the allow inventory.
+pub fn analyze_sources(sources: &[(String, String)]) -> Analysis {
+    let mut files: Vec<FileScan> = sources
+        .iter()
+        .map(|(rel, src)| scan_file(rel, src))
+        .collect();
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+
+    let outcome = graph::analyze(&mut files);
+
+    let mut violations: Vec<Violation> = files.iter().flat_map(|f| f.violations.clone()).collect();
+    violations.extend(outcome.violations.iter().cloned());
+
+    // Dead-escape detection: a directive nothing credited is stale.
+    for file in &files {
+        for (idx, name) in &file.allow_sites {
+            if !file.used.contains(&(*idx, name.clone())) {
+                violations.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    rule: "dead_allow",
+                    message: format!(
+                        "allow({name}) no longer suppresses anything (stale escape hatch — remove it)"
+                    ),
+                });
+            }
+        }
+    }
+
+    violations.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
+
+    let rules = RULES
+        .iter()
+        .map(|rule| RuleCount {
+            rule: (*rule).to_string(),
+            violations: violations.iter().filter(|v| v.rule == *rule).count(),
+        })
+        .collect();
+
+    let mut functions: Vec<FnEntry> = outcome
+        .fns
+        .iter()
+        .filter(|g| files[g.file].deny_alloc)
+        .map(|g| {
+            let item = &files[g.file].parsed.fns[g.item];
+            FnEntry {
+                function: g.qname.clone(),
+                file: files[g.file].rel_path.clone(),
+                line: item.sig_line + 1,
+                direct_alloc: g.facts[0],
+                direct_panic: g.facts[1],
+                direct_nondet: g.facts[2],
+                transitive_alloc: g.eff[0],
+                transitive_panic: g.eff[1],
+                transitive_nondet: g.eff[2],
+            }
+        })
+        .collect();
+    functions.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.function.cmp(&b.function))
+    });
+
+    let mut allows: Vec<AllowEntry> = files
+        .iter()
+        .flat_map(|f| {
+            f.allow_sites.iter().map(|(idx, name)| AllowEntry {
+                file: f.rel_path.clone(),
+                line: idx + 1,
+                name: name.clone(),
+                live: f.used.contains(&(*idx, name.clone())),
+            })
+        })
+        .collect();
+    allows.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.name.cmp(&b.name))
+    });
+
+    let stats = ReportStats {
+        files: files.len(),
+        functions: outcome.fns.len(),
+        call_edges: outcome.edge_count,
+        hot_functions: functions.len(),
+    };
+
+    Analysis {
+        violations,
+        report: LintReport {
+            schema: SCHEMA_VERSION,
+            rules,
+            functions,
+            allows,
+            stats,
+        },
+    }
+}
+
+/// Collects every eligible `.rs` file under `root` (sorted walk).
+fn collect_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut sources = Vec::new();
     let mut stack = vec![root.to_path_buf()];
     while let Some(dir) = stack.pop() {
         let mut entries: Vec<_> = fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
@@ -639,13 +960,36 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
                 let scan = rel.starts_with("crates/") || rel.starts_with("src/");
                 if scan {
                     let source = fs::read_to_string(&path)?;
-                    violations.extend(scan_source(&rel, &source));
+                    sources.push((rel, source));
                 }
             }
         }
     }
-    violations.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
-    Ok(violations)
+    sources.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(sources)
+}
+
+/// Analyze every eligible `.rs` file under `root` as one corpus.
+///
+/// Scans `crates/*/src` and the facade `src/`; skips `vendor/` (shims stand
+/// in for external crates and are not held to workspace rules), `target/`,
+/// and this crate's own test fixtures.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error from the directory walk.
+pub fn analyze_root(root: &Path) -> io::Result<Analysis> {
+    Ok(analyze_sources(&collect_sources(root)?))
+}
+
+/// Recursively scan every eligible `.rs` file under `root`, returning
+/// every violation (token, transitive, and dead-allow rules).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error from the directory walk.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    Ok(analyze_root(root)?.violations)
 }
 
 #[cfg(test)]
@@ -679,5 +1023,6 @@ mod tests {
         assert!(!has_token(".expect_err(e)", ".expect("));
         assert!(!has_token("#[forbid(unsafe_code)]", "unsafe"));
         assert!(has_token("unsafe impl X {}", "unsafe"));
+        assert!(has_token(".collect::<Vec<f64>>()", ".collect::<"));
     }
 }

@@ -1,7 +1,14 @@
-//! Binary driver: `cargo run -p lint [--root <dir>]`.
+//! Binary driver: `cargo run -p lint [--root <dir>] [--report] [--diff]`.
 //!
 //! Walks the workspace, prints every invariant violation as
 //! `path:line: [rule] message`, and exits non-zero when any are found.
+//!
+//! * `--report` — (re)write the committed `LINT_REPORT.json` artifact at
+//!   the workspace root from the current scan.
+//! * `--diff` — compare the current scan against the committed
+//!   `LINT_REPORT.json` snapshot; exit non-zero on fatal regressions
+//!   (a previously-clean function gaining a property, or any rule's
+//!   violation count increasing).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -9,11 +16,15 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut root: Option<PathBuf> = None;
+    let mut write_report = false;
+    let mut diff_mode = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
+            "--report" => write_report = true,
+            "--diff" => diff_mode = true,
             "--help" | "-h" => {
-                println!("usage: lint [--root <workspace-dir>]");
+                println!("usage: lint [--root <workspace-dir>] [--report] [--diff]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -36,21 +47,77 @@ fn main() -> ExitCode {
         }
     });
 
-    match lint::scan_workspace(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("lint: workspace clean ({} rules enforced)", 6);
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                eprintln!("{v}");
-            }
-            eprintln!("lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
-        }
+    let analysis = match lint::analyze_root(&root) {
+        Ok(analysis) => analysis,
         Err(err) => {
             eprintln!("lint: io error: {err}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+
+    let mut failed = false;
+
+    if write_report {
+        let json = match serde_json::to_string_pretty(&analysis.report) {
+            Ok(json) => json,
+            Err(err) => {
+                eprintln!("lint: report serialization failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let path = root.join(lint::REPORT_FILE);
+        if let Err(err) = std::fs::write(&path, json + "\n") {
+            eprintln!("lint: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("lint: wrote {}", path.display());
+    }
+
+    if diff_mode {
+        let path = root.join(lint::REPORT_FILE);
+        let prev = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!(
+                    "lint: cannot read committed snapshot {}: {err}\n\
+                     lint: run `cargo run -p lint -- --report` and commit the result",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        let prev: lint::LintReport = match serde_json::from_str(&prev) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("lint: committed snapshot is not valid: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let diff = lint::diff_reports(&prev, &analysis.report);
+        print!("{}", lint::render_diff(&diff));
+        if !diff.fatal.is_empty() {
+            failed = true;
+        }
+    }
+
+    if analysis.violations.is_empty() {
+        if !diff_mode {
+            println!(
+                "lint: workspace clean ({} rules enforced)",
+                lint::RULES.len()
+            );
+        }
+    } else {
+        for v in &analysis.violations {
+            eprintln!("{v}");
+        }
+        eprintln!("lint: {} violation(s)", analysis.violations.len());
+        failed = true;
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -1,0 +1,83 @@
+//! Golden-fixture corpus: every rule class has a directory under
+//! `tests/fixtures/` seeding exactly the violations its `expected.txt`
+//! lists. Fixture sources mirror workspace-relative paths (so scope
+//! decisions apply as in the real tree) and include a transitive-alloc
+//! case spanning two files.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn collect_rs(dir: &Path, base: &Path, out: &mut Vec<(String, String)>) {
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .expect("fixture dir must be readable")
+        .map(|e| e.expect("fixture entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, base, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(base)
+                .expect("fixture path under its case dir")
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = fs::read_to_string(&path).expect("fixture source");
+            out.push((rel, source));
+        }
+    }
+}
+
+#[test]
+fn golden_fixtures_match_expected() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut cases: Vec<PathBuf> = fs::read_dir(&root)
+        .expect("fixtures dir must exist")
+        .map(|e| e.expect("fixture entry").path())
+        .filter(|p| p.is_dir())
+        .collect();
+    cases.sort();
+    // One case per rule class keeps the corpus honest: a new rule
+    // without a fixture shows up here as a count mismatch.
+    assert_eq!(
+        cases.len(),
+        lint::RULES.len(),
+        "expected one fixture case per rule class"
+    );
+
+    for case in cases {
+        let mut sources = Vec::new();
+        collect_rs(&case, &case, &mut sources);
+        assert!(!sources.is_empty(), "{} has no sources", case.display());
+
+        let analysis = lint::analyze_sources(&sources);
+        let got: Vec<String> = analysis
+            .violations
+            .iter()
+            .map(|v| format!("{}:{}: [{}]", v.file, v.line, v.rule))
+            .collect();
+
+        let expected: Vec<String> = fs::read_to_string(case.join("expected.txt"))
+            .unwrap_or_else(|_| panic!("{} needs an expected.txt", case.display()))
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+
+        assert_eq!(
+            got,
+            expected,
+            "fixture `{}` violations diverged (full: {:#?})",
+            case.display(),
+            analysis.violations
+        );
+
+        // Each case is named for the rule it seeds, and must seed it.
+        let rule = case.file_name().unwrap().to_string_lossy().to_string();
+        assert!(
+            analysis.violations.iter().any(|v| v.rule == rule),
+            "fixture `{rule}` never fired its own rule"
+        );
+    }
+}

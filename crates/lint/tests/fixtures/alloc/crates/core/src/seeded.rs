@@ -1,0 +1,6 @@
+// lint: deny_alloc
+
+fn hot_kernel(n: usize) -> usize {
+    let scratch = vec![0u8; n];
+    scratch.len()
+}

@@ -1,0 +1,5 @@
+fn tidy(x: u64) -> u64 {
+    // The escape hatch outlived the allocation it once excused.
+    let y = x.rotate_left(1); // lint: allow(alloc)
+    y ^ x
+}

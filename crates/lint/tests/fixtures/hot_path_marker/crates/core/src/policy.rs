@@ -1,0 +1,9 @@
+fn greedy(scores: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, s) in scores.iter().enumerate() {
+        if *s < scores[best] {
+            best = i;
+        }
+    }
+    best
+}

@@ -1,0 +1,8 @@
+pub fn undocumented(x: f64) -> f64 {
+    x * 2.0
+}
+
+/// Documented, so fine.
+pub fn documented(x: f64) -> f64 {
+    x + 1.0
+}

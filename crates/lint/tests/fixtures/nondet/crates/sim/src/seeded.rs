@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+fn tally(keys: &[u32]) -> usize {
+    let mut seen: HashMap<u32, usize> = HashMap::new();
+    for k in keys {
+        *seen.entry(*k).or_insert(0) += 1;
+    }
+    seen.len()
+}

@@ -1,0 +1,4 @@
+fn pick(xs: &[f64]) -> f64 {
+    let first = xs.first().unwrap();
+    *first
+}

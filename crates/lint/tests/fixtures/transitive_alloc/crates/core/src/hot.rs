@@ -1,0 +1,13 @@
+// lint: deny_alloc
+
+pub struct Agent {
+    dim: usize,
+}
+
+impl Agent {
+    /// No direct allocation here — the leak is two hops away, in a file
+    /// the token rule never watches.
+    pub fn decide(&self) -> f64 {
+        megh_sim::scratch::expand(self.dim)
+    }
+}

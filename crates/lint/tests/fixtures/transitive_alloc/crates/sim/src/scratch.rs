@@ -1,0 +1,6 @@
+/// Allocates freely: this file carries no deny_alloc marker, so the
+/// token rule stays quiet here.
+pub fn expand(n: usize) -> f64 {
+    let buf = vec![1.0f64; n];
+    buf.iter().sum()
+}

@@ -1,0 +1,5 @@
+// lint: deny_alloc
+
+fn jitter(n: usize) -> f64 {
+    megh_trace::noise::sample(n)
+}

@@ -1,0 +1,6 @@
+/// Trace tooling may use ambient entropy; the decision path may not
+/// reach it, even indirectly.
+pub fn sample(n: usize) -> f64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen_range(&mut rng, 0.0..n as f64)
+}

@@ -1,0 +1,5 @@
+/// The cli crate is outside the panic scope, so this unwrap is legal
+/// here — but a hot-path caller must not inherit it.
+pub fn risky_first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
