@@ -28,7 +28,40 @@ cargo test --workspace --features check-invariants -q
 echo "==> sweep determinism under check-invariants"
 cargo test -q -p megh-cli --features megh-core/check-invariants sweep_determinism
 
-echo "==> bench-diff (non-fatal latency regression warnings)"
-cargo run -q -p megh-bench --bin bench-diff || true
+echo "==> bench-diff (latency warnings advisory; shape/alloc checks fatal)"
+cargo run -q -p megh-bench --bin bench-diff
+cargo run -q -p megh-bench --bin bench-diff BENCH_serve_throughput.json
+
+echo "==> serve smoke: checkpoint, kill -9, restart, byte-identical decides"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+MEGH=target/release/megh
+SOCK="unix:$SMOKE_DIR/megh.sock"
+"$MEGH" serve --listen "$SOCK" --checkpoint "$SMOKE_DIR/cp.json" \
+  --vms 8 --hosts 4 --checkpoint-every 0 &
+SERVE_PID=$!
+for i in $(seq 0 24); do
+  "$MEGH" client --connect "$SOCK" --op observe --action "$i" --cost 0.1 >/dev/null
+done
+"$MEGH" client --connect "$SOCK" --op sync >/dev/null
+"$MEGH" client --connect "$SOCK" --op checkpoint >/dev/null
+for seed in $(seq 0 9); do
+  "$MEGH" client --connect "$SOCK" --op decide --seed "$seed"
+done > "$SMOKE_DIR/before.txt"
+# Learning after the checkpoint must not survive the crash.
+"$MEGH" client --connect "$SOCK" --op observe --action 3 --cost 0.9 >/dev/null
+"$MEGH" client --connect "$SOCK" --op sync >/dev/null
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+"$MEGH" serve --listen "$SOCK" --checkpoint "$SMOKE_DIR/cp.json" \
+  --vms 8 --hosts 4 --checkpoint-every 0 &
+SERVE_PID=$!
+for seed in $(seq 0 9); do
+  "$MEGH" client --connect "$SOCK" --op decide --seed "$seed"
+done > "$SMOKE_DIR/after.txt"
+"$MEGH" client --connect "$SOCK" --op shutdown >/dev/null
+wait "$SERVE_PID"
+diff -u "$SMOKE_DIR/before.txt" "$SMOKE_DIR/after.txt"
+echo "serve smoke: decisions identical across SIGKILL + restart"
 
 echo "CI OK"

@@ -1,19 +1,23 @@
 //! `bench-diff` — compare the latest two snapshots of the tracked bench
-//! series and warn (never fail) about latency regressions.
+//! series: warn about latency regressions, fail on exactly-reproducible
+//! changes (vanished probes, allocation-count growth).
 //!
 //! Usage: `cargo run -p megh-bench --bin bench-diff [FILE] [--noise F]`
 //!
 //! `FILE` defaults to `BENCH_decision_latency.json` in the current
 //! directory (ci.sh runs from the repo root). `--noise F` sets the
-//! relative movement tolerated before a probe is flagged (default 0.3,
-//! i.e. ±30 % — microbenchmark medians on shared machines move that
-//! much without a code cause). The exit code is always 0: this is a
-//! visibility stage, not a gate. Grep the output for `warning:` to see
-//! flagged probes.
+//! relative movement tolerated before a latency probe is flagged
+//! (default 0.3, i.e. ±30 % — microbenchmark medians on shared machines
+//! move that much without a code cause). Latency movement is advisory:
+//! grep the output for `warning:` to see flagged probes. The exit code
+//! is non-zero only for the deterministic checks (`error:` lines) —
+//! a probe disappearing from the series or a heap allocation count
+//! growing, neither of which has machine noise to hide behind.
 
-use megh_bench::{diff_snapshots, render_diff, BenchSnapshot};
+use megh_bench::{diff_snapshots, fatal_failures, render_diff, BenchSnapshot};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file = "BENCH_decision_latency.json".to_string();
     let mut noise = 0.3f64;
@@ -36,24 +40,34 @@ fn main() {
     let source = match std::fs::read_to_string(&file) {
         Ok(s) => s,
         Err(e) => {
-            // Non-fatal by contract: a missing series is a note, not a gate.
+            // A missing series is a note, not a gate: only an existing
+            // series can fail the deterministic checks.
             println!("bench-diff: cannot read {file}: {e} (skipping)");
-            return;
+            return ExitCode::SUCCESS;
         }
     };
     let series: Vec<BenchSnapshot> = match serde_json::from_str(&source) {
         Ok(s) => s,
         Err(e) => {
             println!("bench-diff: cannot parse {file}: {e} (skipping)");
-            return;
+            return ExitCode::SUCCESS;
         }
     };
     let n = series.len();
     if n < 2 {
         println!("bench-diff: {file} has {n} snapshot(s); need 2 to diff (skipping)");
-        return;
+        return ExitCode::SUCCESS;
     }
     let (prev, cur) = (&series[n - 2], &series[n - 1]);
     let lines = diff_snapshots(prev, cur, noise);
     print!("{}", render_diff(prev, cur, &lines));
+    let failures = fatal_failures(prev, cur);
+    for failure in &failures {
+        println!("error: {failure}");
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -27,7 +27,7 @@ fn per_step_cost(m: usize, n: usize, steps: usize, temp0: f64, epsilon: f64, see
 }
 
 fn quantiles(mut xs: Vec<f64>) -> (f64, f64, f64) {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(f64::total_cmp);
     let q = |p: f64| xs[((xs.len() - 1) as f64 * p) as usize];
     (q(0.1), q(0.5), q(0.9))
 }

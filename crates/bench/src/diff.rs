@@ -4,12 +4,16 @@
 //! `{snapshot, results}` object per PR. This module compares the latest
 //! two snapshots probe by probe and classifies each probe's movement
 //! against a noise threshold, so CI can warn about latency regressions
-//! without making a microbenchmark the arbiter of a merge (the stage is
-//! non-fatal by design — see `ci.sh`).
+//! without making a microbenchmark the arbiter of a merge.
 //!
 //! Medians are compared rather than means: the snapshots are taken on
 //! shared, noisy machines where a single descheduling blows up the mean
-//! but leaves the median representative.
+//! but leaves the median representative. Latency verdicts are therefore
+//! advisory. What *is* a gate ([`fatal_failures`], and a non-zero exit
+//! from `bench-diff` in `ci.sh`) are the exactly-reproducible checks:
+//! a probe disappearing from the series (snapshot shape) and heap
+//! allocation counts growing — both are deterministic properties of the
+//! code, not of the machine the snapshot was taken on.
 
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +32,20 @@ pub struct BenchResult {
     pub max_ns: f64,
     /// Number of samples taken.
     pub samples: usize,
+    /// Heap allocations per iteration for probes that count them via
+    /// `CountingAllocator` (`None` for latency-only probes and for
+    /// snapshots recorded before the field existed). Unlike latencies,
+    /// allocation counts are exactly reproducible, so any increase is a
+    /// fatal diff, not a warning.
+    pub allocs: Option<u64>,
+    /// 99th-percentile sample, nanoseconds — recorded by probes that
+    /// measure tail latency under load (`None` for older snapshots and
+    /// probes that only track central tendency). Advisory, like every
+    /// latency figure.
+    pub p99_ns: Option<f64>,
+    /// Sustained operations per second over the probe's wall-clock
+    /// window, for throughput probes (`None` otherwise). Advisory.
+    pub throughput_per_sec: Option<f64>,
 }
 
 /// One PR's worth of probe results.
@@ -124,6 +142,43 @@ pub fn diff_snapshots(prev: &BenchSnapshot, cur: &BenchSnapshot, noise_frac: f64
     lines
 }
 
+/// The exactly-reproducible checks between two snapshots — the part of
+/// the diff that gates CI. Returns one message per failure, empty when
+/// the diff is clean.
+///
+/// Fatal conditions:
+/// - a probe present in `prev` is missing from `cur` (the snapshot
+///   shape shrank — probes must be removed deliberately, by rewriting
+///   the series, not by a probe silently failing to run);
+/// - a probe's allocation count grew, or a probe stopped reporting one
+///   (`Some -> None`). Counts are deterministic, so there is no noise
+///   threshold: one extra allocation is a real code change.
+///
+/// Latency movement never appears here — medians stay advisory.
+pub fn fatal_failures(prev: &BenchSnapshot, cur: &BenchSnapshot) -> Vec<String> {
+    let mut failures = Vec::new();
+    for before in &prev.results {
+        match cur.results.iter().find(|r| r.id == before.id) {
+            None => failures.push(format!(
+                "probe `{}` vanished: present in {}, missing in {}",
+                before.id, prev.snapshot, cur.snapshot
+            )),
+            Some(after) => match (before.allocs, after.allocs) {
+                (Some(a), Some(b)) if b > a => failures.push(format!(
+                    "probe `{}` allocation count grew {} -> {}",
+                    before.id, a, b
+                )),
+                (Some(a), None) => failures.push(format!(
+                    "probe `{}` stopped reporting allocations (was {})",
+                    before.id, a
+                )),
+                _ => {}
+            },
+        }
+    }
+    failures
+}
+
 /// Renders a diff as the table `bench-diff` prints, one probe per line,
 /// with a trailing `warning:` line per regression (the greppable part).
 pub fn render_diff(prev: &BenchSnapshot, cur: &BenchSnapshot, lines: &[DiffLine]) -> String {
@@ -181,6 +236,16 @@ mod tests {
             min_ns: median_ns * 0.9,
             max_ns: median_ns * 1.2,
             samples: 20,
+            allocs: None,
+            p99_ns: None,
+            throughput_per_sec: None,
+        }
+    }
+
+    fn result_with_allocs(id: &str, allocs: Option<u64>) -> BenchResult {
+        BenchResult {
+            allocs,
+            ..result(id, 100.0)
         }
     }
 
@@ -242,6 +307,50 @@ mod tests {
     }
 
     #[test]
+    fn vanished_probe_is_fatal_but_added_probe_is_not() {
+        let prev = snapshot("PR1", vec![result("old", 10.0), result("both", 10.0)]);
+        let cur = snapshot("PR2", vec![result("both", 10.0), result("new", 10.0)]);
+        let failures = fatal_failures(&prev, &cur);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("`old` vanished"), "{failures:?}");
+    }
+
+    #[test]
+    fn alloc_count_growth_is_fatal_without_a_noise_threshold() {
+        let prev = snapshot("PR1", vec![result_with_allocs("p", Some(7))]);
+        let cur = snapshot("PR2", vec![result_with_allocs("p", Some(8))]);
+        let failures = fatal_failures(&prev, &cur);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("grew 7 -> 8"), "{failures:?}");
+    }
+
+    #[test]
+    fn alloc_count_equal_or_shrinking_is_clean() {
+        let prev = snapshot("PR1", vec![result_with_allocs("p", Some(7))]);
+        for cur_allocs in [Some(7), Some(3)] {
+            let cur = snapshot("PR2", vec![result_with_allocs("p", cur_allocs)]);
+            assert!(fatal_failures(&prev, &cur).is_empty());
+        }
+    }
+
+    #[test]
+    fn dropping_alloc_instrumentation_is_fatal_but_gaining_it_is_not() {
+        let counted = snapshot("A", vec![result_with_allocs("p", Some(7))]);
+        let latency_only = snapshot("B", vec![result_with_allocs("p", None)]);
+        let dropped = fatal_failures(&counted, &latency_only);
+        assert_eq!(dropped.len(), 1, "{dropped:?}");
+        assert!(dropped[0].contains("stopped reporting"), "{dropped:?}");
+        assert!(fatal_failures(&latency_only, &counted).is_empty());
+    }
+
+    #[test]
+    fn latency_regression_is_never_fatal() {
+        let prev = snapshot("PR1", vec![result("hot", 100.0)]);
+        let cur = snapshot("PR2", vec![result("hot", 10_000.0)]);
+        assert!(fatal_failures(&prev, &cur).is_empty());
+    }
+
+    #[test]
     fn snapshot_series_round_trips_through_json() {
         let series = vec![
             snapshot("PR1", vec![result("a", 1.0)]),
@@ -250,5 +359,18 @@ mod tests {
         let json = serde_json::to_string(&series).unwrap();
         let back: Vec<BenchSnapshot> = serde_json::from_str(&json).unwrap();
         assert_eq!(back, series);
+    }
+
+    #[test]
+    fn snapshots_recorded_before_the_allocs_field_still_parse() {
+        // The committed series predates `allocs`; missing fields must
+        // read back as None, not fail deserialisation.
+        let json =
+            r#"{"id":"a","mean_ns":1.0,"median_ns":1.0,"min_ns":0.9,"max_ns":1.2,"samples":20}"#;
+        let r: BenchResult = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            (r.allocs, r.p99_ns, r.throughput_per_sec),
+            (None, None, None)
+        );
     }
 }

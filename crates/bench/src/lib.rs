@@ -27,7 +27,9 @@ mod report;
 mod runner;
 mod setup;
 
-pub use diff::{diff_snapshots, render_diff, BenchResult, BenchSnapshot, DiffLine, Verdict};
+pub use diff::{
+    diff_snapshots, fatal_failures, render_diff, BenchResult, BenchSnapshot, DiffLine, Verdict,
+};
 pub use plot::LineChart;
 pub use probe::MeghProbe;
 pub use report::{

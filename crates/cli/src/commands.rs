@@ -3,6 +3,7 @@
 use megh_baselines::{MadVmConfig, MadVmScheduler, MmtFlavor, MmtScheduler};
 use megh_core::diagnostics::{decision_latency, LatencyStats};
 use megh_core::{MeghAgent, MeghConfig, PeriodicMeghAgent};
+use megh_serve::{Client as ServeClient, Listen, Request as ServeRequest, ServeOptions};
 use megh_sim::{
     run_sweep, DataCenterConfig, HostOutage, InitialPlacement, NoOpScheduler, Scheduler,
     Simulation, SimulationOutcome, SlavMetrics, SummaryReport, SweepReport,
@@ -480,6 +481,99 @@ pub fn cmd_trace_stats(args: &Args) -> Result<String, ArgsError> {
     ))
 }
 
+/// `megh serve`: run the crash-safe decision daemon (blocks until a
+/// client sends `shutdown`).
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for bad arguments or daemon failures (bind
+/// errors, corrupt checkpoints).
+pub fn cmd_serve(args: &Args) -> Result<String, ArgsError> {
+    let listen = Listen::parse(args.get_or("listen", "127.0.0.1:7787"));
+    let checkpoint = args
+        .get("checkpoint")
+        .ok_or(ArgsError::Missing("checkpoint"))?;
+    let mut opts = ServeOptions::new(listen, std::path::PathBuf::from(checkpoint));
+    opts.checkpoint_every = args.get_parsed_or("checkpoint-every", 0, "integer")?;
+    opts.writer_seed = args.get_parsed_or("writer-seed", opts.writer_seed, "integer")?;
+    let vms: usize = args.get_parsed_or("vms", 40, "integer")?;
+    let hosts: usize = args.get_parsed_or("hosts", 20, "integer")?;
+    let config = MeghConfig::paper_defaults(vms, hosts);
+    megh_serve::run(config, &opts).map_err(|e| ArgsError::Invalid {
+        key: "serve".into(),
+        value: e.to_string(),
+        expected: "a runnable daemon (valid listen address and checkpoint)",
+    })?;
+    Ok(format!(
+        "serve: shutdown complete, checkpoint at {checkpoint}\n"
+    ))
+}
+
+/// `megh client`: send one request to a running daemon and print the
+/// raw response line (the crash-recovery smoke test diffs these bytes).
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for bad arguments, unreachable daemons, or
+/// failed requests.
+pub fn cmd_client(args: &Args) -> Result<String, ArgsError> {
+    let connect = args.get("connect").ok_or(ArgsError::Missing("connect"))?;
+    let op = args.get("op").ok_or(ArgsError::Missing("op"))?;
+    let request = match op {
+        "decide" => ServeRequest::Decide {
+            seed: args.get_parsed_or("seed", 0, "integer")?,
+        },
+        "observe" => ServeRequest::Observe {
+            action: args
+                .get("action")
+                .ok_or(ArgsError::Missing("action"))?
+                .parse()
+                .map_err(|_| ArgsError::Invalid {
+                    key: "action".into(),
+                    value: args.get_or("action", "").to_string(),
+                    expected: "action index (integer)",
+                })?,
+            cost: args
+                .get("cost")
+                .ok_or(ArgsError::Missing("cost"))?
+                .parse()
+                .map_err(|_| ArgsError::Invalid {
+                    key: "cost".into(),
+                    value: args.get_or("cost", "").to_string(),
+                    expected: "cost (number)",
+                })?,
+        },
+        "sync" => ServeRequest::Sync,
+        "checkpoint" => ServeRequest::Checkpoint,
+        "stats" => ServeRequest::Stats,
+        "shutdown" => ServeRequest::Shutdown,
+        other => {
+            return Err(ArgsError::Invalid {
+                key: "op".into(),
+                value: other.to_string(),
+                expected: "one of decide|observe|sync|checkpoint|stats|shutdown",
+            })
+        }
+    };
+    let listen = Listen::parse(connect);
+    let attempts: u32 = args.get_parsed_or("retries", 50, "integer")?;
+    let mut client =
+        ServeClient::connect_retry(&listen, attempts, std::time::Duration::from_millis(20))
+            .map_err(|e| ArgsError::Invalid {
+                key: "connect".into(),
+                value: format!("{connect}: {e}"),
+                expected: "a reachable megh serve daemon",
+            })?;
+    let line = client
+        .request_raw(&request)
+        .map_err(|e| ArgsError::Invalid {
+            key: "op".into(),
+            value: e.to_string(),
+            expected: "a completed request",
+        })?;
+    Ok(format!("{line}\n"))
+}
+
 fn render_summary(r: &SummaryReport) -> String {
     format!(
         "{}: total {:.2} USD (energy {:.2}, SLA {:.2}), {} migrations, \
@@ -508,6 +602,8 @@ COMMANDS:
   sweep        run scheduler(s) over many seeds in parallel
   trace-gen    write a synthetic workload trace to CSV
   trace-stats  summarize a trace CSV
+  serve        run the long-lived decision daemon
+  client       send one request to a running daemon
   help         show this message
 
 COMMON OPTIONS:
@@ -539,6 +635,22 @@ trace-gen:
 
 trace-stats:
   --file FILE                   trace CSV to summarize (required)
+
+serve:
+  --checkpoint FILE             checkpoint path (required); loaded on start
+                                if present, written atomically on shutdown
+  --listen ADDR|unix:PATH       listen address            [127.0.0.1:7787]
+  --checkpoint-every N          auto-checkpoint every N applied updates
+                                (0 = only on explicit request/shutdown) [0]
+  --writer-seed N               writer-thread RNG seed
+  --vms N / --hosts N           cold-start action space   [40 / 20]
+
+client:
+  --connect ADDR|unix:PATH      daemon address (required)
+  --op decide|observe|sync|checkpoint|stats|shutdown  request (required)
+  --seed N                      decide: decision seed     [0]
+  --action N --cost C           observe: applied action and observed cost
+  --retries N                   connection attempts, 20ms apart [50]
 "
     .to_string()
 }
@@ -555,6 +667,8 @@ pub fn dispatch(args: &Args) -> Result<String, ArgsError> {
         Some("sweep") => cmd_sweep(args),
         Some("trace-gen") => cmd_trace_gen(args),
         Some("trace-stats") => cmd_trace_stats(args),
+        Some("serve") => cmd_serve(args),
+        Some("client") => cmd_client(args),
         Some("help") | None => Ok(help()),
         Some(other) => Err(ArgsError::UnknownCommand(other.to_string())),
     }
@@ -605,6 +719,27 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert!(out.contains("3 VMs"));
         assert!(out.contains("mean"));
+    }
+
+    #[test]
+    fn serve_requires_checkpoint_path() {
+        let err = dispatch(&parse("serve --listen 127.0.0.1:0")).unwrap_err();
+        assert!(matches!(err, ArgsError::Missing("checkpoint")), "{err:?}");
+    }
+
+    #[test]
+    fn client_rejects_unknown_op() {
+        let err = dispatch(&parse("client --connect 127.0.0.1:1 --op frobnicate")).unwrap_err();
+        let ArgsError::Invalid { key, value, .. } = err else {
+            panic!("expected invalid op");
+        };
+        assert_eq!((key.as_str(), value.as_str()), ("op", "frobnicate"));
+    }
+
+    #[test]
+    fn client_observe_requires_action_and_cost() {
+        let err = dispatch(&parse("client --connect 127.0.0.1:1 --op observe")).unwrap_err();
+        assert!(matches!(err, ArgsError::Missing("action")), "{err:?}");
     }
 
     #[test]

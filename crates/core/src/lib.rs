@@ -42,6 +42,7 @@
 
 mod action;
 mod agent;
+mod checkpoint;
 mod config;
 pub mod diagnostics;
 mod lspi;
@@ -50,6 +51,10 @@ mod policy;
 
 pub use action::{Action, ActionSpace};
 pub use agent::{MeghAgent, MeghCheckpoint};
+pub use checkpoint::{
+    fnv1a64, from_versioned_json, load_checkpoint, save_checkpoint, to_versioned_json,
+    CheckpointError, Config, Migration, SemVer, CHECKPOINT_VERSION,
+};
 pub use config::MeghConfig;
 pub use lspi::SparseLspi;
 pub use periodic::PeriodicMeghAgent;

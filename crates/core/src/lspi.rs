@@ -128,8 +128,6 @@ impl SparseLspi {
     /// Builds the dense shadow operator `T₀ = δ·I` when the dimension
     /// is small enough to afford `O(dim²)` verification state.
     #[cfg(feature = "check-invariants")]
-    // Builds O(dim²) verification state, never compiled into release
-    // decision paths. lint: allow(transitive_alloc)
     fn shadow_for(dim: usize, delta: f64) -> Option<DenseMatrix> {
         if dim > VERIFY_MAX_DIM {
             return None;
@@ -404,8 +402,6 @@ impl SparseLspi {
     /// inverse contract `‖B·T − I‖∞ < ε`, and agreement between the
     /// cached minimum-`θ` entry and a full scan of `θ`'s support.
     #[cfg(feature = "check-invariants")]
-    // Dense-shadow verification is debug-build-only cold code.
-    // lint: allow(transitive_alloc)
     fn verify_update(&mut self, a_prev: usize, a_next: usize) {
         if let Some(t) = self.shadow_t.as_mut() {
             // T ← T + u·vᵀ with u = e_{a_prev}, v = e_{a_prev} − γ·e_{a_next}.
@@ -514,6 +510,12 @@ struct SparseLspiRepr {
 }
 
 impl Serialize for SparseLspi {
+    // Serialization is an explicit cold path (persistence, not decide);
+    // the unknown-receiver fallback also aliases the inner
+    // `.serialize(serializer)` call to every workspace `serialize`,
+    // including megh-serve's allocating wire impls, so the whole
+    // subtree is vouched rather than chased.
+    // lint: allow(transitive_alloc)
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         // Serialization is an explicit cold path (persistence, not decide).
         let explored = self
@@ -539,6 +541,8 @@ impl Serialize for SparseLspi {
 }
 
 impl<'de> Deserialize<'de> for SparseLspi {
+    // Cold path, same aliasing as `serialize` above.
+    // lint: allow(transitive_alloc)
     fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         let repr = SparseLspiRepr::deserialize(deserializer)?;
         let mut explored = vec![false; repr.dim]; // lint: allow(alloc) — deserialization

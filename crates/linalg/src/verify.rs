@@ -9,7 +9,22 @@
 //! the call sites inside the hot paths are feature-gated — so tests can
 //! use the same predicate the runtime checks use.
 
-use crate::DenseMatrix;
+use crate::{DenseMatrix, DokMatrix};
+
+/// Dense materialisations live here, outside the hot-path modules: they
+/// are diagnostic/verification APIs, never decision paths, and keeping
+/// them out of the `deny_alloc` files keeps the no-alloc call-graph rule
+/// vouch-free.
+impl DokMatrix {
+    /// Materialises the matrix into a dense row-major buffer.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.order(), self.order());
+        for ((r, c), v) in self.iter() {
+            d.set(r, c, v);
+        }
+        d
+    }
+}
 
 /// Largest absolute entry of `B·T − I` — the inverse-drift residual.
 ///

@@ -80,7 +80,12 @@ pub(crate) fn analyze(files: &mut [FileScan]) -> GraphOutcome {
 
     for (fi, file) in files.iter().enumerate() {
         for (ii, item) in file.parsed.fns.iter().enumerate() {
-            if item.is_test {
+            if item.is_test || item.cfg_gated {
+                // Test functions and `#[cfg(...)]`-gated functions are
+                // absent from the always-on build: neither contributes
+                // nodes, facts, or edges to the call graph, so feature-
+                // gated verification helpers need no manual
+                // `allow(transitive_*)` vouches.
                 continue;
             }
             let qname = match &item.self_type {

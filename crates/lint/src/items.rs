@@ -82,6 +82,11 @@ pub(crate) struct FnItem {
     pub end_line: usize,
     /// Whether the item sits inside a `#[cfg(test)]` module.
     pub is_test: bool,
+    /// Whether the item carries a `#[cfg(...)]` attribute of its own —
+    /// conditionally compiled code (feature gates, platform gates) that
+    /// is absent from the always-on build and therefore stays out of
+    /// the call graph, like test code.
+    pub cfg_gated: bool,
     /// Parameter name → base type name (None when generic/unknown).
     pub params: BTreeMap<String, Option<String>>,
     /// Generic type parameter names declared by the signature.
@@ -264,6 +269,7 @@ fn parse_fn_header(
         sig_line: toks[fn_kw].line,
         end_line: toks[fn_kw].line,
         is_test: false,
+        cfg_gated: false,
         params: BTreeMap::new(),
         generics: BTreeSet::new(),
         locals: BTreeMap::new(),
@@ -544,11 +550,39 @@ enum Ctx {
     Other,
 }
 
+/// Walks upward from a `fn` signature line over attribute, blank, and
+/// comment-only lines looking for a `#[cfg(...)]` attribute attached to
+/// the item (the same upward-attribution shape as the doc-comment
+/// check). `#[cfg_attr(...)]` does not count: the item itself is always
+/// compiled, only an attribute on it is conditional.
+fn cfg_gated_at(lines: &[LexedLine], sig_line: usize) -> bool {
+    if lines[sig_line].code.contains("#[cfg(") {
+        return true;
+    }
+    let mut i = sig_line;
+    while i > 0 {
+        i -= 1;
+        let code = lines[i].code.trim();
+        if code.is_empty() {
+            continue; // blank or comment-only line
+        }
+        let is_attr = code.starts_with("#[") || (code.ends_with(']') && !code.contains('{'));
+        if !is_attr {
+            return false; // first real code line above: not our attribute
+        }
+        if code.contains("#[cfg(") {
+            return true;
+        }
+    }
+    false
+}
+
 /// Parses one file's token stream into items.
 ///
 /// `in_test` marks lines inside `#[cfg(test)]` modules (computed by the
 /// caller's brace scan); functions whose signature line is marked are
-/// tagged [`FnItem::is_test`].
+/// tagged [`FnItem::is_test`]; functions carrying their own `#[cfg]`
+/// attribute are tagged [`FnItem::cfg_gated`].
 pub(crate) fn parse_file(lines: &[LexedLine], in_test: &[bool]) -> ParsedFile {
     let toks = tokenize(lines);
     let mut out = ParsedFile::default();
@@ -653,6 +687,7 @@ pub(crate) fn parse_file(lines: &[LexedLine], in_test: &[bool]) -> ParsedFile {
                 match parse_fn_header(&toks, i, self_type) {
                     Some((mut item, body, has_body)) => {
                         item.is_test = in_test.get(item.sig_line).copied().unwrap_or(false);
+                        item.cfg_gated = cfg_gated_at(lines, item.sig_line);
                         item.depth = depth;
                         let fi = out.fns.len();
                         if has_body {

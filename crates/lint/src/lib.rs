@@ -44,7 +44,7 @@
 //! |----------------------|------------------------------------------|---------|
 //! | `alloc`              | files marked `deny_alloc`                | heap-constructor tokens (`Vec::new`, `vec!`, `Box::new`, `format!`, `collect`, `clone`, ...) |
 //! | `nondet`             | `crates/{core,sim,baselines}/src`        | `HashMap`/`HashSet` (iteration order is seeded per-process), `Instant::now`, `SystemTime::now`, thread-local RNG, free `thread::spawn` (scoped spawns with seed-ordered merges, as in `sim::sweep`, are the sanctioned pattern) |
-//! | `panic`              | `crates/{core,sim,linalg,baselines}/src` | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` and non-total `partial_cmp` comparisons |
+//! | `panic`              | `crates/{core,sim,linalg,baselines}/src` | `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` and non-total `partial_cmp` comparisons; in `crates/bench/src` only the `partial_cmp` token fires (fail-fast `expect` is idiomatic in experiment binaries, NaN-panicking sort comparators are not) |
 //! | `missing_docs`       | `crates/{core,linalg}/src`               | `pub fn` without a preceding doc comment |
 //! | `unsafe_code`        | every scanned file                       | the `unsafe` keyword outside the annotated allowlist |
 //! | `hot_path_marker`    | the [`HOT_PATH_FILES`] list              | *absence* of the `// lint: deny_alloc` marker — a decision-hot-path module cannot silently opt out of the alloc rule by dropping its marker |
@@ -56,7 +56,11 @@
 //! Test code is exempt from all of it: `#[cfg(test)]` modules are skipped by
 //! brace tracking (their functions also stay out of the call graph), and
 //! `tests/` / `benches/` / `src/bin` directories are outside the library
-//! scopes.
+//! scopes. The call graph is additionally *cfg-aware*: a function carrying
+//! its own `#[cfg(...)]` attribute (feature-gated verification helpers,
+//! platform-specific code) is not part of the always-on build, so it is
+//! excluded from the graph — conditionally compiled cold paths need no
+//! manual `allow(transitive_*)` vouches.
 //!
 //! An *allowed* token suppresses the propagated fact too: the annotation
 //! means a human vetted that line, so the vetted construct does not taint
@@ -413,6 +417,12 @@ fn has_token(code: &str, token: &str) -> bool {
 pub struct Scope {
     /// `panic` rule applies (library source of core/sim/linalg/baselines).
     pub no_panic: bool,
+    /// The NaN-comparison subset of the `panic` rule applies: only the
+    /// `.partial_cmp(` token fires. Covers `crates/bench` (including its
+    /// binaries), where fail-fast `unwrap`/`expect` is idiomatic but a
+    /// `partial_cmp(..).unwrap()` sort comparator is the exact NaN panic
+    /// class the full-scope crates purged.
+    pub nan_cmp: bool,
     /// `nondet` rule applies (decision-path crates core/sim/baselines).
     pub deterministic: bool,
     /// `missing_docs` rule applies (public API of core/linalg).
@@ -429,6 +439,7 @@ pub fn scope_for(rel_path: &str) -> Scope {
         no_panic: ["core", "sim", "linalg", "baselines"]
             .iter()
             .any(|c| in_src(c)),
+        nan_cmp: in_src("bench"),
         deterministic: ["core", "sim", "baselines"].iter().any(|c| in_src(c)),
         docs: ["core", "linalg"].iter().any(|c| in_src(c)),
         no_unsafe: true,
@@ -723,7 +734,7 @@ fn scan_file(rel_path: &str, source: &str) -> FileScan {
                     if line_facts[idx][1].is_none() {
                         line_facts[idx][1] = Some(token);
                     }
-                    if scope.no_panic {
+                    if scope.no_panic || (scope.nan_cmp && *token == ".partial_cmp(") {
                         violations.push(Violation {
                             file: rel_path.to_string(),
                             line: lineno,
@@ -1015,6 +1026,62 @@ mod tests {
         let d = parse_directives(" lint: allow(panic, alloc)");
         assert_eq!(d.allows, vec!["panic", "alloc"]);
         assert!(parse_directives(" lint: deny_alloc").deny_alloc);
+    }
+
+    #[test]
+    fn bench_scope_flags_partial_cmp_but_not_expect() {
+        let sorted = "fn f(xs: &mut Vec<f64>) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        let violations = scan_source("crates/bench/src/bin/fig0.rs", sorted);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, "panic");
+        assert!(violations[0].message.contains("partial_cmp"));
+        // Fail-fast expect stays idiomatic in experiment binaries.
+        let failfast = "fn f() { std::fs::read(\"x\").expect(\"boom\"); }\n";
+        assert!(scan_source("crates/bench/src/bin/fig0.rs", failfast).is_empty());
+        // Outside the bench scope nothing changed.
+        assert!(scan_source("examples/demo.rs", sorted).is_empty());
+    }
+
+    #[test]
+    fn cfg_gated_functions_stay_out_of_the_call_graph() {
+        let hot = |attr: &str| {
+            format!(
+                "// lint: deny_alloc\npub struct S;\nimpl S {{\n    pub fn hot(&self) {{ self.gated(); }}\n{attr}    fn gated(&self) {{ helper(); }}\n}}\n"
+            )
+        };
+        let helper = "pub fn helper() -> Vec<u8> { vec![1] }\n".to_string();
+        // Ungated: `gated` reaches the allocating helper -> transitive_alloc.
+        let sources = [
+            ("crates/core/src/a.rs".to_string(), hot("")),
+            ("crates/core/src/b.rs".to_string(), helper.clone()),
+        ];
+        let analysis = analyze_sources(&sources);
+        assert!(
+            analysis
+                .violations
+                .iter()
+                .any(|v| v.rule == "transitive_alloc"),
+            "{:?}",
+            analysis.violations
+        );
+        // Feature-gated: the function is not in the always-on build, so
+        // no vouch is needed and nothing fires.
+        let sources = [
+            (
+                "crates/core/src/a.rs".to_string(),
+                hot("    #[cfg(feature = \"check-invariants\")]\n"),
+            ),
+            ("crates/core/src/b.rs".to_string(), helper),
+        ];
+        let analysis = analyze_sources(&sources);
+        assert!(
+            analysis
+                .violations
+                .iter()
+                .all(|v| !v.rule.starts_with("transitive_")),
+            "{:?}",
+            analysis.violations
+        );
     }
 
     #[test]

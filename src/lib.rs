@@ -14,6 +14,9 @@
 //!   exploration.
 //! * [`baselines`] — the comparators: the MMT heuristic family
 //!   (THR/IQR/MAD/LR/LRR), MadVM, and tabular Q-learning.
+//! * [`serve`] — the crash-safe decision daemon behind `megh serve`:
+//!   lock-free frozen-snapshot reads, a single batching writer, and
+//!   versioned checkpoints.
 //! * [`linalg`] — the sparse linear-algebra substrate.
 //!
 //! # Quickstart
@@ -36,6 +39,7 @@
 pub use megh_baselines as baselines;
 pub use megh_core as core;
 pub use megh_linalg as linalg;
+pub use megh_serve as serve;
 pub use megh_sim as sim;
 pub use megh_trace as trace;
 
