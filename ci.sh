@@ -10,11 +10,20 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo run -p lint (workspace invariant checker)"
+echo "==> cargo run -p lint (workspace invariant checker, budget <5s)"
+LINT_START=$(date +%s)
 cargo run -q -p lint
+LINT_SECS=$(( $(date +%s) - LINT_START ))
+if [ "$LINT_SECS" -ge 5 ]; then
+  echo "lint: workspace scan took ${LINT_SECS}s (budget: <5s)" >&2
+  exit 1
+fi
 
 echo "==> lint-diff (fatal on new violations or property regressions)"
 cargo run -q -p lint -- --diff
+
+echo "==> lint --fix --check (fatal if --fix would rewrite anything)"
+cargo run -q -p lint -- --fix --check
 
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release

@@ -153,6 +153,8 @@ fn main() {
             allocs: None,
             p99_ns: Some(p99_ns),
             throughput_per_sec: None,
+            p25_ns: Some(percentile(&samples_ns, 0.25)),
+            p75_ns: Some(percentile(&samples_ns, 0.75)),
         },
         BenchResult {
             id: format!("serve/decide_sustained/{clients}c"),
@@ -164,6 +166,9 @@ fn main() {
             allocs: None,
             p99_ns: None,
             throughput_per_sec: Some(decisions_per_sec),
+            // A single wall-clock window has no repetition spread.
+            p25_ns: None,
+            p75_ns: None,
         },
     ];
 

@@ -8,12 +8,18 @@
 //!
 //! Medians are compared rather than means: the snapshots are taken on
 //! shared, noisy machines where a single descheduling blows up the mean
-//! but leaves the median representative. Latency verdicts are therefore
-//! advisory. What *is* a gate ([`fatal_failures`], and a non-zero exit
-//! from `bench-diff` in `ci.sh`) are the exactly-reproducible checks:
-//! a probe disappearing from the series (snapshot shape) and heap
-//! allocation counts growing — both are deterministic properties of the
-//! code, not of the machine the snapshot was taken on.
+//! but leaves the median representative. When both snapshots carry the
+//! repetition quartiles (`p25_ns`/`p75_ns`), the verdict also consults
+//! dispersion: a median that moved past the noise threshold while the
+//! two interquartile ranges still overlap is reclassified as
+//! [`Verdict::Unchanged`] — the distributions are not separable, so the
+//! movement is machine noise, not a code change. Latency verdicts are
+//! therefore advisory. What *is* a gate ([`fatal_failures`], and a
+//! non-zero exit from `bench-diff` in `ci.sh`) are the
+//! exactly-reproducible checks: a probe disappearing from the series
+//! (snapshot shape) and heap allocation counts growing — both are
+//! deterministic properties of the code, not of the machine the
+//! snapshot was taken on.
 
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +52,25 @@ pub struct BenchResult {
     /// Sustained operations per second over the probe's wall-clock
     /// window, for throughput probes (`None` otherwise). Advisory.
     pub throughput_per_sec: Option<f64>,
+    /// 25th-percentile sample, nanoseconds (`None` for snapshots
+    /// recorded before the quartile fields existed). Together with
+    /// `p75_ns` this carries the repetition spread, letting the diff
+    /// judge overlap instead of comparing two point medians.
+    pub p25_ns: Option<f64>,
+    /// 75th-percentile sample, nanoseconds (see `p25_ns`).
+    pub p75_ns: Option<f64>,
+}
+
+impl BenchResult {
+    /// The probe's interquartile range, when the snapshot recorded one.
+    /// Degenerate ranges (p25 > p75, NaN) come back as `None` so a
+    /// malformed snapshot cannot rescue a verdict.
+    fn iqr(&self) -> Option<(f64, f64)> {
+        match (self.p25_ns, self.p75_ns) {
+            (Some(lo), Some(hi)) if lo <= hi => Some((lo, hi)),
+            _ => None,
+        }
+    }
 }
 
 /// One PR's worth of probe results.
@@ -85,6 +110,11 @@ pub struct DiffLine {
     pub ratio: Option<f64>,
     /// Classification against the noise threshold.
     pub verdict: Verdict,
+    /// The median crossed the noise threshold but the two interquartile
+    /// ranges overlap, so the verdict was reclassified as
+    /// [`Verdict::Unchanged`]. Only ever true when both snapshots carry
+    /// quartiles.
+    pub iqr_rescued: bool,
 }
 
 /// Compares two snapshots probe by probe.
@@ -103,6 +133,7 @@ pub fn diff_snapshots(prev: &BenchSnapshot, cur: &BenchSnapshot, noise_frac: f64
                 cur_median_ns: Some(result.median_ns),
                 ratio: None,
                 verdict: Verdict::Added,
+                iqr_rescued: false,
             },
             Some(before) => {
                 let ratio = if before.median_ns > 0.0 {
@@ -110,19 +141,32 @@ pub fn diff_snapshots(prev: &BenchSnapshot, cur: &BenchSnapshot, noise_frac: f64
                 } else {
                     f64::INFINITY
                 };
-                let verdict = if ratio > 1.0 + noise_frac {
+                let mut verdict = if ratio > 1.0 + noise_frac {
                     Verdict::Regressed
                 } else if ratio < 1.0 - noise_frac {
                     Verdict::Improved
                 } else {
                     Verdict::Unchanged
                 };
+                // Dispersion check: a flagged median whose interquartile
+                // ranges still overlap is not a separable distribution
+                // shift — downgrade to Unchanged and say so.
+                let mut iqr_rescued = false;
+                if verdict != Verdict::Unchanged {
+                    if let (Some((plo, phi)), Some((clo, chi))) = (before.iqr(), result.iqr()) {
+                        if plo <= chi && clo <= phi {
+                            verdict = Verdict::Unchanged;
+                            iqr_rescued = true;
+                        }
+                    }
+                }
                 DiffLine {
                     id: result.id.clone(),
                     prev_median_ns: Some(before.median_ns),
                     cur_median_ns: Some(result.median_ns),
                     ratio: Some(ratio),
                     verdict,
+                    iqr_rescued,
                 }
             }
         };
@@ -136,6 +180,7 @@ pub fn diff_snapshots(prev: &BenchSnapshot, cur: &BenchSnapshot, noise_frac: f64
                 cur_median_ns: None,
                 ratio: None,
                 verdict: Verdict::Removed,
+                iqr_rescued: false,
             });
         }
     }
@@ -194,6 +239,7 @@ pub fn render_diff(prev: &BenchSnapshot, cur: &BenchSnapshot, lines: &[DiffLine]
         let verdict = match line.verdict {
             Verdict::Regressed => "REGRESSED",
             Verdict::Improved => "improved",
+            Verdict::Unchanged if line.iqr_rescued => "ok (IQR overlap)",
             Verdict::Unchanged => "ok",
             Verdict::Added => "added",
             Verdict::Removed => "removed",
@@ -239,6 +285,16 @@ mod tests {
             allocs: None,
             p99_ns: None,
             throughput_per_sec: None,
+            p25_ns: None,
+            p75_ns: None,
+        }
+    }
+
+    fn result_with_iqr(id: &str, median_ns: f64, p25_ns: f64, p75_ns: f64) -> BenchResult {
+        BenchResult {
+            p25_ns: Some(p25_ns),
+            p75_ns: Some(p75_ns),
+            ..result(id, median_ns)
         }
     }
 
@@ -296,6 +352,74 @@ mod tests {
         let text = render_diff(&prev, &cur, &lines);
         assert!(text.contains("REGRESSED"), "{text}");
         assert!(text.contains("warning: hot regressed 2.00x"), "{text}");
+    }
+
+    #[test]
+    fn overlapping_iqrs_rescue_a_flagged_median() {
+        // +50 % median movement, but wide spreads that still overlap:
+        // the distributions are not separable, so no flag.
+        let prev = snapshot("PR1", vec![result_with_iqr("hot", 100.0, 80.0, 160.0)]);
+        let cur = snapshot("PR2", vec![result_with_iqr("hot", 150.0, 120.0, 210.0)]);
+        let lines = diff_snapshots(&prev, &cur, 0.3);
+        assert_eq!(lines[0].verdict, Verdict::Unchanged);
+        assert!(lines[0].iqr_rescued);
+        let text = render_diff(&prev, &cur, &lines);
+        assert!(text.contains("ok (IQR overlap)"), "{text}");
+        assert!(!text.contains("warning:"), "{text}");
+    }
+
+    #[test]
+    fn disjoint_iqrs_keep_the_regression_flag() {
+        let prev = snapshot("PR1", vec![result_with_iqr("hot", 100.0, 95.0, 105.0)]);
+        let cur = snapshot("PR2", vec![result_with_iqr("hot", 150.0, 145.0, 155.0)]);
+        let lines = diff_snapshots(&prev, &cur, 0.3);
+        assert_eq!(lines[0].verdict, Verdict::Regressed);
+        assert!(!lines[0].iqr_rescued);
+    }
+
+    #[test]
+    fn missing_or_degenerate_quartiles_fall_back_to_point_medians() {
+        // Old snapshots without quartiles: the point-median verdict
+        // stands, on either side of the diff.
+        let old = snapshot("PR1", vec![result("hot", 100.0)]);
+        let new = snapshot("PR2", vec![result_with_iqr("hot", 150.0, 120.0, 210.0)]);
+        assert_eq!(
+            diff_snapshots(&old, &new, 0.3)[0].verdict,
+            Verdict::Regressed
+        );
+        assert_eq!(
+            diff_snapshots(&new, &old, 0.3)[0].verdict,
+            Verdict::Improved
+        );
+
+        // An inverted quartile pair is malformed and must not rescue.
+        let bad = snapshot("PR2", vec![result_with_iqr("hot", 150.0, 210.0, 120.0)]);
+        let prev = snapshot("PR1", vec![result_with_iqr("hot", 100.0, 80.0, 160.0)]);
+        assert_eq!(
+            diff_snapshots(&prev, &bad, 0.3)[0].verdict,
+            Verdict::Regressed
+        );
+    }
+
+    #[test]
+    fn iqr_rescue_never_touches_the_fatal_lane() {
+        // Quartiles are advisory: alloc growth stays fatal even when
+        // the latency spread overlaps completely.
+        let prev = snapshot(
+            "PR1",
+            vec![BenchResult {
+                allocs: Some(3),
+                ..result_with_iqr("p", 100.0, 80.0, 160.0)
+            }],
+        );
+        let cur = snapshot(
+            "PR2",
+            vec![BenchResult {
+                allocs: Some(4),
+                ..result_with_iqr("p", 100.0, 80.0, 160.0)
+            }],
+        );
+        assert_eq!(fatal_failures(&prev, &cur).len(), 1);
     }
 
     #[test]
@@ -369,8 +493,8 @@ mod tests {
             r#"{"id":"a","mean_ns":1.0,"median_ns":1.0,"min_ns":0.9,"max_ns":1.2,"samples":20}"#;
         let r: BenchResult = serde_json::from_str(json).unwrap();
         assert_eq!(
-            (r.allocs, r.p99_ns, r.throughput_per_sec),
-            (None, None, None)
+            (r.allocs, r.p99_ns, r.throughput_per_sec, r.p25_ns, r.p75_ns),
+            (None, None, None, None, None)
         );
     }
 }

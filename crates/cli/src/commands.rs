@@ -557,13 +557,22 @@ pub fn cmd_client(args: &Args) -> Result<String, ArgsError> {
     };
     let listen = Listen::parse(connect);
     let attempts: u32 = args.get_parsed_or("retries", 50, "integer")?;
-    let mut client =
-        ServeClient::connect_retry(&listen, attempts, std::time::Duration::from_millis(20))
-            .map_err(|e| ArgsError::Invalid {
-                key: "connect".into(),
-                value: format!("{connect}: {e}"),
-                expected: "a reachable megh serve daemon",
-            })?;
+    // Deadline on connect and on every read/write: a wedged daemon must
+    // fail the invocation (and the ci.sh smoke stage) instead of
+    // hanging it. 0 disables the deadline.
+    let timeout_ms: u64 = args.get_parsed_or("timeout-ms", 5000, "integer")?;
+    let timeout = (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms));
+    let mut client = ServeClient::connect_retry_timeout(
+        &listen,
+        attempts,
+        std::time::Duration::from_millis(20),
+        timeout,
+    )
+    .map_err(|e| ArgsError::Invalid {
+        key: "connect".into(),
+        value: format!("{connect}: {e}"),
+        expected: "a reachable megh serve daemon",
+    })?;
     let line = client
         .request_raw(&request)
         .map_err(|e| ArgsError::Invalid {
@@ -651,6 +660,8 @@ client:
   --seed N                      decide: decision seed     [0]
   --action N --cost C           observe: applied action and observed cost
   --retries N                   connection attempts, 20ms apart [50]
+  --timeout-ms N                connect/read/write deadline per attempt,
+                                0 = wait forever            [5000]
 "
     .to_string()
 }

@@ -278,6 +278,7 @@ impl Scheduler for MeghAgent {
         "Megh"
     }
 
+    // lint: depth_budget(8)
     fn decide(&mut self, view: &DataCenterView) -> Vec<MigrationRequest> {
         assert_eq!(
             (view.n_vms(), view.n_hosts()),
@@ -340,6 +341,7 @@ impl Scheduler for MeghAgent {
         requests
     }
 
+    // lint: depth_budget(2)
     fn observe(&mut self, feedback: &StepFeedback) {
         self.last_cost = Some(feedback.total_cost_usd);
     }

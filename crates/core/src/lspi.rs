@@ -239,6 +239,7 @@ impl SparseLspi {
     /// # Panics
     ///
     /// Panics if either action index is out of range.
+    // lint: depth_budget(6)
     pub fn update(&mut self, a_prev: usize, a_next: usize, cost: f64) -> bool {
         assert!(a_prev < self.dim, "a_prev out of range");
         assert!(a_next < self.dim, "a_next out of range");
@@ -383,6 +384,7 @@ impl SparseLspi {
     /// # Panics
     ///
     /// Panics if either action index is out of range.
+    // lint: depth_budget(6)
     pub fn preview_update(&mut self, a_prev: usize, a_next: usize, cost: f64) -> Option<f64> {
         assert!(a_prev < self.dim, "a_prev out of range");
         assert!(a_next < self.dim, "a_next out of range");

@@ -86,6 +86,7 @@ impl BoltzmannPolicy {
     /// minimum is masked out — it falls back to the minimum-Q *allowed*
     /// action rather than dropping the request. Returns `None` only when
     /// the space is empty or no action is allowed at all.
+    // lint: depth_budget(6)
     pub fn sample_masked<R: Rng>(
         &self,
         lspi: &SparseLspi,
@@ -129,6 +130,7 @@ impl BoltzmannPolicy {
     /// Streams over `θ`'s entries in two passes (mass, then lookup)
     /// instead of materialising the weight table — the steady-state call
     /// performs zero heap allocations.
+    // lint: depth_budget(5)
     pub fn sample<R: Rng>(&self, lspi: &SparseLspi, rng: &mut R) -> Option<usize> {
         let d = lspi.dim();
         if d == 0 {
@@ -195,6 +197,7 @@ impl BoltzmannPolicy {
     /// # Panics
     ///
     /// Panics if the action space is empty.
+    // lint: depth_budget(4)
     pub fn greedy<R: Rng>(&self, lspi: &SparseLspi, rng: &mut R) -> usize {
         let d = lspi.dim();
         assert!(d > 0, "empty action space");

@@ -259,6 +259,7 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `v.dim()` or `out.dim()` differs from `self.order()`.
+    // lint: depth_budget(3)
     pub fn mul_sparse_vec_into(&self, v: &SparseVec, out: &mut SparseVec) {
         assert_eq!(v.dim(), self.order, "dimension mismatch");
         assert_eq!(out.dim(), self.order, "output dimension mismatch");

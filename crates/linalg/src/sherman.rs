@@ -68,6 +68,7 @@ impl std::error::Error for ShermanMorrisonError {}
 /// assert!((b.get(0, 0) - 0.5).abs() < 1e-12);
 /// # Ok::<(), megh_linalg::ShermanMorrisonError>(())
 /// ```
+// lint: depth_budget(7)
 pub fn sherman_morrison_update(
     b: &mut DokMatrix,
     u: &SparseVec,

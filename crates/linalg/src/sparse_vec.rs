@@ -205,6 +205,7 @@ impl SparseVec {
     /// # Panics
     ///
     /// Panics if the dimensions differ.
+    // lint: depth_budget(1)
     pub fn dot(&self, other: &SparseVec) -> f64 {
         assert_eq!(self.dim, other.dim, "dimension mismatch in dot product");
         let (mut i, mut j) = (0, 0);

@@ -55,6 +55,35 @@ pub(crate) struct CallSite {
     pub callee: String,
     /// Receiver / qualifier shape.
     pub recv: Recv,
+    /// 0-based line of the callee token.
+    pub line: usize,
+    /// Token index of the callee (orders call sites against guard scopes).
+    pub tok: usize,
+    /// `name()` with an empty argument list — how `RwLock::read()` is
+    /// told apart from `io::Read::read(buf)`.
+    pub empty_args: bool,
+}
+
+/// One lock acquisition: a zero-argument `.lock()` / `.read()` /
+/// `.write()` call on a resolvable receiver chain.
+#[derive(Debug, Clone)]
+pub(crate) struct Acquire {
+    /// Lock identity: the last receiver-chain segment (`snapshot` for
+    /// `self.shared.snapshot.write()`). Same-named fields collide into
+    /// one identity — an over-approximation, never a miss.
+    pub lock: String,
+    /// Full receiver chain for display (`self.shared.snapshot`).
+    pub chain: String,
+    /// Acquisition method (`lock`, `read`, `write`).
+    pub method: String,
+    /// 0-based line of the acquisition.
+    pub line: usize,
+    /// Token index of the method ident.
+    pub tok: usize,
+    /// `(end token, 0-based end line)` of the enclosing block when the
+    /// guard escaped into a `let` binding; `None` for momentary guards
+    /// (consumed in-expression or as a `match` scrutinee).
+    pub guard_until: Option<(usize, usize)>,
 }
 
 /// A local binding's inferred type.
@@ -95,6 +124,11 @@ pub(crate) struct FnItem {
     pub locals: BTreeMap<String, LocalTy>,
     /// Calls made by the body (closures included).
     pub calls: Vec<CallSite>,
+    /// Lock acquisitions in the body, in source order.
+    pub acquires: Vec<Acquire>,
+    /// `try_recv()` drains whose innermost enclosing loop has no
+    /// batch/len bound: `(0-based line, token index)`.
+    pub unbounded_recvs: Vec<(usize, usize)>,
     /// Brace depth of the body (innermost-wins fact attribution).
     pub depth: usize,
 }
@@ -274,6 +308,8 @@ fn parse_fn_header(
         generics: BTreeSet::new(),
         locals: BTreeMap::new(),
         calls: Vec::new(),
+        acquires: Vec::new(),
+        unbounded_recvs: Vec::new(),
         depth: 0,
     };
     let mut i = fn_kw + 2;
@@ -539,6 +575,112 @@ fn infer_initializer(toks: &[SpannedTok], mut i: usize, self_type: Option<&str>)
     LocalTy::Unknown
 }
 
+/// Methods whose zero-argument call on a receiver chain is a lock
+/// acquisition (`Mutex::lock`, `RwLock::read`/`write`).
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Whether `toks[i]` is an acquisition method call: `.m()` with `m` in
+/// [`ACQUIRE_METHODS`], zero arguments, and a walkable receiver chain.
+fn acquisition_at(toks: &[SpannedTok], i: usize) -> Option<Vec<String>> {
+    let name = ident(toks, i)?;
+    if !ACQUIRE_METHODS.contains(&name)
+        || punct(toks, i + 1) != Some('(')
+        || punct(toks, i + 2) != Some(')')
+        || i == 0
+        || punct(toks, i - 1) != Some('.')
+    {
+        return None;
+    }
+    receiver_chain(toks, i - 1)
+}
+
+/// Skips a balanced `(...)` group starting at the `(`; returns the index
+/// just past the matching `)`.
+fn skip_parens(toks: &[SpannedTok], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < toks.len() {
+        match punct(toks, i) {
+            Some('(') => depth += 1,
+            Some(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Finds the `;` terminating the statement whose initializer starts at
+/// `start` (paren/brace/bracket depth 0 relative to `start`).
+fn statement_end(toks: &[SpannedTok], mut i: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    while i < toks.len() {
+        match punct(toks, i) {
+            Some('(') | Some('{') | Some('[') => depth += 1,
+            Some(')') | Some('}') | Some(']') => {
+                if depth == 0 {
+                    return None; // enclosing block closed first
+                }
+                depth -= 1;
+            }
+            Some(';') if depth == 0 => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Whether the initializer tokens `[start, end)` end in a lock
+/// acquisition — i.e. the `let` binds the *guard*, not a value derived
+/// from it. The acquisition must be terminal modulo `.unwrap()`,
+/// `.expect(...)`, and `?`; anything else (`.clone()`, a `match`
+/// scrutinee, arithmetic) drops the guard within the statement.
+/// Returns the token index of the acquisition method ident.
+fn terminal_acquisition(toks: &[SpannedTok], start: usize, end: usize) -> Option<usize> {
+    let mut last = None;
+    let mut i = start;
+    while i < end {
+        if acquisition_at(toks, i).is_some() {
+            last = Some(i);
+        }
+        i += 1;
+    }
+    let acq = last?;
+    // Verify the suffix after `.m()` is only unwrap/expect/? up to `;`.
+    let mut p = acq + 3;
+    loop {
+        if p == end {
+            return Some(acq);
+        }
+        match toks.get(p).map(|t| &t.tok) {
+            Some(Tok::Punct('?')) => p += 1,
+            Some(Tok::Punct('.')) => match ident(toks, p + 1) {
+                Some("unwrap") | Some("expect") if punct(toks, p + 2) == Some('(') => {
+                    p = skip_parens(toks, p + 2);
+                }
+                _ => return None,
+            },
+            _ => return None,
+        }
+    }
+}
+
+/// Loop-header kinds the bound check distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LoopKind {
+    /// `loop { .. }`: never bounded.
+    Bare,
+    /// `while <cond> { .. }`: bounded iff the condition compares.
+    While,
+    /// `for x in iter { .. }`: the iterator is the bound.
+    For,
+}
+
 /// Context kinds the brace-tracking stack distinguishes.
 #[derive(Debug, Clone)]
 enum Ctx {
@@ -590,16 +732,57 @@ pub(crate) fn parse_file(lines: &[LexedLine], in_test: &[bool]) -> ParsedFile {
     let mut stack: Vec<(Ctx, usize)> = Vec::new();
     let mut depth = 0usize;
     let mut i = 0usize;
+    // Guard tracking: acquisition token index -> brace depth of the
+    // `let` that binds it (the guard lives until that block closes).
+    let mut pending_guards: BTreeMap<usize, usize> = BTreeMap::new();
+    // Let-bound guards awaiting their block's `}`: (fn, acquire, depth).
+    let mut open_guards: Vec<(usize, usize, usize)> = Vec::new();
+    // Loop stack: (depth at which the body `{` opened, bounded header).
+    let mut loops: Vec<(usize, bool)> = Vec::new();
+    // A loop keyword seen, body `{` not yet reached: (header start, kind).
+    let mut pending_loop: Option<(usize, LoopKind)> = None;
+    // `try_recv()` sites inside a pending loop header: (fn, tok, line).
+    let mut pending_header_recvs: Vec<(usize, usize, usize)> = Vec::new();
 
     while i < toks.len() {
         match &toks[i].tok {
             Tok::Punct('{') => {
+                if let Some((start, kind)) = pending_loop.take() {
+                    let bounded = match kind {
+                        LoopKind::For => true,
+                        LoopKind::Bare => false,
+                        // A `while` header with no comparison (`while let
+                        // Ok(..) = rx.try_recv()`) drains until empty.
+                        LoopKind::While => toks[start..i]
+                            .iter()
+                            .any(|t| matches!(t.tok, Tok::Punct('<') | Tok::Punct('>'))),
+                    };
+                    loops.push((depth, bounded));
+                    if !bounded {
+                        for (fi, tok, line) in pending_header_recvs.drain(..) {
+                            out.fns[fi].unbounded_recvs.push((line, tok));
+                        }
+                    } else {
+                        pending_header_recvs.clear();
+                    }
+                }
                 stack.push((Ctx::Other, depth));
                 depth += 1;
                 i += 1;
             }
             Tok::Punct('}') => {
                 depth = depth.saturating_sub(1);
+                open_guards.retain(|&(fi, ai, close_depth)| {
+                    if close_depth > depth {
+                        out.fns[fi].acquires[ai].guard_until = Some((i, toks[i].line));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                while loops.last().is_some_and(|&(d, _)| d >= depth) {
+                    loops.pop();
+                }
                 while let Some((ctx, d)) = stack.last() {
                     if *d >= depth {
                         if let Ctx::Fn(fi) = ctx {
@@ -702,6 +885,23 @@ pub(crate) fn parse_file(lines: &[LexedLine], in_test: &[bool]) -> ParsedFile {
                     None => i += 1,
                 }
             }
+            Tok::Ident(kw) if kw == "while" || kw == "loop" || kw == "for" => {
+                let kind = match kw.as_str() {
+                    "while" => LoopKind::While,
+                    "for" => LoopKind::For,
+                    _ => LoopKind::Bare,
+                };
+                pending_loop = Some((i, kind));
+                pending_header_recvs.clear();
+                i += 1;
+            }
+            Tok::Punct(';') => {
+                // A `;` before the body `{` means the pending keyword was
+                // not a loop header after all (e.g. `for<'a>` in a type).
+                pending_loop = None;
+                pending_header_recvs.clear();
+                i += 1;
+            }
             Tok::Ident(kw) if kw == "let" => {
                 // Only meaningful inside a fn body.
                 let cur_fn = stack.iter().rev().find_map(|(ctx, _)| match ctx {
@@ -732,6 +932,34 @@ pub(crate) fn parse_file(lines: &[LexedLine], in_test: &[bool]) -> ParsedFile {
                             LocalTy::Unknown
                         };
                         out.fns[fi].locals.insert(name, ty);
+                        // Guard tracking: a `let` whose initializer *ends*
+                        // in a lock acquisition binds the guard for the
+                        // rest of the block. (`while let` / `if let` bind
+                        // per-iteration and are handled by their scopes.)
+                        let header_let = i > 0
+                            && matches!(&toks[i - 1].tok,
+                                Tok::Ident(p) if p == "while" || p == "if");
+                        if !header_let {
+                            let mut e = j + 1;
+                            let eq = loop {
+                                match toks.get(e).map(|t| &t.tok) {
+                                    None | Some(Tok::Punct(';')) | Some(Tok::Punct('{')) => {
+                                        break None
+                                    }
+                                    Some(Tok::Punct('=')) if punct(&toks, e + 1) != Some('=') => {
+                                        break Some(e)
+                                    }
+                                    _ => e += 1,
+                                }
+                            };
+                            if let Some(eq) = eq {
+                                if let Some(end) = statement_end(&toks, eq + 1) {
+                                    if let Some(acq) = terminal_acquisition(&toks, eq + 1, end) {
+                                        pending_guards.insert(acq, depth);
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
                 i = j + 1;
@@ -758,10 +986,41 @@ pub(crate) fn parse_file(lines: &[LexedLine], in_test: &[bool]) -> ParsedFile {
                     } else {
                         Recv::Free
                     };
+                    let empty_args = punct(&toks, i + 2) == Some(')');
                     if let Some(fi) = cur_fn {
+                        if empty_args && ACQUIRE_METHODS.contains(&name.as_str()) {
+                            if let Recv::Chain(chain) = &recv {
+                                let ai = out.fns[fi].acquires.len();
+                                out.fns[fi].acquires.push(Acquire {
+                                    lock: chain.last().cloned().unwrap_or_default(),
+                                    chain: chain.join("."),
+                                    method: name.clone(),
+                                    line: toks[i].line,
+                                    tok: i,
+                                    guard_until: None,
+                                });
+                                if let Some(close_depth) = pending_guards.remove(&i) {
+                                    open_guards.push((fi, ai, close_depth));
+                                }
+                            }
+                        }
+                        if name == "try_recv"
+                            && empty_args
+                            && i > 0
+                            && punct(&toks, i - 1) == Some('.')
+                        {
+                            if pending_loop.is_some() {
+                                pending_header_recvs.push((fi, i, toks[i].line));
+                            } else if loops.last().is_some_and(|&(_, bounded)| !bounded) {
+                                out.fns[fi].unbounded_recvs.push((toks[i].line, i));
+                            }
+                        }
                         out.fns[fi].calls.push(CallSite {
                             callee: name.clone(),
                             recv,
+                            line: toks[i].line,
+                            tok: i,
+                            empty_args,
                         });
                     }
                 }
@@ -860,6 +1119,96 @@ fn build(dim: usize) {
         assert_eq!(*kinds[2].1, Recv::Chain(vec!["v".into()]));
         assert_eq!(kinds[3].0, "mean");
         assert_eq!(*kinds[3].1, Recv::Path(vec!["megh_linalg".into()]));
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_block_end() {
+        let src = "\
+fn publish(&self) {
+    let guard = self.shared.snapshot.write().unwrap();
+    use_it(&guard);
+}
+";
+        let p = parse(src);
+        let acq = &p.fns[0].acquires;
+        assert_eq!(acq.len(), 1, "{acq:?}");
+        assert_eq!(acq[0].lock, "snapshot");
+        assert_eq!(acq[0].chain, "self.shared.snapshot");
+        assert_eq!(acq[0].method, "write");
+        // Guard closes at the fn's `}` on line 3 (0-based).
+        assert_eq!(acq[0].guard_until.map(|(_, l)| l), Some(3));
+    }
+
+    #[test]
+    fn derived_value_and_match_scrutinee_are_momentary() {
+        let src = "\
+fn peek(&self) -> usize {
+    let n = self.inner.lock().unwrap().len();
+    let snapshot = match self.shared.snapshot.read() {
+        Ok(g) => g.clone(),
+        Err(_) => return 0,
+    };
+    n + snapshot.len()
+}
+";
+        let p = parse(src);
+        let acq = &p.fns[0].acquires;
+        assert_eq!(acq.len(), 2, "{acq:?}");
+        // `.len()` after the unwrap drops the guard within the statement;
+        // the match scrutinee guard never escapes into the `let`.
+        assert!(acq.iter().all(|a| a.guard_until.is_none()), "{acq:?}");
+    }
+
+    #[test]
+    fn while_let_header_guard_is_momentary() {
+        let src = "\
+fn drain(&self) {
+    while let Ok(g) = self.m.lock() {
+        g.pop();
+    }
+}
+";
+        let p = parse(src);
+        let acq = &p.fns[0].acquires;
+        assert_eq!(acq.len(), 1, "{acq:?}");
+        assert!(acq[0].guard_until.is_none());
+    }
+
+    #[test]
+    fn try_recv_loop_boundedness() {
+        let src = "\
+fn pump(rx: &Receiver) {
+    while batch.len() < MAX_BATCH {
+        match rx.try_recv() { _ => break }
+    }
+    while let Ok(msg) = rx.try_recv() {
+        drop(msg);
+    }
+    for _ in 0..4 {
+        let _ = rx.try_recv();
+    }
+}
+";
+        let p = parse(src);
+        let recvs = &p.fns[0].unbounded_recvs;
+        // Only the `while let` drain on line 4 (0-based) is unbounded.
+        assert_eq!(recvs.len(), 1, "{recvs:?}");
+        assert_eq!(recvs[0].0, 4);
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_an_acquisition() {
+        let src = "\
+fn load(&self, buf: &mut [u8]) {
+    let n = self.stream.read(buf).unwrap();
+    consume(n);
+}
+";
+        let p = parse(src);
+        assert!(p.fns[0].acquires.is_empty(), "{:?}", p.fns[0].acquires);
+        let call = &p.fns[0].calls[0];
+        assert_eq!(call.callee, "read");
+        assert!(!call.empty_args);
     }
 
     #[test]

@@ -81,13 +81,17 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+mod fix;
 mod graph;
 mod items;
 pub mod report;
 
+pub use fix::{fix_root, fix_sources};
+
 pub use report::{
-    diff_reports, render_diff, AllowEntry, FnEntry, LintReport, ReportDiff, ReportStats, RuleCount,
-    REPORT_FILE, SCHEMA_VERSION,
+    diff_reports, render_diff, AllowEntry, DepthBudgetEntry, FnEntry, GuardEntry, LintReport,
+    LockOrderEdge, LockOrderSection, ReportDiff, ReportStats, RuleCount, REPORT_FILE,
+    SCHEMA_VERSION,
 };
 
 /// Every rule class, in the fixed order the report counts them.
@@ -102,6 +106,10 @@ pub const RULES: &[&str] = &[
     "transitive_panic",
     "transitive_nondet",
     "dead_allow",
+    "guard_across_blocking",
+    "lock_order",
+    "unbounded_queue",
+    "call_depth_budget",
 ];
 
 /// Rule (and allow) names of the transitive variants, class-aligned
@@ -354,6 +362,9 @@ pub fn lexed_line_count(source: &str) -> usize {
 pub(crate) struct Directives {
     deny_alloc: bool,
     allows: Vec<String>,
+    /// `depth_budget(N)`: ceiling on the transitive call depth of the
+    /// function whose signature shares this line.
+    depth_budget: Option<u64>,
 }
 
 fn parse_directives(comment: &str) -> Directives {
@@ -371,6 +382,10 @@ fn parse_directives(comment: &str) -> Directives {
                         out.allows.push(name.to_string());
                     }
                 }
+            }
+        } else if let Some(args) = body.strip_prefix("depth_budget(") {
+            if let Some(end) = args.find(')') {
+                out.depth_budget = args[..end].trim().parse().ok();
             }
         }
         rest = &rest[pos + 5..];
@@ -536,6 +551,20 @@ impl FileScan {
     /// Marks the directive at `idx` as live for `name`.
     pub(crate) fn credit(&mut self, idx: usize, name: &str) {
         self.used.insert((idx, name.to_string()));
+    }
+
+    /// The `depth_budget(N)` directive for the signature at line `idx`:
+    /// inline on the line itself, or alone on the directly preceding
+    /// (code-free) comment line — same placement grammar as `allow`,
+    /// so rustfmt-driven comment relocation cannot detach a budget.
+    pub(crate) fn depth_budget_at(&self, idx: usize) -> Option<u64> {
+        if let Some(budget) = self.directives.get(idx).and_then(|d| d.depth_budget) {
+            return Some(budget);
+        }
+        if idx > 0 && !self.lines[idx - 1].has_code() {
+            return self.directives[idx - 1].depth_budget;
+        }
+        None
     }
 }
 
@@ -834,6 +863,9 @@ pub struct Analysis {
     pub violations: Vec<Violation>,
     /// The `LINT_REPORT.json` content for this corpus.
     pub report: LintReport,
+    /// Structured dead-allow sites for `--fix`: (file, 0-based line
+    /// index, allow name).
+    pub dead_allows: Vec<(String, usize, String)>,
 }
 
 /// Analyze a set of in-memory sources as one corpus: token rules per
@@ -851,9 +883,11 @@ pub fn analyze_sources(sources: &[(String, String)]) -> Analysis {
     violations.extend(outcome.violations.iter().cloned());
 
     // Dead-escape detection: a directive nothing credited is stale.
+    let mut dead_allows: Vec<(String, usize, String)> = Vec::new();
     for file in &files {
         for (idx, name) in &file.allow_sites {
             if !file.used.contains(&(*idx, name.clone())) {
+                dead_allows.push((file.rel_path.clone(), *idx, name.clone()));
                 violations.push(Violation {
                     file: file.rel_path.clone(),
                     line: idx + 1,
@@ -934,11 +968,15 @@ pub fn analyze_sources(sources: &[(String, String)]) -> Analysis {
 
     Analysis {
         violations,
+        dead_allows,
         report: LintReport {
             schema: SCHEMA_VERSION,
             rules,
             functions,
             allows,
+            lock_order: Some(outcome.lock_order),
+            guards: Some(outcome.guards),
+            depth_budgets: Some(outcome.depth_budgets),
             stats,
         },
     }

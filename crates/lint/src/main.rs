@@ -1,4 +1,5 @@
-//! Binary driver: `cargo run -p lint [--root <dir>] [--report] [--diff]`.
+//! Binary driver:
+//! `cargo run -p lint [--root <dir>] [--report] [--diff] [--fix [--check]]`.
 //!
 //! Walks the workspace, prints every invariant violation as
 //! `path:line: [rule] message`, and exits non-zero when any are found.
@@ -9,6 +10,11 @@
 //!   `LINT_REPORT.json` snapshot; exit non-zero on fatal regressions
 //!   (a previously-clean function gaining a property, or any rule's
 //!   violation count increasing).
+//! * `--fix` — delete dead `lint: allow(...)` names and normalize
+//!   directive grammar in place, then analyze the fixed tree. The
+//!   rewrite is idempotent: a second `--fix` run changes nothing.
+//! * `--check` (with `--fix`) — report the files `--fix` would rewrite
+//!   without touching them, and exit non-zero if there are any.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,13 +24,19 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut write_report = false;
     let mut diff_mode = false;
+    let mut fix_mode = false;
+    let mut check_mode = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--report" => write_report = true,
             "--diff" => diff_mode = true,
+            "--fix" => fix_mode = true,
+            "--check" => check_mode = true,
             "--help" | "-h" => {
-                println!("usage: lint [--root <workspace-dir>] [--report] [--diff]");
+                println!(
+                    "usage: lint [--root <workspace-dir>] [--report] [--diff] [--fix [--check]]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -46,6 +58,41 @@ fn main() -> ExitCode {
                 .unwrap_or(cwd)
         }
     });
+
+    if check_mode && !fix_mode {
+        eprintln!("lint: --check requires --fix");
+        return ExitCode::FAILURE;
+    }
+    if fix_mode {
+        match lint::fix_root(&root, check_mode) {
+            Ok(changed) if changed.is_empty() => {
+                println!("lint: fix: nothing to do");
+            }
+            Ok(changed) => {
+                for rel in &changed {
+                    println!(
+                        "lint: fix: {} {rel}",
+                        if check_mode {
+                            "would rewrite"
+                        } else {
+                            "rewrote"
+                        }
+                    );
+                }
+                if check_mode {
+                    eprintln!(
+                        "lint: fix: {} file(s) need `cargo run -p lint -- --fix`",
+                        changed.len()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(err) => {
+                eprintln!("lint: fix: io error: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let analysis = match lint::analyze_root(&root) {
         Ok(analysis) => analysis,

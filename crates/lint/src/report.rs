@@ -62,6 +62,65 @@ impl FnEntry {
     }
 }
 
+/// One edge of the acquisition-order digraph: while a guard on `from`
+/// is held, `to` is (or may, through calls, be) acquired.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockOrderEdge {
+    /// Lock held (last receiver-chain segment, e.g. `snapshot`).
+    pub from: String,
+    /// Lock acquired under it.
+    pub to: String,
+    /// Workspace-relative file of the inner acquisition or call.
+    pub file: String,
+    /// 1-based line of that site.
+    pub line: usize,
+    /// Function holding the outer guard.
+    pub function: String,
+}
+
+/// The lock-order section: the full digraph plus detected cycles.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LockOrderSection {
+    /// All order edges, (from, to) sorted.
+    pub edges: Vec<LockOrderEdge>,
+    /// Strongly-connected components of ≥2 locks (each sorted; empty in
+    /// a deadlock-free tree).
+    pub cycles: Vec<Vec<String>>,
+}
+
+/// One let-bound lock guard and how risky its live range is.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardEntry {
+    /// Function owning the guard.
+    pub function: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based acquisition line.
+    pub line: usize,
+    /// Full receiver chain of the lock (`self.shared.snapshot`).
+    pub lock: String,
+    /// 1-based line of the `}` closing the guard's block.
+    pub held_to_line: usize,
+    /// Blocking operations (direct or via calls) inside the live range.
+    /// Non-zero entries exist only under an explicit vouch.
+    pub risky_ops: usize,
+}
+
+/// One budgeted function's measured transitive call depth.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepthBudgetEntry {
+    /// Qualified display name.
+    pub function: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based signature line (where `depth_budget(N)` sits inline).
+    pub line: usize,
+    /// The committed ceiling.
+    pub budget: u64,
+    /// Longest workspace call chain; `None` = reaches a recursive cycle.
+    pub depth: Option<u64>,
+}
+
 /// One `// lint: allow(...)` directive occurrence.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AllowEntry {
@@ -99,12 +158,23 @@ pub struct LintReport {
     pub functions: Vec<FnEntry>,
     /// Allow-directive inventory, (file, line, name) order.
     pub allows: Vec<AllowEntry>,
+    /// Acquisition-order digraph and cycles. `Option` so pre-v3
+    /// snapshots (where the key is absent) still parse — the vendored
+    /// serde shim maps missing keys to `None`.
+    pub lock_order: Option<LockOrderSection>,
+    /// Let-bound guard inventory, (file, line) order (v3, optional as
+    /// above).
+    pub guards: Option<Vec<GuardEntry>>,
+    /// Depth-budget table, (file, line) order (v3, optional as above).
+    pub depth_budgets: Option<Vec<DepthBudgetEntry>>,
     /// Corpus totals.
     pub stats: ReportStats,
 }
 
-/// Current schema version.
-pub const SCHEMA_VERSION: usize = 1;
+/// Current schema version: 3, matching the analyzer generation that
+/// added the lock-order, guard, and depth-budget sections (the original
+/// call-graph property table shipped as schema 1).
+pub const SCHEMA_VERSION: usize = 3;
 
 /// File name of the committed snapshot at the workspace root.
 pub const REPORT_FILE: &str = "LINT_REPORT.json";
@@ -221,6 +291,110 @@ pub fn diff_reports(prev: &LintReport, cur: &LintReport) -> ReportDiff {
             .push(format!("{removed} allow directive(s) removed"));
     }
 
+    // Guard section: a guard's live range getting riskier is a
+    // regression of the same kind as a gained property.
+    let cur_guards = cur.guards.as_deref().unwrap_or(&[]);
+    let prev_guards = prev.guards.as_deref().unwrap_or(&[]);
+    let gkey = |g: &GuardEntry| (g.file.clone(), g.function.clone(), g.lock.clone());
+    for guard in cur_guards {
+        match prev_guards.iter().find(|g| gkey(g) == gkey(guard)) {
+            None => {
+                if guard.risky_ops > 0 {
+                    diff.notes.push(format!(
+                        "new guard on `{}` in `{}` holds across {} blocking op(s) (vouched)",
+                        guard.lock, guard.function, guard.risky_ops
+                    ));
+                }
+            }
+            Some(before) if guard.risky_ops > before.risky_ops => diff.fatal.push(format!(
+                "guard on `{}` in `{}` now spans {} blocking op(s) (was {})",
+                guard.lock, guard.function, guard.risky_ops, before.risky_ops
+            )),
+            Some(before) if guard.risky_ops < before.risky_ops => diff.notes.push(format!(
+                "guard on `{}` in `{}` dropped to {} blocking op(s) (was {})",
+                guard.lock, guard.function, guard.risky_ops, before.risky_ops
+            )),
+            Some(_) => {}
+        }
+    }
+
+    // Lock-order section: a cycle that was not in the committed
+    // snapshot is a potential deadlock — fatal. Edge churn is a note.
+    let default_lo = LockOrderSection::default();
+    let cur_lo = cur.lock_order.as_ref().unwrap_or(&default_lo);
+    let prev_lo = prev.lock_order.as_ref().unwrap_or(&default_lo);
+    for cycle in &cur_lo.cycles {
+        if !prev_lo.cycles.contains(cycle) {
+            diff.fatal.push(format!(
+                "new lock-order cycle among {{{}}}",
+                cycle.join(", ")
+            ));
+        }
+    }
+    let ekey = |e: &LockOrderEdge| (e.from.clone(), e.to.clone());
+    let added_edges = cur_lo
+        .edges
+        .iter()
+        .filter(|e| !prev_lo.edges.iter().any(|p| ekey(p) == ekey(e)))
+        .count();
+    let removed_edges = prev_lo
+        .edges
+        .iter()
+        .filter(|e| !cur_lo.edges.iter().any(|p| ekey(p) == ekey(e)))
+        .count();
+    if added_edges > 0 || removed_edges > 0 {
+        diff.notes.push(format!(
+            "lock-order edges: {added_edges} added, {removed_edges} removed"
+        ));
+    }
+
+    // Depth budgets: growth eats committed headroom silently — fatal
+    // until the snapshot is regenerated deliberately.
+    let cur_depths = cur.depth_budgets.as_deref().unwrap_or(&[]);
+    let prev_depths = prev.depth_budgets.as_deref().unwrap_or(&[]);
+    let dkey = |d: &DepthBudgetEntry| (d.file.clone(), d.function.clone());
+    for entry in cur_depths {
+        match prev_depths.iter().find(|d| dkey(d) == dkey(entry)) {
+            None => diff.notes.push(format!(
+                "new depth budget on `{}` ({} with depth {})",
+                entry.function,
+                entry.budget,
+                match entry.depth {
+                    Some(d) => d.to_string(),
+                    None => "unbounded".to_string(),
+                }
+            )),
+            Some(before) => match (before.depth, entry.depth) {
+                (Some(_), None) => diff.fatal.push(format!(
+                    "`{}` call depth became unbounded (reaches a recursive cycle)",
+                    entry.function
+                )),
+                (Some(was), Some(now)) if now > was => diff.fatal.push(format!(
+                    "`{}` call depth grew from {} to {} (budget {})",
+                    entry.function, was, now, entry.budget
+                )),
+                (Some(was), Some(now)) if now < was => diff.notes.push(format!(
+                    "`{}` call depth dropped from {} to {}",
+                    entry.function, was, now
+                )),
+                _ => {
+                    if before.budget != entry.budget {
+                        diff.notes.push(format!(
+                            "`{}` budget changed from {} to {}",
+                            entry.function, before.budget, entry.budget
+                        ));
+                    }
+                }
+            },
+        }
+    }
+    for before in prev_depths {
+        if !cur_depths.iter().any(|d| dkey(d) == dkey(before)) {
+            diff.notes
+                .push(format!("depth budget on `{}` removed", before.function));
+        }
+    }
+
     if prev.stats != cur.stats {
         diff.notes.push(format!(
             "stats: files {} -> {}, functions {} -> {}, call edges {} -> {}, hot functions {} -> {}",
@@ -287,6 +461,9 @@ mod tests {
             }],
             functions,
             allows: Vec::new(),
+            lock_order: Some(LockOrderSection::default()),
+            guards: Some(Vec::new()),
+            depth_budgets: Some(Vec::new()),
             stats: ReportStats::default(),
         }
     }

@@ -1,0 +1,11 @@
+fn entry(x: u64) -> u64 { // lint: depth_budget(1)
+    mid(x)
+}
+
+fn mid(x: u64) -> u64 {
+    leaf(x)
+}
+
+fn leaf(x: u64) -> u64 {
+    x + 1
+}

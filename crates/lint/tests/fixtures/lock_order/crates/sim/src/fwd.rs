@@ -1,0 +1,7 @@
+fn forward(s: &Shared) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    inspect(&a, &b);
+}
+
+fn inspect(_a: &Guard, _b: &Guard) {}

@@ -1,0 +1,7 @@
+fn drain_all(rx: &Receiver) -> u64 {
+    let mut acc = 0;
+    while let Ok(v) = rx.try_recv() {
+        acc += v;
+    }
+    acc
+}

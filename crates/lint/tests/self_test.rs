@@ -337,6 +337,328 @@ pub fn scratch(n: usize) -> usize {
 }
 
 #[test]
+fn guard_across_blocking_fires_and_vouch_silences() {
+    let src = "\
+fn guarded_wait(relay: &Relay, rx: &Receiver) -> u64 {
+    let guard = relay.inner.lock();
+    let extra = rx.recv();
+    combine(&guard, extra)
+}
+
+fn combine(_guard: &Guard, extra: u64) -> u64 {
+    extra
+}
+";
+    let analysis = analyze_sources(&[("crates/sim/src/relay.rs".to_string(), src.to_string())]);
+    let hits: Vec<_> = analysis
+        .violations
+        .iter()
+        .filter(|v| v.rule == "guard_across_blocking")
+        .collect();
+    assert_eq!(hits.len(), 1, "{:?}", analysis.violations);
+    assert_eq!(hits[0].line, 2, "anchored at the acquisition site");
+    assert!(
+        hits[0].message.contains("recv"),
+        "witness must name the blocking op: {}",
+        hits[0].message
+    );
+
+    // A vouch at the acquisition site silences the rule and stays live.
+    let vouched = src.replace(
+        "    let guard = relay.inner.lock();",
+        "    // bounded: peer acks within one poll tick. lint: allow(guard_across_blocking)\n    \
+         let guard = relay.inner.lock();",
+    );
+    let analysis = analyze_sources(&[("crates/sim/src/relay.rs".to_string(), vouched)]);
+    assert!(
+        analysis.violations.is_empty(),
+        "vouched guard must be clean and the allow live: {:?}",
+        analysis.violations
+    );
+}
+
+#[test]
+fn guard_rule_ignores_momentary_guards() {
+    // Derived values and match scrutinees drop the guard immediately;
+    // holding nothing across the recv is the sanctioned serve pattern.
+    let src = "\
+fn poll(relay: &Relay, rx: &Receiver) -> u64 {
+    let len = relay.inner.lock().len();
+    let extra = rx.recv();
+    len as u64 + extra
+}
+";
+    let analysis = analyze_sources(&[("crates/sim/src/relay.rs".to_string(), src.to_string())]);
+    assert!(
+        analysis
+            .violations
+            .iter()
+            .all(|v| v.rule != "guard_across_blocking"),
+        "{:?}",
+        analysis.violations
+    );
+}
+
+#[test]
+fn lock_order_cycle_detected_across_files() {
+    let fwd = "\
+fn forward(s: &Shared) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    inspect(&a, &b);
+}
+";
+    let rev = "\
+fn reverse(s: &Shared) {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+    touch(&a, &b);
+}
+";
+    let analysis = analyze_sources(&[
+        ("crates/sim/src/fwd.rs".to_string(), fwd.to_string()),
+        ("crates/core/src/rev.rs".to_string(), rev.to_string()),
+    ]);
+    let cycles: Vec<_> = analysis
+        .violations
+        .iter()
+        .filter(|v| v.rule == "lock_order")
+        .collect();
+    assert_eq!(cycles.len(), 1, "{:?}", analysis.violations);
+    assert!(
+        cycles[0].message.contains("alpha") && cycles[0].message.contains("beta"),
+        "cycle finding must name both locks: {}",
+        cycles[0].message
+    );
+    // The report section carries the full acquisition-order graph.
+    let lo = analysis
+        .report
+        .lock_order
+        .as_ref()
+        .expect("lock-order section");
+    assert_eq!(lo.cycles.len(), 1);
+    assert!(
+        lo.edges.len() >= 2,
+        "both orderings recorded: {:?}",
+        lo.edges
+    );
+
+    // Consistent ordering in both files: edges recorded, no cycle.
+    let consistent = analyze_sources(&[
+        ("crates/sim/src/fwd.rs".to_string(), fwd.to_string()),
+        (
+            "crates/core/src/rev.rs".to_string(),
+            fwd.replace("forward", "also_forward"),
+        ),
+    ]);
+    assert!(
+        consistent.violations.iter().all(|v| v.rule != "lock_order"),
+        "{:?}",
+        consistent.violations
+    );
+}
+
+#[test]
+fn unbounded_queue_fires_and_bounded_drain_is_clean() {
+    let unbounded = "\
+fn drain_all(rx: &Receiver) -> u64 {
+    let mut acc = 0;
+    while let Ok(v) = rx.try_recv() {
+        acc += v;
+    }
+    acc
+}
+";
+    let analysis = analyze_sources(&[(
+        "crates/sim/src/drainq.rs".to_string(),
+        unbounded.to_string(),
+    )]);
+    let hits: Vec<_> = analysis
+        .violations
+        .iter()
+        .filter(|v| v.rule == "unbounded_queue")
+        .collect();
+    assert_eq!(hits.len(), 1, "{:?}", analysis.violations);
+    assert_eq!(hits[0].line, 3);
+
+    // serve's writer shape: the drain loop is capped by a batch bound.
+    let bounded = "\
+fn drain_batch(rx: &Receiver) -> u64 {
+    let mut acc = 0;
+    let mut n = 0;
+    while n < 256 {
+        match rx.try_recv() {
+            Ok(v) => acc += v,
+            Err(_) => break,
+        }
+        n += 1;
+    }
+    acc
+}
+";
+    let analysis =
+        analyze_sources(&[("crates/sim/src/drainq.rs".to_string(), bounded.to_string())]);
+    assert!(
+        analysis
+            .violations
+            .iter()
+            .all(|v| v.rule != "unbounded_queue"),
+        "bounded drains are the sanctioned pattern: {:?}",
+        analysis.violations
+    );
+}
+
+#[test]
+fn call_depth_budget_enforced_from_inline_directive() {
+    let src = "\
+fn entry(x: u64) -> u64 { // lint: depth_budget(1)
+    mid(x)
+}
+
+fn mid(x: u64) -> u64 {
+    leaf(x)
+}
+
+fn leaf(x: u64) -> u64 {
+    x + 1
+}
+";
+    let analysis = analyze_sources(&[("crates/sim/src/steps.rs".to_string(), src.to_string())]);
+    let hits: Vec<_> = analysis
+        .violations
+        .iter()
+        .filter(|v| v.rule == "call_depth_budget")
+        .collect();
+    assert_eq!(hits.len(), 1, "{:?}", analysis.violations);
+    assert_eq!(hits[0].line, 1, "anchored at the budgeted signature");
+
+    // A budget that covers the measured depth is clean, and the report
+    // row records the measurement either way.
+    let roomy = src.replace("depth_budget(1)", "depth_budget(2)");
+    let analysis = analyze_sources(&[("crates/sim/src/steps.rs".to_string(), roomy)]);
+    assert!(analysis.violations.is_empty(), "{:?}", analysis.violations);
+    let rows = analysis.report.depth_budgets.as_deref().unwrap_or(&[]);
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].budget, 2);
+    assert_eq!(rows[0].depth, Some(2));
+}
+
+#[test]
+fn call_depth_budget_flags_unbounded_recursion() {
+    // A cycle under a budgeted fn has no finite longest path: the
+    // measurement comes back None and the budget can never hold.
+    let src = "\
+fn entry(x: u64) -> u64 { // lint: depth_budget(8)
+    spin(x)
+}
+
+fn spin(x: u64) -> u64 {
+    if x == 0 { 0 } else { spin(x - 1) }
+}
+";
+    let analysis = analyze_sources(&[("crates/sim/src/steps.rs".to_string(), src.to_string())]);
+    let hits: Vec<_> = analysis
+        .violations
+        .iter()
+        .filter(|v| v.rule == "call_depth_budget")
+        .collect();
+    assert_eq!(hits.len(), 1, "{:?}", analysis.violations);
+    let rows = analysis.report.depth_budgets.as_deref().unwrap_or(&[]);
+    assert_eq!(rows[0].depth, None, "recursion must poison the measurement");
+}
+
+#[test]
+fn fix_deletes_dead_allows_and_is_idempotent() {
+    let stale = "\
+fn fine() {
+    let x = 1 + 1; // lint: allow(alloc)
+    let _ = x;
+}
+
+// lint: allow(panic) — stale vouch from a removed helper
+fn also_fine() {}
+
+// lint: deny_alloc
+fn ctor() {
+    let v = Vec::new(); // lint:allow( alloc ,panic )
+    let _ = v;
+}
+";
+    let sources = vec![("crates/sim/src/seeded.rs".to_string(), stale.to_string())];
+    let fixed = lint::fix_sources(&sources);
+    assert_eq!(fixed.len(), 1, "one file rewritten");
+    let text = &fixed[0].1;
+    // Dead inline allow gone, dead standalone line gone with its reason,
+    // live directive canonicalized with its dead name dropped.
+    assert!(text.contains("let x = 1 + 1;\n"), "{text}");
+    assert!(!text.contains("stale vouch"), "{text}");
+    assert!(
+        text.contains("let v = Vec::new(); // lint: allow(alloc)\n"),
+        "{text}"
+    );
+
+    // Idempotence: fixing the fixed text changes nothing.
+    let again = lint::fix_sources(&[(fixed[0].0.clone(), text.clone())]);
+    assert!(again.is_empty(), "second --fix must be a no-op: {again:?}");
+
+    // And the fixed tree is clean under the analyzer.
+    let analysis = analyze_sources(&[(fixed[0].0.clone(), text.clone())]);
+    assert!(analysis.violations.is_empty(), "{:?}", analysis.violations);
+}
+
+#[test]
+fn fix_root_is_idempotent_on_a_fixture_tree() {
+    // Copy the dead_allow fixture into a scratch tree, fix it on disk
+    // twice, and require the second pass to change zero bytes.
+    let fixture =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/dead_allow");
+    let scratch = std::env::temp_dir().join(format!("lint_fix_idem_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let mut stack = vec![fixture.clone()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("fixture readable") {
+            let entry = entry.expect("entry");
+            let path = entry.path();
+            let rel = path.strip_prefix(&fixture).expect("under fixture");
+            if path.is_dir() {
+                stack.push(path.clone());
+            } else {
+                let dst = scratch.join(rel);
+                std::fs::create_dir_all(dst.parent().expect("parent")).expect("mkdir");
+                std::fs::copy(&path, &dst).expect("copy");
+            }
+        }
+    }
+    let first = lint::fix_root(&scratch, false).expect("fix must succeed");
+    assert!(
+        !first.is_empty(),
+        "the fixture seeds a dead allow to delete"
+    );
+    let snapshot: Vec<(String, String)> = first
+        .iter()
+        .map(|rel| {
+            (
+                rel.clone(),
+                std::fs::read_to_string(scratch.join(rel)).expect("fixed file"),
+            )
+        })
+        .collect();
+    let second = lint::fix_root(&scratch, false).expect("fix must succeed");
+    assert!(
+        second.is_empty(),
+        "second on-disk --fix must be a no-op: {second:?}"
+    );
+    for (rel, before) in &snapshot {
+        let after = std::fs::read_to_string(scratch.join(rel)).expect("fixed file");
+        assert_eq!(&after, before, "{rel} changed bytes on the second pass");
+    }
+    // --check mode reports nothing left to do and touches nothing.
+    let check = lint::fix_root(&scratch, true).expect("check must succeed");
+    assert!(check.is_empty(), "{check:?}");
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
 fn workspace_at_head_is_clean() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let started = std::time::Instant::now();

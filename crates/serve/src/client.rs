@@ -7,7 +7,7 @@
 //! diffs raw bytes across a daemon restart.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::time::Duration;
@@ -66,21 +66,63 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a daemon.
+    /// Connects to a daemon with no deadline (blocking I/O).
     ///
     /// # Errors
     ///
     /// Propagates the underlying socket error.
     pub fn connect(listen: &Listen) -> io::Result<Self> {
+        Self::connect_timeout(listen, None)
+    }
+
+    /// Connects to a daemon; `Some(timeout)` bounds the TCP connect
+    /// *and* every subsequent read/write, so a wedged daemon surfaces
+    /// as `WouldBlock`/`TimedOut` instead of hanging the caller (the
+    /// ci.sh serve smoke stage relies on this).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket error, including timeouts.
+    pub fn connect_timeout(listen: &Listen, timeout: Option<Duration>) -> io::Result<Self> {
         let stream = match listen {
             Listen::Tcp(addr) => {
-                let s = TcpStream::connect(addr.as_str())?;
+                let s = match timeout {
+                    None => TcpStream::connect(addr.as_str())?,
+                    Some(t) => {
+                        // connect_timeout wants a resolved SocketAddr;
+                        // try each resolution until one answers.
+                        let mut last = io::Error::other(format!("{addr}: no addresses resolved"));
+                        let mut found = None;
+                        for sa in addr.as_str().to_socket_addrs()? {
+                            match TcpStream::connect_timeout(&sa, t) {
+                                Ok(s) => {
+                                    found = Some(s);
+                                    break;
+                                }
+                                Err(e) => last = e,
+                            }
+                        }
+                        match found {
+                            Some(s) => s,
+                            None => return Err(last),
+                        }
+                    }
+                };
                 // See the server side: one-line round trips need Nagle off.
                 s.set_nodelay(true)?;
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)?;
                 Stream::Tcp(s)
             }
             #[cfg(unix)]
-            Listen::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            Listen::Unix(path) => {
+                // Unix connects are local and effectively instant; the
+                // deadline matters for reads against a wedged daemon.
+                let s = UnixStream::connect(path)?;
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)?;
+                Stream::Unix(s)
+            }
         };
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self {
@@ -95,9 +137,24 @@ impl Client {
     ///
     /// Returns the last connection error once `attempts` are exhausted.
     pub fn connect_retry(listen: &Listen, attempts: u32, delay: Duration) -> io::Result<Self> {
+        Self::connect_retry_timeout(listen, attempts, delay, None)
+    }
+
+    /// [`Client::connect_retry`] with a per-attempt connect deadline
+    /// that also becomes the connection's read/write timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error once `attempts` are exhausted.
+    pub fn connect_retry_timeout(
+        listen: &Listen,
+        attempts: u32,
+        delay: Duration,
+        timeout: Option<Duration>,
+    ) -> io::Result<Self> {
         let mut last = io::Error::other("no connection attempts made");
         for _ in 0..attempts.max(1) {
-            match Self::connect(listen) {
+            match Self::connect_timeout(listen, timeout) {
                 Ok(client) => return Ok(client),
                 Err(e) => last = e,
             }

@@ -266,7 +266,11 @@ impl Writer {
                     }
                     WriterMsg::Shutdown(ack) => {
                         // Fold in anything still queued, then write the
-                        // final checkpoint before acknowledging.
+                        // final checkpoint before acknowledging. This
+                        // drain runs once at shutdown after the listener
+                        // stops accepting, so it is bounded by what
+                        // producers queued before the ack — not a live
+                        // ingest path. lint: allow(unbounded_queue)
                         while let Ok(msg) = rx.try_recv() {
                             match msg {
                                 WriterMsg::Update { action, cost } => self.apply(action, cost),

@@ -183,3 +183,42 @@ fn protocol_errors_are_answered_not_fatal() {
     handle.join().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn read_timeout_unwedges_a_silent_server() {
+    // A "daemon" that accepts connections and then never answers: a
+    // deadline-armed client must error out instead of blocking forever.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let wedge = std::thread::spawn(move || {
+        // Hold each accepted socket open until the test ends.
+        let mut held = Vec::new();
+        for stream in listener.incoming() {
+            match stream {
+                Ok(s) => held.push(s),
+                Err(_) => break,
+            }
+            if !held.is_empty() {
+                // Keep the socket alive long enough for the client to
+                // hit its read deadline, then let the thread exit.
+                std::thread::sleep(Duration::from_millis(500));
+                break;
+            }
+        }
+    });
+
+    let listen = Listen::parse(&addr.to_string());
+    let started = std::time::Instant::now();
+    let mut client =
+        Client::connect_timeout(&listen, Some(Duration::from_millis(100))).expect("tcp connect");
+    let err = client
+        .request(&Request::Stats)
+        .expect_err("silent server must not produce a response");
+    let waited = started.elapsed();
+    let msg = err.to_string();
+    assert!(
+        waited < Duration::from_secs(5),
+        "client hung for {waited:?} against a wedged server: {msg}"
+    );
+    wedge.join().expect("wedge thread");
+}

@@ -94,7 +94,21 @@ struct BenchStats {
     median_ns: f64,
     min_ns: f64,
     max_ns: f64,
+    p25_ns: f64,
+    p75_ns: f64,
     samples: usize,
+}
+
+/// Linear-interpolated percentile of an already-sorted sample set.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
 fn stats_of(id: String, samples: &[f64]) -> BenchStats {
@@ -102,19 +116,14 @@ fn stats_of(id: String, samples: &[f64]) -> BenchStats {
     sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len().max(1);
     let mean = samples.iter().sum::<f64>() / n as f64;
-    let median = if sorted.is_empty() {
-        0.0
-    } else if sorted.len() % 2 == 1 {
-        sorted[sorted.len() / 2]
-    } else {
-        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
-    };
     BenchStats {
         id,
         mean_ns: mean,
-        median_ns: median,
+        median_ns: percentile_sorted(&sorted, 0.50),
         min_ns: sorted.first().copied().unwrap_or(0.0),
         max_ns: sorted.last().copied().unwrap_or(0.0),
+        p25_ns: percentile_sorted(&sorted, 0.25),
+        p75_ns: percentile_sorted(&sorted, 0.75),
         samples: samples.len(),
     }
 }
@@ -195,8 +204,8 @@ impl BenchmarkGroup<'_> {
                 out.push_str(",\n");
             }
             out.push_str(&format!(
-                "  {{\"id\":{:?},\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}",
-                s.id, s.mean_ns, s.median_ns, s.min_ns, s.max_ns, s.samples
+                "  {{\"id\":{:?},\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"p25_ns\":{:.1},\"p75_ns\":{:.1},\"samples\":{}}}",
+                s.id, s.mean_ns, s.median_ns, s.min_ns, s.max_ns, s.p25_ns, s.p75_ns, s.samples
             ));
         }
         out.push_str("\n]\n");
