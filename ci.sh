@@ -37,9 +37,24 @@ cargo test --workspace --features check-invariants -q
 echo "==> sweep determinism under check-invariants"
 cargo test -q -p megh-cli --features megh-core/check-invariants sweep_determinism
 
+echo "==> streaming determinism (chunk-size / sim-thread invariance)"
+cargo test -q -p megh-sim streaming_
+cargo test -q -p megh-cli stream_
+
+echo "==> streaming peak-RSS budget (500 VMs x 30 days, noop, budget <32768 kB)"
+RSS_LINE=$(target/release/megh simulate --workload planetlab --hosts 250 --vms 500 \
+  --days 30 --scheduler noop --stream --mem-stats | tail -n 1)
+echo "$RSS_LINE"
+RSS_KB=$(echo "$RSS_LINE" | awk '/^peak RSS/ {print $3}')
+if ! [ "${RSS_KB:-99999999}" -lt 32768 ] 2>/dev/null; then
+  echo "streaming RSS budget exceeded: ${RSS_KB:-unparsable} kB (budget: <32768 kB)" >&2
+  exit 1
+fi
+
 echo "==> bench-diff (latency warnings advisory; shape/alloc checks fatal)"
 cargo run -q -p megh-bench --bin bench-diff
 cargo run -q -p megh-bench --bin bench-diff BENCH_serve_throughput.json
+cargo run -q -p megh-bench --bin bench-diff BENCH_sim_step.json
 
 echo "==> serve smoke: checkpoint, kill -9, restart, byte-identical decides"
 SMOKE_DIR="$(mktemp -d)"

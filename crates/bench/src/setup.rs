@@ -1,5 +1,6 @@
 //! Standard experimental setups (§6.1–6.2).
 
+use megh_flags::{EnvArgs, FlagSource as _};
 use megh_sim::{DataCenterConfig, InitialPlacement};
 use megh_trace::{GoogleConfig, PlanetLabConfig, WorkloadTrace};
 
@@ -38,7 +39,7 @@ impl Scale {
 
 /// Parses the common `--full` flag from process arguments.
 pub fn scale_from_args() -> Scale {
-    if std::env::args().any(|a| a == "--full") {
+    if EnvArgs::from_env().is_set("full") {
         Scale::Full
     } else {
         Scale::Reduced
@@ -46,16 +47,11 @@ pub fn scale_from_args() -> Scale {
 }
 
 /// Parses a `--flag N` pair from process arguments, falling back to
-/// `default` when absent or malformed. Shared by the table binaries
-/// for `--seeds` / `--threads`.
+/// `default` when absent, malformed, or zero. Shared by the table
+/// binaries for `--seeds` / `--threads`; the actual lookup lives in
+/// [`megh_flags::EnvArgs::lenient_usize`].
 pub fn usize_flag_from_args(flag: &str, default: usize) -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(default)
+    EnvArgs::from_env().lenient_usize(flag.trim_start_matches("--"), default)
 }
 
 /// The Table 2 / Figure 2 setup: the PlanetLab-like trace on the §6.2

@@ -53,6 +53,36 @@ impl fmt::Display for ArgsError {
 
 impl std::error::Error for ArgsError {}
 
+impl From<megh_flags::FlagError> for ArgsError {
+    fn from(err: megh_flags::FlagError) -> Self {
+        match err {
+            megh_flags::FlagError::Missing(key) => Self::Missing(key),
+            megh_flags::FlagError::Invalid {
+                key,
+                value,
+                expected,
+            } => Self::Invalid {
+                key,
+                value,
+                expected,
+            },
+        }
+    }
+}
+
+/// The parsed CLI arguments can back a [`megh_flags::FlagTable`], so the
+/// subcommands read their options through declared flag tables (which
+/// also generate the help text).
+impl megh_flags::FlagSource for Args {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.get(name)
+    }
+
+    fn is_set(&self, name: &str) -> bool {
+        self.has_flag(name)
+    }
+}
+
 impl Args {
     /// Parses a token stream (not including the program name).
     ///
@@ -93,27 +123,6 @@ impl Args {
     /// A string option with a default.
     pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
         self.get(key).unwrap_or(default)
-    }
-
-    /// A parsed numeric option with a default.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ArgsError::Invalid`] when the value does not parse.
-    pub fn get_parsed_or<T: std::str::FromStr>(
-        &self,
-        key: &str,
-        default: T,
-        expected: &'static str,
-    ) -> Result<T, ArgsError> {
-        match self.get(key) {
-            None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| ArgsError::Invalid {
-                key: key.to_string(),
-                value: raw.to_string(),
-                expected,
-            }),
-        }
     }
 
     /// Whether a bare flag was supplied.
@@ -163,14 +172,25 @@ mod tests {
     }
 
     #[test]
-    fn numeric_parsing_with_default() {
-        let args = parse("x --n 12");
-        assert_eq!(args.get_parsed_or("n", 5usize, "integer").unwrap(), 12);
-        assert_eq!(args.get_parsed_or("m", 5usize, "integer").unwrap(), 5);
-        let err = args.get_parsed_or::<f64>("n", 0.0, "number");
-        assert!(err.is_ok());
-        let args = parse("x --n abc");
-        assert!(args.get_parsed_or("n", 5usize, "integer").is_err());
+    fn args_back_a_flag_table() {
+        use megh_flags::{FlagSource as _, FlagSpec, FlagTable};
+        const T: FlagTable = FlagTable::new(
+            "t",
+            &[
+                FlagSpec::opt("n", "N", "5", "a number"),
+                FlagSpec::switch("v", "verbose"),
+            ],
+        );
+        let args = parse("x --n 12 --v");
+        assert_eq!(args.value("n"), Some("12"));
+        assert!(args.is_set("v"));
+        assert_eq!(T.parsed(&args, "n", 5usize, "integer").unwrap(), 12);
+        assert_eq!(T.parsed(&parse("x"), "n", 5usize, "integer").unwrap(), 5);
+        let err: ArgsError = T
+            .parsed(&parse("x --n abc"), "n", 5usize, "integer")
+            .unwrap_err()
+            .into();
+        assert!(matches!(err, ArgsError::Invalid { .. }));
     }
 
     #[test]

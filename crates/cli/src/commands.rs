@@ -3,10 +3,11 @@
 use megh_baselines::{MadVmConfig, MadVmScheduler, MmtFlavor, MmtScheduler};
 use megh_core::diagnostics::{decision_latency, LatencyStats};
 use megh_core::{MeghAgent, MeghConfig, PeriodicMeghAgent};
+use megh_flags::{FlagSpec, FlagTable};
 use megh_serve::{Client as ServeClient, Listen, Request as ServeRequest, ServeOptions};
 use megh_sim::{
-    run_sweep, DataCenterConfig, HostOutage, InitialPlacement, NoOpScheduler, Scheduler,
-    Simulation, SimulationOutcome, SlavMetrics, SummaryReport, SweepReport,
+    run_streamed, run_sweep, DataCenterConfig, HostOutage, InitialPlacement, NoOpScheduler,
+    Scheduler, SimOptions, Simulation, SimulationOutcome, SlavMetrics, SummaryReport, SweepReport,
 };
 use megh_trace::{DiurnalConfig, GoogleConfig, PlanetLabConfig, TraceStats, WorkloadTrace};
 use serde::Serialize;
@@ -15,6 +16,164 @@ use crate::args::{Args, ArgsError};
 
 /// Workload families the CLI accepts.
 pub const WORKLOAD_NAMES: [&str; 3] = ["planetlab", "google", "diurnal"];
+
+/// Scheduler names accepted by `--scheduler` (plus `megh-p<N>`).
+const SCHEDULER_HELP: &str = "megh|megh-p<N>|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|noop";
+
+/// Options shared by every simulation-running subcommand. Each table
+/// below is the single declaration of its flags: the typed getters and
+/// the `megh help` text are both generated from it.
+const COMMON_FLAGS: FlagTable = FlagTable::new(
+    "COMMON OPTIONS",
+    &[
+        FlagSpec::opt(
+            "workload",
+            "planetlab|google|diurnal",
+            "planetlab",
+            "workload family",
+        ),
+        FlagSpec::opt("hosts", "N", "20", "number of hosts"),
+        FlagSpec::opt("vms", "N", "40", "number of VMs"),
+        FlagSpec::opt("days", "N", "1", "simulated days (288 steps each)"),
+        FlagSpec::opt("seed", "N", "42", "RNG seed"),
+        FlagSpec::opt(
+            "outage",
+            "H:FROM:UNTIL[,..]",
+            "none",
+            "schedule host outages",
+        ),
+    ],
+);
+
+/// Streaming-engine knobs honoured by `simulate` and `sweep`.
+const ENGINE_FLAGS: FlagTable = FlagTable::new(
+    "ENGINE OPTIONS (simulate, sweep)",
+    &[
+        FlagSpec::opt(
+            "chunk-steps",
+            "N",
+            "288",
+            "trace steps resident in memory per chunk",
+        ),
+        FlagSpec::opt(
+            "sim-threads",
+            "N",
+            "1",
+            "worker threads for per-step accounting",
+        ),
+        FlagSpec::opt(
+            "progress-every",
+            "N",
+            "0",
+            "print progress/ETA to stderr every N steps (0 = off)",
+        ),
+    ],
+);
+
+const SIMULATE_FLAGS: FlagTable = FlagTable::new(
+    "simulate",
+    &[
+        FlagSpec::opt("scheduler", "NAME|all", "megh", SCHEDULER_HELP),
+        FlagSpec::switch("slav", "also print SLATAH/PDM/SLAV/ESV"),
+        FlagSpec::switch(
+            "stream",
+            "generate the trace lazily chunk-by-chunk instead of materializing it",
+        ),
+        FlagSpec::switch("mem-stats", "print the process peak RSS after the run"),
+        FlagSpec::opt(
+            "out",
+            "FILE",
+            "",
+            "write the summary as JSON; also writes latency_alloc_report.json next to FILE",
+        ),
+    ],
+);
+
+const SWEEP_FLAGS: FlagTable = FlagTable::new(
+    "sweep",
+    &[
+        FlagSpec::opt("scheduler", "NAME", "megh", SCHEDULER_HELP),
+        FlagSpec::opt(
+            "schedulers",
+            "a,b,c",
+            "",
+            "sweep several schedulers over the same seeds and rank by mean total cost",
+        ),
+        FlagSpec::opt("seeds", "N", "8", "seeds --seed..--seed+N-1"),
+        FlagSpec::opt("threads", "T", "1", "sweep worker threads (byte-identical --out for any T)"),
+        FlagSpec::opt(
+            "out",
+            "FILE",
+            "",
+            "write the aggregated sweep report as JSON (object for one scheduler, array for several)",
+        ),
+    ],
+);
+
+const TRACE_GEN_FLAGS: FlagTable = FlagTable::new(
+    "trace-gen",
+    &[FlagSpec::opt(
+        "out",
+        "FILE",
+        "",
+        "destination CSV (required)",
+    )],
+);
+
+const TRACE_STATS_FLAGS: FlagTable = FlagTable::new(
+    "trace-stats",
+    &[FlagSpec::opt(
+        "file",
+        "FILE",
+        "",
+        "trace CSV to summarize (required)",
+    )],
+);
+
+const SERVE_FLAGS: FlagTable = FlagTable::new(
+    "serve",
+    &[
+        FlagSpec::opt(
+            "checkpoint",
+            "FILE",
+            "",
+            "checkpoint path (required); loaded on start if present, written atomically on shutdown",
+        ),
+        FlagSpec::opt("listen", "ADDR|unix:PATH", "127.0.0.1:7787", "listen address"),
+        FlagSpec::opt(
+            "checkpoint-every",
+            "N",
+            "0",
+            "auto-checkpoint every N applied updates (0 = only on explicit request/shutdown)",
+        ),
+        FlagSpec::opt("writer-seed", "N", "", "writer-thread RNG seed"),
+        FlagSpec::opt("vms", "N", "40", "cold-start action space: VMs"),
+        FlagSpec::opt("hosts", "N", "20", "cold-start action space: hosts"),
+    ],
+);
+
+const CLIENT_FLAGS: FlagTable = FlagTable::new(
+    "client",
+    &[
+        FlagSpec::opt("connect", "ADDR|unix:PATH", "", "daemon address (required)"),
+        FlagSpec::opt(
+            "op",
+            "decide|observe|sync|checkpoint|stats|shutdown",
+            "",
+            "request (required)",
+        ),
+        FlagSpec::opt("seed", "N", "0", "decide: decision seed"),
+        FlagSpec::opt("action", "N", "", "observe: applied action index"),
+        FlagSpec::opt("cost", "C", "", "observe: observed cost"),
+        FlagSpec::opt("retries", "N", "50", "connection attempts, 20ms apart"),
+        FlagSpec::opt(
+            "timeout-ms",
+            "N",
+            "5000",
+            "connect/read/write deadline per attempt (0 = wait forever)",
+        ),
+    ],
+);
 
 /// Common simulation parameters parsed from the command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,7 +199,10 @@ impl SimSpec {
     ///
     /// Returns [`ArgsError`] for unparsable or unknown values.
     pub fn from_args(args: &Args) -> Result<Self, ArgsError> {
-        let workload = args.get_or("workload", "planetlab").to_string();
+        let workload = COMMON_FLAGS
+            .get(args, "workload")
+            .unwrap_or("planetlab")
+            .to_string();
         if !WORKLOAD_NAMES.contains(&workload.as_str()) {
             return Err(ArgsError::Invalid {
                 key: "workload".into(),
@@ -50,7 +212,7 @@ impl SimSpec {
         }
         // --outage HOST:FROM:UNTIL (repeatable via comma separation).
         let mut outages = Vec::new();
-        if let Some(spec) = args.get("outage") {
+        if let Some(spec) = COMMON_FLAGS.get(args, "outage") {
             for part in spec.split(',') {
                 let fields: Vec<&str> = part.split(':').collect();
                 let parse = |s: &str| -> Result<usize, ArgsError> {
@@ -76,16 +238,22 @@ impl SimSpec {
         }
         Ok(Self {
             workload,
-            hosts: args.get_parsed_or("hosts", 20, "integer")?,
-            vms: args.get_parsed_or("vms", 40, "integer")?,
-            days: args.get_parsed_or("days", 1, "integer")?,
-            seed: args.get_parsed_or("seed", 42, "integer")?,
+            hosts: COMMON_FLAGS.parsed(args, "hosts", 20, "integer")?,
+            vms: COMMON_FLAGS.parsed(args, "vms", 40, "integer")?,
+            days: COMMON_FLAGS.parsed(args, "days", 1, "integer")?,
+            seed: COMMON_FLAGS.parsed(args, "seed", 42, "integer")?,
             outages,
         })
     }
 
-    /// Builds the data-center configuration and trace.
-    pub fn build(&self) -> (DataCenterConfig, WorkloadTrace) {
+    /// Total steps implied by `--days`.
+    pub fn n_steps(&self) -> usize {
+        self.days * megh_trace::STEPS_PER_DAY
+    }
+
+    /// Builds just the data-center configuration (streaming mode pulls
+    /// the trace lazily from a generator source instead).
+    pub fn build_config(&self) -> DataCenterConfig {
         let mut config = if self.workload == "google" {
             DataCenterConfig::paper_google(self.hosts, self.vms)
         } else {
@@ -93,12 +261,17 @@ impl SimSpec {
         };
         config.initial_placement = InitialPlacement::DemandPacked;
         config.outages = self.outages.clone();
+        config
+    }
+
+    /// Builds the data-center configuration and a materialized trace.
+    pub fn build(&self) -> (DataCenterConfig, WorkloadTrace) {
         let trace = match self.workload.as_str() {
             "google" => GoogleConfig::new(self.vms, self.seed).generate(self.days),
             "diurnal" => DiurnalConfig::new(self.vms, self.seed).generate(self.days),
             _ => PlanetLabConfig::new(self.vms, self.seed).generate(self.days),
         };
-        (config, trace)
+        (self.build_config(), trace)
     }
 }
 
@@ -162,13 +335,97 @@ pub fn run_named_scheduler(
     trace: &WorkloadTrace,
     seed: u64,
 ) -> Result<SimulationOutcome, ArgsError> {
-    let sim = Simulation::new(config.clone(), trace.clone()).map_err(|e| ArgsError::Invalid {
+    run_named_scheduler_with(name, config, trace, seed, &SimOptions::default())
+}
+
+/// [`run_named_scheduler`] with explicit engine options
+/// (`--chunk-steps`, `--sim-threads`, `--progress-every`).
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for unknown scheduler names.
+pub fn run_named_scheduler_with(
+    name: &str,
+    config: &DataCenterConfig,
+    trace: &WorkloadTrace,
+    seed: u64,
+    options: &SimOptions,
+) -> Result<SimulationOutcome, ArgsError> {
+    let sim = Simulation::new(config.clone(), trace.clone())
+        .map_err(setup_error)?
+        .with_options(*options);
+    let scheduler = build_named_scheduler(name, config, seed)?;
+    Ok(sim.run(scheduler))
+}
+
+/// Runs one named scheduler over a *streamed* generator source: the
+/// trace is produced chunk-by-chunk inside the engine and never fully
+/// materialized, so memory stays flat in `--days`.
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for unknown scheduler names or an
+/// inconsistent configuration.
+pub fn run_streamed_named(
+    name: &str,
+    config: &DataCenterConfig,
+    spec: &SimSpec,
+    options: &SimOptions,
+) -> Result<SimulationOutcome, ArgsError> {
+    let scheduler = build_named_scheduler(name, config, spec.seed)?;
+    let steps = spec.n_steps();
+    match spec.workload.as_str() {
+        "google" => run_streamed(
+            config,
+            GoogleConfig::new(spec.vms, spec.seed).source(steps),
+            scheduler,
+            *options,
+        ),
+        "diurnal" => run_streamed(
+            config,
+            DiurnalConfig::new(spec.vms, spec.seed).source(steps),
+            scheduler,
+            *options,
+        ),
+        _ => run_streamed(
+            config,
+            PlanetLabConfig::new(spec.vms, spec.seed).source(steps),
+            scheduler,
+            *options,
+        ),
+    }
+    .map_err(setup_error)
+}
+
+fn setup_error(e: megh_sim::SimError) -> ArgsError {
+    ArgsError::Invalid {
         key: "setup".into(),
         value: e.to_string(),
         expected: "consistent configuration",
-    })?;
-    let scheduler = build_named_scheduler(name, config, seed)?;
-    Ok(sim.run(scheduler))
+    }
+}
+
+/// Parses the shared `--chunk-steps` / `--sim-threads` /
+/// `--progress-every` engine knobs.
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for unparsable or zero values.
+pub fn engine_options(args: &Args) -> Result<SimOptions, ArgsError> {
+    let defaults = SimOptions::default();
+    Ok(SimOptions {
+        chunk_steps: ENGINE_FLAGS.positive_usize(args, "chunk-steps", defaults.chunk_steps)?,
+        sim_threads: ENGINE_FLAGS.positive_usize(args, "sim-threads", defaults.sim_threads)?,
+        progress_every: ENGINE_FLAGS.parsed(args, "progress-every", 0, "integer")?,
+    })
+}
+
+/// Peak resident-set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 /// One scheduler's hot-path observability record written to
@@ -198,22 +455,34 @@ pub struct LatencyAllocReport {
 /// Returns [`ArgsError`] for bad arguments.
 pub fn cmd_simulate(args: &Args) -> Result<String, ArgsError> {
     let spec = SimSpec::from_args(args)?;
-    let scheduler = args.get_or("scheduler", "megh").to_string();
-    let (config, trace) = spec.build();
+    let options = engine_options(args)?;
+    let stream = SIMULATE_FLAGS.switch(args, "stream");
+    let scheduler = SIMULATE_FLAGS.get(args, "scheduler").unwrap_or("megh");
+    // Streaming mode never materializes the trace; the engine pulls it
+    // from the generator chunk-by-chunk instead.
+    let (config, trace) = if stream {
+        (spec.build_config(), None)
+    } else {
+        let (config, trace) = spec.build();
+        (config, Some(trace))
+    };
     let mut out = String::new();
     let names: Vec<&str> = if scheduler == "all" {
         vec![
             "noop", "thr-mmt", "iqr-mmt", "mad-mmt", "lr-mmt", "lrr-mmt", "madvm", "megh",
         ]
     } else {
-        vec![scheduler.as_str()]
+        vec![scheduler]
     };
     let mut reports = Vec::new();
     let mut diagnostics = Vec::new();
     for name in names {
         let allocs_before = crate::ALLOC.allocations();
         let bytes_before = crate::ALLOC.bytes_allocated();
-        let outcome = run_named_scheduler(name, &config, &trace, spec.seed)?;
+        let outcome = match &trace {
+            Some(trace) => run_named_scheduler_with(name, &config, trace, spec.seed, &options)?,
+            None => run_streamed_named(name, &config, &spec, &options)?,
+        };
         let report = outcome.report();
         diagnostics.push(LatencyAllocReport {
             scheduler: report.scheduler.clone(),
@@ -222,7 +491,7 @@ pub fn cmd_simulate(args: &Args) -> Result<String, ArgsError> {
             bytes_allocated: crate::ALLOC.bytes_allocated() - bytes_before,
         });
         out.push_str(&render_summary(&report));
-        if args.has_flag("slav") {
+        if SIMULATE_FLAGS.switch(args, "slav") {
             let m = SlavMetrics::from_run(&outcome);
             out.push_str(&format!(
                 "  SLATAH {:.4}  PDM {:.6}  SLAV {:.8}  ESV {:.6}\n",
@@ -231,7 +500,13 @@ pub fn cmd_simulate(args: &Args) -> Result<String, ArgsError> {
         }
         reports.push(report);
     }
-    if let Some(path) = args.get("out") {
+    if SIMULATE_FLAGS.switch(args, "mem-stats") {
+        match peak_rss_kb() {
+            Some(kb) => out.push_str(&format!("peak RSS {kb} kB\n")),
+            None => out.push_str("peak RSS unavailable\n"),
+        }
+    }
+    if let Some(path) = SIMULATE_FLAGS.get(args, "out") {
         let write_json = |target: &std::path::Path, json: String| {
             std::fs::write(target, json).map_err(|_| ArgsError::Invalid {
                 key: "out".into(),
@@ -304,45 +579,41 @@ pub fn cmd_compare(args: &Args) -> Result<String, ArgsError> {
 /// Returns [`ArgsError`] for bad arguments or an unwritable output.
 pub fn cmd_sweep(args: &Args) -> Result<String, ArgsError> {
     let spec = SimSpec::from_args(args)?;
+    let options = engine_options(args)?;
     // `--schedulers a,b,c` sweeps several schedulers over the same seed
     // set; `--scheduler x` remains the single-scheduler spelling.
-    let schedulers: Vec<String> = match args.get("schedulers") {
+    let schedulers: Vec<String> = match SWEEP_FLAGS.get(args, "schedulers") {
         Some(list) => list
             .split(',')
             .map(|s| s.trim().to_string())
             .filter(|s| !s.is_empty())
             .collect(),
-        None => vec![args.get_or("scheduler", "megh").to_string()],
+        None => vec![SWEEP_FLAGS
+            .get(args, "scheduler")
+            .unwrap_or("megh")
+            .to_string()],
     };
     if schedulers.is_empty() {
         return Err(ArgsError::Invalid {
             key: "schedulers".into(),
-            value: args.get_or("schedulers", "").to_string(),
+            value: SWEEP_FLAGS
+                .get(args, "schedulers")
+                .unwrap_or("")
+                .to_string(),
             expected: "comma-separated scheduler names",
         });
     }
-    let n_seeds: usize = args.get_parsed_or("seeds", 8, "positive integer (>= 1)")?;
-    let threads: usize = args.get_parsed_or("threads", 1, "positive integer (>= 1)")?;
-    for (key, value) in [("seeds", n_seeds), ("threads", threads)] {
-        if value == 0 {
-            return Err(ArgsError::Invalid {
-                key: key.into(),
-                value: "0".into(),
-                expected: "positive integer (>= 1)",
-            });
-        }
-    }
+    let n_seeds: usize = SWEEP_FLAGS.positive_usize(args, "seeds", 8)?;
+    let threads: usize = SWEEP_FLAGS.positive_usize(args, "threads", 1)?;
     let (config, trace) = spec.build();
     // Validate every scheduler name once, up front: the factory closure
     // handed to the workers has no error channel.
     for name in &schedulers {
         build_named_scheduler(name, &config, spec.seed)?;
     }
-    let sim = Simulation::new(config.clone(), trace).map_err(|e| ArgsError::Invalid {
-        key: "setup".into(),
-        value: e.to_string(),
-        expected: "consistent configuration",
-    })?;
+    let sim = Simulation::new(config.clone(), trace)
+        .map_err(setup_error)?
+        .with_options(options);
     let seeds: Vec<u64> = (0..n_seeds as u64)
         .map(|i| spec.seed.wrapping_add(i))
         .collect();
@@ -410,7 +681,7 @@ pub fn cmd_sweep(args: &Args) -> Result<String, ArgsError> {
         }
     }
 
-    if let Some(path) = args.get("out") {
+    if let Some(path) = SWEEP_FLAGS.get(args, "out") {
         // Single scheduler keeps the historical top-level-object shape;
         // multi-scheduler sweeps write an array in --schedulers order.
         let json = if reports.len() == 1 {
@@ -439,7 +710,7 @@ pub fn cmd_sweep(args: &Args) -> Result<String, ArgsError> {
 /// Returns [`ArgsError`] for bad arguments or an unwritable output.
 pub fn cmd_trace_gen(args: &Args) -> Result<String, ArgsError> {
     let spec = SimSpec::from_args(args)?;
-    let out = args.get("out").ok_or(ArgsError::Missing("out"))?;
+    let out = TRACE_GEN_FLAGS.required(args, "out")?;
     let (_, trace) = spec.build();
     megh_trace::save_csv(&trace, out).map_err(|e| ArgsError::Invalid {
         key: "out".into(),
@@ -461,7 +732,7 @@ pub fn cmd_trace_gen(args: &Args) -> Result<String, ArgsError> {
 ///
 /// Returns [`ArgsError`] for a missing or unreadable file.
 pub fn cmd_trace_stats(args: &Args) -> Result<String, ArgsError> {
-    let file = args.get("file").ok_or(ArgsError::Missing("file"))?;
+    let file = TRACE_STATS_FLAGS.required(args, "file")?;
     let trace = megh_trace::load_csv(file).map_err(|e| ArgsError::Invalid {
         key: "file".into(),
         value: format!("{file}: {e}"),
@@ -489,15 +760,13 @@ pub fn cmd_trace_stats(args: &Args) -> Result<String, ArgsError> {
 /// Returns [`ArgsError`] for bad arguments or daemon failures (bind
 /// errors, corrupt checkpoints).
 pub fn cmd_serve(args: &Args) -> Result<String, ArgsError> {
-    let listen = Listen::parse(args.get_or("listen", "127.0.0.1:7787"));
-    let checkpoint = args
-        .get("checkpoint")
-        .ok_or(ArgsError::Missing("checkpoint"))?;
+    let listen = Listen::parse(SERVE_FLAGS.get(args, "listen").unwrap_or("127.0.0.1:7787"));
+    let checkpoint = SERVE_FLAGS.required(args, "checkpoint")?;
     let mut opts = ServeOptions::new(listen, std::path::PathBuf::from(checkpoint));
-    opts.checkpoint_every = args.get_parsed_or("checkpoint-every", 0, "integer")?;
-    opts.writer_seed = args.get_parsed_or("writer-seed", opts.writer_seed, "integer")?;
-    let vms: usize = args.get_parsed_or("vms", 40, "integer")?;
-    let hosts: usize = args.get_parsed_or("hosts", 20, "integer")?;
+    opts.checkpoint_every = SERVE_FLAGS.parsed(args, "checkpoint-every", 0, "integer")?;
+    opts.writer_seed = SERVE_FLAGS.parsed(args, "writer-seed", opts.writer_seed, "integer")?;
+    let vms: usize = SERVE_FLAGS.parsed(args, "vms", 40, "integer")?;
+    let hosts: usize = SERVE_FLAGS.parsed(args, "hosts", 20, "integer")?;
     let config = MeghConfig::paper_defaults(vms, hosts);
     megh_serve::run(config, &opts).map_err(|e| ArgsError::Invalid {
         key: "serve".into(),
@@ -517,25 +786,23 @@ pub fn cmd_serve(args: &Args) -> Result<String, ArgsError> {
 /// Returns [`ArgsError`] for bad arguments, unreachable daemons, or
 /// failed requests.
 pub fn cmd_client(args: &Args) -> Result<String, ArgsError> {
-    let connect = args.get("connect").ok_or(ArgsError::Missing("connect"))?;
-    let op = args.get("op").ok_or(ArgsError::Missing("op"))?;
+    let connect = CLIENT_FLAGS.required(args, "connect")?;
+    let op = CLIENT_FLAGS.required(args, "op")?;
     let request = match op {
         "decide" => ServeRequest::Decide {
-            seed: args.get_parsed_or("seed", 0, "integer")?,
+            seed: CLIENT_FLAGS.parsed(args, "seed", 0, "integer")?,
         },
         "observe" => ServeRequest::Observe {
-            action: args
-                .get("action")
-                .ok_or(ArgsError::Missing("action"))?
+            action: CLIENT_FLAGS
+                .required(args, "action")?
                 .parse()
                 .map_err(|_| ArgsError::Invalid {
                     key: "action".into(),
                     value: args.get_or("action", "").to_string(),
                     expected: "action index (integer)",
                 })?,
-            cost: args
-                .get("cost")
-                .ok_or(ArgsError::Missing("cost"))?
+            cost: CLIENT_FLAGS
+                .required(args, "cost")?
                 .parse()
                 .map_err(|_| ArgsError::Invalid {
                     key: "cost".into(),
@@ -556,11 +823,11 @@ pub fn cmd_client(args: &Args) -> Result<String, ArgsError> {
         }
     };
     let listen = Listen::parse(connect);
-    let attempts: u32 = args.get_parsed_or("retries", 50, "integer")?;
+    let attempts: u32 = CLIENT_FLAGS.parsed(args, "retries", 50, "integer")?;
     // Deadline on connect and on every read/write: a wedged daemon must
     // fail the invocation (and the ci.sh smoke stage) instead of
     // hanging it. 0 disables the deadline.
-    let timeout_ms: u64 = args.get_parsed_or("timeout-ms", 5000, "integer")?;
+    let timeout_ms: u64 = CLIENT_FLAGS.parsed(args, "timeout-ms", 5000, "integer")?;
     let timeout = (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms));
     let mut client = ServeClient::connect_retry_timeout(
         &listen,
@@ -598,9 +865,11 @@ fn render_summary(r: &SummaryReport) -> String {
     )
 }
 
-/// The help text.
+/// The help text, generated from the same flag tables the subcommands
+/// parse with — the two cannot drift apart.
 pub fn help() -> String {
-    "megh — live-migration scheduling simulator (Basu et al., ICDCS 2017 reproduction)
+    let mut out = String::from(
+        "megh — live-migration scheduling simulator (Basu et al., ICDCS 2017 reproduction)
 
 USAGE:
   megh <command> [options]
@@ -615,55 +884,23 @@ COMMANDS:
   client       send one request to a running daemon
   help         show this message
 
-COMMON OPTIONS:
-  --workload planetlab|google|diurnal  workload family [planetlab]
-  --hosts N                     number of hosts        [20]
-  --vms N                       number of VMs          [40]
-  --days N                      simulated days         [1]
-  --seed N                      RNG seed               [42]
-  --outage H:FROM:UNTIL[,..]    schedule host outages  [none]
-
-simulate:
-  --scheduler megh|megh-p<N>|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|noop|all [megh]
-  --slav                        also print SLATAH/PDM/SLAV/ESV
-  --out FILE                    write the summary as JSON; also writes
-                                latency_alloc_report.json next to FILE
-
-sweep:
-  --scheduler megh|megh-p<N>|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|noop [megh]
-  --schedulers a,b,c            sweep several schedulers over the same seeds
-                                and rank them by mean total cost
-  --seeds N                     seeds --seed..--seed+N-1   [8]
-  --threads T                   worker threads             [1]
-  --out FILE                    write the aggregated sweep report as JSON
-                                (object for one scheduler, array for several;
-                                deterministic: identical for any --threads)
-
-trace-gen:
-  --out FILE                    destination CSV (required)
-
-trace-stats:
-  --file FILE                   trace CSV to summarize (required)
-
-serve:
-  --checkpoint FILE             checkpoint path (required); loaded on start
-                                if present, written atomically on shutdown
-  --listen ADDR|unix:PATH       listen address            [127.0.0.1:7787]
-  --checkpoint-every N          auto-checkpoint every N applied updates
-                                (0 = only on explicit request/shutdown) [0]
-  --writer-seed N               writer-thread RNG seed
-  --vms N / --hosts N           cold-start action space   [40 / 20]
-
-client:
-  --connect ADDR|unix:PATH      daemon address (required)
-  --op decide|observe|sync|checkpoint|stats|shutdown  request (required)
-  --seed N                      decide: decision seed     [0]
-  --action N --cost C           observe: applied action and observed cost
-  --retries N                   connection attempts, 20ms apart [50]
-  --timeout-ms N                connect/read/write deadline per attempt,
-                                0 = wait forever            [5000]
-"
-    .to_string()
+",
+    );
+    for table in [
+        &COMMON_FLAGS,
+        &ENGINE_FLAGS,
+        &SIMULATE_FLAGS,
+        &SWEEP_FLAGS,
+        &TRACE_GEN_FLAGS,
+        &TRACE_STATS_FLAGS,
+        &SERVE_FLAGS,
+        &CLIENT_FLAGS,
+    ] {
+        out.push_str(&table.render_help());
+        out.push('\n');
+    }
+    out.pop();
+    out
 }
 
 /// Dispatches a parsed command line.
@@ -920,6 +1157,88 @@ mod tests {
         // A list with no names, or any bad name in the list, is rejected.
         assert!(dispatch(&parse("sweep --hosts 2 --vms 2 --schedulers ,,")).is_err());
         assert!(dispatch(&parse("sweep --hosts 2 --vms 2 --schedulers megh,bogus")).is_err());
+    }
+
+    #[test]
+    fn stream_matches_materialized_total_cost() {
+        // The streamed generator path must reproduce the materialized
+        // run exactly (engine tests cover fingerprints; this checks the
+        // CLI wiring end to end, per workload).
+        for workload in WORKLOAD_NAMES {
+            let base = dispatch(&parse(&format!(
+                "simulate --workload {workload} --hosts 3 --vms 5 --days 1 --scheduler thr-mmt"
+            )))
+            .unwrap();
+            let streamed = dispatch(&parse(&format!(
+                "simulate --workload {workload} --hosts 3 --vms 5 --days 1 --scheduler thr-mmt \
+                 --chunk-steps 7 --sim-threads 2 --stream"
+            )))
+            .unwrap();
+            let total = |s: &str| {
+                let tail = s.split("total ").nth(1).expect("summary line");
+                tail.split(" USD").next().expect("cost figure").to_string()
+            };
+            assert_eq!(
+                total(&base),
+                total(&streamed),
+                "{workload}:\n{base}{streamed}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_determinism_chunking_never_changes_out_file() {
+        // CI runs this by name (ci.sh filters on `sweep_determinism`):
+        // chunk size and per-step worker count must never change the
+        // --out bytes.
+        let dir = std::env::temp_dir().join(format!("megh-cli-chunk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bytes = Vec::new();
+        for (chunk, threads) in [(288usize, 1usize), (7, 2)] {
+            let path = dir.join(format!("sweep-c{chunk}-t{threads}.json"));
+            let line = format!(
+                "sweep --hosts 3 --vms 4 --days 1 --seeds 3 --scheduler megh \
+                 --chunk-steps {chunk} --sim-threads {threads} --out {}",
+                path.display()
+            );
+            dispatch(&parse(&line)).unwrap();
+            bytes.push(std::fs::read(&path).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(
+            bytes[0], bytes[1],
+            "sweep report bytes must not depend on chunking or sim-threads"
+        );
+    }
+
+    #[test]
+    fn engine_flags_reject_zero() {
+        assert!(dispatch(&parse("simulate --hosts 2 --vms 2 --chunk-steps 0")).is_err());
+        assert!(dispatch(&parse("simulate --hosts 2 --vms 2 --sim-threads 0")).is_err());
+        assert!(dispatch(&parse("sweep --hosts 2 --vms 2 --chunk-steps 0")).is_err());
+    }
+
+    #[test]
+    fn mem_stats_prints_peak_rss() {
+        let out = dispatch(&parse(
+            "simulate --hosts 2 --vms 2 --days 1 --scheduler noop --mem-stats",
+        ))
+        .unwrap();
+        assert!(out.contains("peak RSS"), "{out}");
+    }
+
+    #[test]
+    fn help_documents_streaming_flags() {
+        let h = help();
+        for flag in [
+            "--chunk-steps",
+            "--sim-threads",
+            "--progress-every",
+            "--stream",
+            "--mem-stats",
+        ] {
+            assert!(h.contains(flag), "missing {flag} in help:\n{h}");
+        }
     }
 
     #[test]

@@ -497,8 +497,9 @@ const NONDET_TOKENS: &[&str] = &[
 /// The `alloc` rule is opt-in per file; without this list a hot-path
 /// module could silently leave the no-alloc regime by dropping its
 /// marker. These are the Sherman–Morrison product kernels (DOK and the
-/// frozen CSR snapshot), the ε-greedy policy, and the agent's decide
-/// path.
+/// frozen CSR snapshot), the ε-greedy policy, the agent's decide path,
+/// the streaming trace-source layer, and the per-step simulation
+/// accounting kernels.
 pub const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/agent.rs",
     "crates/core/src/lspi.rs",
@@ -507,6 +508,8 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/linalg/src/dok.rs",
     "crates/linalg/src/sherman.rs",
     "crates/linalg/src/sparse_vec.rs",
+    "crates/sim/src/step.rs",
+    "crates/trace/src/source.rs",
 ];
 
 const PANIC_TOKENS: &[&str] = &[

@@ -19,18 +19,64 @@
 //! Placement changes take effect within the step; migration duration
 //! affects only downtime accounting, not when capacity moves. This is the
 //! same granularity CloudSim's power-aware examples use.
+//!
+//! # Streaming and parallelism
+//!
+//! The loop is driven by any [`TraceSource`], pulling utilization
+//! columns in chunks of [`SimOptions::chunk_steps`] steps, so a run
+//! holds only the current chunk in memory regardless of trace length.
+//! [`Simulation::run`] streams from an in-memory [`WorkloadTrace`]
+//! cursor; [`run_streamed`] drives the same loop from a lazy source
+//! (generator or file reader) without ever materializing the trace.
+//!
+//! With [`SimOptions::sim_threads`] > 1, the phase-5 accounting kernels
+//! (per-host power/deficit, per-VM SLA) run on a [`std::thread::scope`]
+//! worker pool over disjoint index chunks and are merged on the main
+//! thread in index order — outcomes are byte-identical for any chunk
+//! size and any thread count (see [`SimulationOutcome::fingerprint`]).
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use megh_trace::WorkloadTrace;
+use megh_trace::{TraceSource, WorkloadTrace};
 
+use crate::step::{host_metrics_chunk, vm_sla_chunk};
 use crate::{
     config::InitialPlacement, DataCenterConfig, DataCenterView, Scheduler, SimError, StepFeedback,
     StepRecord, SummaryReport,
 };
+
+/// Tuning knobs for the streaming step loop.
+///
+/// The defaults reproduce the paper setup: one simulated day per chunk
+/// (288 five-minute steps), single-threaded accounting, no progress
+/// output. Every combination of these knobs yields a byte-identical
+/// [`SimulationOutcome`]; they trade memory and wall-clock only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Trace steps fetched per [`TraceSource::fill_chunk`] call. Peak
+    /// trace memory is `chunk_steps × n_vms` doubles. Clamped to ≥ 1.
+    pub chunk_steps: usize,
+    /// Worker threads for the per-step accounting kernels. Values ≤ 1
+    /// run the kernels inline on the caller's thread.
+    pub sim_threads: usize,
+    /// Emit a progress/ETA line on stderr roughly every this many
+    /// steps; 0 disables progress output.
+    pub progress_every: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            chunk_steps: 288,
+            sim_threads: 1,
+            progress_every: 0,
+        }
+    }
+}
 
 /// A configured simulation, ready to run a scheduler over a trace.
 ///
@@ -51,6 +97,7 @@ pub struct Simulation {
     config: DataCenterConfig,
     trace: WorkloadTrace,
     initial_placement: Vec<usize>,
+    options: SimOptions,
 }
 
 impl Simulation {
@@ -69,12 +116,24 @@ impl Simulation {
                 trace_vms: trace.n_vms(),
             });
         }
-        let initial_placement = Self::place_initial(&config, &trace)?;
+        let step0 = if trace.n_steps() > 0 {
+            Some(trace.step_column(0))
+        } else {
+            None
+        };
+        let initial_placement = Self::place_initial(&config, step0.as_deref())?;
         Ok(Self {
             config,
             trace,
             initial_placement,
+            options: SimOptions::default(),
         })
+    }
+
+    /// Replaces the streaming/parallelism options (builder style).
+    pub fn with_options(mut self, options: SimOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// The validated configuration.
@@ -92,9 +151,14 @@ impl Simulation {
         &self.initial_placement
     }
 
+    /// The active streaming/parallelism options.
+    pub fn options(&self) -> &SimOptions {
+        &self.options
+    }
+
     fn place_initial(
         config: &DataCenterConfig,
-        trace: &WorkloadTrace,
+        step0_util: Option<&[f64]>,
     ) -> Result<Vec<usize>, SimError> {
         let m = config.pms.len();
         let n = config.vms.len();
@@ -133,14 +197,7 @@ impl Simulation {
             }
             InitialPlacement::DemandPacked => {
                 let loads: Vec<f64> = (0..n)
-                    .map(|j| {
-                        let util = if trace.n_steps() > 0 {
-                            trace.utilization(j, 0) / 100.0
-                        } else {
-                            0.0
-                        };
-                        util * config.vms[j].mips
-                    })
+                    .map(|j| step0_util.map_or(0.0, |u| u[j]) / 100.0 * config.vms[j].mips)
                     .collect();
                 let mut order: Vec<usize> = (0..n).collect();
                 order.sort_by(|&a, &b| loads[b].total_cmp(&loads[a]).then(a.cmp(&b)));
@@ -192,57 +249,162 @@ impl Simulation {
     }
 
     /// Runs at most `max_steps` steps (truncated to the trace length).
-    pub fn run_steps<S: Scheduler>(&self, mut scheduler: S, max_steps: usize) -> SimulationOutcome {
-        let n = self.config.vms.len();
-        let m = self.config.pms.len();
-        let tau = self.trace.step_seconds() as f64;
-        let steps = max_steps.min(self.trace.n_steps());
-        let cap = self.config.migration_cap();
-        let cost = &self.config.cost;
+    pub fn run_steps<S: Scheduler>(&self, scheduler: S, max_steps: usize) -> SimulationOutcome {
+        run_core(
+            &self.config,
+            &self.initial_placement,
+            self.trace.cursor(),
+            max_steps,
+            scheduler,
+            &self.options,
+        )
+    }
+}
 
-        let mut placement = self.initial_placement.clone();
-        let mut vm_downtime_s = vec![0.0f64; n];
-        let mut vm_requested_s = vec![0.0f64; n];
-        let mut host_history: Vec<Vec<f64>> = vec![Vec::new(); m];
-        let mut host_energy_joules = vec![0.0f64; m];
-        let mut cumulative_migrations = 0usize;
-        let mut records = Vec::with_capacity(steps);
-        let mut events: Vec<crate::StepEvents> = Vec::with_capacity(steps);
-        // Occupancy before the first step, for sleep/wake event edges.
-        let mut prev_active: Vec<bool> = {
-            let mut counts = vec![0usize; m];
-            for &h in &placement {
-                counts[h] += 1;
-            }
-            counts.iter().map(|&c| c > 0).collect()
+/// Runs a scheduler directly over a lazy [`TraceSource`] without ever
+/// materializing the full trace: peak trace memory is one chunk
+/// ([`SimOptions::chunk_steps`] columns), independent of trace length.
+///
+/// The source must be freshly constructed or [`TraceSource::reset`];
+/// its declared header drives validation and the step count. The
+/// outcome is byte-identical to materializing the same source with
+/// [`TraceSource::take_steps`] and running [`Simulation::run`] (the
+/// take-steps path sanitizes values, which streaming sources already
+/// guarantee by contract).
+///
+/// # Errors
+///
+/// Returns [`SimError`] for invalid configurations or when the source
+/// header's VM count differs from the configured VM count.
+pub fn run_streamed<T: TraceSource, S: Scheduler>(
+    config: &DataCenterConfig,
+    mut source: T,
+    scheduler: S,
+    options: SimOptions,
+) -> Result<SimulationOutcome, SimError> {
+    config.validate()?;
+    let header = source.header();
+    if header.n_vms != config.vms.len() {
+        return Err(SimError::TraceMismatch {
+            config_vms: config.vms.len(),
+            trace_vms: header.n_vms,
+        });
+    }
+    // Peek the first column for demand-aware initial placement, then
+    // rewind so the run replays the stream from the start.
+    let step0: Option<Vec<f64>> = if header.n_vms > 0 && header.n_steps > 0 {
+        let mut col = vec![0.0f64; header.n_vms];
+        let got = source.fill_chunk(&mut col);
+        source.reset();
+        (got > 0).then_some(col)
+    } else {
+        None
+    };
+    let placement = Simulation::place_initial(config, step0.as_deref())?;
+    Ok(run_core(
+        config,
+        &placement,
+        source,
+        header.n_steps,
+        scheduler,
+        &options,
+    ))
+}
+
+/// The step loop shared by [`Simulation::run_steps`] and
+/// [`run_streamed`]. `source` must be positioned at step 0; the loop
+/// pulls `opts.chunk_steps` columns at a time and stops early if the
+/// source dries up before its declared `n_steps` (e.g. a file reader
+/// that hit an I/O error mid-stream).
+fn run_core<T: TraceSource, S: Scheduler>(
+    config: &DataCenterConfig,
+    initial_placement: &[usize],
+    mut source: T,
+    max_steps: usize,
+    mut scheduler: S,
+    opts: &SimOptions,
+) -> SimulationOutcome {
+    let header = source.header();
+    let n = config.vms.len();
+    let m = config.pms.len();
+    let tau = header.step_seconds as f64;
+    let steps = max_steps.min(header.n_steps);
+    let cap = config.migration_cap();
+    let cost = &config.cost;
+    let threads = opts.sim_threads.max(1);
+    let chunk_steps = opts.chunk_steps.max(1);
+
+    let mut placement = initial_placement.to_vec();
+    let mut vm_downtime_s = vec![0.0f64; n];
+    let mut vm_requested_s = vec![0.0f64; n];
+    let mut host_history: Vec<Vec<f64>> = vec![Vec::new(); m];
+    let mut host_energy_joules = vec![0.0f64; m];
+    let mut cumulative_migrations = 0usize;
+    let mut records = Vec::with_capacity(steps.min(1 << 20));
+    let mut events: Vec<crate::StepEvents> = Vec::with_capacity(steps.min(1 << 20));
+    // Occupancy before the first step, for sleep/wake event edges.
+    let mut prev_active: Vec<bool> = {
+        let mut counts = vec![0usize; m];
+        for &h in &placement {
+            counts[h] += 1;
+        }
+        counts.iter().map(|&c| c > 0).collect()
+    };
+
+    let vm_mips: Vec<f64> = config.vms.iter().map(|v| v.mips).collect();
+    let vm_ram: Vec<f64> = config.vms.iter().map(|v| v.ram_mb).collect();
+    let host_mips: Vec<f64> = config.pms.iter().map(|p| p.mips).collect();
+    let host_bw: Vec<f64> = config.pms.iter().map(|p| p.bw_mbps).collect();
+    // Shared once: the power curves never change during a run.
+    let host_power = std::sync::Arc::new(
+        config
+            .pms
+            .iter()
+            .map(|p| p.power.clone())
+            .collect::<Vec<_>>(),
+    );
+
+    // One chunk of trace columns plus the per-step kernel output slots,
+    // allocated once and reused every step.
+    let mut chunk = vec![0.0f64; chunk_steps * n.max(1)];
+    let mut step_joules = vec![0.0f64; m];
+    let mut step_deficit = vec![0.0f64; m];
+    let mut step_util_frac = vec![0.0f64; m];
+    let mut step_sla = vec![0.0f64; n];
+
+    // Wall clock for operator progress lines only; never feeds results.
+    // lint: allow(nondet)
+    let run_started = Instant::now();
+    let mut last_report = 0usize;
+
+    let mut step = 0usize;
+    while step < steps {
+        let want = chunk_steps.min(steps - step);
+        let got = if n == 0 {
+            // No VMs means no columns to read; the steps still elapse.
+            want
+        } else {
+            source.fill_chunk(&mut chunk[..want * n])
         };
+        if got == 0 {
+            break; // source exhausted before its declared length
+        }
+        for local in 0..got {
+            let util_col = &chunk[local * n..(local + 1) * n];
+            let step_idx = step + local;
 
-        let vm_mips: Vec<f64> = self.config.vms.iter().map(|v| v.mips).collect();
-        let vm_ram: Vec<f64> = self.config.vms.iter().map(|v| v.ram_mb).collect();
-        let host_mips: Vec<f64> = self.config.pms.iter().map(|p| p.mips).collect();
-        let host_bw: Vec<f64> = self.config.pms.iter().map(|p| p.bw_mbps).collect();
-        // Shared once: the power curves never change during a run.
-        let host_power = std::sync::Arc::new(
-            self.config
-                .pms
-                .iter()
-                .map(|p| p.power.clone())
-                .collect::<Vec<_>>(),
-        );
-
-        for step in 0..steps {
             // 0. Scheduled outages active this interval.
             let down: Vec<bool> = (0..m)
                 .map(|h| {
-                    self.config
+                    config
                         .outages
                         .iter()
-                        .any(|o| o.host == h && o.covers(step))
+                        .any(|o| o.host == h && o.covers(step_idx))
                 })
                 .collect();
 
-            // 1. Demands from the trace.
-            let util: Vec<f64> = (0..n).map(|j| self.trace.utilization(j, step)).collect();
+            // 1. Demands from the trace column.
+            let util: Vec<f64> = util_col.to_vec();
             let demand: Vec<f64> = (0..n).map(|j| util[j] / 100.0 * vm_mips[j]).collect();
 
             let mut host_used = vec![0.0f64; m];
@@ -262,7 +424,7 @@ impl Simulation {
                     0.0
                 };
                 host_history[h].push(u);
-                let window = self.config.history_window;
+                let window = config.history_window;
                 if host_history[h].len() > window {
                     let excess = host_history[h].len() - window;
                     host_history[h].drain(..excess);
@@ -270,8 +432,8 @@ impl Simulation {
             }
 
             let view = DataCenterView {
-                step,
-                step_seconds: self.trace.step_seconds(),
+                step: step_idx,
+                step_seconds: header.step_seconds,
                 vm_mips: vm_mips.clone(),
                 vm_ram_mb: vm_ram.clone(),
                 vm_util_percent: util,
@@ -286,7 +448,7 @@ impl Simulation {
                 host_reserved_mips: host_reserved,
                 host_down: down.clone(),
                 beta_overload: cost.beta_overload,
-                oversubscription_ratio: self.config.oversubscription_ratio,
+                oversubscription_ratio: config.oversubscription_ratio,
                 migration_cap: cap,
             };
 
@@ -326,12 +488,12 @@ impl Simulation {
                     (src, dst, bw)
                 })
                 .collect();
-            let effective_bw = self.config.network.effective_bandwidths(&endpoints);
+            let effective_bw = config.network.effective_bandwidths(&endpoints);
             let mut applied = Vec::new();
             let mut migration_events = Vec::new();
             for (&(j, src, dst), &bw) in staged.iter().zip(&effective_bw) {
-                let Some(estimate) = self.config.migration_model.estimate(
-                    self.config.vms[j].ram_mb,
+                let Some(estimate) = config.migration_model.estimate(
+                    config.vms[j].ram_mb,
                     bw,
                     cost.migration_downtime_fraction,
                 ) else {
@@ -354,60 +516,106 @@ impl Simulation {
             let migrations = applied.len();
             cumulative_migrations += migrations;
 
-            // 5. Energy + SLA accounting on the post-migration placement.
+            // 5. Energy + SLA accounting on the post-migration
+            // placement, via the kernels in [`crate::step`]. The
+            // fraction of each host's demanded work it cannot serve is
+            // §3.3's overloading downtime: "overloading happens when
+            // VMs try to use more resources than the capacity of the
+            // host" — VMs on a host demanding 130 % of capacity lose
+            // the unserved 23 % of the interval as downtime. The β
+            // threshold remains the *management* signal (detectors,
+            // placement, the overloaded-hosts metric).
             let mut host_vm_count = vec![0usize; m];
             for j in 0..n {
                 host_vm_count[placement[j]] += 1;
             }
+            if threads > 1 && m > 1 {
+                // Disjoint host chunks; outputs land in per-host slots,
+                // so the merge below is order-independent of scheduling.
+                let host_chunk = m.div_ceil(threads).max(1);
+                let power = host_power.as_slice();
+                std::thread::scope(|scope| {
+                    for (((((used, mips), count), dwn), pw), ((oj, od), ou)) in host_used
+                        .chunks(host_chunk)
+                        .zip(host_mips.chunks(host_chunk))
+                        .zip(host_vm_count.chunks(host_chunk))
+                        .zip(down.chunks(host_chunk))
+                        .zip(power.chunks(host_chunk))
+                        .zip(
+                            step_joules
+                                .chunks_mut(host_chunk)
+                                .zip(step_deficit.chunks_mut(host_chunk))
+                                .zip(step_util_frac.chunks_mut(host_chunk)),
+                        )
+                    {
+                        scope.spawn(move || {
+                            host_metrics_chunk(used, mips, count, dwn, pw, tau, oj, od, ou);
+                        });
+                    }
+                });
+            } else {
+                host_metrics_chunk(
+                    &host_used,
+                    &host_mips,
+                    &host_vm_count,
+                    &down,
+                    &host_power,
+                    tau,
+                    &mut step_joules,
+                    &mut step_deficit,
+                    &mut step_util_frac,
+                );
+            }
+            // Deterministic merge in ascending host order — identical
+            // float-accumulation order to the sequential loop.
             let mut joules = 0.0;
             let mut active_hosts = 0;
             let mut overloaded_hosts = 0;
-            // Fraction of each host's demanded work it cannot serve this
-            // interval. §3.3's overloading downtime: "overloading happens
-            // when VMs try to use more resources than the capacity of the
-            // host" — VMs on a host demanding 130 % of capacity lose the
-            // unserved 23 % of the interval as downtime. The β threshold
-            // remains the *management* signal (detectors, placement,
-            // the overloaded-hosts metric).
-            let mut deficit = vec![0.0f64; m];
             for h in 0..m {
-                if down[h] {
-                    // A down host draws no power and serves nothing:
-                    // every resident VM is fully unavailable.
-                    if host_vm_count[h] > 0 {
-                        deficit[h] = 1.0;
-                    }
+                if down[h] || host_vm_count[h] == 0 {
                     continue;
                 }
-                if host_vm_count[h] == 0 {
-                    continue; // asleep, 0 W
-                }
                 active_hosts += 1;
-                let u = if host_mips[h] > 0.0 {
-                    host_used[h] / host_mips[h]
-                } else {
-                    0.0
-                };
-                let host_joules = self.config.pms[h].power.energy_joules(u, tau);
-                joules += host_joules;
-                host_energy_joules[h] += host_joules;
-                if u > cost.beta_overload {
+                joules += step_joules[h];
+                host_energy_joules[h] += step_joules[h];
+                if step_util_frac[h] > cost.beta_overload {
                     overloaded_hosts += 1;
-                }
-                if u > 1.0 {
-                    deficit[h] = 1.0 - 1.0 / u;
                 }
             }
             let energy_cost_usd = cost.energy_cost_usd(joules);
 
+            if threads > 1 && n > 1 {
+                // Disjoint VM chunks, each reading the full per-host
+                // deficit array.
+                let vm_chunk = n.div_ceil(threads).max(1);
+                let deficit = &step_deficit;
+                std::thread::scope(|scope| {
+                    for (((pl, dt), rq), sl) in placement
+                        .chunks(vm_chunk)
+                        .zip(vm_downtime_s.chunks_mut(vm_chunk))
+                        .zip(vm_requested_s.chunks_mut(vm_chunk))
+                        .zip(step_sla.chunks_mut(vm_chunk))
+                    {
+                        scope.spawn(move || {
+                            vm_sla_chunk(pl, deficit, tau, cost, dt, rq, sl);
+                        });
+                    }
+                });
+            } else {
+                vm_sla_chunk(
+                    &placement,
+                    &step_deficit,
+                    tau,
+                    cost,
+                    &mut vm_downtime_s,
+                    &mut vm_requested_s,
+                    &mut step_sla,
+                );
+            }
+            // Deterministic merge in ascending VM order.
             let mut sla_cost_usd = 0.0;
-            for j in 0..n {
-                if deficit[placement[j]] > 0.0 {
-                    vm_downtime_s[j] += deficit[placement[j]] * tau;
-                }
-                vm_requested_s[j] += tau;
-                let fraction = vm_downtime_s[j] / vm_requested_s[j];
-                sla_cost_usd += cost.sla_cost_usd(cost.sla_band(fraction), tau);
+            for &s in &step_sla {
+                sla_cost_usd += s;
             }
 
             let total_cost_usd = energy_cost_usd + sla_cost_usd;
@@ -428,14 +636,14 @@ impl Simulation {
             prev_active = current_active;
 
             scheduler.observe(&StepFeedback {
-                step,
+                step: step_idx,
                 energy_cost_usd,
                 sla_cost_usd,
                 total_cost_usd,
                 applied: applied.clone(),
             });
             records.push(StepRecord {
-                step,
+                step: step_idx,
                 energy_cost_usd,
                 sla_cost_usd,
                 total_cost_usd,
@@ -446,16 +654,31 @@ impl Simulation {
                 overloaded_hosts,
             });
         }
-
-        SimulationOutcome {
-            scheduler: scheduler.name().to_string(),
-            records,
-            events,
-            final_placement: placement,
-            vm_downtime_s,
-            vm_requested_s,
-            host_energy_joules,
+        step += got;
+        if opts.progress_every > 0 && (step - last_report >= opts.progress_every || step >= steps) {
+            last_report = step;
+            let elapsed = run_started.elapsed().as_secs_f64();
+            let frac = step as f64 / steps.max(1) as f64;
+            let eta = if frac > 0.0 {
+                elapsed * (1.0 - frac) / frac
+            } else {
+                0.0
+            };
+            eprintln!(
+                "[sim] step {step}/{steps} ({:.0}%) elapsed {elapsed:.1}s eta {eta:.1}s",
+                frac * 100.0
+            );
         }
+    }
+
+    SimulationOutcome {
+        scheduler: scheduler.name().to_string(),
+        records,
+        events,
+        final_placement: placement,
+        vm_downtime_s,
+        vm_requested_s,
+        host_energy_joules,
     }
 }
 
@@ -505,6 +728,56 @@ impl SimulationOutcome {
     /// Per-host energy consumed over the run, in Joules.
     pub fn host_energy_joules(&self) -> &[f64] {
         &self.host_energy_joules
+    }
+
+    /// A bit-exact digest of every deterministic field of the outcome:
+    /// costs and counters per step (floats via [`f64::to_bits`]), the
+    /// event log, the final placement, and the per-VM / per-host
+    /// accumulators. `decision_micros` is excluded — it measures wall
+    /// clock. Two runs of the same scheduler over the same trace must
+    /// produce equal fingerprints regardless of [`SimOptions`]; the CI
+    /// equivalence tests assert exactly that.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "scheduler={};", self.scheduler);
+        for r in &self.records {
+            let _ = write!(
+                out,
+                "r{}:{:016x},{:016x},{:016x},{},{},{},{};",
+                r.step,
+                r.energy_cost_usd.to_bits(),
+                r.sla_cost_usd.to_bits(),
+                r.total_cost_usd.to_bits(),
+                r.migrations,
+                r.cumulative_migrations,
+                r.active_hosts,
+                r.overloaded_hosts,
+            );
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            let _ = write!(out, "e{i}:");
+            for mv in &e.migrations {
+                let _ = write!(out, "m{}-{}-{},", mv.vm.0, mv.from.0, mv.to.0);
+            }
+            let _ = write!(
+                out,
+                "s{:?}w{:?}d{:?};",
+                e.hosts_slept, e.hosts_woken, e.hosts_down
+            );
+        }
+        let _ = write!(out, "p{:?};", self.final_placement);
+        for &v in &self.vm_downtime_s {
+            let _ = write!(out, "{:016x},", v.to_bits());
+        }
+        out.push(';');
+        for &v in &self.vm_requested_s {
+            let _ = write!(out, "{:016x},", v.to_bits());
+        }
+        out.push(';');
+        for &v in &self.host_energy_joules {
+            let _ = write!(out, "{:016x},", v.to_bits());
+        }
+        out
     }
 
     /// Aggregates the run into a Table 2/3-style summary row.
@@ -929,5 +1202,127 @@ mod tests {
         let mut probe = HistoryProbe { max_seen: 0 };
         sim.run(&mut probe);
         assert_eq!(probe.max_seen, 7);
+    }
+
+    /// A contrived scheduler that migrates a rotating VM every step so
+    /// the equivalence tests exercise the migration, downtime, and
+    /// overload paths, not just idle accounting.
+    struct Rotor;
+    impl Scheduler for Rotor {
+        fn name(&self) -> &str {
+            "Rotor"
+        }
+        fn decide(&mut self, view: &DataCenterView) -> Vec<MigrationRequest> {
+            let n = view.n_vms();
+            let m = view.n_hosts();
+            if n == 0 || m < 2 {
+                return Vec::new();
+            }
+            let j = view.step() % n;
+            let h = view.host_of(VmId(j)).0;
+            vec![MigrationRequest::new(VmId(j), PmId((h + 1) % m))]
+        }
+    }
+
+    fn busy_setup(steps: usize) -> (DataCenterConfig, WorkloadTrace) {
+        let mut config = DataCenterConfig::paper_planetlab(4, 8);
+        // High per-VM demand so some hosts overload and SLA costs flow.
+        config.vms = vec![crate::VmSpec::new(2000.0, 1024.0, 100.0); 8];
+        config.initial_placement = InitialPlacement::Explicit(vec![0, 0, 0, 1, 1, 2, 2, 3]);
+        let trace = PlanetLabConfig::new(8, 77).generate_steps(steps);
+        (config, trace)
+    }
+
+    #[test]
+    fn streaming_chunk_size_is_invisible() {
+        let (config, trace) = busy_setup(50);
+        let base = Simulation::new(config.clone(), trace.clone())
+            .unwrap()
+            .run(Rotor);
+        for chunk_steps in [1usize, 7, 64, 50] {
+            let out = Simulation::new(config.clone(), trace.clone())
+                .unwrap()
+                .with_options(SimOptions {
+                    chunk_steps,
+                    ..SimOptions::default()
+                })
+                .run(Rotor);
+            assert_eq!(
+                out.fingerprint(),
+                base.fingerprint(),
+                "chunk_steps = {chunk_steps} changed the outcome"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_thread_count_is_invisible() {
+        let (config, trace) = busy_setup(40);
+        let base = Simulation::new(config.clone(), trace.clone())
+            .unwrap()
+            .run(Rotor);
+        for sim_threads in [1usize, 2, 4] {
+            let out = Simulation::new(config.clone(), trace.clone())
+                .unwrap()
+                .with_options(SimOptions {
+                    sim_threads,
+                    chunk_steps: 13,
+                    ..SimOptions::default()
+                })
+                .run(Rotor);
+            assert_eq!(
+                out.fingerprint(),
+                base.fingerprint(),
+                "sim_threads = {sim_threads} changed the outcome"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_run_matches_materialized_run() {
+        // Drive the engine straight from the lazy generator and compare
+        // against materialize-then-run.
+        let gen = PlanetLabConfig::new(8, 21);
+        let (mut config, _) = busy_setup(1);
+        config.initial_placement = InitialPlacement::DemandPacked;
+        let trace = gen.generate_steps(30);
+        let base = Simulation::new(config.clone(), trace).unwrap().run(Rotor);
+        let out = run_streamed(
+            &config,
+            gen.source(30),
+            Rotor,
+            SimOptions {
+                chunk_steps: 7,
+                sim_threads: 2,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.fingerprint(), base.fingerprint());
+    }
+
+    #[test]
+    fn run_streamed_rejects_vm_count_mismatch() {
+        let config = DataCenterConfig::paper_planetlab(2, 4);
+        let source = PlanetLabConfig::new(3, 1).source(5);
+        assert_eq!(
+            run_streamed(&config, source, NoOpScheduler, SimOptions::default()).unwrap_err(),
+            SimError::TraceMismatch {
+                config_vms: 4,
+                trace_vms: 3
+            }
+        );
+    }
+
+    #[test]
+    fn fingerprint_excludes_wall_clock() {
+        let (config, trace) = busy_setup(10);
+        let a = Simulation::new(config.clone(), trace.clone())
+            .unwrap()
+            .run(Rotor);
+        let b = Simulation::new(config, trace).unwrap().run(Rotor);
+        // decision_micros certainly differs between runs; fingerprints
+        // must not.
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 }

@@ -49,12 +49,13 @@ mod power;
 mod scheduler;
 mod slav;
 mod spec;
+mod step;
 pub mod sweep;
 mod view;
 
 pub use config::{DataCenterBuilder, DataCenterConfig, HostOutage, InitialPlacement, SimError};
 pub use cost::{CostParams, SlaBand};
-pub use engine::{Simulation, SimulationOutcome};
+pub use engine::{run_streamed, SimOptions, Simulation, SimulationOutcome};
 pub use metrics::{Comparison, MigrationEvent, StepEvents, StepRecord, SummaryReport};
 pub use migration::{MigrationEstimate, MigrationModel, PreCopyModel};
 pub use network::NetworkModel;

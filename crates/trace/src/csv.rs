@@ -8,8 +8,9 @@
 use std::fmt;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
+use crate::source::{TraceHeader, TraceSource};
 use crate::WorkloadTrace;
 
 /// Error raised while reading or writing a trace CSV.
@@ -85,56 +86,201 @@ pub fn save_csv(trace: &WorkloadTrace, path: impl AsRef<Path>) -> Result<(), Tra
 
 /// Loads a trace from a CSV file previously written by [`save_csv`].
 ///
+/// Materializing wrapper over the streaming [`CsvSource`]; prefer the
+/// source for traces that should stay out of RAM.
+///
 /// # Errors
 ///
 /// Returns [`TraceCsvError`] for I/O failures, unparsable cells, ragged
 /// rows, out-of-range utilizations, or a missing header.
 pub fn load_csv(path: impl AsRef<Path>) -> Result<WorkloadTrace, TraceCsvError> {
-    let reader = BufReader::new(File::open(path)?);
-    let mut step_seconds: Option<u64> = None;
-    let mut columns: Vec<Vec<f64>> = Vec::new();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix('#') {
-            if let Some(value) = rest.trim().strip_prefix("step_seconds=") {
-                step_seconds = Some(value.trim().parse().map_err(|_| {
-                    TraceCsvError::Format(format!("invalid step_seconds value {value:?}"))
-                })?);
+    let mut source = CsvSource::open(path)?;
+    let n_steps = source.header().n_steps;
+    let trace = (&mut source).take_steps(n_steps);
+    match source.take_error() {
+        Some(err) => Err(err),
+        None => Ok(trace),
+    }
+}
+
+/// A buffered streaming [`TraceSource`] over a [`save_csv`]-format file.
+///
+/// The file is written one *step* per line, so columns stream naturally:
+/// [`open`](Self::open) pre-scans once to learn the shape (step count,
+/// VM count, `step_seconds` header) without retaining any samples, then
+/// `fill_chunk` parses one line per step from a reused buffer. Peak
+/// memory is `O(n_vms)` regardless of file length.
+///
+/// A malformed line stops the stream: `fill_chunk` returns the steps
+/// completed before it and `0` afterwards, with the cause available via
+/// [`error`](Self::error) / [`take_error`](Self::take_error).
+pub struct CsvSource {
+    path: PathBuf,
+    header: TraceHeader,
+    reader: Option<BufReader<File>>,
+    line_no: usize,
+    emitted: usize,
+    buf: String,
+    error: Option<TraceCsvError>,
+}
+
+impl CsvSource {
+    /// Opens a trace CSV for streaming, pre-scanning it for its shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceCsvError`] on I/O failure, a missing
+    /// `# step_seconds=` header, or an invalid header value.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceCsvError> {
+        let path = path.as_ref().to_path_buf();
+        let mut step_seconds: Option<u64> = None;
+        let mut n_steps = 0usize;
+        let mut n_vms = 0usize;
+        for line in BufReader::new(File::open(&path)?).lines() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
             }
-            continue;
+            if let Some(rest) = line.strip_prefix('#') {
+                if let Some(value) = rest.trim().strip_prefix("step_seconds=") {
+                    step_seconds = Some(value.trim().parse().map_err(|_| {
+                        TraceCsvError::Format(format!("invalid step_seconds value {value:?}"))
+                    })?);
+                }
+                continue;
+            }
+            if n_steps == 0 {
+                n_vms = line.split(',').count();
+            }
+            n_steps += 1;
         }
-        let cells: Vec<f64> = line
-            .split(',')
-            .map(|c| {
-                c.trim().parse::<f64>().map_err(|_| TraceCsvError::Parse {
-                    line: idx + 1,
-                    cell: c.to_string(),
-                })
-            })
-            .collect::<Result<_, _>>()?;
-        if columns.is_empty() {
-            columns = vec![Vec::new(); cells.len()];
+        let step_seconds = step_seconds
+            .ok_or_else(|| TraceCsvError::Format("missing '# step_seconds=' header".into()))?;
+        let mut source = Self {
+            path,
+            header: TraceHeader {
+                n_vms,
+                n_steps,
+                step_seconds,
+            },
+            reader: None,
+            line_no: 0,
+            emitted: 0,
+            buf: String::new(),
+            error: None,
+        };
+        source.reopen()?;
+        Ok(source)
+    }
+
+    /// The error that stopped the stream, if any.
+    pub fn error(&self) -> Option<&TraceCsvError> {
+        self.error.as_ref()
+    }
+
+    /// Takes the error that stopped the stream, if any.
+    pub fn take_error(&mut self) -> Option<TraceCsvError> {
+        self.error.take()
+    }
+
+    fn reopen(&mut self) -> Result<(), TraceCsvError> {
+        let file = File::open(&self.path)?;
+        self.reader = Some(BufReader::new(file));
+        self.line_no = 0;
+        self.emitted = 0;
+        self.error = None;
+        Ok(())
+    }
+
+    /// Parses the next data line into `out` (`n_vms` slots). `Ok(false)`
+    /// means end of file.
+    fn next_column(&mut self, out: &mut [f64]) -> Result<bool, TraceCsvError> {
+        let n_vms = self.header.n_vms;
+        let Self {
+            reader,
+            line_no,
+            buf,
+            ..
+        } = self;
+        let Some(reader) = reader.as_mut() else {
+            return Ok(false);
+        };
+        loop {
+            buf.clear();
+            if reader.read_line(buf)? == 0 {
+                break;
+            }
+            *line_no += 1;
+            let line = buf.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut count = 0usize;
+            for cell in line.split(',') {
+                let v: f64 = cell.trim().parse().map_err(|_| TraceCsvError::Parse {
+                    line: *line_no,
+                    cell: cell.to_string(),
+                })?;
+                if count < out.len() {
+                    out[count] = v;
+                }
+                count += 1;
+            }
+            if count != n_vms {
+                return Err(TraceCsvError::Format(format!(
+                    "row on line {} has {count} cells, expected {n_vms}",
+                    *line_no
+                )));
+            }
+            for &v in out.iter().take(n_vms) {
+                if !v.is_finite() || !(0.0..=100.0).contains(&v) {
+                    return Err(TraceCsvError::Format(format!(
+                        "utilization {v} outside [0, 100] on line {}",
+                        *line_no
+                    )));
+                }
+            }
+            return Ok(true);
         }
-        if cells.len() != columns.len() {
-            return Err(TraceCsvError::Format(format!(
-                "row on line {} has {} cells, expected {}",
-                idx + 1,
-                cells.len(),
-                columns.len()
-            )));
+        self.reader = None;
+        Ok(false)
+    }
+}
+
+impl TraceSource for CsvSource {
+    fn header(&self) -> TraceHeader {
+        self.header
+    }
+
+    fn fill_chunk(&mut self, buf: &mut [f64]) -> usize {
+        let n = self.header.n_vms;
+        if n == 0 || self.error.is_some() {
+            return 0;
         }
-        for (col, v) in columns.iter_mut().zip(cells) {
-            col.push(v);
+        let want = (buf.len() / n).min(self.header.n_steps - self.emitted);
+        let mut got = 0usize;
+        while got < want {
+            match self.next_column(&mut buf[got * n..(got + 1) * n]) {
+                Ok(true) => got += 1,
+                Ok(false) => break,
+                Err(e) => {
+                    self.error = Some(e);
+                    self.reader = None;
+                    break;
+                }
+            }
+        }
+        self.emitted += got;
+        got
+    }
+
+    fn reset(&mut self) {
+        if let Err(e) = self.reopen() {
+            self.reader = None;
+            self.error = Some(e);
         }
     }
-    let step_seconds = step_seconds
-        .ok_or_else(|| TraceCsvError::Format("missing '# step_seconds=' header".into()))?;
-    WorkloadTrace::from_rows(step_seconds, columns)
-        .ok_or_else(|| TraceCsvError::Format("utilization outside [0, 100] or ragged".into()))
 }
 
 #[cfg(test)]
@@ -205,6 +351,50 @@ mod tests {
         let err = load_csv(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         assert!(matches!(err, TraceCsvError::Format(_)));
+    }
+
+    #[test]
+    fn csv_source_streams_identically_to_load() {
+        let t = PlanetLabConfig::new(3, 9).generate_steps(15);
+        let path = tmp("stream.csv");
+        save_csv(&t, &path).unwrap();
+        let loaded = load_csv(&path).unwrap();
+        let mut source = CsvSource::open(&path).unwrap();
+        assert_eq!(source.header().n_vms, 3);
+        assert_eq!(source.header().n_steps, 15);
+        let streamed = (&mut source).take_steps(15);
+        assert!(source.error().is_none());
+        assert_eq!(streamed, loaded);
+        // Chunked reads equal whole reads, and reset replays the file.
+        source.reset();
+        let mut col = vec![0.0; 3];
+        let mut steps = 0usize;
+        while source.fill_chunk(&mut col) == 1 {
+            for (vm, &v) in col.iter().enumerate() {
+                assert_eq!(v, streamed.utilization(vm, steps));
+            }
+            steps += 1;
+        }
+        std::fs::remove_file(&path).ok();
+        assert_eq!(steps, 15);
+    }
+
+    #[test]
+    fn csv_source_surfaces_mid_stream_errors() {
+        let path = tmp("stream-bad.csv");
+        std::fs::write(&path, "# step_seconds=300\n1.0,2.0\n3.0,abc\n").unwrap();
+        let mut source = CsvSource::open(&path).unwrap();
+        let mut buf = vec![0.0; 2 * 4];
+        assert_eq!(source.fill_chunk(&mut buf), 1, "first step is clean");
+        assert_eq!(source.fill_chunk(&mut buf), 0, "stream stops at error");
+        std::fs::remove_file(&path).ok();
+        match source.take_error() {
+            Some(TraceCsvError::Parse { line, cell }) => {
+                assert_eq!(line, 3);
+                assert_eq!(cell, "abc");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -9,12 +9,10 @@
 //! ([`megh-core`'s `PeriodicMeghAgent`]) can actually demonstrate an
 //! advantage: the PlanetLab family's bursts are aperiodic by design.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, LogNormal, Normal};
 use serde::{Deserialize, Serialize};
 
-use crate::{WorkloadTrace, STEPS_PER_DAY, STEP_SECONDS};
+use crate::source::{DiurnalSource, TraceSource};
+use crate::{WorkloadTrace, STEPS_PER_DAY};
 
 /// Configuration for the diurnal enterprise generator.
 ///
@@ -74,36 +72,28 @@ impl DiurnalConfig {
         self.night_level + (self.day_level * weekend - self.night_level) * plateau.max(0.0)
     }
 
+    /// A lazy streaming source of `n_steps` columns; the preferred entry
+    /// point. Memory is `O(n_vms)` regardless of `n_steps`.
+    pub fn source(&self, n_steps: usize) -> DiurnalSource {
+        DiurnalSource::new(self.clone(), n_steps)
+    }
+
     /// Generates a trace spanning `days` simulated days.
+    ///
+    /// Thin materializing wrapper over [`source`](Self::source) +
+    /// [`TraceSource::take_steps`]; prefer the streaming API for long
+    /// traces.
     pub fn generate(&self, days: usize) -> WorkloadTrace {
         self.generate_steps(days * STEPS_PER_DAY)
     }
 
     /// Generates a trace with an explicit number of 5-minute steps.
+    ///
+    /// Thin materializing wrapper over [`source`](Self::source) +
+    /// [`TraceSource::take_steps`]; prefer the streaming API for long
+    /// traces.
     pub fn generate_steps(&self, n_steps: usize) -> WorkloadTrace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let scale_dist = LogNormal::new(0.0, 0.3).expect("valid lognormal");
-        let noise = Normal::new(0.0, self.noise_sigma.max(0.0)).expect("valid normal");
-        let mut rows = Vec::with_capacity(self.n_vms);
-        for _ in 0..self.n_vms {
-            // Per-VM amplitude and a phase offset of up to ±1 hour.
-            let amplitude: f64 = scale_dist.sample(&mut rng);
-            let amplitude = amplitude.clamp(0.4, 2.0);
-            let offset = rng.gen_range(0..=24usize) as isize - 12;
-            let mut row = Vec::with_capacity(n_steps);
-            let mut prev = 0.0f64;
-            for step in 0..n_steps {
-                let shifted = (step as isize + offset).max(0) as usize;
-                let base = self.profile(shifted) * amplitude;
-                let target = base.clamp(0.0, 100.0);
-                let value = prev + 0.7 * (target - prev) + noise.sample(&mut rng);
-                prev = value.clamp(0.0, 100.0);
-                row.push(prev);
-            }
-            rows.push(row);
-        }
-        WorkloadTrace::from_rows(STEP_SECONDS, rows)
-            .expect("generator only emits utilization in [0, 100]")
+        self.source(n_steps).take_steps(n_steps)
     }
 }
 

@@ -16,10 +16,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, LogNormal, Normal};
 use serde::{Deserialize, Serialize};
 
-use crate::{WorkloadTrace, STEPS_PER_DAY, STEP_SECONDS};
+use crate::source::{GoogleSource, TraceSource};
+use crate::{WorkloadTrace, STEPS_PER_DAY};
 
 /// Configuration for the Google-Cluster-like generator.
 ///
@@ -61,58 +61,32 @@ impl GoogleConfig {
         }
     }
 
+    /// A lazy streaming source of `n_steps` columns; the preferred entry
+    /// point. Memory is `O(n_vms)` regardless of `n_steps`.
+    pub fn source(&self, n_steps: usize) -> GoogleSource {
+        GoogleSource::new(self.clone(), n_steps)
+    }
+
     /// Generates a trace spanning `days` simulated days.
+    ///
+    /// Thin materializing wrapper over [`source`](Self::source) +
+    /// [`TraceSource::take_steps`]; prefer the streaming API for long
+    /// traces.
     pub fn generate(&self, days: usize) -> WorkloadTrace {
         self.generate_steps(days * STEPS_PER_DAY)
     }
 
     /// Generates a trace with an explicit number of 5-minute steps.
     ///
-    /// Also returns the utilization rows; task durations can be recovered
-    /// with [`GoogleConfig::sample_task_durations`] for Figure 1(b).
+    /// Thin materializing wrapper over [`source`](Self::source) +
+    /// [`TraceSource::take_steps`]; task durations can be recovered with
+    /// [`GoogleConfig::sample_task_durations`] for Figure 1(b).
     pub fn generate_steps(&self, n_steps: usize) -> WorkloadTrace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let util_dist = LogNormal::new(self.task_util_mean.max(0.1).ln(), 0.6)
-            .expect("valid lognormal parameters");
-        let noise = Normal::new(0.0, 0.8).expect("valid normal parameters");
-
-        let mut rows = Vec::with_capacity(self.n_vms);
-        for _ in 0..self.n_vms {
-            let mut row = Vec::with_capacity(n_steps);
-            // Staggered starts: idle for a random prefix.
-            let offset = rng.gen_range(0..=(STEPS_PER_DAY / 4).max(1));
-            row.resize(offset.min(n_steps), 0.0);
-            while row.len() < n_steps {
-                // Idle gap (geometric) then a task.
-                let gap = sample_geometric(&mut rng, 1.0 / (self.mean_idle_steps + 1.0));
-                for _ in 0..gap {
-                    if row.len() >= n_steps {
-                        break;
-                    }
-                    row.push(0.0);
-                }
-                if row.len() >= n_steps {
-                    break;
-                }
-                let duration_s = self.sample_duration(&mut rng);
-                let duration_steps = ((duration_s / STEP_SECONDS as f64).ceil() as usize).max(1);
-                let level = util_dist.sample(&mut rng).clamp(0.5, 60.0);
-                for _ in 0..duration_steps {
-                    if row.len() >= n_steps {
-                        break;
-                    }
-                    let u = (level + noise.sample(&mut rng)).clamp(0.1, 100.0);
-                    row.push(u);
-                }
-            }
-            rows.push(row);
-        }
-        WorkloadTrace::from_rows(STEP_SECONDS, rows)
-            .expect("generator only emits utilization in [0, 100]")
+        self.source(n_steps).take_steps(n_steps)
     }
 
     /// Draws one task duration in seconds (log-uniform over the support).
-    fn sample_duration<R: Rng>(&self, rng: &mut R) -> f64 {
+    pub(crate) fn sample_duration<R: Rng>(&self, rng: &mut R) -> f64 {
         let lo = self.min_task_seconds.max(1.0).ln();
         let hi = self.max_task_seconds.max(self.min_task_seconds + 1.0).ln();
         rng.gen_range(lo..hi).exp()
@@ -129,7 +103,7 @@ impl GoogleConfig {
 }
 
 /// Geometric sample: number of failures before the first success.
-fn sample_geometric<R: Rng>(rng: &mut R, p: f64) -> usize {
+pub(crate) fn sample_geometric<R: Rng>(rng: &mut R, p: f64) -> usize {
     let p = p.clamp(1e-9, 1.0);
     let u: f64 = rng.gen_range(0.0..1.0);
     (u.ln() / (1.0 - p).max(1e-12).ln()).floor().max(0.0) as usize

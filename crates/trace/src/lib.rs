@@ -34,15 +34,20 @@ mod diurnal;
 mod files;
 mod google;
 mod planetlab;
+mod source;
 mod stats;
 mod trace;
 mod transform;
 
-pub use csv::{load_csv, save_csv, TraceCsvError};
+pub use csv::{load_csv, save_csv, CsvSource, TraceCsvError};
 pub use diurnal::DiurnalConfig;
-pub use files::{load_google_usage_csv, load_planetlab_dir};
+pub use files::{load_google_usage_csv, load_planetlab_dir, PlanetLabDirSource};
 pub use google::GoogleConfig;
 pub use planetlab::PlanetLabConfig;
+pub use source::{
+    Coarsened, DiurnalSource, GoogleSource, MaterializedSource, Noisy, PlanetLabSource, Scaled,
+    TraceCursor, TraceHeader, TraceSource,
+};
 pub use stats::{log10_histogram, CullenFrey, DurationStats, TraceStats};
 pub use trace::WorkloadTrace;
 pub use transform::{add_noise, coarsen, merge_populations, scale_utilization};

@@ -16,12 +16,10 @@
 //! variance" workloads. A mild diurnal modulation makes burst onset more
 //! likely during the simulated day than at night.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, LogNormal, Normal};
 use serde::{Deserialize, Serialize};
 
-use crate::{WorkloadTrace, STEPS_PER_DAY, STEP_SECONDS};
+use crate::source::{PlanetLabSource, TraceSource};
+use crate::{WorkloadTrace, STEPS_PER_DAY};
 
 /// Configuration for the PlanetLab-like generator.
 ///
@@ -66,67 +64,35 @@ impl PlanetLabConfig {
         }
     }
 
+    /// A lazy streaming source of `n_steps` columns; the preferred entry
+    /// point. Memory is `O(n_vms)` regardless of `n_steps`.
+    pub fn source(&self, n_steps: usize) -> PlanetLabSource {
+        PlanetLabSource::new(self.clone(), n_steps)
+    }
+
     /// Generates a trace spanning `days` simulated days.
+    ///
+    /// Thin materializing wrapper over [`source`](Self::source) +
+    /// [`TraceSource::take_steps`]; prefer the streaming API for long
+    /// traces.
     pub fn generate(&self, days: usize) -> WorkloadTrace {
         self.generate_steps(days * STEPS_PER_DAY)
     }
 
     /// Generates a trace with an explicit number of 5-minute steps.
+    ///
+    /// Thin materializing wrapper over [`source`](Self::source) +
+    /// [`TraceSource::take_steps`]; prefer the streaming API for long
+    /// traces.
     pub fn generate_steps(&self, n_steps: usize) -> WorkloadTrace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        // Per-VM heterogeneity: each VM's quiet base is log-normal around
-        // the configured quiet mean (PlanetLab nodes differ widely).
-        let base_dist = LogNormal::new(self.quiet_mean.max(0.1).ln(), 0.45)
-            .expect("valid lognormal parameters");
-        let burst_level_dist = Normal::new(self.burst_mean, 6.0).expect("valid normal parameters");
-        let noise = Normal::new(0.0, 1.5).expect("valid normal parameters");
-
-        let p_exit_burst = 1.0 / self.mean_burst_steps.max(1.0);
-        // Stationarity: f = p_enter / (p_enter + p_exit).
-        let p_enter_burst =
-            (self.burst_fraction * p_exit_burst) / (1.0 - self.burst_fraction).max(1e-9);
-
-        let mut rows = Vec::with_capacity(self.n_vms);
-        for _ in 0..self.n_vms {
-            let base = base_dist.sample(&mut rng).clamp(3.0, 25.0);
-            let mut bursting = rng.gen_bool(self.burst_fraction.clamp(0.0, 1.0));
-            let mut level = if bursting {
-                burst_level_dist.sample(&mut rng).clamp(50.0, 95.0)
-            } else {
-                base
-            };
-            let mut row = Vec::with_capacity(n_steps);
-            for step in 0..n_steps {
-                // Diurnal modulation: burst onset twice as likely at the
-                // daily peak as at the trough.
-                let phase =
-                    (step % STEPS_PER_DAY) as f64 / STEPS_PER_DAY as f64 * std::f64::consts::TAU;
-                let diurnal = 1.0 + 0.5 * phase.sin();
-                if bursting {
-                    if rng.gen_bool(p_exit_burst.clamp(0.0, 1.0)) {
-                        bursting = false;
-                        level = base;
-                    }
-                } else if rng.gen_bool((p_enter_burst * diurnal).clamp(0.0, 1.0)) {
-                    bursting = true;
-                    level = burst_level_dist.sample(&mut rng).clamp(50.0, 95.0);
-                }
-                // AR(1) pull towards the regime level plus white noise.
-                let target = if bursting { level } else { base };
-                let current = row.last().copied().unwrap_or(target);
-                let next = current + 0.6 * (target - current) + noise.sample(&mut rng);
-                row.push(next.clamp(0.0, 100.0));
-            }
-            rows.push(row);
-        }
-        WorkloadTrace::from_rows(STEP_SECONDS, rows)
-            .expect("generator only emits utilization in [0, 100]")
+        self.source(n_steps).take_steps(n_steps)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::STEP_SECONDS;
     use megh_linalg_test_shim::std_dev_of;
 
     /// Tiny local shim so these tests do not depend on megh-linalg.

@@ -94,8 +94,29 @@ impl WorkloadTrace {
     ///
     /// Panics if `step >= n_steps()`.
     pub fn step_column(&self, step: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_vms()];
+        self.step_column_into(step, &mut out);
+        out
+    }
+
+    /// Writes the utilizations of every VM at one step into `out`,
+    /// without allocating. The streaming counterpart of
+    /// [`step_column`](Self::step_column) used on the simulation hot
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step >= n_steps()` or `out.len() != n_vms()`.
+    pub fn step_column_into(&self, step: usize, out: &mut [f64]) {
         assert!(step < self.n_steps(), "step {step} out of range");
-        self.rows.iter().map(|row| row[step]).collect()
+        assert_eq!(
+            out.len(),
+            self.n_vms(),
+            "output buffer must hold one value per VM"
+        );
+        for (slot, row) in out.iter_mut().zip(&self.rows) {
+            *slot = row[step];
+        }
     }
 
     /// Returns a trace containing only the first `steps` steps.

@@ -1,10 +1,12 @@
 //! Trace transformations for sensitivity studies: scaling, noising,
 //! merging, and resampling workloads without re-generating them.
+//!
+//! The per-sample transforms are thin materializing wrappers over the
+//! streaming adapters in [`crate::source`] ([`TraceSource::scaled`],
+//! [`TraceSource::with_noise`], [`TraceSource::coarsened`]) — prefer
+//! composing those directly when the trace should stay out of RAM.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rand_distr::{Distribution, Normal};
-
+use crate::source::TraceSource;
 use crate::WorkloadTrace;
 
 /// Scales every utilization sample by `factor`, clamping to `[0, 100]`.
@@ -22,33 +24,16 @@ use crate::WorkloadTrace;
 /// assert_eq!(doubled.utilization(0, 1), 100.0); // clamped
 /// ```
 pub fn scale_utilization(trace: &WorkloadTrace, factor: f64) -> WorkloadTrace {
-    let rows = (0..trace.n_vms())
-        .map(|vm| {
-            trace
-                .vm_row(vm)
-                .iter()
-                .map(|&u| (u * factor).clamp(0.0, 100.0))
-                .collect()
-        })
-        .collect();
-    WorkloadTrace::from_rows(trace.step_seconds(), rows).expect("clamped rows are valid")
+    trace.cursor().scaled(factor).take_steps(trace.n_steps())
 }
 
 /// Adds zero-mean Gaussian noise (σ in utilization points) to every
 /// sample, clamped to `[0, 100]`. Deterministic under `seed`.
 pub fn add_noise(trace: &WorkloadTrace, sigma: f64, seed: u64) -> WorkloadTrace {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let dist = Normal::new(0.0, sigma.max(0.0)).expect("sigma >= 0");
-    let rows = (0..trace.n_vms())
-        .map(|vm| {
-            trace
-                .vm_row(vm)
-                .iter()
-                .map(|&u| (u + dist.sample(&mut rng)).clamp(0.0, 100.0))
-                .collect()
-        })
-        .collect();
-    WorkloadTrace::from_rows(trace.step_seconds(), rows).expect("clamped rows are valid")
+    trace
+        .cursor()
+        .with_noise(sigma, seed)
+        .take_steps(trace.n_steps())
 }
 
 /// Concatenates the VM populations of two traces (same interval; the
@@ -85,20 +70,10 @@ pub fn merge_populations(a: &WorkloadTrace, b: &WorkloadTrace) -> WorkloadTrace 
 ///
 /// Panics if `factor == 0`.
 pub fn coarsen(trace: &WorkloadTrace, factor: usize) -> WorkloadTrace {
-    assert!(factor > 0, "factor must be positive");
-    let new_steps = trace.n_steps() / factor;
-    let rows = (0..trace.n_vms())
-        .map(|vm| {
-            (0..new_steps)
-                .map(|s| {
-                    let bucket = &trace.vm_row(vm)[s * factor..(s + 1) * factor];
-                    bucket.iter().sum::<f64>() / factor as f64
-                })
-                .collect()
-        })
-        .collect();
-    WorkloadTrace::from_rows(trace.step_seconds() * factor as u64, rows)
-        .expect("averaged rows are valid")
+    trace
+        .cursor()
+        .coarsened(factor)
+        .take_steps(trace.n_steps() / factor.max(1))
 }
 
 #[cfg(test)]
