@@ -51,6 +51,20 @@ if ! [ "${RSS_KB:-99999999}" -lt 32768 ] 2>/dev/null; then
   exit 1
 fi
 
+echo "==> file-streaming peak-RSS budget (500 VMs x 30 days CSV, noop, budget <32768 kB)"
+TRACE_DIR="$(mktemp -d)"
+target/release/megh trace-gen --workload planetlab --vms 500 --days 30 --seed 11 \
+  --out "$TRACE_DIR/trace.csv" >/dev/null
+RSS_LINE=$(target/release/megh simulate --file "$TRACE_DIR/trace.csv" --hosts 250 \
+  --scheduler noop --stream --mem-stats | tail -n 1)
+rm -rf "$TRACE_DIR"
+echo "$RSS_LINE"
+RSS_KB=$(echo "$RSS_LINE" | awk '/^peak RSS/ {print $3}')
+if ! [ "${RSS_KB:-99999999}" -lt 32768 ] 2>/dev/null; then
+  echo "file-streaming RSS budget exceeded: ${RSS_KB:-unparsable} kB (budget: <32768 kB)" >&2
+  exit 1
+fi
+
 echo "==> bench-diff (latency warnings advisory; shape/alloc checks fatal)"
 cargo run -q -p megh-bench --bin bench-diff
 cargo run -q -p megh-bench --bin bench-diff BENCH_serve_throughput.json

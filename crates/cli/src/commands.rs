@@ -2,14 +2,17 @@
 
 use megh_baselines::{MadVmConfig, MadVmScheduler, MmtFlavor, MmtScheduler};
 use megh_core::diagnostics::{decision_latency, LatencyStats};
-use megh_core::{MeghAgent, MeghConfig, PeriodicMeghAgent};
+use megh_core::{HierMegh, MeghAgent, MeghConfig, PeriodicMeghAgent};
 use megh_flags::{FlagSpec, FlagTable};
 use megh_serve::{Client as ServeClient, Listen, Request as ServeRequest, ServeOptions};
 use megh_sim::{
     run_streamed, run_sweep, DataCenterConfig, HostOutage, InitialPlacement, NoOpScheduler,
     Scheduler, SimOptions, Simulation, SimulationOutcome, SlavMetrics, SummaryReport, SweepReport,
 };
-use megh_trace::{DiurnalConfig, GoogleConfig, PlanetLabConfig, TraceStats, WorkloadTrace};
+use megh_trace::{
+    load_csv, load_planetlab_dir, CsvSource, DiurnalConfig, GoogleConfig, PlanetLabConfig,
+    PlanetLabDirSource, TraceSource, TraceStats, WorkloadTrace,
+};
 use serde::Serialize;
 
 use crate::args::{Args, ArgsError};
@@ -17,8 +20,10 @@ use crate::args::{Args, ArgsError};
 /// Workload families the CLI accepts.
 pub const WORKLOAD_NAMES: [&str; 3] = ["planetlab", "google", "diurnal"];
 
-/// Scheduler names accepted by `--scheduler` (plus `megh-p<N>`).
-const SCHEDULER_HELP: &str = "megh|megh-p<N>|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|noop";
+/// Scheduler names accepted by `--scheduler` (plus `megh-p<N>` and
+/// `hier<N>`).
+const SCHEDULER_HELP: &str =
+    "megh|megh-p<N>|hier|hier<N>|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|noop";
 
 /// Options shared by every simulation-running subcommand. Each table
 /// below is the single declaration of its flags: the typed getters and
@@ -75,9 +80,15 @@ const SIMULATE_FLAGS: FlagTable = FlagTable::new(
     &[
         FlagSpec::opt("scheduler", "NAME|all", "megh", SCHEDULER_HELP),
         FlagSpec::switch("slav", "also print SLATAH/PDM/SLAV/ESV"),
+        FlagSpec::opt(
+            "file",
+            "PATH",
+            "",
+            "simulate a trace CSV (or PlanetLab directory) instead of a generated workload",
+        ),
         FlagSpec::switch(
             "stream",
-            "generate the trace lazily chunk-by-chunk instead of materializing it",
+            "pull the trace lazily chunk-by-chunk instead of materializing it",
         ),
         FlagSpec::switch("mem-stats", "print the process peak RSS after the run"),
         FlagSpec::opt(
@@ -149,6 +160,12 @@ const SERVE_FLAGS: FlagTable = FlagTable::new(
         FlagSpec::opt("writer-seed", "N", "", "writer-thread RNG seed"),
         FlagSpec::opt("vms", "N", "40", "cold-start action space: VMs"),
         FlagSpec::opt("hosts", "N", "20", "cold-start action space: hosts"),
+        FlagSpec::opt(
+            "shards",
+            "N",
+            "1",
+            "hierarchical decide: serve each decide from the shard its seed hashes to (1 = flat)",
+        ),
     ],
 );
 
@@ -303,6 +320,12 @@ pub fn build_named_scheduler(
         "lrr-mmt" => Box::new(MmtScheduler::new(MmtFlavor::Lrr)),
         "madvm" => Box::new(MadVmScheduler::new(MadVmConfig::default())),
         "noop" => Box::new(NoOpScheduler),
+        // hier: the two-level sharded Megh with auto-sized shards
+        // (~64 hosts per shard).
+        "hier" => {
+            let shards = config.pms.len().div_ceil(64).max(1);
+            Box::new(HierMegh::sharded(megh_cfg(), shards))
+        }
         other => {
             // megh-p<N>: the periodicity-aware variant.
             if let Some(phases) = other
@@ -311,12 +334,19 @@ pub fn build_named_scheduler(
                 .filter(|&p| p > 0)
             {
                 Box::new(PeriodicMeghAgent::new(megh_cfg(), phases))
+            } else if let Some(shards) = other
+                .strip_prefix("hier")
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&s| s > 0 && s <= config.pms.len().max(1))
+            {
+                // hier<N>: explicit shard count.
+                Box::new(HierMegh::sharded(megh_cfg(), shards))
             } else {
                 return Err(ArgsError::Invalid {
                     key: "scheduler".into(),
                     value: other.to_string(),
                     expected:
-                        "one of megh|megh-p<N>|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|noop|all",
+                        "one of megh|megh-p<N>|hier|hier<N>|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|noop|all",
                 });
             }
         }
@@ -405,6 +435,86 @@ fn setup_error(e: megh_sim::SimError) -> ArgsError {
     }
 }
 
+fn trace_file_error(path: &str, e: megh_trace::TraceCsvError) -> ArgsError {
+    ArgsError::Invalid {
+        key: "file".into(),
+        value: format!("{path}: {e}"),
+        expected: "a readable trace CSV or PlanetLab directory",
+    }
+}
+
+/// The data-center configuration for a file trace: `--hosts` and the
+/// workload family come from the CLI, the VM count from the file.
+fn file_config(spec: &SimSpec, n_vms: usize) -> DataCenterConfig {
+    let mut config = if spec.workload == "google" {
+        DataCenterConfig::paper_google(spec.hosts, n_vms)
+    } else {
+        DataCenterConfig::paper_planetlab(spec.hosts, n_vms)
+    };
+    config.initial_placement = InitialPlacement::DemandPacked;
+    config.outages = spec.outages.clone();
+    config
+}
+
+/// Materializes a trace file: a directory is read as a PlanetLab
+/// per-VM file tree, anything else as a trace CSV.
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for unreadable or malformed inputs.
+pub fn load_trace_file(path: &str) -> Result<WorkloadTrace, ArgsError> {
+    if std::path::Path::new(path).is_dir() {
+        load_planetlab_dir(path).map_err(|e| trace_file_error(path, e))
+    } else {
+        load_csv(path).map_err(|e| trace_file_error(path, e))
+    }
+}
+
+/// Peeks a trace file's header (VM count) without materializing it.
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for unreadable or malformed inputs.
+pub fn peek_trace_file_vms(path: &str) -> Result<usize, ArgsError> {
+    let header = if std::path::Path::new(path).is_dir() {
+        PlanetLabDirSource::open(path)
+            .map_err(|e| trace_file_error(path, e))?
+            .header()
+    } else {
+        CsvSource::open(path)
+            .map_err(|e| trace_file_error(path, e))?
+            .header()
+    };
+    Ok(header.n_vms)
+}
+
+/// Runs one named scheduler over a *streamed* trace file: the rows are
+/// pulled through [`CsvSource`]/[`PlanetLabDirSource`] chunk-by-chunk
+/// inside the engine and the full trace is never resident, so memory
+/// stays flat in the file length.
+///
+/// # Errors
+///
+/// Returns [`ArgsError`] for unknown scheduler names, unreadable trace
+/// files, or an inconsistent configuration.
+pub fn run_streamed_file(
+    name: &str,
+    config: &DataCenterConfig,
+    path: &str,
+    seed: u64,
+    options: &SimOptions,
+) -> Result<SimulationOutcome, ArgsError> {
+    let scheduler = build_named_scheduler(name, config, seed)?;
+    if std::path::Path::new(path).is_dir() {
+        let source = PlanetLabDirSource::open(path).map_err(|e| trace_file_error(path, e))?;
+        run_streamed(config, source, scheduler, *options)
+    } else {
+        let source = CsvSource::open(path).map_err(|e| trace_file_error(path, e))?;
+        run_streamed(config, source, scheduler, *options)
+    }
+    .map_err(setup_error)
+}
+
 /// Parses the shared `--chunk-steps` / `--sim-threads` /
 /// `--progress-every` engine knobs.
 ///
@@ -458,18 +568,26 @@ pub fn cmd_simulate(args: &Args) -> Result<String, ArgsError> {
     let options = engine_options(args)?;
     let stream = SIMULATE_FLAGS.switch(args, "stream");
     let scheduler = SIMULATE_FLAGS.get(args, "scheduler").unwrap_or("megh");
+    let file = SIMULATE_FLAGS.get(args, "file").filter(|p| !p.is_empty());
     // Streaming mode never materializes the trace; the engine pulls it
-    // from the generator chunk-by-chunk instead.
-    let (config, trace) = if stream {
-        (spec.build_config(), None)
-    } else {
-        let (config, trace) = spec.build();
-        (config, Some(trace))
+    // chunk-by-chunk from the generator — or, with --file, from the
+    // CSV/PlanetLab-directory source.
+    let (config, trace) = match (&file, stream) {
+        (Some(path), true) => (file_config(&spec, peek_trace_file_vms(path)?), None),
+        (Some(path), false) => {
+            let trace = load_trace_file(path)?;
+            (file_config(&spec, trace.n_vms()), Some(trace))
+        }
+        (None, true) => (spec.build_config(), None),
+        (None, false) => {
+            let (config, trace) = spec.build();
+            (config, Some(trace))
+        }
     };
     let mut out = String::new();
     let names: Vec<&str> = if scheduler == "all" {
         vec![
-            "noop", "thr-mmt", "iqr-mmt", "mad-mmt", "lr-mmt", "lrr-mmt", "madvm", "megh",
+            "noop", "thr-mmt", "iqr-mmt", "mad-mmt", "lr-mmt", "lrr-mmt", "madvm", "megh", "hier",
         ]
     } else {
         vec![scheduler]
@@ -479,9 +597,12 @@ pub fn cmd_simulate(args: &Args) -> Result<String, ArgsError> {
     for name in names {
         let allocs_before = crate::ALLOC.allocations();
         let bytes_before = crate::ALLOC.bytes_allocated();
-        let outcome = match &trace {
-            Some(trace) => run_named_scheduler_with(name, &config, trace, spec.seed, &options)?,
-            None => run_streamed_named(name, &config, &spec, &options)?,
+        let outcome = match (&trace, &file) {
+            (Some(trace), _) => {
+                run_named_scheduler_with(name, &config, trace, spec.seed, &options)?
+            }
+            (None, Some(path)) => run_streamed_file(name, &config, path, spec.seed, &options)?,
+            (None, None) => run_streamed_named(name, &config, &spec, &options)?,
         };
         let report = outcome.report();
         diagnostics.push(LatencyAllocReport {
@@ -765,6 +886,7 @@ pub fn cmd_serve(args: &Args) -> Result<String, ArgsError> {
     let mut opts = ServeOptions::new(listen, std::path::PathBuf::from(checkpoint));
     opts.checkpoint_every = SERVE_FLAGS.parsed(args, "checkpoint-every", 0, "integer")?;
     opts.writer_seed = SERVE_FLAGS.parsed(args, "writer-seed", opts.writer_seed, "integer")?;
+    opts.shards = SERVE_FLAGS.parsed(args, "shards", 1, "integer")?;
     let vms: usize = SERVE_FLAGS.parsed(args, "vms", 40, "integer")?;
     let hosts: usize = SERVE_FLAGS.parsed(args, "hosts", 20, "integer")?;
     let config = MeghConfig::paper_defaults(vms, hosts);
@@ -1031,7 +1153,7 @@ mod tests {
         std::fs::remove_file(&path).ok();
         let reports: serde_json::Value = serde_json::from_str(&json).unwrap();
         let arr = reports.as_array().expect("an array of reports");
-        assert_eq!(arr.len(), 8, "all eight schedulers must be in the file");
+        assert_eq!(arr.len(), 9, "all nine schedulers must be in the file");
     }
 
     #[test]
@@ -1103,6 +1225,59 @@ mod tests {
             serde_json::from_str(std::str::from_utf8(&bytes[0]).unwrap()).unwrap();
         assert_eq!(report["scheduler"], "Megh");
         assert_eq!(report["runs"].as_array().map(Vec::len), Some(4));
+    }
+
+    #[test]
+    fn sweep_determinism_sharded_hier_out_is_thread_invariant() {
+        // CI runs this by name (ci.sh filters on `sweep_determinism`):
+        // a sweep of the hierarchical scheduler must produce the same
+        // --out bytes for any worker thread count.
+        let dir = std::env::temp_dir().join(format!("megh-cli-hsweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut bytes = Vec::new();
+        for threads in [1usize, 8] {
+            let path = dir.join(format!("hsweep-t{threads}.json"));
+            let line = format!(
+                "sweep --hosts 4 --vms 6 --days 1 --seeds 4 --scheduler hier2 \
+                 --threads {threads} --out {}",
+                path.display()
+            );
+            dispatch(&parse(&line)).unwrap();
+            bytes.push(std::fs::read(&path).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(
+            bytes[0], bytes[1],
+            "sharded sweep report bytes must not depend on the thread count"
+        );
+        let report: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&bytes[0]).unwrap()).unwrap();
+        assert_eq!(report["scheduler"], "Megh-H");
+        assert_eq!(report["runs"].as_array().map(Vec::len), Some(4));
+    }
+
+    #[test]
+    fn hier_scheduler_names_parse_and_simulate() {
+        let out = dispatch(&parse(
+            "simulate --hosts 4 --vms 6 --days 1 --scheduler hier",
+        ))
+        .unwrap();
+        assert!(out.contains("Megh-H"), "{out}");
+        let out = dispatch(&parse(
+            "simulate --hosts 4 --vms 6 --days 1 --scheduler hier2",
+        ))
+        .unwrap();
+        assert!(out.contains("Megh-H"), "{out}");
+        // More shards than hosts is rejected as an argument error, not
+        // a panic inside the agent.
+        assert!(dispatch(&parse(
+            "simulate --hosts 4 --vms 6 --days 1 --scheduler hier9"
+        ))
+        .is_err());
+        assert!(dispatch(&parse(
+            "simulate --hosts 4 --vms 6 --days 1 --scheduler hier0"
+        ))
+        .is_err());
     }
 
     #[test]
@@ -1184,6 +1359,49 @@ mod tests {
                 "{workload}:\n{base}{streamed}"
             );
         }
+    }
+
+    #[test]
+    fn stream_file_csv_matches_materialized_run() {
+        // A trace CSV written by trace-gen must simulate identically
+        // whether it is materialized up front or streamed through
+        // CsvSource chunk-by-chunk — total cost included, for a
+        // learning scheduler.
+        let dir = std::env::temp_dir().join(format!("megh-cli-fstream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("trace.csv");
+        dispatch(&parse(&format!(
+            "trace-gen --vms 5 --days 1 --seed 9 --out {}",
+            csv.display()
+        )))
+        .unwrap();
+        let base = dispatch(&parse(&format!(
+            "simulate --hosts 3 --scheduler megh --file {}",
+            csv.display()
+        )))
+        .unwrap();
+        let streamed = dispatch(&parse(&format!(
+            "simulate --hosts 3 --scheduler megh --file {} --stream --chunk-steps 7 --sim-threads 2",
+            csv.display()
+        )))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let total = |s: &str| {
+            let tail = s.split("total ").nth(1).expect("summary line");
+            tail.split(" USD").next().expect("cost figure").to_string()
+        };
+        assert_eq!(total(&base), total(&streamed), "{base}{streamed}");
+        assert!(base.contains("288 steps"), "{base}");
+    }
+
+    #[test]
+    fn stream_file_errors_are_reported() {
+        let err = dispatch(&parse(
+            "simulate --hosts 3 --file /no/such/trace.csv --stream",
+        ));
+        assert!(err.is_err(), "{err:?}");
+        let err = dispatch(&parse("simulate --hosts 3 --file /no/such/trace.csv"));
+        assert!(err.is_err(), "{err:?}");
     }
 
     #[test]

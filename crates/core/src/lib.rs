@@ -45,6 +45,7 @@ mod agent;
 mod checkpoint;
 mod config;
 pub mod diagnostics;
+mod hier;
 mod lspi;
 mod periodic;
 mod policy;
@@ -56,6 +57,7 @@ pub use checkpoint::{
     CheckpointError, Config, Migration, SemVer, CHECKPOINT_VERSION,
 };
 pub use config::MeghConfig;
+pub use hier::{HierConfig, HierMegh};
 pub use lspi::SparseLspi;
 pub use periodic::PeriodicMeghAgent;
 pub use policy::BoltzmannPolicy;

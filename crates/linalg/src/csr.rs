@@ -27,6 +27,45 @@
 
 use crate::{DokMatrix, SparseVec};
 
+/// Unroll width of the scaled-copy kernels: four f64 lanes is one AVX2
+/// register (or two SSE2 ones), and the compiler keeps the block in
+/// packed multiplies either way.
+const LANES: usize = 4;
+
+/// Scalar scaled copy of one CSR adjacency slice: the reference kernel
+/// the unrolled path must match bit for bit (it also serves the
+/// unrolled path's `len % LANES` remainder).
+#[inline]
+fn scaled_copy_scalar(idx: &[usize], weights: &[f64], value: f64, out: &mut SparseVec) {
+    for (&i, &w) in idx.iter().zip(weights) {
+        out.push_sorted(i, value * w);
+    }
+}
+
+/// Four-lane unrolled scaled copy of one CSR adjacency slice.
+///
+/// Bitwise-equal to [`scaled_copy_scalar`] by construction: every lane
+/// is one independent IEEE-754 multiply (`value * w`), so unrolling
+/// reorders instructions, never operands — there is no cross-lane
+/// accumulation to re-associate. The four multiplies in the block are
+/// data-independent, which is what lets LLVM emit packed `mulpd` over
+/// the contiguous `vals`/`vals_t` slice; the trailing `len % 4` entries
+/// replay the scalar kernel verbatim.
+#[inline]
+fn scaled_copy_unrolled(idx: &[usize], weights: &[f64], value: f64, out: &mut SparseVec) {
+    debug_assert_eq!(idx.len(), weights.len());
+    let mut idx4 = idx.chunks_exact(LANES);
+    let mut w4 = weights.chunks_exact(LANES);
+    for (i, w) in (&mut idx4).zip(&mut w4) {
+        let p = [value * w[0], value * w[1], value * w[2], value * w[3]];
+        out.push_sorted(i[0], p[0]);
+        out.push_sorted(i[1], p[1]);
+        out.push_sorted(i[2], p[2]);
+        out.push_sorted(i[3], p[3]);
+    }
+    scaled_copy_scalar(idx4.remainder(), w4.remainder(), value, out);
+}
+
 /// The backend-agnostic sparse matrix–vector product interface.
 ///
 /// Both [`DokMatrix`] (mutable, update-optimised) and [`CsrMatrix`]
@@ -259,18 +298,19 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `v.dim()` or `out.dim()` differs from `self.order()`.
-    // lint: depth_budget(3)
+    // Depth 4: the unrolled fast path adds one frame (its remainder
+    // replays the scalar kernel) on top of the push/add leaf calls.
+    // lint: depth_budget(4)
     pub fn mul_sparse_vec_into(&self, v: &SparseVec, out: &mut SparseVec) {
         assert_eq!(v.dim(), self.order, "dimension mismatch");
         assert_eq!(out.dim(), self.order, "output dimension mismatch");
         out.clear();
         if v.nnz() == 1 {
-            // Fast path: out = value · column(col), already sorted by row.
+            // Fast path: out = value · column(col), already sorted by
+            // row, copied through the 4-lane unrolled kernel.
             let (col, value) = v.iter().next().unwrap_or((0, 0.0));
             let (lo, hi) = (self.col_ptr[col], self.col_ptr[col + 1]);
-            for (&row, &w) in self.row_idx[lo..hi].iter().zip(&self.vals_t[lo..hi]) {
-                out.push_sorted(row, value * w);
-            }
+            scaled_copy_unrolled(&self.row_idx[lo..hi], &self.vals_t[lo..hi], value, out);
             return;
         }
         for (col, value) in v.iter() {
@@ -306,12 +346,11 @@ impl CsrMatrix {
         assert_eq!(out.dim(), self.order, "output dimension mismatch");
         out.clear();
         if v.nnz() == 1 {
-            // Fast path: out = value · row(row), already sorted by column.
+            // Fast path: out = value · row(row), already sorted by
+            // column, copied through the 4-lane unrolled kernel.
             let (row, value) = v.iter().next().unwrap_or((0, 0.0));
             let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
-            for (&col, &w) in self.col_idx[lo..hi].iter().zip(&self.vals[lo..hi]) {
-                out.push_sorted(col, value * w);
-            }
+            scaled_copy_unrolled(&self.col_idx[lo..hi], &self.vals[lo..hi], value, out);
             return;
         }
         for (row, value) in v.iter() {
@@ -455,6 +494,23 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(backends[0].nnz(), backends[1].nnz());
         assert_eq!(backends[0].order(), backends[1].order());
+    }
+
+    #[test]
+    fn unrolled_kernel_matches_scalar_for_all_remainders() {
+        // Slice lengths 0..=9 cover every `len % 4` remainder on both
+        // sides of the unroll boundary.
+        for len in 0..10usize {
+            let idx: Vec<usize> = (0..len).map(|i| i * 3).collect();
+            let weights: Vec<f64> = (0..len)
+                .map(|i| 0.37 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect();
+            let mut scalar = SparseVec::zeros(32);
+            let mut unrolled = SparseVec::zeros(32);
+            scaled_copy_scalar(&idx, &weights, 1.7, &mut scalar);
+            scaled_copy_unrolled(&idx, &weights, 1.7, &mut unrolled);
+            assert_eq!(scalar, unrolled, "len {len}");
+        }
     }
 
     #[test]

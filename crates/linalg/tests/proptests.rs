@@ -136,6 +136,40 @@ proptest! {
         prop_assert_eq!(left_csr.to_dense(), left_dok.to_dense());
     }
 
+    /// SIMD-vs-scalar: the 4-lane unrolled nnz==1 kernels must
+    /// reproduce a scalar replay of the same multiplies bit for bit,
+    /// for arbitrary adjacency lengths (so every `len % 4` remainder is
+    /// exercised) in both product orientations.
+    #[test]
+    fn csr_unrolled_kernels_match_scalar_replay_bitwise(
+        m in dok_strategy(9, 48),
+        pivot in 0..9usize,
+        value in -1e6..1e6f64,
+    ) {
+        let csr = m.to_csr();
+        let e = SparseVec::from_pairs(9, [(pivot, value)]);
+
+        // Right product `M·e`: scalar replay over the selected column.
+        // `iter()` is row-major, so filtering by column yields rows in
+        // strictly increasing order — the same walk the kernel takes.
+        let mut want = SparseVec::zeros(9);
+        for ((r, c), w) in csr.iter() {
+            if c == pivot {
+                want.push_sorted(r, value * w);
+            }
+        }
+        prop_assert_eq!(csr.mul_sparse_vec(&e).to_dense(), want.to_dense());
+
+        // Left product `eᵀ·M`: scalar replay over the selected row.
+        let mut want = SparseVec::zeros(9);
+        for ((r, c), w) in csr.iter() {
+            if r == pivot {
+                want.push_sorted(c, value * w);
+            }
+        }
+        prop_assert_eq!(csr.mul_sparse_vec_left(&e).to_dense(), want.to_dense());
+    }
+
     /// A CSR snapshot agrees with the source matrix entry for entry and
     /// round-trips through `iter()` in the same row-major order.
     #[test]

@@ -18,6 +18,14 @@
 //! type is known to be external (`Vec`, `Instant`, ...) add no edges;
 //! the forbidden std surface is what the token rules watch directly.
 //!
+//! The graph is `#[cfg]`-aware at both granularities: whole gated items
+//! contribute no nodes (see [`crate::items::FnItem::cfg_gated`]), and a
+//! call site behind an inner `#[cfg(...)]` attribute — a feature-gated
+//! statement or block inside an otherwise ungated function, e.g. the
+//! `check-invariants` verification hooks — contributes no edge
+//! ([`crate::items::CallSite::cfg_gated`]). Both are absent from the
+//! always-on build, so neither needs an `allow(transitive_*)` vouch.
+//!
 //! A function carrying `// lint: allow(transitive_alloc)` (or
 //! `transitive_panic` / `transitive_nondet`) on its signature line — or
 //! alone on the line directly above — vouches for its entire call
@@ -204,6 +212,9 @@ pub(crate) fn analyze(files: &mut [FileScan]) -> GraphOutcome {
             }
             // The block class reads parsed call sites, not line tokens.
             for call in &item.calls {
+                if call.cfg_gated {
+                    continue; // feature-gated call: not in the always-on build
+                }
                 if let Some(label) = blocking_label(call) {
                     node.facts[BLOCK] = true;
                     if node.fact_site[BLOCK].is_none() {
@@ -345,6 +356,16 @@ pub(crate) fn analyze(files: &mut [FileScan]) -> GraphOutcome {
         let mut union: BTreeSet<usize> = BTreeSet::new();
         let mut per_call: Vec<Vec<usize>> = Vec::with_capacity(item.calls.len());
         for call in &item.calls {
+            if call.cfg_gated {
+                // A call behind an inner `#[cfg(...)]` attribute (a
+                // feature-gated statement or block inside an ungated
+                // function) is absent from the always-on build: no edge,
+                // same as calls inside `#[cfg]`-gated items. The empty
+                // slot keeps `resolved` index-aligned with `calls` for
+                // the guard and lock-order passes.
+                per_call.push(Vec::new());
+                continue;
+            }
             let mut targets: BTreeSet<usize> = BTreeSet::new();
             let name = call.callee.as_str();
             let with_type = |t: &str, targets: &mut BTreeSet<usize>| {

@@ -62,6 +62,12 @@ pub(crate) struct CallSite {
     /// `name()` with an empty argument list — how `RwLock::read()` is
     /// told apart from `io::Read::read(buf)`.
     pub empty_args: bool,
+    /// The call sits behind an *inner* `#[cfg(...)]` attribute — a
+    /// feature-gated statement, block, or match arm inside an otherwise
+    /// ungated function. Such calls are absent from the always-on
+    /// build, so the call graph drops their edges (see `graph.rs`),
+    /// exactly as whole `#[cfg]`-gated items are dropped.
+    pub cfg_gated: bool,
 }
 
 /// One lock acquisition: a zero-argument `.lock()` / `.read()` /
@@ -719,6 +725,89 @@ fn cfg_gated_at(lines: &[LexedLine], sig_line: usize) -> bool {
     false
 }
 
+/// Advances past one `#[ ... ]` attribute group, entered at its `#`.
+/// Returns the token index just after the matching `]` (or the end of
+/// the stream for an unterminated attribute).
+fn skip_attr(toks: &[SpannedTok], hash: usize) -> usize {
+    let mut j = hash + 2; // past `#` `[`
+    let mut depth = 1i32;
+    while j < toks.len() && depth > 0 {
+        match toks[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => depth -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Token-level mask of code conditioned on an `#[cfg(...)]` attribute:
+/// the statement, expression, block, match arm, or item that the
+/// attribute gates. Call sites inside such a span are conditionally
+/// compiled, so the graph pass treats them like calls in `#[cfg]`-gated
+/// items — no always-on edge. `#[cfg_attr(...)]` does not gate: the
+/// code is always compiled, only an attribute on it is conditional.
+///
+/// The span starts after the attribute (skipping stacked attributes)
+/// and ends at the first `;` or `,` at bracket depth 0, or when a brace
+/// group opened inside the span closes back to depth 0 — which covers
+/// `#[cfg] { .. }` blocks, gated `fn`/`mod` items, and braced match
+/// arms. Imprecision is one-sided in the safe direction: a span cut
+/// short leaves later calls ungated and merely keeps their edges.
+fn cfg_gated_spans(toks: &[SpannedTok]) -> Vec<bool> {
+    let mut gated = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_cfg = matches!(toks[i].tok, Tok::Punct('#'))
+            && punct(toks, i + 1) == Some('[')
+            && ident(toks, i + 2) == Some("cfg")
+            && punct(toks, i + 3) == Some('(');
+        if !is_cfg {
+            i += 1;
+            continue;
+        }
+        let mut j = skip_attr(toks, i);
+        // Stacked attributes between the cfg and its item all belong to
+        // the same gated target.
+        while punct(toks, j) == Some('#') && punct(toks, j + 1) == Some('[') {
+            j = skip_attr(toks, j);
+        }
+        let mut depth = 0i32;
+        while j < toks.len() {
+            let c = match toks[j].tok {
+                Tok::Punct(c) => Some(c),
+                _ => None,
+            };
+            match c {
+                Some('{') | Some('(') | Some('[') => depth += 1,
+                Some('}') | Some(')') | Some(']') => {
+                    if depth == 0 {
+                        break; // closes the *enclosing* scope, not ours
+                    }
+                    depth -= 1;
+                    gated[j] = true;
+                    j += 1;
+                    if depth == 0 && c == Some('}') {
+                        break; // the gated block/item body just closed
+                    }
+                    continue;
+                }
+                Some(';') | Some(',') if depth == 0 => {
+                    gated[j] = true;
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            gated[j] = true;
+            j += 1;
+        }
+        i = j.max(i + 1);
+    }
+    gated
+}
+
 /// Parses one file's token stream into items.
 ///
 /// `in_test` marks lines inside `#[cfg(test)]` modules (computed by the
@@ -727,6 +816,7 @@ fn cfg_gated_at(lines: &[LexedLine], sig_line: usize) -> bool {
 /// attribute are tagged [`FnItem::cfg_gated`].
 pub(crate) fn parse_file(lines: &[LexedLine], in_test: &[bool]) -> ParsedFile {
     let toks = tokenize(lines);
+    let cfg_gated_toks = cfg_gated_spans(&toks);
     let mut out = ParsedFile::default();
     // Stack entries: (ctx, depth at which its `{` opened).
     let mut stack: Vec<(Ctx, usize)> = Vec::new();
@@ -1021,6 +1111,7 @@ pub(crate) fn parse_file(lines: &[LexedLine], in_test: &[bool]) -> ParsedFile {
                             line: toks[i].line,
                             tok: i,
                             empty_args,
+                            cfg_gated: cfg_gated_toks[i],
                         });
                     }
                 }
@@ -1252,5 +1343,72 @@ fn outer() {
         let src = "fn f() { let cfg = MeghConfig { seed: 1 }; cfg.validate(); }\n";
         let p = parse(src);
         assert_eq!(p.fns[0].locals["cfg"], LocalTy::Known("MeghConfig".into()));
+    }
+
+    #[test]
+    fn cfg_gated_call_sites_are_tagged() {
+        // The four shapes an inner `#[cfg]` gates in this workspace: a
+        // statement, a block, a struct-literal field, and a match arm.
+        let src = "\
+impl Agent {
+    fn update(&mut self) {
+        self.step();
+        #[cfg(feature = \"check-invariants\")]
+        self.verify_update();
+        #[cfg(feature = \"check-invariants\")]
+        {
+            let structure = self.check_consistency();
+            helper(structure);
+        }
+        self.finish();
+    }
+    fn build(kind: u8) -> Agent {
+        Agent {
+            policy: make_policy(),
+            #[cfg(feature = \"check-invariants\")]
+            shadow: Self::shadow_for(),
+        };
+        match kind {
+            #[cfg(unix)]
+            0 => unix_path(),
+            _ => default_path(),
+        }
+    }
+}
+";
+        let p = parse(src);
+        let gated_of = |f: &FnItem, callee: &str| {
+            f.calls
+                .iter()
+                .find(|c| c.callee == callee)
+                .map(|c| c.cfg_gated)
+        };
+        let update = &p.fns[0];
+        assert_eq!(gated_of(update, "step"), Some(false));
+        assert_eq!(gated_of(update, "verify_update"), Some(true));
+        assert_eq!(gated_of(update, "check_consistency"), Some(true));
+        assert_eq!(gated_of(update, "helper"), Some(true));
+        assert_eq!(gated_of(update, "finish"), Some(false));
+        let build = &p.fns[1];
+        assert_eq!(gated_of(build, "make_policy"), Some(false));
+        assert_eq!(gated_of(build, "shadow_for"), Some(true));
+        assert_eq!(gated_of(build, "unix_path"), Some(true));
+        assert_eq!(gated_of(build, "default_path"), Some(false));
+    }
+
+    #[test]
+    fn cfg_attr_does_not_gate_calls() {
+        // `#[cfg_attr(..)]` conditions an attribute, not the code.
+        let src = "\
+fn f() {
+    #[cfg_attr(test, allow(dead_code))]
+    let x = helper();
+    other(x);
+}
+";
+        let p = parse(src);
+        for call in &p.fns[0].calls {
+            assert!(!call.cfg_gated, "{call:?}");
+        }
     }
 }

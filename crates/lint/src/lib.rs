@@ -502,6 +502,7 @@ const NONDET_TOKENS: &[&str] = &[
 /// accounting kernels.
 pub const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/agent.rs",
+    "crates/core/src/hier.rs",
     "crates/core/src/lspi.rs",
     "crates/core/src/policy.rs",
     "crates/linalg/src/csr.rs",
@@ -1120,6 +1121,64 @@ mod tests {
                 .violations
                 .iter()
                 .all(|v| !v.rule.starts_with("transitive_")),
+            "{:?}",
+            analysis.violations
+        );
+    }
+
+    #[test]
+    fn cfg_gated_call_sites_stay_out_of_the_call_graph() {
+        // The callee is always compiled (it has a node), but the *call*
+        // is feature-gated — the check-invariants hook shape:
+        //     #[cfg(feature = "...")]
+        //     self.verify(...);
+        // inside an ungated hot function. Without call-site awareness
+        // the edge would demand an `allow(transitive_alloc)` vouch.
+        let hot = |attr: &str| {
+            format!(
+                "// lint: deny_alloc\npub struct S;\nimpl S {{\n    pub fn hot(&self) {{\n{attr}        self.verify();\n    }}\n    fn verify(&self) {{ helper(); }}\n}}\n"
+            )
+        };
+        let helper = "pub fn helper() -> Vec<u8> { vec![1] }\n".to_string();
+        // Ungated call: `hot` reaches the allocating helper through
+        // `verify` -> transitive_alloc fires on both.
+        let sources = [
+            ("crates/core/src/a.rs".to_string(), hot("")),
+            ("crates/core/src/b.rs".to_string(), helper.clone()),
+        ];
+        let analysis = analyze_sources(&sources);
+        assert!(
+            analysis
+                .violations
+                .iter()
+                .any(|v| v.rule == "transitive_alloc" && v.message.contains("`S::hot`")),
+            "{:?}",
+            analysis.violations
+        );
+        // Feature-gated call: the edge is absent from the always-on
+        // build, so `hot` stays clean with no vouch. `verify` itself
+        // still fires — it *is* always compiled and still allocates.
+        let sources = [
+            (
+                "crates/core/src/a.rs".to_string(),
+                hot("        #[cfg(feature = \"check-invariants\")]\n"),
+            ),
+            ("crates/core/src/b.rs".to_string(), helper),
+        ];
+        let analysis = analyze_sources(&sources);
+        assert!(
+            analysis
+                .violations
+                .iter()
+                .all(|v| !(v.rule == "transitive_alloc" && v.message.contains("`S::hot`"))),
+            "{:?}",
+            analysis.violations
+        );
+        assert!(
+            analysis
+                .violations
+                .iter()
+                .any(|v| v.rule == "transitive_alloc" && v.message.contains("`S::verify`")),
             "{:?}",
             analysis.violations
         );

@@ -30,12 +30,14 @@
 //! (generator or file reader) without ever materializing the trace.
 //!
 //! With [`SimOptions::sim_threads`] > 1, the phase-5 accounting kernels
-//! (per-host power/deficit, per-VM SLA) run on a [`std::thread::scope`]
-//! worker pool over disjoint index chunks and are merged on the main
+//! (per-host power/deficit, per-VM SLA) run on a persistent
+//! [`crate::pool::StepPool`] — workers spawned once per run, fed
+//! disjoint index chunks over channels — and are merged on the main
 //! thread in index order — outcomes are byte-identical for any chunk
 //! size and any thread count (see [`SimulationOutcome::fingerprint`]).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -43,6 +45,7 @@ use rand::{Rng, SeedableRng};
 
 use megh_trace::{TraceSource, WorkloadTrace};
 
+use crate::pool::{HostInputs, StepPool, VmInputs};
 use crate::step::{host_metrics_chunk, vm_sla_chunk};
 use crate::{
     config::InitialPlacement, DataCenterConfig, DataCenterView, Scheduler, SimError, StepFeedback,
@@ -333,6 +336,9 @@ fn run_core<T: TraceSource, S: Scheduler>(
     let cost = &config.cost;
     let threads = opts.sim_threads.max(1);
     let chunk_steps = opts.chunk_steps.max(1);
+    // Workers are spawned once here and fed over channels every step;
+    // `None` keeps the single-threaded path free of any pool overhead.
+    let mut pool = (threads > 1 && (m > 1 || n > 1)).then(|| StepPool::new(threads));
 
     let mut placement = initial_placement.to_vec();
     let mut vm_downtime_s = vec![0.0f64; n];
@@ -353,7 +359,8 @@ fn run_core<T: TraceSource, S: Scheduler>(
 
     let vm_mips: Vec<f64> = config.vms.iter().map(|v| v.mips).collect();
     let vm_ram: Vec<f64> = config.vms.iter().map(|v| v.ram_mb).collect();
-    let host_mips: Vec<f64> = config.pms.iter().map(|p| p.mips).collect();
+    // Shared with pool workers (constant for the whole run).
+    let host_mips: Arc<Vec<f64>> = Arc::new(config.pms.iter().map(|p| p.mips).collect());
     let host_bw: Vec<f64> = config.pms.iter().map(|p| p.bw_mbps).collect();
     // Shared once: the power curves never change during a run.
     let host_power = std::sync::Arc::new(
@@ -393,15 +400,18 @@ fn run_core<T: TraceSource, S: Scheduler>(
             let util_col = &chunk[local * n..(local + 1) * n];
             let step_idx = step + local;
 
-            // 0. Scheduled outages active this interval.
-            let down: Vec<bool> = (0..m)
-                .map(|h| {
-                    config
-                        .outages
-                        .iter()
-                        .any(|o| o.host == h && o.covers(step_idx))
-                })
-                .collect();
+            // 0. Scheduled outages active this interval. `Arc` so the
+            // worker pool can share it without copying.
+            let down: Arc<Vec<bool>> = Arc::new(
+                (0..m)
+                    .map(|h| {
+                        config
+                            .outages
+                            .iter()
+                            .any(|o| o.host == h && o.covers(step_idx))
+                    })
+                    .collect(),
+            );
 
             // 1. Demands from the trace column.
             let util: Vec<f64> = util_col.to_vec();
@@ -439,14 +449,14 @@ fn run_core<T: TraceSource, S: Scheduler>(
                 vm_util_percent: util,
                 vm_demand_mips: demand.clone(),
                 placement: placement.clone(),
-                host_mips: host_mips.clone(),
+                host_mips: host_mips.as_ref().clone(),
                 host_bw_mbps: host_bw.clone(),
                 host_used_mips: host_used.clone(),
                 host_vms,
                 host_history: host_history.clone(),
                 host_power: host_power.clone(),
                 host_reserved_mips: host_reserved,
-                host_down: down.clone(),
+                host_down: down.as_ref().clone(),
                 beta_overload: cost.beta_overload,
                 oversubscription_ratio: config.oversubscription_ratio,
                 migration_cap: cap,
@@ -529,30 +539,26 @@ fn run_core<T: TraceSource, S: Scheduler>(
             for j in 0..n {
                 host_vm_count[placement[j]] += 1;
             }
-            if threads > 1 && m > 1 {
+            let host_vm_count = Arc::new(host_vm_count);
+            if let Some(pool) = pool.as_mut() {
                 // Disjoint host chunks; outputs land in per-host slots,
-                // so the merge below is order-independent of scheduling.
-                let host_chunk = m.div_ceil(threads).max(1);
-                let power = host_power.as_slice();
-                std::thread::scope(|scope| {
-                    for (((((used, mips), count), dwn), pw), ((oj, od), ou)) in host_used
-                        .chunks(host_chunk)
-                        .zip(host_mips.chunks(host_chunk))
-                        .zip(host_vm_count.chunks(host_chunk))
-                        .zip(down.chunks(host_chunk))
-                        .zip(power.chunks(host_chunk))
-                        .zip(
-                            step_joules
-                                .chunks_mut(host_chunk)
-                                .zip(step_deficit.chunks_mut(host_chunk))
-                                .zip(step_util_frac.chunks_mut(host_chunk)),
-                        )
-                    {
-                        scope.spawn(move || {
-                            host_metrics_chunk(used, mips, count, dwn, pw, tau, oj, od, ou);
-                        });
-                    }
-                });
+                // so the merge below is order-independent of worker
+                // scheduling. `host_used` is dead after this phase, so
+                // it moves into the shared inputs outright.
+                let inputs = HostInputs {
+                    used: Arc::new(host_used),
+                    mips: Arc::clone(&host_mips),
+                    count: Arc::clone(&host_vm_count),
+                    down: Arc::clone(&down),
+                    power: Arc::clone(&host_power),
+                    tau,
+                };
+                pool.host_metrics(
+                    &inputs,
+                    &mut step_joules,
+                    &mut step_deficit,
+                    &mut step_util_frac,
+                );
             } else {
                 host_metrics_chunk(
                     &host_used,
@@ -584,23 +590,30 @@ fn run_core<T: TraceSource, S: Scheduler>(
             }
             let energy_cost_usd = cost.energy_cost_usd(joules);
 
-            if threads > 1 && n > 1 {
+            if let Some(pool) = pool.as_mut() {
                 // Disjoint VM chunks, each reading the full per-host
-                // deficit array.
-                let vm_chunk = n.div_ceil(threads).max(1);
-                let deficit = &step_deficit;
-                std::thread::scope(|scope| {
-                    for (((pl, dt), rq), sl) in placement
-                        .chunks(vm_chunk)
-                        .zip(vm_downtime_s.chunks_mut(vm_chunk))
-                        .zip(vm_requested_s.chunks_mut(vm_chunk))
-                        .zip(step_sla.chunks_mut(vm_chunk))
-                    {
-                        scope.spawn(move || {
-                            vm_sla_chunk(pl, deficit, tau, cost, dt, rq, sl);
-                        });
-                    }
-                });
+                // deficit array. `placement` and the deficit buffer are
+                // lent to the workers as `Arc`s and reclaimed below
+                // once every chunk has been merged back.
+                let placement_arc = Arc::new(std::mem::take(&mut placement));
+                let deficit_arc = Arc::new(std::mem::take(&mut step_deficit));
+                let inputs = VmInputs {
+                    placement: Arc::clone(&placement_arc),
+                    deficit: Arc::clone(&deficit_arc),
+                    tau,
+                    cost: cost.clone(),
+                };
+                pool.vm_sla(
+                    &inputs,
+                    &mut vm_downtime_s,
+                    &mut vm_requested_s,
+                    &mut step_sla,
+                );
+                drop(inputs);
+                // All jobs have been collected, so both Arcs are unique
+                // again; the fallback clone is unreachable in practice.
+                placement = Arc::try_unwrap(placement_arc).unwrap_or_else(|a| a.as_ref().clone());
+                step_deficit = Arc::try_unwrap(deficit_arc).unwrap_or_else(|a| a.as_ref().clone());
             } else {
                 vm_sla_chunk(
                     &placement,

@@ -45,6 +45,7 @@ mod engine;
 mod metrics;
 mod migration;
 mod network;
+mod pool;
 mod power;
 mod scheduler;
 mod slav;

@@ -1,0 +1,469 @@
+//! A persistent worker pool for the per-step accounting kernels.
+//!
+//! `run_core`'s phase-5 accounting used to spawn `2 × sim_threads`
+//! scoped OS threads on *every simulated step* — tens of microseconds
+//! of spawn/join overhead per step that dwarfed the kernels themselves
+//! on small fleets. [`StepPool`] spawns its workers once per run and
+//! feeds them over channels instead.
+//!
+//! # Determinism contract
+//!
+//! The pool must be invisible in the outcome: for any thread count,
+//! results are byte-identical to the sequential kernels. Three
+//! properties guarantee that, mirroring the scoped-spawn pattern the
+//! pool replaces:
+//!
+//! 1. jobs cover disjoint, fixed index ranges (`m.div_ceil(threads)`
+//!    hosts / VMs per chunk, the same chunking the scoped version
+//!    used);
+//! 2. every job writes only its own owned buffers, which the engine
+//!    copies back into the exact per-index slots of the shared output
+//!    arrays — no shared mutable state, no accumulation across jobs;
+//! 3. the engine's merge loops stay sequential in ascending index
+//!    order, so float accumulation order never depends on scheduling.
+//!
+//! Inputs travel as `Arc` clones (the engine moves its per-step arrays
+//! into `Arc`s and reclaims them afterwards), so jobs are `'static`
+//! and the workers outlive any single step.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::step::{host_metrics_chunk, vm_sla_chunk};
+use crate::{CostParams, PowerModel};
+
+/// Shared inputs of one step's host-metrics phase.
+pub(crate) struct HostInputs {
+    pub(crate) used: Arc<Vec<f64>>,
+    pub(crate) mips: Arc<Vec<f64>>,
+    pub(crate) count: Arc<Vec<usize>>,
+    pub(crate) down: Arc<Vec<bool>>,
+    pub(crate) power: Arc<Vec<PowerModel>>,
+    pub(crate) tau: f64,
+}
+
+/// Shared inputs of one step's VM-SLA phase.
+pub(crate) struct VmInputs {
+    pub(crate) placement: Arc<Vec<usize>>,
+    pub(crate) deficit: Arc<Vec<f64>>,
+    pub(crate) tau: f64,
+    pub(crate) cost: CostParams,
+}
+
+/// One dispatched chunk: `lo` is the first global index, the vectors
+/// are chunk-local scratch the worker fills (and, for the VM phase,
+/// reads: `downtime`/`requested` arrive pre-loaded with the current
+/// accumulator values).
+enum Job {
+    Hosts {
+        inputs: JobHostInputs,
+        lo: usize,
+        joules: Vec<f64>,
+        deficit: Vec<f64>,
+        util: Vec<f64>,
+    },
+    Vms {
+        inputs: JobVmInputs,
+        lo: usize,
+        downtime: Vec<f64>,
+        requested: Vec<f64>,
+        sla: Vec<f64>,
+    },
+}
+
+struct JobHostInputs {
+    used: Arc<Vec<f64>>,
+    mips: Arc<Vec<f64>>,
+    count: Arc<Vec<usize>>,
+    down: Arc<Vec<bool>>,
+    power: Arc<Vec<PowerModel>>,
+    tau: f64,
+}
+
+struct JobVmInputs {
+    placement: Arc<Vec<usize>>,
+    deficit: Arc<Vec<f64>>,
+    tau: f64,
+    cost: CostParams,
+}
+
+/// A finished chunk on its way back to the engine.
+enum Done {
+    Hosts {
+        lo: usize,
+        joules: Vec<f64>,
+        deficit: Vec<f64>,
+        util: Vec<f64>,
+    },
+    Vms {
+        lo: usize,
+        downtime: Vec<f64>,
+        requested: Vec<f64>,
+        sla: Vec<f64>,
+    },
+}
+
+/// Runs one job's kernel over its owned buffers. Pure: the result
+/// depends only on the job, never on which worker ran it or when.
+fn run_job(job: Job) -> Done {
+    match job {
+        Job::Hosts {
+            inputs,
+            lo,
+            mut joules,
+            mut deficit,
+            mut util,
+        } => {
+            let hi = lo + joules.len();
+            host_metrics_chunk(
+                &inputs.used[lo..hi],
+                &inputs.mips[lo..hi],
+                &inputs.count[lo..hi],
+                &inputs.down[lo..hi],
+                &inputs.power[lo..hi],
+                inputs.tau,
+                &mut joules,
+                &mut deficit,
+                &mut util,
+            );
+            Done::Hosts {
+                lo,
+                joules,
+                deficit,
+                util,
+            }
+        }
+        Job::Vms {
+            inputs,
+            lo,
+            mut downtime,
+            mut requested,
+            mut sla,
+        } => {
+            let hi = lo + sla.len();
+            vm_sla_chunk(
+                &inputs.placement[lo..hi],
+                &inputs.deficit,
+                inputs.tau,
+                &inputs.cost,
+                &mut downtime,
+                &mut requested,
+                &mut sla,
+            );
+            Done::Vms {
+                lo,
+                downtime,
+                requested,
+                sla,
+            }
+        }
+    }
+}
+
+/// Long-lived kernel workers behind a shared job queue.
+///
+/// Dropping the pool closes the queue; workers drain and exit, and the
+/// drop joins them so no thread outlives the simulation run.
+pub(crate) struct StepPool {
+    threads: usize,
+    jobs: Sender<Job>,
+    done: Receiver<Done>,
+    workers: Vec<JoinHandle<()>>,
+    /// Idle chunk buffers (triples), reused across steps so the steady
+    /// state allocates nothing.
+    scratch: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)>,
+}
+
+impl StepPool {
+    /// Spawns `threads` workers (at least one).
+    pub(crate) fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (jobs, job_rx) = channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (done_tx, done) = channel::<Done>();
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = Arc::clone(&job_rx);
+            let tx = done_tx.clone();
+            // Persistent workers replacing per-step scoped spawns. The
+            // merge stays deterministic: each job fills fixed index
+            // slots and the engine merges in ascending index order, so
+            // worker scheduling can never reorder float accumulation.
+            let handle = std::thread::Builder::new()
+                .name(format!("megh-step-{i}"))
+                .spawn(move || loop {
+                    let job = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => return, // a sibling panicked: shut down
+                    };
+                    match job {
+                        Ok(job) => {
+                            if tx.send(run_job(job)).is_err() {
+                                return; // pool dropped mid-flight
+                            }
+                        }
+                        Err(_) => return, // queue closed: pool dropped
+                    }
+                });
+            match handle {
+                Ok(handle) => workers.push(handle),
+                // Spawn failure (resource exhaustion): keep going with
+                // fewer workers; dispatch falls back inline if none
+                // spawned at all.
+                Err(_) => break,
+            }
+        }
+        StepPool {
+            threads,
+            jobs,
+            done,
+            workers,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn take_scratch(&mut self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        self.scratch.pop().unwrap_or_default()
+    }
+
+    /// Computes the host phase over `0..out_joules.len()` hosts,
+    /// writing results into the same slots the sequential kernel
+    /// would.
+    pub(crate) fn host_metrics(
+        &mut self,
+        inputs: &HostInputs,
+        out_joules: &mut [f64],
+        out_deficit: &mut [f64],
+        out_util: &mut [f64],
+    ) {
+        let m = out_joules.len();
+        if m == 0 {
+            return;
+        }
+        let chunk = m.div_ceil(self.threads).max(1);
+        let mut in_flight = 0usize;
+        let mut lo = 0usize;
+        while lo < m {
+            let len = chunk.min(m - lo);
+            let (mut joules, mut deficit, mut util) = self.take_scratch();
+            joules.resize(len, 0.0);
+            deficit.resize(len, 0.0);
+            util.resize(len, 0.0);
+            let job = Job::Hosts {
+                inputs: JobHostInputs {
+                    used: Arc::clone(&inputs.used),
+                    mips: Arc::clone(&inputs.mips),
+                    count: Arc::clone(&inputs.count),
+                    down: Arc::clone(&inputs.down),
+                    power: Arc::clone(&inputs.power),
+                    tau: inputs.tau,
+                },
+                lo,
+                joules,
+                deficit,
+                util,
+            };
+            match self.jobs.send(job) {
+                Ok(()) => in_flight += 1,
+                // No live workers: run the chunk inline — same kernel,
+                // same slots, same bytes.
+                Err(std::sync::mpsc::SendError(job)) => {
+                    self.merge(run_job(job), out_joules, out_deficit, out_util);
+                }
+            }
+            lo += len;
+        }
+        for _ in 0..in_flight {
+            match self.done.recv() {
+                Ok(done) => self.merge(done, out_joules, out_deficit, out_util),
+                // Only reachable if a worker crashed mid-kernel; the
+                // kernels are panic-free, so treat as a truncated run.
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Computes the VM phase over `0..out_sla.len()` VMs. The downtime
+    /// and requested accumulators are read *and* written, exactly as
+    /// the sequential kernel does.
+    pub(crate) fn vm_sla(
+        &mut self,
+        inputs: &VmInputs,
+        vm_downtime_s: &mut [f64],
+        vm_requested_s: &mut [f64],
+        out_sla: &mut [f64],
+    ) {
+        let n = out_sla.len();
+        if n == 0 {
+            return;
+        }
+        let chunk = n.div_ceil(self.threads).max(1);
+        let mut in_flight = 0usize;
+        let mut lo = 0usize;
+        while lo < n {
+            let len = chunk.min(n - lo);
+            let (mut downtime, mut requested, mut sla) = self.take_scratch();
+            downtime.clear();
+            downtime.extend_from_slice(&vm_downtime_s[lo..lo + len]);
+            requested.clear();
+            requested.extend_from_slice(&vm_requested_s[lo..lo + len]);
+            sla.clear();
+            sla.resize(len, 0.0);
+            let job = Job::Vms {
+                inputs: JobVmInputs {
+                    placement: Arc::clone(&inputs.placement),
+                    deficit: Arc::clone(&inputs.deficit),
+                    tau: inputs.tau,
+                    cost: inputs.cost.clone(),
+                },
+                lo,
+                downtime,
+                requested,
+                sla,
+            };
+            match self.jobs.send(job) {
+                Ok(()) => in_flight += 1,
+                Err(std::sync::mpsc::SendError(job)) => {
+                    self.merge(run_job(job), vm_downtime_s, vm_requested_s, out_sla);
+                }
+            }
+            lo += len;
+        }
+        for _ in 0..in_flight {
+            match self.done.recv() {
+                Ok(done) => self.merge(done, vm_downtime_s, vm_requested_s, out_sla),
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Copies a finished chunk into its global index slots and parks
+    /// the buffers for reuse. The three output slices are positional:
+    /// (joules, deficit, util) for host jobs, (downtime, requested,
+    /// sla) for VM jobs.
+    fn merge(&mut self, done: Done, out_a: &mut [f64], out_b: &mut [f64], out_c: &mut [f64]) {
+        let (lo, a, b, c) = match done {
+            Done::Hosts {
+                lo,
+                joules,
+                deficit,
+                util,
+            } => (lo, joules, deficit, util),
+            Done::Vms {
+                lo,
+                downtime,
+                requested,
+                sla,
+            } => (lo, downtime, requested, sla),
+        };
+        let hi = lo + a.len();
+        out_a[lo..hi].copy_from_slice(&a);
+        out_b[lo..hi].copy_from_slice(&b);
+        out_c[lo..hi].copy_from_slice(&c);
+        self.scratch.push((a, b, c));
+    }
+}
+
+impl Drop for StepPool {
+    fn drop(&mut self) {
+        // Replace the sender so the queue closes and workers see the
+        // hangup; then join them.
+        let (closed, _) = channel();
+        self.jobs = closed;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host_inputs(m: usize) -> HostInputs {
+        HostInputs {
+            used: Arc::new((0..m).map(|h| 40.0 * h as f64).collect()),
+            mips: Arc::new(vec![100.0; m]),
+            count: Arc::new((0..m).map(|h| h % 3).collect()),
+            down: Arc::new((0..m).map(|h| h % 7 == 3).collect()),
+            power: Arc::new(vec![PowerModel::hp_proliant_g4(); m]),
+            tau: 300.0,
+        }
+    }
+
+    #[test]
+    fn pool_matches_sequential_kernels_bitwise() {
+        for m in [1usize, 2, 7, 64, 65] {
+            let inputs = host_inputs(m);
+            let (mut sj, mut sd, mut su) = (vec![0.0; m], vec![0.0; m], vec![0.0; m]);
+            host_metrics_chunk(
+                &inputs.used,
+                &inputs.mips,
+                &inputs.count,
+                &inputs.down,
+                &inputs.power,
+                inputs.tau,
+                &mut sj,
+                &mut sd,
+                &mut su,
+            );
+            for threads in [1usize, 3, 8] {
+                let mut pool = StepPool::new(threads);
+                let (mut pj, mut pd, mut pu) = (vec![9.0; m], vec![9.0; m], vec![9.0; m]);
+                pool.host_metrics(&inputs, &mut pj, &mut pd, &mut pu);
+                assert_eq!(sj, pj, "m={m} threads={threads}");
+                assert_eq!(sd, pd, "m={m} threads={threads}");
+                assert_eq!(su, pu, "m={m} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn vm_phase_accumulators_round_trip_bitwise() {
+        let n = 23;
+        let m = 5;
+        let deficit: Vec<f64> = (0..m).map(|h| 0.1 * h as f64).collect();
+        let placement: Vec<usize> = (0..n).map(|j| j % m).collect();
+        let cost = CostParams::paper_defaults();
+        let mut sd: Vec<f64> = (0..n).map(|j| j as f64).collect();
+        let mut sr: Vec<f64> = vec![600.0; n];
+        let mut ss = vec![0.0; n];
+        vm_sla_chunk(
+            &placement, &deficit, 300.0, &cost, &mut sd, &mut sr, &mut ss,
+        );
+
+        let inputs = VmInputs {
+            placement: Arc::new(placement),
+            deficit: Arc::new(deficit),
+            tau: 300.0,
+            cost,
+        };
+        let mut pool = StepPool::new(4);
+        let mut pd: Vec<f64> = (0..n).map(|j| j as f64).collect();
+        let mut pr: Vec<f64> = vec![600.0; n];
+        let mut ps = vec![9.0; n];
+        pool.vm_sla(&inputs, &mut pd, &mut pr, &mut ps);
+        assert_eq!(sd, pd);
+        assert_eq!(sr, pr);
+        assert_eq!(ss, ps);
+    }
+
+    #[test]
+    fn repeated_steps_reuse_scratch_and_stay_identical() {
+        let inputs = host_inputs(33);
+        let mut pool = StepPool::new(3);
+        let mut first = None;
+        for _ in 0..50 {
+            let (mut j, mut d, mut u) = (vec![0.0; 33], vec![0.0; 33], vec![0.0; 33]);
+            pool.host_metrics(&inputs, &mut j, &mut d, &mut u);
+            let snap = (j, d, u);
+            match &first {
+                None => first = Some(snap),
+                Some(f) => assert_eq!(f, &snap),
+            }
+        }
+        // Steady state parks at most one triple per worker chunk.
+        assert!(pool.scratch.len() <= 3 + 1);
+    }
+}

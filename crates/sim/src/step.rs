@@ -4,8 +4,8 @@
 //! The engine's phase-5 accounting (per-host power draw + capacity
 //! deficit, then per-VM SLA terms) is embarrassingly parallel: every
 //! host and every VM is independent. These kernels operate on disjoint
-//! output slots so `run_core` can hand chunked slices to a
-//! `std::thread::scope` worker pool and merge the results sequentially
+//! output slots so `run_core` can hand chunked ranges to the persistent
+//! [`crate::pool::StepPool`] workers and merge the results sequentially
 //! in index order — the same deterministic-merge pattern as
 //! [`crate::sweep::run_sweep`]. The single-threaded path calls the very
 //! same kernels over the full range, so sequential and parallel runs
