@@ -327,10 +327,14 @@ impl Scheduler for MeghAgent {
                 break;
             };
             let action = self.space.decode(a);
-            if self.vm_taken[action.vm.0] {
+            let vm_idx = action.vm.0;
+            // Contract: decode() yields in-space actions, and vm_taken
+            // is sized to the VM count at construction.
+            debug_assert!(vm_idx < self.vm_taken.len());
+            if self.vm_taken[vm_idx] {
                 continue; // one decision per VM per step
             }
-            self.vm_taken[action.vm.0] = true;
+            self.vm_taken[vm_idx] = true;
             // `pending` was drained by `learn_pending`; it now collects
             // this step's actions for the next critic pass.
             self.pending.push(a);

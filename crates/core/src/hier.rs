@@ -139,6 +139,7 @@ impl HierConfig {
 /// The contiguous slice `[s·total/n, (s+1)·total/n)` of a resource
 /// split into `n` shards.
 fn split_range(total: usize, s: usize, n: usize) -> std::ops::Range<usize> {
+    debug_assert!(n > 0, "split into zero shards");
     (s * total / n)..((s + 1) * total / n)
 }
 
@@ -309,12 +310,16 @@ impl Shard {
                 break;
             };
             let action = self.space.decode(a);
-            if self.vm_taken[action.vm.0] {
+            let vm_idx = action.vm.0;
+            // Contract: decode() yields in-space actions, and vm_taken
+            // is sized to the shard's VM count at construction.
+            debug_assert!(vm_idx < self.vm_taken.len());
+            if self.vm_taken[vm_idx] {
                 continue; // one decision per VM per step
             }
-            self.vm_taken[action.vm.0] = true;
+            self.vm_taken[vm_idx] = true;
             self.pending.push(a);
-            let vm = VmId(self.vm_lo + action.vm.0);
+            let vm = VmId(self.vm_lo + vm_idx);
             let target = PmId(self.host_lo + action.target.0);
             if view.host_of(vm) != target {
                 out.push(MigrationRequest::new(vm, target));
@@ -325,7 +330,9 @@ impl Shard {
 
 /// The phase index for a step (identical to `PeriodicMeghAgent`).
 fn phase_of(step: usize, cfg: &HierConfig) -> usize {
-    (step % cfg.steps_per_period) * cfg.n_phases / cfg.steps_per_period
+    let period = cfg.steps_per_period;
+    debug_assert!(period > 0, "validated by HierConfig::validate");
+    (step % period) * cfg.n_phases / period
 }
 
 /// Cached O(1) coordinator aggregates of one shard.
@@ -449,8 +456,11 @@ impl HierMegh {
     ///
     /// Panics if `host` is out of range.
     pub fn shard_of_host(&self, host: usize) -> usize {
-        assert!(host < self.config.base.n_hosts, "host index out of range");
-        ((host + 1) * self.config.n_shards - 1) / self.config.base.n_hosts
+        let n_hosts = self.config.base.n_hosts;
+        assert!(host < n_hosts, "host index out of range");
+        let n_shards = self.config.n_shards;
+        debug_assert!(n_shards > 0, "validated by HierConfig::validate");
+        ((host + 1) * n_shards - 1) / n_hosts
     }
 
     /// The shard owning global VM `vm`.
@@ -459,8 +469,11 @@ impl HierMegh {
     ///
     /// Panics if `vm` is out of range.
     pub fn shard_of_vm(&self, vm: usize) -> usize {
-        assert!(vm < self.config.base.n_vms, "vm index out of range");
-        ((vm + 1) * self.config.n_shards - 1) / self.config.base.n_vms
+        let n_vms = self.config.base.n_vms;
+        assert!(vm < n_vms, "vm index out of range");
+        let n_shards = self.config.n_shards;
+        debug_assert!(n_shards > 0, "validated by HierConfig::validate");
+        ((vm + 1) * n_shards - 1) / n_vms
     }
 
     /// Total explicit non-zeros across all shard operators (the
@@ -490,6 +503,7 @@ impl HierMegh {
     ///
     /// Panics if `s` is out of range.
     pub fn shard_lspi(&self, s: usize) -> &SparseLspi {
+        assert!(s < self.shards.len(), "shard index out of range");
         &self.shards[s].lspi
     }
 
@@ -516,6 +530,8 @@ impl HierMegh {
     /// only coordinator work that touches per-host state, `O(M_c)` for
     /// one shard and rotated across decides.
     fn refresh_agg(&mut self, s: usize, view: &DataCenterView) {
+        // Contract: one ShardAgg per shard, refreshed by shard index.
+        debug_assert!(s < self.agg.len());
         let hosts = split_range(self.config.base.n_hosts, s, self.config.n_shards);
         let n = hosts.len();
         if n == 0 {
@@ -546,6 +562,8 @@ impl HierMegh {
     /// never depends on them (any shard the score neglects is still
     /// reached by the round-robin interleave).
     fn score(&self, s: usize) -> f64 {
+        // Contract: agg and shards are parallel per-shard arrays.
+        debug_assert!(s < self.agg.len() && s < self.shards.len());
         let agg = &self.agg[s];
         let drift = match self.shards[s].eval_residual_mean() {
             Some(r) => r / (1.0 + r),
@@ -577,6 +595,7 @@ impl Scheduler for HierMegh {
         // decide keeps coordinator cost O(refresh · M_c + S), never a
         // full-fleet scan.
         let s_count = self.shards.len();
+        debug_assert!(s_count > 0, "HierConfig::validate requires n_shards >= 1");
         for _ in 0..self.config.refresh_per_decide.min(s_count) {
             let s = self.refresh_cursor;
             self.refresh_agg(s, view);
@@ -607,6 +626,7 @@ impl Scheduler for HierMegh {
         self.decides += 1;
 
         // Level 2: the chosen cluster's local Megh picks VM and host.
+        debug_assert!(chosen < self.shards.len());
         let (config, shard) = (&self.config, &mut self.shards[chosen]);
         shard.decide_local(view, config, &mut requests);
         self.last_shard = Some(chosen);
@@ -617,6 +637,7 @@ impl Scheduler for HierMegh {
     fn observe(&mut self, feedback: &StepFeedback) {
         // Route the observed cost to the shard whose action caused it.
         if let Some(s) = self.last_shard {
+            debug_assert!(s < self.shards.len());
             self.shards[s].last_cost = Some(feedback.total_cost_usd);
         }
     }

@@ -224,6 +224,8 @@ impl SparseLspi {
     /// Panics if `action >= dim()`.
     pub fn is_unexplored(&self, action: usize) -> bool {
         assert!(action < self.dim, "action index {action} out of range");
+        // Contract: explored is dim-long from construction on.
+        debug_assert!(action < self.explored.len());
         !self.explored[action]
     }
 
@@ -271,6 +273,9 @@ impl SparseLspi {
         // z' = z + C·φ_{a_prev}.
         self.z.add_at(a_prev, cost);
 
+        // Contract: explored is dim-long and a_prev < dim (asserted at
+        // entry alongside a_next).
+        debug_assert!(a_prev < self.explored.len());
         if !self.explored[a_prev] {
             self.explored[a_prev] = true;
             self.explored_count += 1;
@@ -549,7 +554,8 @@ impl<'de> Deserialize<'de> for SparseLspi {
         let repr = SparseLspiRepr::deserialize(deserializer)?;
         let mut explored = vec![false; repr.dim]; // lint: allow(alloc) — deserialization
         for &a in &repr.explored {
-            if a >= repr.dim {
+            // explored was sized to repr.dim just above.
+            if a >= explored.len() {
                 // lint: allow(alloc)
                 return Err(serde::de::Error::custom(format!(
                     "explored action {a} outside dim {}",

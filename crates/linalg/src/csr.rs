@@ -57,10 +57,15 @@ fn scaled_copy_unrolled(idx: &[usize], weights: &[f64], value: f64, out: &mut Sp
     let mut idx4 = idx.chunks_exact(LANES);
     let mut w4 = weights.chunks_exact(LANES);
     for (i, w) in (&mut idx4).zip(&mut w4) {
+        // lint: allow(implicit_panic) -- chunks_exact(LANES) yields exactly LANES-long slices, zipped 1:1
         let p = [value * w[0], value * w[1], value * w[2], value * w[3]];
+        // lint: allow(implicit_panic) -- i has exactly LANES elements (chunks_exact), p is a LANES-long array
         out.push_sorted(i[0], p[0]);
+        // lint: allow(implicit_panic) -- i has exactly LANES elements (chunks_exact), p is a LANES-long array
         out.push_sorted(i[1], p[1]);
+        // lint: allow(implicit_panic) -- i has exactly LANES elements (chunks_exact), p is a LANES-long array
         out.push_sorted(i[2], p[2]);
+        // lint: allow(implicit_panic) -- i has exactly LANES elements (chunks_exact), p is a LANES-long array
         out.push_sorted(i[3], p[3]);
     }
     scaled_copy_scalar(idx4.remainder(), w4.remainder(), value, out);
@@ -193,8 +198,8 @@ impl CsrMatrix {
         let nnz = DokMatrix::nnz(dok);
         // Snapshot construction is the one-time cold path; the product
         // kernels below never allocate.
-        let mut row_ptr = Vec::with_capacity(order + 1); // lint: allow(alloc)
-        let mut col_idx = Vec::with_capacity(nnz); // lint: allow(alloc)
+        let mut row_ptr: Vec<usize> = Vec::with_capacity(order + 1); // lint: allow(alloc)
+        let mut col_idx: Vec<usize> = Vec::with_capacity(nnz); // lint: allow(alloc)
         let mut vals = Vec::with_capacity(nnz); // lint: allow(alloc)
         let mut col_counts = vec![0usize; order + 1]; // lint: allow(alloc)
         row_ptr.push(0);
@@ -208,6 +213,7 @@ impl CsrMatrix {
             }
             col_idx.push(c);
             vals.push(v);
+            // lint: allow(implicit_panic) -- DOK stores only in-range columns: c < order and col_counts is order+1 long
             col_counts[c + 1] += 1;
         }
         while row_ptr.len() < order + 1 {
@@ -224,12 +230,24 @@ impl CsrMatrix {
         let mut cursor = col_ptr.clone(); // lint: allow(alloc)
         let mut row_idx = vec![0usize; nnz]; // lint: allow(alloc)
         let mut vals_t = vec![0.0f64; nnz]; // lint: allow(alloc)
+                                            // Every row's entry range sits inside the entry arrays: the
+                                            // prefix sums in `row_ptr` top out at `col_idx.len()`, and
+                                            // `vals` was pushed in lockstep with `col_idx`.
+        debug_assert_eq!(vals.len(), col_idx.len());
         for r in 0..order {
-            for k in row_ptr[r]..row_ptr[r + 1] {
+            debug_assert!(r + 1 < row_ptr.len());
+            let start = row_ptr[r];
+            let stop = row_ptr[r + 1];
+            debug_assert!(start <= stop && stop <= col_idx.len());
+            for k in start..stop {
                 let c = col_idx[k];
+                // lint: allow(implicit_panic) -- counting-sort cursor: c < order (DOK invariant) and cursor is order+1 long
                 let slot = cursor[c];
+                // lint: allow(implicit_panic) -- counting sort: column c's cursor advances once per stored entry, so slot < nnz
                 row_idx[slot] = r;
+                // lint: allow(implicit_panic) -- counting sort: column c's cursor advances once per stored entry, so slot < nnz
                 vals_t[slot] = vals[k];
+                // lint: allow(implicit_panic) -- counting-sort cursor: c < order (DOK invariant) and cursor is order+1 long
                 cursor[c] += 1;
             }
         }
@@ -261,8 +279,13 @@ impl CsrMatrix {
     /// Panics if `row` or `col` is out of range.
     pub fn get(&self, row: usize, col: usize) -> f64 {
         assert!(row < self.order && col < self.order, "index out of range");
+        // Structural invariant (checked by `check_matches_dok`): the
+        // pointer array is order+1 long, so row+1 is in range.
+        debug_assert!(row + 1 < self.row_ptr.len());
+        // lint: allow(implicit_panic) -- row_ptr is a monotone prefix array topping out at nnz = col_idx.len()
         let cols = &self.col_idx[self.row_ptr[row]..self.row_ptr[row + 1]];
         match cols.binary_search(&col) {
+            // lint: allow(implicit_panic) -- pos indexes inside `cols`, whose entries sit below nnz = vals.len()
             Ok(pos) => self.vals[self.row_ptr[row] + pos],
             Err(_) => 0.0,
         }
@@ -272,7 +295,9 @@ impl CsrMatrix {
     /// row-major order.
     pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
         (0..self.order).flat_map(move |r| {
+            // lint: allow(implicit_panic) -- r < order and row_ptr is order+1 long (structural invariant)
             (self.row_ptr[r]..self.row_ptr[r + 1])
+                // lint: allow(implicit_panic) -- k ranges over row r's entries, all below nnz = col_idx.len() = vals.len()
                 .map(move |k| ((r, self.col_idx[k]), self.vals[k]))
         })
     }
@@ -309,12 +334,17 @@ impl CsrMatrix {
             // Fast path: out = value · column(col), already sorted by
             // row, copied through the 4-lane unrolled kernel.
             let (col, value) = v.iter().next().unwrap_or((0, 0.0));
+            // SparseVec invariant: stored indices are < dim = order,
+            // and the pointer array is order+1 long.
+            debug_assert!(col + 1 < self.col_ptr.len());
             let (lo, hi) = (self.col_ptr[col], self.col_ptr[col + 1]);
             scaled_copy_unrolled(&self.row_idx[lo..hi], &self.vals_t[lo..hi], value, out);
             return;
         }
         for (col, value) in v.iter() {
+            debug_assert!(col + 1 < self.col_ptr.len());
             let (lo, hi) = (self.col_ptr[col], self.col_ptr[col + 1]);
+            // lint: allow(implicit_panic) -- col_ptr is a monotone prefix array topping out at nnz = row_idx.len()
             for (&row, &w) in self.row_idx[lo..hi].iter().zip(&self.vals_t[lo..hi]) {
                 out.add_at(row, value * w);
             }
@@ -349,12 +379,17 @@ impl CsrMatrix {
             // Fast path: out = value · row(row), already sorted by
             // column, copied through the 4-lane unrolled kernel.
             let (row, value) = v.iter().next().unwrap_or((0, 0.0));
+            // SparseVec invariant: stored indices are < dim = order,
+            // and the pointer array is order+1 long.
+            debug_assert!(row + 1 < self.row_ptr.len());
             let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
             scaled_copy_unrolled(&self.col_idx[lo..hi], &self.vals[lo..hi], value, out);
             return;
         }
         for (row, value) in v.iter() {
+            debug_assert!(row + 1 < self.row_ptr.len());
             let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+            // lint: allow(implicit_panic) -- row_ptr is a monotone prefix array topping out at nnz = col_idx.len()
             for (&col, &w) in self.col_idx[lo..hi].iter().zip(&self.vals[lo..hi]) {
                 out.add_at(col, value * w);
             }
@@ -394,9 +429,14 @@ impl CsrMatrix {
             }
         }
         // Transposed arrays mirror the row-major ones.
+        debug_assert_eq!(self.vals_t.len(), self.row_idx.len());
         for c in 0..self.order {
-            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
-                if k + 1 < self.col_ptr[c + 1] && self.row_idx[k] >= self.row_idx[k + 1] {
+            debug_assert!(c + 1 < self.col_ptr.len());
+            let start = self.col_ptr[c];
+            let stop = self.col_ptr[c + 1];
+            debug_assert!(start <= stop && stop <= self.row_idx.len());
+            for k in start..stop {
+                if k + 1 < stop && self.row_idx[k] >= self.row_idx[k + 1] {
                     return Err("CSR transposed rows not strictly increasing");
                 }
                 if self.get(self.row_idx[k], c) != self.vals_t[k] {

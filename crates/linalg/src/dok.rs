@@ -79,7 +79,10 @@ impl DokMatrix {
     /// Panics if `row` or `col` is out of range.
     pub fn get(&self, row: usize, col: usize) -> f64 {
         assert!(row < self.order && col < self.order, "index out of range");
+        // Contract: rows/cols are order-long adjacency tables.
+        debug_assert!(row < self.rows.len());
         match self.rows[row].binary_search_by_key(&col, |&(c, _)| c) {
+            // lint: allow(implicit_panic) -- binary_search returned Ok(pos), so pos indexes a stored entry
             Ok(pos) => self.rows[row][pos].1,
             Err(_) => 0.0,
         }
@@ -92,6 +95,8 @@ impl DokMatrix {
     /// Panics if `row` or `col` is out of range.
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
         assert!(row < self.order && col < self.order, "index out of range");
+        // Contract: rows/cols are order-long adjacency tables.
+        debug_assert!(row < self.rows.len() && col < self.cols.len());
         let row_list = &mut self.rows[row];
         match row_list.binary_search_by_key(&col, |&(c, _)| c) {
             Ok(pos) => {
@@ -106,10 +111,13 @@ impl DokMatrix {
                     if let Ok(m) = mirror {
                         col_list.remove(m);
                     }
+                    // lint: allow(implicit_panic) -- an entry was just removed from row_list, so nnz >= 1
                     self.nnz -= 1;
                 } else {
+                    // lint: allow(implicit_panic) -- binary_search returned Ok(pos), so pos indexes a stored entry
                     row_list[pos].1 = value;
                     match mirror {
+                        // lint: allow(implicit_panic) -- mirror search returned Ok(m), so m indexes a stored entry
                         Ok(m) => col_list[m].1 = value,
                         Err(m) => col_list.insert(m, (row, value)),
                     }
@@ -157,6 +165,7 @@ impl DokMatrix {
                 if v == 0.0 {
                     return Err("explicit zero stored in row adjacency list");
                 }
+                debug_assert!(c < self.cols.len());
                 match self.cols[c].binary_search_by_key(&r, |&(rr, _)| rr) {
                     Ok(m) if self.cols[c][m].1 == v => {}
                     Ok(_) => return Err("mirror entry disagrees on value"),
@@ -244,6 +253,9 @@ impl DokMatrix {
         assert_eq!(out.dim(), self.order, "output dimension mismatch");
         out.clear();
         for (col, value) in v.iter() {
+            // Contract: SparseVec stores indices < dim = order (asserted
+            // above), and cols is order-long.
+            debug_assert!(col < self.cols.len());
             for &(row, w) in &self.cols[col] {
                 out.add_at(row, value * w);
             }
@@ -286,6 +298,9 @@ impl DokMatrix {
         assert_eq!(out.dim(), self.order, "output dimension mismatch");
         out.clear();
         for (row, value) in v.iter() {
+            // Contract: SparseVec stores indices < dim = order (asserted
+            // above), and rows is order-long.
+            debug_assert!(row < self.rows.len());
             for &(col, w) in &self.rows[row] {
                 out.add_at(col, value * w);
             }
@@ -303,6 +318,7 @@ impl DokMatrix {
         let mut out = vec![0.0; self.order]; // lint: allow(alloc)
         for (row, list) in self.rows.iter().enumerate() {
             for &(col, value) in list {
+                // lint: allow(implicit_panic) -- row enumerates the order-long rows table and out/v are order-long (asserted)
                 out[row] += value * v[col];
             }
         }

@@ -119,6 +119,7 @@ impl SparseVec {
     pub fn get(&self, index: usize) -> f64 {
         assert!(index < self.dim, "index {index} out of range");
         match self.entries.binary_search_by_key(&index, |&(i, _)| i) {
+            // lint: allow(implicit_panic) -- binary_search returned Ok(pos), so pos indexes a stored entry
             Ok(pos) => self.entries[pos].1,
             Err(_) => 0.0,
         }
@@ -136,6 +137,7 @@ impl SparseVec {
                 if value == 0.0 {
                     self.entries.remove(pos);
                 } else {
+                    // lint: allow(implicit_panic) -- binary_search returned Ok(pos), so pos indexes a stored entry
                     self.entries[pos].1 = value;
                 }
             }
@@ -233,6 +235,7 @@ impl SparseVec {
     /// Panics if `dense.len() != self.dim()`.
     pub fn dot_dense(&self, dense: &[f64]) -> f64 {
         assert_eq!(self.dim, dense.len(), "dimension mismatch in dot product");
+        // lint: allow(implicit_panic) -- stored indices are < dim = dense.len() (asserted above)
         self.entries.iter().map(|&(i, v)| v * dense[i]).sum()
     }
 
@@ -287,6 +290,7 @@ impl SparseVec {
         // Dense materialisation is a diagnostic path, not the hot loop.
         let mut out = vec![0.0; self.dim]; // lint: allow(alloc)
         for (i, v) in self.iter() {
+            // lint: allow(implicit_panic) -- stored indices are < dim and out is dim-long
             out[i] = v;
         }
         out

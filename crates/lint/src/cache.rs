@@ -1,0 +1,328 @@
+//! Corpus-keyed result cache under `target/lint-cache/`.
+//!
+//! A scan is a pure function of the source corpus, so the whole
+//! analysis result can be memoized against a single content hash:
+//! FNV-1a (64-bit) over every `(rel_path, source)` pair in walk order.
+//! A warm run — the common `ci.sh` / editor-save case where nothing
+//! changed — reduces to the directory walk plus one hash and a JSON
+//! read, skipping the parse, call-graph, and interval passes entirely.
+//! Any edit anywhere changes the key, so staleness is structural:
+//! there is no invalidation protocol to get wrong, just a new key.
+//!
+//! Manifests are `corpus-<fnv64>.json`; the directory is pruned to the
+//! [`MAX_MANIFESTS`] most recent so branch-hopping cannot grow it
+//! without bound. `--no-cache` bypasses both read and write (used by
+//! CI to time a guaranteed-cold scan). `--fix` rewrites sources before
+//! analyzing and re-keys naturally.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::LintReport;
+use crate::{
+    analyze_sources, collect_sources, Analysis, Related, Violation, RULES, SCHEMA_VERSION,
+};
+
+/// Manifests kept after pruning (most-recently written first).
+const MAX_MANIFESTS: usize = 8;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a over byte chunks.
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Content hash of the whole corpus: every path and source, length-
+/// delimited so concatenation boundaries cannot collide.
+pub(crate) fn corpus_key(sources: &[(String, String)]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for (rel, src) in sources {
+        h = fnv1a(h, &(rel.len() as u64).to_le_bytes());
+        h = fnv1a(h, rel.as_bytes());
+        h = fnv1a(h, &(src.len() as u64).to_le_bytes());
+        h = fnv1a(h, src.as_bytes());
+    }
+    h
+}
+
+/// A [`Violation`] with the rule as an owned string (the live struct
+/// interns rules as `&'static str`, which cannot deserialize).
+#[derive(Serialize, Deserialize)]
+struct CachedViolation {
+    file: String,
+    line: usize,
+    rule: String,
+    message: String,
+    related: Vec<CachedRelated>,
+}
+
+/// Serializable mirror of [`Related`].
+#[derive(Serialize, Deserialize)]
+struct CachedRelated {
+    file: String,
+    line: usize,
+    message: String,
+}
+
+/// Serializable mirror of one `dead_allows` entry.
+#[derive(Serialize, Deserialize)]
+struct CachedDeadAllow {
+    file: String,
+    line: usize,
+    name: String,
+}
+
+/// The on-disk manifest: everything [`Analysis`] carries.
+#[derive(Serialize, Deserialize)]
+struct Manifest {
+    /// Report schema version; a manifest from another analyzer
+    /// generation is ignored.
+    schema: usize,
+    violations: Vec<CachedViolation>,
+    dead_allows: Vec<CachedDeadAllow>,
+    report: LintReport,
+}
+
+fn cache_dir(root: &Path) -> PathBuf {
+    root.join("target").join("lint-cache")
+}
+
+fn manifest_path(root: &Path, key: u64) -> PathBuf {
+    cache_dir(root).join(format!("corpus-{key:016x}.json"))
+}
+
+/// Rebuilds an [`Analysis`] from a parsed manifest. `None` when the
+/// manifest references a rule this analyzer no longer knows (a stale
+/// cache from a different build).
+fn rehydrate(m: Manifest) -> Option<Analysis> {
+    let mut violations = Vec::with_capacity(m.violations.len());
+    for v in m.violations {
+        let rule = RULES.iter().find(|r| **r == v.rule).copied()?;
+        violations.push(Violation {
+            file: v.file,
+            line: v.line,
+            rule,
+            message: v.message,
+            related: v
+                .related
+                .into_iter()
+                .map(|r| Related {
+                    file: r.file,
+                    line: r.line,
+                    message: r.message,
+                })
+                .collect(),
+        });
+    }
+    Some(Analysis {
+        violations,
+        report: m.report,
+        dead_allows: m
+            .dead_allows
+            .into_iter()
+            .map(|d| (d.file, d.line, d.name))
+            .collect(),
+    })
+}
+
+fn dehydrate(analysis: &Analysis) -> Manifest {
+    Manifest {
+        schema: SCHEMA_VERSION,
+        violations: analysis
+            .violations
+            .iter()
+            .map(|v| CachedViolation {
+                file: v.file.clone(),
+                line: v.line,
+                rule: v.rule.to_string(),
+                message: v.message.clone(),
+                related: v
+                    .related
+                    .iter()
+                    .map(|r| CachedRelated {
+                        file: r.file.clone(),
+                        line: r.line,
+                        message: r.message.clone(),
+                    })
+                    .collect(),
+            })
+            .collect(),
+        dead_allows: analysis
+            .dead_allows
+            .iter()
+            .map(|(file, line, name)| CachedDeadAllow {
+                file: file.clone(),
+                line: *line,
+                name: name.clone(),
+            })
+            .collect(),
+        report: analysis.report.clone(),
+    }
+}
+
+/// Deletes the oldest manifests (by modification time, then name) so at
+/// most [`MAX_MANIFESTS`] remain. Best-effort: a racing delete is fine.
+fn prune(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut manifests: Vec<(std::time::SystemTime, PathBuf)> = entries
+        .flatten()
+        .filter_map(|e| {
+            let path = e.path();
+            let name = path.file_name()?.to_string_lossy().into_owned();
+            if !(name.starts_with("corpus-") && name.ends_with(".json")) {
+                return None;
+            }
+            let mtime = e.metadata().ok()?.modified().ok()?;
+            Some((mtime, path))
+        })
+        .collect();
+    if manifests.len() <= MAX_MANIFESTS {
+        return;
+    }
+    manifests.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let excess = manifests.len() - MAX_MANIFESTS;
+    for (_, path) in manifests.into_iter().take(excess) {
+        let _ = fs::remove_file(path);
+    }
+}
+
+/// [`crate::analyze_root`] behind the corpus cache.
+///
+/// With `use_cache`, a manifest matching the corpus hash short-circuits
+/// the scan; otherwise the full analysis runs and its result is written
+/// back (and the directory pruned). Cache I/O failures are never
+/// fatal — an unreadable or stale manifest just means a cold scan.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error from the source walk itself.
+pub fn analyze_root_cached(root: &Path, use_cache: bool) -> io::Result<Analysis> {
+    let sources = collect_sources(root)?;
+    if !use_cache {
+        return Ok(analyze_sources(&sources));
+    }
+    let key = corpus_key(&sources);
+    let path = manifest_path(root, key);
+    if let Ok(text) = fs::read_to_string(&path) {
+        if let Ok(manifest) = serde_json::from_str::<Manifest>(&text) {
+            if manifest.schema == SCHEMA_VERSION {
+                if let Some(analysis) = rehydrate(manifest) {
+                    return Ok(analysis);
+                }
+            }
+        }
+        // Unreadable or stale: fall through to a cold scan that will
+        // overwrite it.
+    }
+    let analysis = analyze_sources(&sources);
+    let dir = cache_dir(root);
+    if fs::create_dir_all(&dir).is_ok() {
+        if let Ok(json) = serde_json::to_string(&dehydrate(&analysis)) {
+            let _ = fs::write(&path, json);
+        }
+        prune(&dir);
+    }
+    Ok(analysis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_order_and_content_sensitive() {
+        let a = vec![("a.rs".to_string(), "fn a() {}".to_string())];
+        let mut b = a.clone();
+        b[0].1.push(' ');
+        assert_ne!(corpus_key(&a), corpus_key(&b));
+        let two = vec![
+            ("a.rs".to_string(), "x".to_string()),
+            ("b.rs".to_string(), "y".to_string()),
+        ];
+        let swapped = vec![two[1].clone(), two[0].clone()];
+        assert_ne!(corpus_key(&two), corpus_key(&swapped));
+        // Length delimiting: moving a byte across the path/source
+        // boundary changes the key.
+        let c = vec![("ab.rs".to_string(), "c".to_string())];
+        let d = vec![("a".to_string(), "b.rsc".to_string())];
+        assert_ne!(corpus_key(&c), corpus_key(&d));
+    }
+
+    #[test]
+    fn analysis_round_trips_through_manifest() {
+        let sources = vec![(
+            "crates/core/src/policy.rs".to_string(),
+            "fn f() { let v = vec![1]; }\n".to_string(),
+        )];
+        let analysis = analyze_sources(&sources);
+        let json = serde_json::to_string(&dehydrate(&analysis)).unwrap();
+        let back = rehydrate(serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(back.violations, analysis.violations);
+        assert_eq!(back.report, analysis.report);
+        assert_eq!(back.dead_allows, analysis.dead_allows);
+    }
+
+    #[test]
+    fn unknown_rule_invalidates_manifest() {
+        let manifest = Manifest {
+            schema: SCHEMA_VERSION,
+            violations: vec![CachedViolation {
+                file: "x.rs".to_string(),
+                line: 1,
+                rule: "rule_from_the_future".to_string(),
+                message: String::new(),
+                related: Vec::new(),
+            }],
+            dead_allows: Vec::new(),
+            report: analyze_sources(&[]).report,
+        };
+        assert!(rehydrate(manifest).is_none());
+    }
+
+    #[test]
+    fn warm_run_reuses_manifest_and_prunes() {
+        let dir = std::env::temp_dir().join(format!(
+            "lint-cache-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("crates/core/src")).unwrap();
+        fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+        let file = dir.join("crates/core/src/policy.rs");
+        fs::write(&file, "fn f() { let v = vec![1]; }\n").unwrap();
+
+        let cold = analyze_root_cached(&dir, true).unwrap();
+        let manifests = || {
+            fs::read_dir(cache_dir(&dir))
+                .map(|d| d.flatten().count())
+                .unwrap_or(0)
+        };
+        assert_eq!(manifests(), 1, "cold run writes one manifest");
+        let warm = analyze_root_cached(&dir, true).unwrap();
+        assert_eq!(warm.violations, cold.violations);
+        assert_eq!(warm.report, cold.report);
+
+        // Ten distinct corpora leave at most MAX_MANIFESTS manifests.
+        for i in 0..10 {
+            fs::write(&file, format!("fn f() {{ let v = vec![{i}]; }}\n")).unwrap();
+            analyze_root_cached(&dir, true).unwrap();
+        }
+        assert!(manifests() <= MAX_MANIFESTS, "{} manifests", manifests());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,4728 @@
+//! Interprocedural interval dataflow (v4): proves implicit panic sites
+//! safe and flags order-nondeterministic float reductions.
+//!
+//! The pass runs a flow-sensitive abstract interpretation over each
+//! function body's token stream ([`crate::items`] retains full-fidelity
+//! tokens per file). The abstract state tracks, per local:
+//!
+//! * an integer interval ([`crate::intervals::Ival`]),
+//! * symbolic *length facts* — `v == len(chain) + k` (`sym`) and
+//!   `v <= len(chain) + k` (`ubs`) — seeded by `.len()` calls and
+//!   refined by branch conditions and `assert!`/`debug_assert!`
+//!   contracts (the *debug-checked contract* policy: a
+//!   `debug_assert!` is trusted as an invariant; see DESIGN §17 for
+//!   the one-sided-safety claim this implies),
+//! * container lengths (`lens`) and length-equality classes
+//!   (`len_eq`), invalidated conservatively on any mutation the
+//!   analysis cannot classify.
+//!
+//! On top of the state the pass enumerates every *implicit panic
+//! site* in scope files — `a[i]`, `&s[lo..hi]`, `x / y`, `x % y`, and
+//! unsigned `-` — and discharges the ones the intervals prove safe.
+//! The remainder surface as `implicit_panic` violations (vouchable via
+//! `// lint: allow(implicit_panic)`), with the interval witness in the
+//! message and the enclosing function as a related location.
+//!
+//! Call-summary propagation runs the interpretation to an
+//! interprocedural fixpoint over the PR5 call graph: return intervals
+//! for every workspace function, and parameter intervals (joined over
+//! observed arguments) for private, non-address-taken functions whose
+//! call sites all resolve. Three global rounds with widening after
+//! round two bound the iteration; every transfer function falls back
+//! to `TOP` when unsure, so imprecision can only *suppress* a
+//! discharge, never manufacture one.
+//!
+//! The `float_determinism` rule reuses the same walk: a float
+//! compound-assignment (`+=`, `-=`, `*=`, `/=`) inside a loop that
+//! iterates a `HashMap`/`HashSet` or drains a channel
+//! (`recv`/`try_recv`/`recv_timeout` anywhere in the loop) is an
+//! order-nondeterministic reduction unless the site (or the loop
+//! header) carries `// lint: ordered_merge` or an
+//! `allow(float_determinism)` vouch.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::GraphOutcome;
+use crate::intervals::{Ival, NEG_INF, POS_INF, TOP};
+use crate::items::{ident, punct, FnItem, LocalTy, SpannedTok, Tok};
+use crate::{FileScan, Related, Violation, HOT_PATH_FILES};
+
+/// Files beyond [`HOT_PATH_FILES`] where `implicit_panic` applies (the
+/// serve writer loop — a crash there loses checkpoint durability).
+pub(crate) const IMPLICIT_PANIC_EXTRA_FILES: &[&str] = &["crates/serve/src/daemon.rs"];
+
+/// Whether `implicit_panic` applies to `rel_path`.
+pub(crate) fn implicit_panic_scope(rel_path: &str) -> bool {
+    let rel = rel_path.replace('\\', "/");
+    HOT_PATH_FILES.contains(&rel.as_str()) || IMPLICIT_PANIC_EXTRA_FILES.contains(&rel.as_str())
+}
+
+/// Interpretation step budget per function body; exceeding it emits an
+/// undischargeable "budget" site rather than silently under-reporting.
+const FUEL: usize = 400_000;
+
+/// Per-hot-function implicit-panic statistics for the report.
+pub(crate) struct FnPanicStats {
+    /// Index of the owning file in the `FileScan` slice.
+    pub file: usize,
+    /// Index into that file's `parsed.fns`.
+    pub item: usize,
+    /// Implicit panic sites enumerated in the body.
+    pub sites: usize,
+    /// Sites the interval engine proved safe.
+    pub discharged: usize,
+}
+
+/// Everything the dataflow pass hands back to the driver.
+#[derive(Default)]
+pub(crate) struct DataflowOutcome {
+    /// `implicit_panic` + `float_determinism` violations.
+    pub violations: Vec<Violation>,
+    /// Per-function site counts, only for implicit-panic-scope files.
+    pub fn_stats: Vec<FnPanicStats>,
+    /// Total sites across `HOT_PATH_FILES`.
+    pub hot_sites: usize,
+    /// Discharged sites across `HOT_PATH_FILES`.
+    pub hot_discharged: usize,
+    /// Vouched (allow-silenced) sites across `HOT_PATH_FILES`.
+    pub hot_vouched: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Abstract values and environments
+// ---------------------------------------------------------------------------
+
+/// Abstract value of one expression.
+#[derive(Clone, Debug)]
+struct Val {
+    /// Integer interval (meaningful for integer-typed expressions).
+    ival: Ival,
+    /// Proven float-typed (suppresses div/rem/sub panic sites).
+    float: bool,
+    /// Proven unsigned-integer-typed (arms the `-` underflow site).
+    uint: bool,
+    /// Exact length fact: value `== len(chain) + off`.
+    sym: Option<(String, i128)>,
+    /// Upper-bound facts: value `<= len(chain) + off`.
+    ubs: Vec<(String, i128)>,
+    /// The expression is a single local variable (refinement target),
+    /// possibly shifted: the expression equals `var + var_off`.
+    var: Option<String>,
+    /// Constant shift applied on top of `var` (`x + 1` keeps `var: x`,
+    /// `var_off: 1`, so branch refinement can still reach `x`).
+    var_off: i128,
+    /// The expression is a pure field/variable chain (length key).
+    chain: Option<String>,
+    /// The expression denotes a slice-like positional container.
+    is_slice: bool,
+    /// Element type of the container, when proven.
+    elem_float: bool,
+    elem_uint: bool,
+    /// Length of a freshly created container (literal / `vec!` /
+    /// `to_vec`): interval plus optional `len(chain) + off` identity.
+    slice_len: Option<(Ival, Option<(String, i128)>)>,
+}
+
+impl Val {
+    fn top() -> Val {
+        Val {
+            ival: TOP,
+            float: false,
+            uint: false,
+            sym: None,
+            ubs: Vec::new(),
+            var: None,
+            var_off: 0,
+            chain: None,
+            is_slice: false,
+            elem_float: false,
+            elem_uint: false,
+            slice_len: None,
+        }
+    }
+
+    fn int(ival: Ival, uint: bool) -> Val {
+        Val {
+            ival,
+            uint,
+            ..Val::top()
+        }
+    }
+
+    fn float() -> Val {
+        Val {
+            float: true,
+            ..Val::top()
+        }
+    }
+
+    /// Shift `sym`/`ubs`/interval by an exact constant (for `v + k`,
+    /// `v - k`): `v <= len+o` implies `v+k <= len+o+k`.
+    fn shifted(mut self, k: i128) -> Val {
+        self.ival = self.ival.add(Ival::exact(k));
+        if let Some((_, o)) = &mut self.sym {
+            *o = o.saturating_add(k);
+        }
+        for (_, o) in &mut self.ubs {
+            *o = o.saturating_add(k);
+        }
+        self.var_off = self.var_off.saturating_add(k);
+        self.chain = None;
+        self
+    }
+}
+
+/// Abstract state of one local variable.
+#[derive(Clone, Debug)]
+struct VarInfo {
+    ival: Ival,
+    float: bool,
+    uint: bool,
+    sym: Option<(String, i128)>,
+    ubs: Vec<(String, i128)>,
+    is_slice: bool,
+    elem_float: bool,
+    elem_uint: bool,
+}
+
+impl VarInfo {
+    fn unknown() -> VarInfo {
+        VarInfo {
+            ival: TOP,
+            float: false,
+            uint: false,
+            sym: None,
+            ubs: Vec::new(),
+            is_slice: false,
+            elem_float: false,
+            elem_uint: false,
+        }
+    }
+
+    /// Forget value facts but keep the declared type (a havocked
+    /// `usize` is still `[0, +inf]` and still arms underflow sites).
+    fn havoc(&self) -> VarInfo {
+        VarInfo {
+            ival: if self.uint { Ival::of(0, POS_INF) } else { TOP },
+            float: self.float,
+            uint: self.uint,
+            sym: None,
+            ubs: Vec::new(),
+            is_slice: self.is_slice,
+            elem_float: self.elem_float,
+            elem_uint: self.elem_uint,
+        }
+    }
+
+    fn join(&self, o: &VarInfo) -> VarInfo {
+        VarInfo {
+            ival: self.ival.join(o.ival),
+            float: self.float && o.float,
+            uint: self.uint && o.uint,
+            sym: if self.sym == o.sym {
+                self.sym.clone()
+            } else {
+                None
+            },
+            ubs: self
+                .ubs
+                .iter()
+                .filter(|u| o.ubs.contains(u))
+                .cloned()
+                .collect(),
+            is_slice: self.is_slice && o.is_slice,
+            elem_float: self.elem_float && o.elem_float,
+            elem_uint: self.elem_uint && o.elem_uint,
+        }
+    }
+
+    fn to_val(&self, name: &str) -> Val {
+        Val {
+            ival: self.ival,
+            float: self.float,
+            uint: self.uint,
+            sym: self.sym.clone(),
+            ubs: self.ubs.clone(),
+            var: Some(name.to_string()),
+            var_off: 0,
+            chain: Some(name.to_string()),
+            is_slice: self.is_slice,
+            elem_float: self.elem_float,
+            elem_uint: self.elem_uint,
+            slice_len: None,
+        }
+    }
+}
+
+/// The abstract environment at one program point.
+#[derive(Clone, Debug, Default)]
+struct Env {
+    vars: BTreeMap<String, VarInfo>,
+    /// Interval of `len(chain)` per tracked container chain.
+    lens: BTreeMap<String, Ival>,
+    /// `len(a) == len(b) + off` equalities (from `assert_eq!` on
+    /// lengths and container aliasing/cloning).
+    len_eq: Vec<(String, String, i128)>,
+}
+
+impl Env {
+    /// Path join: keep only facts valid on both sides.
+    fn join(&self, o: &Env) -> Env {
+        let mut vars = BTreeMap::new();
+        for (k, a) in &self.vars {
+            if let Some(b) = o.vars.get(k) {
+                vars.insert(k.clone(), a.join(b));
+            }
+        }
+        let mut lens = BTreeMap::new();
+        for (k, a) in &self.lens {
+            if let Some(b) = o.lens.get(k) {
+                lens.insert(k.clone(), a.join(*b));
+            }
+        }
+        let len_eq = self
+            .len_eq
+            .iter()
+            .filter(|e| o.len_eq.contains(e))
+            .cloned()
+            .collect();
+        Env { vars, lens, len_eq }
+    }
+
+    /// A container (or anything under it) mutated unpredictably: drop
+    /// every length/symbolic fact that mentions it.
+    fn invalidate_prefix(&mut self, chain: &str) {
+        let pref = format!("{chain}.");
+        let hit = |k: &str| k == chain || k.starts_with(&pref);
+        self.lens.retain(|k, _| !hit(k));
+        self.len_eq.retain(|(a, b, _)| !hit(a) && !hit(b));
+        for v in self.vars.values_mut() {
+            v.ubs.retain(|(c, _)| !hit(c));
+            if v.sym.as_ref().is_some_and(|(c, _)| hit(c)) {
+                v.sym = None;
+            }
+        }
+        if let Some(v) = self.vars.get_mut(chain) {
+            *v = v.havoc();
+        }
+    }
+
+    /// A container grew (`push`/`extend`): the length lower bound and
+    /// all upper-bound facts stay valid; equalities break.
+    fn grow_len(&mut self, chain: &str) {
+        let e = self
+            .lens
+            .entry(chain.to_string())
+            .or_insert(Ival::of(0, POS_INF));
+        *e = Ival::of(e.lo.max(0), POS_INF);
+        let c = chain.to_string();
+        self.len_eq.retain(|(a, b, _)| *a != c && *b != c);
+    }
+
+    /// Reassigning or rebinding `name`: drop stale facts first.
+    fn rebind(&mut self, name: &str, vi: VarInfo) {
+        if self.vars.get(name).is_some_and(|v| v.is_slice) {
+            self.invalidate_prefix(name);
+        }
+        if !vi.is_slice {
+            self.lens.remove(name);
+        }
+        self.vars.insert(name.to_string(), vi);
+    }
+
+    /// Best known lower bound on `len(chain)`, relaxed through the
+    /// length-equality classes (3 passes bound the chains we see).
+    fn len_lo(&self, chain: &str) -> i128 {
+        let mut lo: BTreeMap<&str, i128> = BTreeMap::new();
+        let seed = |c: &str| self.lens.get(c).map(|v| v.lo.max(0)).unwrap_or(0);
+        lo.insert(chain, seed(chain));
+        for (a, b, _) in &self.len_eq {
+            lo.entry(a).or_insert_with(|| seed(a));
+            lo.entry(b).or_insert_with(|| seed(b));
+        }
+        for _ in 0..3 {
+            for (a, b, off) in &self.len_eq {
+                let (la, lb) = (lo[a.as_str()], lo[b.as_str()]);
+                let na = la.max(lb.saturating_add(*off));
+                let nb = lb.max(la.saturating_sub(*off));
+                lo.insert(a, na);
+                lo.insert(b, nb);
+            }
+        }
+        lo.get(chain).copied().unwrap_or(0)
+    }
+
+    /// Exact delta `d` with `len(a) == len(b) + d`, if the equality
+    /// classes connect the two chains.
+    fn eq_delta(&self, a: &str, b: &str) -> Option<i128> {
+        if a == b {
+            return Some(0);
+        }
+        // BFS from `b`, computing len(x) == len(b) + d(x).
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        seen.insert(b);
+        let mut frontier: Vec<(&str, i128)> = vec![(b, 0)];
+        for _ in 0..8 {
+            let mut next = Vec::new();
+            for (cur, d) in &frontier {
+                for (x, y, off) in &self.len_eq {
+                    // len(x) == len(y) + off.
+                    let (n, nd) = if y == cur {
+                        (x.as_str(), d.saturating_add(*off))
+                    } else if x == cur {
+                        (y.as_str(), d.saturating_sub(*off))
+                    } else {
+                        continue;
+                    };
+                    if n == a {
+                        return Some(nd);
+                    }
+                    if seen.insert(n) {
+                        next.push((n, nd));
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sites and float accumulations
+// ---------------------------------------------------------------------------
+
+/// One implicit panic site.
+struct Site {
+    /// 0-based line.
+    line: usize,
+    /// `index` / `slice` / `div` / `rem` / `sub` / `budget`.
+    kind: &'static str,
+    /// Rendered source fragment.
+    text: String,
+    /// The interval engine proved the site safe.
+    discharged: bool,
+    /// Discharge reason or witness of what is unknown.
+    why: String,
+}
+
+/// One candidate order-nondeterministic float accumulation.
+struct FloatAccum {
+    /// 0-based line of the compound assignment.
+    line: usize,
+    /// Rendered accumulation target.
+    target: String,
+    /// Why the enclosing loop is order-nondeterministic.
+    cause: &'static str,
+    /// 0-based line of the offending loop header.
+    header_line: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+/// Index of the matching close delimiter for the open at `open`
+/// (same-kind counting); saturates at the end of the stream.
+fn close_delim(toks: &[SpannedTok], open: usize) -> usize {
+    let (o, c) = match punct(toks, open) {
+        Some('(') => ('(', ')'),
+        Some('[') => ('[', ']'),
+        Some('{') => ('{', '}'),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match punct(toks, i) {
+            Some(x) if x == o => depth += 1,
+            Some(x) if x == c => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Renders a token span back to a compact source-ish fragment for
+/// witness messages (capped; whitespace is approximate).
+fn render_toks(toks: &[SpannedTok], a: usize, b: usize) -> String {
+    let mut out = String::new();
+    for t in toks.iter().take(b.min(toks.len())).skip(a) {
+        let piece = match &t.tok {
+            Tok::Ident(s) => s.clone(),
+            Tok::Num(s) => s.clone(),
+            Tok::Punct(c) => c.to_string(),
+        };
+        let no_space_before = matches!(piece.as_str(), ")" | "]" | "," | ";" | "." | "[" | "(")
+            || out.ends_with(['.', '(', '[', '&', ':'])
+            || out.is_empty()
+            || piece == ":";
+        if !no_space_before {
+            out.push(' ');
+        }
+        out.push_str(&piece);
+        if out.len() > 60 {
+            out.push('…');
+            break;
+        }
+    }
+    out
+}
+
+/// Parsed numeric literal.
+enum NumLit {
+    Int(i128),
+    Float,
+    Unknown,
+}
+
+/// Classifies and evaluates a numeric literal's text.
+fn parse_num(text: &str) -> NumLit {
+    let t: String = text.chars().filter(|c| *c != '_').collect();
+    if t.ends_with("f32") || t.ends_with("f64") {
+        return NumLit::Float;
+    }
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        let digits: String = hex.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+        return i128::from_str_radix(&digits, 16)
+            .map(NumLit::Int)
+            .unwrap_or(NumLit::Unknown);
+    }
+    if let Some(oct) = t.strip_prefix("0o") {
+        let digits: String = oct
+            .chars()
+            .take_while(|c| ('0'..='7').contains(c))
+            .collect();
+        return i128::from_str_radix(&digits, 8)
+            .map(NumLit::Int)
+            .unwrap_or(NumLit::Unknown);
+    }
+    if let Some(bin) = t.strip_prefix("0b") {
+        let digits: String = bin.chars().take_while(|c| *c == '0' || *c == '1').collect();
+        return i128::from_str_radix(&digits, 2)
+            .map(NumLit::Int)
+            .unwrap_or(NumLit::Unknown);
+    }
+    if t.contains('.') || t.contains('e') || t.contains('E') {
+        return NumLit::Float;
+    }
+    let digits: String = t.chars().take_while(|c| c.is_ascii_digit()).collect();
+    let suffix = &t[digits.len()..];
+    match digits.parse::<i128>() {
+        Ok(v) if suffix.is_empty() || suffix.starts_with('u') || suffix.starts_with('i') => {
+            NumLit::Int(v)
+        }
+        _ => NumLit::Unknown,
+    }
+}
+
+fn is_keyword_like(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "else"
+            | "enum"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "Self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "dyn"
+            | "async"
+            | "await"
+            | "_"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Declared types
+// ---------------------------------------------------------------------------
+
+/// Best-effort classification of a declared type.
+#[derive(Clone, Debug, Default)]
+struct TyInfo {
+    float: bool,
+    uint: bool,
+    slice: bool,
+    elem_float: bool,
+    elem_uint: bool,
+    /// Fixed array length (`[T; N]` with a literal / known-const `N`).
+    fixed: Option<i128>,
+    /// Base path segment (struct name for chain walking).
+    base: Option<String>,
+}
+
+fn prim_flags(s: &str) -> (bool, bool) {
+    // (float, uint)
+    match s {
+        "f32" | "f64" => (true, false),
+        "usize" | "u8" | "u16" | "u32" | "u64" | "u128" => (false, true),
+        _ => (false, false),
+    }
+}
+
+/// Parses a type starting at `i` (bounded by `end`); returns the
+/// classification and the index just past what was understood.
+fn parse_ty(
+    toks: &[SpannedTok],
+    mut i: usize,
+    end: usize,
+    consts: &BTreeMap<String, i128>,
+) -> (TyInfo, usize) {
+    let mut ty = TyInfo::default();
+    for _ in 0..4 {
+        while i < end {
+            match toks.get(i).map(|t| &t.tok) {
+                Some(Tok::Punct('&')) => i += 1,
+                Some(Tok::Ident(s)) if s == "mut" || s == "dyn" => i += 1,
+                _ => break,
+            }
+        }
+        if punct(toks, i) == Some('[') {
+            let cb = close_delim(toks, i);
+            let (inner, after_elem) = parse_ty(toks, i + 1, cb, consts);
+            ty.slice = true;
+            ty.elem_float = inner.float;
+            ty.elem_uint = inner.uint;
+            // `[T; N]` fixed length.
+            if punct(toks, after_elem) == Some(';') {
+                ty.fixed = match toks.get(after_elem + 1).map(|t| &t.tok) {
+                    Some(Tok::Num(text)) => match parse_num(text) {
+                        NumLit::Int(v) => Some(v),
+                        _ => None,
+                    },
+                    Some(Tok::Ident(name)) => consts.get(name.as_str()).copied(),
+                    _ => None,
+                };
+            }
+            return (ty, cb + 1);
+        }
+        match toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) if matches!(s.as_str(), "Vec" | "Box" | "Arc" | "Rc") => {
+                if punct(toks, i + 1) == Some('<') {
+                    if s == "Vec" {
+                        // `Vec<elem>`: classify the element, stay a slice.
+                        let (inner, _) = parse_ty(toks, i + 2, end, consts);
+                        ty.slice = true;
+                        ty.elem_float = inner.float || ty.elem_float;
+                        ty.elem_uint = inner.uint || ty.elem_uint;
+                        ty.base = Some("Vec".to_string());
+                        let next = crate::items::skip_generics_pub(toks, i + 1);
+                        return (ty, next);
+                    }
+                    // Wrapper: descend.
+                    i += 2;
+                    continue;
+                }
+                ty.base = Some(s.clone());
+                return (ty, i + 1);
+            }
+            Some(Tok::Ident(s)) => {
+                // Walk `a::b::C` to the last segment.
+                let mut base = s.clone();
+                let mut j = i + 1;
+                while punct(toks, j) == Some(':') && punct(toks, j + 1) == Some(':') {
+                    if let Some(seg) = ident(toks, j + 2) {
+                        base = seg.to_string();
+                        j += 3;
+                    } else {
+                        break;
+                    }
+                }
+                let (f, u) = prim_flags(&base);
+                ty.float = f;
+                ty.uint = u;
+                ty.base = Some(base);
+                if punct(toks, j) == Some('<') {
+                    j = crate::items::skip_generics_pub(toks, j);
+                }
+                return (ty, j);
+            }
+            _ => return (ty, i),
+        }
+    }
+    (ty, i)
+}
+
+impl TyInfo {
+    fn to_var(&self) -> VarInfo {
+        VarInfo {
+            ival: if self.uint { Ival::of(0, POS_INF) } else { TOP },
+            float: self.float,
+            uint: self.uint,
+            sym: None,
+            ubs: Vec::new(),
+            is_slice: self.slice,
+            elem_float: self.elem_float,
+            elem_uint: self.elem_uint,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-node signature info & summaries
+// ---------------------------------------------------------------------------
+
+/// Signature-derived facts about one graph node.
+pub(crate) struct NodeInfo {
+    /// Positional named parameters (skipping the receiver).
+    params: Vec<(String, TyInfo)>,
+    /// Declared return type classification.
+    ret: TyInfo,
+    /// The receiver is `&mut self` (calls invalidate receiver facts).
+    mut_self: bool,
+    /// `pub`/`pub(crate)` — callable from unscanned code (tests,
+    /// benches), so observed-argument param summaries are off.
+    is_pub: bool,
+    /// Every parameter parsed cleanly as `name: Ty`.
+    clean: bool,
+}
+
+/// Interprocedural summary of one function.
+#[derive(Clone)]
+pub(crate) struct FnSummary {
+    /// Return-value interval (join over all return paths).
+    ret: Ival,
+    /// Declared-float return.
+    ret_float: bool,
+}
+
+/// Parses the signature token range `[sig_tok, body start)`.
+fn parse_sig(toks: &[SpannedTok], item: &FnItem, consts: &BTreeMap<String, i128>) -> NodeInfo {
+    let mut info = NodeInfo {
+        params: Vec::new(),
+        ret: TyInfo::default(),
+        mut_self: false,
+        is_pub: false,
+        clean: true,
+    };
+    let sig_end = item.body.map(|(b, _)| b).unwrap_or(toks.len());
+    // `pub` within a few tokens before `fn` (stopping at item breaks).
+    let mut k = item.sig_tok;
+    for _ in 0..6 {
+        if k == 0 {
+            break;
+        }
+        k -= 1;
+        match toks.get(k).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) if s == "pub" => {
+                info.is_pub = true;
+                break;
+            }
+            Some(Tok::Punct(';' | '{' | '}')) => break,
+            _ => {}
+        }
+    }
+    // Find the parameter list.
+    let mut i = item.sig_tok + 2; // past `fn name`
+    if punct(toks, i) == Some('<') {
+        i = crate::items::skip_generics_pub(toks, i);
+    }
+    if punct(toks, i) != Some('(') {
+        info.clean = false;
+        return info;
+    }
+    let close = close_delim(toks, i);
+    let mut j = i + 1;
+    while j < close {
+        // Receiver?
+        let mut r = j;
+        let mut saw_mut = false;
+        while punct(toks, r) == Some('&') || ident(toks, r) == Some("mut") {
+            saw_mut |= ident(toks, r) == Some("mut");
+            r += 1;
+        }
+        if ident(toks, r) == Some("self") {
+            info.mut_self = saw_mut;
+            j = skip_to_param_end(toks, r + 1, close);
+            continue;
+        }
+        // `mut name: Ty`.
+        let mut p = j;
+        if ident(toks, p) == Some("mut") {
+            p += 1;
+        }
+        let (name, has_colon) = match (ident(toks, p), punct(toks, p + 1)) {
+            (Some(n), Some(':')) if !is_keyword_like(n) => (n.to_string(), true),
+            _ => (String::new(), false),
+        };
+        if !has_colon {
+            // Pattern parameter (`(a, b): (usize, usize)`, `_: T`) —
+            // positional argument mapping is off for this function.
+            info.clean = false;
+            j = skip_to_param_end(toks, p, close);
+            continue;
+        }
+        let (ty, after) = parse_ty(toks, p + 2, close, consts);
+        info.params.push((name, ty));
+        j = skip_to_param_end(toks, after.max(p + 2), close);
+    }
+    // Return type.
+    let mut r = close + 1;
+    if punct(toks, r) == Some('-') && punct(toks, r + 1) == Some('>') {
+        let (ty, _) = parse_ty(toks, r + 2, sig_end, consts);
+        info.ret = ty;
+    } else {
+        let _ = &mut r;
+    }
+    info
+}
+
+/// Advances past the current parameter to just after its `,` (or to
+/// the closing paren), balancing nested delimiters and generics.
+fn skip_to_param_end(toks: &[SpannedTok], mut i: usize, close: usize) -> usize {
+    while i < close {
+        match punct(toks, i) {
+            Some('(') | Some('[') | Some('{') => i = close_delim(toks, i) + 1,
+            Some('<') => i = crate::items::skip_generics_pub(toks, i),
+            Some(',') => return i + 1,
+            _ => i += 1,
+        }
+    }
+    close
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+/// Read-only context shared by every function interpreted in a round.
+struct Cx<'a> {
+    toks: &'a [SpannedTok],
+    gated: &'a [bool],
+    item: &'a FnItem,
+    /// Corpus-wide integer consts (`const LANES: usize = 8;`).
+    consts: &'a BTreeMap<String, i128>,
+    /// Corpus-wide struct field base types / container element types.
+    fields: &'a BTreeMap<String, BTreeMap<String, String>>,
+    elems: &'a BTreeMap<String, BTreeMap<String, String>>,
+    /// Interprocedural summaries from the previous round.
+    summaries: &'a BTreeMap<usize, FnSummary>,
+    /// Call-site token index → resolved workspace target nodes.
+    targets: &'a BTreeMap<usize, Vec<usize>>,
+    /// Per-node `&mut self` flag (receiver-fact invalidation).
+    node_mut_self: &'a [bool],
+    /// Final round: build sites/witness strings.
+    collect: bool,
+}
+
+/// Resolved typing of a multi-segment chain (`self.a.b`).
+#[derive(Default)]
+struct ChainTy {
+    float: bool,
+    uint: bool,
+    slice: bool,
+    elem_float: bool,
+    elem_uint: bool,
+    /// Terminal base type is HashMap/HashSet (nondet iteration order).
+    hash: bool,
+}
+
+/// Loop nesting context for `float_determinism`.
+struct LoopCtx {
+    nondet: bool,
+    cause: &'static str,
+    header_line: usize,
+}
+
+/// Outcome of one block / statement.
+struct BlockOut {
+    term: bool,
+    val: Val,
+}
+
+struct Interp<'a> {
+    cx: &'a Cx<'a>,
+    sites: Vec<Site>,
+    accums: Vec<FloatAccum>,
+    ret: Ival,
+    ret_seen: bool,
+    loops: Vec<LoopCtx>,
+    /// Joined argument intervals per resolved callee node.
+    args_out: BTreeMap<usize, Vec<Ival>>,
+    steps: usize,
+    exhausted: bool,
+    in_assert: bool,
+    /// Element value of the window/chunk iterator a just-parsed
+    /// `.windows(k)` / `.chunks_exact(k)` adapter yields; consumed by
+    /// the next adapter's closure so `|w| w[0] > w[1]` type-checks.
+    pending_elem: Option<Val>,
+    /// `pending_elem` promoted for one argument list, tagged with the
+    /// token index where a consuming closure must begin.
+    closure_elem: Option<(usize, Val)>,
+}
+
+/// Methods that cannot change a container's length (sound to keep
+/// length facts across). Unknown names conservatively invalidate.
+const LEN_PURE: &[&str] = &[
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "get",
+    "get_mut",
+    "first",
+    "last",
+    "first_mut",
+    "last_mut",
+    "contains",
+    "binary_search",
+    "binary_search_by",
+    "partition_point",
+    "chunks",
+    "chunks_exact",
+    "chunks_mut",
+    "chunks_exact_mut",
+    "windows",
+    "split_at",
+    "split_at_mut",
+    "as_slice",
+    "as_mut_slice",
+    "as_ref",
+    "as_mut",
+    "as_ptr",
+    "as_mut_ptr",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_by_key",
+    "sort_unstable_by_key",
+    "reverse",
+    "rotate_left",
+    "rotate_right",
+    "fill",
+    "copy_from_slice",
+    "clone_from_slice",
+    "swap",
+    "to_vec",
+    "to_owned",
+    "clone",
+    "reserve",
+    "reserve_exact",
+    "shrink_to_fit",
+    "capacity",
+    "keys",
+    "values",
+    "entry",
+    "rev",
+    "map",
+    "filter",
+    "fold",
+    "sum",
+    "product",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "enumerate",
+    "zip",
+    "copied",
+    "cloned",
+    "take",
+    "skip",
+    "step_by",
+    "flat_map",
+    "flatten",
+    "collect",
+    "count",
+    "position",
+    "find",
+    "any",
+    "all",
+    "by_ref",
+    "abs",
+    "sqrt",
+    "powi",
+    "powf",
+    "exp",
+    "ln",
+    "log2",
+    "log10",
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "recip",
+    "mul_add",
+    "hypot",
+    "to_bits",
+    "from_bits",
+    "is_finite",
+    "is_nan",
+    "signum",
+    "clamp",
+    "saturating_sub",
+    "saturating_add",
+    "saturating_mul",
+    "checked_sub",
+    "checked_add",
+    "checked_mul",
+    "checked_div",
+    "wrapping_sub",
+    "wrapping_add",
+    "wrapping_mul",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "map_or",
+    "ok_or",
+    "ok",
+    "err",
+    "expect",
+    "unwrap",
+    "is_some",
+    "is_none",
+    "as_deref",
+    "recv",
+    "try_recv",
+    "recv_timeout",
+    "send",
+    "lock",
+    "read",
+    "write",
+    "get_or_insert_with",
+    "max_element",
+    "min_element",
+    "to_string",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+];
+
+/// Methods that grow a container (lower length bound survives).
+const LEN_GROW: &[&str] = &[
+    "push",
+    "extend",
+    "extend_from_slice",
+    "push_back",
+    "push_front",
+    "insert",
+];
+
+/// Chain-preserving view methods (the result still ranges over the
+/// same positional container).
+const VIEW_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "copied",
+    "cloned",
+    "as_slice",
+    "as_mut_slice",
+    "as_ref",
+    "by_ref",
+    "rev",
+];
+
+const FLOAT_METHODS: &[&str] = &[
+    "sqrt",
+    "powf",
+    "exp",
+    "ln",
+    "log2",
+    "log10",
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "recip",
+    "mul_add",
+    "hypot",
+    "abs_sub",
+    "to_degrees",
+    "to_radians",
+    "as_secs_f64",
+    "as_secs_f32",
+];
+
+const RECV_METHODS: &[&str] = &["recv", "try_recv", "recv_timeout"];
+
+fn has_recv(toks: &[SpannedTok], a: usize, b: usize) -> bool {
+    toks.iter()
+        .take(b.min(toks.len()))
+        .skip(a)
+        .any(|t| matches!(&t.tok, Tok::Ident(s) if RECV_METHODS.contains(&s.as_str())))
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+}
+
+/// One refinable condition atom. The `Cmp` payload dominates the size,
+/// but atoms are short-lived stack values — boxing would only add churn.
+#[allow(clippy::large_enum_variant)]
+enum Atom {
+    Cmp { lhs: Val, op: CmpOp, rhs: Val },
+    Empty { chain: String, neg: bool },
+    Opaque,
+}
+
+impl<'a> Interp<'a> {
+    fn new(cx: &'a Cx<'a>) -> Interp<'a> {
+        Interp {
+            cx,
+            sites: Vec::new(),
+            accums: Vec::new(),
+            ret: crate::intervals::BOTTOM,
+            ret_seen: false,
+            loops: Vec::new(),
+            args_out: BTreeMap::new(),
+            steps: 0,
+            exhausted: false,
+            in_assert: false,
+            pending_elem: None,
+            closure_elem: None,
+        }
+    }
+
+    fn spend(&mut self) -> bool {
+        self.steps += 1;
+        if self.steps > FUEL {
+            self.exhausted = true;
+        }
+        !self.exhausted
+    }
+
+    fn site(
+        &mut self,
+        tok: usize,
+        kind: &'static str,
+        text: String,
+        discharged: bool,
+        why: String,
+    ) {
+        if !self.cx.collect || self.in_assert {
+            return;
+        }
+        if self.cx.gated.get(tok).copied().unwrap_or(false) {
+            return;
+        }
+        let line = self.cx.toks.get(tok).map(|t| t.line).unwrap_or(0);
+        self.sites.push(Site {
+            line,
+            kind,
+            text,
+            discharged,
+            why,
+        });
+    }
+
+    /// Resolves the declared type of a chain head (`xs` → `Vec`).
+    fn head_base(&self, name: &str) -> Option<String> {
+        if let Some(Some(base)) = self.cx.item.params.get(name) {
+            return Some(base.clone());
+        }
+        match self.cx.item.locals.get(name) {
+            Some(LocalTy::Known(base)) => Some(base.clone()),
+            Some(LocalTy::SelfChain(chain)) => {
+                let mut ty = self.cx.item.self_type.clone()?;
+                for seg in chain {
+                    ty = self.cx.fields.get(&ty)?.get(seg)?.clone();
+                }
+                Some(ty)
+            }
+            _ => None,
+        }
+    }
+
+    /// Typing for a multi-segment chain via the struct field tables.
+    fn walk_chain(&self, env: &Env, segs: &[String]) -> ChainTy {
+        let mut out = ChainTy::default();
+        if segs.is_empty() {
+            return out;
+        }
+        let mut ty: Option<String> = if segs[0] == "self" {
+            self.cx.item.self_type.clone()
+        } else if segs.len() == 1 {
+            // Single locals are handled through `env`; still classify
+            // hash-ness for loop analysis.
+            let base = self.head_base(&segs[0]);
+            if let Some(b) = &base {
+                out.hash = b == "HashMap" || b == "HashSet";
+            }
+            if let Some(vi) = env.vars.get(&segs[0]) {
+                out.slice = vi.is_slice;
+                out.elem_float = vi.elem_float;
+                out.elem_uint = vi.elem_uint;
+                out.float = vi.float;
+                out.uint = vi.uint;
+            }
+            return out;
+        } else {
+            self.head_base(&segs[0])
+        };
+        for (n, seg) in segs.iter().enumerate().skip(1) {
+            let Some(cur) = ty.clone() else { return out };
+            let last = n + 1 == segs.len();
+            let base = self.cx.fields.get(&cur).and_then(|m| m.get(seg)).cloned();
+            if last {
+                let elem = self.cx.elems.get(&cur).and_then(|m| m.get(seg)).cloned();
+                if let Some(e) = elem {
+                    let (f, u) = prim_flags(&e);
+                    out.slice = true;
+                    out.elem_float = f;
+                    out.elem_uint = u;
+                } else if let Some(b) = &base {
+                    let (f, u) = prim_flags(b);
+                    out.float = f;
+                    out.uint = u;
+                    out.slice = b == "Vec" || b == "VecDeque";
+                    out.hash = b == "HashMap" || b == "HashSet";
+                }
+                return out;
+            }
+            ty = base;
+        }
+        out
+    }
+
+    /// Value of a pure multi-segment chain expression.
+    fn chain_val(&self, env: &Env, segs: &[String]) -> Val {
+        let key = segs.join(".");
+        if segs.len() == 1 {
+            if let Some(vi) = env.vars.get(&segs[0]) {
+                return vi.to_val(&segs[0]);
+            }
+            if let Some(v) = self.cx.consts.get(&segs[0]) {
+                return Val::int(Ival::exact(*v), *v >= 0);
+            }
+            let mut v = Val::top();
+            v.chain = Some(key);
+            return v;
+        }
+        let ct = self.walk_chain(env, segs);
+        let mut v = Val::top();
+        v.chain = Some(key);
+        v.float = ct.float;
+        v.uint = ct.uint;
+        if ct.uint {
+            v.ival = Ival::of(0, POS_INF);
+        }
+        v.is_slice = ct.slice;
+        v.elem_float = ct.elem_float;
+        v.elem_uint = ct.elem_uint;
+        v
+    }
+
+    /// Effect of calling method `m` on the container chain `chain`.
+    fn apply_method_effect(&mut self, env: &mut Env, chain: Option<&str>, m: &str, mtok: usize) {
+        let Some(chain) = chain else { return };
+        if let Some(targets) = self.cx.targets.get(&mtok) {
+            if !targets.is_empty() {
+                let mutates = targets
+                    .iter()
+                    .any(|t| self.cx.node_mut_self.get(*t).copied().unwrap_or(true));
+                if mutates {
+                    env.invalidate_prefix(chain);
+                }
+                return;
+            }
+        }
+        if LEN_GROW.contains(&m) {
+            env.grow_len(chain);
+        } else if !LEN_PURE.contains(&m) {
+            env.invalidate_prefix(chain);
+        }
+    }
+
+    // -- discharge ---------------------------------------------------------
+
+    /// `v <= len(base) + slack`? (slack −1 ⇒ `v < len`, 0 ⇒ `v <= len`.)
+    fn le_len(&self, env: &Env, v: &Val, base: &str, slack: i128) -> Option<String> {
+        // Numeric: hi against the best lower bound on len(base).
+        let ll = env.len_lo(base);
+        if v.ival.hi < POS_INF && v.ival.hi <= ll.saturating_add(slack) {
+            return Some(format!("value ≤ {} ≤ len({base}){:+}", v.ival.hi, slack));
+        }
+        // Symbolic: v == len(c)+o or v <= len(c)+o with len(c) == len(base)+d.
+        let mut facts: Vec<(String, i128)> = v.ubs.clone();
+        if let Some(s) = &v.sym {
+            facts.push(s.clone());
+        }
+        for (c, o) in &facts {
+            if let Some(d) = env.eq_delta(c, base) {
+                if d.saturating_add(*o) <= slack {
+                    return Some(format!("value ≤ len({c}){o:+} ≤ len({base}){:+}", d + o));
+                }
+            }
+        }
+        None
+    }
+
+    /// Can `base[idx]` be proven in-bounds?
+    fn fits_index(
+        &self,
+        env: &Env,
+        base: Option<&str>,
+        is_slice: bool,
+        idx: &Val,
+    ) -> (bool, String) {
+        let Some(base) = base else {
+            return (false, "container expression untracked".to_string());
+        };
+        if !is_slice {
+            return (
+                false,
+                "not a proven positional container (map/opaque indexing)".to_string(),
+            );
+        }
+        // A slice's `Index` impl takes `usize`, so the index cannot be
+        // negative *at the site*; an apparently negative range is an
+        // upstream unsigned subtraction, which the `sub` rule reports
+        // where it happens. Clamp and judge the upper bound only.
+        let mut idx = idx.clone();
+        idx.ival = idx.ival.meet(Ival::of(0, POS_INF));
+        if let Some(w) = self.le_len(env, &idx, base, -1) {
+            return (true, w);
+        }
+        (
+            false,
+            format!(
+                "index ∈ {}, len({base}) ≥ {}",
+                idx.ival.render(),
+                env.len_lo(base)
+            ),
+        )
+    }
+
+    /// Can `&base[lo..hi]` be proven in-bounds (`hi` `None` = open end)?
+    fn fits_slice(
+        &self,
+        env: &Env,
+        base: Option<&str>,
+        is_slice: bool,
+        lo: &Val,
+        hi: Option<&Val>,
+        inclusive: bool,
+    ) -> (bool, String) {
+        let Some(base) = base else {
+            return (false, "container expression untracked".to_string());
+        };
+        if !is_slice {
+            return (false, "not a proven positional container".to_string());
+        }
+        // Slice range bounds are `usize` (see `fits_index` on why an
+        // apparently negative interval is the sub rule's problem, not
+        // this site's): clamp both bounds before judging them.
+        let mut lo = lo.clone();
+        lo.ival = lo.ival.meet(Ival::of(0, POS_INF));
+        let lo = &lo;
+        let hi = hi.map(|h| {
+            let mut h = h.clone();
+            h.ival = h.ival.meet(Ival::of(0, POS_INF));
+            h
+        });
+        let hi = hi.as_ref();
+        let hi_ok = match hi {
+            None => Some("open upper bound".to_string()),
+            Some(h) => self.le_len(env, h, base, if inclusive { -1 } else { 0 }),
+        };
+        let Some(hi_why) = hi_ok else {
+            let h = hi.map(|h| h.ival.render()).unwrap_or_default();
+            return (
+                false,
+                format!("upper bound ∈ {h}, len({base}) ≥ {}", env.len_lo(base)),
+            );
+        };
+        // lo <= hi (or lo <= len for the open form).
+        let lo_ok = match hi {
+            None => self.le_len(env, lo, base, 0).is_some() || lo.ival.is_exactly(0),
+            Some(h) => {
+                lo.ival.is_exactly(0)
+                    || (h.ival.lo > crate::intervals::NEG_INF && lo.ival.hi <= h.ival.lo)
+                    || match (&lo.sym, &h.sym) {
+                        (Some((cl, ol)), Some((ch, oh))) => cl == ch && ol <= oh,
+                        _ => false,
+                    }
+            }
+        };
+        if lo_ok {
+            (true, hi_why)
+        } else {
+            (false, format!("start ∈ {} not ≤ end", lo.ival.render()))
+        }
+    }
+
+    // -- expression parsing ------------------------------------------------
+
+    /// Pratt parse with interval evaluation. `min_bp` gates which
+    /// binary operators are consumed; stops at `..`, `=`, `=>`, and
+    /// any closing delimiter. Never moves past `end`.
+    fn parse_expr(&mut self, env: &mut Env, i: usize, min_bp: u8, end: usize) -> (Val, usize) {
+        if !self.spend() || i >= end {
+            return (Val::top(), i.min(end).max(i));
+        }
+        let (mut lhs, mut i) = self.parse_primary(env, i, end);
+        loop {
+            if i >= end || !self.spend() {
+                break;
+            }
+            // `as` cast.
+            if ident(self.cx.toks, i) == Some("as") {
+                if 11 < min_bp {
+                    break;
+                }
+                let (ty, next) = parse_ty(self.cx.toks, i + 1, end, self.cx.consts);
+                lhs = self.apply_cast(lhs, &ty);
+                i = next.max(i + 2);
+                continue;
+            }
+            let Some((op, bp, ntok)) = self.peek_binop(i) else {
+                break;
+            };
+            if bp < min_bp {
+                break;
+            }
+            let optok = i;
+            i += ntok;
+            let (rhs, next) = self.parse_expr(env, i, bp + 1, end);
+            i = next;
+            lhs = self.combine(env, lhs, op, rhs, optok);
+        }
+        (lhs, i)
+    }
+
+    /// Binary operator lookahead: `(op char tag, binding power, tokens)`.
+    fn peek_binop(&self, i: usize) -> Option<(char, u8, usize)> {
+        let t = self.cx.toks;
+        let c = punct(t, i)?;
+        let c2 = punct(t, i + 1);
+        match (c, c2) {
+            ('&', Some('&')) => Some(('A', 3, 2)),
+            ('|', Some('|')) => Some(('O', 3, 2)),
+            ('=', Some('=')) => Some(('E', 4, 2)),
+            ('!', Some('=')) => Some(('N', 4, 2)),
+            ('<', Some('=')) => Some(('l', 4, 2)),
+            ('>', Some('=')) => Some(('g', 4, 2)),
+            ('<', Some('<')) if punct(t, i + 2) != Some('=') => Some(('s', 8, 2)),
+            ('>', Some('>')) if punct(t, i + 2) != Some('=') => Some(('s', 8, 2)),
+            ('<', _) => Some(('<', 4, 1)),
+            ('>', _) => Some(('>', 4, 1)),
+            ('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^', Some('=')) => None, // compound assign
+            ('+', _) => Some(('+', 9, 1)),
+            ('-', _) => Some(('-', 9, 1)),
+            ('*', _) => Some(('*', 10, 1)),
+            ('/', _) => Some(('/', 10, 1)),
+            ('%', _) => Some(('%', 10, 1)),
+            ('&', _) => Some(('b', 7, 1)),
+            ('|', _) => Some(('b', 5, 1)),
+            ('^', _) => Some(('b', 6, 1)),
+            _ => None,
+        }
+    }
+
+    fn apply_cast(&self, mut v: Val, ty: &TyInfo) -> Val {
+        let keep_facts = matches!(
+            ty.base.as_deref(),
+            Some("usize" | "u64" | "i64" | "u128" | "i128")
+        );
+        v.var = None;
+        v.chain = None;
+        v.is_slice = false;
+        if ty.float {
+            v.float = true;
+            v.uint = false;
+            v.ival = TOP;
+            v.sym = None;
+            v.ubs.clear();
+            return v;
+        }
+        if v.float {
+            // float → int saturating casts.
+            v.float = false;
+            v.uint = ty.uint;
+            v.ival = if ty.uint { Ival::of(0, POS_INF) } else { TOP };
+            v.sym = None;
+            v.ubs.clear();
+            return v;
+        }
+        v.uint = ty.uint;
+        let cap = match ty.base.as_deref() {
+            Some("u8") => Some(255),
+            Some("u16") => Some(65_535),
+            Some("u32") => Some(4_294_967_295),
+            _ => None,
+        };
+        if let Some(cap) = cap {
+            v.ival = if v.ival.lo >= 0 && v.ival.hi <= cap {
+                v.ival
+            } else {
+                Ival::of(0, cap)
+            };
+            v.sym = None;
+            v.ubs.clear();
+        } else if ty.uint {
+            v.ival = if v.ival.lo >= 0 {
+                v.ival
+            } else {
+                Ival::of(0, POS_INF)
+            };
+            if v.ival.lo < 0 || !keep_facts {
+                v.sym = None;
+                v.ubs.clear();
+            }
+        } else if !keep_facts {
+            v.sym = None;
+            v.ubs.clear();
+        }
+        v
+    }
+
+    /// Combines a binary operation, registering div/rem/sub sites.
+    fn combine(&mut self, env: &Env, lhs: Val, op: char, rhs: Val, optok: usize) -> Val {
+        let float = lhs.float || rhs.float;
+        match op {
+            '+' => {
+                if float {
+                    return Val::float();
+                }
+                if rhs.ival.lo == rhs.ival.hi && rhs.ival.lo > crate::intervals::NEG_INF {
+                    return lhs.shifted(rhs.ival.lo);
+                }
+                if lhs.ival.lo == lhs.ival.hi && lhs.ival.lo > crate::intervals::NEG_INF {
+                    return rhs.shifted(lhs.ival.lo);
+                }
+                let mut v = Val::int(lhs.ival.add(rhs.ival), lhs.uint && rhs.uint);
+                if v.uint {
+                    v.ival = v.ival.meet(Ival::of(0, POS_INF));
+                }
+                v
+            }
+            '-' => {
+                if float {
+                    return Val::float();
+                }
+                // Underflow site: unsigned lhs, provably-non-negative rhs.
+                if lhs.uint && rhs.ival.lo >= 0 {
+                    let (ok, why) = self.sub_safe(env, &lhs, &rhs);
+                    let text = self.render_around(optok);
+                    self.site(optok, "sub", text, ok, why);
+                }
+                let mut out =
+                    if rhs.ival.lo == rhs.ival.hi && rhs.ival.lo > crate::intervals::NEG_INF {
+                        lhs.clone().shifted(-rhs.ival.lo)
+                    } else {
+                        Val::int(lhs.ival.sub(rhs.ival), false)
+                    };
+                out.uint = lhs.uint;
+                if out.uint {
+                    // Conditional on no panic, the value is non-negative.
+                    out.ival = out.ival.meet(Ival::of(0, POS_INF));
+                }
+                out
+            }
+            '*' => {
+                if float {
+                    return Val::float();
+                }
+                let mut v = Val::int(lhs.ival.mul(rhs.ival), lhs.uint && rhs.uint);
+                if v.uint {
+                    v.ival = v.ival.meet(Ival::of(0, POS_INF));
+                }
+                v
+            }
+            '/' | '%' => {
+                if float {
+                    return Val::float();
+                }
+                let kind = if op == '/' { "div" } else { "rem" };
+                let ok = rhs.ival.lo >= 1 || rhs.ival.hi <= -1;
+                let why = if ok {
+                    format!("divisor ∈ {} excludes 0", rhs.ival.render())
+                } else {
+                    format!("divisor ∈ {} may be 0", rhs.ival.render())
+                };
+                let text = self.render_around(optok);
+                self.site(optok, kind, text, ok, why);
+                let iv = if op == '/' {
+                    lhs.ival.div(rhs.ival)
+                } else {
+                    lhs.ival.rem(rhs.ival)
+                };
+                Val::int(iv, lhs.uint && rhs.uint)
+            }
+            's' | 'b' => Val::int(
+                if lhs.uint && rhs.uint {
+                    Ival::of(0, POS_INF)
+                } else {
+                    TOP
+                },
+                lhs.uint && rhs.uint,
+            ),
+            // Comparisons / logic: plain booleans.
+            _ => Val::top(),
+        }
+    }
+
+    /// Discharge test for `lhs - rhs` on unsigned operands.
+    fn sub_safe(&self, env: &Env, lhs: &Val, rhs: &Val) -> (bool, String) {
+        if rhs.ival.hi < POS_INF && lhs.ival.lo >= rhs.ival.hi {
+            return (
+                true,
+                format!("lhs ≥ {} ≥ rhs ≤ {}", lhs.ival.lo, rhs.ival.hi),
+            );
+        }
+        if let (Some((cl, ol)), Some((cr, or))) = (&lhs.sym, &rhs.sym) {
+            if let Some(d) = env.eq_delta(cl, cr) {
+                // lhs = len(cl)+ol = len(cr)+d+ol ≥ len(cr)+or = rhs.
+                if d.saturating_add(*ol) >= *or {
+                    return (
+                        true,
+                        format!("lhs = len({cl}){ol:+} ≥ rhs = len({cr}){or:+}"),
+                    );
+                }
+            }
+        }
+        if let Some((cl, ol)) = &lhs.sym {
+            // lhs = len(cl)+ol; rhs ≤ len(cl)+o with o ≤ ol.
+            for (cr, or) in &rhs.ubs {
+                if let Some(d) = env.eq_delta(cr, cl) {
+                    if or.saturating_add(d) <= *ol {
+                        return (true, format!("rhs ≤ len({cr}){or:+} ≤ lhs"));
+                    }
+                }
+            }
+        }
+        (
+            false,
+            format!(
+                "lhs ∈ {}, rhs ∈ {} — may underflow",
+                lhs.ival.render(),
+                rhs.ival.render()
+            ),
+        )
+    }
+
+    /// Short rendered fragment around a site token for witnesses.
+    fn render_around(&self, tok: usize) -> String {
+        let a = tok.saturating_sub(5);
+        let b = (tok + 6).min(self.cx.toks.len());
+        render_toks(self.cx.toks, a, b)
+    }
+
+    /// Primary expression + postfix chain.
+    fn parse_primary(&mut self, env: &mut Env, i: usize, end: usize) -> (Val, usize) {
+        if !self.spend() || i >= end {
+            return (Val::top(), (i + 1).min(end.max(i + 1)));
+        }
+        let t = self.cx.toks;
+        // Prefix operators.
+        match punct(t, i) {
+            Some('&') => {
+                let mut j = i + 1;
+                if ident(t, j) == Some("mut") {
+                    j += 1;
+                }
+                let (v, next) = self.parse_primary(env, j, end);
+                // `&mut chain` hands out mutable access: facts die.
+                if ident(t, i + 1) == Some("mut") {
+                    if let Some(c) = v.chain.clone() {
+                        env.invalidate_prefix(&c);
+                    }
+                }
+                return (v, next);
+            }
+            Some('*') => return self.parse_primary(env, i + 1, end),
+            Some('-') => {
+                let (v, next) = self.parse_primary(env, i + 1, end);
+                let mut out = Val::int(Ival::exact(0).sub(v.ival), false);
+                out.float = v.float;
+                return (out, next);
+            }
+            Some('!') => {
+                let (_, next) = self.parse_primary(env, i + 1, end);
+                return (Val::top(), next);
+            }
+            Some('|') => {
+                // Closure: bind parameters as unknowns, interpret the
+                // body inline (iterator-adapter closures run within
+                // the statement; see DESIGN §17 for the caveat).
+                let mut j = i + 1;
+                if punct(t, j) == Some('|') {
+                    j += 1; // `||` empty params
+                } else {
+                    let mut params: Vec<String> = Vec::new();
+                    while j < end && punct(t, j) != Some('|') {
+                        if let Some(n) = ident(t, j) {
+                            if !is_keyword_like(n) {
+                                params.push(n.to_string());
+                            }
+                        }
+                        j += 1;
+                    }
+                    j += 1;
+                    // A single-parameter closure right after a
+                    // `.windows(k)`/`.chunks*(k)` adapter receives that
+                    // adapter's element (a slice of known length);
+                    // anything else stays unknown.
+                    let pend = match self.closure_elem.take() {
+                        Some((at, ev)) if at == i => Some(ev),
+                        other => {
+                            self.closure_elem = other;
+                            None
+                        }
+                    };
+                    match (pend, params.as_slice()) {
+                        (Some(ev), [p]) => {
+                            let name = p.clone();
+                            self.bind(env, &name, ev, None);
+                        }
+                        (_, ps) => {
+                            for p in ps {
+                                env.rebind(p, VarInfo::unknown());
+                            }
+                        }
+                    }
+                }
+                if punct(t, j) == Some('{') {
+                    let (next, out) = self.exec_block(env, j);
+                    return self.parse_postfix(env, out.val, next, end);
+                }
+                let (v, next) = self.parse_expr(env, j, 2, end);
+                return (v, next);
+            }
+            Some('(') => {
+                let cb = close_delim(t, i);
+                let (v, mut j) = self.parse_expr(env, i + 1, 2, cb);
+                // Tuple: evaluate the rest for sites, value opaque.
+                let mut tuple = false;
+                while j < cb {
+                    if punct(t, j) == Some(',') {
+                        tuple = true;
+                        let (_, nj) = self.parse_expr(env, j + 1, 2, cb);
+                        j = nj.max(j + 1);
+                    } else if punct(t, j) == Some('.') && punct(t, j + 1) == Some('.') {
+                        // Range inside parens: evaluate the other side.
+                        let skip = if punct(t, j + 2) == Some('=') { 3 } else { 2 };
+                        tuple = true;
+                        let (_, nj) = self.parse_expr(env, j + skip, 2, cb);
+                        j = nj.max(j + skip);
+                    } else {
+                        j += 1;
+                    }
+                }
+                let out = if tuple { Val::top() } else { v };
+                return self.parse_postfix(env, out, cb + 1, end);
+            }
+            Some('[') => {
+                // Array literal `[e; N]` / `[a, b, …]`.
+                let cb = close_delim(t, i);
+                let (first, mut j) = if i + 1 >= cb {
+                    (Val::top(), i + 1)
+                } else {
+                    self.parse_expr(env, i + 1, 2, cb)
+                };
+                let mut out = Val::top();
+                out.is_slice = true;
+                out.elem_float = first.float;
+                out.elem_uint = first.uint;
+                if punct(t, j) == Some(';') {
+                    let (n, _) = self.parse_expr(env, j + 1, 2, cb);
+                    out.slice_len = Some((n.ival.meet(Ival::of(0, POS_INF)), n.sym.clone()));
+                } else {
+                    let mut count: i128 = if i + 1 >= cb { 0 } else { 1 };
+                    while j < cb {
+                        if punct(t, j) == Some(',') && j + 1 < cb {
+                            count += 1;
+                            let (_, nj) = self.parse_expr(env, j + 1, 2, cb);
+                            j = nj.max(j + 1);
+                            continue;
+                        }
+                        j += 1;
+                    }
+                    out.slice_len = Some((Ival::exact(count), None));
+                }
+                return self.parse_postfix(env, out, cb + 1, end);
+            }
+            Some('{') => {
+                let (next, out) = self.exec_block(env, i);
+                return (out.val, next);
+            }
+            _ => {}
+        }
+        // Numeric literal.
+        if let Some(Tok::Num(text)) = t.get(i).map(|x| &x.tok) {
+            let v = match parse_num(text) {
+                NumLit::Int(n) => {
+                    let explicit_uint = text.contains('u');
+                    Val::int(Ival::exact(n), explicit_uint)
+                }
+                NumLit::Float => Val::float(),
+                NumLit::Unknown => Val::top(),
+            };
+            return self.parse_postfix(env, v, i + 1, end);
+        }
+        let Some(name) = ident(t, i) else {
+            return (Val::top(), i + 1);
+        };
+        match name {
+            "if" => {
+                let (next, term, val) = self.handle_if(env, i, end);
+                let _ = term;
+                return self.parse_postfix(env, val, next, end);
+            }
+            "match" => {
+                let (next, _term, val) = self.handle_match(env, i, end);
+                return self.parse_postfix(env, val, next, end);
+            }
+            "move" => return self.parse_primary(env, i + 1, end),
+            "unsafe" if punct(t, i + 1) == Some('{') => {
+                let (next, out) = self.exec_block(env, i + 1);
+                return (out.val, next);
+            }
+            "true" | "false" => return (Val::top(), i + 1),
+            "return" | "break" | "continue" => {
+                // Expression-position early exit (match arms mostly).
+                let next = self.consume_exit(env, i, end);
+                return (Val::top(), next);
+            }
+            _ => {}
+        }
+        let name = name.to_string();
+        // Macro invocation.
+        if punct(t, i + 1) == Some('!') {
+            return self.parse_macro(env, &name, i, end);
+        }
+        // Path `a::b::c` (call, const, or struct literal).
+        if punct(t, i + 1) == Some(':') && punct(t, i + 2) == Some(':') {
+            return self.parse_path(env, i, end);
+        }
+        // Plain chain `x`, `self.a.b`, `pair.0`.
+        let mut segs = vec![name];
+        let mut j = i + 1;
+        let mut opaque = false;
+        loop {
+            if punct(t, j) == Some('.') && punct(t, j + 1) != Some('.') {
+                match t.get(j + 1).map(|x| &x.tok) {
+                    Some(Tok::Ident(f)) if punct(t, j + 2) != Some('(') && !is_keyword_like(f) => {
+                        segs.push(f.clone());
+                        j += 2;
+                        continue;
+                    }
+                    Some(Tok::Num(_)) => {
+                        opaque = true;
+                        j += 2;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            break;
+        }
+        let v = if opaque {
+            Val::top()
+        } else {
+            self.chain_val(env, &segs)
+        };
+        // Struct literal `Name { field: … }` (statement/let position).
+        if punct(t, j) == Some('{')
+            && segs.len() == 1
+            && segs[0]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase())
+            && self.looks_like_struct_lit(j)
+        {
+            let next = self.parse_struct_lit(env, j, end);
+            return (Val::top(), next);
+        }
+        self.parse_postfix(env, v, j, end)
+    }
+
+    fn looks_like_struct_lit(&self, open: usize) -> bool {
+        let t = self.cx.toks;
+        if punct(t, open + 1) == Some('}') {
+            return true;
+        }
+        if punct(t, open + 1) == Some('.') && punct(t, open + 2) == Some('.') {
+            return true;
+        }
+        matches!(
+            (ident(t, open + 1), punct(t, open + 2), punct(t, open + 3)),
+            (Some(_), Some(':'), p) if p != Some(':')
+        )
+    }
+
+    /// Evaluates a struct literal body for sites; returns past `}`.
+    fn parse_struct_lit(&mut self, env: &mut Env, open: usize, _end: usize) -> usize {
+        let t = self.cx.toks;
+        let cb = close_delim(t, open);
+        let mut j = open + 1;
+        while j < cb && self.spend() {
+            if punct(t, j) == Some('.') && punct(t, j + 1) == Some('.') {
+                let (_, nj) = self.parse_expr(env, j + 2, 2, cb);
+                j = nj.max(j + 2);
+                continue;
+            }
+            match (ident(t, j), punct(t, j + 1)) {
+                (Some(_), Some(':')) if punct(t, j + 2) != Some(':') => {
+                    let (_, nj) = self.parse_expr(env, j + 2, 2, cb);
+                    j = nj.max(j + 2);
+                }
+                _ => j += 1,
+            }
+            if punct(t, j) == Some(',') {
+                j += 1;
+            }
+        }
+        cb + 1
+    }
+
+    /// `name!(…)` — `vec!` understood, panicking macros terminate
+    /// elsewhere, the rest are opaque (args still scanned by skipping).
+    fn parse_macro(&mut self, env: &mut Env, name: &str, i: usize, end: usize) -> (Val, usize) {
+        let t = self.cx.toks;
+        let open = i + 2;
+        let cb = match punct(t, open) {
+            Some('(' | '[' | '{') => close_delim(t, open),
+            _ => return (Val::top(), i + 2),
+        };
+        if name == "vec" {
+            let (first, j) = if open + 1 >= cb {
+                (Val::top(), open + 1)
+            } else {
+                self.parse_expr(env, open + 1, 2, cb)
+            };
+            let mut out = Val::top();
+            out.is_slice = true;
+            out.elem_float = first.float;
+            out.elem_uint = first.uint;
+            if punct(t, j) == Some(';') {
+                let (n, _) = self.parse_expr(env, j + 1, 2, cb);
+                out.slice_len = Some((n.ival.meet(Ival::of(0, POS_INF)), n.sym.clone()));
+            } else {
+                let mut count: i128 = if open + 1 >= cb { 0 } else { 1 };
+                let mut k = j;
+                while k < cb {
+                    if punct(t, k) == Some(',') && k + 1 < cb {
+                        count += 1;
+                        let (_, nk) = self.parse_expr(env, k + 1, 2, cb);
+                        k = nk.max(k + 1);
+                    } else {
+                        k += 1;
+                    }
+                }
+                out.slice_len = Some((Ival::exact(count), None));
+            }
+            return self.parse_postfix(env, out, cb + 1, end);
+        }
+        // Opaque macro: skip the argument group entirely (format
+        // strings were blanked by the lexer, argument sites are rare
+        // and would double-report through re-evaluation heuristics).
+        (Val::top(), cb + 1)
+    }
+
+    /// `a::b::c` path expression: const, call, or struct literal.
+    fn parse_path(&mut self, env: &mut Env, i: usize, end: usize) -> (Val, usize) {
+        let t = self.cx.toks;
+        let mut segs = vec![ident(t, i).unwrap_or_default().to_string()];
+        let mut j = i + 1;
+        let mut last_tok = i;
+        while punct(t, j) == Some(':') && punct(t, j + 1) == Some(':') {
+            if punct(t, j + 2) == Some('<') {
+                j = crate::items::skip_generics_pub(t, j + 2);
+                continue;
+            }
+            if let Some(seg) = ident(t, j + 2) {
+                segs.push(seg.to_string());
+                last_tok = j + 2;
+                j += 3;
+            } else {
+                break;
+            }
+        }
+        let last = segs.last().cloned().unwrap_or_default();
+        let first = segs.first().cloned().unwrap_or_default();
+        if punct(t, j) == Some('(') {
+            let cb = close_delim(t, j);
+            let (args, _mut_chains) = self.parse_args(env, j, cb);
+            let v = match (first.as_str(), last.as_str()) {
+                ("Vec", "new") | ("Vec", "default") => {
+                    let mut v = Val::top();
+                    v.is_slice = true;
+                    v.slice_len = Some((Ival::exact(0), None));
+                    v
+                }
+                ("Vec", "with_capacity") => {
+                    let mut v = Val::top();
+                    v.is_slice = true;
+                    v.slice_len = Some((Ival::exact(0), None));
+                    v
+                }
+                (_, "min") | (_, "max") if args.len() == 2 => {
+                    self.min_max_val(&args[0], &args[1], last == "min")
+                }
+                ("f64", _) | ("f32", _) => Val::float(),
+                _ => self.call_result(&args, last_tok),
+            };
+            return self.parse_postfix(env, v, cb + 1, end);
+        }
+        // Struct literal via path.
+        if punct(t, j) == Some('{')
+            && last.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+            && self.looks_like_struct_lit(j)
+        {
+            let next = self.parse_struct_lit(env, j, end);
+            return (Val::top(), next);
+        }
+        // Associated const.
+        let v = if last == "MAX" || last == "MIN" {
+            let (f, u) = prim_flags(&first);
+            let mut v = Val::top();
+            v.float = f;
+            v.uint = u && last == "MAX";
+            if u {
+                v.ival = if last == "MIN" {
+                    Ival::exact(0)
+                } else {
+                    Ival::of(0, POS_INF)
+                };
+            }
+            v
+        } else if let Some(c) = self.cx.consts.get(&last) {
+            Val::int(Ival::exact(*c), *c >= 0)
+        } else {
+            Val::top()
+        };
+        self.parse_postfix(env, v, j, end)
+    }
+
+    /// Parses a parenthesised argument list; returns values and any
+    /// `&mut chain` chains (facts invalidated by the *caller*).
+    fn parse_args(&mut self, env: &mut Env, open: usize, close: usize) -> (Vec<Val>, Vec<String>) {
+        let t = self.cx.toks;
+        let mut args = Vec::new();
+        let mut muts = Vec::new();
+        let mut j = open + 1;
+        while j < close && self.spend() {
+            let is_mut_ref = punct(t, j) == Some('&') && ident(t, j + 1) == Some("mut");
+            let (v, nj) = self.parse_expr(env, j, 2, close);
+            if is_mut_ref {
+                if let Some(c) = v.chain.clone() {
+                    env.invalidate_prefix(&c);
+                    muts.push(c);
+                }
+            }
+            args.push(v);
+            j = nj.max(j + 1);
+            while j < close && punct(t, j) != Some(',') {
+                j += 1;
+            }
+            if punct(t, j) == Some(',') {
+                j += 1;
+            }
+        }
+        (args, muts)
+    }
+
+    /// Joined summary value for a call at callee token `ctok`,
+    /// recording observed arguments for the param fixpoint.
+    fn call_result(&mut self, args: &[Val], ctok: usize) -> Val {
+        let Some(targets) = self.cx.targets.get(&ctok) else {
+            return Val::top();
+        };
+        let mut iv = crate::intervals::BOTTOM;
+        let mut float = false;
+        let mut all = true;
+        for tnode in targets {
+            // Record observed args.
+            let entry = self
+                .args_out
+                .entry(*tnode)
+                .or_insert_with(|| vec![crate::intervals::BOTTOM; args.len()]);
+            if entry.len() == args.len() {
+                for (slot, a) in entry.iter_mut().zip(args) {
+                    *slot = slot.join(a.ival);
+                }
+            } else {
+                // Arity mismatch across call sites: poison.
+                *entry = Vec::new();
+            }
+            match self.cx.summaries.get(tnode) {
+                Some(s) => {
+                    iv = iv.join(s.ret);
+                    float |= s.ret_float;
+                }
+                None => all = false,
+            }
+        }
+        if targets.is_empty() || !all {
+            return Val::top();
+        }
+        let mut v = Val::int(iv, false);
+        v.float = float;
+        if float {
+            v.ival = TOP;
+        }
+        v
+    }
+
+    fn min_max_val(&self, a: &Val, b: &Val, is_min: bool) -> Val {
+        if a.float || b.float {
+            return Val::float();
+        }
+        let iv = if is_min {
+            Ival::of(a.ival.lo.min(b.ival.lo), a.ival.hi.min(b.ival.hi))
+        } else {
+            Ival::of(a.ival.lo.max(b.ival.lo), a.ival.hi.max(b.ival.hi))
+        };
+        let mut v = Val::int(iv, a.uint || b.uint);
+        let mut fa: Vec<(String, i128)> = a.ubs.clone();
+        if let Some(s) = &a.sym {
+            fa.push(s.clone());
+        }
+        let mut fb: Vec<(String, i128)> = b.ubs.clone();
+        if let Some(s) = &b.sym {
+            fb.push(s.clone());
+        }
+        if is_min {
+            // min(a,b) ≤ both: union of upper bounds.
+            v.ubs = fa;
+            v.ubs.extend(fb);
+        } else {
+            // max(a,b): only bounds shared by both (take the looser).
+            for (c, oa) in &fa {
+                for (c2, ob) in &fb {
+                    if c == c2 {
+                        v.ubs.push((c.clone(), (*oa).max(*ob)));
+                    }
+                }
+            }
+        }
+        v.ubs.sort();
+        v.ubs.dedup();
+        v
+    }
+
+    /// Postfix chain: method calls, tuple fields, `?`, and the
+    /// index/slice expressions that register implicit-panic sites.
+    fn parse_postfix(&mut self, env: &mut Env, v: Val, i: usize, end: usize) -> (Val, usize) {
+        let mut v = v;
+        let mut i = i;
+        let t = self.cx.toks;
+        while i < end && self.spend() {
+            match punct(t, i) {
+                Some('?') => {
+                    i += 1;
+                }
+                Some('.') if punct(t, i + 1) != Some('.') => {
+                    if ident(t, i + 1) == Some("await") {
+                        i += 2;
+                        continue;
+                    }
+                    if let Some(Tok::Num(_)) = t.get(i + 1).map(|x| &x.tok) {
+                        v = Val::top();
+                        i += 2;
+                        continue;
+                    }
+                    let Some(m) = ident(t, i + 1) else { break };
+                    let m = m.to_string();
+                    let mtok = i + 1;
+                    let mut j = i + 2;
+                    let mut turbofish = None;
+                    if punct(t, j) == Some(':') && punct(t, j + 1) == Some(':') {
+                        if punct(t, j + 2) == Some('<') {
+                            turbofish = ident(t, j + 3).map(|s| s.to_string());
+                            j = crate::items::skip_generics_pub(t, j + 2);
+                        } else {
+                            break;
+                        }
+                    }
+                    if punct(t, j) != Some('(') {
+                        // Field access surfacing in postfix position
+                        // (after a call); value becomes opaque.
+                        v = Val::top();
+                        i += 2;
+                        continue;
+                    }
+                    let cb = close_delim(t, j);
+                    let chain = v.chain.clone();
+                    // A `.windows(k)`/`.chunks_exact(k)` receiver types the
+                    // single closure parameter of the *next* adapter in the
+                    // chain; promote it for this argument list only.
+                    self.closure_elem = self.pending_elem.take().map(|ev| (j + 1, ev));
+                    let (args, _muts) = self.parse_args(env, j, cb);
+                    self.closure_elem = None;
+                    v = self.method_val(env, v, &m, turbofish.as_deref(), &args, mtok);
+                    self.apply_method_effect(env, chain.as_deref(), &m, mtok);
+                    i = cb + 1;
+                }
+                Some('[') => {
+                    let cb = close_delim(t, i);
+                    // Locate a top-level `..` to distinguish slicing.
+                    let mut dots = None;
+                    let mut d = i + 1;
+                    while d < cb {
+                        match punct(t, d) {
+                            Some('(' | '[' | '{') => d = close_delim(t, d) + 1,
+                            Some('.') if punct(t, d + 1) == Some('.') => {
+                                dots = Some(d);
+                                break;
+                            }
+                            _ => d += 1,
+                        }
+                    }
+                    let base = v.chain.clone();
+                    if let Some(d) = dots {
+                        let inclusive = punct(t, d + 2) == Some('=');
+                        let hstart = if inclusive { d + 3 } else { d + 2 };
+                        let lo = if d == i + 1 {
+                            Val::int(Ival::exact(0), true)
+                        } else {
+                            self.parse_expr(env, i + 1, 2, d).0
+                        };
+                        let hi = if hstart >= cb {
+                            None
+                        } else {
+                            Some(self.parse_expr(env, hstart, 2, cb).0)
+                        };
+                        let (ok, why) = self.fits_slice(
+                            env,
+                            base.as_deref(),
+                            v.is_slice,
+                            &lo,
+                            hi.as_ref(),
+                            inclusive,
+                        );
+                        let text = self.render_around(i);
+                        self.site(i, "slice", text, ok, why);
+                        let mut out = Val::top();
+                        out.is_slice = v.is_slice;
+                        out.elem_float = v.elem_float;
+                        out.elem_uint = v.elem_uint;
+                        if let Some(h) = &hi {
+                            let mut len = h.ival.sub(lo.ival).meet(Ival::of(0, POS_INF));
+                            if inclusive {
+                                len = len.add(Ival::exact(1));
+                            }
+                            let sym = if lo.ival.is_exactly(0) && !inclusive {
+                                h.sym.clone()
+                            } else {
+                                None
+                            };
+                            out.slice_len = Some((len, sym));
+                        } else if lo.ival.is_exactly(0) {
+                            // `&xs[..]` aliases the whole slice.
+                            if let Some(b) = &base {
+                                out.slice_len = Some((Ival::of(0, POS_INF), Some((b.clone(), 0))));
+                            }
+                        }
+                        v = out;
+                    } else {
+                        let (idx, _) = self.parse_expr(env, i + 1, 2, cb);
+                        let (ok, why) = self.fits_index(env, base.as_deref(), v.is_slice, &idx);
+                        let text = self.render_around(i);
+                        self.site(i, "index", text, ok, why);
+                        let mut out = Val::top();
+                        out.float = v.elem_float;
+                        out.uint = v.elem_uint;
+                        if out.uint {
+                            out.ival = Ival::of(0, POS_INF);
+                        }
+                        v = out;
+                    }
+                    i = cb + 1;
+                }
+                _ => break,
+            }
+        }
+        // A stashed adapter element is only meaningful for the very
+        // next method in *this* chain; never let it leak out.
+        self.pending_elem = None;
+        (v, i)
+    }
+
+    /// Transfer function for a method call's *value*.
+    fn method_val(
+        &mut self,
+        env: &Env,
+        recv: Val,
+        m: &str,
+        turbofish: Option<&str>,
+        args: &[Val],
+        mtok: usize,
+    ) -> Val {
+        match m {
+            "len" => {
+                let Some(c) = &recv.chain else {
+                    let mut v = Val::int(Ival::of(0, POS_INF), true);
+                    v.ival = Ival::of(0, POS_INF);
+                    return v;
+                };
+                let iv = env
+                    .lens
+                    .get(c)
+                    .copied()
+                    .unwrap_or(Ival::of(0, POS_INF))
+                    .meet(Ival::of(0, POS_INF));
+                let mut v = Val::int(iv, true);
+                v.sym = Some((c.clone(), 0));
+                v.ubs = vec![(c.clone(), 0)];
+                v
+            }
+            // No `recv.is_slice` requirement: whatever the receiver is,
+            // these adapters only exist on slices and the element length
+            // is dictated by `k` alone.
+            "windows" | "chunks" | "chunks_mut" | "chunks_exact" | "chunks_exact_mut"
+                if args.len() == 1 =>
+            {
+                // The iterator itself is opaque, but its *element* is a
+                // slice: exactly `k` long for windows/chunks_exact,
+                // `[1, k]` for chunks. Stash it for the closure of the
+                // next adapter in this chain.
+                let k = args[0].ival.meet(Ival::of(1, POS_INF));
+                let li = if m == "chunks" || m == "chunks_mut" {
+                    Ival::of(1, k.hi)
+                } else {
+                    k
+                };
+                if !li.is_empty() {
+                    let mut ev = Val::top();
+                    ev.is_slice = true;
+                    ev.elem_float = recv.elem_float;
+                    ev.elem_uint = recv.elem_uint;
+                    ev.slice_len = Some((li, None));
+                    self.pending_elem = Some(ev);
+                }
+                Val::top()
+            }
+            "min" | "max" if args.len() == 1 && !recv.float && !args[0].float => {
+                self.min_max_val(&recv, &args[0], m == "min")
+            }
+            "clamp" if args.len() == 2 => {
+                if recv.float || args[0].float || args[1].float {
+                    return Val::float();
+                }
+                let mut v = Val::int(
+                    Ival::of(args[0].ival.lo, args[1].ival.hi),
+                    recv.uint || args[0].ival.lo >= 0,
+                );
+                v.ubs = args[1].ubs.clone();
+                if let Some(s) = &args[1].sym {
+                    v.ubs.push(s.clone());
+                }
+                v
+            }
+            "saturating_sub" if args.len() == 1 => {
+                if recv.uint || recv.ival.lo >= 0 {
+                    let raw = recv.ival.sub(args[0].ival).meet(Ival::of(0, POS_INF));
+                    let mut v = Val::int(
+                        raw.join(Ival::exact(0)).meet(Ival::of(0, POS_INF)),
+                        recv.uint,
+                    );
+                    if args[0].ival.lo >= 0 {
+                        // result ≤ recv: inherit recv's upper bounds.
+                        v.ubs = recv.ubs.clone();
+                        if let Some(s) = &recv.sym {
+                            v.ubs.push(s.clone());
+                        }
+                    }
+                    v
+                } else {
+                    Val::int(recv.ival.sub(args[0].ival), false)
+                }
+            }
+            "saturating_add" | "wrapping_add" if args.len() == 1 => {
+                let mut v = Val::int(recv.ival.add(args[0].ival), recv.uint);
+                if m == "wrapping_add" {
+                    v.ival = if recv.uint { Ival::of(0, POS_INF) } else { TOP };
+                }
+                v
+            }
+            "abs" => {
+                if recv.float {
+                    return Val::float();
+                }
+                if recv.ival.lo >= 0 {
+                    Val::int(recv.ival, recv.uint)
+                } else {
+                    Val::int(Ival::of(0, POS_INF), false)
+                }
+            }
+            "sum" | "product" => {
+                if matches!(turbofish, Some("f64" | "f32")) || recv.elem_float {
+                    Val::float()
+                } else if recv.elem_uint {
+                    Val::int(Ival::of(0, POS_INF), true)
+                } else {
+                    Val::top()
+                }
+            }
+            "to_vec" | "to_owned" | "clone" if recv.is_slice => {
+                let mut v = Val::top();
+                v.is_slice = true;
+                v.elem_float = recv.elem_float;
+                v.elem_uint = recv.elem_uint;
+                v.slice_len = match &recv.chain {
+                    Some(c) => Some((
+                        env.lens.get(c).copied().unwrap_or(Ival::of(0, POS_INF)),
+                        Some((c.clone(), 0)),
+                    )),
+                    None => recv.slice_len.clone(),
+                };
+                v
+            }
+            "clone" => recv,
+            _ if VIEW_METHODS.contains(&m) => recv,
+            _ if FLOAT_METHODS.contains(&m) => Val::float(),
+            _ if m.starts_with("checked_")
+                || m.starts_with("overflowing_")
+                || m.starts_with("wrapping_") =>
+            {
+                Val::top()
+            }
+            "get" | "get_mut" | "first" | "last" | "first_mut" | "last_mut" | "unwrap_or"
+            | "unwrap_or_default" | "unwrap_or_else" => Val::top(),
+            "count" | "position" | "capacity" => {
+                let mut v = Val::int(Ival::of(0, POS_INF), true);
+                if m == "position" {
+                    v.ival = TOP;
+                    v.uint = false;
+                }
+                v
+            }
+            _ => self.call_result(args, mtok),
+        }
+    }
+
+    // -- statement execution -----------------------------------------------
+
+    /// Executes the block starting at `{`; returns the index past `}`
+    /// and whether every path through it diverges.
+    fn exec_block(&mut self, env: &mut Env, open: usize) -> (usize, BlockOut) {
+        let t = self.cx.toks;
+        let close = close_delim(t, open);
+        let mut j = open + 1;
+        let mut last = Val::top();
+        while j < close && self.spend() {
+            let before = j;
+            let (nj, out) = self.exec_stmt(env, j, close);
+            if out.term {
+                return (
+                    close + 1,
+                    BlockOut {
+                        term: true,
+                        val: Val::top(),
+                    },
+                );
+            }
+            last = out.val;
+            j = nj.max(before + 1);
+        }
+        (
+            close + 1,
+            BlockOut {
+                term: false,
+                val: last,
+            },
+        )
+    }
+
+    fn exec_stmt(&mut self, env: &mut Env, i: usize, end: usize) -> (usize, BlockOut) {
+        let t = self.cx.toks;
+        let pass = BlockOut {
+            term: false,
+            val: Val::top(),
+        };
+        if !self.spend() || i >= end {
+            return (end, pass);
+        }
+        match punct(t, i) {
+            Some(';') => return (i + 1, pass),
+            Some('#') => {
+                let mut j = i + 1;
+                if punct(t, j) == Some('!') {
+                    j += 1;
+                }
+                if punct(t, j) == Some('[') {
+                    return (close_delim(t, j) + 1, pass);
+                }
+                return (i + 1, pass);
+            }
+            Some('{') => return self.exec_block(env, i),
+            _ => {}
+        }
+        if let Some(kw) = ident(t, i) {
+            match kw {
+                "let" => return self.handle_let(env, i, end),
+                "if" => {
+                    let (next, term, val) = self.handle_if(env, i, end);
+                    return (next, BlockOut { term, val });
+                }
+                "while" => return self.handle_while(env, i, end),
+                "for" => return self.handle_for(env, i, end),
+                "loop" => return self.handle_loop(env, i, end),
+                "match" => {
+                    let (next, term, val) = self.handle_match(env, i, end);
+                    return (next, BlockOut { term, val });
+                }
+                "return" => {
+                    let mut j = i + 1;
+                    self.ret_seen = true;
+                    if j < end && !matches!(punct(t, j), Some(';' | '}')) {
+                        let (v, nj) = self.parse_expr(env, j, 2, end);
+                        self.ret = self.ret.join(if v.float { TOP } else { v.ival });
+                        j = nj;
+                    }
+                    return (
+                        self.skip_stmt(j.max(i + 1), end),
+                        BlockOut {
+                            term: true,
+                            val: Val::top(),
+                        },
+                    );
+                }
+                "break" | "continue" => {
+                    return (
+                        self.skip_stmt(i + 1, end),
+                        BlockOut {
+                            term: true,
+                            val: Val::top(),
+                        },
+                    );
+                }
+                "unsafe" if punct(t, i + 1) == Some('{') => {
+                    return self.exec_block(env, i + 1);
+                }
+                "fn" | "struct" | "enum" | "impl" | "mod" | "trait" | "use" | "const"
+                | "static" | "type" | "extern" | "macro_rules" => {
+                    return (self.skip_item(i + 1, end), pass);
+                }
+                "assert" | "debug_assert" if punct(t, i + 1) == Some('!') => {
+                    return self.handle_assert(env, i, end);
+                }
+                "assert_eq" | "debug_assert_eq" if punct(t, i + 1) == Some('!') => {
+                    return self.handle_assert_eq(env, i, end, true);
+                }
+                "assert_ne" | "debug_assert_ne" if punct(t, i + 1) == Some('!') => {
+                    return self.handle_assert_eq(env, i, end, false);
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if punct(t, i + 1) == Some('!') =>
+                {
+                    return (
+                        self.skip_stmt(i + 2, end),
+                        BlockOut {
+                            term: true,
+                            val: Val::top(),
+                        },
+                    );
+                }
+                _ => {}
+            }
+        }
+        if let Some(r) = self.try_assign(env, i, end) {
+            return r;
+        }
+        // Expression statement.
+        let (v, mut j) = self.parse_expr(env, i, 2, end);
+        if j < end && punct(t, j) != Some(';') {
+            // Parser stalled on pattern-ish tokens: resynchronise.
+            return (self.skip_stmt(j, end), pass);
+        }
+        if punct(t, j) == Some(';') {
+            j += 1;
+        }
+        (
+            j,
+            BlockOut {
+                term: false,
+                val: v,
+            },
+        )
+    }
+
+    /// Skips to just past the next statement-level `;`.
+    fn skip_stmt(&mut self, mut i: usize, end: usize) -> usize {
+        let t = self.cx.toks;
+        while i < end {
+            match punct(t, i) {
+                Some('(' | '[' | '{') => i = close_delim(t, i) + 1,
+                Some(';') => return i + 1,
+                _ => i += 1,
+            }
+        }
+        end
+    }
+
+    /// Skips a nested item (fn/const/use/…): to its `;` or past its
+    /// body braces. Nested fn bodies are *not* interpreted.
+    fn skip_item(&mut self, mut i: usize, end: usize) -> usize {
+        let t = self.cx.toks;
+        while i < end {
+            match punct(t, i) {
+                Some('(' | '[') => i = close_delim(t, i) + 1,
+                Some('{') => return close_delim(t, i) + 1,
+                Some(';') => return i + 1,
+                Some('<') => i = crate::items::skip_generics_pub(t, i),
+                _ => i += 1,
+            }
+        }
+        end
+    }
+
+    /// `return`/`break`/`continue` in expression position.
+    fn consume_exit(&mut self, env: &mut Env, i: usize, end: usize) -> usize {
+        let t = self.cx.toks;
+        let mut j = i + 1;
+        if ident(t, i) == Some("return")
+            && j < end
+            && !matches!(punct(t, j), Some(';' | '}' | ',' | ')'))
+        {
+            let (v, nj) = self.parse_expr(env, j, 2, end);
+            self.ret = self.ret.join(if v.float { TOP } else { v.ival });
+            self.ret_seen = true;
+            j = nj;
+        } else if ident(t, i) == Some("return") {
+            self.ret_seen = true;
+        }
+        j
+    }
+
+    fn handle_let(&mut self, env: &mut Env, i: usize, end: usize) -> (usize, BlockOut) {
+        let t = self.cx.toks;
+        let mut j = i + 1;
+        if ident(t, j) == Some("mut") {
+            j += 1;
+        }
+        // Scan the pattern to a top-level `:` (type) / `=` (init) / `;`.
+        let mut k = j;
+        let mut colon = None;
+        let mut eq = None;
+        while k < end {
+            match punct(t, k) {
+                Some('(' | '[' | '{') => {
+                    k = close_delim(t, k) + 1;
+                    continue;
+                }
+                Some(':') if punct(t, k + 1) == Some(':') => {
+                    k += 2;
+                    continue;
+                }
+                Some(':') => {
+                    colon = Some(k);
+                    break;
+                }
+                Some('=') if punct(t, k + 1) != Some('=') => {
+                    eq = Some(k);
+                    break;
+                }
+                Some(';') => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let pat_end = colon.or(eq).unwrap_or(k);
+        let mut names: Vec<String> = Vec::new();
+        let mut p = j;
+        while p < pat_end {
+            if let Some(n) = ident(t, p) {
+                if !is_keyword_like(n)
+                    && n.chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+                    && punct(t, p + 1) != Some('!')
+                {
+                    names.push(n.to_string());
+                }
+            }
+            p += 1;
+        }
+        let single = names.len() == 1 && pat_end == j + 1 && ident(t, j).is_some();
+        // Optional type annotation.
+        let mut ty = None;
+        let mut eq_pos = eq;
+        if let Some(c) = colon {
+            let (ti, after) = parse_ty(t, c + 1, end, self.cx.consts);
+            ty = Some(ti);
+            let mut a = after.max(c + 1);
+            while a < end && !matches!(punct(t, a), Some('=' | ';')) {
+                a += 1;
+            }
+            eq_pos = if punct(t, a) == Some('=') {
+                Some(a)
+            } else {
+                None
+            };
+        }
+        let (val, after_init) = match eq_pos {
+            Some(e) => self.parse_expr(env, e + 1, 2, end),
+            None => (Val::top(), pat_end),
+        };
+        // `let … = … else { diverge }`.
+        let mut j2 = after_init;
+        if ident(t, j2) == Some("else") && punct(t, j2 + 1) == Some('{') {
+            let mut dead = env.clone();
+            let (next, _) = self.exec_block(&mut dead, j2 + 1);
+            j2 = next;
+        }
+        let next = self.skip_stmt(j2, end);
+        if single {
+            self.bind(env, &names[0], val, ty.as_ref());
+        } else {
+            for n in &names {
+                env.rebind(n, VarInfo::unknown());
+            }
+        }
+        (
+            next,
+            BlockOut {
+                term: false,
+                val: Val::top(),
+            },
+        )
+    }
+
+    /// Binds `name` to `val` (meet with any declared type info),
+    /// installing length facts for slice-like values.
+    fn bind(&mut self, env: &mut Env, name: &str, val: Val, ty: Option<&TyInfo>) {
+        let mut vi = VarInfo {
+            ival: val.ival,
+            float: val.float,
+            uint: val.uint,
+            sym: val.sym.clone(),
+            ubs: val.ubs.clone(),
+            is_slice: val.is_slice,
+            elem_float: val.elem_float,
+            elem_uint: val.elem_uint,
+        };
+        if let Some(ty) = ty {
+            if ty.float {
+                vi.float = true;
+                vi.uint = false;
+                vi.ival = TOP;
+            }
+            if ty.uint {
+                vi.uint = true;
+                vi.ival = vi.ival.meet(Ival::of(0, POS_INF));
+            }
+            if ty.slice {
+                vi.is_slice = true;
+                vi.elem_float |= ty.elem_float;
+                vi.elem_uint |= ty.elem_uint;
+            }
+        }
+        let alias = val.chain.clone().filter(|c| c != name && val.is_slice);
+        let slice_len = val.slice_len.clone();
+        let fixed = ty.and_then(|t| t.fixed);
+        let is_slice = vi.is_slice;
+        env.rebind(name, vi);
+        if is_slice {
+            let (li, lsym) = slice_len.unwrap_or((Ival::of(0, POS_INF), None));
+            let li = match fixed {
+                Some(n) => Ival::exact(n),
+                None => li.meet(Ival::of(0, POS_INF)),
+            };
+            env.lens.insert(name.to_string(), li);
+            if let Some((c, off)) = lsym {
+                if c != name {
+                    env.len_eq.push((name.to_string(), c, off));
+                }
+            } else if let Some(c) = alias {
+                env.len_eq.push((name.to_string(), c, 0));
+            }
+        }
+    }
+
+    /// Recognises and executes `place (op)= expr;` statements,
+    /// registering index/div/rem/sub sites on the place and RHS and
+    /// candidate float accumulations.
+    fn try_assign(&mut self, env: &mut Env, i: usize, end: usize) -> Option<(usize, BlockOut)> {
+        let t = self.cx.toks;
+        let mut j = i;
+        let mut derefs = 0usize;
+        while punct(t, j) == Some('*') {
+            derefs += 1;
+            j += 1;
+        }
+        let first = ident(t, j)?;
+        if is_keyword_like(first) && first != "self" {
+            return None;
+        }
+        let mut segs = vec![first.to_string()];
+        j += 1;
+        loop {
+            if punct(t, j) == Some('.') && punct(t, j + 1) != Some('.') {
+                match t.get(j + 1).map(|x| &x.tok) {
+                    Some(Tok::Ident(f)) if punct(t, j + 2) != Some('(') && !is_keyword_like(f) => {
+                        segs.push(f.clone());
+                        j += 2;
+                        continue;
+                    }
+                    Some(Tok::Num(_)) => {
+                        segs.push(String::from("#"));
+                        j += 2;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            break;
+        }
+        let mut idx_open = None;
+        if punct(t, j) == Some('[') {
+            idx_open = Some(j);
+            j = close_delim(t, j) + 1;
+            // Post-index field path (`grid[i].x = …`).
+            while punct(t, j) == Some('.') {
+                match t.get(j + 1).map(|x| &x.tok) {
+                    Some(Tok::Ident(f)) if punct(t, j + 2) != Some('(') && !is_keyword_like(f) => {
+                        j += 2
+                    }
+                    Some(Tok::Num(_)) => j += 2,
+                    _ => break,
+                }
+            }
+        }
+        let (op, oplen) = match (punct(t, j), punct(t, j + 1), punct(t, j + 2)) {
+            (Some('='), n, _) if n != Some('=') => ('=', 1),
+            (Some(c @ ('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^')), Some('='), _) => (c, 2),
+            (Some('<'), Some('<'), Some('=')) | (Some('>'), Some('>'), Some('=')) => ('s', 3),
+            _ => return None,
+        };
+        let opaque = segs.iter().any(|s| s == "#");
+        let base_val = if opaque {
+            Val::top()
+        } else {
+            self.chain_val(env, &segs)
+        };
+        if let Some(io) = idx_open {
+            let cb = close_delim(t, io);
+            let (idx, _) = self.parse_expr(env, io + 1, 2, cb);
+            let (ok, why) =
+                self.fits_index(env, base_val.chain.as_deref(), base_val.is_slice, &idx);
+            let text = self.render_around(io);
+            self.site(io, "index", text, ok, why);
+        }
+        let lhs_val = if idx_open.is_some() {
+            let mut v = Val::top();
+            v.float = base_val.elem_float;
+            v.uint = base_val.elem_uint;
+            if v.uint {
+                v.ival = Ival::of(0, POS_INF);
+            }
+            v
+        } else {
+            base_val.clone()
+        };
+        let (rhs, after) = self.parse_expr(env, j + oplen, 2, end);
+        let newv = match op {
+            '=' => rhs.clone(),
+            's' => Val::int(
+                if lhs_val.uint {
+                    Ival::of(0, POS_INF)
+                } else {
+                    TOP
+                },
+                lhs_val.uint,
+            ),
+            c => self.combine(env, lhs_val.clone(), c, rhs.clone(), j),
+        };
+        // Order-nondeterministic float accumulation?
+        if matches!(op, '+' | '-' | '*' | '/')
+            && (lhs_val.float || rhs.float)
+            && self.cx.collect
+            && !self.cx.gated.get(i).copied().unwrap_or(false)
+        {
+            if let Some(lc) = self.loops.iter().rev().find(|l| l.nondet) {
+                self.accums.push(FloatAccum {
+                    line: t.get(i).map(|x| x.line).unwrap_or(0),
+                    target: segs.join("."),
+                    cause: lc.cause,
+                    header_line: lc.header_line,
+                });
+            }
+        }
+        // Environment update.
+        let chain = segs.join(".");
+        if derefs > 0 {
+            if segs.len() == 1 && !opaque {
+                env.invalidate_prefix(&chain);
+            }
+        } else if idx_open.is_some() || opaque {
+            // Element write: lengths unchanged, elements untracked.
+        } else if segs.len() == 1 {
+            let mut v = newv;
+            v.var = None;
+            v.chain = None;
+            self.bind(env, &chain, v, None);
+        } else if op == '=' {
+            env.invalidate_prefix(&chain);
+            if rhs.is_slice {
+                if let Some((li, lsym)) = rhs.slice_len.clone() {
+                    env.lens
+                        .insert(chain.clone(), li.meet(Ival::of(0, POS_INF)));
+                    if let Some((c, off)) = lsym {
+                        if c != chain {
+                            env.len_eq.push((chain.clone(), c, off));
+                        }
+                    }
+                } else if let Some(c) = rhs.chain.clone() {
+                    if c != chain {
+                        env.len_eq.push((chain.clone(), c, 0));
+                    }
+                }
+            }
+        }
+        Some((
+            self.skip_stmt(after, end),
+            BlockOut {
+                term: false,
+                val: Val::top(),
+            },
+        ))
+    }
+
+    // -- conditions and refinement -----------------------------------------
+
+    /// Finds the `{` ending an `if`/`while` header and splits the
+    /// condition into refinable atoms.
+    fn parse_cond(&mut self, env: &mut Env, i: usize, end: usize) -> (Vec<Atom>, usize) {
+        let t = self.cx.toks;
+        let mut k = i;
+        while k < end {
+            match punct(t, k) {
+                Some('(' | '[') => k = close_delim(t, k) + 1,
+                Some('{') => break,
+                _ => k += 1,
+            }
+        }
+        let atoms = self.cond_atoms(env, i, k);
+        (atoms, k)
+    }
+
+    /// Splits `[a, b)` on top-level `&&` and classifies each conjunct.
+    /// A top-level `||` makes every atom unusable (still evaluated for
+    /// panic sites).
+    fn cond_atoms(&mut self, env: &mut Env, a: usize, b: usize) -> Vec<Atom> {
+        self.cond_atoms_inner(env, a, b, false)
+    }
+
+    /// Like [`Self::cond_atoms`], but applies each conjunct to `env` as
+    /// soon as it is classified, so later conjuncts are evaluated under
+    /// the earlier ones' refinements — exactly the guarantee `&&`
+    /// short-circuiting gives at runtime (`i < n && xs[i] > 0`).
+    fn cond_atoms_refining(&mut self, env: &mut Env, a: usize, b: usize) -> Vec<Atom> {
+        self.cond_atoms_inner(env, a, b, true)
+    }
+
+    fn cond_atoms_inner(&mut self, env: &mut Env, a: usize, b: usize, refine: bool) -> Vec<Atom> {
+        let t = self.cx.toks;
+        let mut ranges = Vec::new();
+        let mut start = a;
+        let mut k = a;
+        let mut has_or = false;
+        while k < b {
+            match punct(t, k) {
+                Some('(' | '[' | '{') => k = close_delim(t, k) + 1,
+                Some('&') if punct(t, k + 1) == Some('&') => {
+                    ranges.push((start, k));
+                    k += 2;
+                    start = k;
+                }
+                Some('|') if punct(t, k + 1) == Some('|') => {
+                    has_or = true;
+                    k += 2;
+                }
+                _ => k += 1,
+            }
+        }
+        ranges.push((start, b));
+        let mut atoms = Vec::new();
+        for (ra, rb) in ranges {
+            if ra >= rb {
+                continue;
+            }
+            let atom = self.atom_from_range(env, ra, rb);
+            let atom = if has_or { Atom::Opaque } else { atom };
+            if refine {
+                self.apply_atom(env, &atom, false);
+            }
+            atoms.push(atom);
+        }
+        atoms
+    }
+
+    fn atom_from_range(&mut self, env: &mut Env, a: usize, b: usize) -> Atom {
+        let t = self.cx.toks;
+        let mut p = a;
+        let mut neg = false;
+        while punct(t, p) == Some('!') && punct(t, p + 1) != Some('=') {
+            neg = !neg;
+            p += 1;
+        }
+        if ident(t, p) == Some("let") {
+            // `if let` chains: bind nothing here, treat as opaque.
+            return Atom::Opaque;
+        }
+        // Structural `chain.is_empty()`.
+        if b >= 4
+            && punct(t, b - 1) == Some(')')
+            && punct(t, b - 2) == Some('(')
+            && ident(t, b - 3) == Some("is_empty")
+            && punct(t, b - 4) == Some('.')
+        {
+            let mut segs = Vec::new();
+            let mut q = p;
+            let mut pure = true;
+            while q < b - 4 {
+                match t.get(q).map(|x| &x.tok) {
+                    Some(Tok::Ident(s)) if !is_keyword_like(s) => segs.push(s.clone()),
+                    Some(Tok::Punct('.')) => {}
+                    Some(Tok::Punct('&')) => {}
+                    _ => {
+                        pure = false;
+                        break;
+                    }
+                }
+                q += 1;
+            }
+            if pure && !segs.is_empty() {
+                return Atom::Empty {
+                    chain: segs.join("."),
+                    neg,
+                };
+            }
+        }
+        // First top-level comparison operator.
+        let mut k = p;
+        while k < b {
+            match punct(t, k) {
+                Some('(' | '[' | '{') => {
+                    k = close_delim(t, k) + 1;
+                    continue;
+                }
+                Some('=') if punct(t, k + 1) == Some('=') => {
+                    return self.cmp_atom(env, p, k, 2, b, CmpOp::Eq, neg)
+                }
+                Some('!') if punct(t, k + 1) == Some('=') => {
+                    return self.cmp_atom(env, p, k, 2, b, CmpOp::Ne, neg)
+                }
+                Some('<') if punct(t, k + 1) == Some('=') => {
+                    return self.cmp_atom(env, p, k, 2, b, CmpOp::Le, neg)
+                }
+                Some('>') if punct(t, k + 1) == Some('=') => {
+                    return self.cmp_atom(env, p, k, 2, b, CmpOp::Ge, neg)
+                }
+                Some('<') if punct(t, k + 1) != Some('<') => {
+                    return self.cmp_atom(env, p, k, 1, b, CmpOp::Lt, neg)
+                }
+                Some('>')
+                    if punct(t, k + 1) != Some('>') && punct(t, k.wrapping_sub(1)) != Some('-') =>
+                {
+                    return self.cmp_atom(env, p, k, 1, b, CmpOp::Gt, neg)
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        // No comparison: evaluate for sites, unusable for refinement.
+        let (_, _) = self.parse_expr(env, p, 2, b);
+        Atom::Opaque
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn cmp_atom(
+        &mut self,
+        env: &mut Env,
+        a: usize,
+        opat: usize,
+        ntok: usize,
+        b: usize,
+        op: CmpOp,
+        neg: bool,
+    ) -> Atom {
+        let lhs = self.parse_expr(env, a, 5, opat).0;
+        let rhs = self.parse_expr(env, opat + ntok, 5, b).0;
+        let op = if neg { op.negate() } else { op };
+        Atom::Cmp { lhs, op, rhs }
+    }
+
+    fn apply_atom(&mut self, env: &mut Env, atom: &Atom, negate: bool) {
+        match atom {
+            Atom::Opaque => {}
+            Atom::Empty { chain, neg } => {
+                let empty = *neg == negate; // !is_empty negated == is_empty
+                let e = env
+                    .lens
+                    .entry(chain.clone())
+                    .or_insert(Ival::of(0, POS_INF));
+                *e = if empty {
+                    e.meet(Ival::exact(0))
+                } else {
+                    e.meet(Ival::of(1, POS_INF))
+                };
+            }
+            Atom::Cmp { lhs, op, rhs } => {
+                let op = if negate { op.negate() } else { *op };
+                self.refine_cmp(env, lhs, op, rhs);
+                self.refine_cmp(env, rhs, flip(op), lhs);
+            }
+        }
+    }
+
+    /// Installs the fact `lhs op rhs` into the environment, refining
+    /// the interval of `lhs`'s variable and/or length of `lhs`'s
+    /// symbolic chain.
+    fn refine_cmp(&mut self, env: &mut Env, lhs: &Val, op: CmpOp, rhs: &Val) {
+        // Variable refinement. A shifted origin (`x + d` compared
+        // against rhs) refines `x` against `rhs - d`.
+        if let Some(v) = &lhs.var {
+            let d = lhs.var_off;
+            let hi = if rhs.ival.hi >= POS_INF {
+                POS_INF
+            } else {
+                rhs.ival.hi.saturating_sub(d)
+            };
+            let lo = if rhs.ival.lo <= NEG_INF {
+                NEG_INF
+            } else {
+                rhs.ival.lo.saturating_sub(d)
+            };
+            let mut facts: Vec<(String, i128)> = rhs
+                .ubs
+                .iter()
+                .map(|(c, o)| (c.clone(), o.saturating_sub(d)))
+                .collect();
+            if let Some((c, o)) = &rhs.sym {
+                facts.push((c.clone(), o.saturating_sub(d)));
+            }
+            if let Some(vi) = env.vars.get_mut(v) {
+                match op {
+                    CmpOp::Lt => {
+                        if hi < POS_INF {
+                            vi.ival = vi.ival.meet(Ival::of(NEG_INF, hi - 1));
+                        }
+                        for (c, o) in &facts {
+                            vi.ubs.push((c.clone(), o - 1));
+                        }
+                    }
+                    CmpOp::Le => {
+                        vi.ival = vi.ival.meet(Ival::of(NEG_INF, hi));
+                        for f in &facts {
+                            vi.ubs.push(f.clone());
+                        }
+                    }
+                    CmpOp::Gt => {
+                        if lo > NEG_INF {
+                            vi.ival = vi.ival.meet(Ival::of(lo + 1, POS_INF));
+                        }
+                    }
+                    CmpOp::Ge => {
+                        vi.ival = vi.ival.meet(Ival::of(lo, POS_INF));
+                    }
+                    CmpOp::Eq => {
+                        vi.ival = vi.ival.meet(rhs.ival.sub(Ival::exact(d)));
+                        if d == 0 && rhs.sym.is_some() {
+                            vi.sym = rhs.sym.clone();
+                        } else if let Some((c, o)) = &rhs.sym {
+                            vi.sym = Some((c.clone(), o.saturating_sub(d)));
+                        }
+                        for f in &facts {
+                            vi.ubs.push(f.clone());
+                        }
+                    }
+                    CmpOp::Ne => {
+                        if d == 0 {
+                            if rhs.ival.is_exactly(vi.ival.lo) {
+                                vi.ival = Ival::of(vi.ival.lo + 1, vi.ival.hi);
+                            } else if rhs.ival.is_exactly(vi.ival.hi) {
+                                vi.ival = Ival::of(vi.ival.lo, vi.ival.hi - 1);
+                            }
+                        }
+                    }
+                }
+                vi.ubs.sort();
+                vi.ubs.dedup();
+            }
+        }
+        // Length refinement through `lhs == len(c) + off`.
+        if let Some((c, off)) = &lhs.sym {
+            let shift = |x: Ival| x.sub(Ival::exact(*off));
+            let e = env.lens.entry(c.clone()).or_insert(Ival::of(0, POS_INF));
+            match op {
+                CmpOp::Lt => {
+                    if rhs.ival.hi < POS_INF {
+                        *e = e.meet(Ival::of(0, rhs.ival.hi - 1 - *off));
+                    }
+                }
+                CmpOp::Le => {
+                    if rhs.ival.hi < POS_INF {
+                        *e = e.meet(Ival::of(0, rhs.ival.hi - *off));
+                    }
+                }
+                CmpOp::Gt => {
+                    if rhs.ival.lo > NEG_INF {
+                        *e = e.meet(Ival::of(rhs.ival.lo + 1 - *off, POS_INF));
+                    }
+                }
+                CmpOp::Ge => {
+                    if rhs.ival.lo > NEG_INF {
+                        *e = e.meet(Ival::of(rhs.ival.lo - *off, POS_INF));
+                    }
+                }
+                CmpOp::Eq => {
+                    *e = e.meet(shift(rhs.ival));
+                    if let Some((c2, o2)) = &rhs.sym {
+                        if c2 != c {
+                            // len(c) + off == len(c2) + o2.
+                            env.len_eq.push((c.clone(), c2.clone(), o2 - off));
+                        }
+                    }
+                }
+                CmpOp::Ne => {}
+            }
+        }
+    }
+
+    // -- asserts (the debug-checked contract) ------------------------------
+
+    fn handle_assert(&mut self, env: &mut Env, i: usize, end: usize) -> (usize, BlockOut) {
+        let t = self.cx.toks;
+        let pass = BlockOut {
+            term: false,
+            val: Val::top(),
+        };
+        let open = i + 2;
+        if punct(t, open) != Some('(') {
+            return (self.skip_stmt(i, end), pass);
+        }
+        let cb = close_delim(t, open);
+        // The condition ends at the first top-level `,` (message).
+        let mut c = open + 1;
+        let mut cend = cb;
+        while c < cb {
+            match punct(t, c) {
+                Some('(' | '[' | '{') => c = close_delim(t, c) + 1,
+                Some(',') => {
+                    cend = c;
+                    break;
+                }
+                _ => c += 1,
+            }
+        }
+        self.in_assert = true;
+        let atoms = self.cond_atoms(env, open + 1, cend);
+        self.in_assert = false;
+        for a in &atoms {
+            self.apply_atom(env, a, false);
+        }
+        (self.skip_stmt(cb, end), pass)
+    }
+
+    fn handle_assert_eq(
+        &mut self,
+        env: &mut Env,
+        i: usize,
+        end: usize,
+        eq: bool,
+    ) -> (usize, BlockOut) {
+        let t = self.cx.toks;
+        let pass = BlockOut {
+            term: false,
+            val: Val::top(),
+        };
+        let open = i + 2;
+        if punct(t, open) != Some('(') {
+            return (self.skip_stmt(i, end), pass);
+        }
+        let cb = close_delim(t, open);
+        let mut commas = Vec::new();
+        let mut c = open + 1;
+        while c < cb {
+            match punct(t, c) {
+                Some('(' | '[' | '{') => c = close_delim(t, c) + 1,
+                Some(',') => {
+                    commas.push(c);
+                    c += 1;
+                }
+                _ => c += 1,
+            }
+        }
+        let Some(&c1) = commas.first() else {
+            return (self.skip_stmt(cb, end), pass);
+        };
+        let c2 = commas.get(1).copied().unwrap_or(cb);
+        self.in_assert = true;
+        let a = self.parse_expr(env, open + 1, 2, c1).0;
+        let b = self.parse_expr(env, c1 + 1, 2, c2).0;
+        self.in_assert = false;
+        let op = if eq { CmpOp::Eq } else { CmpOp::Ne };
+        self.apply_atom(env, &Atom::Cmp { lhs: a, op, rhs: b }, false);
+        (self.skip_stmt(cb, end), pass)
+    }
+
+    // -- control flow ------------------------------------------------------
+
+    fn handle_if(&mut self, env: &mut Env, i: usize, end: usize) -> (usize, bool, Val) {
+        let t = self.cx.toks;
+        if !self.spend() {
+            return (end, false, Val::top());
+        }
+        if ident(t, i + 1) == Some("let") {
+            // `if let PAT = expr { … }`: bind pattern idents fresh.
+            let mut k = i + 2;
+            let mut names = Vec::new();
+            while k < end {
+                match punct(t, k) {
+                    Some('(' | '[') => {
+                        let cb = close_delim(t, k);
+                        let mut q = k + 1;
+                        while q < cb {
+                            if let Some(n) = ident(t, q) {
+                                if !is_keyword_like(n)
+                                    && n.chars()
+                                        .next()
+                                        .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+                                {
+                                    names.push(n.to_string());
+                                }
+                            }
+                            q += 1;
+                        }
+                        k = cb + 1;
+                        continue;
+                    }
+                    Some('=') if punct(t, k + 1) != Some('=') => break,
+                    Some('{') => break,
+                    _ => {}
+                }
+                if let Some(n) = ident(t, k) {
+                    if !is_keyword_like(n)
+                        && n.chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+                    {
+                        names.push(n.to_string());
+                    }
+                }
+                k += 1;
+            }
+            let mut brace = k;
+            if punct(t, k) == Some('=') {
+                let (_, nb) = self.parse_expr(env, k + 1, 2, end);
+                brace = nb;
+            }
+            while brace < end && punct(t, brace) != Some('{') {
+                brace += 1;
+            }
+            if punct(t, brace) != Some('{') {
+                return (self.skip_stmt(i, end), false, Val::top());
+            }
+            let mut then_env = env.clone();
+            for n in &names {
+                then_env.rebind(n, VarInfo::unknown());
+            }
+            let (after_then, tout) = self.exec_block(&mut then_env, brace);
+            return self.finish_if(env, then_env, tout, Vec::new(), after_then, end);
+        }
+        // Pass 1 (sites suppressed): apply the condition's *side
+        // effects* (method-call invalidation, `&mut` handouts) to the
+        // shared env, so the else branch sees them too.
+        let saved = self.in_assert;
+        self.in_assert = true;
+        let (_, brace) = self.parse_cond(env, i + 1, end);
+        self.in_assert = saved;
+        if punct(t, brace) != Some('{') {
+            return (self.skip_stmt(i, end), false, Val::top());
+        }
+        // Pass 2 (sites recorded): evaluate against the then-branch env
+        // with each conjunct applied as soon as it is parsed, so
+        // `i < n && xs[i] > 0` discharges the way `&&` short-circuits.
+        let mut then_env = env.clone();
+        let atoms = self.cond_atoms_refining(&mut then_env, i + 1, brace);
+        let (after_then, tout) = self.exec_block(&mut then_env, brace);
+        self.finish_if(env, then_env, tout, atoms, after_then, end)
+    }
+
+    fn finish_if(
+        &mut self,
+        env: &mut Env,
+        then_env: Env,
+        tout: BlockOut,
+        atoms: Vec<Atom>,
+        after_then: usize,
+        end: usize,
+    ) -> (usize, bool, Val) {
+        let t = self.cx.toks;
+        let mut else_env = env.clone();
+        // Negation is sound only for a single conjunct.
+        if atoms.len() == 1 {
+            self.apply_atom(&mut else_env, &atoms[0], true);
+        }
+        if ident(t, after_then) == Some("else") {
+            let (next, eterm, eval_) = if ident(t, after_then + 1) == Some("if") {
+                self.handle_if(&mut else_env, after_then + 1, end)
+            } else if punct(t, after_then + 1) == Some('{') {
+                let (n, out) = self.exec_block(&mut else_env, after_then + 1);
+                (n, out.term, out.val)
+            } else {
+                (after_then + 1, false, Val::top())
+            };
+            let val = match (tout.term, eterm) {
+                (true, true) => Val::top(),
+                (true, false) => {
+                    *env = else_env;
+                    eval_
+                }
+                (false, true) => {
+                    *env = then_env;
+                    tout.val
+                }
+                (false, false) => {
+                    *env = then_env.join(&else_env);
+                    val_join(&tout.val, &eval_)
+                }
+            };
+            return (next, tout.term && eterm, val);
+        }
+        // No else: the guard-clause pattern — a diverging then-branch
+        // leaves the *negated* condition in force afterwards.
+        if tout.term {
+            *env = else_env;
+        } else {
+            *env = then_env.join(&else_env);
+        }
+        (after_then, false, Val::top())
+    }
+
+    fn handle_while(&mut self, env: &mut Env, i: usize, end: usize) -> (usize, BlockOut) {
+        let t = self.cx.toks;
+        let pass = BlockOut {
+            term: false,
+            val: Val::top(),
+        };
+        let is_let = ident(t, i + 1) == Some("let");
+        // Locate the body.
+        let mut brace = i + 1;
+        while brace < end {
+            match punct(t, brace) {
+                Some('(' | '[') => brace = close_delim(t, brace) + 1,
+                Some('{') => break,
+                _ => brace += 1,
+            }
+        }
+        if punct(t, brace) != Some('{') {
+            return (self.skip_stmt(i, end), pass);
+        }
+        let close = close_delim(t, brace);
+        // One abstract iteration over a body-write-havocked entry state.
+        self.havoc_range(env, brace + 1, close);
+        let mut body_env = env.clone();
+        let atoms = if is_let {
+            let mut names = Vec::new();
+            let mut k = i + 2;
+            while k < brace {
+                match punct(t, k) {
+                    Some('=') if punct(t, k + 1) != Some('=') => {
+                        let _ = self.parse_expr(&mut body_env, k + 1, 2, brace);
+                        break;
+                    }
+                    _ => {}
+                }
+                if let Some(n) = ident(t, k) {
+                    if !is_keyword_like(n)
+                        && n.chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+                    {
+                        names.push(n.to_string());
+                    }
+                }
+                k += 1;
+            }
+            for n in &names {
+                body_env.rebind(n, VarInfo::unknown());
+            }
+            Vec::new()
+        } else {
+            let (atoms, _) = self.parse_cond(&mut body_env, i + 1, end);
+            for a in &atoms {
+                self.apply_atom(&mut body_env, a, false);
+            }
+            atoms
+        };
+        let nondet = has_recv(t, i, close);
+        self.loops.push(LoopCtx {
+            nondet,
+            cause: "drains a channel (recv order is arrival order)",
+            header_line: t.get(i).map(|x| x.line).unwrap_or(0),
+        });
+        let (after, _) = self.exec_block(&mut body_env, brace);
+        self.loops.pop();
+        // Exit state: havocked entry plus the negated condition.
+        if atoms.len() == 1 {
+            self.apply_atom(env, &atoms[0], true);
+        }
+        (after, pass)
+    }
+
+    fn handle_loop(&mut self, env: &mut Env, i: usize, end: usize) -> (usize, BlockOut) {
+        let t = self.cx.toks;
+        let brace = i + 1;
+        if punct(t, brace) != Some('{') {
+            return (
+                self.skip_stmt(i, end),
+                BlockOut {
+                    term: false,
+                    val: Val::top(),
+                },
+            );
+        }
+        let close = close_delim(t, brace);
+        self.havoc_range(env, brace + 1, close);
+        let mut body_env = env.clone();
+        let nondet = has_recv(t, brace, close);
+        self.loops.push(LoopCtx {
+            nondet,
+            cause: "drains a channel (recv order is arrival order)",
+            header_line: t.get(i).map(|x| x.line).unwrap_or(0),
+        });
+        let (after, _) = self.exec_block(&mut body_env, brace);
+        self.loops.pop();
+        let has_break = (brace..close).any(|k| ident(t, k) == Some("break"));
+        (
+            after,
+            BlockOut {
+                term: !has_break,
+                val: Val::top(),
+            },
+        )
+    }
+
+    fn handle_for(&mut self, env: &mut Env, i: usize, end: usize) -> (usize, BlockOut) {
+        let t = self.cx.toks;
+        let pass = BlockOut {
+            term: false,
+            val: Val::top(),
+        };
+        let mut k = i + 1;
+        let mut names = Vec::new();
+        while k < end && ident(t, k) != Some("in") {
+            if punct(t, k) == Some('{') {
+                return (self.skip_stmt(i, end), pass);
+            }
+            if let Some(n) = ident(t, k) {
+                if !is_keyword_like(n)
+                    && n.chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+                {
+                    names.push(n.to_string());
+                }
+            }
+            k += 1;
+        }
+        if ident(t, k) != Some("in") {
+            return (self.skip_stmt(i, end), pass);
+        }
+        let hdr = k + 1;
+        let mut brace = hdr;
+        while brace < end {
+            match punct(t, brace) {
+                Some('(' | '[') => brace = close_delim(t, brace) + 1,
+                Some('{') => break,
+                _ => brace += 1,
+            }
+        }
+        if punct(t, brace) != Some('{') {
+            return (self.skip_stmt(i, end), pass);
+        }
+        let close = close_delim(t, brace);
+        let (binds, it_nondet, it_cause) = self.iter_info(env, hdr, brace, &names);
+        self.havoc_range(env, brace + 1, close);
+        let mut body_env = env.clone();
+        for n in &names {
+            body_env.rebind(n, VarInfo::unknown());
+        }
+        for (n, v) in &binds {
+            self.bind(&mut body_env, n, v.clone(), None);
+        }
+        let (nondet, cause) = if it_nondet {
+            (true, it_cause)
+        } else if has_recv(t, hdr, close) {
+            (true, "drains a channel (recv order is arrival order)")
+        } else {
+            (false, "")
+        };
+        self.loops.push(LoopCtx {
+            nondet,
+            cause,
+            header_line: t.get(i).map(|x| x.line).unwrap_or(0),
+        });
+        let (after, _) = self.exec_block(&mut body_env, brace);
+        self.loops.pop();
+        (after, pass)
+    }
+
+    /// Structural analysis of a `for` header: iteration bindings plus
+    /// order-nondeterminism classification.
+    #[allow(clippy::type_complexity)]
+    fn iter_info(
+        &mut self,
+        env: &mut Env,
+        hdr: usize,
+        brace: usize,
+        names: &[String],
+    ) -> (Vec<(String, Val)>, bool, &'static str) {
+        let t = self.cx.toks;
+        let mut binds: Vec<(String, Val)> = Vec::new();
+        // Numeric range `lo..hi`.
+        let mut k = hdr;
+        let mut dots = None;
+        while k < brace {
+            match punct(t, k) {
+                Some('(' | '[') => k = close_delim(t, k) + 1,
+                Some('.') if punct(t, k + 1) == Some('.') => {
+                    dots = Some(k);
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        if let Some(d) = dots {
+            let inclusive = punct(t, d + 2) == Some('=');
+            let hstart = if inclusive { d + 3 } else { d + 2 };
+            let lo = if d == hdr {
+                Val::int(Ival::exact(0), true)
+            } else {
+                self.parse_expr(env, hdr, 2, d).0
+            };
+            let hi = if hstart >= brace {
+                Val::top()
+            } else {
+                self.parse_expr(env, hstart, 2, brace).0
+            };
+            if names.len() == 1 {
+                let shift = if inclusive { 0 } else { -1 };
+                let mut v = Val::int(
+                    Ival::of(lo.ival.lo, hi.ival.hi.saturating_add(shift)),
+                    lo.ival.lo >= 0,
+                );
+                let mut facts = hi.ubs.clone();
+                if let Some(s) = &hi.sym {
+                    facts.push(s.clone());
+                }
+                v.ubs = facts.into_iter().map(|(c, o)| (c, o + shift)).collect();
+                binds.push((names[0].clone(), v));
+            }
+            return (binds, false, "");
+        }
+        // Chain base + adapter methods.
+        let mut p = hdr;
+        while punct(t, p) == Some('&') || ident(t, p) == Some("mut") {
+            p += 1;
+        }
+        let mut segs: Vec<String> = Vec::new();
+        match ident(t, p) {
+            Some(n) if !is_keyword_like(n) => {
+                segs.push(n.to_string());
+                p += 1;
+            }
+            _ => {
+                let _ = self.parse_expr(env, hdr, 2, brace);
+                return (binds, false, "");
+            }
+        }
+        while punct(t, p) == Some('.') && punct(t, p + 1) != Some('.') {
+            match t.get(p + 1).map(|x| &x.tok) {
+                Some(Tok::Ident(f)) if punct(t, p + 2) != Some('(') && !is_keyword_like(f) => {
+                    segs.push(f.clone());
+                    p += 2;
+                }
+                _ => break,
+            }
+        }
+        let ct = self.walk_chain(env, &segs);
+        let base = self.chain_val(env, &segs);
+        let chain = segs.join(".");
+        let mut nondet = ct.hash;
+        let cause = "iterates a HashMap/HashSet (arbitrary order)";
+        // Adapter methods (must be a clean `.m(…)` suffix chain).
+        let mut methods: Vec<(String, usize, usize)> = Vec::new();
+        let mut q = p;
+        let mut clean = true;
+        while q < brace {
+            if punct(t, q) == Some('.') && ident(t, q + 1).is_some() && punct(t, q + 2) == Some('(')
+            {
+                let cb = close_delim(t, q + 2);
+                methods.push((ident(t, q + 1).unwrap().to_string(), q + 2, cb));
+                q = cb + 1;
+            } else {
+                clean = false;
+                break;
+            }
+        }
+        if !clean {
+            let _ = self.parse_expr(env, hdr, 2, brace);
+            return (binds, nondet, cause);
+        }
+        let elem_val = {
+            let mut v = Val::top();
+            v.float = base.elem_float;
+            v.uint = base.elem_uint;
+            if v.uint {
+                v.ival = Ival::of(0, POS_INF);
+            }
+            v
+        };
+        let mut enumerated = false;
+        let mut wind: Option<(char, Val)> = None;
+        let mut zip_elem: Option<Val> = None;
+        let mut unknown = false;
+        for (m, ao, ac) in &methods {
+            match m.as_str() {
+                "enumerate" => enumerated = true,
+                "windows" | "chunks" | "chunks_exact" | "chunks_mut" | "chunks_exact_mut" => {
+                    let kv = self.parse_expr(env, ao + 1, 2, *ac).0;
+                    let tag = if m == "windows" {
+                        'w'
+                    } else if m.starts_with("chunks_exact") {
+                        'e'
+                    } else {
+                        'c'
+                    };
+                    wind = Some((tag, kv));
+                }
+                "zip" => match self.simple_iter_elem(env, ao + 1, *ac) {
+                    Some((v, h)) => {
+                        nondet |= h;
+                        zip_elem = Some(v);
+                    }
+                    None => unknown = true,
+                },
+                "keys" | "values" => {}
+                _ if VIEW_METHODS.contains(&m.as_str()) => {}
+                _ => unknown = true,
+            }
+        }
+        if unknown {
+            return (binds, nondet, cause);
+        }
+        if let Some((tag, kv)) = wind {
+            if names.len() == 1 {
+                let mut v = Val::top();
+                v.is_slice = true;
+                v.elem_float = base.elem_float;
+                v.elem_uint = base.elem_uint;
+                let li = match tag {
+                    'c' => Ival::of(1, kv.ival.hi.max(1)),
+                    _ => kv.ival.meet(Ival::of(0, POS_INF)),
+                };
+                let sym = if tag == 'c' { None } else { kv.sym.clone() };
+                v.slice_len = Some((li, sym));
+                binds.push((names[0].clone(), v));
+            }
+        } else if enumerated {
+            if names.len() == 2 {
+                let mut iv = Val::int(Ival::of(0, POS_INF), true);
+                iv.ubs = vec![(chain.clone(), -1)];
+                if let Some(l) = env.lens.get(&chain) {
+                    if l.hi < POS_INF {
+                        iv.ival = Ival::of(0, (l.hi - 1).max(0));
+                    }
+                }
+                binds.push((names[0].clone(), iv));
+                binds.push((names[1].clone(), elem_val));
+            }
+        } else if let Some(z) = zip_elem {
+            if names.len() == 2 {
+                binds.push((names[0].clone(), elem_val));
+                binds.push((names[1].clone(), z));
+            }
+        } else if names.len() == 1 {
+            binds.push((names[0].clone(), elem_val));
+        }
+        (binds, nondet, cause)
+    }
+
+    /// Elem value of a plain `chain.view().view()…` iterator argument.
+    fn simple_iter_elem(&mut self, env: &mut Env, a: usize, b: usize) -> Option<(Val, bool)> {
+        let t = self.cx.toks;
+        let mut p = a;
+        while punct(t, p) == Some('&') || ident(t, p) == Some("mut") {
+            p += 1;
+        }
+        let n = ident(t, p)?;
+        if is_keyword_like(n) {
+            return None;
+        }
+        let mut segs = vec![n.to_string()];
+        p += 1;
+        while punct(t, p) == Some('.') && punct(t, p + 1) != Some('.') {
+            match t.get(p + 1).map(|x| &x.tok) {
+                Some(Tok::Ident(f)) if punct(t, p + 2) != Some('(') && !is_keyword_like(f) => {
+                    segs.push(f.clone());
+                    p += 2;
+                }
+                _ => break,
+            }
+        }
+        while p < b {
+            if punct(t, p) == Some('.') {
+                if let Some(m) = ident(t, p + 1) {
+                    if punct(t, p + 2) == Some('(') && VIEW_METHODS.contains(&m) {
+                        p = close_delim(t, p + 2) + 1;
+                        continue;
+                    }
+                }
+            }
+            return None;
+        }
+        let ct = self.walk_chain(env, &segs);
+        let base = self.chain_val(env, &segs);
+        let mut v = Val::top();
+        v.float = base.elem_float;
+        v.uint = base.elem_uint;
+        if v.uint {
+            v.ival = Ival::of(0, POS_INF);
+        }
+        Some((v, ct.hash))
+    }
+
+    fn handle_match(&mut self, env: &mut Env, i: usize, end: usize) -> (usize, bool, Val) {
+        let t = self.cx.toks;
+        let mut brace = i + 1;
+        while brace < end {
+            match punct(t, brace) {
+                Some('(' | '[') => brace = close_delim(t, brace) + 1,
+                Some('{') => break,
+                _ => brace += 1,
+            }
+        }
+        if punct(t, brace) != Some('{') {
+            return (self.skip_stmt(i, end), false, Val::top());
+        }
+        let _ = self.parse_expr(env, i + 1, 2, brace);
+        let close = close_delim(t, brace);
+        let mut j = brace + 1;
+        let mut merged: Option<Env> = None;
+        let mut mval: Option<Val> = None;
+        let mut any = false;
+        while j < close && self.spend() {
+            // Pattern (and optional guard) up to `=>`.
+            let mut names = Vec::new();
+            while j < close {
+                match punct(t, j) {
+                    Some('(' | '[' | '{') => {
+                        let cb = close_delim(t, j);
+                        let mut q = j + 1;
+                        while q < cb {
+                            if let Some(n) = ident(t, q) {
+                                if !is_keyword_like(n)
+                                    && n.chars()
+                                        .next()
+                                        .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+                                {
+                                    names.push(n.to_string());
+                                }
+                            }
+                            q += 1;
+                        }
+                        j = cb + 1;
+                        continue;
+                    }
+                    Some('=') if punct(t, j + 1) == Some('>') => break,
+                    _ => {}
+                }
+                if let Some(n) = ident(t, j) {
+                    if !is_keyword_like(n)
+                        && n.chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+                        && punct(t, j + 1) != Some('!')
+                    {
+                        names.push(n.to_string());
+                    }
+                }
+                j += 1;
+            }
+            if j >= close {
+                break;
+            }
+            j += 2; // past `=>`
+            let mut arm_env = env.clone();
+            for n in &names {
+                arm_env.rebind(n, VarInfo::unknown());
+            }
+            let (nj, term, val) = if punct(t, j) == Some('{') {
+                let (n2, out) = self.exec_block(&mut arm_env, j);
+                (n2, out.term, out.val)
+            } else if matches!(ident(t, j), Some("return" | "break" | "continue")) {
+                let n2 = self.consume_exit(&mut arm_env, j, close);
+                (n2, true, Val::top())
+            } else if matches!(
+                ident(t, j),
+                Some("panic" | "unreachable" | "todo" | "unimplemented")
+            ) && punct(t, j + 1) == Some('!')
+            {
+                let n2 = if matches!(punct(t, j + 2), Some('(' | '[' | '{')) {
+                    close_delim(t, j + 2) + 1
+                } else {
+                    j + 2
+                };
+                (n2, true, Val::top())
+            } else {
+                let (v, n2) = self.parse_expr(&mut arm_env, j, 2, close);
+                (n2, false, v)
+            };
+            any = true;
+            if !term {
+                merged = Some(match merged {
+                    Some(m) => m.join(&arm_env),
+                    None => arm_env,
+                });
+                mval = Some(match mval {
+                    Some(v) => val_join(&v, &val),
+                    None => val,
+                });
+            }
+            j = nj.max(j);
+            // Resynchronise at the arm separator.
+            while j < close && punct(t, j) != Some(',') {
+                match punct(t, j) {
+                    Some('(' | '[' | '{') => j = close_delim(t, j) + 1,
+                    _ => j += 1,
+                }
+            }
+            if punct(t, j) == Some(',') {
+                j += 1;
+            }
+        }
+        let term = any && merged.is_none();
+        if let Some(m) = merged {
+            *env = m;
+        }
+        (close + 1, term, mval.unwrap_or_else(Val::top))
+    }
+
+    /// Pre-loop write-set approximation: havoc everything the range
+    /// can assign, mutate through `&mut`, or mutate via method calls.
+    fn havoc_range(&mut self, env: &mut Env, a: usize, b: usize) {
+        let t = self.cx.toks;
+        let mut k = a;
+        let lim = b.min(t.len());
+        while k < lim {
+            if punct(t, k) == Some('&') && ident(t, k + 1) == Some("mut") {
+                if let Some((chain, nk)) = scan_chain(t, k + 2) {
+                    env.invalidate_prefix(&chain);
+                    k = nk;
+                    continue;
+                }
+            }
+            if let Some((chain, nk)) = scan_chain(t, k) {
+                // Method call on the chain.
+                if punct(t, nk) == Some('.')
+                    && ident(t, nk + 1).is_some()
+                    && punct(t, nk + 2) == Some('(')
+                {
+                    let m = ident(t, nk + 1).unwrap().to_string();
+                    self.apply_method_effect(env, Some(&chain), &m, nk + 1);
+                    k = nk + 3;
+                    continue;
+                }
+                // Assignment target (optionally indexed element write).
+                let mut e = nk;
+                let mut indexed = false;
+                if punct(t, e) == Some('[') {
+                    e = close_delim(t, e) + 1;
+                    indexed = true;
+                }
+                match (punct(t, e), punct(t, e + 1)) {
+                    (Some('='), n2) if n2 != Some('=') => {
+                        if !indexed {
+                            env.invalidate_prefix(&chain);
+                        }
+                        k = e + 1;
+                        continue;
+                    }
+                    (Some('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^'), Some('=')) => {
+                        if !indexed {
+                            env.invalidate_prefix(&chain);
+                        }
+                        k = e + 2;
+                        continue;
+                    }
+                    _ => {}
+                }
+                k = nk.max(k + 1);
+                continue;
+            }
+            k += 1;
+        }
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+/// Path-join of two expression values (if/match result merging).
+fn val_join(a: &Val, b: &Val) -> Val {
+    let mut v = Val::int(a.ival.join(b.ival), a.uint && b.uint);
+    v.float = a.float && b.float;
+    v.is_slice = a.is_slice && b.is_slice;
+    v.elem_float = a.elem_float && b.elem_float;
+    v.elem_uint = a.elem_uint && b.elem_uint;
+    v.sym = if a.sym == b.sym { a.sym.clone() } else { None };
+    v.ubs = a
+        .ubs
+        .iter()
+        .filter(|u| b.ubs.contains(u))
+        .cloned()
+        .collect();
+    v
+}
+
+/// Scans a pure `head.seg.seg` chain; returns the joined chain and the
+/// index just past it. Stops before a `.method(` suffix.
+fn scan_chain(toks: &[SpannedTok], i: usize) -> Option<(String, usize)> {
+    let n = ident(toks, i)?;
+    if is_keyword_like(n) && n != "self" {
+        return None;
+    }
+    let mut segs = vec![n.to_string()];
+    let mut j = i + 1;
+    while punct(toks, j) == Some('.') && punct(toks, j + 1) != Some('.') {
+        match toks.get(j + 1).map(|x| &x.tok) {
+            Some(Tok::Ident(f)) if punct(toks, j + 2) != Some('(') && !is_keyword_like(f) => {
+                segs.push(f.clone());
+                j += 2;
+            }
+            _ => break,
+        }
+    }
+    Some((segs.join("."), j))
+}
+
+// ---------------------------------------------------------------------------
+// Per-function driver
+// ---------------------------------------------------------------------------
+
+/// Result of abstractly interpreting one function body.
+struct FnRun {
+    sites: Vec<Site>,
+    accums: Vec<FloatAccum>,
+    /// Return interval (already meet-ed with the declared type).
+    ret: Ival,
+    /// Joined argument intervals observed at each resolved call site.
+    args_out: BTreeMap<usize, Vec<Ival>>,
+    /// Final environment (used by the snippet/test entry point).
+    env: Env,
+}
+
+fn run_fn(cx: &Cx<'_>, info: &NodeInfo, pstate: Option<&[Ival]>) -> FnRun {
+    let mut interp = Interp::new(cx);
+    let mut env = Env::default();
+    for (n, (name, ty)) in info.params.iter().enumerate() {
+        let mut vi = ty.to_var();
+        if let Some(ps) = pstate {
+            if let Some(iv) = ps.get(n) {
+                if !iv.is_empty() {
+                    let m = vi.ival.meet(*iv);
+                    if !m.is_empty() {
+                        vi.ival = m;
+                    }
+                }
+            }
+        }
+        let is_slice = vi.is_slice;
+        env.vars.insert(name.clone(), vi);
+        if is_slice {
+            env.lens.insert(
+                name.clone(),
+                match ty.fixed {
+                    Some(k) => Ival::exact(k),
+                    None => Ival::of(0, POS_INF),
+                },
+            );
+        }
+    }
+    let mut ret = crate::intervals::BOTTOM;
+    if let Some((b0, _)) = cx.item.body {
+        let (_, out) = interp.exec_block(&mut env, b0);
+        ret = interp.ret;
+        if !out.term {
+            ret = ret.join(if out.val.float { TOP } else { out.val.ival });
+        }
+    }
+    if ret.is_empty() {
+        ret = TOP;
+    }
+    if info.ret.uint {
+        ret = ret.meet(Ival::of(0, POS_INF));
+        if ret.is_empty() {
+            ret = Ival::of(0, POS_INF);
+        }
+    }
+    if interp.exhausted && cx.collect {
+        let line = cx
+            .toks
+            .get(cx.item.sig_tok)
+            .map(|t| t.line)
+            .unwrap_or(cx.item.sig_line);
+        interp.sites.push(Site {
+            line,
+            kind: "budget",
+            text: format!("fn {}", cx.item.name),
+            discharged: false,
+            why: "analysis fuel exhausted; body not fully interpreted".to_string(),
+        });
+    }
+    FnRun {
+        sites: interp.sites,
+        accums: interp.accums,
+        ret,
+        args_out: interp.args_out,
+        env,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus driver
+// ---------------------------------------------------------------------------
+
+/// Files in scope for the `float_determinism` rule: every production
+/// crate source (the rule is cheap and the determinism contract spans
+/// the whole engine, not just the hot files).
+pub(crate) fn float_det_scope(rel_path: &str) -> bool {
+    let rel = rel_path.replace('\\', "/");
+    [
+        "crates/core/src/",
+        "crates/sim/src/",
+        "crates/baselines/src/",
+        "crates/linalg/src/",
+        "crates/trace/src/",
+        "crates/serve/src/",
+    ]
+    .iter()
+    .any(|p| rel.starts_with(p))
+}
+
+/// Scans every file for top-level `const NAME: <int ty> = <literal>;`
+/// items; names defined twice with different values are dropped.
+fn corpus_consts(files: &[FileScan]) -> BTreeMap<String, i128> {
+    let mut consts: BTreeMap<String, i128> = BTreeMap::new();
+    let mut conflict: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        let t = &f.parsed.toks;
+        for i in 0..t.len() {
+            if ident(t, i) != Some("const") || punct(t, i + 2) != Some(':') {
+                continue;
+            }
+            let Some(name) = ident(t, i + 1) else {
+                continue;
+            };
+            let mut j = i + 3;
+            while j < t.len() && !matches!(punct(t, j), Some('=' | ';' | '{' | '}')) {
+                j += 1;
+            }
+            if punct(t, j) != Some('=') {
+                continue;
+            }
+            let neg = punct(t, j + 1) == Some('-');
+            let nt = if neg { j + 2 } else { j + 1 };
+            let Some(Tok::Num(text)) = t.get(nt).map(|x| &x.tok) else {
+                continue;
+            };
+            if punct(t, nt + 1) != Some(';') {
+                continue;
+            }
+            if let NumLit::Int(v) = parse_num(text) {
+                let v = if neg { -v } else { v };
+                match consts.get(name) {
+                    Some(old) if *old != v => {
+                        conflict.insert(name.to_string());
+                    }
+                    Some(_) => {}
+                    None => {
+                        consts.insert(name.to_string(), v);
+                    }
+                }
+            }
+        }
+    }
+    for c in &conflict {
+        consts.remove(c);
+    }
+    consts
+}
+
+/// Full interprocedural pass: summary rounds to a fixpoint over the
+/// call graph, then a collecting pass over in-scope files that turns
+/// undischarged sites and nondet float accumulations into violations
+/// (honouring `// lint: allow(...)` / `// lint: ordered_merge`).
+pub(crate) fn analyze(files: &mut [FileScan], g: &GraphOutcome) -> DataflowOutcome {
+    let mut out = DataflowOutcome::default();
+    let consts = corpus_consts(files);
+    // Corpus-wide struct field tables (first definition wins; the
+    // workspace has no cross-crate duplicate struct names that differ).
+    let mut fields: BTreeMap<String, BTreeMap<String, String>> = BTreeMap::new();
+    let mut elems: BTreeMap<String, BTreeMap<String, String>> = BTreeMap::new();
+    for f in files.iter() {
+        for (k, v) in &f.parsed.struct_fields {
+            fields.entry(k.clone()).or_insert_with(|| v.clone());
+        }
+        for (k, v) in &f.parsed.struct_field_elems {
+            elems.entry(k.clone()).or_insert_with(|| v.clone());
+        }
+    }
+    // Signature info per graph node.
+    let mut infos: Vec<NodeInfo> = Vec::with_capacity(g.fns.len());
+    let mut node_mut_self: Vec<bool> = Vec::with_capacity(g.fns.len());
+    for n in &g.fns {
+        let f = &files[n.file];
+        let info = parse_sig(&f.parsed.toks, &f.parsed.fns[n.item], &consts);
+        node_mut_self.push(info.mut_self);
+        infos.push(info);
+    }
+    // Per-file call-site → resolved-targets maps.
+    let mut file_targets: Vec<BTreeMap<usize, Vec<usize>>> =
+        (0..files.len()).map(|_| BTreeMap::new()).collect();
+    for n in &g.fns {
+        let item = &files[n.file].parsed.fns[n.item];
+        for (ci, call) in item.calls.iter().enumerate() {
+            if let Some(res) = n.resolved.get(ci) {
+                if !res.is_empty() {
+                    file_targets[n.file].insert(call.tok, res.clone());
+                }
+            }
+        }
+    }
+    // A function is "shadow-called" when its name appears where the
+    // interpreter will not see the call: taken as a value (no `(`
+    // follows), or invoked from cfg-gated/test code. Either poisons
+    // observed-argument param summaries for that name.
+    let fn_names: BTreeSet<String> = g
+        .fns
+        .iter()
+        .map(|n| files[n.file].parsed.fns[n.item].name.clone())
+        .collect();
+    let mut shadow_called: BTreeSet<String> = BTreeSet::new();
+    for f in files.iter() {
+        let t = &f.parsed.toks;
+        for i in 0..t.len() {
+            let Some(Tok::Ident(s)) = t.get(i).map(|x| &x.tok) else {
+                continue;
+            };
+            if !fn_names.contains(s.as_str()) {
+                continue;
+            }
+            let called = punct(t, i + 1) == Some('(');
+            let declared = i > 0 && ident(t, i - 1) == Some("fn");
+            let gated = f.parsed.cfg_gated_toks.get(i).copied().unwrap_or(false);
+            if (!called && !declared) || (called && gated) {
+                shadow_called.insert(s.clone());
+            }
+        }
+    }
+    // Test functions call anything in their crate; their bodies are
+    // never interpreted, so any name a test mentions is poisoned too.
+    for f in files.iter() {
+        for item in &f.parsed.fns {
+            if !item.is_test {
+                continue;
+            }
+            let Some((b0, b1)) = item.body else { continue };
+            for i in b0..=b1.min(f.parsed.toks.len().saturating_sub(1)) {
+                if let Some(Tok::Ident(s)) = f.parsed.toks.get(i).map(|x| &x.tok) {
+                    if fn_names.contains(s.as_str()) {
+                        shadow_called.insert(s.clone());
+                    }
+                }
+            }
+        }
+    }
+    let runnable: Vec<bool> = g
+        .fns
+        .iter()
+        .map(|n| {
+            let item = &files[n.file].parsed.fns[n.item];
+            item.body.is_some() && !item.is_test && !item.cfg_gated
+        })
+        .collect();
+    let eligible: Vec<bool> = g
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(gi, n)| {
+            let item = &files[n.file].parsed.fns[n.item];
+            let info = &infos[gi];
+            info.clean
+                && !info.is_pub
+                && !item.is_test
+                && !info.params.is_empty()
+                && !shadow_called.contains(&item.name)
+        })
+        .collect();
+    // Summary rounds: round 0 runs with no summaries (every call site
+    // conservatively TOP), later rounds consume the previous round's
+    // return intervals and observed-argument joins; round 2 widens
+    // against round 1 so the chain stabilises.
+    let mut summaries: BTreeMap<usize, FnSummary> = BTreeMap::new();
+    let mut param_acc: BTreeMap<usize, Vec<Ival>> = BTreeMap::new();
+    for round in 0..3 {
+        let mut new_sums: BTreeMap<usize, FnSummary> = BTreeMap::new();
+        let mut new_params: BTreeMap<usize, Vec<Ival>> = BTreeMap::new();
+        for (gi, n) in g.fns.iter().enumerate() {
+            if !runnable[gi] {
+                continue;
+            }
+            let f = &files[n.file];
+            let cx = Cx {
+                toks: &f.parsed.toks,
+                gated: &f.parsed.cfg_gated_toks,
+                item: &f.parsed.fns[n.item],
+                consts: &consts,
+                fields: &fields,
+                elems: &elems,
+                summaries: &summaries,
+                targets: &file_targets[n.file],
+                node_mut_self: &node_mut_self,
+                collect: false,
+            };
+            let pstate = if eligible[gi] {
+                param_acc.get(&gi).map(|v| v.as_slice())
+            } else {
+                None
+            };
+            let run = run_fn(&cx, &infos[gi], pstate);
+            let mut ret = run.ret;
+            if round >= 2 {
+                if let Some(old) = summaries.get(&gi) {
+                    ret = old.ret.widen(ret);
+                }
+            }
+            new_sums.insert(
+                gi,
+                FnSummary {
+                    ret,
+                    ret_float: infos[gi].ret.float,
+                },
+            );
+            for (tn, ivs) in run.args_out {
+                match new_params.get_mut(&tn) {
+                    Some(cur) => {
+                        if cur.len() == ivs.len() {
+                            for (a, b) in cur.iter_mut().zip(&ivs) {
+                                *a = a.join(*b);
+                            }
+                        } else {
+                            cur.clear();
+                        }
+                    }
+                    None => {
+                        new_params.insert(tn, ivs);
+                    }
+                }
+            }
+        }
+        summaries = new_sums;
+        let prev = std::mem::take(&mut param_acc);
+        param_acc = new_params
+            .into_iter()
+            .filter(|(tn, ivs)| !ivs.is_empty() && infos[*tn].params.len() == ivs.len())
+            .map(|(tn, mut ivs)| {
+                // Widen against the previous round so a bound that is
+                // still moving jumps to its sentinel rather than
+                // narrowing the entry state below a later round's
+                // reachable arguments.
+                if let Some(old) = prev.get(&tn) {
+                    for (iv, o) in ivs.iter_mut().zip(old) {
+                        *iv = o.widen(*iv);
+                    }
+                }
+                (tn, ivs)
+            })
+            .collect();
+    }
+    // Collecting pass over in-scope files.
+    struct Pending {
+        file: usize,
+        item: usize,
+        qname: String,
+        sites: Vec<Site>,
+        accums: Vec<FloatAccum>,
+    }
+    let mut pend: Vec<Pending> = Vec::new();
+    for (gi, n) in g.fns.iter().enumerate() {
+        let rel = &files[n.file].rel_path;
+        if !runnable[gi] || !(implicit_panic_scope(rel) || float_det_scope(rel)) {
+            continue;
+        }
+        let f = &files[n.file];
+        let cx = Cx {
+            toks: &f.parsed.toks,
+            gated: &f.parsed.cfg_gated_toks,
+            item: &f.parsed.fns[n.item],
+            consts: &consts,
+            fields: &fields,
+            elems: &elems,
+            summaries: &summaries,
+            targets: &file_targets[n.file],
+            node_mut_self: &node_mut_self,
+            collect: true,
+        };
+        let pstate = if eligible[gi] {
+            param_acc.get(&gi).map(|v| v.as_slice())
+        } else {
+            None
+        };
+        let mut run = run_fn(&cx, &infos[gi], pstate);
+        // Re-interpreted subexpressions (branch joins, loop re-runs)
+        // can register a site twice; keep one copy, preferring the
+        // undischarged verdict (`false < true` after the sort).
+        run.sites.sort_by(|a, b| {
+            (a.line, a.kind, &a.text, a.discharged).cmp(&(b.line, b.kind, &b.text, b.discharged))
+        });
+        run.sites
+            .dedup_by(|a, b| a.line == b.line && a.kind == b.kind && a.text == b.text);
+        run.accums
+            .sort_by(|a, b| (a.line, &a.target, a.cause).cmp(&(b.line, &b.target, b.cause)));
+        run.accums
+            .dedup_by(|a, b| a.line == b.line && a.target == b.target);
+        pend.push(Pending {
+            file: n.file,
+            item: n.item,
+            qname: n.qname.clone(),
+            sites: run.sites,
+            accums: run.accums,
+        });
+    }
+    for p in pend {
+        let rel = files[p.file].rel_path.clone();
+        let norm = rel.replace('\\', "/");
+        let ip_scope = implicit_panic_scope(&rel);
+        let hot = HOT_PATH_FILES.contains(&norm.as_str());
+        let sig_line = files[p.file].parsed.fns[p.item].sig_line;
+        if ip_scope {
+            let (mut nsites, mut ndis) = (0usize, 0usize);
+            for s in &p.sites {
+                nsites += 1;
+                if hot {
+                    out.hot_sites += 1;
+                }
+                if s.discharged {
+                    ndis += 1;
+                    if hot {
+                        out.hot_discharged += 1;
+                    }
+                    continue;
+                }
+                let f = &mut files[p.file];
+                if let Some(d) = f.allow_site(s.line, "implicit_panic") {
+                    f.credit(d, "implicit_panic");
+                    if hot {
+                        out.hot_vouched += 1;
+                    }
+                } else {
+                    out.violations.push(Violation {
+                        file: rel.clone(),
+                        line: s.line + 1,
+                        rule: "implicit_panic",
+                        message: format!(
+                            "implicit {} panic site `{}` not discharged ({}); prove it with a bound the interval engine can see, or vouch with `// lint: allow(implicit_panic) -- reason`",
+                            s.kind, s.text, s.why
+                        ),
+                        related: vec![Related {
+                            file: rel.clone(),
+                            line: sig_line + 1,
+                            message: format!("in fn {}", p.qname),
+                        }],
+                    });
+                }
+            }
+            out.fn_stats.push(FnPanicStats {
+                file: p.file,
+                item: p.item,
+                sites: nsites,
+                discharged: ndis,
+            });
+        }
+        if float_det_scope(&rel) {
+            for a in &p.accums {
+                let f = &mut files[p.file];
+                if let Some(d) = f
+                    .ordered_merge_at(a.line)
+                    .or_else(|| f.ordered_merge_at(a.header_line))
+                {
+                    f.credit(d, "ordered_merge");
+                    continue;
+                }
+                if let Some(d) = f.allow_site(a.line, "float_determinism") {
+                    f.credit(d, "float_determinism");
+                    continue;
+                }
+                out.violations.push(Violation {
+                    file: rel.clone(),
+                    line: a.line + 1,
+                    rule: "float_determinism",
+                    message: format!(
+                        "float accumulation into `{}` inside a loop with nondeterministic order ({}); merge in ascending index order and mark the loop `// lint: ordered_merge`",
+                        a.target, a.cause
+                    ),
+                    related: vec![Related {
+                        file: rel.clone(),
+                        line: a.header_line + 1,
+                        message: "order-nondeterministic loop header".to_string(),
+                    }],
+                });
+            }
+        }
+    }
+    out.violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Standalone snippet entry point (unit tests + interval-soundness
+// proptest)
+// ---------------------------------------------------------------------------
+
+/// Interprets the first function of `source` in isolation: no call
+/// graph, empty corpus tables, full site collection.
+fn snippet_run(source: &str) -> FnRun {
+    let lines = crate::lex(source);
+    let in_test = vec![false; lines.len()];
+    let parsed = crate::items::parse_file(&lines, &in_test);
+    let consts = BTreeMap::new();
+    let fields = BTreeMap::new();
+    let elems = BTreeMap::new();
+    let summaries = BTreeMap::new();
+    let targets = BTreeMap::new();
+    let item = parsed.fns.first().expect("snippet declares a fn");
+    let cx = Cx {
+        toks: &parsed.toks,
+        gated: &parsed.cfg_gated_toks,
+        item,
+        consts: &consts,
+        fields: &fields,
+        elems: &elems,
+        summaries: &summaries,
+        targets: &targets,
+        node_mut_self: &[],
+        collect: true,
+    };
+    let info = parse_sig(&parsed.toks, item, &consts);
+    run_fn(&cx, &info, None)
+}
+
+/// Final `(lo, hi)` integer interval per local of the snippet's first
+/// function — the hook `lint::infer_intervals` re-exports for the
+/// interval-soundness proptest.
+pub(crate) fn snippet_intervals(source: &str) -> BTreeMap<String, (i128, i128)> {
+    snippet_run(source)
+        .env
+        .vars
+        .iter()
+        .map(|(k, v)| (k.clone(), (v.ival.lo, v.ival.hi)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(src: &str) -> Vec<(String, bool)> {
+        snippet_run(src)
+            .sites
+            .into_iter()
+            .map(|s| (s.kind.to_string(), s.discharged))
+            .collect()
+    }
+
+    #[test]
+    fn counted_for_loop_index_discharges() {
+        let s = sites(
+            "fn f(xs: &[f64]) -> f64 {\n\
+             \x20   let mut t = 0.0;\n\
+             \x20   for i in 0..xs.len() {\n\
+             \x20       t += xs[i];\n\
+             \x20   }\n\
+             \x20   t\n\
+             }\n",
+        );
+        assert_eq!(s.len(), 1, "{s:?}");
+        assert_eq!(s[0], ("index".to_string(), true));
+    }
+
+    #[test]
+    fn guard_clause_discharges_index() {
+        let s = sites(
+            "fn f(xs: &[u64], i: usize) -> u64 {\n\
+             \x20   if i >= xs.len() {\n\
+             \x20       return 0;\n\
+             \x20   }\n\
+             \x20   xs[i]\n\
+             }\n",
+        );
+        assert_eq!(s.len(), 1, "{s:?}");
+        assert_eq!(s[0], ("index".to_string(), true));
+    }
+
+    #[test]
+    fn unguarded_index_is_reported() {
+        let s = sites("fn f(xs: &[u64], i: usize) -> u64 {\n    xs[i]\n}\n");
+        assert_eq!(s.len(), 1, "{s:?}");
+        assert_eq!(s[0], ("index".to_string(), false));
+    }
+
+    #[test]
+    fn division_discharge_needs_nonzero_divisor() {
+        let s = sites(
+            "fn f(x: usize, y: usize) -> usize {\n\
+             \x20   let a = x / 8;\n\
+             \x20   let b = x / y;\n\
+             \x20   a + b\n\
+             }\n",
+        );
+        assert_eq!(s.len(), 2, "{s:?}");
+        assert_eq!(s[0], ("div".to_string(), true));
+        assert_eq!(s[1], ("div".to_string(), false));
+    }
+
+    #[test]
+    fn guarded_unsigned_sub_discharges() {
+        let s = sites(
+            "fn f(xs: &[u64], i: usize) -> usize {\n\
+             \x20   if i >= xs.len() {\n\
+             \x20       return 0;\n\
+             \x20   }\n\
+             \x20   xs.len() - i\n\
+             }\n",
+        );
+        assert_eq!(s.len(), 1, "{s:?}");
+        assert_eq!(s[0], ("sub".to_string(), true));
+    }
+
+    #[test]
+    fn full_range_slice_discharges() {
+        let s = sites(
+            "fn f(xs: &[u64]) -> u64 {\n\
+             \x20   let ys = &xs[0..xs.len()];\n\
+             \x20   ys.iter().sum()\n\
+             }\n",
+        );
+        assert_eq!(s.len(), 1, "{s:?}");
+        assert_eq!(s[0], ("slice".to_string(), true));
+    }
+
+    #[test]
+    fn hash_iteration_float_accum_flagged() {
+        let run = snippet_run(
+            "fn f(m: &HashMap<u64, f64>) -> f64 {\n\
+             \x20   let mut s = 0.0;\n\
+             \x20   for v in m.values() {\n\
+             \x20       s += v;\n\
+             \x20   }\n\
+             \x20   s\n\
+             }\n",
+        );
+        assert_eq!(run.accums.len(), 1, "expected one float accumulation");
+    }
+
+    #[test]
+    fn counted_float_accum_not_flagged() {
+        let run = snippet_run(
+            "fn f(xs: &[f64]) -> f64 {\n\
+             \x20   let mut s = 0.0;\n\
+             \x20   for i in 0..xs.len() {\n\
+             \x20       s += xs[i];\n\
+             \x20   }\n\
+             \x20   s\n\
+             }\n",
+        );
+        assert!(run.accums.is_empty());
+    }
+
+    #[test]
+    fn snippet_intervals_track_constants() {
+        let iv = snippet_intervals(
+            "fn f() -> i64 {\n\
+             \x20   let a = 3;\n\
+             \x20   let b = a * 4 + 1;\n\
+             \x20   b\n\
+             }\n",
+        );
+        assert_eq!(iv.get("a"), Some(&(3, 3)));
+        assert_eq!(iv.get("b"), Some(&(13, 13)));
+    }
+
+    #[test]
+    fn branch_join_widens_to_hull() {
+        let iv = snippet_intervals(
+            "fn f(c: bool) -> i64 {\n\
+             \x20   let x = if c { 2 } else { 7 };\n\
+             \x20   x\n\
+             }\n",
+        );
+        assert_eq!(iv.get("x"), Some(&(2, 7)));
+    }
+}

@@ -504,6 +504,7 @@ pub(crate) fn analyze(files: &mut [FileScan]) -> GraphOutcome {
                     file: file.rel_path.clone(),
                     line: item.sig_line + 1,
                     rule: TRANSITIVE_RULES[class],
+                    related: Vec::new(),
                     message: format!(
                         "`{}` {} via {}{}",
                         g.qname,
@@ -586,6 +587,7 @@ pub(crate) fn analyze(files: &mut [FileScan]) -> GraphOutcome {
                         file: file.rel_path.clone(),
                         line: acq.line + 1,
                         rule: "guard_across_blocking",
+                        related: Vec::new(),
                         message: format!(
                             "`{}` holds the `{}.{}()` guard across {} blocking op(s); first: {}",
                             g.qname,
@@ -693,6 +695,7 @@ pub(crate) fn analyze(files: &mut [FileScan]) -> GraphOutcome {
                 file: efile.clone(),
                 line: *eline,
                 rule: "lock_order",
+                related: Vec::new(),
                 message: format!(
                     "lock-order cycle among {{{}}}: `{efn}` takes `{b}` while holding `{a}`, \
                      but another path takes them in the opposite order",
@@ -727,6 +730,7 @@ pub(crate) fn analyze(files: &mut [FileScan]) -> GraphOutcome {
                     file: file.rel_path.clone(),
                     line: line + 1,
                     rule: "unbounded_queue",
+                    related: Vec::new(),
                     message: format!(
                         "`{}` drains `try_recv()` in a loop with no batch/len bound \
                          (serve's writer caps each wake at ≤256 messages)",
@@ -766,6 +770,7 @@ pub(crate) fn analyze(files: &mut [FileScan]) -> GraphOutcome {
                     file: file.rel_path.clone(),
                     line: item.sig_line + 1,
                     rule: "call_depth_budget",
+                    related: Vec::new(),
                     message: match depth {
                         None => format!(
                             "`{}` has unbounded call depth (reaches a recursive cycle); \

@@ -1,0 +1,273 @@
+//! The interval abstract domain for the dataflow pass.
+//!
+//! Values are closed integer intervals `[lo, hi]` over `i128` with
+//! symmetric infinity sentinels far from the representable edge, so
+//! saturating arithmetic on bounds can never wrap back into the finite
+//! range. The domain is a lattice under inclusion: `join` is the
+//! interval hull, `meet` the intersection (empty encoded as
+//! `lo > hi`), and `widen` jumps unstable bounds straight to the
+//! sentinels — with finitely many widening points per function body,
+//! the fixpoint terminates in a bounded number of rounds (see
+//! DESIGN §17 for the termination argument).
+//!
+//! All arithmetic is *conservative*: any operand or operation the
+//! transfer functions cannot bound precisely yields `TOP`, which can
+//! only ever suppress a discharge, never manufacture one.
+
+/// Negative infinity sentinel (`i128::MIN / 4`: far enough from the
+/// edge that saturating bound arithmetic stays on the correct side).
+pub const NEG_INF: i128 = i128::MIN / 4;
+/// Positive infinity sentinel.
+pub const POS_INF: i128 = i128::MAX / 4;
+
+/// A closed integer interval `[lo, hi]`; `lo > hi` encodes bottom
+/// (unreachable), `[NEG_INF, POS_INF]` is top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ival {
+    /// Inclusive lower bound (`NEG_INF` = unbounded below).
+    pub lo: i128,
+    /// Inclusive upper bound (`POS_INF` = unbounded above).
+    pub hi: i128,
+}
+
+/// The unbounded interval.
+pub const TOP: Ival = Ival {
+    lo: NEG_INF,
+    hi: POS_INF,
+};
+
+/// The empty (unreachable) interval.
+pub const BOTTOM: Ival = Ival { lo: 1, hi: 0 };
+
+/// Clamp a raw bound back into the sentinel range.
+fn clamp(x: i128) -> i128 {
+    x.clamp(NEG_INF, POS_INF)
+}
+
+impl Ival {
+    /// The singleton interval `[v, v]`.
+    pub fn exact(v: i128) -> Ival {
+        let v = clamp(v);
+        Ival { lo: v, hi: v }
+    }
+
+    /// The interval `[lo, hi]` (clamped into the sentinel range).
+    pub fn of(lo: i128, hi: i128) -> Ival {
+        Ival {
+            lo: clamp(lo),
+            hi: clamp(hi),
+        }
+    }
+
+    /// Whether the interval contains no value.
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether the interval is the single value `v`.
+    pub fn is_exactly(self, v: i128) -> bool {
+        self.lo == v && self.hi == v
+    }
+
+    /// Least upper bound (interval hull).
+    pub fn join(self, other: Ival) -> Ival {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        Ival {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Greatest lower bound (intersection).
+    pub fn meet(self, other: Ival) -> Ival {
+        Ival {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Standard widening: a bound that moved between rounds jumps to
+    /// its sentinel, so ascending chains stabilise in ≤ 2 steps per
+    /// bound.
+    pub fn widen(self, next: Ival) -> Ival {
+        if self.is_empty() {
+            return next;
+        }
+        if next.is_empty() {
+            return self;
+        }
+        Ival {
+            lo: if next.lo < self.lo { NEG_INF } else { self.lo },
+            hi: if next.hi > self.hi { POS_INF } else { self.hi },
+        }
+    }
+
+    /// Abstract addition (bound-wise, saturating at the sentinels).
+    pub fn add(self, other: Ival) -> Ival {
+        if self.is_empty() || other.is_empty() {
+            return BOTTOM;
+        }
+        Ival::of(
+            if self.lo == NEG_INF || other.lo == NEG_INF {
+                NEG_INF
+            } else {
+                self.lo.saturating_add(other.lo)
+            },
+            if self.hi == POS_INF || other.hi == POS_INF {
+                POS_INF
+            } else {
+                self.hi.saturating_add(other.hi)
+            },
+        )
+    }
+
+    /// Abstract subtraction.
+    pub fn sub(self, other: Ival) -> Ival {
+        if self.is_empty() || other.is_empty() {
+            return BOTTOM;
+        }
+        Ival::of(
+            if self.lo == NEG_INF || other.hi == POS_INF {
+                NEG_INF
+            } else {
+                self.lo.saturating_sub(other.hi)
+            },
+            if self.hi == POS_INF || other.lo == NEG_INF {
+                POS_INF
+            } else {
+                self.hi.saturating_sub(other.lo)
+            },
+        )
+    }
+
+    /// Abstract multiplication (all four corner products).
+    pub fn mul(self, other: Ival) -> Ival {
+        if self.is_empty() || other.is_empty() {
+            return BOTTOM;
+        }
+        let unbounded = |x: i128| x == NEG_INF || x == POS_INF;
+        if unbounded(self.lo) || unbounded(self.hi) || unbounded(other.lo) || unbounded(other.hi) {
+            // The lower corner is still exact when both operands are
+            // non-negative (`i * lanes` on usize): the product is at
+            // least `lo · lo` even through unbounded upper bounds.
+            if self.lo >= 0 && other.lo >= 0 {
+                return Ival::of(self.lo.saturating_mul(other.lo), POS_INF);
+            }
+            return TOP;
+        }
+        let corners = [
+            self.lo.saturating_mul(other.lo),
+            self.lo.saturating_mul(other.hi),
+            self.hi.saturating_mul(other.lo),
+            self.hi.saturating_mul(other.hi),
+        ];
+        Ival::of(
+            corners.iter().copied().min().unwrap_or(NEG_INF),
+            corners.iter().copied().max().unwrap_or(POS_INF),
+        )
+    }
+
+    /// Abstract division. Division *safety* (nonzero divisor) is judged
+    /// separately at the site; the transfer function here only bounds
+    /// the result, and only in the easy all-non-negative case.
+    pub fn div(self, other: Ival) -> Ival {
+        if self.is_empty() || other.is_empty() {
+            return BOTTOM;
+        }
+        if self.lo >= 0 && other.lo >= 1 && self.hi < POS_INF {
+            return Ival::of(self.lo / other.hi.clamp(1, POS_INF - 1), self.hi / other.lo);
+        }
+        if self.lo >= 0 && other.lo >= 1 {
+            return Ival::of(0, POS_INF);
+        }
+        TOP
+    }
+
+    /// Abstract remainder: for a non-negative dividend and a positive
+    /// bounded divisor, the result sits in `[0, max_divisor - 1]`.
+    pub fn rem(self, other: Ival) -> Ival {
+        if self.is_empty() || other.is_empty() {
+            return BOTTOM;
+        }
+        if self.lo >= 0 && other.lo >= 1 {
+            let cap = if other.hi == POS_INF {
+                POS_INF
+            } else {
+                other.hi - 1
+            };
+            return Ival::of(0, cap.min(self.hi));
+        }
+        TOP
+    }
+
+    /// Human-readable rendering for witness messages: `[0, len)`-style
+    /// with `-inf`/`+inf` for the sentinels.
+    pub fn render(self) -> String {
+        let side = |v: i128, neg: bool| {
+            if v <= NEG_INF && neg {
+                "-inf".to_string()
+            } else if v >= POS_INF && !neg {
+                "+inf".to_string()
+            } else {
+                v.to_string()
+            }
+        };
+        format!("[{}, {}]", side(self.lo, true), side(self.hi, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_ops() {
+        let a = Ival::of(0, 10);
+        let b = Ival::of(5, 20);
+        assert_eq!(a.join(b), Ival::of(0, 20));
+        assert_eq!(a.meet(b), Ival::of(5, 10));
+        assert!(Ival::of(5, 3).is_empty());
+        assert_eq!(BOTTOM.join(a), a);
+        assert_eq!(a.meet(TOP), a);
+    }
+
+    #[test]
+    fn widening_jumps_to_sentinels() {
+        let a = Ival::of(0, 4);
+        let grown = Ival::of(0, 5);
+        let w = a.widen(grown);
+        assert_eq!(w.lo, 0);
+        assert_eq!(w.hi, POS_INF);
+        // A stable bound stays put.
+        assert_eq!(a.widen(a), a);
+    }
+
+    #[test]
+    fn arithmetic_saturates_at_sentinels() {
+        let top = TOP;
+        assert_eq!(top.add(Ival::exact(1)), top);
+        let half = Ival::of(0, POS_INF);
+        assert_eq!(half.add(Ival::exact(1)).hi, POS_INF);
+        assert_eq!(half.add(Ival::exact(1)).lo, 1);
+        assert_eq!(Ival::exact(3).mul(Ival::exact(4)), Ival::exact(12));
+        assert_eq!(Ival::of(0, 10).sub(Ival::of(2, 3)), Ival::of(-3, 8));
+    }
+
+    #[test]
+    fn rem_bounds_by_divisor() {
+        assert_eq!(Ival::of(0, POS_INF).rem(Ival::exact(8)), Ival::of(0, 7));
+        assert_eq!(Ival::of(0, 3).rem(Ival::exact(100)), Ival::of(0, 3));
+        assert_eq!(Ival::of(-5, 5).rem(Ival::exact(8)), TOP);
+    }
+
+    #[test]
+    fn div_non_negative_case() {
+        assert_eq!(Ival::of(10, 20).div(Ival::exact(2)), Ival::of(5, 10));
+        assert_eq!(Ival::of(-1, 20).div(Ival::exact(2)), TOP);
+    }
+}

@@ -20,9 +20,10 @@ use crate::LexedLine;
 pub(crate) enum Tok {
     /// Identifier or keyword.
     Ident(String),
-    /// A numeric literal (kept so receiver chains like `pair.0.dot(..)`
-    /// stay walkable without being mistaken for field names).
-    Num,
+    /// A numeric literal, text retained (the dataflow pass evaluates
+    /// integer literals; receiver chains like `pair.0.dot(..)` stay
+    /// walkable without being mistaken for field names).
+    Num(String),
     /// Any other single significant character.
     Punct(char),
 }
@@ -137,6 +138,13 @@ pub(crate) struct FnItem {
     pub unbounded_recvs: Vec<(usize, usize)>,
     /// Brace depth of the body (innermost-wins fact attribution).
     pub depth: usize,
+    /// Token index of the `fn` keyword (signature tokens live in
+    /// `[sig_tok, body.0)` — the dataflow pass re-parses parameter
+    /// types at full fidelity from this range).
+    pub sig_tok: usize,
+    /// Token range of the body: `(index of the opening `{`, index of
+    /// the closing `}`)`. `None` for bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
 }
 
 /// Everything item-level extracted from one file.
@@ -146,8 +154,17 @@ pub(crate) struct ParsedFile {
     pub fns: Vec<FnItem>,
     /// Struct name → (field name → base type name).
     pub struct_fields: BTreeMap<String, BTreeMap<String, String>>,
+    /// Struct name → (field name → container *element* base name) for
+    /// `Vec<T>` / `Box<[T]>` / `Arc<Vec<T>>` / `[T; N]` / `&[T]` fields
+    /// — the dataflow pass types `self.field[i]` through this.
+    pub struct_field_elems: BTreeMap<String, BTreeMap<String, String>>,
     /// Every type this file defines (structs, enums, impl targets).
     pub types: BTreeSet<String>,
+    /// The full token stream the items were parsed from. `FnItem` token
+    /// indices (`sig_tok`, `body`, `CallSite::tok`) index into this.
+    pub toks: Vec<SpannedTok>,
+    /// Per token: sits inside an inner `#[cfg(...)]`-gated span.
+    pub cfg_gated_toks: Vec<bool>,
 }
 
 /// Rust keywords that can precede a `(` without being calls.
@@ -182,6 +199,7 @@ pub(crate) fn tokenize(lines: &[LexedLine]) -> Vec<SpannedTok> {
                 // (`1.5e-3f64`, `0xFF`); a trailing `.` only belongs to
                 // the number when a digit follows (so `x.0.dot` keeps
                 // its dots).
+                let start = i;
                 while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
@@ -192,7 +210,7 @@ pub(crate) fn tokenize(lines: &[LexedLine]) -> Vec<SpannedTok> {
                     }
                 }
                 toks.push(SpannedTok {
-                    tok: Tok::Num,
+                    tok: Tok::Num(chars[start..i].iter().collect()),
                     line: line_idx,
                 });
             } else if c == '\'' {
@@ -221,14 +239,14 @@ pub(crate) fn tokenize(lines: &[LexedLine]) -> Vec<SpannedTok> {
     toks
 }
 
-fn ident(toks: &[SpannedTok], i: usize) -> Option<&str> {
+pub(crate) fn ident(toks: &[SpannedTok], i: usize) -> Option<&str> {
     match toks.get(i).map(|t| &t.tok) {
         Some(Tok::Ident(s)) => Some(s),
         _ => None,
     }
 }
 
-fn punct(toks: &[SpannedTok], i: usize) -> Option<char> {
+pub(crate) fn punct(toks: &[SpannedTok], i: usize) -> Option<char> {
     match toks.get(i).map(|t| &t.tok) {
         Some(Tok::Punct(c)) => Some(*c),
         _ => None,
@@ -238,6 +256,10 @@ fn punct(toks: &[SpannedTok], i: usize) -> Option<char> {
 /// Skips a balanced `<...>` group starting at the `<`; returns the
 /// index just past the matching `>`. `->` and `=>` arrows inside do
 /// not close the group.
+pub(crate) fn skip_generics_pub(toks: &[SpannedTok], i: usize) -> usize {
+    skip_generics(toks, i)
+}
+
 fn skip_generics(toks: &[SpannedTok], mut i: usize) -> usize {
     debug_assert_eq!(punct(toks, i), Some('<'));
     let mut depth = 0usize;
@@ -317,6 +339,8 @@ fn parse_fn_header(
         acquires: Vec::new(),
         unbounded_recvs: Vec::new(),
         depth: 0,
+        sig_tok: fn_kw,
+        body: None,
     };
     let mut i = fn_kw + 2;
     if punct(toks, i) == Some('<') {
@@ -388,12 +412,56 @@ fn parse_fn_header(
     None
 }
 
+/// Reads the container *element* base name of a field type starting at
+/// `i`: drills through `&`/`mut`, one wrapper layer of `Vec`/`Box`/
+/// `Arc`/`Rc` generics, and `[T; N]` / `[T]` brackets to the innermost
+/// path base (`f64` for `Arc<Vec<f64>>`). `None` when the type has no
+/// recognizable element.
+fn type_elem(toks: &[SpannedTok], mut i: usize) -> Option<String> {
+    let mut wrappers = 0usize;
+    for _ in 0..4 {
+        loop {
+            match toks.get(i).map(|t| &t.tok) {
+                Some(Tok::Punct('&')) => i += 1,
+                Some(Tok::Ident(s)) if s == "mut" || s == "dyn" => i += 1,
+                _ => break,
+            }
+        }
+        if punct(toks, i) == Some('[') {
+            // `[T; N]` / `[T]`: the element type starts just inside.
+            let (base, _) = type_base(toks, i + 1);
+            return base;
+        }
+        match toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) if matches!(s.as_str(), "Vec" | "VecDeque") => {
+                if punct(toks, i + 1) != Some('<') {
+                    return None;
+                }
+                wrappers += 1;
+                i += 2; // the element is the generic argument
+            }
+            Some(Tok::Ident(s)) if matches!(s.as_str(), "Box" | "Arc" | "Rc") => {
+                if punct(toks, i + 1) != Some('<') {
+                    return None;
+                }
+                i += 2; // transparent wrapper: look through it
+            }
+            // Innermost path base: only an *element* when at least one
+            // container layer was peeled (a bare scalar has none).
+            _ if wrappers > 0 => return type_base(toks, i).0,
+            _ => return None,
+        }
+    }
+    None
+}
+
 /// Parses `struct Name { field: Type, ... }` fields starting just past
 /// the struct name; tuple structs and unit structs record no fields.
 fn parse_struct_fields(
     toks: &[SpannedTok],
     mut i: usize,
     fields: &mut BTreeMap<String, String>,
+    elems: &mut BTreeMap<String, String>,
 ) -> usize {
     if punct(toks, i) == Some('<') {
         i = skip_generics(toks, i);
@@ -429,6 +497,9 @@ fn parse_struct_fields(
                 let (base, next) = type_base(toks, i + 2);
                 if let Some(base) = base {
                     fields.insert(fname.clone(), base);
+                }
+                if let Some(elem) = type_elem(toks, i + 2) {
+                    elems.insert(fname.clone(), elem);
                 }
                 i = next.max(i + 2);
             }
@@ -466,7 +537,7 @@ fn receiver_chain(toks: &[SpannedTok], dot: usize) -> Option<Vec<String>> {
                     return Some(chain);
                 }
             }
-            Tok::Num => {
+            Tok::Num(_) => {
                 // Tuple-field hop (`pair.0.dot(..)`): the hop itself is
                 // untypable here, so the chain is unknown.
                 return None;
@@ -877,6 +948,9 @@ pub(crate) fn parse_file(lines: &[LexedLine], in_test: &[bool]) -> ParsedFile {
                     if *d >= depth {
                         if let Ctx::Fn(fi) = ctx {
                             out.fns[*fi].end_line = toks[i].line;
+                            if let Some(body) = &mut out.fns[*fi].body {
+                                body.1 = i;
+                            }
                         }
                         stack.pop();
                     } else {
@@ -945,8 +1019,10 @@ pub(crate) fn parse_file(lines: &[LexedLine], in_test: &[bool]) -> ParsedFile {
                 out.types.insert(name.clone());
                 if kw == "struct" {
                     let mut fields = BTreeMap::new();
-                    let next = parse_struct_fields(&toks, i + 2, &mut fields);
-                    out.struct_fields.insert(name, fields);
+                    let mut elems = BTreeMap::new();
+                    let next = parse_struct_fields(&toks, i + 2, &mut fields, &mut elems);
+                    out.struct_fields.insert(name.clone(), fields);
+                    out.struct_field_elems.insert(name, elems);
                     i = next.max(i + 2);
                 } else {
                     i += 2;
@@ -964,6 +1040,7 @@ pub(crate) fn parse_file(lines: &[LexedLine], in_test: &[bool]) -> ParsedFile {
                         item.depth = depth;
                         let fi = out.fns.len();
                         if has_body {
+                            item.body = Some((body, body));
                             out.fns.push(item);
                             stack.push((Ctx::Fn(fi), depth));
                             depth += 1;
@@ -1126,6 +1203,8 @@ pub(crate) fn parse_file(lines: &[LexedLine], in_test: &[bool]) -> ParsedFile {
             _ => i += 1,
         }
     }
+    out.toks = toks;
+    out.cfg_gated_toks = cfg_gated_toks;
     out
 }
 

@@ -81,17 +81,23 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+mod cache;
+mod dataflow;
 mod fix;
 mod graph;
+mod intervals;
 mod items;
 pub mod report;
+mod sarif;
 
+pub use cache::analyze_root_cached;
 pub use fix::{fix_root, fix_sources};
+pub use sarif::to_sarif;
 
 pub use report::{
-    diff_reports, render_diff, AllowEntry, DepthBudgetEntry, FnEntry, GuardEntry, LintReport,
-    LockOrderEdge, LockOrderSection, ReportDiff, ReportStats, RuleCount, REPORT_FILE,
-    SCHEMA_VERSION,
+    diff_reports, render_diff, AllowEntry, DepthBudgetEntry, FnEntry, GuardEntry,
+    ImplicitPanicSection, LintReport, LockOrderEdge, LockOrderSection, ReportDiff, ReportStats,
+    RuleCount, REPORT_FILE, SCHEMA_VERSION,
 };
 
 /// Every rule class, in the fixed order the report counts them.
@@ -110,6 +116,8 @@ pub const RULES: &[&str] = &[
     "lock_order",
     "unbounded_queue",
     "call_depth_budget",
+    "implicit_panic",
+    "float_determinism",
 ];
 
 /// Rule (and allow) names of the transitive variants, class-aligned
@@ -135,6 +143,21 @@ pub struct Violation {
     /// Rule class name (also the `allow(...)` escape-hatch name).
     pub rule: &'static str,
     /// Human-readable explanation, including the matched token.
+    pub message: String,
+    /// Witness chain: auxiliary locations that explain the finding
+    /// (enclosing function, nondet loop header). Rendered as SARIF
+    /// `relatedLocations`.
+    pub related: Vec<Related>,
+}
+
+/// One auxiliary location in a violation's witness chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Related {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What this location contributes to the finding.
     pub message: String,
 }
 
@@ -365,6 +388,9 @@ pub(crate) struct Directives {
     /// `depth_budget(N)`: ceiling on the transitive call depth of the
     /// function whose signature shares this line.
     depth_budget: Option<u64>,
+    /// `ordered_merge`: the float reduction on (or under the loop
+    /// header on) this line merges in ascending index order.
+    ordered_merge: bool,
 }
 
 fn parse_directives(comment: &str) -> Directives {
@@ -387,6 +413,8 @@ fn parse_directives(comment: &str) -> Directives {
             if let Some(end) = args.find(')') {
                 out.depth_budget = args[..end].trim().parse().ok();
             }
+        } else if body.starts_with("ordered_merge") {
+            out.ordered_merge = true;
         }
         rest = &rest[pos + 5..];
     }
@@ -561,6 +589,19 @@ impl FileScan {
     /// inline on the line itself, or alone on the directly preceding
     /// (code-free) comment line — same placement grammar as `allow`,
     /// so rustfmt-driven comment relocation cannot detach a budget.
+    /// The `ordered_merge` directive for line `idx`: inline on the
+    /// line itself, or alone on the directly preceding (code-free)
+    /// comment line. Returns the directive's line index.
+    pub(crate) fn ordered_merge_at(&self, idx: usize) -> Option<usize> {
+        if self.directives.get(idx).is_some_and(|d| d.ordered_merge) {
+            return Some(idx);
+        }
+        if idx > 0 && !self.lines[idx - 1].has_code() && self.directives[idx - 1].ordered_merge {
+            return Some(idx - 1);
+        }
+        None
+    }
+
     pub(crate) fn depth_budget_at(&self, idx: usize) -> Option<u64> {
         if let Some(budget) = self.directives.get(idx).and_then(|d| d.depth_budget) {
             return Some(budget);
@@ -690,6 +731,7 @@ fn scan_file(rel_path: &str, source: &str) -> FileScan {
             file: rel_path.to_string(),
             line: 1,
             rule: "hot_path_marker",
+            related: Vec::new(),
             message: "decision-hot-path module must carry the `// lint: deny_alloc` marker"
                 .to_string(),
         });
@@ -725,6 +767,7 @@ fn scan_file(rel_path: &str, source: &str) -> FileScan {
                             file: rel_path.to_string(),
                             line: lineno,
                             rule: "alloc",
+                            related: Vec::new(),
                             message: format!(
                                 "heap-constructor token `{}` in a deny_alloc module",
                                 token.trim_matches(&['.', '(', ':', '<'][..])
@@ -749,6 +792,7 @@ fn scan_file(rel_path: &str, source: &str) -> FileScan {
                             file: rel_path.to_string(),
                             line: lineno,
                             rule: "nondet",
+                            related: Vec::new(),
                             message: format!(
                                 "nondeterministic construct `{token}` in a decision-path crate (use BTreeMap/BTreeSet or a seeded RNG)"
                             ),
@@ -772,6 +816,7 @@ fn scan_file(rel_path: &str, source: &str) -> FileScan {
                             file: rel_path.to_string(),
                             line: lineno,
                             rule: "panic",
+                            related: Vec::new(),
                             message: format!(
                                 "potential panic path `{}` in library code (return a typed error or use total_cmp)",
                                 token.trim_matches(&['.', '('][..])
@@ -802,6 +847,7 @@ fn scan_file(rel_path: &str, source: &str) -> FileScan {
                                 file: rel_path.to_string(),
                                 line: lineno,
                                 rule: "missing_docs",
+                                related: Vec::new(),
                                 message: "pub fn without a doc comment".to_string(),
                             });
                         }
@@ -818,6 +864,7 @@ fn scan_file(rel_path: &str, source: &str) -> FileScan {
                     file: rel_path.to_string(),
                     line: lineno,
                     rule: "unsafe_code",
+                    related: Vec::new(),
                     message: "`unsafe` outside the annotated allowlist".to_string(),
                 });
             }
@@ -882,9 +929,11 @@ pub fn analyze_sources(sources: &[(String, String)]) -> Analysis {
     files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
 
     let outcome = graph::analyze(&mut files);
+    let flow = dataflow::analyze(&mut files, &outcome);
 
     let mut violations: Vec<Violation> = files.iter().flat_map(|f| f.violations.clone()).collect();
     violations.extend(outcome.violations.iter().cloned());
+    violations.extend(flow.violations.iter().cloned());
 
     // Dead-escape detection: a directive nothing credited is stale.
     let mut dead_allows: Vec<(String, usize, String)> = Vec::new();
@@ -896,6 +945,7 @@ pub fn analyze_sources(sources: &[(String, String)]) -> Analysis {
                     file: file.rel_path.clone(),
                     line: idx + 1,
                     rule: "dead_allow",
+                    related: Vec::new(),
                     message: format!(
                         "allow({name}) no longer suppresses anything (stale escape hatch — remove it)"
                     ),
@@ -919,12 +969,18 @@ pub fn analyze_sources(sources: &[(String, String)]) -> Analysis {
         })
         .collect();
 
+    let panic_stats: std::collections::BTreeMap<(usize, usize), (usize, usize)> = flow
+        .fn_stats
+        .iter()
+        .map(|s| ((s.file, s.item), (s.sites, s.discharged)))
+        .collect();
     let mut functions: Vec<FnEntry> = outcome
         .fns
         .iter()
         .filter(|g| files[g.file].deny_alloc)
         .map(|g| {
             let item = &files[g.file].parsed.fns[g.item];
+            let stats = panic_stats.get(&(g.file, g.item));
             FnEntry {
                 function: g.qname.clone(),
                 file: files[g.file].rel_path.clone(),
@@ -935,6 +991,8 @@ pub fn analyze_sources(sources: &[(String, String)]) -> Analysis {
                 transitive_alloc: g.eff[0],
                 transitive_panic: g.eff[1],
                 transitive_nondet: g.eff[2],
+                implicit_panic_sites: stats.map(|(s, _)| *s),
+                implicit_panic_discharged: stats.map(|(_, d)| *d),
             }
         })
         .collect();
@@ -981,9 +1039,23 @@ pub fn analyze_sources(sources: &[(String, String)]) -> Analysis {
             lock_order: Some(outcome.lock_order),
             guards: Some(outcome.guards),
             depth_budgets: Some(outcome.depth_budgets),
+            implicit_panic: Some(report::ImplicitPanicSection {
+                sites: flow.hot_sites,
+                discharged: flow.hot_discharged,
+                vouched: flow.hot_vouched,
+            }),
             stats,
         },
     }
+}
+
+/// Runs the interval abstract interpreter over the first function of
+/// `source` in isolation and returns each local's final `(lo, hi)`
+/// integer interval — the public hook the interval-soundness proptest
+/// drives (random straight-line programs are executed concretely and
+/// asserted to land inside these bounds).
+pub fn infer_intervals(source: &str) -> std::collections::BTreeMap<String, (i128, i128)> {
+    dataflow::snippet_intervals(source)
 }
 
 /// Collects every eligible `.rs` file under `root` (sorted walk).

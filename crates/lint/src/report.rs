@@ -45,6 +45,11 @@ pub struct FnEntry {
     pub transitive_panic: bool,
     /// Transitive nondeterminism taint.
     pub transitive_nondet: bool,
+    /// Implicit panic sites enumerated by the interval engine (v4;
+    /// `Option` so v3 snapshots still parse).
+    pub implicit_panic_sites: Option<usize>,
+    /// Of those, the count proven safe (v4, optional as above).
+    pub implicit_panic_discharged: Option<usize>,
 }
 
 impl FnEntry {
@@ -121,6 +126,17 @@ pub struct DepthBudgetEntry {
     pub depth: Option<u64>,
 }
 
+/// Corpus-level implicit-panic totals over the hot-path files.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ImplicitPanicSection {
+    /// Sites enumerated across `HOT_PATH_FILES`.
+    pub sites: usize,
+    /// Sites the interval engine proved safe.
+    pub discharged: usize,
+    /// Undischarged sites silenced by `// lint: allow(implicit_panic)`.
+    pub vouched: usize,
+}
+
 /// One `// lint: allow(...)` directive occurrence.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AllowEntry {
@@ -167,14 +183,18 @@ pub struct LintReport {
     pub guards: Option<Vec<GuardEntry>>,
     /// Depth-budget table, (file, line) order (v3, optional as above).
     pub depth_budgets: Option<Vec<DepthBudgetEntry>>,
+    /// Hot-path implicit-panic totals (v4, optional as above).
+    pub implicit_panic: Option<ImplicitPanicSection>,
     /// Corpus totals.
     pub stats: ReportStats,
 }
 
-/// Current schema version: 3, matching the analyzer generation that
-/// added the lock-order, guard, and depth-budget sections (the original
-/// call-graph property table shipped as schema 1).
-pub const SCHEMA_VERSION: usize = 3;
+/// Current schema version: 4, matching the analyzer generation that
+/// added the interval dataflow engine (implicit-panic discharge counts
+/// per hot function plus the corpus totals section); v3 added the
+/// lock-order, guard, and depth-budget sections, and the original
+/// call-graph property table shipped as schema 1.
+pub const SCHEMA_VERSION: usize = 4;
 
 /// File name of the committed snapshot at the workspace root.
 pub const REPORT_FILE: &str = "LINT_REPORT.json";
@@ -225,11 +245,25 @@ pub fn diff_reports(prev: &LintReport, cur: &LintReport) -> ReportDiff {
         }
     }
 
+    // Function rows are paired by (file, qualified name, occurrence
+    // ordinal): a trait-impl wrapper and an inherent method can share a
+    // qualified name within one file (`CsrMatrix::mul_sparse_vec_into`),
+    // and rows are (file, line)-sorted, so the k-th occurrence on each
+    // side is the same function even as line numbers drift.
+    let nth_match = |list: &[FnEntry], entry: &FnEntry, n: usize| -> Option<usize> {
+        list.iter()
+            .enumerate()
+            .filter(|(_, f)| f.function == entry.function && f.file == entry.file)
+            .map(|(i, _)| i)
+            .nth(n)
+    };
+    let mut seen: std::collections::BTreeMap<(&str, &str), usize> = Default::default();
     for entry in &cur.functions {
-        let before = prev
-            .functions
-            .iter()
-            .find(|f| f.function == entry.function && f.file == entry.file);
+        let ordinal = seen
+            .entry((entry.file.as_str(), entry.function.as_str()))
+            .or_insert(0);
+        let before = nth_match(&prev.functions, entry, *ordinal).map(|i| &prev.functions[i]);
+        *ordinal += 1;
         match before {
             None => diff
                 .notes
@@ -248,20 +282,50 @@ pub fn diff_reports(prev: &LintReport, cur: &LintReport) -> ReportDiff {
                             .push(format!("`{}` lost {}", entry.function, name));
                     }
                 }
+                // Interval-engine regression gates: a site leaving the
+                // "proven safe" bucket (discharged → vouched) is as
+                // fatal as a gained property.
+                if let (Some(ps), Some(pd), Some(cs), Some(cd)) = (
+                    before.implicit_panic_sites,
+                    before.implicit_panic_discharged,
+                    entry.implicit_panic_sites,
+                    entry.implicit_panic_discharged,
+                ) {
+                    let was_open = ps.saturating_sub(pd);
+                    let now_open = cs.saturating_sub(cd);
+                    if now_open > was_open {
+                        diff.fatal.push(format!(
+                            "`{}` undischarged implicit-panic sites grew from {} to {}",
+                            entry.function, was_open, now_open
+                        ));
+                    } else if now_open < was_open {
+                        diff.notes.push(format!(
+                            "`{}` undischarged implicit-panic sites dropped from {} to {}",
+                            entry.function, was_open, now_open
+                        ));
+                    }
+                    if cd < pd && cs >= ps {
+                        diff.fatal.push(format!(
+                            "`{}` implicit-panic discharges fell from {} to {} (discharged → vouched regression)",
+                            entry.function, pd, cd
+                        ));
+                    }
+                }
             }
         }
     }
+    let mut seen_prev: std::collections::BTreeMap<(&str, &str), usize> = Default::default();
     for before in &prev.functions {
-        if !cur
-            .functions
-            .iter()
-            .any(|f| f.function == before.function && f.file == before.file)
-        {
+        let ordinal = seen_prev
+            .entry((before.file.as_str(), before.function.as_str()))
+            .or_insert(0);
+        if nth_match(&cur.functions, before, *ordinal).is_none() {
             diff.notes.push(format!(
                 "hot-path function `{}` no longer present",
                 before.function
             ));
         }
+        *ordinal += 1;
     }
 
     let key = |a: &AllowEntry| (a.file.clone(), a.line, a.name.clone());
@@ -395,6 +459,29 @@ pub fn diff_reports(prev: &LintReport, cur: &LintReport) -> ReportDiff {
         }
     }
 
+    // Corpus implicit-panic totals: losing proofs or leaning harder on
+    // vouches is a regression of the v4 contract.
+    if let (Some(p), Some(c)) = (&prev.implicit_panic, &cur.implicit_panic) {
+        if c.discharged < p.discharged && c.sites >= p.sites {
+            diff.fatal.push(format!(
+                "hot-path implicit-panic discharges fell from {} to {}",
+                p.discharged, c.discharged
+            ));
+        }
+        if c.vouched > p.vouched {
+            diff.fatal.push(format!(
+                "hot-path implicit-panic vouches grew from {} to {} (prove, don't vouch)",
+                p.vouched, c.vouched
+            ));
+        }
+        if p != c && diff.fatal.is_empty() {
+            diff.notes.push(format!(
+                "implicit-panic totals: sites {} -> {}, discharged {} -> {}, vouched {} -> {}",
+                p.sites, c.sites, p.discharged, c.discharged, p.vouched, c.vouched
+            ));
+        }
+    }
+
     if prev.stats != cur.stats {
         diff.notes.push(format!(
             "stats: files {} -> {}, functions {} -> {}, call edges {} -> {}, hot functions {} -> {}",
@@ -449,6 +536,8 @@ mod tests {
             transitive_alloc,
             transitive_panic: false,
             transitive_nondet: false,
+            implicit_panic_sites: None,
+            implicit_panic_discharged: None,
         }
     }
 
@@ -464,6 +553,7 @@ mod tests {
             lock_order: Some(LockOrderSection::default()),
             guards: Some(Vec::new()),
             depth_budgets: Some(Vec::new()),
+            implicit_panic: Some(ImplicitPanicSection::default()),
             stats: ReportStats::default(),
         }
     }
@@ -498,6 +588,32 @@ mod tests {
         cur.rules[0].violations = 2;
         let diff = diff_reports(&prev, &cur);
         assert_eq!(diff.fatal.len(), 1);
+    }
+
+    #[test]
+    fn discharged_to_vouched_regression_is_fatal() {
+        let mut prev = report(Vec::new());
+        let mut cur = report(Vec::new());
+        prev.implicit_panic = Some(ImplicitPanicSection {
+            sites: 10,
+            discharged: 8,
+            vouched: 2,
+        });
+        cur.implicit_panic = Some(ImplicitPanicSection {
+            sites: 10,
+            discharged: 7,
+            vouched: 3,
+        });
+        let diff = diff_reports(&prev, &cur);
+        assert_eq!(diff.fatal.len(), 2, "{diff:?}");
+
+        let mut p = entry("f", false);
+        p.implicit_panic_sites = Some(4);
+        p.implicit_panic_discharged = Some(4);
+        let mut c = p.clone();
+        c.implicit_panic_discharged = Some(3);
+        let diff = diff_reports(&report(vec![p]), &report(vec![c]));
+        assert_eq!(diff.fatal.len(), 2, "{diff:?}");
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! SARIF 2.1.0 export (`--sarif <path>`): the full scan as a static
+//! analysis log editors and code-review UIs ingest natively.
+//!
+//! The emitter is a hand-rolled JSON printer rather than a serde pass:
+//! key order, indentation, and escaping are pinned by construction, so
+//! the same tree always produces the same bytes — the golden test
+//! byte-compares a committed log, and CI can diff two runs with `cmp`.
+//! Violations arrive already sorted by (file, line, rule) from
+//! [`crate::analyze_sources`]; the rule table follows [`RULES`] order,
+//! and every result carries its `ruleIndex` into that table. Witness
+//! chains ([`Violation::related`]) become SARIF `relatedLocations`, so
+//! an `implicit_panic` finding links back to its enclosing function.
+
+use crate::{Violation, RULES};
+
+/// One-line `shortDescription` per rule, [`RULES`]-aligned (asserted in
+/// tests so a new rule cannot ship without SARIF help text).
+const RULE_HELP: &[(&str, &str)] = &[
+    ("alloc", "Heap-constructor token in a deny_alloc module."),
+    (
+        "nondet",
+        "Nondeterministic construct (hash iteration order, wall clock, entropy) in a decision-path crate.",
+    ),
+    (
+        "panic",
+        "Potential panic path (unwrap/expect/panic!/partial_cmp) in library code.",
+    ),
+    ("missing_docs", "pub fn without a doc comment."),
+    ("unsafe_code", "`unsafe` outside the annotated allowlist."),
+    (
+        "hot_path_marker",
+        "Decision-hot-path module missing its `// lint: deny_alloc` marker.",
+    ),
+    (
+        "transitive_alloc",
+        "deny_alloc function reaching an allocating function through some call chain.",
+    ),
+    (
+        "transitive_panic",
+        "deny_alloc function reaching a potentially panicking function.",
+    ),
+    (
+        "transitive_nondet",
+        "deny_alloc function reaching a nondeterministic function.",
+    ),
+    (
+        "dead_allow",
+        "allow(...) directive that no longer suppresses anything.",
+    ),
+    (
+        "guard_across_blocking",
+        "Lock guard held across a blocking operation.",
+    ),
+    (
+        "lock_order",
+        "Lock acquisition order inverts an established edge (potential deadlock).",
+    ),
+    (
+        "unbounded_queue",
+        "Channel drained without a batch or length bound.",
+    ),
+    (
+        "call_depth_budget",
+        "Transitive call depth exceeding the committed depth_budget(N) ceiling.",
+    ),
+    (
+        "implicit_panic",
+        "Implicit panic site (index, slice, div, rem, unsigned sub) the interval engine could not discharge.",
+    ),
+    (
+        "float_determinism",
+        "Float reduction over a nondeterministic iteration order without an ordered_merge contract.",
+    ),
+];
+
+/// Renders the violation set as a complete SARIF 2.1.0 log.
+///
+/// The output is byte-deterministic: fixed key order, two-space
+/// indentation, `\n` separators, and a trailing newline. Paths are
+/// emitted workspace-relative under the `SRCROOT` URI base.
+pub fn to_sarif(violations: &[Violation]) -> String {
+    let mut w = Writer::new();
+    w.open("{");
+    w.kv_str("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+    w.kv_str("version", "2.1.0");
+    w.key("runs");
+    w.open("[");
+    w.open("{");
+
+    w.key("tool");
+    w.open("{");
+    w.key("driver");
+    w.open("{");
+    w.kv_str("name", "megh-lint");
+    w.kv_str("semanticVersion", "4.0.0");
+    w.key("rules");
+    w.open("[");
+    for (id, help) in RULE_HELP {
+        w.open("{");
+        w.kv_str("id", id);
+        w.key("shortDescription");
+        w.open("{");
+        w.kv_str("text", help);
+        w.close("}");
+        w.key("defaultConfiguration");
+        w.open("{");
+        w.kv_str("level", "error");
+        w.close("}");
+        w.close("}");
+    }
+    w.close("]");
+    w.close("}");
+    w.close("}");
+
+    w.key("columnKind");
+    w.raw_str("utf16CodeUnits");
+
+    w.key("originalUriBaseIds");
+    w.open("{");
+    w.key("SRCROOT");
+    w.open("{");
+    w.kv_str("uri", "file:///");
+    w.close("}");
+    w.close("}");
+
+    w.key("results");
+    w.open("[");
+    for v in violations {
+        let rule_index = RULES.iter().position(|r| *r == v.rule);
+        w.open("{");
+        w.kv_str("ruleId", v.rule);
+        if let Some(idx) = rule_index {
+            w.kv_num("ruleIndex", idx as i64);
+        }
+        w.kv_str("level", "error");
+        w.key("message");
+        w.open("{");
+        w.kv_str("text", &v.message);
+        w.close("}");
+        w.key("locations");
+        w.open("[");
+        w.open("{");
+        location(&mut w, &v.file, v.line);
+        w.close("}");
+        w.close("]");
+        if !v.related.is_empty() {
+            w.key("relatedLocations");
+            w.open("[");
+            for r in &v.related {
+                w.open("{");
+                location(&mut w, &r.file, r.line);
+                w.key("message");
+                w.open("{");
+                w.kv_str("text", &r.message);
+                w.close("}");
+                w.close("}");
+            }
+            w.close("]");
+        }
+        w.close("}");
+    }
+    w.close("]");
+
+    w.close("}");
+    w.close("]");
+    w.close("}");
+    w.finish()
+}
+
+/// Emits a `physicalLocation` object for `(file, line)`.
+fn location(w: &mut Writer, file: &str, line: usize) {
+    w.key("physicalLocation");
+    w.open("{");
+    w.key("artifactLocation");
+    w.open("{");
+    w.kv_str("uri", file);
+    w.kv_str("uriBaseId", "SRCROOT");
+    w.close("}");
+    w.key("region");
+    w.open("{");
+    w.kv_num("startLine", line as i64);
+    w.close("}");
+    w.close("}");
+}
+
+/// Minimal pretty-printing JSON writer with pinned formatting: callers
+/// drive structure with `open`/`close`/`key`, the writer tracks commas
+/// and indentation. Invalid nesting is a programming error caught by
+/// the golden test, not a runtime concern.
+struct Writer {
+    out: String,
+    indent: usize,
+    /// Whether the current container already has an element (comma
+    /// bookkeeping), one flag per nesting level.
+    has_item: Vec<bool>,
+    /// A `key` was just written; the next value continues its line.
+    pending_key: bool,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer {
+            out: String::new(),
+            indent: 0,
+            has_item: vec![false],
+            pending_key: false,
+        }
+    }
+
+    /// Starts a value: separating comma, newline, and indentation —
+    /// unless it directly follows its key on the same line.
+    fn begin_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some(has) = self.has_item.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+        if self.indent > 0 || !self.out.is_empty() {
+            self.out.push('\n');
+        }
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn open(&mut self, delim: &str) {
+        self.begin_value();
+        if let Some(has) = self.has_item.last_mut() {
+            *has = true;
+        }
+        self.out.push_str(delim);
+        self.indent += 1;
+        self.has_item.push(false);
+    }
+
+    fn close(&mut self, delim: &str) {
+        let had_items = self.has_item.pop().unwrap_or(false);
+        self.indent -= 1;
+        if had_items {
+            self.out.push('\n');
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+        self.out.push_str(delim);
+    }
+
+    fn key(&mut self, name: &str) {
+        self.begin_value();
+        self.out.push('"');
+        escape_into(&mut self.out, name);
+        self.out.push_str("\": ");
+        self.pending_key = true;
+    }
+
+    fn raw_str(&mut self, value: &str) {
+        self.begin_value();
+        self.out.push('"');
+        escape_into(&mut self.out, value);
+        self.out.push('"');
+    }
+
+    fn kv_str(&mut self, name: &str, value: &str) {
+        self.key(name);
+        self.raw_str(value);
+    }
+
+    fn kv_num(&mut self, name: &str, value: i64) {
+        self.key(name);
+        self.begin_value();
+        self.out.push_str(&value.to_string());
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+}
+
+/// JSON string escaping (RFC 8259): quotes, backslashes, and control
+/// characters; everything else passes through as UTF-8.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Related;
+
+    #[test]
+    fn rule_help_is_rules_aligned() {
+        assert_eq!(RULE_HELP.len(), RULES.len());
+        for ((id, _), rule) in RULE_HELP.iter().zip(RULES.iter()) {
+            assert_eq!(id, rule, "RULE_HELP order diverged from RULES");
+        }
+    }
+
+    #[test]
+    fn empty_scan_is_valid_sarif() {
+        let log = to_sarif(&[]);
+        let parsed: serde_json::Value = serde_json::from_str(&log).expect("valid JSON");
+        assert_eq!(parsed["version"].as_str(), Some("2.1.0"));
+        assert_eq!(
+            parsed["runs"][0]["tool"]["driver"]["rules"]
+                .as_array()
+                .map(Vec::len),
+            Some(RULES.len())
+        );
+        assert_eq!(
+            parsed["runs"][0]["results"].as_array().map(Vec::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn results_carry_locations_and_witness_chain() {
+        let v = Violation {
+            file: "crates/core/src/agent.rs".to_string(),
+            line: 42,
+            rule: "implicit_panic",
+            message: "site \"xs[i]\" not discharged".to_string(),
+            related: vec![Related {
+                file: "crates/core/src/agent.rs".to_string(),
+                line: 40,
+                message: "in fn decide".to_string(),
+            }],
+        };
+        let log = to_sarif(&[v]);
+        let parsed: serde_json::Value = serde_json::from_str(&log).expect("valid JSON");
+        let result = &parsed["runs"][0]["results"][0];
+        assert_eq!(result["ruleId"].as_str(), Some("implicit_panic"));
+        assert_eq!(
+            result["ruleIndex"].as_u64(),
+            Some(RULES.iter().position(|r| *r == "implicit_panic").unwrap() as u64)
+        );
+        assert_eq!(
+            result["locations"][0]["physicalLocation"]["region"]["startLine"].as_u64(),
+            Some(42)
+        );
+        assert_eq!(
+            result["relatedLocations"][0]["physicalLocation"]["region"]["startLine"].as_u64(),
+            Some(40)
+        );
+    }
+
+    #[test]
+    fn emission_is_byte_deterministic() {
+        let vs: Vec<Violation> = (0..3)
+            .map(|i| Violation {
+                file: format!("crates/sim/src/f{i}.rs"),
+                line: i + 1,
+                rule: "panic",
+                message: format!("msg {i} with \"quotes\" and \\ slashes"),
+                related: Vec::new(),
+            })
+            .collect();
+        assert_eq!(to_sarif(&vs), to_sarif(&vs));
+    }
+}

@@ -1,0 +1,21 @@
+// Float-determinism fixture: a float reduction over a hash map's
+// arbitrary iteration order (the seeded violation), next to the
+// sanctioned ascending-index merge.
+
+use std::collections::HashMap;
+
+pub fn unordered_total(by_vm: &HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for v in by_vm.values() {
+        total += v;
+    }
+    total
+}
+
+pub fn ordered_total(cols: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for i in 0..cols.len() {
+        total += cols[i];
+    }
+    total
+}

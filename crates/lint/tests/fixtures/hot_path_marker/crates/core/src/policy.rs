@@ -1,9 +1,7 @@
-fn greedy(scores: &[f64]) -> usize {
-    let mut best = 0;
-    for (i, s) in scores.iter().enumerate() {
-        if *s < scores[best] {
-            best = i;
-        }
+fn total(scores: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for s in scores {
+        acc += s;
     }
-    best
+    acc
 }

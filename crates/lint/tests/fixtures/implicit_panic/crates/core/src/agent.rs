@@ -1,0 +1,22 @@
+// Implicit-panic fixture: one index the interval engine cannot bound
+// (the seeded violation) next to the guarded shape it proves safe.
+// lint: deny_alloc
+
+/// Sums the first `k` entries of `xs` — `k` is unrelated to
+/// `xs.len()`, so `xs[i]` may panic.
+pub fn partial_sum(xs: &[f64], k: usize) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..k {
+        acc += xs[i];
+    }
+    acc
+}
+
+/// The same loop bounded by the slice itself: every index discharges.
+pub fn safe_sum(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..xs.len() {
+        acc += xs[i];
+    }
+    acc
+}

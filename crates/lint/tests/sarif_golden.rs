@@ -1,0 +1,78 @@
+//! Golden SARIF log: the two interval-engine fixture corpora are
+//! analyzed together and the emitted SARIF 2.1.0 log must match the
+//! committed `tests/golden/lint.sarif` byte for byte — pinning key
+//! order, indentation, escaping, rule-table order, and location
+//! rendering. Regenerate deliberately with
+//! `UPDATE_GOLDEN=1 cargo test -p lint --test sarif_golden`.
+
+use std::fs;
+use std::path::Path;
+
+fn collect_rs(dir: &Path, base: &Path, out: &mut Vec<(String, String)>) {
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .expect("fixture dir must be readable")
+        .map(|e| e.expect("fixture entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, base, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(base)
+                .expect("fixture path under its case dir")
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, fs::read_to_string(&path).expect("fixture source")));
+        }
+    }
+}
+
+#[test]
+fn sarif_log_matches_golden_bytes() {
+    let tests = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests");
+    let mut sources = Vec::new();
+    for case in ["implicit_panic", "float_determinism"] {
+        let dir = tests.join("fixtures").join(case);
+        collect_rs(&dir, &dir, &mut sources);
+    }
+    sources.sort();
+    let analysis = lint::analyze_sources(&sources);
+    assert!(
+        !analysis.violations.is_empty(),
+        "fixture corpus must seed violations for the golden log"
+    );
+    let log = lint::to_sarif(&analysis.violations);
+
+    let golden_path = tests.join("golden/lint.sarif");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        fs::write(&golden_path, &log).unwrap();
+        return;
+    }
+    let golden = fs::read_to_string(&golden_path)
+        .expect("committed golden log (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        log, golden,
+        "SARIF bytes diverged from tests/golden/lint.sarif; if the change \
+         is deliberate, regenerate with UPDATE_GOLDEN=1"
+    );
+
+    // Round-trip: the bytes are valid JSON carrying the same results.
+    let parsed: serde_json::Value = serde_json::from_str(&log).expect("valid JSON");
+    let results = parsed["runs"][0]["results"]
+        .as_array()
+        .expect("results array");
+    assert_eq!(results.len(), analysis.violations.len());
+    for (result, v) in results.iter().zip(&analysis.violations) {
+        assert_eq!(result["ruleId"].as_str(), Some(v.rule));
+        assert_eq!(
+            result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"].as_str(),
+            Some(v.file.as_str())
+        );
+        assert_eq!(
+            result["locations"][0]["physicalLocation"]["region"]["startLine"].as_u64(),
+            Some(v.line as u64)
+        );
+    }
+}

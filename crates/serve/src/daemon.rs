@@ -168,6 +168,7 @@ impl ServeOptions {
 /// so a daemon and an in-process hierarchical agent agree on shard
 /// ownership.
 fn split_range(total: usize, s: usize, n: usize) -> std::ops::Range<usize> {
+    debug_assert!(n > 0, "split into zero shards");
     (s * total / n)..((s + 1) * total / n)
 }
 

@@ -42,6 +42,16 @@ pub(crate) fn host_metrics_chunk(
     out_deficit: &mut [f64],
     out_util: &mut [f64],
 ) {
+    // Contract: every slice covers the same host range (doc above);
+    // these equalities are what lets the interval pass prove the loop
+    // below in-bounds for all seven arrays.
+    debug_assert_eq!(host_mips.len(), host_used.len());
+    debug_assert_eq!(host_vm_count.len(), host_used.len());
+    debug_assert_eq!(host_down.len(), host_used.len());
+    debug_assert_eq!(power.len(), host_used.len());
+    debug_assert_eq!(out_joules.len(), host_used.len());
+    debug_assert_eq!(out_deficit.len(), host_used.len());
+    debug_assert_eq!(out_util.len(), host_used.len());
     for h in 0..host_used.len() {
         out_joules[h] = 0.0;
         out_deficit[h] = 0.0;
@@ -87,7 +97,12 @@ pub(crate) fn vm_sla_chunk(
     vm_requested_s: &mut [f64],
     out_sla: &mut [f64],
 ) {
+    // Contract: the per-VM slices cover the same VM range (doc above).
+    debug_assert_eq!(vm_downtime_s.len(), placement.len());
+    debug_assert_eq!(vm_requested_s.len(), placement.len());
+    debug_assert_eq!(out_sla.len(), placement.len());
     for j in 0..placement.len() {
+        // lint: allow(implicit_panic) -- placement entries are host ids < deficit.len() by construction (engine invariant checked at build)
         let d = deficit[placement[j]];
         if d > 0.0 {
             vm_downtime_s[j] += d * tau;

@@ -104,6 +104,7 @@ pub trait TraceSource {
         let mut done = 0usize;
         while done < n {
             let want = chunk_steps.min(n - done);
+            // lint: allow(implicit_panic) -- want <= chunk_steps and buf is chunk_steps * n_vms long
             let got = self.fill_chunk(&mut buf[..want * n_vms]);
             if got == 0 {
                 break;
@@ -228,6 +229,7 @@ fn fill_from_trace(trace: &WorkloadTrace, next: &mut usize, buf: &mut [f64]) -> 
     }
     let want = (buf.len() / n).min(trace.n_steps().saturating_sub(*next));
     for s in 0..want {
+        // lint: allow(implicit_panic) -- s < want <= buf.len() / n, so (s + 1) * n <= buf.len()
         trace.step_column_into(*next + s, &mut buf[s * n..(s + 1) * n]);
     }
     *next += want;
@@ -743,6 +745,7 @@ impl<S: TraceSource> TraceSource for Scaled<S> {
     fn fill_chunk(&mut self, buf: &mut [f64]) -> usize {
         let got = self.inner.fill_chunk(buf);
         let n = self.inner.header().n_vms;
+        // lint: allow(implicit_panic) -- fill_chunk returns at most buf.len() / n_vms whole columns
         for v in &mut buf[..got * n] {
             *v = (*v * self.factor).clamp(0.0, 100.0);
         }
@@ -787,6 +790,7 @@ impl<S: TraceSource> TraceSource for Noisy<S> {
     fn fill_chunk(&mut self, buf: &mut [f64]) -> usize {
         let got = self.inner.fill_chunk(buf);
         let n = self.inner.header().n_vms;
+        // lint: allow(implicit_panic) -- fill_chunk returns at most buf.len() / n_vms whole columns
         for v in &mut buf[..got * n] {
             *v = (*v + self.dist.sample(&mut self.rng)).clamp(0.0, 100.0);
         }
@@ -822,10 +826,12 @@ impl<S: TraceSource> Coarsened<S> {
 impl<S: TraceSource> TraceSource for Coarsened<S> {
     fn header(&self) -> TraceHeader {
         let inner = self.inner.header();
+        let factor = self.factor;
+        debug_assert!(factor > 0, "Coarsened::new rejects factor 0");
         TraceHeader {
             n_vms: inner.n_vms,
-            n_steps: inner.n_steps / self.factor,
-            step_seconds: inner.step_seconds * self.factor as u64,
+            n_steps: inner.n_steps / factor,
+            step_seconds: inner.step_seconds * factor as u64,
         }
     }
 
@@ -835,8 +841,12 @@ impl<S: TraceSource> TraceSource for Coarsened<S> {
         if n == 0 {
             return 0;
         }
+        // The zero guard above makes the division safe; the checker sees
+        // usize-ness through the explicit contract.
+        debug_assert!(n > 0);
         let coarse_want = buf.len() / n;
         for cs in 0..coarse_want {
+            // lint: allow(implicit_panic) -- cs < buf.len() / n, so (cs + 1) * n <= buf.len()
             let col = &mut buf[cs * n..(cs + 1) * n];
             self.acc.iter_mut().for_each(|a| *a = 0.0);
             for _ in 0..self.factor {
